@@ -1,0 +1,280 @@
+package flexflow
+
+// One benchmark per paper table/figure: each regenerates the artifact
+// end to end (workloads → engines → models → rendering), so
+// `go test -bench=.` both times the harness and re-derives every
+// number recorded in EXPERIMENTS.md. Ablation benches cover the design
+// choices DESIGN.md calls out.
+
+import (
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/experiments"
+	"flexflow/internal/tensor"
+	"flexflow/internal/workloads"
+)
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure1()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Table3()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Table4()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure15()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure16()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure17()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure18()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Table6()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Figure19()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Table7()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkInterconnectPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.InterconnectPower()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAreaReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.AreaReport()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// ablationLayer is the LeNet-5 C3 shape used by the ablation studies.
+var ablationLayer = workloads.LeNet5().ConvLayers()[1]
+
+func benchAblation(b *testing.B, configure func(*core.Engine)) (loads, kernels, cycles int64) {
+	b.Helper()
+	e := core.New(16)
+	configure(e)
+	var r arch.LayerResult
+	for i := 0; i < b.N; i++ {
+		r = e.Model(ablationLayer)
+	}
+	return r.NeuronLoads, r.KernelLoads, r.Cycles
+}
+
+// BenchmarkAblationRARS compares the machine with and without relax
+// alignment + relax synchronization: RA/RS off inflates neuron traffic
+// and stalls the vertical buses.
+func BenchmarkAblationRARS(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		loads, _, cycles := benchAblation(b, func(e *core.Engine) {})
+		b.ReportMetric(float64(loads), "neuron-words")
+		b.ReportMetric(float64(cycles), "cycles")
+	})
+	b.Run("off", func(b *testing.B) {
+		loads, _, cycles := benchAblation(b, func(e *core.Engine) { e.RA, e.RS = false, false })
+		b.ReportMetric(float64(loads), "neuron-words")
+		b.ReportMetric(float64(cycles), "cycles")
+	})
+}
+
+// BenchmarkAblationIPDR compares kernel-buffer traffic with and
+// without in-place data replication.
+func BenchmarkAblationIPDR(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		_, kernels, _ := benchAblation(b, func(e *core.Engine) {})
+		b.ReportMetric(float64(kernels), "kernel-words")
+	})
+	b.Run("off", func(b *testing.B) {
+		_, kernels, _ := benchAblation(b, func(e *core.Engine) { e.IPDR = false })
+		b.ReportMetric(float64(kernels), "kernel-words")
+	})
+}
+
+// BenchmarkAblationComplementary restricts the factor chooser to pure
+// single-parallelism configurations, quantifying what the
+// complementary-parallelism principle buys.
+func BenchmarkAblationComplementary(b *testing.B) {
+	pure := map[string]arch.T{
+		"NP-only": {Tm: 1, Tn: 1, Tr: 4, Tc: 4, Ti: 1, Tj: 1},
+		"SP-only": {Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 3, Tj: 5},
+		"FP-only": {Tm: 16, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1},
+	}
+	b.Run("complementary", func(b *testing.B) {
+		_, _, cycles := benchAblation(b, func(e *core.Engine) {})
+		b.ReportMetric(float64(cycles), "cycles")
+	})
+	for name, t := range pure {
+		t := t
+		b.Run(name, func(b *testing.B) {
+			_, _, cycles := benchAblation(b, func(e *core.Engine) {
+				e.Chooser = func(l ConvLayer) arch.T { return t }
+			})
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkCompilerSearch times the exhaustive factor search itself
+// across array scales (the compile-time cost of Section 5).
+func BenchmarkCompilerSearch(b *testing.B) {
+	for _, scale := range []int{16, 32, 64} {
+		scale := scale
+		b.Run(map[int]string{16: "16x16", 32: "32x32", 64: "64x64"}[scale], func(b *testing.B) {
+			nw := workloads.AlexNet()
+			for i := 0; i < b.N; i++ {
+				if p := compiler.Plan(nw, scale); len(p.Plans) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulators times the cycle-level functional engines on the
+// paper's running example layer, in MACs per second of host time.
+func BenchmarkSimulators(b *testing.B) {
+	l := ConvLayer{Name: "ex", M: 2, N: 1, S: 10, K: 4}
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(1)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(2)
+	nw, _ := Workload("Example")
+	for _, a := range Arches() {
+		a := a
+		b.Run(string(a), func(b *testing.B) {
+			e, err := NewEngine(a, 4, nw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Simulate(l, in, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(2 * l.MACs()) // operand words touched per run
+		})
+	}
+}
+
+// BenchmarkGoldenConv times the reference convolution, the baseline
+// every simulator is validated against.
+func BenchmarkGoldenConv(b *testing.B) {
+	l := workloads.LeNet5().ConvLayers()[1]
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(1)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(2)
+	for i := 0; i < b.N; i++ {
+		tensor.Conv(in, k)
+	}
+	b.SetBytes(2 * l.MACs())
+}
+
+func BenchmarkAblationsReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, s := experiments.Ablations()
+		if len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkModelPerWorkload times the analytic model of each workload
+// on the 16×16 FlexFlow engine (compiler included) — the cost a user
+// pays per what-if evaluation.
+func BenchmarkModelPerWorkload(b *testing.B) {
+	for _, nw := range Workloads() {
+		nw := nw
+		b.Run(nw.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := NewEngine(FlexFlow, 16, nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r := Run(e, nw); r.Cycles() == 0 {
+					b.Fatal("no cycles")
+				}
+			}
+		})
+	}
+}

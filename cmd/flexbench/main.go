@@ -1,0 +1,156 @@
+// Command flexbench regenerates every table and figure of the paper's
+// evaluation section and prints them in order. With -out it also
+// writes each artifact to a file, which is how EXPERIMENTS.md's
+// recorded outputs are produced.
+//
+// Usage:
+//
+//	flexbench [-out results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"flexflow/internal/experiments"
+	"flexflow/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexbench: ")
+	out := flag.String("out", "", "directory to write one text file per artifact (optional)")
+	csvDir := flag.String("csv", "", "directory to write machine-readable CSVs of the figure data (optional)")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	artifacts := []struct {
+		name string
+		gen  func() string
+	}{
+		{"figure01_motivation", func() string { _, s := experiments.Figure1(); return s }},
+		{"table03_cross_layer_utilization", func() string { _, s := experiments.Table3(); return s }},
+		{"table04_unrolling_factors", func() string { _, s := experiments.Table4(); return s }},
+		{"figure14_area_breakdown", func() string { _, s := experiments.AreaReport(); return s }},
+		{"figure15_utilization", func() string { _, s := experiments.Figure15(); return s }},
+		{"figure16_performance", func() string { _, s := experiments.Figure16(); return s }},
+		{"figure17_data_volume", func() string { _, s := experiments.Figure17(); return s }},
+		{"figure18_power_energy", func() string { _, s := experiments.Figure18(); return s }},
+		{"table06_power_breakdown", func() string { _, s := experiments.Table6(); return s }},
+		{"figure19_scalability", func() string { _, s := experiments.Figure19(); return s }},
+		{"table07_accelerator_comparison", func() string { _, s := experiments.Table7(); return s }},
+		{"sec625_interconnect_power", func() string { _, s := experiments.InterconnectPower(); return s }},
+		{"ablations", func() string { _, s := experiments.Ablations(); return s }},
+		{"extension_strided_alexnet", func() string { _, s := experiments.StridedAlexNet(); return s }},
+		{"extension_five_way", func() string { _, s := experiments.FiveWay(); return s }},
+		{"extension_roofline", func() string { _, s := experiments.Roofline(); return s }},
+		{"extension_balanced_sweep", func() string { _, s := experiments.BalancedSweep("VGG-11"); return s }},
+		{"extension_bandwidth", func() string { _, s := experiments.BandwidthSensitivity(); return s }},
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, a := range artifacts {
+		text := a.gen()
+		fmt.Println(text)
+		if *out != "" {
+			path := filepath.Join(*out, a.name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d artifacts to %s\n", len(artifacts), *out)
+	}
+}
+
+// writeCSVs exports the typed figure data as CSV files.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	perWorkload := func(name string, series []experiments.WorkloadSeries) error {
+		tb := metrics.NewTable("", append([]string{"workload"}, experiments.ArchNames...)...)
+		for _, s := range series {
+			row := []string{s.Workload}
+			for _, v := range s.Values {
+				row = append(row, fmt.Sprintf("%g", v))
+			}
+			tb.Add(row...)
+		}
+		return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(tb.CSV()), 0o644)
+	}
+
+	f15, _ := experiments.Figure15()
+	if err := perWorkload("figure15_utilization", f15); err != nil {
+		return err
+	}
+	f16, _ := experiments.Figure16()
+	if err := perWorkload("figure16_gops", f16); err != nil {
+		return err
+	}
+	f17, _ := experiments.Figure17()
+	if err := perWorkload("figure17_volume_mb", f17); err != nil {
+		return err
+	}
+
+	f18, _ := experiments.Figure18()
+	tb := metrics.NewTable("", "workload", "metric",
+		experiments.ArchNames[0], experiments.ArchNames[1], experiments.ArchNames[2], experiments.ArchNames[3])
+	for _, d := range f18 {
+		for _, m := range []struct {
+			name string
+			vals []float64
+		}{
+			{"gops_per_watt", d.Efficiency},
+			{"energy_uj", d.EnergyMJ},
+			{"power_mw", d.PowerMW},
+		} {
+			row := []string{d.Workload, m.name}
+			for _, v := range m.vals {
+				row = append(row, fmt.Sprintf("%g", v))
+			}
+			tb.Add(row...)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure18_power.csv"), []byte(tb.CSV()), 0o644); err != nil {
+		return err
+	}
+
+	f19, _ := experiments.Figure19()
+	tb19 := metrics.NewTable("", "scale", "metric",
+		experiments.ArchNames[0], experiments.ArchNames[1], experiments.ArchNames[2], experiments.ArchNames[3])
+	for _, d := range f19 {
+		for _, m := range []struct {
+			name string
+			vals []float64
+		}{
+			{"utilization", d.Utilization},
+			{"power_mw", d.PowerMW},
+			{"area_mm2", d.AreaMM2},
+		} {
+			row := []string{fmt.Sprintf("%d", d.Scale), m.name}
+			for _, v := range m.vals {
+				row = append(row, fmt.Sprintf("%g", v))
+			}
+			tb19.Add(row...)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure19_scalability.csv"), []byte(tb19.CSV()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote CSV data to %s\n", dir)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command flexcc is the FlexFlow workload analyzer / compiler
+// (Section 5): it determines the unrolling factors for every CONV
+// layer of a network and emits the assembly program the instruction
+// decoder consumes.
+//
+// Usage:
+//
+//	flexcc [-workload LeNet-5] [-scale 16] [-uncoupled] [-asm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flexflow"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexcc: ")
+	workload := flag.String("workload", "LeNet-5", "workload name")
+	scale := flag.Int("scale", 16, "PE-array edge")
+	uncoupled := flag.Bool("uncoupled", false, "optimize each layer independently (no IADP coupling)")
+	asm := flag.Bool("asm", false, "emit the assembly program instead of the factor table")
+	analyze := flag.Bool("analyze", false, "print the single-parallelism ceilings vs the complementary mix (§3.4)")
+	occupancy := flag.Bool("occupancy", false, "render the Fig. 8-style PE-array occupancy map of each layer")
+	sweep := flag.Int("sweep", 0, "print the top-N factor candidates per layer (the optimizer's landscape)")
+	lambda := flag.Float64("lambda", 0, "traffic weight for balanced planning (cycles per D words; 0 = cycles only)")
+	flag.Parse()
+
+	nw, err := flexflow.Workload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *analyze {
+		tb := metrics.NewTable(
+			fmt.Sprintf("Dominant-parallelism analysis for %s at %dx%d (§3.4)", nw.Name, *scale, *scale),
+			"Layer", "Pure NP", "Pure SP", "Pure FP", "Dominant", "Mix", "Mix gain")
+		for _, a := range compiler.Analyze(nw, *scale) {
+			tb.Add(a.Layer.Name,
+				metrics.Pct(a.PureNP), metrics.Pct(a.PureSP), metrics.Pct(a.PureFP),
+				a.Dominant, metrics.Pct(a.Mixed), fmt.Sprintf("%.1fx", a.Gain()))
+		}
+		fmt.Print(tb)
+		return
+	}
+
+	prog := flexflow.Compile(nw, *scale)
+	if *uncoupled {
+		prog = flexflow.CompileUncoupled(nw, *scale)
+	}
+	if *lambda > 0 {
+		prog = flexflow.CompileBalanced(nw, *scale, *lambda)
+	}
+
+	if *occupancy {
+		for _, lp := range prog.Plans {
+			fmt.Println(core.OccupancyMap(lp.Layer, lp.Factors, *scale))
+		}
+		return
+	}
+
+	if *sweep > 0 {
+		for _, lp := range prog.Plans {
+			tb := metrics.NewTable(
+				fmt.Sprintf("top %d factor candidates for %s at %dx%d", *sweep, lp.Layer.Name, *scale, *scale),
+				"Factors", "Style", "U_r", "U_c", "U_t")
+			for _, e := range compiler.Sweep(lp.Layer, *scale, lp.RCBound, *sweep) {
+				tb.Add(e.Factors.String(), e.Factors.Style(),
+					metrics.Pct(e.Ur), metrics.Pct(e.Uc), metrics.Pct(e.Ut))
+			}
+			fmt.Println(tb)
+		}
+		return
+	}
+
+	if *asm {
+		fmt.Print(prog.Assembly())
+		return
+	}
+
+	mode := "coupled (IADP)"
+	if *uncoupled {
+		mode = "uncoupled"
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Unrolling factors for %s at %dx%d, %s", nw.Name, *scale, *scale, mode),
+		"Layer", "M", "N", "S", "K", "Factors", "Passes", "Cyc/pass", "U_t")
+	for _, lp := range prog.Plans {
+		tb.Add(lp.Layer.Name,
+			fmt.Sprintf("%d", lp.Layer.M), fmt.Sprintf("%d", lp.Layer.N),
+			fmt.Sprintf("%d", lp.Layer.S), fmt.Sprintf("%d", lp.Layer.K),
+			lp.Factors.String(),
+			fmt.Sprintf("%d", lp.Passes), fmt.Sprintf("%d", lp.CyclesPass),
+			metrics.Pct(lp.Utilization))
+	}
+	fmt.Print(tb)
+}

@@ -1,0 +1,208 @@
+// Command flexsim evaluates one workload on one accelerator
+// architecture: per-layer cycles, utilization, GOPS, traffic, and the
+// 65 nm power/energy estimate.
+//
+// Usage:
+//
+//	flexsim [-workload LeNet-5] [-arch FlexFlow] [-scale 16] [-all]
+//	flexsim -spec mynet.json                 # custom network (nn JSON spec)
+//	flexsim -layer M=6,N=1,S=28,K=5          # single ad-hoc CONV layer
+//	flexsim -workload Example -trace t.txt   # functional run + dataflow trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"flexflow"
+	"flexflow/internal/core"
+	"flexflow/internal/metrics"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexsim: ")
+	workload := flag.String("workload", "LeNet-5", "workload name (PV, FR, LeNet-5, HG, AlexNet, VGG-11, Example)")
+	spec := flag.String("spec", "", "path to a JSON network spec (overrides -workload)")
+	layer := flag.String("layer", "", "ad-hoc CONV layer, e.g. M=6,N=1,S=28,K=5[,STRIDE=2] (overrides -workload)")
+	archName := flag.String("arch", "FlexFlow", "architecture (Systolic, 2D-Mapping, Tiling, FlexFlow)")
+	scale := flag.Int("scale", 16, "PE-array edge (16 = the paper's configuration)")
+	all := flag.Bool("all", false, "evaluate all four architectures")
+	trace := flag.String("trace", "", "write a dataflow trace of a functional FlexFlow run to this file (small networks only)")
+	traceMax := flag.Int("trace-max", 10000, "maximum trace events")
+	power := flag.Bool("power", false, "print the per-layer 65nm power breakdown (Table 6 style)")
+	describe := flag.Bool("describe", false, "print the FlexFlow engine's schedule description per layer")
+	bandwidth := flag.Float64("bandwidth", 0, "DRAM bandwidth in GB/s for wall-clock accounting (0 = compute-only cycles)")
+	flag.Parse()
+
+	nw, err := resolveNetwork(*workload, *spec, *layer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *trace != "" {
+		if err := runTraced(nw, *scale, *trace, *traceMax); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *describe {
+		engine, err := flexflow.NewEngine(flexflow.FlexFlow, *scale, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ff := engine.(*core.Engine)
+		for _, l := range nw.ConvLayers() {
+			fmt.Println(ff.Describe(l))
+		}
+		return
+	}
+
+	arches := []flexflow.Arch{flexflow.Arch(*archName)}
+	if *all {
+		arches = flexflow.Arches()
+	}
+	for _, a := range arches {
+		engine, err := flexflow.NewEngine(a, *scale, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := flexflow.Run(engine, nw)
+
+		tb := metrics.NewTable(
+			fmt.Sprintf("%s on %s (%dx%d scale, %d PEs)", nw.Name, engine.Name(), *scale, *scale, engine.PEs()),
+			"Layer", "Factors", "Cycles", "Util", "GOPS", "Buf->PE words", "DRAM words")
+		for _, l := range run.Layers {
+			tb.Add(l.Layer.Name,
+				l.Factors.String(),
+				fmt.Sprintf("%d", l.Cycles),
+				metrics.Pct(l.Utilization()),
+				fmt.Sprintf("%.1f", l.GOPS(flexflow.ClockHz)),
+				fmt.Sprintf("%d", l.DataVolume()),
+				fmt.Sprintf("%d", l.DRAMReads+l.DRAMWrites))
+		}
+		fmt.Fprintln(os.Stdout, tb)
+
+		b := flexflow.Energy(run, *scale)
+		fmt.Printf("total: %d cycles, %.1f%% utilization, %.1f GOPS @ 1 GHz, %.0f mW, %.2f µJ on-chip, DRAM Acc/Op %.4f\n",
+			run.Cycles(), 100*run.Utilization(), run.GOPS(flexflow.ClockHz),
+			flexflow.PowerMW(run, *scale), b.ChipPJ()*1e-6,
+			float64(run.DRAMAccesses())/float64(2*run.MACs()))
+		if *bandwidth > 0 {
+			wall := run.WallClock(*bandwidth / 2.0) // GB/s @ 1 GHz = bytes/cycle; 2 B/word
+			fmt.Printf("wall-clock @ %.1f GB/s: %d cycles, %.1f GOPS (%.0f%% of compute)\n",
+				*bandwidth, wall, float64(2*run.MACs())/float64(wall),
+				100*float64(run.Cycles())/float64(wall))
+		}
+		fmt.Println()
+
+		if *power {
+			params := flexflow.DefaultEnergy()
+			pt := metrics.NewTable("per-layer power breakdown, mW @ 1 GHz",
+				"Layer", "P_nein", "P_neout", "P_kerin", "P_com", "Interconnect", "Leakage", "Total")
+			for _, l := range run.Layers {
+				lb := params.LayerEnergy(l, *scale)
+				toMW := func(pj float64) float64 {
+					return pj / float64(l.Cycles) // pJ per ns at 1 GHz = mW
+				}
+				pt.Add(l.Layer.Name,
+					fmt.Sprintf("%.0f", toMW(lb.NeuronIn)),
+					fmt.Sprintf("%.0f", toMW(lb.NeuronOut)),
+					fmt.Sprintf("%.0f", toMW(lb.KernelIn)),
+					fmt.Sprintf("%.0f", toMW(lb.Compute)),
+					fmt.Sprintf("%.0f", toMW(lb.Interconnect)),
+					fmt.Sprintf("%.0f", toMW(lb.Leakage)),
+					fmt.Sprintf("%.0f", toMW(lb.ChipPJ())))
+			}
+			fmt.Println(pt)
+		}
+	}
+}
+
+// resolveNetwork picks the network from -layer, -spec or -workload, in
+// that precedence order.
+func resolveNetwork(workload, specPath, layerSpec string) (*flexflow.Network, error) {
+	if layerSpec != "" {
+		l, err := parseLayer(layerSpec)
+		if err != nil {
+			return nil, err
+		}
+		return &flexflow.Network{
+			Name:   "ad-hoc",
+			InputN: l.N,
+			InputS: l.InSize(),
+			Layers: []nn.Layer{{Kind: nn.Conv, Conv: l}},
+		}, nil
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return nn.ParseJSON(data)
+	}
+	return flexflow.Workload(workload)
+}
+
+// parseLayer decodes "M=6,N=1,S=28,K=5[,STRIDE=s]".
+func parseLayer(s string) (nn.ConvLayer, error) {
+	l := nn.ConvLayer{Name: "L"}
+	for _, field := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
+		if len(kv) != 2 {
+			return l, fmt.Errorf("bad layer field %q", field)
+		}
+		var v int
+		if _, err := fmt.Sscanf(kv[1], "%d", &v); err != nil {
+			return l, fmt.Errorf("bad layer value %q", field)
+		}
+		switch strings.ToUpper(kv[0]) {
+		case "M":
+			l.M = v
+		case "N":
+			l.N = v
+		case "S":
+			l.S = v
+		case "K":
+			l.K = v
+		case "STRIDE":
+			l.Stride = v
+		default:
+			return l, fmt.Errorf("unknown layer key %q", kv[0])
+		}
+	}
+	return l, l.Validate()
+}
+
+// runTraced executes the network functionally on the FlexFlow engine
+// with a dataflow trace attached.
+func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) error {
+	if err := nw.Validate(); err != nil {
+		return fmt.Errorf("tracing needs a chaining network: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := sim.NewTraceWriter(f, sim.TraceFilter{MaxEvents: maxEvents})
+
+	input := flexflow.RandomInput(nw, 1)
+	kernels := flexflow.RandomKernels(nw, 2)
+	exec, err := flexflow.ExecuteTraced(nw, input, kernels, scale, tw)
+	if err != nil {
+		return err
+	}
+	n, err := tw.Flush()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced %d events over %d cycles to %s\n", n, exec.Cycles(), path)
+	return nil
+}

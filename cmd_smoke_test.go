@@ -1,0 +1,131 @@
+package flexflow_test
+
+// Smoke tests for the command-line tools: build each binary once and
+// run it against representative flags, checking for a zero exit and a
+// plausible stdout. Skipped when the go tool is unavailable.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir, "./cmd/...")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runTool(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	out := runTool(t, dir, "flexsim", "-workload", "LeNet-5")
+	if !strings.Contains(out, "FlexFlow") || !strings.Contains(out, "GOPS") {
+		t.Errorf("flexsim output unexpected:\n%s", out)
+	}
+
+	out = runTool(t, dir, "flexsim", "-layer", "M=4,N=2,S=6,K=3", "-arch", "Tiling", "-scale", "8")
+	if !strings.Contains(out, "Tiling") {
+		t.Errorf("flexsim -layer output unexpected:\n%s", out)
+	}
+
+	out = runTool(t, dir, "flexcc", "-workload", "PV", "-asm")
+	if !strings.Contains(out, "LAYER C1") || !strings.Contains(out, "CONFIG") {
+		t.Errorf("flexcc -asm output unexpected:\n%s", out)
+	}
+
+	out = runTool(t, dir, "flexcc", "-workload", "HG", "-analyze")
+	if !strings.Contains(out, "Dominant") {
+		t.Errorf("flexcc -analyze output unexpected:\n%s", out)
+	}
+
+	spec := filepath.Join(dir, "net.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name":"smoke","input":{"maps":1,"size":12},
+		"layers":[{"type":"conv","m":2,"k":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runTool(t, dir, "flexsim", "-spec", spec)
+	if !strings.Contains(out, "smoke") {
+		t.Errorf("flexsim -spec output unexpected:\n%s", out)
+	}
+
+	trace := filepath.Join(dir, "trace.txt")
+	out = runTool(t, dir, "flexsim", "-workload", "Example", "-scale", "4", "-trace", trace)
+	if !strings.Contains(out, "traced") {
+		t.Errorf("flexsim -trace output unexpected:\n%s", out)
+	}
+	if data, err := os.ReadFile(trace); err != nil || !strings.Contains(string(data), "mac") {
+		t.Errorf("trace file missing MAC events: %v", err)
+	}
+
+	report := filepath.Join(dir, "report.md")
+	runTool(t, dir, "flexreport", "-o", report)
+	if data, err := os.ReadFile(report); err != nil || !strings.Contains(string(data), "# FlexFlow reproduction report") {
+		t.Errorf("flexreport output wrong: %v", err)
+	}
+
+	outDir := filepath.Join(dir, "results")
+	out = runTool(t, dir, "flexbench", "-out", outDir)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("flexbench output unexpected:\n%s", out)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil || len(entries) < 12 {
+		t.Errorf("flexbench wrote %d artifacts, want ≥ 12 (%v)", len(entries), err)
+	}
+}
+
+func TestExampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	examples := map[string]string{
+		"quickstart":  "Correct",
+		"lenet":       "bit-exact",
+		"scalability": "utilization vs engine scale",
+		"compiler":    "assembly program",
+		"custom":      "bit-exact",
+		"precision":   "ULP",
+	}
+	for name, want := range examples {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

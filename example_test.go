@@ -1,0 +1,41 @@
+package flexflow_test
+
+// Runnable godoc examples: these execute under `go test` and render in
+// the package documentation.
+
+import (
+	"fmt"
+
+	"flexflow"
+)
+
+// ExampleRun evaluates LeNet-5 analytically on the paper's 16×16
+// FlexFlow configuration.
+func ExampleRun() {
+	nw, _ := flexflow.Workload("LeNet-5")
+	engine, _ := flexflow.NewEngine(flexflow.FlexFlow, 16, nw)
+	r := flexflow.Run(engine, nw)
+	fmt.Printf("%.1f%% utilization, %.0f GOPS\n", 100*r.Utilization(), r.GOPS(flexflow.ClockHz))
+	// Output: 83.5% utilization, 428 GOPS
+}
+
+// ExampleCompile shows the Section 5 workload analyzer's factor choice
+// for LeNet-5's first layer.
+func ExampleCompile() {
+	nw, _ := flexflow.Workload("LeNet-5")
+	prog := flexflow.Compile(nw, 16)
+	fmt.Println(prog.Plans[0].Factors)
+	// Output: <Tm=3 Tn=1 Tr=1 Tc=5 Ti=3 Tj=5>
+}
+
+// ExampleExecute runs the small Section 4 network functionally and
+// checks it against the software reference.
+func ExampleExecute() {
+	nw, _ := flexflow.Workload("Example")
+	in := flexflow.RandomInput(nw, 1)
+	ks := flexflow.RandomKernels(nw, 2)
+	exec, _ := flexflow.Execute(nw, in, ks, 4)
+	ref, _ := flexflow.Reference(nw, in, ks)
+	fmt.Println("bit-exact:", exec.Output.Equal(ref))
+	// Output: bit-exact: true
+}

@@ -1,0 +1,77 @@
+// LeNet-5 end to end: the workload the paper's Figure 1 motivation is
+// built on.
+//
+//	go run ./examples/lenet
+//
+// Part 1 executes LeNet-5's CONV/POOL pipeline functionally through
+// the FlexFlow engine (compiled by the Section 5 workload analyzer,
+// pooled by the 1-D pooling unit) and verifies the final feature maps
+// against the pure-software reference.
+//
+// Part 2 reproduces the Figure 1 story: how much of each rigid
+// baseline's nominal GOPS LeNet-5 actually achieves, next to FlexFlow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexflow"
+	"flexflow/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	nw, err := flexflow.Workload("LeNet-5")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Part 1: functional execution on the FlexFlow engine ---
+	input := flexflow.RandomInput(nw, 7)
+	kernels := flexflow.RandomKernels(nw, 8)
+
+	exec, err := flexflow.Execute(nw, input, kernels, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := flexflow.Reference(nw, input, kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LeNet-5 executed on a 16x16 FlexFlow engine: %d conv cycles + %d pool cycles\n",
+		exec.Cycles()-exec.PoolCycles, exec.PoolCycles)
+	fmt.Printf("final feature maps: %d@%dx%d, bit-exact vs software reference: %v\n\n",
+		exec.Output.N, exec.Output.H, exec.Output.W, exec.Output.Equal(ref))
+
+	tb := metrics.NewTable("per-layer measurements (functional simulation)",
+		"Layer", "Factors", "Cycles", "Utilization", "GOPS")
+	for _, l := range exec.Layers {
+		tb.Add(l.Layer.Name, l.Factors.String(),
+			fmt.Sprintf("%d", l.Cycles),
+			metrics.Pct(l.Utilization()),
+			fmt.Sprintf("%.1f", l.GOPS(flexflow.ClockHz)))
+	}
+	fmt.Println(tb)
+
+	// --- Part 2: the Figure 1 motivation ---
+	tb2 := metrics.NewTable("achievable vs nominal performance on LeNet-5 (Fig. 1)",
+		"Architecture", "Nominal GOPS", "Achieved GOPS", "Achieved/Nominal")
+	for _, a := range flexflow.Arches() {
+		engine, err := flexflow.NewEngine(a, 16, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := flexflow.Run(engine, nw)
+		nominal := 2 * float64(engine.PEs())
+		achieved := run.GOPS(flexflow.ClockHz)
+		tb2.Add(engine.Name(),
+			fmt.Sprintf("%.0f", nominal),
+			fmt.Sprintf("%.1f", achieved),
+			metrics.Pct(achieved/nominal))
+	}
+	fmt.Print(tb2)
+	fmt.Println("\nThe rigid baselines deliver a fraction of their nominal GOPS;")
+	fmt.Println("FlexFlow's complementary parallelism closes most of the gap.")
+}

@@ -1,0 +1,175 @@
+// Precision: why 16-bit fixed point is enough — the numeric
+// justification behind the paper's §6.1.1 datatype choice (and every
+// DianNao-era accelerator).
+//
+//	go run ./examples/precision
+//
+// Runs LeNet-5's CONV/POOL pipeline twice over the same synthetic
+// data: once in float64 software and once through the Q7.8 fixed-point
+// engine, then reports the quantization error layer by layer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"flexflow"
+	"flexflow/internal/metrics"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// floatConv is the float64 reference convolution.
+func floatConv(in [][][]float64, k [][][][]float64) [][][]float64 {
+	n := len(in)
+	h := len(in[0])
+	m := len(k)
+	kk := len(k[0][0])
+	outH := h - kk + 1
+	out := make([][][]float64, m)
+	for mi := 0; mi < m; mi++ {
+		out[mi] = make([][]float64, outH)
+		for r := 0; r < outH; r++ {
+			out[mi][r] = make([]float64, outH)
+			for c := 0; c < outH; c++ {
+				sum := 0.0
+				for ni := 0; ni < n; ni++ {
+					for i := 0; i < kk; i++ {
+						for j := 0; j < kk; j++ {
+							sum += in[ni][r+i][c+j] * k[mi][ni][i][j]
+						}
+					}
+				}
+				out[mi][r][c] = sum
+			}
+		}
+	}
+	return out
+}
+
+func floatPool(in [][][]float64, p int) [][][]float64 {
+	n := len(in)
+	outH := len(in[0]) / p
+	out := make([][][]float64, n)
+	for ni := 0; ni < n; ni++ {
+		out[ni] = make([][]float64, outH)
+		for r := 0; r < outH; r++ {
+			out[ni][r] = make([]float64, outH)
+			for c := 0; c < outH; c++ {
+				best := math.Inf(-1)
+				for i := 0; i < p; i++ {
+					for j := 0; j < p; j++ {
+						if v := in[ni][r*p+i][c*p+j]; v > best {
+							best = v
+						}
+					}
+				}
+				out[ni][r][c] = best
+			}
+		}
+	}
+	return out
+}
+
+func toFloat(m *flexflow.Map3) [][][]float64 {
+	out := make([][][]float64, m.N)
+	for n := 0; n < m.N; n++ {
+		out[n] = make([][]float64, m.H)
+		for r := 0; r < m.H; r++ {
+			out[n][r] = make([]float64, m.W)
+			for c := 0; c < m.W; c++ {
+				out[n][r][c] = m.At(n, r, c).Float()
+			}
+		}
+	}
+	return out
+}
+
+func kernelFloat(k *flexflow.Kernel4) [][][][]float64 {
+	out := make([][][][]float64, k.M)
+	for m := 0; m < k.M; m++ {
+		out[m] = make([][][]float64, k.N)
+		for n := 0; n < k.N; n++ {
+			out[m][n] = make([][]float64, k.K)
+			for i := 0; i < k.K; i++ {
+				out[m][n][i] = make([]float64, k.K)
+				for j := 0; j < k.K; j++ {
+					out[m][n][i][j] = k.At(m, n, i, j).Float()
+				}
+			}
+		}
+	}
+	return out
+}
+
+func errorStats(fx *flexflow.Map3, fl [][][]float64) (maxAbs, rms float64) {
+	var sum float64
+	var count int
+	for n := 0; n < fx.N; n++ {
+		for r := 0; r < fx.H; r++ {
+			for c := 0; c < fx.W; c++ {
+				d := fx.At(n, r, c).Float() - fl[n][r][c]
+				if a := math.Abs(d); a > maxAbs {
+					maxAbs = a
+				}
+				sum += d * d
+				count++
+			}
+		}
+	}
+	return maxAbs, math.Sqrt(sum / float64(count))
+}
+
+func main() {
+	log.SetFlags(0)
+	nw, err := flexflow.Workload("LeNet-5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := flexflow.RandomInput(nw, 13)
+	kernels := flexflow.RandomKernels(nw, 14)
+	// Scale kernels down so deep accumulations stay well inside Q7.8
+	// (as trained nets do): divide every synapse by 8.
+	for _, k := range kernels {
+		for i := range k.Data {
+			k.Data[i] /= 8
+		}
+	}
+
+	fxCur := input
+	flCur := toFloat(input)
+	convIdx := 0
+	tb := metrics.NewTable("Q7.8 engine vs float64 software, LeNet-5",
+		"Layer", "Output words", "Max |err|", "RMS err", "ULPs (max)")
+	for _, layer := range nw.Layers {
+		switch layer.Kind {
+		case nn.Conv:
+			engine, _ := flexflow.NewEngine(flexflow.FlexFlow, 16, nw)
+			sim := engine.(interface {
+				Simulate(nn.ConvLayer, *flexflow.Map3, *flexflow.Kernel4) (*flexflow.Map3, flexflow.LayerResult, error)
+			})
+			out, _, err := sim.Simulate(layer.Conv, fxCur, kernels[convIdx])
+			if err != nil {
+				log.Fatal(err)
+			}
+			flCur = floatConv(flCur, kernelFloat(kernels[convIdx]))
+			fxCur = out
+			maxAbs, rms := errorStats(fxCur, flCur)
+			tb.Add(layer.Conv.Name,
+				fmt.Sprintf("%d", fxCur.Words()),
+				fmt.Sprintf("%.5f", maxAbs),
+				fmt.Sprintf("%.5f", rms),
+				fmt.Sprintf("%.1f", maxAbs*256))
+			convIdx++
+		case nn.Pool:
+			out, _ := tensor.Pool(fxCur, layer.Pool.P, layer.Pool.Kind), 0
+			fxCur = out
+			flCur = floatPool(flCur, layer.Pool.P)
+		}
+	}
+	fmt.Println(tb)
+	fmt.Println("One ULP of Q7.8 is 1/256 ≈ 0.0039: the fixed-point engine stays")
+	fmt.Println("within a few ULPs of float64 through the whole pipeline, which is")
+	fmt.Println("why the paper's 16-bit datapath loses no accuracy that matters.")
+}

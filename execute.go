@@ -1,0 +1,299 @@
+package flexflow
+
+import (
+	"fmt"
+
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// ExecResult is the outcome of a functional end-to-end Execute run.
+type ExecResult struct {
+	// Output is the feature-map stack leaving the last layer.
+	Output *Map3
+	// Layers holds one measurement per CONV layer, in order.
+	Layers []LayerResult
+	// PoolCycles is the total time spent in the 1-D pooling unit.
+	PoolCycles int64
+}
+
+// Cycles returns the total engine cycles (convolution + pooling).
+func (r ExecResult) Cycles() int64 {
+	var c int64
+	for _, l := range r.Layers {
+		c += l.Cycles
+	}
+	return c + r.PoolCycles
+}
+
+// RandomKernels builds deterministic pseudo-random kernel sets for
+// every CONV layer of a network (one Kernel4 per layer, seeded).
+func RandomKernels(nw *Network, seed uint64) []*Kernel4 {
+	var out []*Kernel4
+	for i, l := range nw.ConvLayers() {
+		k := tensor.NewKernel4(l.M, l.N, l.K)
+		k.FillPattern(seed + uint64(i)*7919)
+		out = append(out, k)
+	}
+	return out
+}
+
+// RandomInput builds a deterministic pseudo-random input stack matching
+// the network's input shape.
+func RandomInput(nw *Network, seed uint64) *Map3 {
+	in := tensor.NewMap3(nw.InputN, nw.InputS, nw.InputS)
+	in.FillPattern(seed)
+	return in
+}
+
+// Execute runs a network end to end through a FlexFlow engine,
+// functionally: every CONV layer goes through the cycle-level PE-array
+// simulator (configured by the compiled program, i.e. the instruction
+// decoder path), every POOL layer through the 1-D pooling unit, and —
+// when weight vectors are supplied — every FC layer as the equivalent
+// 1×1 CONV problem on the same array. The network must chain exactly
+// (Validate); kernels supplies one kernel set per CONV layer and
+// fcWeights one row-major Out×In weight slice per FC layer. Without
+// fcWeights, execution stops at the first classifier with the tensor
+// that feeds it.
+func Execute(nw *Network, input *Map3, kernels []*Kernel4, scale int, fcWeights ...[]Word) (ExecResult, error) {
+	return ExecuteTraced(nw, input, kernels, scale, nil, fcWeights...)
+}
+
+// ExecuteTraced is Execute with a dataflow tracer attached to the
+// engine: every MAC issue and output drain is reported as a sim.Event
+// (the Fig. 5-style snapshot stream). Tracing is only practical for
+// small networks.
+func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, tracer sim.Tracer, fcWeights ...[]Word) (ExecResult, error) {
+	if err := nw.Validate(); err != nil {
+		return ExecResult{}, fmt.Errorf("flexflow: network does not chain: %w", err)
+	}
+	if got, want := len(kernels), len(nw.ConvLayers()); got != want {
+		return ExecResult{}, fmt.Errorf("flexflow: %d kernel sets for %d CONV layers", got, want)
+	}
+
+	engine := core.New(scale)
+	engine.Chooser = compiler.Plan(nw, scale).Chooser()
+	engine.Tracer = tracer
+	pool := core.NewPoolUnit(scale)
+
+	res := ExecResult{}
+	cur := input
+	convIdx := 0
+	fcIdx := 0
+	for _, layer := range nw.Layers {
+		switch layer.Kind {
+		case nn.Conv:
+			out, lr, err := engine.Simulate(layer.Conv, cur, kernels[convIdx])
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Conv.Name, err)
+			}
+			if layer.Conv.ReLU {
+				out = tensor.ReLU(out)
+			}
+			res.Layers = append(res.Layers, lr)
+			cur = out
+			convIdx++
+		case nn.Pool:
+			out, err := pool.Apply(cur, layer.Pool.P, layer.Pool.Kind)
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
+			}
+			cur = out
+		case nn.FC:
+			// A classifier layer is a matrix–vector product, which the
+			// convolutional unit computes as a CONV layer with M = Out,
+			// N = In, S = 1, K = 1: the flattened activations become In
+			// single-neuron feature maps and the weight matrix an
+			// In-deep stack of 1×1 kernels.
+			if fcIdx >= len(fcWeights) {
+				// No weights supplied: stop at the classifier input,
+				// as the paper's engine evaluation does.
+				res.Output = cur
+				res.PoolCycles = pool.Cycles()
+				return res, nil
+			}
+			conv, flat, kset, err := fcAsConv(layer.FC, cur, fcWeights[fcIdx])
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
+			}
+			out, lr, err := engine.Simulate(conv, flat, kset)
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
+			}
+			res.Layers = append(res.Layers, lr)
+			// Back to a 1×1 stack of Out maps for any following layer.
+			cur = out
+			fcIdx++
+		}
+	}
+	res.Output = cur
+	res.PoolCycles = pool.Cycles()
+	return res, nil
+}
+
+// fcAsConv rewrites a classifier layer over the current activations as
+// the equivalent 1×1 CONV problem.
+func fcAsConv(fc nn.FCLayer, cur *Map3, weights []Word) (nn.ConvLayer, *Map3, *Kernel4, error) {
+	total := cur.Words()
+	if fc.In != total {
+		return nn.ConvLayer{}, nil, nil, fmt.Errorf("classifier expects %d inputs, activations hold %d", fc.In, total)
+	}
+	if len(weights) != fc.In*fc.Out {
+		return nn.ConvLayer{}, nil, nil, fmt.Errorf("classifier needs %d weights, got %d", fc.In*fc.Out, len(weights))
+	}
+	flat := tensor.NewMap3(total, 1, 1)
+	x := 0
+	for n := 0; n < cur.N; n++ {
+		for _, v := range cur.Maps[n].Data {
+			flat.Set(x, 0, 0, v)
+			x++
+		}
+	}
+	kset := tensor.NewKernel4(fc.Out, fc.In, 1)
+	for m := 0; m < fc.Out; m++ {
+		for n := 0; n < fc.In; n++ {
+			kset.Set(m, n, 0, 0, weights[m*fc.In+n])
+		}
+	}
+	conv := nn.ConvLayer{Name: fc.Name, M: fc.Out, N: fc.In, S: 1, K: 1}
+	return conv, flat, kset, nil
+}
+
+// Reference computes the same network purely in software (golden
+// convolution, pooling and fully connected layers), for validating
+// Execute.
+func Reference(nw *Network, input *Map3, kernels []*Kernel4, fcWeights ...[]Word) (*Map3, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	cur := input
+	convIdx := 0
+	fcIdx := 0
+	for _, layer := range nw.Layers {
+		switch layer.Kind {
+		case nn.Conv:
+			cur = tensor.ConvStride(cur, kernels[convIdx], layer.Conv.Str())
+			if layer.Conv.ReLU {
+				cur = tensor.ReLU(cur)
+			}
+			convIdx++
+		case nn.Pool:
+			cur = tensor.Pool(cur, layer.Pool.P, layer.Pool.Kind)
+		case nn.FC:
+			if fcIdx >= len(fcWeights) {
+				return cur, nil
+			}
+			outs := tensor.FullyConnected(cur, fcWeights[fcIdx], layer.FC.Out)
+			next := tensor.NewMap3(layer.FC.Out, 1, 1)
+			for m, v := range outs {
+				next.Set(m, 0, 0, v)
+			}
+			cur = next
+			fcIdx++
+		}
+	}
+	return cur, nil
+}
+
+// ExecuteAssembly is the full instruction-decoder path: it parses a
+// FlexFlow assembly program (the Compile → Program.Assembly format),
+// rebuilds the network topology from the LAYER/POOL directives,
+// installs the CONFIG unrolling factors, and executes functionally.
+func ExecuteAssembly(asm string, input *Map3, kernels []*Kernel4, scale int) (ExecResult, error) {
+	prog, err := compiler.ParseAssembly(asm)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	nw := prog.BuildNetwork()
+	if err := nw.Validate(); err != nil {
+		return ExecResult{}, fmt.Errorf("flexflow: decoded program does not chain: %w", err)
+	}
+	if got, want := len(kernels), len(prog.Plans); got != want {
+		return ExecResult{}, fmt.Errorf("flexflow: %d kernel sets for %d program layers", got, want)
+	}
+
+	engine := core.New(scale)
+	prog.D = scale
+	engine.Chooser = prog.Chooser()
+	pool := core.NewPoolUnit(scale)
+
+	res := ExecResult{}
+	cur := input
+	convIdx := 0
+	for _, layer := range nw.Layers {
+		switch layer.Kind {
+		case nn.Conv:
+			out, lr, err := engine.Simulate(layer.Conv, cur, kernels[convIdx])
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Conv.Name, err)
+			}
+			res.Layers = append(res.Layers, lr)
+			cur = out
+			convIdx++
+		case nn.Pool:
+			out, err := pool.Apply(cur, layer.Pool.P, layer.Pool.Kind)
+			if err != nil {
+				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
+			}
+			cur = out
+		}
+	}
+	res.Output = cur
+	res.PoolCycles = pool.Cycles()
+	return res, nil
+}
+
+// ExecuteBatch runs several input images through the network on the
+// same engine back to back, as the accelerator would process a batch:
+// the compiled plan and kernel working sets are reused, only the
+// activations stream. Results are returned per image, in order.
+func ExecuteBatch(nw *Network, inputs []*Map3, kernels []*Kernel4, scale int, fcWeights ...[]Word) ([]ExecResult, error) {
+	out := make([]ExecResult, 0, len(inputs))
+	for i, in := range inputs {
+		r, err := Execute(nw, in, kernels, scale, fcWeights...)
+		if err != nil {
+			return nil, fmt.Errorf("flexflow: batch image %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BatchSummary aggregates a batch run with kernel residency taken into
+// account: the weights stay in the kernel buffer across images, so the
+// batch pays their buffer traffic once while activations stream per
+// image. AmortizedVolume is the per-image buffer↔PE traffic under that
+// residency.
+type BatchSummary struct {
+	Images          int
+	TotalCycles     int64
+	PerImageCycles  int64
+	TotalVolume     int64 // words, kernels counted once
+	AmortizedVolume int64 // words per image
+}
+
+// Summarize folds per-image batch results into a BatchSummary.
+func Summarize(results []ExecResult) BatchSummary {
+	s := BatchSummary{Images: len(results)}
+	if len(results) == 0 {
+		return s
+	}
+	var kernelOnce, perImage int64
+	for i, r := range results {
+		s.TotalCycles += r.Cycles()
+		for _, l := range r.Layers {
+			if i == 0 {
+				kernelOnce += l.KernelLoads
+			}
+			perImage += l.NeuronLoads + l.NeuronStores
+		}
+	}
+	s.PerImageCycles = s.TotalCycles / int64(len(results))
+	s.TotalVolume = kernelOnce + perImage
+	s.AmortizedVolume = s.TotalVolume / int64(len(results))
+	return s
+}

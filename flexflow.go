@@ -1,0 +1,175 @@
+// Package flexflow is a from-scratch reproduction of the FlexFlow CNN
+// accelerator (Lu et al., HPCA 2017) together with the three baseline
+// dataflow architectures the paper compares against. It provides:
+//
+//   - cycle-level functional simulators for all four architectures
+//     (Systolic, 2D-Mapping, Tiling, FlexFlow) that move 16-bit
+//     fixed-point operands through explicit PE dataflow and are
+//     validated bit-exactly against a golden software convolution;
+//   - analytic performance/traffic models validated against the
+//     simulators, fast enough for the AlexNet/VGG-scale workloads;
+//   - the unrolling-factor compiler of the paper's Section 5;
+//   - a calibrated 65 nm energy/area model; and
+//   - generators that regenerate every table and figure of the paper's
+//     evaluation (see the internal/experiments package and the
+//     repository benchmarks).
+//
+// This root package is the facade: it re-exports the types a user
+// composes and offers one-call helpers for the common flows. See
+// examples/ for runnable walk-throughs.
+package flexflow
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/energy"
+	"flexflow/internal/fixed"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tensor"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+// Re-exported core types. The definitions live in internal packages;
+// these aliases are the public names.
+type (
+	// Engine is the common interface of the four architecture models.
+	Engine = arch.Engine
+	// LayerResult and RunResult carry cycle and traffic measurements.
+	LayerResult = arch.LayerResult
+	RunResult   = arch.RunResult
+	// T is the loop-unrolling factor vector ⟨Tm,Tn,Tr,Tc,Ti,Tj⟩.
+	T = arch.T
+	// Network, ConvLayer and friends describe CNN topologies.
+	Network   = nn.Network
+	ConvLayer = nn.ConvLayer
+	// Map3 and Kernel4 are fixed-point operand tensors; Word is the
+	// 16-bit Q7.8 fixed-point storage type and Acc the 32-bit
+	// accumulator.
+	Map3    = tensor.Map3
+	Kernel4 = tensor.Kernel4
+	Word    = fixed.Word
+	Acc     = fixed.Acc
+	// Program is a compiled FlexFlow configuration.
+	Program = compiler.Program
+	// EnergyParams and Breakdown form the 65 nm power model.
+	EnergyParams    = energy.Params
+	EnergyBreakdown = energy.Breakdown
+)
+
+// Arch names one of the four architectures.
+type Arch string
+
+// The four architectures of the paper's evaluation, plus the
+// row-stationary extension comparator.
+const (
+	Systolic      Arch = "Systolic"
+	Mapping2D     Arch = "2D-Mapping"
+	Tiling        Arch = "Tiling"
+	FlexFlow      Arch = "FlexFlow"
+	RowStationary Arch = "Row-Stationary"
+)
+
+// Arches lists the paper's four architectures in its order
+// (RowStationary is the extension comparator and is not included).
+func Arches() []Arch { return []Arch{Systolic, Mapping2D, Tiling, FlexFlow} }
+
+// ClockHz is the evaluation clock frequency (1 GHz).
+const ClockHz = 1e9
+
+// NewEngine builds an engine of the given architecture at the given
+// scale (the PE-array edge; 16 reproduces the paper's evaluation
+// configuration). When nw is non-nil the engine is tuned for that
+// workload: the Systolic baseline picks its kernel-matched array size
+// and FlexFlow compiles the coupled layer plan.
+func NewEngine(a Arch, scale int, nw *Network) (Engine, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("flexflow: scale must be positive, got %d", scale)
+	}
+	switch a {
+	case Systolic:
+		k0 := 6
+		if nw != nil && nw.Name == "AlexNet" {
+			k0 = 11
+		}
+		arrays := scale * scale / (k0 * k0)
+		if arrays < 1 {
+			arrays = 1
+		}
+		return systolic.New(k0, arrays), nil
+	case Mapping2D:
+		return mapping2d.New(scale), nil
+	case Tiling:
+		return tiling.New(scale, scale), nil
+	case RowStationary:
+		// Eyeriss-like geometry scaled to the requested PE budget.
+		return rowstat.New(scale, scale), nil
+	case FlexFlow:
+		e := core.New(scale)
+		if nw != nil {
+			e.Chooser = compiler.Plan(nw, scale).Chooser()
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("flexflow: unknown architecture %q", a)
+	}
+}
+
+// Workloads returns the six Table 1 networks (PV, FR, LeNet-5, HG,
+// AlexNet, VGG-11).
+func Workloads() []*Network { return workloads.All() }
+
+// Workload returns one workload by name ("LeNet-5", "AlexNet", …, or
+// "Example" for the small Section 4 running example), or an error.
+func Workload(name string) (*Network, error) {
+	if nw := workloads.ByName(name); nw != nil {
+		return nw, nil
+	}
+	return nil, fmt.Errorf("flexflow: unknown workload %q", name)
+}
+
+// Run analytically evaluates every CONV layer of the network on the
+// engine (cycles, utilization, traffic).
+func Run(e Engine, nw *Network) RunResult { return arch.RunModel(e, nw) }
+
+// Compile runs the Section 5 workload analyzer: unrolling factors for
+// every CONV layer with the inter-layer IADP coupling, ready for
+// Program.Assembly.
+func Compile(nw *Network, scale int) *Program { return compiler.Plan(nw, scale) }
+
+// CompileUncoupled optimizes each layer independently (the upper bound
+// the coupled plan is measured against).
+func CompileUncoupled(nw *Network, scale int) *Program { return compiler.PlanUncoupled(nw, scale) }
+
+// CompileBalanced compiles with a joint cycles+traffic objective:
+// lambda > 0 lets the planner pay cycles to cut buffer→PE data
+// movement (energy-bound deployments); lambda = 0 reduces to Compile.
+func CompileBalanced(nw *Network, scale int, lambda float64) *Program {
+	return compiler.PlanBalanced(nw, scale, lambda)
+}
+
+// DefaultEnergy returns the calibrated 65 nm energy parameters.
+func DefaultEnergy() EnergyParams { return energy.Default65nm() }
+
+// Energy charges the 65 nm model against a run's measured counters.
+func Energy(r RunResult, scale int) EnergyBreakdown {
+	return energy.Default65nm().RunEnergy(r, scale)
+}
+
+// PowerMW returns the average on-chip power of a run at ClockHz.
+func PowerMW(r RunResult, scale int) float64 {
+	return energy.PowerMW(Energy(r, scale), r.Cycles(), ClockHz)
+}
+
+// Area returns the modelled chip area (mm²) of an architecture at the
+// paper's buffer configuration.
+func Area(a Arch, pes int) float64 {
+	local := map[Arch]int{Systolic: 4, Mapping2D: 8, Tiling: 2, FlexFlow: 512, RowStationary: 512}[a]
+	return energy.Area(string(a), pes, local, 64*1024)
+}

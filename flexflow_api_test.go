@@ -1,0 +1,371 @@
+package flexflow
+
+import (
+	"strings"
+	"testing"
+
+	"flexflow/internal/nn"
+)
+
+func TestNewEngineAllArches(t *testing.T) {
+	nw, err := Workload("LeNet-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Arches() {
+		e, err := NewEngine(a, 16, nw)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if e.Name() != string(a) {
+			t.Errorf("engine name %q != arch %q", e.Name(), a)
+		}
+		if e.PEs() <= 0 {
+			t.Errorf("%s: no PEs", a)
+		}
+	}
+}
+
+func TestNewEngineErrors(t *testing.T) {
+	if _, err := NewEngine("Quantum", 16, nil); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := NewEngine(FlexFlow, 0, nil); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Errorf("Workloads() = %d, want 6", len(Workloads()))
+	}
+	if _, err := Workload("AlexNet"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Workload("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	nw, _ := Workload("LeNet-5")
+	e, _ := NewEngine(FlexFlow, 16, nw)
+	r := Run(e, nw)
+	if r.Cycles() <= 0 || r.MACs() != nw.ConvLayers()[0].MACs()+nw.ConvLayers()[1].MACs() {
+		t.Errorf("Run metrics wrong: cycles=%d macs=%d", r.Cycles(), r.MACs())
+	}
+	if u := r.Utilization(); u < 0.7 || u > 1.0 {
+		t.Errorf("utilization = %v", u)
+	}
+	if g := r.GOPS(ClockHz); g < 200 {
+		t.Errorf("GOPS = %v", g)
+	}
+}
+
+func TestCompileAssembly(t *testing.T) {
+	nw, _ := Workload("LeNet-5")
+	prog := Compile(nw, 16)
+	if !strings.Contains(prog.Assembly(), "LAYER C1") {
+		t.Error("assembly missing C1")
+	}
+	unc := CompileUncoupled(nw, 16)
+	if len(unc.Plans) != len(prog.Plans) {
+		t.Error("plan length mismatch")
+	}
+}
+
+func TestEnergyAndPower(t *testing.T) {
+	nw, _ := Workload("LeNet-5")
+	e, _ := NewEngine(FlexFlow, 16, nw)
+	r := Run(e, nw)
+	b := Energy(r, 16)
+	if b.ChipPJ() <= 0 || b.TotalPJ() < b.ChipPJ() {
+		t.Errorf("energy breakdown wrong: %+v", b)
+	}
+	if p := PowerMW(r, 16); p < 300 || p > 2000 {
+		t.Errorf("power = %v mW", p)
+	}
+}
+
+func TestAreaFacade(t *testing.T) {
+	if a := Area(FlexFlow, 256); a < 3 || a > 5 {
+		t.Errorf("FlexFlow area = %v", a)
+	}
+}
+
+func TestExecuteMatchesReference(t *testing.T) {
+	nw, err := Workload("Example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := RandomInput(nw, 1)
+	ks := RandomKernels(nw, 2)
+	got, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(nw, in, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Output.Equal(want) {
+		t.Error("Execute output differs from software reference")
+	}
+	if got.Cycles() <= 0 || got.PoolCycles <= 0 {
+		t.Errorf("cycles not accounted: %d conv, %d pool", got.Cycles(), got.PoolCycles)
+	}
+	if len(got.Layers) != 2 {
+		t.Errorf("layer results = %d, want 2", len(got.Layers))
+	}
+}
+
+func TestExecuteValidatesInputs(t *testing.T) {
+	nw, _ := Workload("Example")
+	in := RandomInput(nw, 1)
+	if _, err := Execute(nw, in, nil, 4); err == nil {
+		t.Error("missing kernels accepted")
+	}
+	bad, _ := Workload("AlexNet") // published shapes do not chain
+	if _, err := Execute(bad, RandomInput(bad, 1), RandomKernels(bad, 1), 4); err == nil {
+		t.Error("non-chaining network accepted")
+	}
+}
+
+func TestExecuteLeNetEndToEnd(t *testing.T) {
+	// LeNet-5's published CONV/POOL shapes chain; run the real thing.
+	nw, _ := Workload("LeNet-5")
+	in := RandomInput(nw, 3)
+	ks := RandomKernels(nw, 4)
+	got, err := Execute(nw, in, ks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(nw, in, ks)
+	if !got.Output.Equal(want) {
+		t.Error("LeNet-5 execution differs from software reference")
+	}
+	if got.Output.N != 16 || got.Output.H != 10 {
+		t.Errorf("output shape %d@%dx%d, want 16@10x10", got.Output.N, got.Output.H, got.Output.W)
+	}
+}
+
+func TestExecuteWithFCLayer(t *testing.T) {
+	// Example network + a 10-way classifier, executed on the engine as
+	// a 1×1 CONV and validated against the software reference.
+	nw, _ := Workload("Example")
+	last := nw.ConvLayers()[len(nw.ConvLayers())-1]
+	inCount := last.M * last.S * last.S
+	nw.Layers = append(nw.Layers, nn.Layer{
+		Kind: nn.FC,
+		FC:   nn.FCLayer{Name: "F1", In: inCount, Out: 10},
+	})
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	in := RandomInput(nw, 9)
+	ks := RandomKernels(nw, 10)
+	weights := make([]Word, inCount*10)
+	for i := range weights {
+		weights[i] = Word(int16(i%37) - 18)
+	}
+
+	exec, err := Execute(nw, in, ks, 8, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(nw, in, ks, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Output.Equal(ref) {
+		t.Error("FC-on-engine output differs from software reference")
+	}
+	if exec.Output.N != 10 || exec.Output.H != 1 {
+		t.Errorf("classifier output shape %d@%dx%d", exec.Output.N, exec.Output.H, exec.Output.W)
+	}
+	// Three engine layers measured: C1, C2, F1.
+	if len(exec.Layers) != 3 {
+		t.Errorf("layer results = %d, want 3", len(exec.Layers))
+	}
+}
+
+func TestExecuteWithoutFCWeightsStopsAtClassifier(t *testing.T) {
+	nw, _ := Workload("Example")
+	last := nw.ConvLayers()[len(nw.ConvLayers())-1]
+	inCount := last.M * last.S * last.S
+	nw.Layers = append(nw.Layers, nn.Layer{
+		Kind: nn.FC,
+		FC:   nn.FCLayer{Name: "F1", In: inCount, Out: 10},
+	})
+	in := RandomInput(nw, 9)
+	ks := RandomKernels(nw, 10)
+	exec, err := Execute(nw, in, ks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Output.N != last.M {
+		t.Errorf("should stop at classifier input: got %d maps", exec.Output.N)
+	}
+}
+
+func TestExecuteStridedNetwork(t *testing.T) {
+	// A chaining strided network end to end on the engine.
+	nw := &Network{
+		Name:   "strided",
+		InputN: 1,
+		InputS: 11,
+		Layers: []nn.Layer{
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "C1", M: 3, N: 1, S: 5, K: 3, Stride: 2}},
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "C2", M: 2, N: 3, S: 2, K: 2, Stride: 3}},
+		},
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := RandomInput(nw, 11)
+	ks := RandomKernels(nw, 12)
+	exec, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := Reference(nw, in, ks)
+	if !exec.Output.Equal(ref) {
+		t.Error("strided execution differs from software reference")
+	}
+}
+
+func TestExecuteAssemblyRoundTrip(t *testing.T) {
+	// Compile the Example network to assembly text, decode it, execute
+	// the decoded program, and match against the direct execution.
+	nw, _ := Workload("Example")
+	asm := Compile(nw, 4).Assembly()
+	if !strings.Contains(asm, "POOL P=2") {
+		t.Fatalf("assembly lost the pooling layer:\n%s", asm)
+	}
+	in := RandomInput(nw, 21)
+	ks := RandomKernels(nw, 22)
+
+	viaAsm, err := ExecuteAssembly(asm, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaAsm.Output.Equal(direct.Output) {
+		t.Error("decoded-program execution differs from direct execution")
+	}
+	if viaAsm.Cycles() != direct.Cycles() {
+		t.Errorf("decoded cycles %d != direct %d", viaAsm.Cycles(), direct.Cycles())
+	}
+}
+
+func TestExecuteAssemblyRejectsGarbage(t *testing.T) {
+	if _, err := ExecuteAssembly("NOPE", nil, nil, 4); err == nil {
+		t.Error("garbage assembly accepted")
+	}
+}
+
+func TestExecuteBatch(t *testing.T) {
+	nw, _ := Workload("Example")
+	ks := RandomKernels(nw, 5)
+	inputs := []*Map3{RandomInput(nw, 1), RandomInput(nw, 2), RandomInput(nw, 3)}
+	results, err := ExecuteBatch(nw, inputs, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Same weights, different inputs: outputs differ between images but
+	// match per-image references.
+	if results[0].Output.Equal(results[1].Output) {
+		t.Error("distinct inputs produced identical outputs")
+	}
+	for i, in := range inputs {
+		ref, _ := Reference(nw, in, ks)
+		if !results[i].Output.Equal(ref) {
+			t.Errorf("image %d differs from reference", i)
+		}
+	}
+}
+
+func TestExecuteWithReLU(t *testing.T) {
+	nw, _ := Workload("Example")
+	for i := range nw.Layers {
+		if nw.Layers[i].Kind == nn.Conv {
+			nw.Layers[i].Conv.ReLU = true
+		}
+	}
+	in := RandomInput(nw, 31)
+	ks := RandomKernels(nw, 32)
+	exec, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := Reference(nw, in, ks)
+	if !exec.Output.Equal(ref) {
+		t.Error("ReLU execution differs from reference")
+	}
+	// Rectified outputs are non-negative.
+	for n := 0; n < exec.Output.N; n++ {
+		for _, v := range exec.Output.Maps[n].Data {
+			if v < 0 {
+				t.Fatal("negative value survived ReLU")
+			}
+		}
+	}
+	// And differs from the non-activated run (the activation did something).
+	plain, _ := Workload("Example")
+	plainExec, err := Execute(plain, RandomInput(plain, 31), RandomKernels(plain, 32), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Output.Equal(plainExec.Output) {
+		t.Error("ReLU had no effect")
+	}
+}
+
+func TestBatchSummaryAmortizesKernels(t *testing.T) {
+	nw, _ := Workload("Example")
+	ks := RandomKernels(nw, 5)
+	inputs := []*Map3{RandomInput(nw, 1), RandomInput(nw, 2), RandomInput(nw, 3), RandomInput(nw, 4)}
+	results, err := ExecuteBatch(nw, inputs, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	if s.Images != 4 || s.TotalCycles <= 0 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	// Amortized per-image volume must be below a single image's full
+	// volume (kernels counted once across the batch).
+	single := results[0]
+	var singleVolume int64
+	for _, l := range single.Layers {
+		singleVolume += l.DataVolume()
+	}
+	if s.AmortizedVolume >= singleVolume {
+		t.Errorf("amortized %d should be below single-image %d", s.AmortizedVolume, singleVolume)
+	}
+	if Summarize(nil).Images != 0 {
+		t.Error("empty batch summary wrong")
+	}
+}
+
+func TestRowStationaryViaFacade(t *testing.T) {
+	nw, _ := Workload("LeNet-5")
+	e, err := NewEngine(RowStationary, 16, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "Row-Stationary" || e.PEs() != 256 {
+		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
+	}
+	r := Run(e, nw)
+	if u := r.Utilization(); u <= 0.2 || u > 1 {
+		t.Errorf("RS utilization %v implausible", u)
+	}
+}

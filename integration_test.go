@@ -1,0 +1,165 @@
+package flexflow
+
+// Cross-architecture integration tests: the four engines are different
+// machines but compute the same mathematics. Every engine must produce
+// bit-identical outputs for identical operands, and every measurement
+// must satisfy the architectural invariants.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexflow/internal/rowstat"
+	"flexflow/internal/tensor"
+)
+
+func randomLayer(rng *rand.Rand) ConvLayer {
+	return ConvLayer{
+		Name: "rand",
+		M:    1 + rng.Intn(5),
+		N:    1 + rng.Intn(3),
+		S:    2 + rng.Intn(6),
+		K:    1 + rng.Intn(4),
+	}
+}
+
+func operandsFor(l ConvLayer, seed uint64) (*Map3, *Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestAllEnginesAgreeBitExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 10; trial++ {
+		l := randomLayer(rng)
+		in, k := operandsFor(l, uint64(trial))
+		golden := tensor.Conv(in, k)
+		engines := make([]Engine, 0, 5)
+		for _, a := range Arches() {
+			e, err := NewEngine(a, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, e)
+		}
+		// The row-stationary extension engine computes the same math.
+		engines = append(engines, rowstat.New(6, 5))
+		for _, e := range engines {
+			out, res, err := e.Simulate(l, in, k)
+			if err != nil {
+				t.Fatalf("%s on %+v: %v", e.Name(), l, err)
+			}
+			if !out.Equal(golden) {
+				t.Errorf("%s on %+v: output differs from golden", e.Name(), l)
+			}
+			if res.MACs != l.MACs() {
+				t.Errorf("%s on %+v: MACs %d != %d", e.Name(), l, res.MACs, l.MACs())
+			}
+		}
+	}
+}
+
+func TestEngineInvariants(t *testing.T) {
+	// For every workload × architecture × two scales: utilization in
+	// (0,1], positive cycles, traffic at least the compulsory working
+	// set, FlexFlow leading utilization.
+	for _, nw := range Workloads() {
+		for _, scale := range []int{8, 16} {
+			var ffUtil float64
+			var others []float64
+			for _, a := range Arches() {
+				e, err := NewEngine(a, scale, nw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := Run(e, nw)
+				u := r.Utilization()
+				if u <= 0 || u > 1.0+1e-9 {
+					t.Errorf("%s/%s@%d: utilization %v out of (0,1]", nw.Name, a, scale, u)
+				}
+				if r.Cycles() <= 0 {
+					t.Errorf("%s/%s@%d: no cycles", nw.Name, a, scale)
+				}
+				for i, lr := range r.Layers {
+					l := nw.ConvLayers()[i]
+					if lr.KernelLoads < l.KernelWords() {
+						t.Errorf("%s/%s@%d %s: kernel loads %d below working set %d",
+							nw.Name, a, scale, l.Name, lr.KernelLoads, l.KernelWords())
+					}
+					if lr.NeuronStores < l.OutputWords() {
+						t.Errorf("%s/%s@%d %s: stores %d below outputs %d",
+							nw.Name, a, scale, l.Name, lr.NeuronStores, l.OutputWords())
+					}
+				}
+				if a == FlexFlow {
+					ffUtil = u
+				} else {
+					others = append(others, u)
+				}
+			}
+			// FlexFlow leads at the paper's 16×16 evaluation scale. At
+			// other scales a rigid baseline can luck into a perfect
+			// fit (e.g. 2D-Mapping on HG at 8×8, whose map sizes are
+			// exact multiples of 8) — that is precisely the paper's
+			// point about rigidity, so no ordering is asserted there.
+			if scale == 16 {
+				for _, u := range others {
+					if u >= ffUtil {
+						t.Errorf("%s@%d: a baseline (%.3f) matches FlexFlow (%.3f)", nw.Name, scale, u, ffUtil)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuickFlexFlowMatchesGolden(t *testing.T) {
+	// Property: for any small layer shape and seed, the FlexFlow engine
+	// computes the golden convolution bit-exactly.
+	f := func(m, n, s, k, seed uint8) bool {
+		l := ConvLayer{
+			Name: "q",
+			M:    1 + int(m%4),
+			N:    1 + int(n%3),
+			S:    1 + int(s%6),
+			K:    1 + int(k%4),
+		}
+		in, kn := operandsFor(l, uint64(seed))
+		e, err := NewEngine(FlexFlow, 4, nil)
+		if err != nil {
+			return false
+		}
+		out, _, err := e.Simulate(l, in, kn)
+		if err != nil {
+			return false
+		}
+		return out.Equal(tensor.Conv(in, kn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUtilizationNeverExceedsOne(t *testing.T) {
+	f := func(m, n, s, k uint8, scaleSel uint8) bool {
+		l := ConvLayer{
+			M: 1 + int(m%40), N: 1 + int(n%40),
+			S: 1 + int(s%40), K: 1 + int(k%8),
+		}
+		scale := []int{4, 8, 16}[scaleSel%3]
+		e, err := NewEngine(FlexFlow, scale, nil)
+		if err != nil {
+			return false
+		}
+		res := e.Model(l)
+		u := res.Utilization()
+		return u > 0 && u <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package arch holds the abstractions shared by all four accelerator
+// architectures: the loop-unrolling factor vector T, the utilization
+// equations of the paper's Section 5, the Engine interface every
+// architecture implements, and the per-layer/per-network result
+// records that the metrics and energy models consume.
+package arch
+
+import (
+	"fmt"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// T is the unrolling-factor vector ⟨T_m, T_n, T_r, T_c, T_i, T_j⟩ of
+// Figure 4: the parallel degree of each of the six CONV loops.
+type T struct {
+	Tm int // output feature maps processed in parallel
+	Tn int // input feature maps processed in parallel
+	Tr int // output neuron rows processed in parallel
+	Tc int // output neuron columns processed in parallel
+	Ti int // kernel rows processed in parallel
+	Tj int // kernel columns processed in parallel
+}
+
+// Rows returns the number of PE rows a FlexFlow engine needs for these
+// factors: T_m·T_r·T_c (one output neuron per PE row).
+func (t T) Rows() int { return t.Tm * t.Tr * t.Tc }
+
+// Cols returns the number of PE columns needed: T_n·T_i·T_j (one
+// operand pair per PE within a row).
+func (t T) Cols() int { return t.Tn * t.Ti * t.Tj }
+
+// MACsPerCycle is the number of multiply-accumulates issued per cycle
+// when every unrolled lane is busy.
+func (t T) MACsPerCycle() int { return t.Rows() * t.Cols() }
+
+// String renders the factors in the paper's ⟨...⟩ notation.
+func (t T) String() string {
+	return fmt.Sprintf("<Tm=%d Tn=%d Tr=%d Tc=%d Ti=%d Tj=%d>", t.Tm, t.Tn, t.Tr, t.Tc, t.Ti, t.Tj)
+}
+
+// Validate checks Constraint (1) of Section 5 for a D×D convolutional
+// unit running layer l, with T_r/T_c additionally bounded by rcBound
+// (= P·K′ of the next CONV layer; pass l.S when there is no next layer).
+func (t T) Validate(l nn.ConvLayer, d, rcBound int) error {
+	switch {
+	case t.Tm <= 0 || t.Tm > l.M:
+		return fmt.Errorf("arch: Tm=%d out of (0,%d]", t.Tm, l.M)
+	case t.Tn <= 0 || t.Tn > l.N:
+		return fmt.Errorf("arch: Tn=%d out of (0,%d]", t.Tn, l.N)
+	case t.Ti <= 0 || t.Ti > l.K:
+		return fmt.Errorf("arch: Ti=%d out of (0,%d]", t.Ti, l.K)
+	case t.Tj <= 0 || t.Tj > l.K:
+		return fmt.Errorf("arch: Tj=%d out of (0,%d]", t.Tj, l.K)
+	case t.Tr <= 0 || t.Tr > rcBound:
+		return fmt.Errorf("arch: Tr=%d out of (0,%d]", t.Tr, rcBound)
+	case t.Tc <= 0 || t.Tc > rcBound:
+		return fmt.Errorf("arch: Tc=%d out of (0,%d]", t.Tc, rcBound)
+	case t.Cols() > d:
+		return fmt.Errorf("arch: Tn·Ti·Tj=%d exceeds D=%d", t.Cols(), d)
+	case t.Rows() > d:
+		return fmt.Errorf("arch: Tm·Tr·Tc=%d exceeds D=%d", t.Rows(), d)
+	}
+	return nil
+}
+
+// ceilDiv returns ⌈a/b⌉.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// RowUtilization is Equation 2: the PE-column occupancy within rows.
+func RowUtilization(l nn.ConvLayer, t T, d int) float64 {
+	denom := float64(ceilDiv(l.N, t.Tn)) * float64(ceilDiv(l.K, t.Ti)) * float64(ceilDiv(l.K, t.Tj)) * float64(d)
+	return float64(l.N) * float64(l.K) * float64(l.K) / denom
+}
+
+// ColUtilization is Equation 3: the PE-row occupancy.
+func ColUtilization(l nn.ConvLayer, t T, d int) float64 {
+	denom := float64(ceilDiv(l.M, t.Tm)) * float64(ceilDiv(l.S, t.Tr)) * float64(ceilDiv(l.S, t.Tc)) * float64(d)
+	return float64(l.M) * float64(l.S) * float64(l.S) / denom
+}
+
+// TotalUtilization is U_t = U_r · U_c.
+func TotalUtilization(l nn.ConvLayer, t T, d int) float64 {
+	return RowUtilization(l, t, d) * ColUtilization(l, t, d)
+}
+
+// GroupPasses returns the number of group passes a FlexFlow engine
+// makes over the output space: ⌈M/T_m⌉·⌈S/T_r⌉·⌈S/T_c⌉.
+func GroupPasses(l nn.ConvLayer, t T) int64 {
+	return int64(ceilDiv(l.M, t.Tm)) * int64(ceilDiv(l.S, t.Tr)) * int64(ceilDiv(l.S, t.Tc))
+}
+
+// CyclesPerPass returns the compute cycles of one group pass:
+// ⌈N/T_n⌉·⌈K/T_i⌉·⌈K/T_j⌉.
+func CyclesPerPass(l nn.ConvLayer, t T) int64 {
+	return int64(ceilDiv(l.N, t.Tn)) * int64(ceilDiv(l.K, t.Ti)) * int64(ceilDiv(l.K, t.Tj))
+}
+
+// LayerResult records everything the metrics, energy and experiment
+// layers need to know about executing one CONV layer on one engine.
+// All data-movement counters are in 16-bit words.
+type LayerResult struct {
+	Arch    string       // engine name
+	Layer   nn.ConvLayer // the layer executed
+	Factors T            // unrolling factors in effect
+	PEs     int          // multipliers in the engine
+	Cycles  int64        // total cycles, including fill/drain overhead
+	MACs    int64        // useful multiply-accumulates performed
+
+	NeuronLoads  int64 // input-neuron words moved buffer → PE
+	NeuronStores int64 // output-neuron words moved PE → buffer (incl. partial-sum spills)
+	KernelLoads  int64 // synapse words moved buffer → PE
+	LocalReads   int64 // PE local-store / register-file reads
+	LocalWrites  int64 // PE local-store / register-file writes
+	InterPEMoves int64 // words moved over inter-PE links or FIFOs
+	DRAMReads    int64 // words read from external memory
+	DRAMWrites   int64 // words written to external memory
+}
+
+// Utilization is the computing-resource utilization the paper plots:
+// useful PE-cycles over total PE-cycles.
+func (r LayerResult) Utilization() float64 {
+	if r.Cycles == 0 || r.PEs == 0 {
+		return 0
+	}
+	return float64(r.MACs) / (float64(r.Cycles) * float64(r.PEs))
+}
+
+// GOPS returns giga-operations per second at the given clock (Hz),
+// counting 2 ops per MAC.
+func (r LayerResult) GOPS(clockHz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / clockHz
+	return float64(2*r.MACs) / seconds / 1e9
+}
+
+// DataVolume is the buffer↔PE traffic the paper's Figure 17 plots
+// (neuron loads + output stores + kernel loads), in words.
+func (r LayerResult) DataVolume() int64 {
+	return r.NeuronLoads + r.NeuronStores + r.KernelLoads
+}
+
+// Add accumulates counters from another result (used when an engine
+// composes sub-passes); shape fields are taken from r.
+func (r LayerResult) Add(o LayerResult) LayerResult {
+	r.Cycles += o.Cycles
+	r.MACs += o.MACs
+	r.NeuronLoads += o.NeuronLoads
+	r.NeuronStores += o.NeuronStores
+	r.KernelLoads += o.KernelLoads
+	r.LocalReads += o.LocalReads
+	r.LocalWrites += o.LocalWrites
+	r.InterPEMoves += o.InterPEMoves
+	r.DRAMReads += o.DRAMReads
+	r.DRAMWrites += o.DRAMWrites
+	return r
+}
+
+// RunResult aggregates the per-layer results of one network on one
+// engine.
+type RunResult struct {
+	Arch     string
+	Workload string
+	Layers   []LayerResult
+}
+
+// Cycles returns total cycles across layers.
+func (r RunResult) Cycles() int64 {
+	var c int64
+	for _, l := range r.Layers {
+		c += l.Cycles
+	}
+	return c
+}
+
+// MACs returns total useful MACs across layers.
+func (r RunResult) MACs() int64 {
+	var m int64
+	for _, l := range r.Layers {
+		m += l.MACs
+	}
+	return m
+}
+
+// Utilization returns the cycle-weighted utilization across layers,
+// i.e. total useful PE-cycles over total PE-cycles.
+func (r RunResult) Utilization() float64 {
+	var mac, peCycles float64
+	for _, l := range r.Layers {
+		mac += float64(l.MACs)
+		peCycles += float64(l.Cycles) * float64(l.PEs)
+	}
+	if peCycles == 0 {
+		return 0
+	}
+	return mac / peCycles
+}
+
+// GOPS returns whole-network throughput at the given clock.
+func (r RunResult) GOPS(clockHz float64) float64 {
+	c := r.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(2*r.MACs()) / (float64(c) / clockHz) / 1e9
+}
+
+// DataVolume returns total buffer↔PE traffic in words.
+func (r RunResult) DataVolume() int64 {
+	var v int64
+	for _, l := range r.Layers {
+		v += l.DataVolume()
+	}
+	return v
+}
+
+// DRAMAccesses returns total external-memory word transfers.
+func (r RunResult) DRAMAccesses() int64 {
+	var v int64
+	for _, l := range r.Layers {
+		v += l.DRAMReads + l.DRAMWrites
+	}
+	return v
+}
+
+// Engine is the interface all four accelerator architectures implement.
+type Engine interface {
+	// Name identifies the architecture ("Systolic", "2D-Mapping",
+	// "Tiling", "FlexFlow").
+	Name() string
+	// PEs returns the number of multipliers in the computing engine.
+	PEs() int
+	// Model analytically evaluates one CONV layer: cycle count,
+	// utilization and data-movement counters, without computing values.
+	Model(l nn.ConvLayer) LayerResult
+	// Simulate executes the layer cycle-by-cycle through the explicit
+	// PE dataflow, producing the actual output feature maps along with
+	// the same counters Model predicts. Used for functional validation
+	// on small layers.
+	Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, LayerResult, error)
+}
+
+// RunModel evaluates every CONV layer of a network analytically.
+func RunModel(e Engine, nw *nn.Network) RunResult {
+	res := RunResult{Arch: e.Name(), Workload: nw.Name}
+	for _, l := range nw.ConvLayers() {
+		res.Layers = append(res.Layers, e.Model(l))
+	}
+	return res
+}
+
+// Style classifies a factor vector into the paper's eight processing
+// styles (§2.2): {Single,Multiple} Feature map × Neuron × Synapse,
+// e.g. "SFSNMS" for the Systolic style or "MFMNMS" for FlexFlow's
+// fully mixed style. Feature-map parallelism is multiple when T_m > 1
+// or T_n > 1; neuron parallelism when T_r > 1 or T_c > 1; synapse
+// parallelism when T_i > 1 or T_j > 1.
+func (t T) Style() string {
+	letter := func(multiple bool) byte {
+		if multiple {
+			return 'M'
+		}
+		return 'S'
+	}
+	return string([]byte{
+		letter(t.Tm > 1 || t.Tn > 1), 'F',
+		letter(t.Tr > 1 || t.Tc > 1), 'N',
+		letter(t.Ti > 1 || t.Tj > 1), 'S',
+	})
+}
+
+// WallClock estimates the layer's wall-clock cycles when DRAM traffic
+// is streamed concurrently with compute through double-buffered on-chip
+// memories: the slower of the compute schedule and the memory stream at
+// the given bandwidth (words per cycle). The paper's cycle counts
+// assume the memory side keeps up; WallClock quantifies when it does
+// not.
+func (r LayerResult) WallClock(wordsPerCycle float64) int64 {
+	if wordsPerCycle <= 0 {
+		panic("arch: WallClock needs positive bandwidth")
+	}
+	memCycles := int64(float64(r.DRAMReads+r.DRAMWrites) / wordsPerCycle)
+	if memCycles > r.Cycles {
+		return memCycles
+	}
+	return r.Cycles
+}
+
+// WallClock sums the per-layer wall-clock cycles of a run.
+func (r RunResult) WallClock(wordsPerCycle float64) int64 {
+	var c int64
+	for _, l := range r.Layers {
+		c += l.WallClock(wordsPerCycle)
+	}
+	return c
+}

@@ -1,0 +1,260 @@
+package arch
+
+import (
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+var lenetC1 = nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
+var lenetC3 = nn.ConvLayer{Name: "C3", M: 16, N: 6, S: 10, K: 5}
+
+func TestTGeometry(t *testing.T) {
+	f := T{Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5}
+	if f.Rows() != 15 || f.Cols() != 15 || f.MACsPerCycle() != 225 {
+		t.Errorf("Rows=%d Cols=%d MACs=%d", f.Rows(), f.Cols(), f.MACsPerCycle())
+	}
+}
+
+func TestValidateAcceptsTable4Factors(t *testing.T) {
+	// Table 4's LeNet-5 C1 factors on a 16×16 unit must be feasible.
+	f := T{Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5}
+	if err := f.Validate(lenetC1, 16, lenetC1.S); err != nil {
+		t.Errorf("Table 4 factors rejected: %v", err)
+	}
+	// LeNet-5 C3 factors.
+	f3 := T{Tm: 16, Tn: 3, Tr: 1, Tc: 1, Ti: 1, Tj: 5}
+	if err := f3.Validate(lenetC3, 16, lenetC3.S); err != nil {
+		t.Errorf("Table 4 C3 factors rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsOversize(t *testing.T) {
+	cases := []T{
+		{Tm: 7, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1},  // Tm > M
+		{Tm: 1, Tn: 2, Tr: 1, Tc: 1, Ti: 1, Tj: 1},  // Tn > N
+		{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 6, Tj: 1},  // Ti > K
+		{Tm: 1, Tn: 1, Tr: 29, Tc: 1, Ti: 1, Tj: 1}, // Tr > bound
+		{Tm: 6, Tn: 1, Tr: 1, Tc: 3, Ti: 1, Tj: 1},  // rows 18 > 16
+		{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 5, Tj: 5},  // cols 25 > 16
+		{Tm: 0, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1},  // non-positive
+	}
+	for i, f := range cases {
+		if err := f.Validate(lenetC1, 16, lenetC1.S); err == nil {
+			t.Errorf("case %d (%v) accepted, want reject", i, f)
+		}
+	}
+}
+
+func TestUtilizationEquations(t *testing.T) {
+	// LeNet-5 C1 with Table 4 factors on D=16:
+	// U_r = 1·5·5 / (1·⌈5/3⌉·⌈5/5⌉·16) = 25/32.
+	// U_c = 6·28·28 / (⌈6/3⌉·⌈28/1⌉·⌈28/5⌉·16) = 4704/5376.
+	f := T{Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5}
+	ur := RowUtilization(lenetC1, f, 16)
+	if want := 25.0 / 32.0; !close(ur, want) {
+		t.Errorf("U_r = %v, want %v", ur, want)
+	}
+	uc := ColUtilization(lenetC1, f, 16)
+	if want := 4704.0 / 5376.0; !close(uc, want) {
+		t.Errorf("U_c = %v, want %v", uc, want)
+	}
+	if ut := TotalUtilization(lenetC1, f, 16); !close(ut, ur*uc) {
+		t.Errorf("U_t = %v, want U_r*U_c = %v", ut, ur*uc)
+	}
+}
+
+func TestUtilizationEqualsMACOverPECycles(t *testing.T) {
+	// U_t must equal MACs / (cycles·D²) with the pass-structured cycle
+	// count — the identity underlying Eq. 2/3.
+	layers := []nn.ConvLayer{lenetC1, lenetC3, {M: 12, N: 8, S: 20, K: 3}}
+	factors := []T{
+		{Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5},
+		{Tm: 16, Tn: 3, Tr: 1, Tc: 1, Ti: 1, Tj: 5},
+		{Tm: 3, Tn: 8, Tr: 1, Tc: 5, Ti: 1, Tj: 2},
+	}
+	d := 16
+	for i, l := range layers {
+		f := factors[i]
+		cycles := GroupPasses(l, f) * CyclesPerPass(l, f)
+		got := float64(l.MACs()) / (float64(cycles) * float64(d*d))
+		want := TotalUtilization(l, f, d)
+		if !close(got, want) {
+			t.Errorf("layer %d: MAC/PE-cycle = %v, Eq2×Eq3 = %v", i, got, want)
+		}
+	}
+}
+
+func TestLayerResultDerived(t *testing.T) {
+	r := LayerResult{PEs: 256, Cycles: 1000, MACs: 128000,
+		NeuronLoads: 10, NeuronStores: 20, KernelLoads: 30,
+		DRAMReads: 5, DRAMWrites: 7}
+	if got := r.Utilization(); !close(got, 0.5) {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	// 2*128000 ops in 1 µs at 1 GHz = 256 GOPS.
+	if got := r.GOPS(1e9); !close(got, 256) {
+		t.Errorf("GOPS = %v, want 256", got)
+	}
+	if got := r.DataVolume(); got != 60 {
+		t.Errorf("DataVolume = %d, want 60", got)
+	}
+}
+
+func TestLayerResultZeroSafe(t *testing.T) {
+	var r LayerResult
+	if r.Utilization() != 0 || r.GOPS(1e9) != 0 {
+		t.Error("zero result should have zero metrics")
+	}
+}
+
+func TestRunResultAggregation(t *testing.T) {
+	r := RunResult{Layers: []LayerResult{
+		{PEs: 256, Cycles: 100, MACs: 12800, DRAMReads: 1},
+		{PEs: 256, Cycles: 300, MACs: 76800, DRAMWrites: 2},
+	}}
+	if r.Cycles() != 400 || r.MACs() != 89600 {
+		t.Errorf("Cycles=%d MACs=%d", r.Cycles(), r.MACs())
+	}
+	// weighted utilization = 89600/(400*256) = 0.875
+	if got := r.Utilization(); !close(got, 0.875) {
+		t.Errorf("Utilization = %v", got)
+	}
+	if r.DRAMAccesses() != 3 {
+		t.Errorf("DRAMAccesses = %d", r.DRAMAccesses())
+	}
+	if got := r.GOPS(1e9); !close(got, 448) {
+		t.Errorf("GOPS = %v, want 448", got)
+	}
+}
+
+func TestLayerResultAdd(t *testing.T) {
+	a := LayerResult{Cycles: 1, MACs: 2, NeuronLoads: 3, KernelLoads: 4, InterPEMoves: 5}
+	b := LayerResult{Cycles: 10, MACs: 20, NeuronLoads: 30, KernelLoads: 40, InterPEMoves: 50}
+	c := a.Add(b)
+	if c.Cycles != 11 || c.MACs != 22 || c.NeuronLoads != 33 || c.KernelLoads != 44 || c.InterPEMoves != 55 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestTString(t *testing.T) {
+	f := T{Tm: 1, Tn: 2, Tr: 3, Tc: 4, Ti: 5, Tj: 6}
+	if got := f.String(); got != "<Tm=1 Tn=2 Tr=3 Tc=4 Ti=5 Tj=6>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestStyleClassification(t *testing.T) {
+	cases := []struct {
+		t    T
+		want string
+	}{
+		{T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 6, Tj: 6}, "SFSNMS"},   // Systolic
+		{T{Tm: 1, Tn: 1, Tr: 16, Tc: 16, Ti: 1, Tj: 1}, "SFMNSS"}, // 2D-Mapping
+		{T{Tm: 16, Tn: 16, Tr: 1, Tc: 1, Ti: 1, Tj: 1}, "MFSNSS"}, // Tiling
+		{T{Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5}, "MFMNMS"},   // FlexFlow mix
+		{T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1}, "SFSNSS"},
+		{T{Tm: 1, Tn: 2, Tr: 1, Tc: 1, Ti: 1, Tj: 2}, "MFSNMS"},
+	}
+	for _, c := range cases {
+		if got := c.t.Style(); got != c.want {
+			t.Errorf("Style(%v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFigure8FullOccupancy(t *testing.T) {
+	// The Section 4.2 complementary-parallelism example: on a 4×4
+	// array, C1 (M=2,N=1,K=4) mixes high SP (Tj=4) with FP+NP on the
+	// rows (Tm=2,Tc=2); C2 (M=2,N=2,K=2) mixes SP+FP on the columns
+	// (Tn=2,Tj=2) with FP+NP on the rows. Both fully occupy the PEs.
+	c1 := T{Tm: 2, Tn: 1, Tr: 1, Tc: 2, Ti: 1, Tj: 4}
+	c2 := T{Tm: 2, Tn: 2, Tr: 1, Tc: 2, Ti: 1, Tj: 2}
+	for name, f := range map[string]T{"C1": c1, "C2": c2} {
+		if f.Rows() != 4 || f.Cols() != 4 {
+			t.Errorf("%s: %v occupies %dx%d of the 4x4 array", name, f, f.Rows(), f.Cols())
+		}
+	}
+	// And the corresponding utilizations are total on the example's
+	// shapes (C1 S=8 pads to the paper's figure; the occupancy claim is
+	// the rows/cols one above).
+	l2 := nn.ConvLayer{M: 2, N: 2, S: 4, K: 2}
+	if u := TotalUtilization(l2, c2, 4); !close(u, 1.0) {
+		t.Errorf("C2 utilization = %v, want 1.0", u)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	r := LayerResult{Cycles: 1000, DRAMReads: 3000, DRAMWrites: 1000}
+	// 2 words/cycle: memory needs 2000 cycles > 1000 compute.
+	if got := r.WallClock(2); got != 2000 {
+		t.Errorf("WallClock(2) = %d, want 2000", got)
+	}
+	// 8 words/cycle: memory hides behind compute.
+	if got := r.WallClock(8); got != 1000 {
+		t.Errorf("WallClock(8) = %d, want 1000", got)
+	}
+	run := RunResult{Layers: []LayerResult{r, r}}
+	if got := run.WallClock(2); got != 4000 {
+		t.Errorf("run WallClock = %d, want 4000", got)
+	}
+}
+
+func TestWallClockRejectsZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth accepted")
+		}
+	}()
+	LayerResult{Cycles: 1}.WallClock(0)
+}
+
+func TestRunModelCollectsAllConvLayers(t *testing.T) {
+	e := fakeEngine{}
+	nw := &nn.Network{
+		InputN: 1, InputS: 8,
+		Layers: []nn.Layer{
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "A", M: 2, N: 1, S: 6, K: 3}},
+			{Kind: nn.Pool, Pool: nn.PoolLayer{Name: "P", N: 2, In: 6, P: 2}},
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "B", M: 2, N: 2, S: 2, K: 2}},
+		},
+	}
+	r := RunModel(e, nw)
+	if r.Arch != "fake" || len(r.Layers) != 2 {
+		t.Fatalf("RunModel = %+v", r)
+	}
+	if r.Layers[0].Layer.Name != "A" || r.Layers[1].Layer.Name != "B" {
+		t.Error("layer order wrong")
+	}
+}
+
+type fakeEngine struct{}
+
+func (fakeEngine) Name() string { return "fake" }
+func (fakeEngine) PEs() int     { return 1 }
+func (fakeEngine) Model(l nn.ConvLayer) LayerResult {
+	return LayerResult{Arch: "fake", Layer: l, PEs: 1, Cycles: 1, MACs: 1}
+}
+func (fakeEngine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, LayerResult, error) {
+	return nil, LayerResult{}, nil
+}
+
+func TestRunResultDataVolumeAndWallClockAggregation(t *testing.T) {
+	r := RunResult{Layers: []LayerResult{
+		{Cycles: 10, NeuronLoads: 1, NeuronStores: 2, KernelLoads: 3, DRAMReads: 100},
+		{Cycles: 20, NeuronLoads: 4, NeuronStores: 5, KernelLoads: 6, DRAMWrites: 40},
+	}}
+	if r.DataVolume() != 21 {
+		t.Errorf("DataVolume = %d", r.DataVolume())
+	}
+	// Layer 1 memory-bound at 1 word/cycle (100 > 10); layer 2 not (40 > 20 → bound too).
+	if got := r.WallClock(1); got != 140 {
+		t.Errorf("WallClock = %d, want 140", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Package bus models FlexFlow's common data buses (CDB): simple
+// pipelined data-only broadcast buses. A vertical CDB per PE column
+// carries neurons; a horizontal CDB per PE row carries kernels
+// (Fig. 6). The buses carry no addresses and no control — the paper's
+// point is that this is what keeps FlexFlow's wiring scalable — so the
+// model is pure transfer counting plus In-Place Data Replication
+// (IPDR, §4.5), which reuses the kernel bus's spare bandwidth to
+// broadcast one word to a whole logical group.
+package bus
+
+// CDB is one common data bus with transfer accounting. A transfer
+// moves one word from the reading controller onto the bus; fan-out to
+// any number of listening PEs costs a single bus transfer (broadcast).
+type CDB struct {
+	name      string
+	transfers int64 // words placed on the bus
+	delivered int64 // word-arrivals at PEs (transfers × fan-out)
+}
+
+// New creates a named bus.
+func New(name string) *CDB { return &CDB{name: name} }
+
+// Name returns the bus name.
+func (b *CDB) Name() string { return b.name }
+
+// Broadcast places one word on the bus with the given fan-out.
+func (b *CDB) Broadcast(fanout int) {
+	if fanout < 1 {
+		panic("bus: broadcast fan-out must be ≥ 1")
+	}
+	b.transfers++
+	b.delivered += int64(fanout)
+}
+
+// BroadcastN places n words on the bus, each with the given fan-out.
+func (b *CDB) BroadcastN(n int64, fanout int) {
+	if n < 0 || fanout < 1 {
+		panic("bus: invalid BroadcastN")
+	}
+	b.transfers += n
+	b.delivered += n * int64(fanout)
+}
+
+// Transfers returns how many words were placed on the bus — the energy
+// model charges per transfer, not per delivery, because a broadcast
+// drives the wire once.
+func (b *CDB) Transfers() int64 { return b.transfers }
+
+// Delivered returns total word-arrivals at PEs.
+func (b *CDB) Delivered() int64 { return b.delivered }
+
+// Replicator implements IPDR: every word read by the reading controller
+// is replicated Factor times onto horizontal buses so all PEs of one
+// logical group receive it without dedicated interconnect. The
+// replication itself is free (it reuses idle bus slots); only the
+// original buffer read and the bus transfers are charged.
+type Replicator struct {
+	Factor int
+	words  int64
+}
+
+// NewReplicator creates an IPDR stage with the given replication factor
+// (T_r × T_c in the paper, never larger than the PE-array edge).
+func NewReplicator(factor int) *Replicator {
+	if factor < 1 {
+		panic("bus: replication factor must be ≥ 1")
+	}
+	return &Replicator{Factor: factor}
+}
+
+// Replicate accounts for n source words entering the replicator and
+// returns the number of bus words produced (n × Factor).
+func (r *Replicator) Replicate(n int64) int64 {
+	if n < 0 {
+		panic("bus: negative replicate count")
+	}
+	r.words += n
+	return n * int64(r.Factor)
+}
+
+// SourceWords returns how many distinct words passed through.
+func (r *Replicator) SourceWords() int64 { return r.words }

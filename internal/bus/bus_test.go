@@ -1,0 +1,55 @@
+package bus
+
+import "testing"
+
+func TestBroadcastCounting(t *testing.T) {
+	b := New("vertical-0")
+	b.Broadcast(16)
+	b.BroadcastN(9, 4)
+	if b.Transfers() != 10 {
+		t.Errorf("Transfers = %d, want 10", b.Transfers())
+	}
+	if b.Delivered() != 16+36 {
+		t.Errorf("Delivered = %d, want 52", b.Delivered())
+	}
+	if b.Name() != "vertical-0" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+func TestBroadcastRejectsZeroFanout(t *testing.T) {
+	b := New("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("zero fan-out did not panic")
+		}
+	}()
+	b.Broadcast(0)
+}
+
+func TestReplicator(t *testing.T) {
+	r := NewReplicator(8) // Tr×Tc = 8
+	out := r.Replicate(10)
+	if out != 80 {
+		t.Errorf("Replicate(10) = %d, want 80", out)
+	}
+	if r.SourceWords() != 10 {
+		t.Errorf("SourceWords = %d, want 10", r.SourceWords())
+	}
+}
+
+func TestReplicatorIdentity(t *testing.T) {
+	r := NewReplicator(1)
+	if r.Replicate(7) != 7 {
+		t.Error("factor-1 replicator should be identity")
+	}
+}
+
+func TestReplicatorRejectsZeroFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("factor 0 did not panic")
+		}
+	}()
+	NewReplicator(0)
+}

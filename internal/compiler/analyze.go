@@ -1,0 +1,169 @@
+package compiler
+
+import (
+	"sort"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/nn"
+)
+
+// LayerAnalysis quantifies Section 3.4's argument for one layer: the
+// best utilization each *single* parallelism type can reach on a D×D
+// FlexFlow array, next to the complementary mix. The dominant single
+// type varies from layer to layer, and even the dominant one is far
+// below the mix — which is why rigid single-parallelism architectures
+// are volatile.
+type LayerAnalysis struct {
+	Layer    nn.ConvLayer
+	PureNP   float64 // neuron parallelism only (T_r, T_c free)
+	PureSP   float64 // synapse parallelism only (T_i, T_j free)
+	PureFP   float64 // feature-map parallelism only (T_m, T_n free)
+	Mixed    float64 // the complementary mix (ChooseFactors)
+	Dominant string  // which pure type wins ("NP", "SP" or "FP")
+}
+
+// Gain returns how much the complementary mix improves on the best
+// single parallelism.
+func (a LayerAnalysis) Gain() float64 {
+	best := a.PureNP
+	if a.PureSP > best {
+		best = a.PureSP
+	}
+	if a.PureFP > best {
+		best = a.PureFP
+	}
+	if best == 0 {
+		return 0
+	}
+	return a.Mixed / best
+}
+
+// bestPure maximizes U_t over factor vectors restricted to one
+// parallelism type.
+func bestPure(l nn.ConvLayer, d int, vary func(a, b int) arch.T, maxA, maxB int) float64 {
+	best := 0.0
+	for a := 1; a <= maxA; a++ {
+		for b := 1; b <= maxB; b++ {
+			t := vary(a, b)
+			if t.Rows() > d || t.Cols() > d {
+				continue
+			}
+			if u := arch.TotalUtilization(l, t, d); u > best {
+				best = u
+			}
+		}
+	}
+	return best
+}
+
+// AnalyzeLayer computes the single-parallelism ceilings and the mixed
+// choice for one layer.
+func AnalyzeLayer(l nn.ConvLayer, d int) LayerAnalysis {
+	one := arch.T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1}
+	a := LayerAnalysis{Layer: l}
+	a.PureNP = bestPure(l, d, func(x, y int) arch.T {
+		t := one
+		t.Tr, t.Tc = x, y
+		return t
+	}, minI(l.S, d), minI(l.S, d))
+	a.PureSP = bestPure(l, d, func(x, y int) arch.T {
+		t := one
+		t.Ti, t.Tj = x, y
+		return t
+	}, minI(l.K, d), minI(l.K, d))
+	a.PureFP = bestPure(l, d, func(x, y int) arch.T {
+		t := one
+		t.Tm, t.Tn = x, y
+		return t
+	}, minI(l.M, d), minI(l.N, d))
+	a.Mixed = arch.TotalUtilization(l, core.ChooseFactors(l, d, l.S), d)
+
+	a.Dominant = "NP"
+	best := a.PureNP
+	if a.PureSP > best {
+		a.Dominant, best = "SP", a.PureSP
+	}
+	if a.PureFP > best {
+		a.Dominant = "FP"
+	}
+	return a
+}
+
+// Analyze runs AnalyzeLayer over a network's CONV layers.
+func Analyze(nw *nn.Network, d int) []LayerAnalysis {
+	var out []LayerAnalysis
+	for _, l := range nw.ConvLayers() {
+		out = append(out, AnalyzeLayer(l, d))
+	}
+	return out
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SweepEntry is one candidate factor vector with its score, used by
+// the -sweep tooling to expose the utilization landscape the optimizer
+// searches.
+type SweepEntry struct {
+	Factors arch.T
+	Ur, Uc  float64
+	Ut      float64
+}
+
+// Sweep enumerates every feasible factor vector for a layer on a D×D
+// array (Constraint 1, with rcBound on T_r/T_c) and returns the topK
+// by total utilization, ties broken toward fewer group passes. It is
+// exhaustive over the composed row/column candidate spaces.
+func Sweep(l nn.ConvLayer, d, rcBound, topK int) []SweepEntry {
+	if rcBound > l.S {
+		rcBound = l.S
+	}
+	if rcBound < 1 {
+		rcBound = 1
+	}
+	var rows, cols []arch.T
+	for tm := 1; tm <= minI(l.M, d); tm++ {
+		for tr := 1; tr <= minI(rcBound, d/tm); tr++ {
+			for tc := 1; tc <= minI(rcBound, d/(tm*tr)); tc++ {
+				rows = append(rows, arch.T{Tm: tm, Tr: tr, Tc: tc})
+			}
+		}
+	}
+	for tn := 1; tn <= minI(l.N, d); tn++ {
+		for ti := 1; ti <= minI(l.K, d/tn); ti++ {
+			for tj := 1; tj <= minI(l.K, d/(tn*ti)); tj++ {
+				cols = append(cols, arch.T{Tn: tn, Ti: ti, Tj: tj})
+			}
+		}
+	}
+	var entries []SweepEntry
+	for _, r := range rows {
+		uc := arch.ColUtilization(l, arch.T{Tm: r.Tm, Tr: r.Tr, Tc: r.Tc, Tn: 1, Ti: 1, Tj: 1}, d)
+		for _, c := range cols {
+			t := arch.T{Tm: r.Tm, Tr: r.Tr, Tc: r.Tc, Tn: c.Tn, Ti: c.Ti, Tj: c.Tj}
+			ur := arch.RowUtilization(l, t, d)
+			entries = append(entries, SweepEntry{Factors: t, Ur: ur, Uc: uc, Ut: ur * uc})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Ut != entries[j].Ut {
+			return entries[i].Ut > entries[j].Ut
+		}
+		pi := arch.GroupPasses(l, entries[i].Factors) * arch.CyclesPerPass(l, entries[i].Factors)
+		pj := arch.GroupPasses(l, entries[j].Factors) * arch.CyclesPerPass(l, entries[j].Factors)
+		return pi < pj
+	})
+	if topK > 0 && len(entries) > topK {
+		entries = entries[:topK]
+	}
+	return entries
+}
+
+// TrafficEstimateForTest exposes the internal traffic estimate for
+// diagnostics and tests.
+func TrafficEstimateForTest(l nn.ConvLayer, t arch.T) int64 { return trafficEstimate(l, t) }

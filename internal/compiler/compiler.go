@@ -1,0 +1,311 @@
+// Package compiler implements the paper's specialized compiler
+// (Section 5): a workload analyzer that determines the unrolling
+// factors ⟨T_m,T_n,T_r,T_c,T_i,T_j⟩ for every CONV layer of a network,
+// and a code generator that emits the assembly program consumed by the
+// FlexFlow instruction decoder.
+//
+// Two planning modes are provided. Plan applies the paper's IADP
+// inter-layer constraints: T_r and T_c are bounded by P·K′ of the next
+// layers, and each layer's ⟨T_n,T_i,T_j⟩ equals the previous layer's
+// ⟨T_m,T_r,T_c⟩ so that one layer's outputs are already laid out in the
+// next layer's buffer format. PlanUncoupled optimizes each layer
+// independently (the upper bound the coupled plan is compared against).
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// LayerPlan is the compilation result for one CONV layer.
+type LayerPlan struct {
+	Layer       nn.ConvLayer
+	Factors     arch.T
+	RCBound     int     // the P·K′ bound applied to T_r/T_c
+	Utilization float64 // U_r · U_c at the target array size
+	Passes      int64   // group passes
+	CyclesPass  int64   // cycles per pass
+	PoolAfter   int     // pooling window following this layer (0 = none)
+}
+
+// Program is a compiled network: an ordered set of layer plans for a
+// D×D FlexFlow engine.
+type Program struct {
+	Network string
+	D       int
+	Coupled bool
+	Plans   []LayerPlan
+}
+
+// rcBoundFor computes the paper's T_r/T_c bound for CONV layer index i:
+// P·K′ with P the pooling window between it and the next CONV layer and
+// K′ the next layer's kernel size; the layer's own S when it is last.
+func rcBoundFor(nw *nn.Network, i int, l nn.ConvLayer) int {
+	next, p, ok := nw.NextConvAfter(i)
+	if !ok {
+		return l.S
+	}
+	b := p * next.K
+	if b > l.S {
+		b = l.S
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Plan compiles a network with the inter-layer coupling constraints.
+func Plan(nw *nn.Network, d int) *Program {
+	return plan(nw, d, true)
+}
+
+// PlanUncoupled compiles each layer independently.
+func PlanUncoupled(nw *nn.Network, d int) *Program {
+	return plan(nw, d, false)
+}
+
+// PlanBalanced compiles with a joint cycles+traffic objective: the DP
+// minimizes cycles + lambda·(estimated buffer→PE words)/D. lambda is in
+// cycle-equivalents per D words (0 reduces to Plan); small values trade
+// a few percent of utilization for materially less data movement —
+// useful when the deployment is energy-bound rather than latency-bound.
+func PlanBalanced(nw *nn.Network, d int, lambda float64) *Program {
+	prog := &Program{Network: nw.Name, D: d, Coupled: true}
+	cost := func(l nn.ConvLayer, t arch.T) int64 {
+		c := cyclesCost(l, t)
+		if lambda > 0 {
+			c += int64(lambda * float64(trafficEstimate(l, t)) / float64(d))
+		}
+		return c
+	}
+	prog.Plans = planCoupledDP(nw, d, cost)
+	return prog
+}
+
+func plan(nw *nn.Network, d int, coupled bool) *Program {
+	prog := &Program{Network: nw.Name, D: d, Coupled: coupled}
+	if coupled {
+		prog.Plans = planCoupledDP(nw, d, cyclesCost)
+		return prog
+	}
+	for i, l := range nw.ConvLayers() {
+		bound := rcBoundFor(nw, i, l)
+		f := core.ChooseFactors(l, d, bound)
+		prog.Plans = append(prog.Plans, LayerPlan{
+			Layer:       l,
+			Factors:     f,
+			RCBound:     bound,
+			Utilization: arch.TotalUtilization(l, f, d),
+			Passes:      arch.GroupPasses(l, f),
+			CyclesPass:  arch.CyclesPerPass(l, f),
+			PoolAfter:   poolAfter(nw, i),
+		})
+	}
+	return prog
+}
+
+// poolAfter returns the pooling window that follows CONV layer i
+// (0 when none).
+func poolAfter(nw *nn.Network, i int) int {
+	if _, p, ok := nw.NextConvAfter(i); ok && p > 1 {
+		return p
+	}
+	// A trailing pool after the last CONV layer also counts.
+	seen := -1
+	for idx, l := range nw.Layers {
+		if l.Kind == nn.Conv {
+			seen++
+		}
+		if seen == i && l.Kind == nn.Conv {
+			for _, after := range nw.Layers[idx+1:] {
+				switch after.Kind {
+				case nn.Pool:
+					return after.Pool.P
+				case nn.Conv, nn.FC:
+					return 0
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// FactorsFor returns the planned factors of the named layer.
+func (p *Program) FactorsFor(name string) (arch.T, bool) {
+	for _, lp := range p.Plans {
+		if lp.Layer.Name == name {
+			return lp.Factors, true
+		}
+	}
+	return arch.T{}, false
+}
+
+// Chooser returns a factor-selection function suitable for
+// core.Engine.Chooser: planned layers get their planned factors, and
+// unknown layers fall back to the per-layer search.
+func (p *Program) Chooser() func(nn.ConvLayer) arch.T {
+	byShape := make(map[nn.ConvLayer]arch.T, len(p.Plans))
+	for _, lp := range p.Plans {
+		byShape[lp.Layer] = lp.Factors
+	}
+	d := p.D
+	return func(l nn.ConvLayer) arch.T {
+		if f, ok := byShape[l]; ok {
+			return f
+		}
+		return core.ChooseFactors(l, d, l.S)
+	}
+}
+
+// Assembly renders the program as the textual configuration code the
+// instruction decoder consumes. The format is line-oriented:
+//
+//	LAYER <name> M=<m> N=<n> S=<s> K=<k>
+//	CONFIG TM=.. TN=.. TR=.. TC=.. TI=.. TJ=..
+//	LDKERN GROUPS=<Tm>x<Tr>x<Tc>   ; IADP kernel-buffer partitioning
+//	LDNEUR GROUPS=<Tn>x<Ti>x<Tj>   ; IADP neuron-buffer partitioning
+//	CONV PASSES=<passes> CPP=<cycles-per-pass>
+//	STORE LAYOUT=<Tm>x<Tr>x<Tc>    ; outputs written in next layer's form
+func (p *Program) Assembly() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; FlexFlow program for %s on %dx%d PEs (coupled=%v)\n", p.Network, p.D, p.D, p.Coupled)
+	for _, lp := range p.Plans {
+		f := lp.Factors
+		fmt.Fprintf(&b, "LAYER %s M=%d N=%d S=%d K=%d\n", lp.Layer.Name, lp.Layer.M, lp.Layer.N, lp.Layer.S, lp.Layer.K)
+		fmt.Fprintf(&b, "CONFIG TM=%d TN=%d TR=%d TC=%d TI=%d TJ=%d\n", f.Tm, f.Tn, f.Tr, f.Tc, f.Ti, f.Tj)
+		fmt.Fprintf(&b, "LDKERN GROUPS=%dx%dx%d\n", f.Tm, f.Tr, f.Tc)
+		fmt.Fprintf(&b, "LDNEUR GROUPS=%dx%dx%d\n", f.Tn, f.Ti, f.Tj)
+		fmt.Fprintf(&b, "CONV PASSES=%d CPP=%d\n", lp.Passes, lp.CyclesPass)
+		if lp.PoolAfter > 1 {
+			fmt.Fprintf(&b, "POOL P=%d KIND=max\n", lp.PoolAfter)
+		}
+		fmt.Fprintf(&b, "STORE LAYOUT=%dx%dx%d\n", f.Tm, f.Tr, f.Tc)
+	}
+	return b.String()
+}
+
+// ParseAssembly parses the output of Assembly back into the layer/
+// factor pairs (the instruction-decoder front end). It accepts comments
+// introduced by ';'.
+func ParseAssembly(text string) (*Program, error) {
+	prog := &Program{}
+	var cur *LayerPlan
+	flush := func() {
+		if cur != nil {
+			prog.Plans = append(prog.Plans, *cur)
+			cur = nil
+		}
+	}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := fields[0]
+		kv := map[string]string{}
+		var name string
+		for _, f := range fields[1:] {
+			if i := strings.IndexByte(f, '='); i >= 0 {
+				kv[f[:i]] = f[i+1:]
+			} else {
+				name = f
+			}
+		}
+		atoi := func(key string) (int, error) {
+			var v int
+			if _, err := fmt.Sscanf(kv[key], "%d", &v); err != nil {
+				return 0, fmt.Errorf("compiler: line %d: bad %s=%q", lineNo+1, key, kv[key])
+			}
+			return v, nil
+		}
+		switch op {
+		case "LAYER":
+			flush()
+			m, err1 := atoi("M")
+			n, err2 := atoi("N")
+			s, err3 := atoi("S")
+			k, err4 := atoi("K")
+			for _, err := range []error{err1, err2, err3, err4} {
+				if err != nil {
+					return nil, err
+				}
+			}
+			cur = &LayerPlan{Layer: nn.ConvLayer{Name: name, M: m, N: n, S: s, K: k}}
+		case "CONFIG":
+			if cur == nil {
+				return nil, fmt.Errorf("compiler: line %d: CONFIG before LAYER", lineNo+1)
+			}
+			var errs []error
+			get := func(key string) int {
+				v, err := atoi(key)
+				errs = append(errs, err)
+				return v
+			}
+			cur.Factors = arch.T{
+				Tm: get("TM"), Tn: get("TN"), Tr: get("TR"),
+				Tc: get("TC"), Ti: get("TI"), Tj: get("TJ"),
+			}
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		case "POOL":
+			if cur == nil {
+				return nil, fmt.Errorf("compiler: line %d: POOL before LAYER", lineNo+1)
+			}
+			p, err := atoi("P")
+			if err != nil {
+				return nil, err
+			}
+			cur.PoolAfter = p
+		case "LDKERN", "LDNEUR", "CONV", "STORE":
+			// Layout/schedule directives carry no state the decoder
+			// cannot rederive from LAYER+CONFIG.
+		default:
+			return nil, fmt.Errorf("compiler: line %d: unknown opcode %q", lineNo+1, op)
+		}
+	}
+	flush()
+	return prog, nil
+}
+
+// BuildNetwork reconstructs a runnable CNN topology from the program:
+// the decoder back end. CONV layers come from the LAYER/CONFIG
+// directives and POOL directives become max-pooling layers, so a
+// parsed assembly program can be handed straight to a functional
+// executor. The rebuilt network chains only if the original did.
+func (p *Program) BuildNetwork() *nn.Network {
+	nw := &nn.Network{Name: p.Network}
+	if len(p.Plans) > 0 {
+		first := p.Plans[0].Layer
+		nw.InputN = first.N
+		nw.InputS = first.InSize()
+	}
+	cur := 0
+	for i, lp := range p.Plans {
+		nw.Layers = append(nw.Layers, nn.Layer{Kind: nn.Conv, Conv: lp.Layer})
+		cur = lp.Layer.S
+		if lp.PoolAfter > 1 {
+			nw.Layers = append(nw.Layers, nn.Layer{Kind: nn.Pool, Pool: nn.PoolLayer{
+				Name: fmt.Sprintf("P%d", i+1),
+				N:    lp.Layer.M,
+				In:   cur,
+				P:    lp.PoolAfter,
+				Kind: tensor.MaxPool,
+			}})
+		}
+	}
+	return nw
+}

@@ -1,0 +1,201 @@
+package compiler
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/nn"
+)
+
+// rowCandidates enumerates every feasible ⟨T_m,T_r,T_c⟩ triple for a
+// layer: positive, bounded by the layer shape and the P·K′ limit, with
+// T_m·T_r·T_c ≤ D.
+func rowCandidates(l nn.ConvLayer, d, rcBound int) []arch.T {
+	if rcBound > l.S {
+		rcBound = l.S
+	}
+	if rcBound < 1 {
+		rcBound = 1
+	}
+	var out []arch.T
+	for tm := 1; tm <= minInt(l.M, d); tm++ {
+		for tr := 1; tr <= minInt(rcBound, d/tm); tr++ {
+			for tc := 1; tc <= minInt(rcBound, d/(tm*tr)); tc++ {
+				out = append(out, arch.T{Tm: tm, Tr: tr, Tc: tc, Tn: 1, Ti: 1, Tj: 1})
+			}
+		}
+	}
+	return out
+}
+
+// colFor derives a layer's coupled ⟨T_n,T_i,T_j⟩ from the previous
+// layer's row triple (the IADP layout constraint), clamped into the
+// layer's feasible range.
+func colFor(prev arch.T, l nn.ConvLayer, d int) arch.T {
+	tn := clampInt(prev.Tm, 1, minInt(l.N, d))
+	ti := clampInt(prev.Tr, 1, minInt(l.K, d/tn))
+	tj := clampInt(prev.Tc, 1, minInt(l.K, d/(tn*ti)))
+	return arch.T{Tn: tn, Ti: ti, Tj: tj, Tm: 1, Tr: 1, Tc: 1}
+}
+
+// layerCost scores one layer under a full factor vector. The default
+// objective is compute cycles; PlanBalanced adds a traffic term.
+type layerCost func(l nn.ConvLayer, t arch.T) int64
+
+// cyclesCost is the paper's objective: total compute cycles.
+func cyclesCost(l nn.ConvLayer, t arch.T) int64 {
+	return arch.GroupPasses(l, t) * arch.CyclesPerPass(l, t)
+}
+
+// trafficEstimate is a closed-form estimate of the buffer→PE neuron
+// words a factor choice implies (the dominant variable term of
+// Fig. 17), mirroring the engine's RA/RS accounting without iterating
+// passes: per m-block and input chunk, each row band streams its
+// staged window once plus the incremental columns, and every chunk
+// beyond the first spills and re-reads the outputs.
+func trafficEstimate(l nn.ConvLayer, t arch.T) int64 {
+	const storeWords = 128 // the Table 5 local-store capacity
+	kij := int64(ceilDivI(l.K, t.Ti)) * int64(ceilDivI(l.K, t.Tj))
+	blocks := int64(1)
+	if kij > 0 && storeWords/kij > 0 {
+		blocks = storeWords / kij
+	}
+	nChunk := int(blocks) * t.Tn
+	if nChunk >= l.N {
+		nChunk = l.N
+	}
+	if nChunk < t.Tn {
+		nChunk = t.Tn
+	}
+	chunks := int64(ceilDivI(l.N, nChunk))
+	mB := int64(ceilDivI(l.M, t.Tm))
+	in := int64(l.InSize())
+	// Exact sum of the row-band spans, including the narrower last band.
+	var rowSpanSum int64
+	for r0 := 0; r0 < l.S; r0 += t.Tr {
+		vTr := t.Tr
+		if r0+vTr > l.S {
+			vTr = l.S - r0
+		}
+		rowSpanSum += int64(vTr + l.K - 1)
+	}
+	// Each chunk walks every band over its own maps, and the chunks
+	// together cover each input map exactly once.
+	loads := mB * rowSpanSum * in * int64(l.N)
+	// Partial-sum spills and re-reads across chunks.
+	spills := (chunks - 1) * 2 * l.OutputWords()
+	return loads + spills
+}
+
+// planCoupledDP chooses row triples for every CONV layer jointly,
+// minimizing the total cost under the IADP coupling: layer i's column
+// triple is a function of layer i-1's row triple, so a locally
+// attractive row choice can make the next layer slow. The DP state is
+// the row triple of the current layer.
+func planCoupledDP(nw *nn.Network, d int, cost layerCost) []LayerPlan {
+	layers := nw.ConvLayers()
+	if len(layers) == 0 {
+		return nil
+	}
+	bounds := make([]int, len(layers))
+	cands := make([][]arch.T, len(layers))
+	for i, l := range layers {
+		bounds[i] = rcBoundFor(nw, i, l)
+		cands[i] = rowCandidates(l, d, bounds[i])
+	}
+
+	// Layer 0's column side is free: the per-layer optimum.
+	freeCol0 := core.ChooseFactors(layers[0], d, bounds[0])
+
+	combine := func(row, col arch.T) arch.T {
+		return arch.T{Tm: row.Tm, Tr: row.Tr, Tc: row.Tc, Tn: col.Tn, Ti: col.Ti, Tj: col.Tj}
+	}
+
+	total := make([][]int64, len(layers))
+	back := make([][]int, len(layers))
+	total[0] = make([]int64, len(cands[0]))
+	back[0] = make([]int, len(cands[0]))
+	for j := range cands[0] {
+		total[0][j] = cost(layers[0], combine(cands[0][j], freeCol0))
+		back[0][j] = -1
+	}
+
+	for i := 1; i < len(layers); i++ {
+		l := layers[i]
+		// colFromPrev[k]: layer i's coupled column triple when layer
+		// i-1 used row candidate k.
+		colFromPrev := make([]arch.T, len(cands[i-1]))
+		for k, prev := range cands[i-1] {
+			colFromPrev[k] = colFor(prev, l, d)
+		}
+		total[i] = make([]int64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		for j := range cands[i] {
+			bestCost := int64(-1)
+			bestK := -1
+			for k := range cands[i-1] {
+				c := total[i-1][k] + cost(l, combine(cands[i][j], colFromPrev[k]))
+				if bestCost < 0 || c < bestCost {
+					bestCost, bestK = c, k
+				}
+			}
+			total[i][j], back[i][j] = bestCost, bestK
+		}
+	}
+
+	// Pick the cheapest final state and walk back.
+	last := len(layers) - 1
+	bestJ := 0
+	for j := range total[last] {
+		if total[last][j] < total[last][bestJ] {
+			bestJ = j
+		}
+	}
+	choice := make([]int, len(layers))
+	for i, j := last, bestJ; i >= 0; i-- {
+		choice[i] = j
+		j = back[i][j]
+	}
+
+	// Assemble the plans: row triple from the DP, column triple coupled
+	// (layer 0 free).
+	plans := make([]LayerPlan, len(layers))
+	for i, l := range layers {
+		row := cands[i][choice[i]]
+		var col arch.T
+		if i == 0 {
+			col = freeCol0
+		} else {
+			col = colFor(cands[i-1][choice[i-1]], l, d)
+		}
+		f := arch.T{Tm: row.Tm, Tr: row.Tr, Tc: row.Tc, Tn: col.Tn, Ti: col.Ti, Tj: col.Tj}
+		plans[i] = LayerPlan{
+			Layer:       l,
+			Factors:     f,
+			RCBound:     bounds[i],
+			Utilization: arch.TotalUtilization(l, f, d),
+			Passes:      arch.GroupPasses(l, f),
+			CyclesPass:  arch.CyclesPerPass(l, f),
+			PoolAfter:   poolAfter(nw, i),
+		}
+	}
+	return plans
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func ceilDivI(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/mem"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// BufferPlan derives the IADP on-chip buffer layouts a layer's factor
+// choice implies (§4.5): the input neuron buffer partitioned
+// T_n × T_i × T_j and the kernel buffer partitioned T_m × T_r × T_c.
+// The output neuron buffer is partitioned by the *same* ⟨T_m,T_r,T_c⟩
+// triple, which is exactly what the next layer will read it with
+// (the inter-layer coupling of Section 5) — callers can therefore
+// reuse the returned output layout as the next layer's input layout.
+func BufferPlan(l nn.ConvLayer, t arch.T) (input mem.NeuronLayout, kernels mem.KernelLayout, output mem.NeuronLayout) {
+	in := l.InSize()
+	input = mem.NeuronLayout{Tn: t.Tn, Ti: t.Ti, Tj: t.Tj, H: in, W: in}
+	kernels = mem.KernelLayout{Tm: t.Tm, Tr: t.Tr, Tc: t.Tc, N: l.N, K: l.K}
+	output = mem.NeuronLayout{Tn: t.Tm, Ti: t.Tr, Tj: t.Tc, H: l.S, W: l.S}
+	return input, kernels, output
+}
+
+// CheckDistribution verifies that, under the layer's schedule, every
+// distribution-layer line the passes issue is bank-conflict-free in
+// the IADP input layout: each cycle's T_n·T_i·T_j operands come from
+// distinct banks. It returns the number of lines checked.
+func (e *Engine) CheckDistribution(l nn.ConvLayer, t arch.T) (lines int, ok bool) {
+	input, _, _ := BufferPlan(l, t)
+	s := e.scheduleFor(l, t)
+	ok = true
+	forEachPass(l, s, func(p passInfo) {
+		if !ok {
+			return
+		}
+		// One representative line per (n-block, i-block, j-block) step
+		// of the pass: the aligned origin the distribution layer reads.
+		for nb := 0; nb < ceilDiv(p.vN, t.Tn); nb++ {
+			for ib := 0; ib < ceilDiv(l.K, t.Ti); ib++ {
+				for jb := 0; jb < ceilDiv(l.K, t.Tj); jb++ {
+					n0 := p.n0 + nb*t.Tn
+					r0 := ib * t.Ti
+					c0 := jb * t.Tj
+					if r0 >= input.H || c0 >= input.W {
+						continue
+					}
+					if !mem.LineConflictFree(input.Line(n0, r0, c0)) {
+						ok = false
+						return
+					}
+					lines++
+				}
+			}
+		}
+	})
+	return lines, ok
+}
+
+// VerifyBankedPlacement stages an input stack into a mem.BankedBuffer
+// under the layer's IADP layout and then replays every operand fetch of
+// the schedule against the banks, checking that each read returns the
+// same word direct tensor indexing would. It returns the total bank
+// reads performed. This is the end-to-end proof that the Fig. 13
+// placement, the distribution-layer line addressing and the pass
+// schedule agree.
+func (e *Engine) VerifyBankedPlacement(l nn.ConvLayer, t arch.T, in *tensor.Map3) (int64, error) {
+	if l.Str() != 1 {
+		return 0, fmt.Errorf("core: banked placement verification supports unit stride")
+	}
+	layout, _, _ := BufferPlan(l, t)
+	// Size each bank to hold its densest assignment.
+	rowsPerSub := (layout.H + layout.Ti - 1) / layout.Ti
+	colsPerLane := (layout.W + layout.Tj - 1) / layout.Tj
+	mapsPerGroup := (l.N + layout.Tn - 1) / layout.Tn
+	bankWords := mapsPerGroup * rowsPerSub * colsPerLane
+	buf := mem.NewBankedBuffer(layout.Tn, layout.Ti, layout.Tj,
+		layout.Tn*layout.Ti*layout.Tj*bankWords)
+
+	// IADP staging: every word to its bank.
+	for n := 0; n < in.N; n++ {
+		for r := 0; r < in.H; r++ {
+			for c := 0; c < in.W; c++ {
+				a := layout.Place(n, r, c)
+				buf.Bank(a.Group, a.Sub, a.Lane).Write(a.Offset, in.At(n, r, c))
+			}
+		}
+	}
+
+	// Replay the schedule's fetches through the banks.
+	s := e.scheduleFor(l, t)
+	var verr error
+	forEachPass(l, s, func(p passInfo) {
+		if verr != nil {
+			return
+		}
+		forEachValidOutput(l, t, p, func(m, r, c int) {
+			_ = m
+			for n := p.n0; n < p.n0+p.vN && verr == nil; n++ {
+				for i := 0; i < l.K; i++ {
+					for j := 0; j < l.K; j++ {
+						a := layout.Place(n, r+i, c+j)
+						got := buf.Bank(a.Group, a.Sub, a.Lane).Read(a.Offset)
+						if want := in.At(n, r+i, c+j); got != want {
+							verr = fmt.Errorf("core: bank read I(%d,%d,%d) = %v, want %v",
+								n, r+i, c+j, got, want)
+							return
+						}
+					}
+				}
+			}
+		})
+	})
+	return buf.Reads(), verr
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/bus"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func TestBufferPlanCoupling(t *testing.T) {
+	l := nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
+	f := ChooseFactors(l, 16, 10)
+	input, kernels, output := BufferPlan(l, f)
+	if input.Tn != f.Tn || input.Ti != f.Ti || input.Tj != f.Tj {
+		t.Errorf("input layout %+v does not match factors %v", input, f)
+	}
+	if kernels.Tm != f.Tm || kernels.Tr != f.Tr || kernels.Tc != f.Tc {
+		t.Errorf("kernel layout %+v does not match factors %v", kernels, f)
+	}
+	// The output buffer is laid out for the next layer's read: its
+	// partitioning is the row triple.
+	if output.Tn != f.Tm || output.Ti != f.Tr || output.Tj != f.Tc {
+		t.Errorf("output layout %+v not coupled to row triple of %v", output, f)
+	}
+	if input.H != l.InSize() || output.H != l.S {
+		t.Errorf("layout shapes wrong: in %d want %d, out %d want %d", input.H, l.InSize(), output.H, l.S)
+	}
+}
+
+func TestCheckDistributionConflictFree(t *testing.T) {
+	e := New(16)
+	layers := []nn.ConvLayer{
+		{Name: "LeNet-C1", M: 6, N: 1, S: 28, K: 5},
+		{Name: "LeNet-C3", M: 16, N: 6, S: 10, K: 5},
+		{Name: "PV-C3", M: 12, N: 8, S: 20, K: 3},
+		{Name: "odd", M: 5, N: 3, S: 7, K: 4},
+	}
+	for _, l := range layers {
+		f := e.Chooser(l)
+		lines, ok := e.CheckDistribution(l, f)
+		if !ok {
+			t.Errorf("%s: distribution line with a bank conflict under %v", l.Name, f)
+		}
+		if lines == 0 {
+			t.Errorf("%s: no lines checked", l.Name)
+		}
+	}
+}
+
+func TestBusProbesMatchBufferReads(t *testing.T) {
+	e := New(8)
+	e.VerticalBus = bus.New("vertical")
+	e.HorizontalBus = bus.New("horizontal")
+	l := nn.ConvLayer{Name: "probe", M: 5, N: 3, S: 7, K: 3}
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(1)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(2)
+	_, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VerticalBus.Transfers(); got != res.NeuronLoads {
+		t.Errorf("vertical bus transfers %d != neuron loads %d", got, res.NeuronLoads)
+	}
+	if got := e.HorizontalBus.Transfers(); got != res.KernelLoads {
+		t.Errorf("horizontal bus transfers %d != kernel loads %d", got, res.KernelLoads)
+	}
+	// IPDR fans every kernel word out to the whole logical group:
+	// deliveries strictly exceed transfers.
+	if e.HorizontalBus.Delivered() <= e.HorizontalBus.Transfers() {
+		t.Error("IPDR should deliver more kernel words than it transfers")
+	}
+}
+
+func TestOccupancyMapRendersFig8(t *testing.T) {
+	// The Section 4.2 example: C1 on a 4×4 array fully occupied.
+	l := nn.ConvLayer{Name: "C1", M: 2, N: 1, S: 8, K: 4}
+	f := ChooseFactors(l, 4, l.S)
+	out := OccupancyMap(l, f, 4)
+	if !strings.Contains(out, "O(0,0,0)") {
+		t.Errorf("missing output label:\n%s", out)
+	}
+	if !strings.Contains(out, "n0:k0,0") {
+		t.Errorf("missing operand label:\n%s", out)
+	}
+	if !strings.Contains(out, "active PEs: 16/16") {
+		t.Errorf("Fig. 8 full occupancy not shown:\n%s", out)
+	}
+	// Idle structure renders dots for an underfilled choice.
+	half := arch.T{Tm: 1, Tn: 1, Tr: 1, Tc: 2, Ti: 1, Tj: 2}
+	out2 := OccupancyMap(l, half, 4)
+	if !strings.Contains(out2, "active PEs: 4/16") {
+		t.Errorf("partial occupancy wrong:\n%s", out2)
+	}
+}
+
+func TestVerifyBankedPlacement(t *testing.T) {
+	e := New(8)
+	layers := []nn.ConvLayer{
+		{Name: "a", M: 4, N: 2, S: 6, K: 3},
+		{Name: "b", M: 3, N: 3, S: 5, K: 2},
+		{Name: "c", M: 2, N: 1, S: 9, K: 4},
+	}
+	for _, l := range layers {
+		in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+		in.FillPattern(6)
+		f := e.Chooser(l)
+		reads, err := e.VerifyBankedPlacement(l, f, in)
+		if err != nil {
+			t.Errorf("%s under %v: %v", l.Name, f, err)
+		}
+		// Every MAC operand was fetched through a bank.
+		if reads < l.MACs() {
+			t.Errorf("%s: %d bank reads below MAC count %d", l.Name, reads, l.MACs())
+		}
+	}
+}
+
+func TestVerifyBankedPlacementRejectsStride(t *testing.T) {
+	e := New(4)
+	l := nn.ConvLayer{M: 1, N: 1, S: 3, K: 2, Stride: 2}
+	in := tensor.NewMap3(1, l.InSize(), l.InSize())
+	if _, err := e.VerifyBankedPlacement(l, e.Chooser(l), in); err == nil {
+		t.Error("strided layer accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	e := New(16)
+	l := nn.ConvLayer{Name: "C3", M: 16, N: 6, S: 10, K: 5}
+	out := e.Describe(l)
+	for _, want := range []string{"factors", "style MFMNMS", "group passes", "banks", "U_t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	// A chunked layer mentions its spills.
+	big := nn.ConvLayer{Name: "big", M: 8, N: 512, S: 6, K: 3}
+	if out := e.Describe(big); !strings.Contains(out, "input chunks") {
+		t.Errorf("chunked layer not described:\n%s", out)
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/bus"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+)
+
+// Engine is a FlexFlow computing engine: a D×D PE matrix with per-PE
+// local stores, per-row adder trees, vertical/horizontal common data
+// buses, a 1-D pooling unit and an instruction decoder (Fig. 6).
+type Engine struct {
+	// D is the PE-array edge; the paper's evaluation configuration is
+	// 16 (256 PEs).
+	D int
+
+	// NeuronStoreWords and KernelStoreWords size the per-PE local
+	// stores in 16-bit words (256 B = 128 words each in Table 5).
+	NeuronStoreWords int
+	KernelStoreWords int
+
+	// BufferWords sizes each of the three on-chip buffers (two neuron
+	// buffers and one kernel buffer; 32 KB = 16384 words each).
+	BufferWords int
+
+	// RA, RS and IPDR enable the three dataflow optimizations of
+	// Sections 4.3–4.5. All default to on; switching one off models the
+	// ablated machine: without RA+RS every PE row fetches its own copy
+	// of overlapping neurons (and the vertical buses may stall), and
+	// without IPDR every row-group re-reads kernels from the buffer.
+	RA, RS, IPDR bool
+
+	// Chooser selects unrolling factors for a layer. The default is
+	// ChooseFactors with the layer's own S as the T_r/T_c bound; the
+	// compiler package installs a network-coupled chooser.
+	Chooser func(l nn.ConvLayer) arch.T
+
+	// Tracer, when non-nil, receives dataflow events from Simulate.
+	Tracer sim.Tracer
+
+	// VerticalBus and HorizontalBus, when non-nil, receive the
+	// Simulate-time bus activity: every neuron word placed on a column
+	// CDB (fanned out to the rows that stage it) and every kernel word
+	// placed on a row CDB (replicated by IPDR to the T_r·T_c rows of
+	// its logical group). They let tests and tools audit that the bus
+	// traffic equals the buffer-read counters.
+	VerticalBus   *bus.CDB
+	HorizontalBus *bus.CDB
+}
+
+// New returns a FlexFlow engine with the paper's Table 5 configuration
+// and all dataflow optimizations enabled.
+func New(d int) *Engine {
+	if d <= 0 {
+		panic("flexflow: D must be positive")
+	}
+	e := &Engine{
+		D:                d,
+		NeuronStoreWords: 128,
+		KernelStoreWords: 128,
+		BufferWords:      16384,
+		RA:               true,
+		RS:               true,
+		IPDR:             true,
+	}
+	e.Chooser = func(l nn.ConvLayer) arch.T { return ChooseFactors(l, e.D, l.S) }
+	return e
+}
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return "FlexFlow" }
+
+// PEs implements arch.Engine.
+func (e *Engine) PEs() int { return e.D * e.D }
+
+// ChooseFactors exhaustively searches the feasible unrolling factors of
+// Constraint (1) for the factor vector maximizing U_r·U_c (Section 5).
+// Because U_r depends only on ⟨T_n,T_i,T_j⟩ and U_c only on
+// ⟨T_m,T_r,T_c⟩, and the two triples are constrained independently
+// (column side ≤ D, row side ≤ D), the search decomposes into two
+// small independent maximizations. rcBound is the paper's P·K′ limit
+// on T_r and T_c from the next layers (pass l.S when unconstrained).
+func ChooseFactors(l nn.ConvLayer, d, rcBound int) arch.T {
+	if rcBound > l.S {
+		rcBound = l.S
+	}
+	if rcBound < 1 {
+		rcBound = 1
+	}
+	best := arch.T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1}
+
+	// Column side: maximize Eq. 2 over ⟨T_n,T_i,T_j⟩ with Tn·Ti·Tj ≤ D.
+	bestUr := -1.0
+	for tn := 1; tn <= min(l.N, d); tn++ {
+		for ti := 1; ti <= min(l.K, d/tn); ti++ {
+			for tj := 1; tj <= min(l.K, d/(tn*ti)); tj++ {
+				t := arch.T{Tn: tn, Ti: ti, Tj: tj, Tm: 1, Tr: 1, Tc: 1}
+				if ur := arch.RowUtilization(l, t, d); ur > bestUr+1e-12 {
+					bestUr = ur
+					best.Tn, best.Ti, best.Tj = tn, ti, tj
+				}
+			}
+		}
+	}
+
+	// Row side: maximize Eq. 3 over ⟨T_m,T_r,T_c⟩ with Tm·Tr·Tc ≤ D and
+	// T_r,T_c ≤ rcBound.
+	bestUc := -1.0
+	for tm := 1; tm <= min(l.M, d); tm++ {
+		for tr := 1; tr <= min(rcBound, d/tm); tr++ {
+			for tc := 1; tc <= min(rcBound, d/(tm*tr)); tc++ {
+				t := arch.T{Tm: tm, Tr: tr, Tc: tc, Tn: 1, Ti: 1, Tj: 1}
+				if uc := arch.ColUtilization(l, t, d); uc > bestUc+1e-12 {
+					bestUc = uc
+					best.Tm, best.Tr, best.Tc = tm, tr, tc
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ChooseFactorsCoupled is ChooseFactors with the column-side triple
+// ⟨T_n,T_i,T_j⟩ fixed by the previous layer's ⟨T_m,T_r,T_c⟩ (the IADP
+// inter-layer coupling of Section 5: outputs are written in the next
+// layer's layout, so the next layer must read with that geometry). The
+// coupled values are clamped into the layer's feasible range.
+func ChooseFactorsCoupled(l nn.ConvLayer, d, rcBound int, prev arch.T) arch.T {
+	t := ChooseFactors(l, d, rcBound)
+	t.Tn = clamp(prev.Tm, 1, min(l.N, d))
+	t.Ti = clamp(prev.Tr, 1, min(l.K, d/t.Tn))
+	t.Tj = clamp(prev.Tc, 1, min(l.K, d/(t.Tn*t.Ti)))
+	return t
+}
+
+// schedule is the concrete execution schedule of one layer: the
+// unrolling factors plus the input-map chunking that keeps the per-PE
+// working set inside the local stores. Each PE consumes one operand
+// pair per cycle, so over one pass it touches exactly
+// ⌈vN/T_n⌉·⌈K/T_i⌉·⌈K/T_j⌉ words of each kind. Layers whose full-N
+// working set overflows the 128-word stores are split into chunks of
+// input maps; partial sums are written back to the neuron buffer
+// between chunks and re-read for accumulation (the paper's Fig. 13f
+// mechanism).
+type schedule struct {
+	t      arch.T
+	kij    int64 // ⌈K/T_i⌉·⌈K/T_j⌉
+	nChunk int   // input maps per chunk (multiple of T_n), ≤ N
+	chunks int
+}
+
+// scheduleFor derives the layer's schedule from the chosen factors and
+// the local-store capacity.
+func (e *Engine) scheduleFor(l nn.ConvLayer, t arch.T) schedule {
+	kij := int64(ceilDiv(l.K, t.Ti)) * int64(ceilDiv(l.K, t.Tj))
+	cap64 := int64(min(e.NeuronStoreWords, e.KernelStoreWords))
+	blocks := int64(1)
+	if kij > 0 && cap64/kij > 0 {
+		blocks = cap64 / kij // n-blocks whose operands fit one PE store
+	}
+	nChunk := int(blocks) * t.Tn
+	if nChunk >= l.N {
+		nChunk = l.N
+	}
+	if nChunk < t.Tn {
+		nChunk = t.Tn // corner: even one n-block overflows; accept it
+	}
+	return schedule{
+		t:      t,
+		kij:    kij,
+		nChunk: nChunk,
+		chunks: ceilDiv(l.N, nChunk),
+	}
+}
+
+// cppChunk returns the compute cycles of one pass over a chunk of vN
+// input maps.
+func (s schedule) cppChunk(vN int) int64 {
+	return int64(ceilDiv(vN, s.t.Tn)) * s.kij
+}
+
+// passInfo describes one group pass over an output block for one input
+// chunk.
+type passInfo struct {
+	n0, vN        int // input-map chunk
+	m0, r0, c0    int // block origin in (map, row, col) space
+	vTm, vTr, vTc int // valid extent of the block
+	newMBlock     bool
+	firstChunk    bool
+}
+
+// forEachPass iterates the pass schedule: input chunks outermost (the
+// partial-sum loop), then m-blocks (so kernel local stores persist
+// across all position passes of an m-block), then output row/column
+// blocks.
+func forEachPass(l nn.ConvLayer, s schedule, fn func(p passInfo)) {
+	t := s.t
+	for n0 := 0; n0 < l.N; n0 += s.nChunk {
+		vN := min(s.nChunk, l.N-n0)
+		for m0 := 0; m0 < l.M; m0 += t.Tm {
+			first := true
+			for r0 := 0; r0 < l.S; r0 += t.Tr {
+				for c0 := 0; c0 < l.S; c0 += t.Tc {
+					fn(passInfo{
+						n0: n0, vN: vN,
+						m0: m0, r0: r0, c0: c0,
+						vTm:        min(t.Tm, l.M-m0),
+						vTr:        min(t.Tr, l.S-r0),
+						vTc:        min(t.Tc, l.S-c0),
+						newMBlock:  first,
+						firstChunk: n0 == 0,
+					})
+					first = false
+				}
+			}
+		}
+	}
+}
+
+// kernelPassReads returns the kernel-buffer reads and kernel
+// local-store writes caused by pass p. Kernels are loaded on entry to
+// each (chunk, m-block) and stay resident across its position passes;
+// when even one chunk overflows the store (the nChunk == Tn corner),
+// the non-resident fraction is re-streamed every pass. IPDR replicates
+// one buffer read to all T_r·T_c rows of a group; without it each
+// row-group issues its own read.
+func (e *Engine) kernelPassReads(l nn.ConvLayer, s schedule, p passInfo) (reads, localWrites int64) {
+	chunkWords := int64(p.vN) * int64(l.K) * int64(l.K)
+	validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
+	cpp := s.cppChunk(p.vN)
+	cap64 := int64(e.KernelStoreWords)
+	switch {
+	case p.newMBlock:
+		reads = int64(p.vTm) * chunkWords
+		localWrites = validRows * chunkWords
+	case cpp > cap64:
+		reads = int64(p.vTm) * chunkWords * (cpp - cap64) / cpp
+		localWrites = validRows * chunkWords * (cpp - cap64) / cpp
+	}
+	if !e.IPDR {
+		reads *= int64(p.vTr) * int64(p.vTc)
+	}
+	return reads, localWrites
+}
+
+// neuronReuseOK reports whether the inter-pass window reuse of RA+RS is
+// available: the chunk working set must fit the neuron local store so
+// the previous pass's overlap columns are still staged.
+func (e *Engine) neuronReuseOK(s schedule, vN int) bool {
+	return e.RA && e.RS && s.cppChunk(vN) <= int64(e.NeuronStoreWords)
+}
+
+// accountPass adds the cycle and traffic cost of one pass to res. It is
+// the analytic mirror of Simulate's measured accounting; the property
+// tests hold the two equal.
+func (e *Engine) accountPass(l nn.ConvLayer, s schedule, p passInfo, res *arch.LayerResult) {
+	cpp := s.cppChunk(p.vN)
+	chunkOps := int64(p.vN) * int64(l.K) * int64(l.K)
+	validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
+
+	// Neuron traffic: with RA+RS the union input window of the block is
+	// fetched once (overlaps between rows exploited by reordering and
+	// preloading), and consecutive c-blocks of a row band reuse the
+	// staged overlap columns, so only the stride·vTc new columns
+	// arrive. Without the optimizations every row fetches its own K×K
+	// windows. The union spans account for the layer stride: windows of
+	// consecutive outputs overlap only while stride < K.
+	str := l.Str()
+	rowSpan := int64(unionSpan(p.vTr, str, l.K))
+	var neuronWords int64
+	switch {
+	case !(e.RA && e.RS):
+		neuronWords = validRows * chunkOps
+	case e.neuronReuseOK(s, p.vN) && p.c0 > 0:
+		newCols := int64(p.vTc * str)
+		if full := int64(unionSpan(p.vTc, str, l.K)); newCols > full {
+			newCols = full
+		}
+		neuronWords = int64(p.vN) * rowSpan * newCols
+	default:
+		neuronWords = int64(p.vN) * rowSpan * int64(unionSpan(p.vTc, str, l.K))
+	}
+	res.NeuronLoads += neuronWords
+
+	kr, kw := e.kernelPassReads(l, s, p)
+	res.KernelLoads += kr
+	res.LocalWrites += kw
+
+	// Cycle cost: the compute schedule, plus vertical-bus stall cycles
+	// when the un-optimized neuron traffic exceeds the D words/cycle
+	// the D-banked buffer can feed during the pass.
+	cycles := cpp
+	if !(e.RA && e.RS) {
+		loadCycles := (neuronWords + int64(e.D) - 1) / int64(e.D)
+		if loadCycles > cycles {
+			cycles = loadCycles
+		}
+	}
+	res.Cycles += cycles
+
+	// Each valid output's chunk partial leaves the engine once per
+	// chunk; chunks after the first re-read the prior partial for
+	// accumulation (Fig. 13f).
+	res.NeuronStores += validRows
+	if !p.firstChunk {
+		res.NeuronLoads += validRows
+	}
+
+	// MAC-level counters: every valid output issues vN·K² MACs this
+	// pass, each reading both local stores once; RS preloads each
+	// operand slot once.
+	macs := validRows * chunkOps
+	res.MACs += macs
+	res.LocalReads += 2 * macs
+	res.LocalWrites += macs
+}
+
+// Model implements arch.Engine.
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	t := e.Chooser(l)
+	s := e.scheduleFor(l, t)
+	res := arch.LayerResult{
+		Arch: e.Name(), Layer: l, Factors: t, PEs: e.PEs(),
+	}
+	forEachPass(l, s, func(p passInfo) {
+		e.accountPass(l, s, p, &res)
+	})
+	e.modelDRAM(l, t, &res)
+	return res
+}
+
+func (e *Engine) modelDRAM(l nn.ConvLayer, t arch.T, res *arch.LayerResult) {
+	mBlocks := int64((l.M + t.Tm - 1) / t.Tm)
+	reload := int64(1)
+	if l.InputWords() > int64(e.BufferWords) {
+		// The input stack exceeds one neuron buffer: it is re-streamed
+		// once per m-block.
+		reload = mBlocks
+	}
+	res.DRAMReads = l.InputWords()*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}
+
+// unionSpan returns the length of the union of v stride-spaced windows
+// of length k: contiguous (v-1)·stride + k while stride < k, disjoint
+// v·k windows otherwise.
+func unionSpan(v, stride, k int) int {
+	if stride < k {
+		return (v-1)*stride + k
+	}
+	return v * k
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestSimulateMatchesGoldenConv(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "tiny", M: 1, N: 1, S: 3, K: 2},
+		{Name: "ex-c1", M: 2, N: 1, S: 10, K: 4}, // the paper's running example
+		{Name: "ex-c2", M: 2, N: 2, S: 4, K: 2},
+		{Name: "odd", M: 5, N: 3, S: 7, K: 3},
+	}
+	e := New(4)
+	for _, l := range layers {
+		in, k := makeOperands(l, 21)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if !got.Equal(tensor.Conv(in, k)) {
+			t.Errorf("%s: output differs from golden conv", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 16; trial++ {
+		e := New(2 + rng.Intn(5))
+		if trial%3 == 1 {
+			e.RA, e.RS = false, false
+		}
+		if trial%3 == 2 {
+			e.IPDR = false
+		}
+		l := nn.ConvLayer{
+			Name: "rand",
+			M:    1 + rng.Intn(5),
+			N:    1 + rng.Intn(3),
+			S:    2 + rng.Intn(6),
+			K:    1 + rng.Intn(4),
+		}
+		in, k := makeOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		for _, cmp := range []struct {
+			name     string
+			sim, mod int64
+		}{
+			{"Cycles", simRes.Cycles, mod.Cycles},
+			{"MACs", simRes.MACs, mod.MACs},
+			{"NeuronLoads", simRes.NeuronLoads, mod.NeuronLoads},
+			{"NeuronStores", simRes.NeuronStores, mod.NeuronStores},
+			{"KernelLoads", simRes.KernelLoads, mod.KernelLoads},
+			{"LocalReads", simRes.LocalReads, mod.LocalReads},
+			{"LocalWrites", simRes.LocalWrites, mod.LocalWrites},
+			{"DRAMReads", simRes.DRAMReads, mod.DRAMReads},
+		} {
+			if cmp.sim != cmp.mod {
+				t.Errorf("trial %d %+v (RA/RS=%v IPDR=%v): %s sim=%d model=%d",
+					trial, l, e.RA, e.IPDR, cmp.name, cmp.sim, cmp.mod)
+			}
+		}
+	}
+}
+
+func TestUtilizationEqualsEq2TimesEq3(t *testing.T) {
+	// With RA+RS on, achieved utilization is exactly U_r·U_c.
+	e := New(16)
+	layers := []nn.ConvLayer{
+		{Name: "LeNet-C1", M: 6, N: 1, S: 28, K: 5},
+		{Name: "LeNet-C3", M: 16, N: 6, S: 10, K: 5},
+		{Name: "PV-C3", M: 12, N: 8, S: 20, K: 3},
+	}
+	for _, l := range layers {
+		res := e.Model(l)
+		want := arch.TotalUtilization(l, res.Factors, e.D)
+		if got := res.Utilization(); !close(got, want) {
+			t.Errorf("%s: utilization %v, want Eq2×Eq3 = %v", l.Name, got, want)
+		}
+	}
+}
+
+func TestUtilizationHighAndStableOnPaperWorkloads(t *testing.T) {
+	// The substance of Fig. 15: FlexFlow sustains high, stable
+	// utilization on every CONV layer shape of the six workloads at
+	// 16×16. Note the paper's own Eq. 2/3 with its own Table 4 factors
+	// give 0.73 for PV C1 and 0.56 for VGG C1 (27-operand kernel set on
+	// 16 lanes), so the per-layer floor is 0.55, with most layers well
+	// above 0.75; the >80% headline is a workload-aggregate statement.
+	e := New(16)
+	layers := []nn.ConvLayer{
+		{M: 8, N: 1, S: 45, K: 6}, {M: 12, N: 8, S: 20, K: 3}, // PV
+		{M: 4, N: 1, S: 28, K: 5}, {M: 16, N: 4, S: 10, K: 4}, // FR
+		{M: 6, N: 1, S: 28, K: 5}, {M: 16, N: 6, S: 10, K: 5}, // LeNet-5
+		{M: 6, N: 1, S: 24, K: 5}, {M: 12, N: 6, S: 8, K: 4}, // HG
+		{M: 48, N: 3, S: 55, K: 11}, {M: 128, N: 48, S: 27, K: 5}, // AlexNet
+		{M: 192, N: 256, S: 13, K: 3},
+		{M: 64, N: 3, S: 222, K: 3}, {M: 512, N: 512, S: 6, K: 3}, // VGG
+	}
+	above75 := 0
+	for _, l := range layers {
+		u := e.Model(l).Utilization()
+		if u < 0.55 {
+			t.Errorf("layer %+v: utilization %.3f < 0.55", l, u)
+		}
+		if u >= 0.75 {
+			above75++
+		}
+	}
+	if above75 < len(layers)*2/3 {
+		t.Errorf("only %d/%d layers reach 75%% utilization", above75, len(layers))
+	}
+}
+
+func TestChooseFactorsRespectsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		l := nn.ConvLayer{
+			M: 1 + rng.Intn(64),
+			N: 1 + rng.Intn(32),
+			S: 1 + rng.Intn(60),
+			K: 1 + rng.Intn(11),
+		}
+		d := 2 + rng.Intn(31)
+		bound := 1 + rng.Intn(l.S)
+		f := ChooseFactors(l, d, bound)
+		if err := f.Validate(l, d, bound); err != nil {
+			t.Errorf("ChooseFactors(%+v, %d, %d) = %v violates constraints: %v", l, d, bound, f, err)
+		}
+	}
+}
+
+func TestChooseFactorsBeatsSingleParallelism(t *testing.T) {
+	// Complementary parallelism must never lose to any pure-NP, pure-SP
+	// or pure-FP configuration — the Section 4.2 claim.
+	e := New(16)
+	layers := []nn.ConvLayer{
+		{M: 6, N: 1, S: 28, K: 5},
+		{M: 16, N: 6, S: 10, K: 5},
+		{M: 12, N: 8, S: 20, K: 3},
+	}
+	for _, l := range layers {
+		best := arch.TotalUtilization(l, e.Chooser(l), 16)
+		pure := []arch.T{
+			{Tm: 1, Tn: 1, Tr: min(4, l.S), Tc: min(4, l.S), Ti: 1, Tj: 1},   // NP
+			{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: min(4, l.K), Tj: min(4, l.K)},   // SP
+			{Tm: min(16, l.M), Tn: min(16, l.N), Tr: 1, Tc: 1, Ti: 1, Tj: 1}, // FP
+		}
+		for i, p := range pure {
+			if p.Rows() > 16 || p.Cols() > 16 {
+				continue
+			}
+			if u := arch.TotalUtilization(l, p, 16); u > best+1e-9 {
+				t.Errorf("%+v: pure config %d (%v) utilization %v beats chosen %v", l, i, p, u, best)
+			}
+		}
+	}
+}
+
+func TestCoupledChooserPropagatesLayout(t *testing.T) {
+	// LeNet-5: C1's ⟨T_m,T_r,T_c⟩ must become C3's ⟨T_n,T_i,T_j⟩.
+	c1 := nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
+	c3 := nn.ConvLayer{Name: "C3", M: 16, N: 6, S: 10, K: 5}
+	f1 := ChooseFactors(c1, 16, 10)
+	f3 := ChooseFactorsCoupled(c3, 16, c3.S, f1)
+	if f3.Tn != f1.Tm {
+		t.Errorf("C3 Tn = %d, want C1 Tm = %d", f3.Tn, f1.Tm)
+	}
+	if err := f3.Validate(c3, 16, c3.S); err != nil {
+		t.Errorf("coupled factors invalid: %v", err)
+	}
+}
+
+func TestAblationRARSIncreasesTrafficAndCycles(t *testing.T) {
+	l := nn.ConvLayer{M: 16, N: 6, S: 10, K: 5}
+	on := New(16)
+	off := New(16)
+	off.RA, off.RS = false, false
+	ron, roff := on.Model(l), off.Model(l)
+	if roff.NeuronLoads <= ron.NeuronLoads {
+		t.Errorf("RA/RS off: NeuronLoads %d should exceed %d", roff.NeuronLoads, ron.NeuronLoads)
+	}
+	if roff.Cycles < ron.Cycles {
+		t.Errorf("RA/RS off: cycles %d should be ≥ %d", roff.Cycles, ron.Cycles)
+	}
+}
+
+func TestAblationIPDRIncreasesKernelTraffic(t *testing.T) {
+	l := nn.ConvLayer{M: 16, N: 6, S: 10, K: 5}
+	on := New(16)
+	off := New(16)
+	off.IPDR = false
+	ron, roff := on.Model(l), off.Model(l)
+	if roff.KernelLoads <= ron.KernelLoads {
+		t.Errorf("IPDR off: KernelLoads %d should exceed %d", roff.KernelLoads, ron.KernelLoads)
+	}
+}
+
+func TestSmallLocalStoresForceChunking(t *testing.T) {
+	// When the per-PE working set overflows the local stores, the
+	// schedule splits the input maps into chunks and spills partial
+	// sums between chunks (Fig. 13f): outputs are stored more than once
+	// and prior partials re-read, while total MACs are unchanged.
+	l := nn.ConvLayer{M: 4, N: 8, S: 6, K: 5}
+	big := New(2) // 128-word stores: single chunk
+	small := New(2)
+	small.NeuronStoreWords = 8
+	small.KernelStoreWords = 8
+	rb, rs := big.Model(l), small.Model(l)
+	if rb.NeuronStores != l.OutputWords() {
+		t.Errorf("big store: NeuronStores = %d, want %d", rb.NeuronStores, l.OutputWords())
+	}
+	if rs.NeuronStores <= rb.NeuronStores {
+		t.Errorf("small store: NeuronStores %d should exceed %d (partial-sum spills)", rs.NeuronStores, rb.NeuronStores)
+	}
+	if rs.MACs != rb.MACs {
+		t.Errorf("chunking changed MACs: %d vs %d", rs.MACs, rb.MACs)
+	}
+
+	// The chunked schedule must still produce bit-exact outputs.
+	in, k := makeOperands(l, 8)
+	got, _, err := small.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tensor.Conv(in, k)) {
+		t.Error("chunked simulation differs from golden conv")
+	}
+}
+
+func TestNoPartialSumSpills(t *testing.T) {
+	// FlexFlow completes each output within one pass: stores == outputs.
+	e := New(8)
+	l := nn.ConvLayer{M: 5, N: 3, S: 7, K: 3}
+	res := e.Model(l)
+	if res.NeuronStores != l.OutputWords() {
+		t.Errorf("NeuronStores = %d, want exactly %d outputs", res.NeuronStores, l.OutputWords())
+	}
+}
+
+func TestMappingFunctionsPaperExample(t *testing.T) {
+	// C1 of the Section 4 example on a 4×4 array with factors
+	// ⟨Tm=2, Tn=1, Tr=1, Tc=2, Ti=1, Tj=4⟩ (Fig. 8): output O(r,c) maps
+	// to row (m mod 2)·2 + c mod 2; neuron column is c mod 4.
+	t4 := arch.T{Tm: 2, Tn: 1, Tr: 1, Tc: 2, Ti: 1, Tj: 4}
+	if got := RowOf(0, 0, 0, t4); got != 0 {
+		t.Errorf("RowOf(0,0,0) = %d, want 0", got)
+	}
+	if got := RowOf(0, 0, 1, t4); got != 1 {
+		t.Errorf("RowOf(0,0,1) = %d, want 1 (second row of group 0)", got)
+	}
+	if got := RowOf(1, 0, 0, t4); got != 2 {
+		t.Errorf("RowOf(1,0,0) = %d, want 2 (map 1's rows)", got)
+	}
+	if got := ColOf(0, 0, 5, t4); got != 1 {
+		t.Errorf("ColOf(0,0,5) = %d, want 5 mod 4 = 1", got)
+	}
+	gm, gn := GroupOf(3, 0, t4)
+	if gm != 1 || gn != 0 {
+		t.Errorf("GroupOf(3,0) = (%d,%d), want (1,0)", gm, gn)
+	}
+	lo, hi := GroupRows(1, t4)
+	if lo != 2 || hi != 4 {
+		t.Errorf("GroupRows(1) = [%d,%d), want [2,4)", lo, hi)
+	}
+	lo, hi = GroupCols(0, t4)
+	if lo != 0 || hi != 4 {
+		t.Errorf("GroupCols(0) = [%d,%d), want [0,4)", lo, hi)
+	}
+}
+
+func TestPoolUnitMatchesGolden(t *testing.T) {
+	u := NewPoolUnit(16)
+	in := tensor.NewMap3(2, 8, 8)
+	in.FillPattern(5)
+	for _, kind := range []tensor.PoolKind{tensor.MaxPool, tensor.AvgPool} {
+		got, err := u.Apply(in, 2, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(tensor.Pool(in, 2, kind)) {
+			t.Errorf("%v pooling differs from golden", kind)
+		}
+	}
+	if u.Cycles() == 0 || u.Ops() == 0 {
+		t.Error("pool unit counters not advanced")
+	}
+}
+
+func TestPoolUnitRejectsBadWindow(t *testing.T) {
+	u := NewPoolUnit(4)
+	in := tensor.NewMap3(1, 2, 2)
+	if _, err := u.Apply(in, 0, tensor.MaxPool); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := u.Apply(in, 3, tensor.MaxPool); err == nil {
+		t.Error("oversized window accepted")
+	}
+}
+
+func TestSimulateRejectsBadShapes(t *testing.T) {
+	e := New(4)
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	if _, _, err := e.Simulate(l, tensor.NewMap3(2, 6, 6), tensor.NewKernel4(2, 1, 3)); err == nil {
+		t.Error("wrong-N input accepted")
+	}
+}
+
+func TestEngineIdentity(t *testing.T) {
+	e := New(16)
+	if e.Name() != "FlexFlow" || e.PEs() != 256 {
+		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

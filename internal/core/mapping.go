@@ -1,0 +1,49 @@
+// Package core implements the paper's contribution: the FlexFlow
+// flexible-dataflow convolutional engine (Section 4). A D×D matrix of
+// PEs — each with a multiplier, an adder, a neuron local store and a
+// kernel local store — is fed by vertical (neuron) and horizontal
+// (kernel) common data buses. Each PE row's adders form an adder tree,
+// so one row completes one output neuron. Complementary parallelism
+// maps a mixture of feature-map, neuron and synapse parallelism onto
+// the array: rows are shared between NP and FP (inter-row complement),
+// columns between SP and FP (intra-row complement).
+package core
+
+import "flexflow/internal/arch"
+
+// RowOf returns the PE row that output neuron O^(m)_(r,c) is mapped to
+// under factors t (paper §4.3): Row((m mod T_m)·T_r·T_c +
+// (r mod T_r)·T_c + c mod T_c).
+func RowOf(m, r, c int, t arch.T) int {
+	return (m%t.Tm)*t.Tr*t.Tc + (r%t.Tr)*t.Tc + c%t.Tc
+}
+
+// ColOf returns the PE column that input neuron I^(n)_(r,c) is
+// broadcast to under factors t: within its logical group, neuron (r,c)
+// goes to column (r mod T_i)·T_j + c mod T_j; groups are stacked along
+// the column axis by n mod T_n.
+func ColOf(n, r, c int, t arch.T) int {
+	return (n%t.Tn)*t.Ti*t.Tj + (r%t.Ti)*t.Tj + c%t.Tj
+}
+
+// GroupOf returns the logical group (gm, gn) that kernel K^(m,n) is
+// assigned to: Group(m mod T_m, n mod T_n). The complementary
+// parallelism principle divides the array into T_m×T_n logical groups
+// of (T_i·T_j)×(T_r·T_c) PEs.
+func GroupOf(m, n int, t arch.T) (gm, gn int) {
+	return m % t.Tm, n % t.Tn
+}
+
+// GroupRows returns the PE rows belonging to logical group row gm:
+// the T_r·T_c rows serving output map slot gm.
+func GroupRows(gm int, t arch.T) (lo, hi int) {
+	lo = gm * t.Tr * t.Tc
+	return lo, lo + t.Tr*t.Tc
+}
+
+// GroupCols returns the PE columns belonging to logical group column
+// gn: the T_i·T_j columns serving input map slot gn.
+func GroupCols(gn int, t arch.T) (lo, hi int) {
+	lo = gn * t.Ti * t.Tj
+	return lo, lo + t.Ti*t.Tj
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/mem"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// MicroSimulate executes a layer through the explicit component
+// micro-architecture — mem.BankedBuffer banks under the IADP layout,
+// per-PE mem.LocalStore pairs driven by mem.AddrGen FSMs, Row adder
+// trees — rather than the schedule-level index arithmetic of Simulate.
+// It is the slowest, highest-fidelity path and exists to cross-validate
+// Simulate: outputs must be bit-identical and the pass/cycle structure
+// must agree.
+//
+// Restrictions (it is a validation vehicle, not the workhorse): unit
+// stride, and the per-pass working set must fit the local stores (the
+// default schedule guarantees this except in the one-block corner).
+func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if l.Str() != 1 {
+		return nil, arch.LayerResult{}, fmt.Errorf("core: MicroSimulate supports unit stride")
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("core: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("core: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	t := e.Chooser(l)
+	if err := t.Validate(l, e.D, l.S); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	s := e.scheduleFor(l, t)
+	if cpp := s.cppChunk(s.nChunk); cpp > int64(e.NeuronStoreWords) || cpp > int64(e.KernelStoreWords) {
+		return nil, arch.LayerResult{}, fmt.Errorf("core: pass working set %d words exceeds the local stores", cpp)
+	}
+
+	// Stage the input stack into IADP banks (the distribution layer's
+	// source) and build the physical rows.
+	layout, _, _ := BufferPlan(l, t)
+	rowsPerSub := (layout.H + layout.Ti - 1) / layout.Ti
+	colsPerLane := (layout.W + layout.Tj - 1) / layout.Tj
+	mapsPerGroup := (l.N + layout.Tn - 1) / layout.Tn
+	bankWords := mapsPerGroup * rowsPerSub * colsPerLane
+	banks := mem.NewBankedBuffer(layout.Tn, layout.Ti, layout.Tj,
+		layout.Tn*layout.Ti*layout.Tj*bankWords)
+	for n := 0; n < in.N; n++ {
+		for r := 0; r < in.H; r++ {
+			for c := 0; c < in.W; c++ {
+				a := layout.Place(n, r, c)
+				banks.Bank(a.Group, a.Sub, a.Lane).Write(a.Offset, in.At(n, r, c))
+			}
+		}
+	}
+
+	physRows := make([]*Row, e.D)
+	for i := range physRows {
+		physRows[i] = NewRow(e.D, e.NeuronStoreWords, e.KernelStoreWords)
+	}
+
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	res := arch.LayerResult{Arch: e.Name() + "-micro", Layer: l, Factors: t, PEs: e.PEs()}
+
+	var simErr error
+	forEachPass(l, s, func(p passInfo) {
+		if simErr != nil {
+			return
+		}
+		cpp := int(s.cppChunk(p.vN))
+
+		// Preload every active PE's operand sequences in block order:
+		// for lane (tn,ti,tj) of the row serving output (m,r,c), the
+		// cycle-by-cycle operands across (nb,ib,jb) block steps. Neuron
+		// words are fetched through the IADP banks; idle slots (invalid
+		// lanes) carry zeros so the adder tree folds them harmlessly.
+		type rowJob struct {
+			row     int
+			m, r, c int
+		}
+		var jobs []rowJob
+		forEachValidOutput(l, t, p, func(m, r, c int) {
+			jobs = append(jobs, rowJob{RowOf(m, r, c, t), m, r, c})
+		})
+		for _, job := range jobs {
+			row := physRows[job.row]
+			for lane := 0; lane < t.Cols(); lane++ {
+				tn := lane / (t.Ti * t.Tj)
+				rem := lane % (t.Ti * t.Tj)
+				ti, tj := rem/t.Tj, rem%t.Tj
+				neurons := make([]fixed.Word, 0, cpp)
+				kern := make([]fixed.Word, 0, cpp)
+				for nb := 0; nb < ceilDiv(p.vN, t.Tn); nb++ {
+					for ib := 0; ib < ceilDiv(l.K, t.Ti); ib++ {
+						for jb := 0; jb < ceilDiv(l.K, t.Tj); jb++ {
+							n := p.n0 + nb*t.Tn + tn
+							i := ib*t.Ti + ti
+							j := jb*t.Tj + tj
+							if n >= p.n0+p.vN || i >= l.K || j >= l.K {
+								neurons = append(neurons, 0)
+								kern = append(kern, 0)
+								continue
+							}
+							a := layout.Place(n, job.r+i, job.c+j)
+							neurons = append(neurons, banks.Bank(a.Group, a.Sub, a.Lane).Read(a.Offset))
+							kern = append(kern, k.At(job.m, n, i, j))
+						}
+					}
+				}
+				pe := row.PEs[lane]
+				if err := pe.Preload(neurons, kern); err != nil {
+					simErr = err
+					return
+				}
+				gen := mem.AddrGen{Base: 0, Step: 1, Window: cpp, Replay: 1, Jump: 0, Rows: 1}
+				pe.Configure(gen, gen)
+			}
+			row.ResetAccumulator()
+		}
+
+		// Compute: cpp lock-step cycles across all active rows.
+		for cyc := 0; cyc < cpp; cyc++ {
+			for _, job := range jobs {
+				if err := physRows[job.row].Step(t.Cols()); err != nil {
+					simErr = err
+					return
+				}
+			}
+			res.Cycles++
+		}
+		res.MACs += int64(len(jobs)) * int64(p.vN) * int64(l.K) * int64(l.K)
+
+		// Drain through the row tails into the psum buffer.
+		for _, job := range jobs {
+			idx := (job.m*l.S+job.r)*l.S + job.c
+			psum[idx] = fixed.AddAcc(psum[idx], physRows[job.row].Accumulator())
+			res.NeuronStores++
+		}
+	})
+	if simErr != nil {
+		return nil, arch.LayerResult{}, simErr
+	}
+
+	for m := 0; m < l.M; m++ {
+		for r := 0; r < l.S; r++ {
+			for c := 0; c < l.S; c++ {
+				out.Set(m, r, c, psum[(m*l.S+r)*l.S+c].Round())
+			}
+		}
+	}
+	res.NeuronLoads = banks.Reads()
+	for _, row := range physRows {
+		for _, pe := range row.PEs {
+			res.LocalReads += pe.Neurons.Reads() + pe.Kernels.Reads()
+			res.LocalWrites += pe.Neurons.Writes() + pe.Kernels.Writes()
+		}
+	}
+	return out, res, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// OccupancyMap renders the Figure 8-style view of how a factor choice
+// lays a layer out on the D×D PE array during one (first) group pass:
+// each row is labelled with the output neuron it serves (m,r,c), each
+// column with its operand lane (n,i,j), idle rows/columns with dots.
+// It is the visual form of the complementary-parallelism mapping: rows
+// shared between NP and FP, columns between SP and FP.
+func OccupancyMap(l nn.ConvLayer, t arch.T, d int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PE occupancy of %s under %v on %dx%d (first pass)\n", l.Name, t, d, d)
+	fmt.Fprintf(&b, "rows = outputs (m,r,c): Tm=%d maps x Tr=%d x Tc=%d positions -> %d/%d rows\n",
+		t.Tm, t.Tr, t.Tc, minInt(t.Rows(), d), d)
+	fmt.Fprintf(&b, "cols = operands (n,i,j): Tn=%d maps x Ti=%d x Tj=%d taps      -> %d/%d cols\n",
+		t.Tn, t.Ti, t.Tj, minInt(t.Cols(), d), d)
+
+	colLabel := make([]string, d)
+	for col := 0; col < d; col++ {
+		if col >= t.Cols() {
+			colLabel[col] = "."
+			continue
+		}
+		tn := col / (t.Ti * t.Tj)
+		rem := col % (t.Ti * t.Tj)
+		ti, tj := rem/t.Tj, rem%t.Tj
+		used := tn < l.N && ti < l.K && tj < l.K
+		if !used {
+			colLabel[col] = "-"
+			continue
+		}
+		colLabel[col] = fmt.Sprintf("n%d:k%d,%d", tn, ti, tj)
+	}
+	// Header line of column labels (truncated for readability).
+	b.WriteString(fmt.Sprintf("%-14s", ""))
+	for col := 0; col < d; col++ {
+		b.WriteString(fmt.Sprintf("%-9s", colLabel[col]))
+	}
+	b.WriteString("\n")
+
+	for row := 0; row < d; row++ {
+		label := "."
+		if row < t.Rows() {
+			tm := row / (t.Tr * t.Tc)
+			rem := row % (t.Tr * t.Tc)
+			tr, tc := rem/t.Tc, rem%t.Tc
+			if tm < l.M && tr < l.S && tc < l.S {
+				label = fmt.Sprintf("O(%d,%d,%d)", tm, tr, tc)
+			} else {
+				label = "-"
+			}
+		}
+		b.WriteString(fmt.Sprintf("%-14s", label))
+		for col := 0; col < d; col++ {
+			cell := "."
+			if label != "." && label != "-" && colLabel[col] != "." && colLabel[col] != "-" {
+				cell = "#"
+			} else if label != "." && label != "-" || (colLabel[col] != "." && colLabel[col] != "-") {
+				cell = "-"
+			}
+			b.WriteString(fmt.Sprintf("%-9s", cell))
+		}
+		b.WriteString("\n")
+	}
+	active := minInt(t.Rows(), d) * minInt(t.Cols(), d)
+	fmt.Fprintf(&b, "active PEs: %d/%d (%.1f%%)\n", active, d*d, 100*float64(active)/float64(d*d))
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Describe renders a human-readable specification of how the engine
+// would schedule one layer: the chosen factors and processing style,
+// the pass/chunk structure, the IADP buffer partitionings, and the
+// local-store working sets. It is the textual counterpart of the
+// compiler's assembly output, from the engine's point of view.
+func (e *Engine) Describe(l nn.ConvLayer) string {
+	t := e.Chooser(l)
+	s := e.scheduleFor(l, t)
+	input, kernels, output := BufferPlan(l, t)
+	cpp := s.cppChunk(s.nChunk)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "layer %s on %dx%d FlexFlow\n", l, e.D, e.D)
+	fmt.Fprintf(&b, "  factors    %v  (style %s)\n", t, t.Style())
+	fmt.Fprintf(&b, "  rows       %d/%d outputs in flight, cols %d/%d operand lanes\n",
+		t.Rows(), e.D, t.Cols(), e.D)
+	fmt.Fprintf(&b, "  schedule   %d group passes x %d cycles", arch.GroupPasses(l, t), cpp)
+	if s.chunks > 1 {
+		fmt.Fprintf(&b, ", x%d input chunks of %d maps (partial sums spill)", s.chunks, s.nChunk)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  local      %d operand words/PE per pass (stores hold %d+%d)\n",
+		cpp, e.NeuronStoreWords, e.KernelStoreWords)
+	fmt.Fprintf(&b, "  buffers    in %dx%dx%d banks, kernel %dx%dx%d, out %dx%dx%d (next layer's read layout)\n",
+		input.Tn, input.Ti, input.Tj, kernels.Tm, kernels.Tr, kernels.Tc, output.Tn, output.Ti, output.Tj)
+	fmt.Fprintf(&b, "  U_r %.3f x U_c %.3f = U_t %.3f\n",
+		arch.RowUtilization(l, t, e.D), arch.ColUtilization(l, t, e.D), arch.TotalUtilization(l, t, e.D))
+	return b.String()
+}

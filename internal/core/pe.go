@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"flexflow/internal/fixed"
+	"flexflow/internal/mem"
+	"flexflow/internal/tensor"
+)
+
+// PE is one FlexFlow processing element (Fig. 7a): a multiplier, an
+// adder port into the row tree, a neuron local store, a kernel local
+// store, and the two M0–M3 address generators that drive the stores.
+// Unlike the 2D-Mapping PE (Fig. 7b) it has no neighbour interfaces:
+// operands arrive over the column/row buses into randomly addressable
+// local stores.
+type PE struct {
+	Neurons *mem.LocalStore
+	Kernels *mem.LocalStore
+
+	neuronAddr mem.AddrGen
+	kernelAddr mem.AddrGen
+}
+
+// NewPE builds a PE with the given local-store capacities (the paper's
+// configuration is 128+128 words).
+func NewPE(neuronWords, kernelWords int) *PE {
+	return &PE{
+		Neurons: mem.NewLocalStore(neuronWords),
+		Kernels: mem.NewLocalStore(kernelWords),
+	}
+}
+
+// Preload writes operand sequences into the local stores (the RS
+// preload over the vertical/horizontal buses). Write addressing is
+// auto-increment, as §4.4 specifies.
+func (pe *PE) Preload(neurons, kernels []fixed.Word) error {
+	if len(neurons) > pe.Neurons.Cap() {
+		return fmt.Errorf("core: %d neurons exceed local store capacity %d", len(neurons), pe.Neurons.Cap())
+	}
+	if len(kernels) > pe.Kernels.Cap() {
+		return fmt.Errorf("core: %d kernel words exceed local store capacity %d", len(kernels), pe.Kernels.Cap())
+	}
+	for i, v := range neurons {
+		pe.Neurons.Write(i, v)
+	}
+	for i, v := range kernels {
+		pe.Kernels.Write(i, v)
+	}
+	return nil
+}
+
+// Configure arms the two address generators for a pass. The generator
+// parameters are the four quantities §4.4 names: the window length,
+// the in-window step, the replay count (HOLD) and the row jump.
+func (pe *PE) Configure(neuron, kernel mem.AddrGen) {
+	pe.neuronAddr = neuron
+	pe.kernelAddr = kernel
+	pe.neuronAddr.Reset()
+	pe.kernelAddr.Reset()
+}
+
+// Step performs one cycle of the PE datapath: fetch one neuron and one
+// synapse at the FSM-generated addresses and return their product
+// (the PE's contribution into the row adder tree this cycle).
+func (pe *PE) Step() (fixed.Acc, error) {
+	if pe.neuronAddr.Done() || pe.kernelAddr.Done() {
+		return 0, fmt.Errorf("core: PE stepped past its configured sequence")
+	}
+	na, _ := pe.neuronAddr.Next()
+	ka, _ := pe.kernelAddr.Next()
+	n := pe.Neurons.Read(na)
+	k := pe.Kernels.Read(ka)
+	return fixed.MAC(0, n, k), nil
+}
+
+// Done reports whether the configured pass sequence is exhausted.
+func (pe *PE) Done() bool { return pe.neuronAddr.Done() || pe.kernelAddr.Done() }
+
+// Row is one PE row of the convolutional unit: Width PEs whose adders
+// form an adder tree feeding a single output accumulator, so the row
+// serves exactly one output neuron at a time (§4.1).
+type Row struct {
+	PEs []*PE
+	acc fixed.Acc
+}
+
+// NewRow builds a row of width PEs with the given store capacities.
+func NewRow(width, neuronWords, kernelWords int) *Row {
+	r := &Row{}
+	for i := 0; i < width; i++ {
+		r.PEs = append(r.PEs, NewPE(neuronWords, kernelWords))
+	}
+	return r
+}
+
+// ResetAccumulator clears the row output register for a new neuron.
+func (r *Row) ResetAccumulator() { r.acc = 0 }
+
+// Step runs one cycle: every active PE produces one product and the
+// adder tree folds them into the row accumulator. active limits how
+// many PEs participate (lanes beyond the layer's operand count idle).
+func (r *Row) Step(active int) error {
+	if active < 0 || active > len(r.PEs) {
+		return fmt.Errorf("core: active=%d out of row width %d", active, len(r.PEs))
+	}
+	var tree fixed.Acc
+	for i := 0; i < active; i++ {
+		p, err := r.PEs[i].Step()
+		if err != nil {
+			return err
+		}
+		tree = fixed.AddAcc(tree, p)
+	}
+	r.acc = fixed.AddAcc(r.acc, tree)
+	return nil
+}
+
+// Accumulator returns the row's current partial output neuron.
+func (r *Row) Accumulator() fixed.Acc { return r.acc }
+
+// RowMicroResult is the outcome of RowComputeWindow: the computed
+// output neurons plus the store traffic the microarchitecture needed.
+type RowMicroResult struct {
+	Outputs     []fixed.Word
+	LocalReads  int64
+	LocalWrites int64
+	Cycles      int64
+}
+
+// RowComputeWindow drives one PE row through the explicit Fig. 10
+// microarchitecture: K synapse-parallel lanes (T_j = K), each lane j
+// holding the staged input window and kernel row slice in its local
+// stores, computing `count` consecutive output neurons
+// O(m, r, c0..c0+count-1) of one (m, n) pair with a single preload.
+//
+// Lane j's neuron address generator walks the window rows with
+// M1/INCR + M3/JUMP (step = window row stride); its kernel generator
+// replays the kernel column with M2/HOLD for every subsequent output —
+// exactly the four-state schedule of Fig. 11. The point, and what the
+// tests pin, is that consecutive outputs re-use the staged window with
+// no new preloads (RA + RS).
+func RowComputeWindow(in *tensor.Map3, kn *tensor.Kernel4, m, n, r, c0, count int) (RowMicroResult, error) {
+	k := kn.K
+	winW := count + k - 1 // staged window width
+	row := NewRow(k, winW*k, k*k)
+
+	// Preload: every lane stages the window rows r..r+K-1 (row-major,
+	// stride winW) and its kernel column… the kernel store holds the
+	// full K×K kernel (IPDR broadcast), each lane reading its column.
+	window := make([]fixed.Word, 0, winW*k)
+	for i := 0; i < k; i++ {
+		for c := 0; c < winW; c++ {
+			window = append(window, in.At(n, r+i, c0+c))
+		}
+	}
+	kern := make([]fixed.Word, 0, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			kern = append(kern, kn.At(m, n, i, j))
+		}
+	}
+	for _, pe := range row.PEs {
+		if err := pe.Preload(window, kern); err != nil {
+			return RowMicroResult{}, err
+		}
+	}
+
+	var res RowMicroResult
+	for out := 0; out < count; out++ {
+		// Configure the lanes for output c0+out: neuron lane j reads
+		// window position (i, out+j) for i = 0..K-1; kernel lane j
+		// reads (i, j). Window length 1 with K rows makes every step a
+		// JUMP — the generator walks straight down the window column.
+		for j, pe := range row.PEs {
+			pe.Configure(
+				mem.AddrGen{Base: out + j, Step: 1, Window: 1, Replay: 1, Jump: winW, Rows: k},
+				mem.AddrGen{Base: j, Step: 1, Window: 1, Replay: 1, Jump: k, Rows: k},
+			)
+		}
+		row.ResetAccumulator()
+		for cyc := 0; cyc < k; cyc++ {
+			if err := row.Step(k); err != nil {
+				return RowMicroResult{}, err
+			}
+			res.Cycles++
+		}
+		res.Outputs = append(res.Outputs, row.Accumulator().Round())
+	}
+	for _, pe := range row.PEs {
+		res.LocalReads += pe.Neurons.Reads() + pe.Kernels.Reads()
+		res.LocalWrites += pe.Neurons.Writes() + pe.Kernels.Writes()
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"flexflow/internal/fixed"
+	"flexflow/internal/mem"
+	"flexflow/internal/tensor"
+)
+
+// goldenWindow computes Σ_{i,j} I(n, r+i, c+j)·K(m,n,i,j) directly.
+func goldenWindow(in *tensor.Map3, kn *tensor.Kernel4, m, n, r, c int) fixed.Word {
+	var acc fixed.Acc
+	for i := 0; i < kn.K; i++ {
+		for j := 0; j < kn.K; j++ {
+			acc = fixed.MAC(acc, in.At(n, r+i, c+j), kn.At(m, n, i, j))
+		}
+	}
+	return acc.Round()
+}
+
+func TestRowComputeWindowMatchesGolden(t *testing.T) {
+	in := tensor.NewMap3(2, 9, 9)
+	in.FillPattern(3)
+	kn := tensor.NewKernel4(2, 2, 4)
+	kn.FillPattern(4)
+
+	res, err := RowComputeWindow(in, kn, 1, 0, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(res.Outputs))
+	}
+	for i, got := range res.Outputs {
+		want := goldenWindow(in, kn, 1, 0, 2, 1+i)
+		if got != want {
+			t.Errorf("output %d = %v, want %v", i, got, want)
+		}
+	}
+	// K cycles per output through K lanes.
+	if res.Cycles != 3*4 {
+		t.Errorf("cycles = %d, want 12", res.Cycles)
+	}
+}
+
+func TestRowComputeWindowReusesPreload(t *testing.T) {
+	// The RA/RS point: computing more consecutive outputs grows reads
+	// but not local-store writes (the window was staged once).
+	in := tensor.NewMap3(1, 8, 8)
+	in.FillPattern(5)
+	kn := tensor.NewKernel4(1, 1, 3)
+	kn.FillPattern(6)
+
+	one, err := RowComputeWindow(in, kn, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RowComputeWindow(in, kn, 0, 0, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.LocalReads <= one.LocalReads {
+		t.Errorf("reads should grow with outputs: %d vs %d", four.LocalReads, one.LocalReads)
+	}
+	// Writes grow only with the wider staged window (3 extra columns ×
+	// K rows × K lanes), far less than a full re-stage per output.
+	extra := four.LocalWrites - one.LocalWrites
+	if extra >= one.LocalWrites {
+		t.Errorf("per-output re-staging detected: base %d, extra %d", one.LocalWrites, extra)
+	}
+}
+
+func TestPEStepSequence(t *testing.T) {
+	pe := NewPE(8, 8)
+	if err := pe.Preload(
+		[]fixed.Word{fixed.FromFloat(1), fixed.FromFloat(2)},
+		[]fixed.Word{fixed.FromFloat(3), fixed.FromFloat(4)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	pe.Configure(
+		mem.AddrGen{Base: 0, Step: 1, Window: 2, Replay: 1, Jump: 0, Rows: 1},
+		mem.AddrGen{Base: 0, Step: 1, Window: 2, Replay: 1, Jump: 0, Rows: 1},
+	)
+	p1, err := pe.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.Round(); got != fixed.FromFloat(3) {
+		t.Errorf("step 1 product = %v, want 3", got.Float())
+	}
+	p2, _ := pe.Step()
+	if got := p2.Round(); got != fixed.FromFloat(8) {
+		t.Errorf("step 2 product = %v, want 8", got.Float())
+	}
+	if !pe.Done() {
+		t.Error("PE should be done after its sequence")
+	}
+	if _, err := pe.Step(); err == nil {
+		t.Error("stepping past the sequence should error")
+	}
+}
+
+func TestPEPreloadOverflow(t *testing.T) {
+	pe := NewPE(2, 2)
+	if err := pe.Preload(make([]fixed.Word, 3), nil); err == nil {
+		t.Error("neuron overflow accepted")
+	}
+	if err := pe.Preload(nil, make([]fixed.Word, 3)); err == nil {
+		t.Error("kernel overflow accepted")
+	}
+}
+
+func TestRowAdderTree(t *testing.T) {
+	row := NewRow(3, 4, 4)
+	for i, pe := range row.PEs {
+		if err := pe.Preload(
+			[]fixed.Word{fixed.FromFloat(float64(i + 1))},
+			[]fixed.Word{fixed.One},
+		); err != nil {
+			t.Fatal(err)
+		}
+		pe.Configure(
+			mem.AddrGen{Base: 0, Step: 1, Window: 1, Replay: 1, Jump: 0, Rows: 1},
+			mem.AddrGen{Base: 0, Step: 1, Window: 1, Replay: 1, Jump: 0, Rows: 1},
+		)
+	}
+	if err := row.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 3 = 6 folded through the tree in one cycle.
+	if got := row.Accumulator().Round(); got != fixed.FromFloat(6) {
+		t.Errorf("tree sum = %v, want 6", got.Float())
+	}
+	row.ResetAccumulator()
+	if row.Accumulator() != 0 {
+		t.Error("ResetAccumulator failed")
+	}
+}
+
+func TestRowStepValidatesActive(t *testing.T) {
+	row := NewRow(2, 4, 4)
+	if err := row.Step(3); err == nil {
+		t.Error("active > width accepted")
+	}
+	if err := row.Step(-1); err == nil {
+		t.Error("negative active accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"flexflow/internal/fixed"
+	"flexflow/internal/tensor"
+)
+
+// PoolUnit is FlexFlow's 1-D pooling unit (Fig. 6): a row of Width
+// lightweight ALUs that subsample convolution results before they
+// re-enter a neuron buffer, reducing inter-layer data transmission.
+type PoolUnit struct {
+	Width int // number of ALUs (the paper sizes it to the array edge D)
+
+	cycles int64
+	ops    int64
+}
+
+// NewPoolUnit returns a pooling unit with the given ALU count.
+func NewPoolUnit(width int) *PoolUnit {
+	if width <= 0 {
+		panic("flexflow: pool unit width must be positive")
+	}
+	return &PoolUnit{Width: width}
+}
+
+// Cycles and Ops return the accumulated usage counters.
+func (u *PoolUnit) Cycles() int64 { return u.cycles }
+func (u *PoolUnit) Ops() int64    { return u.ops }
+
+// Apply subsamples the stack with non-overlapping P×P windows. Each
+// window costs P²-1 comparator/adder operations (plus one scale for
+// average pooling); the Width ALUs process windows in parallel, one
+// window element per ALU per cycle.
+func (u *PoolUnit) Apply(in *tensor.Map3, p int, kind tensor.PoolKind) (*tensor.Map3, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("flexflow: pooling window %d must be positive", p)
+	}
+	if in.H/p <= 0 || in.W/p <= 0 {
+		return nil, fmt.Errorf("flexflow: pooling window %d exceeds map %dx%d", p, in.H, in.W)
+	}
+	outH, outW := in.H/p, in.W/p
+	out := tensor.NewMap3(in.N, outH, outW)
+	inv := fixed.FromFloat(1.0 / float64(p*p))
+
+	windows := int64(in.N) * int64(outH) * int64(outW)
+	elemsPerWindow := int64(p * p)
+	// Width windows proceed in parallel; each consumes one element per
+	// cycle.
+	u.cycles += ((windows + int64(u.Width) - 1) / int64(u.Width)) * elemsPerWindow
+	u.ops += windows * elemsPerWindow
+
+	for n := 0; n < in.N; n++ {
+		for r := 0; r < outH; r++ {
+			for c := 0; c < outW; c++ {
+				switch kind {
+				case tensor.MaxPool:
+					best := in.At(n, r*p, c*p)
+					for i := 0; i < p; i++ {
+						for j := 0; j < p; j++ {
+							if v := in.At(n, r*p+i, c*p+j); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, r, c, best)
+				case tensor.AvgPool:
+					var sum fixed.Acc
+					for i := 0; i < p; i++ {
+						for j := 0; j < p; j++ {
+							sum = fixed.AddAcc(sum, in.At(n, r*p+i, c*p+j).Extend())
+						}
+					}
+					out.Set(n, r, c, fixed.Mul(sum.Round(), inv))
+				default:
+					return nil, fmt.Errorf("flexflow: unknown pooling kind %v", kind)
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// Simulate implements arch.Engine: it executes the layer through the
+// explicit pass schedule — rows as output neurons, columns as operand
+// lanes, a row adder tree per cycle, input-map chunks spilling partial
+// sums between passes — producing the actual output feature maps.
+// Neuron traffic is counted by set-union over the operands each pass
+// actually touches, so the test that Simulate and Model agree
+// cross-checks the analytic RA/RS window formula against measured
+// dataflow.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("flexflow: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("flexflow: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	t := e.Chooser(l)
+	if err := t.Validate(l, e.D, l.S); err != nil {
+		return nil, arch.LayerResult{}, fmt.Errorf("flexflow: chosen factors invalid: %w", err)
+	}
+	s := e.scheduleFor(l, t)
+
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	res := arch.LayerResult{Arch: e.Name(), Layer: l, Factors: t, PEs: e.PEs()}
+	var clock sim.Clock
+
+	acc := make([]fixed.Acc, t.Rows())
+	seen := make(map[int]struct{})
+
+	str := l.Str()
+	forEachPass(l, s, func(p passInfo) {
+		validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
+		chunkOps := int64(p.vN) * int64(l.K) * int64(l.K)
+
+		// Kernel (re)load into the local stores.
+		kr, kw := e.kernelPassReads(l, s, p)
+		res.KernelLoads += kr
+		res.LocalWrites += kw
+
+		// RS preload: collect the union of neuron operands this pass
+		// touches. With RA+RS each word is charged once and the words
+		// already staged by earlier c-blocks of the same row band are
+		// reused when the per-PE working set fits the local store (seen
+		// persists across a band and resets at c0 == 0); without the
+		// optimizations every consuming row fetches its own copy.
+		if p.c0 == 0 || !e.neuronReuseOK(s, p.vN) {
+			clear(seen)
+		}
+		before := int64(len(seen))
+		var perRowWords int64
+		forEachValidOutput(l, t, p, func(m, r, c int) {
+			perRowWords += chunkOps
+			for n := p.n0; n < p.n0+p.vN; n++ {
+				for i := 0; i < l.K; i++ {
+					for j := 0; j < l.K; j++ {
+						seen[(n*in.H+(r*str+i))*in.W+(c*str+j)] = struct{}{}
+					}
+				}
+			}
+		})
+		var neuronWords int64
+		if e.RA && e.RS {
+			neuronWords = int64(len(seen)) - before
+		} else {
+			neuronWords = perRowWords
+		}
+		res.NeuronLoads += neuronWords
+		res.LocalWrites += validRows * chunkOps // each operand slot preloaded once
+		if e.VerticalBus != nil && neuronWords > 0 {
+			e.VerticalBus.BroadcastN(neuronWords, int(validRows))
+		}
+		if e.HorizontalBus != nil && kr > 0 {
+			fanout := 1
+			if e.IPDR {
+				fanout = p.vTr * p.vTc
+			}
+			e.HorizontalBus.BroadcastN(kr, fanout)
+		}
+
+		// Compute phase: cppChunk block steps through (n, i, j) space.
+		for i := range acc {
+			acc[i] = 0
+		}
+		nBlocks := ceilDiv(p.vN, t.Tn)
+		iBlocks := ceilDiv(l.K, t.Ti)
+		jBlocks := ceilDiv(l.K, t.Tj)
+		for nb := 0; nb < nBlocks; nb++ {
+			for ib := 0; ib < iBlocks; ib++ {
+				for jb := 0; jb < jBlocks; jb++ {
+					forEachValidOutput(l, t, p, func(m, r, c int) {
+						row := RowOf(m, r, c, t)
+						var tree fixed.Acc
+						for tn := 0; tn < t.Tn; tn++ {
+							n := p.n0 + nb*t.Tn + tn
+							if n >= p.n0+p.vN {
+								continue
+							}
+							for ti := 0; ti < t.Ti; ti++ {
+								i := ib*t.Ti + ti
+								if i >= l.K {
+									continue
+								}
+								for tj := 0; tj < t.Tj; tj++ {
+									j := jb*t.Tj + tj
+									if j >= l.K {
+										continue
+									}
+									tree = fixed.MAC(tree, in.At(n, r*str+i, c*str+j), k.At(m, n, i, j))
+									res.MACs++
+									res.LocalReads += 2
+									if e.Tracer != nil {
+										e.Tracer.Trace(sim.Event{
+											Cycle: clock.Cycle(), Kind: sim.EvMAC,
+											Row: row, Col: ColOf(n, i, j, t),
+											What: fmt.Sprintf("O(%d,%d,%d)", m, r, c),
+										})
+									}
+								}
+							}
+						}
+						acc[row] = fixed.AddAcc(acc[row], tree)
+					})
+					clock.Tick()
+				}
+			}
+		}
+
+		// Stall cycles for the un-optimized machine (bus-limited loads).
+		if !(e.RA && e.RS) {
+			loadCycles := (neuronWords + int64(e.D) - 1) / int64(e.D)
+			if loadCycles > s.cppChunk(p.vN) {
+				clock.Advance(loadCycles - s.cppChunk(p.vN))
+			}
+		}
+
+		// Drain: each valid row's chunk partial leaves through the row
+		// tail and accumulates into the neuron buffer; chunks after the
+		// first re-read the prior partial (Fig. 13f).
+		forEachValidOutput(l, t, p, func(m, r, c int) {
+			row := RowOf(m, r, c, t)
+			idx := (m*l.S+r)*l.S + c
+			psum[idx] = fixed.AddAcc(psum[idx], acc[row])
+			res.NeuronStores++
+			if !p.firstChunk {
+				res.NeuronLoads++
+			}
+			if e.Tracer != nil {
+				e.Tracer.Trace(sim.Event{Cycle: clock.Cycle(), Kind: sim.EvStore,
+					Row: row, Col: -1, What: fmt.Sprintf("O(%d,%d,%d)", m, r, c)})
+			}
+		})
+	})
+
+	for m := 0; m < l.M; m++ {
+		for r := 0; r < l.S; r++ {
+			for c := 0; c < l.S; c++ {
+				out.Set(m, r, c, psum[(m*l.S+r)*l.S+c].Round())
+			}
+		}
+	}
+	res.Cycles = clock.Cycle()
+	e.modelDRAM(l, t, &res)
+	return out, res, nil
+}
+
+// forEachValidOutput visits the valid (m, r, c) outputs of one pass in
+// row order.
+func forEachValidOutput(l nn.ConvLayer, t arch.T, p passInfo, fn func(m, r, c int)) {
+	for tm := 0; tm < t.Tm; tm++ {
+		m := p.m0 + tm
+		if m >= l.M {
+			continue
+		}
+		for tr := 0; tr < t.Tr; tr++ {
+			r := p.r0 + tr
+			if r >= l.S {
+				continue
+			}
+			for tc := 0; tc < t.Tc; tc++ {
+				c := p.c0 + tc
+				if c >= l.S {
+					continue
+				}
+				fn(m, r, c)
+			}
+		}
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func stridedOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestStridedSimulateMatchesGolden(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "s2", M: 2, N: 1, S: 4, K: 3, Stride: 2},
+		{Name: "s3", M: 1, N: 2, S: 3, K: 2, Stride: 3},
+		{Name: "s4-alexlike", M: 3, N: 2, S: 5, K: 5, Stride: 4},
+		{Name: "s-eq-k", M: 2, N: 1, S: 4, K: 2, Stride: 2}, // stride == K
+		{Name: "s-gt-k", M: 1, N: 1, S: 3, K: 2, Stride: 3}, // disjoint windows
+	}
+	e := New(4)
+	for _, l := range layers {
+		in, k := stridedOperands(l, 77)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		want := tensor.ConvStride(in, k, l.Str())
+		if !got.Equal(want) {
+			t.Errorf("%s: strided output differs from golden", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestStridedModelMatchesSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 14; trial++ {
+		e := New(2 + rng.Intn(4))
+		l := nn.ConvLayer{
+			Name:   "rand",
+			M:      1 + rng.Intn(4),
+			N:      1 + rng.Intn(3),
+			S:      2 + rng.Intn(4),
+			K:      1 + rng.Intn(4),
+			Stride: 1 + rng.Intn(4),
+		}
+		in, k := stridedOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		if simRes.NeuronLoads != mod.NeuronLoads {
+			t.Errorf("%+v: NeuronLoads sim=%d model=%d", l, simRes.NeuronLoads, mod.NeuronLoads)
+		}
+		if simRes.Cycles != mod.Cycles {
+			t.Errorf("%+v: Cycles sim=%d model=%d", l, simRes.Cycles, mod.Cycles)
+		}
+		if simRes.MACs != mod.MACs {
+			t.Errorf("%+v: MACs sim=%d model=%d", l, simRes.MACs, mod.MACs)
+		}
+	}
+}
+
+func TestInSizeWithStride(t *testing.T) {
+	// AlexNet's real C1: 55 outputs, K=11, stride 4 ⇒ 227-pixel input.
+	l := nn.ConvLayer{M: 48, N: 3, S: 55, K: 11, Stride: 4}
+	if got := l.InSize(); got != 227 {
+		t.Errorf("InSize = %d, want 227", got)
+	}
+	if l.Str() != 4 {
+		t.Errorf("Str = %d", l.Str())
+	}
+	// Zero stride behaves as 1.
+	u := nn.ConvLayer{S: 4, K: 3}
+	if u.InSize() != 6 || u.Str() != 1 {
+		t.Errorf("unit-stride defaults broken: in=%d str=%d", u.InSize(), u.Str())
+	}
+}
+
+func TestStridedTrafficBelowNaive(t *testing.T) {
+	// Even at stride 2, RA/RS reuse must beat the per-row naive fetch.
+	l := nn.ConvLayer{M: 4, N: 2, S: 6, K: 3, Stride: 2}
+	on := New(8)
+	off := New(8)
+	off.RA, off.RS = false, false
+	if onLoads, offLoads := on.Model(l).NeuronLoads, off.Model(l).NeuronLoads; onLoads >= offLoads {
+		t.Errorf("RA/RS loads %d should be below naive %d", onLoads, offLoads)
+	}
+}
+
+func TestGoldenConvStride(t *testing.T) {
+	// Hand-checked 1-map stride-2 case.
+	in := tensor.NewMap3(1, 5, 5)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			in.Set(0, r, c, tensor.NewMap3(1, 1, 1).At(0, 0, 0)) // zero
+		}
+	}
+	in.Set(0, 0, 0, 256) // 1.0
+	in.Set(0, 2, 2, 512) // 2.0
+	k := tensor.NewKernel4(1, 1, 1)
+	k.Set(0, 0, 0, 0, 256) // identity
+	out := tensor.ConvStride(in, k, 2)
+	if out.H != 3 || out.W != 3 {
+		t.Fatalf("stride-2 output %dx%d, want 3x3", out.H, out.W)
+	}
+	if out.At(0, 0, 0) != 256 || out.At(0, 1, 1) != 512 || out.At(0, 0, 1) != 0 {
+		t.Errorf("strided sampling wrong: %v %v %v", out.At(0, 0, 0), out.At(0, 1, 1), out.At(0, 0, 1))
+	}
+}
+
+func TestStridedAlexNetC1Model(t *testing.T) {
+	// The real AlexNet C1 (stride 4) on a 16×16 FlexFlow engine: the
+	// analytic model must run and keep utilization in the same band as
+	// the unit-stride shape (stride changes traffic, not occupancy).
+	l := nn.ConvLayer{Name: "C1", M: 48, N: 3, S: 55, K: 11, Stride: 4}
+	e := New(16)
+	res := e.Model(l)
+	if u := res.Utilization(); u < 0.5 || u > 1.0 {
+		t.Errorf("strided C1 utilization = %v", u)
+	}
+	if res.MACs != l.MACs() {
+		t.Errorf("MACs = %d, want %d", res.MACs, l.MACs())
+	}
+	// Stride 4 windows overlap much less: traffic per MAC must exceed
+	// the unit-stride layer's.
+	unit := nn.ConvLayer{Name: "C1u", M: 48, N: 3, S: 55, K: 11}
+	ru := e.Model(unit)
+	perMAC := func(r int64, m int64) float64 { return float64(r) / float64(m) }
+	if perMAC(res.NeuronLoads, res.MACs) <= perMAC(ru.NeuronLoads, ru.MACs) {
+		t.Error("strided windows should need more fresh words per MAC")
+	}
+}

@@ -1,0 +1,195 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"flexflow/internal/arch"
+)
+
+func sampleResult() arch.LayerResult {
+	return arch.LayerResult{
+		PEs: 256, Cycles: 1000, MACs: 200000,
+		LocalReads: 400000, LocalWrites: 200000,
+		NeuronLoads: 5000, NeuronStores: 2000, KernelLoads: 1000,
+		InterPEMoves: 3000, DRAMReads: 800, DRAMWrites: 200,
+	}
+}
+
+func TestLayerEnergyComponents(t *testing.T) {
+	p := Default65nm()
+	b := p.LayerEnergy(sampleResult(), 16)
+	idle := float64(1000*256 - 200000)
+	wantCompute := 200000*p.MAC + 400000*p.LocalRead + 200000*p.LocalWrite + idle*p.IdlePE
+	if !close(b.Compute, wantCompute) {
+		t.Errorf("Compute = %v, want %v", b.Compute, wantCompute)
+	}
+	if !close(b.NeuronIn, 5000*p.BufRead) {
+		t.Errorf("NeuronIn = %v", b.NeuronIn)
+	}
+	if !close(b.NeuronOut, 2000*p.BufWrite) {
+		t.Errorf("NeuronOut = %v", b.NeuronOut)
+	}
+	if !close(b.KernelIn, 1000*p.BufRead) {
+		t.Errorf("KernelIn = %v", b.KernelIn)
+	}
+	if !close(b.DRAM, 1000*p.DRAM) {
+		t.Errorf("DRAM = %v", b.DRAM)
+	}
+	if b.Interconnect <= 0 || b.Leakage <= 0 {
+		t.Error("interconnect/leakage must be positive")
+	}
+	if !close(b.TotalPJ(), b.ChipPJ()+b.DRAM) {
+		t.Error("TotalPJ != ChipPJ + DRAM")
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{Compute: 1, NeuronIn: 2, NeuronOut: 3, KernelIn: 4, Interconnect: 5, Leakage: 6, DRAM: 7}
+	s := a.Add(a)
+	if s.Compute != 2 || s.NeuronIn != 4 || s.DRAM != 14 {
+		t.Errorf("Add = %+v", s)
+	}
+}
+
+func TestPowerMW(t *testing.T) {
+	// 1000 pJ chip energy over 1000 cycles at 1 GHz = 1 µs ⇒ 1 mW.
+	b := Breakdown{Compute: 1000}
+	if got := PowerMW(b, 1000, 1e9); !close(got, 1.0) {
+		t.Errorf("PowerMW = %v, want 1", got)
+	}
+	if PowerMW(b, 0, 1e9) != 0 {
+		t.Error("zero cycles should give zero power")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := EfficiencyGOPSPerW(400, 1000); !close(got, 400) {
+		t.Errorf("400 GOPS at 1 W = %v GOPS/W, want 400", got)
+	}
+	if EfficiencyGOPSPerW(400, 0) != 0 {
+		t.Error("zero power should give zero efficiency")
+	}
+}
+
+func TestBusEnergyGrowsWithEdge(t *testing.T) {
+	// The per-word bus energy grows with wire length (edge); isolate it
+	// from the per-MAC delivery term, whose spine cost amortizes with
+	// scale.
+	p := Default65nm()
+	r := sampleResult()
+	r.MACs = 0
+	small := p.LayerEnergy(r, 16).Interconnect
+	large := p.LayerEnergy(r, 64).Interconnect
+	if large <= small {
+		t.Errorf("bus energy at edge 64 (%v) should exceed edge 16 (%v)", large, small)
+	}
+}
+
+func TestDeliveryShareDeclines(t *testing.T) {
+	// §6.2.5: with the same per-MAC activity, the interconnect share of
+	// a MAC-dominated load declines as the array grows.
+	p := Default65nm()
+	r := sampleResult()
+	share := func(edge int) float64 {
+		b := p.LayerEnergy(r, edge)
+		return b.Interconnect / b.ChipPJ()
+	}
+	if !(share(16) > share(32) && share(32) > share(64)) {
+		t.Errorf("interconnect share should decline: %v %v %v", share(16), share(32), share(64))
+	}
+}
+
+func TestAreaCalibration(t *testing.T) {
+	// The four baselines at the paper's 16×16-equivalent configuration
+	// must land near the reported layouts (±15%): Systolic 3.52,
+	// 2D-Mapping 3.46, Tiling 3.21, FlexFlow 3.89 mm².
+	cases := []struct {
+		name       string
+		pes, local int
+		want       float64
+	}{
+		{"Systolic", 252, 4, 3.52}, // 7×6×6 PEs, two registers each
+		{"2D-Mapping", 256, 8, 3.46},
+		{"Tiling", 256, 2, 3.21},
+		{"FlexFlow", 256, 512, 3.89},
+	}
+	for _, c := range cases {
+		got := Area(c.name, c.pes, c.local, 64*1024)
+		if math.Abs(got-c.want)/c.want > 0.15 {
+			t.Errorf("%s area = %.2f mm², want ≈ %.2f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFlexFlowAreaScalesBetter(t *testing.T) {
+	// Fig. 19c: at 64×64 the baselines' wiring must have grown faster
+	// than FlexFlow's.
+	growth := func(name string, local int) float64 {
+		return Area(name, 4096, local, 64*1024) / Area(name, 256, local, 64*1024)
+	}
+	ff := growth("FlexFlow", 512)
+	for _, b := range []struct {
+		name  string
+		local int
+	}{{"2D-Mapping", 8}, {"Tiling", 2}} {
+		if g := growth(b.name, b.local); g <= ff {
+			t.Errorf("%s growth %.2f should exceed FlexFlow growth %.2f", b.name, g, ff)
+		}
+	}
+}
+
+func TestUnknownArchFallsBack(t *testing.T) {
+	if Area("Mystery", 256, 0, 64*1024) <= 0 {
+		t.Error("fallback area must be positive")
+	}
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDefault65nmCalibrationPins(t *testing.T) {
+	// Guard the calibration: these constants were fitted to the paper's
+	// reported envelope (FlexFlow ≈ 1 W at 16×16/1 GHz, Table 6 split,
+	// §6.2.5 interconnect share). Changing them shifts every artifact
+	// in EXPERIMENTS.md, so a change must be deliberate.
+	p := Default65nm()
+	pins := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"MAC", p.MAC, 1.00},
+		{"LocalRead", p.LocalRead, 0.60},
+		{"LocalWrite", p.LocalWrite, 0.70},
+		{"BufRead", p.BufRead, 6.00},
+		{"BufWrite", p.BufWrite, 7.00},
+		{"DRAM", p.DRAM, 200.0},
+		{"TreeBase", p.TreeBase, 0.75},
+		{"TreeAmort", p.TreeAmort, 8.0},
+		{"IdlePE", p.IdlePE, 1.0},
+	}
+	for _, pin := range pins {
+		if !close(pin.got, pin.want) {
+			t.Errorf("Default65nm.%s = %v, want %v (recalibrate EXPERIMENTS.md if intentional)", pin.name, pin.got, pin.want)
+		}
+	}
+}
+
+func TestIdlePEChargesIdleCyclesOnly(t *testing.T) {
+	p := Default65nm()
+	busy := arch.LayerResult{PEs: 4, Cycles: 100, MACs: 400} // fully busy
+	idle := arch.LayerResult{PEs: 4, Cycles: 100, MACs: 0}   // fully idle
+	bb := p.LayerEnergy(busy, 16)
+	bi := p.LayerEnergy(idle, 16)
+	// Fully busy: no idle charge beyond the MAC-linear terms.
+	wantBusy := 400 * p.MAC
+	if !close(bb.Compute, wantBusy) {
+		t.Errorf("busy compute = %v, want %v", bb.Compute, wantBusy)
+	}
+	wantIdle := 400 * p.IdlePE
+	if !close(bi.Compute, wantIdle) {
+		t.Errorf("idle compute = %v, want %v", bi.Compute, wantIdle)
+	}
+}

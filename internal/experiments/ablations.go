@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/energy"
+	"flexflow/internal/metrics"
+	"flexflow/internal/nn"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/workloads"
+)
+
+func energyDefault() energy.Params { return energy.Default65nm() }
+
+func powerMW(b energy.Breakdown, cycles int64) float64 {
+	return energy.PowerMW(b, cycles, ClockHz)
+}
+
+// AblationRow measures one FlexFlow configuration against the full
+// machine on one workload.
+type AblationRow struct {
+	Workload string
+	Config   string
+	Cycles   int64
+	Volume   int64 // buffer↔PE words
+	Util     float64
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out, across
+// the six workloads on the 16×16 engine:
+//
+//   - full: RA+RS+IPDR on, DP-coupled compiler plan;
+//   - no-RA/RS: overlapping neurons re-broadcast per row, vertical
+//     buses stall when loads exceed D words/cycle;
+//   - no-IPDR: kernels re-read per row-group instead of replicated;
+//   - greedy-coupled: layer-by-layer coupling instead of the DP.
+func Ablations() ([]AblationRow, string) {
+	var rows []AblationRow
+	tb := metrics.NewTable("Ablations — FlexFlow design choices (16x16)",
+		"Workload", "Config", "Cycles", "Buf<->PE words", "Utilization")
+
+	add := func(nw *nn.Network, name string, engine *core.Engine) {
+		r := arch.RunModel(engine, nw)
+		row := AblationRow{Workload: nw.Name, Config: name,
+			Cycles: r.Cycles(), Volume: r.DataVolume(), Util: r.Utilization()}
+		rows = append(rows, row)
+		tb.Add(nw.Name, name,
+			fmt.Sprintf("%d", row.Cycles),
+			fmt.Sprintf("%d", row.Volume),
+			metrics.Pct(row.Util))
+	}
+
+	for _, nw := range workloads.All() {
+		full := FlexFlowFor(nw, 16)
+		add(nw, "full", full)
+
+		noRARS := FlexFlowFor(nw, 16)
+		noRARS.RA, noRARS.RS = false, false
+		add(nw, "no-RA/RS", noRARS)
+
+		noIPDR := FlexFlowFor(nw, 16)
+		noIPDR.IPDR = false
+		add(nw, "no-IPDR", noIPDR)
+
+		greedy := core.New(16)
+		greedy.Chooser = greedyChooser(nw, 16)
+		add(nw, "greedy-coupled", greedy)
+	}
+	return rows, tb.String()
+}
+
+// greedyChooser chains ChooseFactorsCoupled layer by layer — the
+// planning strategy the DP replaces — precomputed per layer shape.
+func greedyChooser(nw *nn.Network, d int) func(nn.ConvLayer) arch.T {
+	byShape := make(map[nn.ConvLayer]arch.T)
+	var prev arch.T
+	for i, l := range nw.ConvLayers() {
+		var f arch.T
+		if i == 0 {
+			f = core.ChooseFactors(l, d, l.S)
+		} else {
+			f = core.ChooseFactorsCoupled(l, d, l.S, prev)
+		}
+		byShape[l] = f
+		prev = f
+	}
+	return func(l nn.ConvLayer) arch.T {
+		if f, ok := byShape[l]; ok {
+			return f
+		}
+		return core.ChooseFactors(l, d, l.S)
+	}
+}
+
+// StridedRow compares one AlexNet C1 representation on FlexFlow.
+type StridedRow struct {
+	Variant string
+	Cycles  int64
+	Volume  int64
+	Util    float64
+	DRAMOp  float64
+}
+
+// StridedAlexNet is an extension artifact: the Table 1 (shape-only,
+// unit-stride) view of AlexNet C1 against its real geometry (11×11
+// kernel at stride 4 over a 227-pixel input) on the 16×16 FlexFlow
+// engine. The MAC count is identical; stride cuts window overlap, so
+// traffic per MAC rises while occupancy holds — the engine absorbs the
+// strided dataflow that the rigid baselines cannot express.
+func StridedAlexNet() ([]StridedRow, string) {
+	unit := workloads.AlexNet().ConvLayers()[0]
+	strided := workloads.AlexNetStrided().ConvLayers()[0]
+
+	var rows []StridedRow
+	tb := metrics.NewTable("Extension — AlexNet C1, unit-stride shape vs real stride-4 geometry (FlexFlow 16x16)",
+		"Variant", "Input px", "Cycles", "Buf<->PE words", "Utilization", "DRAM Acc/Op")
+	for _, v := range []struct {
+		name  string
+		layer nn.ConvLayer
+	}{
+		{"Table-1 shape (stride 1)", unit},
+		{"real C1 (stride 4)", strided},
+	} {
+		e := core.New(16)
+		r := e.Model(v.layer)
+		row := StridedRow{
+			Variant: v.name,
+			Cycles:  r.Cycles,
+			Volume:  r.DataVolume(),
+			Util:    r.Utilization(),
+			DRAMOp:  float64(r.DRAMReads+r.DRAMWrites) / float64(2*r.MACs),
+		}
+		rows = append(rows, row)
+		tb.Add(v.name,
+			fmt.Sprintf("%d", v.layer.InSize()),
+			fmt.Sprintf("%d", row.Cycles),
+			fmt.Sprintf("%d", row.Volume),
+			metrics.Pct(row.Util),
+			fmt.Sprintf("%.4f", row.DRAMOp))
+	}
+	return rows, tb.String()
+}
+
+// FiveWay is an extension figure: the paper's four architectures plus
+// our row-stationary (Eyeriss-like) engine at a 16×16-comparable scale,
+// across the six workloads. RS was the strongest contemporary
+// alternative (§7); placing it on the same axes shows where FlexFlow's
+// flexibility matters even against a well-reused fixed dataflow.
+func FiveWay() ([]WorkloadSeries, string) {
+	names := append(append([]string{}, ArchNames...), "Row-Stationary")
+	nws := workloads.All()
+	var series []WorkloadSeries
+	ut := metrics.NewTable("Extension — five-way utilization (16x16-comparable)",
+		append([]string{"Workload"}, names...)...)
+	gp := metrics.NewTable("Extension — five-way performance, GOPS @ 1 GHz",
+		append([]string{"Workload"}, names...)...)
+	for _, nw := range nws {
+		engines := EnginesFor(nw, 16)
+		engines = append(engines, rowstat.New(16, 16))
+		vals := make([]float64, len(engines))
+		uRow := []string{nw.Name}
+		gRow := []string{nw.Name}
+		for j, e := range engines {
+			r := arch.RunModel(e, nw)
+			vals[j] = r.Utilization()
+			uRow = append(uRow, metrics.Pct(vals[j]))
+			gRow = append(gRow, fmt.Sprintf("%.0f", r.GOPS(ClockHz)))
+		}
+		series = append(series, WorkloadSeries{Workload: nw.Name, Values: vals})
+		ut.Add(uRow...)
+		gp.Add(gRow...)
+	}
+	return series, ut.String() + "\n" + gp.String()
+}
+
+// BalancedPoint is one λ setting of the cycles/traffic trade-off.
+type BalancedPoint struct {
+	Lambda  float64
+	Cycles  int64
+	Volume  int64
+	Util    float64
+	PowerMW float64
+}
+
+// BalancedSweep sweeps the PlanBalanced λ knob on one workload: the
+// Pareto curve between latency (cycles) and data movement that the
+// traffic-aware compiler exposes. λ = 0 is the paper's cycles-only
+// objective.
+func BalancedSweep(name string) ([]BalancedPoint, string) {
+	nw := workloads.ByName(name)
+	if nw == nil {
+		return nil, "unknown workload " + name
+	}
+	p := energyDefault()
+	var pts []BalancedPoint
+	tb := metrics.NewTable(
+		fmt.Sprintf("Balanced-plan sweep on %s (16x16): cycles vs data movement", name),
+		"lambda", "Cycles", "Buf<->PE words", "Utilization", "Power (mW)")
+	for _, lambda := range []float64{0, 10, 50, 200, 1000} {
+		e := core.New(16)
+		e.Chooser = compiler.PlanBalanced(nw, 16, lambda).Chooser()
+		r := arch.RunModel(e, nw)
+		b := p.RunEnergy(r, 16)
+		pt := BalancedPoint{
+			Lambda:  lambda,
+			Cycles:  r.Cycles(),
+			Volume:  r.DataVolume(),
+			Util:    r.Utilization(),
+			PowerMW: powerMW(b, r.Cycles()),
+		}
+		pts = append(pts, pt)
+		tb.Add(fmt.Sprintf("%.0f", lambda),
+			fmt.Sprintf("%d", pt.Cycles),
+			fmt.Sprintf("%d", pt.Volume),
+			metrics.Pct(pt.Util),
+			fmt.Sprintf("%.0f", pt.PowerMW))
+	}
+	return pts, tb.String() + "\nA YES row means the cycle model's performance would be DRAM-limited\n" +
+		"at this bandwidth — the paper's numbers implicitly assume enough\n" +
+		"bandwidth; FlexFlow's data reuse keeps the big nets under the roof.\n"
+}
+
+// RooflinePoint places one workload×architecture pair on the roofline:
+// operational intensity (ops per DRAM byte) against achieved and
+// attainable GOPS under a DRAM bandwidth budget.
+type RooflinePoint struct {
+	Workload   string
+	Arch       string
+	Intensity  float64 // ops / DRAM byte
+	Achieved   float64 // GOPS from the cycle model
+	Attainable float64 // min(peak, intensity × bandwidth)
+}
+
+// rooflineBandwidthGBs is the assumed DRAM bandwidth: a single DDR3
+// channel of the paper's era (~12.8 GB/s).
+const rooflineBandwidthGBs = 12.8
+
+// Roofline is an extension artifact: the classic roofline placement of
+// every architecture on every workload. FlexFlow's low DRAM Acc/Op
+// (Table 7) buys it high operational intensity, so its high utilization
+// is actually *servable* by one memory channel — the quantitative link
+// between Fig. 17 and Fig. 16.
+func Roofline() ([]RooflinePoint, string) {
+	nws, results := RunAll(16)
+	var pts []RooflinePoint
+	tb := metrics.NewTable(
+		fmt.Sprintf("Extension — roofline @ %.1f GB/s DRAM, 1 GHz", rooflineBandwidthGBs),
+		"Workload", "Architecture", "Ops/byte", "Achieved GOPS", "Attainable GOPS", "Memory-bound?")
+	for i, nw := range nws {
+		for j, name := range ArchNames {
+			r := results[i][j]
+			bytes := float64(r.DRAMAccesses()) * 2
+			ops := float64(2 * r.MACs())
+			intensity := ops / bytes
+			peak := 2 * float64(r.Layers[0].PEs)
+			attainable := intensity * rooflineBandwidthGBs
+			if attainable > peak {
+				attainable = peak
+			}
+			pt := RooflinePoint{
+				Workload: nw.Name, Arch: name,
+				Intensity:  intensity,
+				Achieved:   r.GOPS(ClockHz),
+				Attainable: attainable,
+			}
+			pts = append(pts, pt)
+			bound := "no"
+			if pt.Achieved > pt.Attainable {
+				bound = "YES"
+			}
+			tb.Add(nw.Name, name,
+				fmt.Sprintf("%.0f", pt.Intensity),
+				fmt.Sprintf("%.0f", pt.Achieved),
+				fmt.Sprintf("%.0f", pt.Attainable),
+				bound)
+		}
+	}
+	return pts, tb.String()
+}
+
+// BandwidthPoint is one DRAM-bandwidth setting of the sensitivity sweep.
+type BandwidthPoint struct {
+	GBs     float64
+	GOPS    []float64 // wall-clock GOPS per ArchNames entry
+	Compute []float64 // pure-compute GOPS (bandwidth-independent)
+}
+
+// BandwidthSensitivity is an extension artifact: effective whole-network
+// GOPS on AlexNet when DRAM traffic must stream through a finite
+// bandwidth with double-buffered overlap. Architectures that re-fetch
+// from DRAM (low operational intensity) fall off first; FlexFlow's
+// reuse keeps its compute roof reachable at realistic bandwidths.
+func BandwidthSensitivity() ([]BandwidthPoint, string) {
+	nw := workloads.AlexNet()
+	engines := EnginesFor(nw, 16)
+	runs := make([]arch.RunResult, len(engines))
+	for j, e := range engines {
+		runs[j] = arch.RunModel(e, nw)
+	}
+	var pts []BandwidthPoint
+	tb := metrics.NewTable("Extension — DRAM bandwidth sensitivity (AlexNet, wall-clock GOPS)",
+		append([]string{"Bandwidth"}, ArchNames...)...)
+	for _, gbs := range []float64{3.2, 6.4, 12.8, 25.6, 51.2} {
+		wordsPerCycle := gbs / 2.0 // GB/s at 1 GHz = bytes/cycle; 2 bytes/word
+		pt := BandwidthPoint{GBs: gbs,
+			GOPS:    make([]float64, len(engines)),
+			Compute: make([]float64, len(engines))}
+		row := []string{fmt.Sprintf("%.1f GB/s", gbs)}
+		for j := range engines {
+			wall := runs[j].WallClock(wordsPerCycle)
+			pt.GOPS[j] = float64(2*runs[j].MACs()) / float64(wall)
+			pt.Compute[j] = runs[j].GOPS(ClockHz)
+			row = append(row, fmt.Sprintf("%.0f", pt.GOPS[j]))
+		}
+		pts = append(pts, pt)
+		tb.Add(row...)
+	}
+	return pts, tb.String()
+}

@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6). Each generator returns typed data
+// plus a rendered text report; the repository-level benchmarks and the
+// flexbench command drive these generators, and EXPERIMENTS.md records
+// the outputs against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+// ClockHz is the evaluation clock: all baselines run at 1 GHz (§6.2.3).
+const ClockHz = 1e9
+
+// ArchNames lists the four architectures in the paper's order.
+var ArchNames = []string{"Systolic", "2D-Mapping", "Tiling", "FlexFlow"}
+
+// SystolicFor builds the paper's Systolic baseline at the given
+// engine scale (array-edge equivalent): K₀×K₀ arrays with K₀ = 6
+// (11 for AlexNet, §6.1.1), replicated to fill the scale² PE budget.
+func SystolicFor(nw *nn.Network, scale int) *systolic.Engine {
+	k0 := 6
+	if nw != nil && nw.Name == "AlexNet" {
+		k0 = 11
+	}
+	arrays := scale * scale / (k0 * k0)
+	if arrays < 1 {
+		arrays = 1
+	}
+	return systolic.New(k0, arrays)
+}
+
+// FlexFlowFor builds a FlexFlow engine configured by the compiler's
+// coupled plan for the workload.
+func FlexFlowFor(nw *nn.Network, scale int) *core.Engine {
+	e := core.New(scale)
+	if nw != nil {
+		e.Chooser = compiler.Plan(nw, scale).Chooser()
+	}
+	return e
+}
+
+// EnginesFor returns the four §6.1.1 baselines at the given scale,
+// keyed by ArchNames order.
+func EnginesFor(nw *nn.Network, scale int) []arch.Engine {
+	return []arch.Engine{
+		SystolicFor(nw, scale),
+		mapping2d.New(scale),
+		tiling.New(scale, scale),
+		FlexFlowFor(nw, scale),
+	}
+}
+
+// RunAll evaluates every workload on every architecture at the given
+// scale, returning results indexed [workload][arch]. Workloads are
+// independent, so they run concurrently (the dominant cost is the
+// compiler's factor search for the big nets).
+func RunAll(scale int) ([]*nn.Network, [][]arch.RunResult) {
+	nws := workloads.All()
+	out := make([][]arch.RunResult, len(nws))
+	var wg sync.WaitGroup
+	for i, nw := range nws {
+		wg.Add(1)
+		go func(i int, nw *nn.Network) {
+			defer wg.Done()
+			engines := EnginesFor(nw, scale)
+			out[i] = make([]arch.RunResult, len(engines))
+			for j, e := range engines {
+				out[i][j] = arch.RunModel(e, nw)
+			}
+		}(i, nw)
+	}
+	wg.Wait()
+	return nws, out
+}
+
+// EdgeOf returns the physical array-edge proxy used for wire-length
+// dependent energy: the scale the engine was built at.
+func EdgeOf(scale int) int { return scale }
+
+func fmtFactor(f arch.T) string {
+	return fmt.Sprintf("<%d,%d,%d,%d,%d,%d>", f.Tm, f.Tn, f.Tr, f.Tc, f.Ti, f.Tj)
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/energy"
+	"flexflow/internal/metrics"
+	"flexflow/internal/workloads"
+)
+
+// WorkloadSeries is one figure's data: per-workload values for each
+// architecture (Values is keyed by ArchNames order).
+type WorkloadSeries struct {
+	Workload string
+	Values   []float64
+}
+
+// Figure1 reproduces the motivation figure: achievable performance of
+// the three rigid baselines on LeNet-5, normalized to their nominal
+// (peak) GOPS.
+func Figure1() ([]WorkloadSeries, string) {
+	nw := workloads.LeNet5()
+	engines := EnginesFor(nw, 16)[:3] // the three baselines
+	var series []WorkloadSeries
+	tb := metrics.NewTable("Figure 1 — Achievable vs nominal performance, LeNet-5 (16x16-scale engines)",
+		"Architecture", "Nominal GOPS", "Achieved GOPS", "Achieved/Nominal")
+	var labels []string
+	var ratios []float64
+	for _, e := range engines {
+		res := arch.RunModel(e, nw)
+		nominal := 2 * float64(e.PEs()) // 2 ops/MAC at 1 GHz
+		achieved := res.GOPS(ClockHz)
+		ratio := achieved / nominal
+		series = append(series, WorkloadSeries{Workload: e.Name(), Values: []float64{nominal, achieved, ratio}})
+		tb.AddF(e.Name(), nominal, achieved, metrics.Pct(ratio))
+		labels = append(labels, e.Name())
+		ratios = append(ratios, ratio)
+	}
+	return series, tb.String() + "\n" + metrics.BarGroup("Achieved/Nominal", labels, ratios, 40)
+}
+
+// Figure15 reproduces the computing-resource-utilization comparison:
+// four architectures across the six workloads.
+func Figure15() ([]WorkloadSeries, string) {
+	nws, results := RunAll(16)
+	var series []WorkloadSeries
+	tb := metrics.NewTable("Figure 15 — Computing resource utilization (16x16 scale)",
+		append([]string{"Workload"}, ArchNames...)...)
+	for i, nw := range nws {
+		vals := make([]float64, len(ArchNames))
+		cells := []string{nw.Name}
+		for j := range ArchNames {
+			vals[j] = results[i][j].Utilization()
+			cells = append(cells, metrics.Pct(vals[j]))
+		}
+		series = append(series, WorkloadSeries{Workload: nw.Name, Values: vals})
+		tb.Add(cells...)
+	}
+	return series, tb.String()
+}
+
+// Figure16 reproduces the performance comparison (GOPS at 1 GHz).
+func Figure16() ([]WorkloadSeries, string) {
+	nws, results := RunAll(16)
+	var series []WorkloadSeries
+	tb := metrics.NewTable("Figure 16 — Performance, GOPS @ 1 GHz (16x16 scale)",
+		append([]string{"Workload"}, ArchNames...)...)
+	var bars strings.Builder
+	for i, nw := range nws {
+		vals := make([]float64, len(ArchNames))
+		cells := []string{nw.Name}
+		for j := range ArchNames {
+			vals[j] = results[i][j].GOPS(ClockHz)
+			cells = append(cells, fmt.Sprintf("%.1f", vals[j]))
+		}
+		series = append(series, WorkloadSeries{Workload: nw.Name, Values: vals})
+		tb.Add(cells...)
+		bars.WriteString(metrics.BarGroup(nw.Name, ArchNames, vals, 40))
+	}
+	return series, tb.String() + "\n" + bars.String()
+}
+
+// Figure17 reproduces the data-reusability comparison: total volume of
+// data transmitted between on-chip buffers and PEs, in MB.
+func Figure17() ([]WorkloadSeries, string) {
+	nws, results := RunAll(16)
+	var series []WorkloadSeries
+	tb := metrics.NewTable("Figure 17 — Data transmission volume, MB (16x16 scale)",
+		append([]string{"Workload"}, ArchNames...)...)
+	for i, nw := range nws {
+		vals := make([]float64, len(ArchNames))
+		cells := []string{nw.Name}
+		for j := range ArchNames {
+			vals[j] = metrics.Words2MB(results[i][j].DataVolume())
+			cells = append(cells, fmt.Sprintf("%.2f", vals[j]))
+		}
+		series = append(series, WorkloadSeries{Workload: nw.Name, Values: vals})
+		tb.Add(cells...)
+	}
+	return series, tb.String()
+}
+
+// Figure18Data holds the three §6.2.5 panels for one workload.
+type Figure18Data struct {
+	Workload   string
+	Efficiency []float64 // GOPS/W (Fig. 18a)
+	EnergyMJ   []float64 // on-chip energy in mJ (Fig. 18b; millijoules × 10⁻³ for small nets)
+	PowerMW    []float64 // average power in mW (Fig. 18c)
+}
+
+// Figure18 reproduces the power-efficiency, energy and power panels.
+func Figure18() ([]Figure18Data, string) {
+	nws, results := RunAll(16)
+	p := energy.Default65nm()
+	var data []Figure18Data
+	eff := metrics.NewTable("Figure 18a — Power efficiency, GOPS/W", append([]string{"Workload"}, ArchNames...)...)
+	enr := metrics.NewTable("Figure 18b — On-chip energy, µJ", append([]string{"Workload"}, ArchNames...)...)
+	pow := metrics.NewTable("Figure 18c — Average power, mW", append([]string{"Workload"}, ArchNames...)...)
+	for i, nw := range nws {
+		d := Figure18Data{Workload: nw.Name,
+			Efficiency: make([]float64, len(ArchNames)),
+			EnergyMJ:   make([]float64, len(ArchNames)),
+			PowerMW:    make([]float64, len(ArchNames))}
+		effC := []string{nw.Name}
+		enrC := []string{nw.Name}
+		powC := []string{nw.Name}
+		for j := range ArchNames {
+			r := results[i][j]
+			b := p.RunEnergy(r, EdgeOf(16))
+			powerMW := energy.PowerMW(b, r.Cycles(), ClockHz)
+			gops := r.GOPS(ClockHz)
+			d.PowerMW[j] = powerMW
+			d.Efficiency[j] = energy.EfficiencyGOPSPerW(gops, powerMW)
+			d.EnergyMJ[j] = b.ChipPJ() * 1e-6 // pJ → µJ
+			effC = append(effC, fmt.Sprintf("%.0f", d.Efficiency[j]))
+			enrC = append(enrC, fmt.Sprintf("%.1f", d.EnergyMJ[j]))
+			powC = append(powC, fmt.Sprintf("%.0f", d.PowerMW[j]))
+		}
+		data = append(data, d)
+		eff.Add(effC...)
+		enr.Add(enrC...)
+		pow.Add(powC...)
+	}
+	return data, eff.String() + "\n" + enr.String() + "\n" + pow.String()
+}
+
+// Figure19Data is one scalability point.
+type Figure19Data struct {
+	Scale       int // array edge (8, 16, 32, 64)
+	Utilization []float64
+	PowerMW     []float64
+	AreaMM2     []float64
+}
+
+// figure19LocalBytes gives the per-PE local storage of each baseline
+// for the area model.
+var figure19LocalBytes = []int{4, 8, 2, 512}
+
+// Figure19 reproduces the scalability study on AlexNet: utilization,
+// power and area at 8×8 … 64×64 PEs.
+func Figure19() ([]Figure19Data, string) {
+	nw := workloads.AlexNet()
+	p := energy.Default65nm()
+	scales := []int{8, 16, 32, 64}
+	var data []Figure19Data
+	ut := metrics.NewTable("Figure 19a — Utilization vs scale (AlexNet)", append([]string{"Scale"}, ArchNames...)...)
+	pw := metrics.NewTable("Figure 19b — Power vs scale, mW (AlexNet)", append([]string{"Scale"}, ArchNames...)...)
+	ar := metrics.NewTable("Figure 19c — Area vs scale, mm²", append([]string{"Scale"}, ArchNames...)...)
+	for _, s := range scales {
+		d := Figure19Data{Scale: s,
+			Utilization: make([]float64, len(ArchNames)),
+			PowerMW:     make([]float64, len(ArchNames)),
+			AreaMM2:     make([]float64, len(ArchNames))}
+		utC := []string{fmt.Sprintf("%dx%d", s, s)}
+		pwC := []string{fmt.Sprintf("%dx%d", s, s)}
+		arC := []string{fmt.Sprintf("%dx%d", s, s)}
+		for j, e := range EnginesFor(nw, s) {
+			r := arch.RunModel(e, nw)
+			b := p.RunEnergy(r, EdgeOf(s))
+			d.Utilization[j] = r.Utilization()
+			d.PowerMW[j] = energy.PowerMW(b, r.Cycles(), ClockHz)
+			d.AreaMM2[j] = energy.Area(e.Name(), e.PEs(), figure19LocalBytes[j], 64*1024)
+			utC = append(utC, metrics.Pct(d.Utilization[j]))
+			pwC = append(pwC, fmt.Sprintf("%.0f", d.PowerMW[j]))
+			arC = append(arC, fmt.Sprintf("%.2f", d.AreaMM2[j]))
+		}
+		data = append(data, d)
+		ut.Add(utC...)
+		pw.Add(pwC...)
+		ar.Add(arC...)
+	}
+	return data, ut.String() + "\n" + pw.String() + "\n" + ar.String()
+}
+
+// InterconnectPowerData is the §6.2.5 routing-network power share of
+// FlexFlow at one scale.
+type InterconnectPowerData struct {
+	Scale int
+	Share float64
+}
+
+// InterconnectPower reproduces the §6.2.5 observation: the share of
+// FlexFlow's power spent in the routing network declines gently with
+// the PE scale (the paper reports 28.3% at 16×16, 26.0% at 32×32,
+// 21.3% at 64×64; our bus model includes the local-store-fed datapath
+// so the absolute share is lower, but the declining trend is the
+// claim).
+func InterconnectPower() ([]InterconnectPowerData, string) {
+	nw := workloads.AlexNet()
+	p := energy.Default65nm()
+	var data []InterconnectPowerData
+	tb := metrics.NewTable("§6.2.5 — FlexFlow interconnect power share (AlexNet)",
+		"Scale", "Interconnect", "Total chip", "Share")
+	for _, s := range []int{16, 32, 64} {
+		e := FlexFlowFor(nw, s)
+		r := arch.RunModel(e, nw)
+		b := p.RunEnergy(r, EdgeOf(s))
+		share := b.Interconnect / b.ChipPJ()
+		data = append(data, InterconnectPowerData{Scale: s, Share: share})
+		tb.Add(fmt.Sprintf("%dx%d", s, s),
+			fmt.Sprintf("%.2e pJ", b.Interconnect),
+			fmt.Sprintf("%.2e pJ", b.ChipPJ()),
+			metrics.Pct(share))
+	}
+	return data, tb.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+// Golden-file regression tests: every artifact's rendered text is
+// pinned under testdata/golden. Any model or calibration change shows
+// up as a diff here and must be refreshed deliberately with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// (and EXPERIMENTS.md updated to match).
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artifact files")
+
+func goldenGenerators() map[string]func() string {
+	return map[string]func() string{
+		"figure01":  func() string { _, s := Figure1(); return s },
+		"table03":   func() string { _, s := Table3(); return s },
+		"table04":   func() string { _, s := Table4(); return s },
+		"figure14":  func() string { _, s := AreaReport(); return s },
+		"figure15":  func() string { _, s := Figure15(); return s },
+		"figure16":  func() string { _, s := Figure16(); return s },
+		"figure17":  func() string { _, s := Figure17(); return s },
+		"figure18":  func() string { _, s := Figure18(); return s },
+		"table06":   func() string { _, s := Table6(); return s },
+		"figure19":  func() string { _, s := Figure19(); return s },
+		"table07":   func() string { _, s := Table7(); return s },
+		"sec625":    func() string { _, s := InterconnectPower(); return s },
+		"ablations": func() string { _, s := Ablations(); return s },
+		"strided":   func() string { _, s := StridedAlexNet(); return s },
+		"fiveway":   func() string { _, s := FiveWay(); return s },
+		"roofline":  func() string { _, s := Roofline(); return s },
+		"bandwidth": func() string { _, s := BandwidthSensitivity(); return s },
+	}
+}
+
+func TestGoldenArtifacts(t *testing.T) {
+	for name, gen := range goldenGenerators() {
+		name, gen := name, gen
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := gen()
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden file; if the change is intended, run with -update and refresh EXPERIMENTS.md", name)
+			}
+		})
+	}
+}

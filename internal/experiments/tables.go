@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/energy"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/metrics"
+	"flexflow/internal/nn"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+// Table3Row is one cross-layer utilization measurement: running layer
+// "Run" on the hardware optimized for layer "Opt", for each of the
+// three rigid baselines, normalized so the optimized layer on its own
+// hardware is 100% (the paper's normalization).
+type Table3Row struct {
+	Workload string
+	Case     string // "C3 on C1-opt" or "C1 on C3-opt"
+	Systolic float64
+	Mapping  float64
+	Tiling   float64
+}
+
+// table3Opt builds each baseline optimized for the given layer:
+// Systolic sized to the layer's kernel, 2D-Mapping to its map size,
+// Tiling to its feature-map counts (§3.4's per-layer parameterization).
+func table3Engines(opt nn.ConvLayer) []arch.Engine {
+	return []arch.Engine{
+		systolic.New(opt.K, 1),
+		mapping2d.New(opt.S),
+		tiling.New(opt.M, opt.N),
+	}
+}
+
+// Table3 reproduces the cross-layer hardware-utilization study for the
+// four small workloads (PV, FR, LeNet-5, HG).
+func Table3() ([]Table3Row, string) {
+	var rows []Table3Row
+	tb := metrics.NewTable("Table 3 — Cross-layer hardware utilization (normalized, %)",
+		"Workload", "Case", "Systolic", "2D-Map.", "Tiling")
+	for _, name := range []string{"PV", "FR", "LeNet-5", "HG"} {
+		nw := workloads.ByName(name)
+		convs := nw.ConvLayers()
+		c1, c3 := convs[0], convs[1]
+		for _, cse := range []struct {
+			label    string
+			opt, run nn.ConvLayer
+		}{
+			{"C3 on C1-opt", c1, c3},
+			{"C1 on C3-opt", c3, c1},
+		} {
+			row := Table3Row{Workload: name, Case: cse.label}
+			vals := make([]float64, 3)
+			optEngines := table3Engines(cse.opt)
+			ownEngines := table3Engines(cse.run)
+			for i := range optEngines {
+				// Normalize the cross-configured run by the same layer
+				// on its own optimal hardware (the paper's "C1 on
+				// C1-opt is normalized to 100%").
+				cross := optEngines[i].Model(cse.run).Utilization()
+				own := ownEngines[i].Model(cse.run).Utilization()
+				if own > 0 {
+					vals[i] = cross / own
+				}
+			}
+			row.Systolic, row.Mapping, row.Tiling = vals[0], vals[1], vals[2]
+			rows = append(rows, row)
+			tb.Add(name, cse.label, metrics.Pct(vals[0]), metrics.Pct(vals[1]), metrics.Pct(vals[2]))
+		}
+	}
+	return rows, tb.String()
+}
+
+// Table4Row is the compiler's factor choice for one layer, alongside
+// the paper's published choice.
+type Table4Row struct {
+	Workload string
+	Layer    string
+	Ours     arch.T
+	OursU    float64
+	Paper    arch.T
+	PaperU   float64 // -1 when the paper's entry is infeasible
+}
+
+// paperTable4 pins the published unrolling factors.
+var paperTable4 = map[string]map[string]arch.T{
+	"PV": {
+		"C1": {Tm: 8, Tn: 1, Tr: 1, Tc: 2, Ti: 2, Tj: 6},
+		"C3": {Tm: 3, Tn: 8, Tr: 1, Tc: 5, Ti: 1, Tj: 2},
+	},
+	"FR": {
+		"C1": {Tm: 4, Tn: 1, Tr: 1, Tc: 4, Ti: 3, Tj: 15},
+		"C3": {Tm: 16, Tn: 4, Tr: 1, Tc: 1, Ti: 1, Tj: 4},
+	},
+	"LeNet-5": {
+		"C1": {Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5},
+		"C3": {Tm: 16, Tn: 3, Tr: 1, Tc: 1, Ti: 1, Tj: 5},
+	},
+	"HG": {
+		"C1": {Tm: 3, Tn: 1, Tr: 1, Tc: 5, Ti: 3, Tj: 5},
+		"C3": {Tm: 4, Tn: 2, Tr: 1, Tc: 4, Ti: 2, Tj: 4},
+	},
+}
+
+// Table4 reproduces the unrolling-factor determination for the four
+// small workloads on a 16×16 engine.
+func Table4() ([]Table4Row, string) {
+	var rows []Table4Row
+	tb := metrics.NewTable("Table 4 — Unrolling factors <Tm,Tn,Tr,Tc,Ti,Tj> at 16x16",
+		"Workload", "Layer", "Ours", "U(ours)", "Paper", "U(paper)")
+	for _, name := range []string{"PV", "FR", "LeNet-5", "HG"} {
+		nw := workloads.ByName(name)
+		prog := compiler.Plan(nw, 16)
+		for _, lp := range prog.Plans {
+			pf, published := paperTable4[name][lp.Layer.Name]
+			paperU := -1.0
+			if published && pf.Validate(lp.Layer, 16, lp.Layer.S) == nil {
+				paperU = arch.TotalUtilization(lp.Layer, pf, 16)
+			}
+			rows = append(rows, Table4Row{
+				Workload: name, Layer: lp.Layer.Name,
+				Ours: lp.Factors, OursU: lp.Utilization,
+				Paper: pf, PaperU: paperU,
+			})
+			paperFactors, paperCell := "—", "—"
+			if published {
+				paperFactors = fmtFactor(pf)
+				paperCell = "infeasible" // e.g. FR C1's Tj=15 > K=5
+				if paperU >= 0 {
+					paperCell = metrics.Pct(paperU)
+				}
+			}
+			tb.Add(name, lp.Layer.Name, fmtFactor(lp.Factors), metrics.Pct(lp.Utilization),
+				paperFactors, paperCell)
+		}
+	}
+	return rows, tb.String()
+}
+
+// Table6Row is the power breakdown of FlexFlow on one workload,
+// following the paper's component split: neuron-input buffer,
+// neuron-output buffer, kernel buffer, and the computing engine
+// (PEs + local stores + interconnect + leakage).
+type Table6Row struct {
+	Workload string
+	NeinMW   float64
+	NeoutMW  float64
+	KerinMW  float64
+	ComMW    float64
+}
+
+// Total returns the summed chip power.
+func (r Table6Row) Total() float64 { return r.NeinMW + r.NeoutMW + r.KerinMW + r.ComMW }
+
+// Table6 reproduces the FlexFlow power breakdown across the six
+// workloads.
+func Table6() ([]Table6Row, string) {
+	p := energy.Default65nm()
+	var rows []Table6Row
+	tb := metrics.NewTable("Table 6 — FlexFlow power breakdown by component (16x16)",
+		"Workload", "P_nein (mW)", "P_neout (mW)", "P_kerin (mW)", "P_com (mW)", "P_com share")
+	for _, nw := range workloads.All() {
+		e := FlexFlowFor(nw, 16)
+		r := arch.RunModel(e, nw)
+		b := p.RunEnergy(r, EdgeOf(16))
+		seconds := float64(r.Cycles()) / ClockHz
+		toMW := func(pj float64) float64 { return pj * 1e-12 / seconds * 1e3 }
+		row := Table6Row{
+			Workload: nw.Name,
+			NeinMW:   toMW(b.NeuronIn),
+			NeoutMW:  toMW(b.NeuronOut),
+			KerinMW:  toMW(b.KernelIn),
+			ComMW:    toMW(b.Compute + b.Interconnect + b.Leakage),
+		}
+		rows = append(rows, row)
+		tb.Add(nw.Name,
+			fmt.Sprintf("%.0f", row.NeinMW),
+			fmt.Sprintf("%.0f", row.NeoutMW),
+			fmt.Sprintf("%.0f", row.KerinMW),
+			fmt.Sprintf("%.0f", row.ComMW),
+			metrics.Pct(row.ComMW/row.Total()))
+	}
+	return rows, tb.String()
+}
+
+// Table7Row is one accelerator in the cross-accelerator comparison.
+type Table7Row struct {
+	Name       string
+	Process    string
+	PEs        int
+	LocalStore string
+	BufferKB   int
+	AreaMM2    float64
+	DRAMAccOp  float64 // -1 when unpublished
+}
+
+// Table7 reproduces the comparison with DianNao and Eyeriss. The two
+// published rows carry the papers' spec constants; FlexFlow's area and
+// DRAM accesses per operation are measured from our models on AlexNet.
+// As a cross-check, the Eyeriss row also gets a *measured* Acc/Op from
+// our own row-stationary engine (internal/rowstat) at Eyeriss's 12×14,
+// 108 KB configuration — landing near the published 0.006 validates the
+// DRAM model the FlexFlow figure relies on.
+func Table7() ([]Table7Row, string) {
+	nw := workloads.AlexNet()
+	e := FlexFlowFor(nw, 16)
+	r := arch.RunModel(e, nw)
+	accOp := float64(r.DRAMAccesses()) / float64(2*r.MACs())
+
+	rs := rowstat.NewEyeriss()
+	rsRun := arch.RunModel(rs, nw)
+	rsAccOp := float64(rsRun.DRAMAccesses()) / float64(2*rsRun.MACs())
+
+	rows := []Table7Row{
+		{Name: "DianNao", Process: "65nm", PEs: 256, LocalStore: "NA", BufferKB: 36, AreaMM2: 3.02, DRAMAccOp: -1},
+		{Name: "Eyeriss", Process: "65nm", PEs: 168, LocalStore: "512B", BufferKB: 108, AreaMM2: 16, DRAMAccOp: 0.006},
+		{Name: "FlexFlow", Process: "65nm", PEs: 256, LocalStore: "512B", BufferKB: 64,
+			AreaMM2: energy.Area("FlexFlow", 256, 512, 64*1024), DRAMAccOp: accOp},
+	}
+	tb := metrics.NewTable("Table 7 — Comparison of accelerators",
+		"", "DianNao", "Eyeriss", "FlexFlow")
+	add := func(label string, f func(Table7Row) string) {
+		cells := []string{label}
+		for _, r := range rows {
+			cells = append(cells, f(r))
+		}
+		tb.Add(cells...)
+	}
+	add("Process", func(r Table7Row) string { return r.Process })
+	add("Num of PEs", func(r Table7Row) string { return fmt.Sprintf("%d", r.PEs) })
+	add("Local Store/PE", func(r Table7Row) string { return r.LocalStore })
+	add("Buffer Size", func(r Table7Row) string { return fmt.Sprintf("%dKB", r.BufferKB) })
+	add("Area", func(r Table7Row) string { return fmt.Sprintf("%.2fmm2", r.AreaMM2) })
+	add("DRAM Acc/Op", func(r Table7Row) string {
+		if r.DRAMAccOp < 0 {
+			return "NA"
+		}
+		return fmt.Sprintf("%.4f", r.DRAMAccOp)
+	})
+	tb.Add("Acc/Op (our RS model)", "-", fmt.Sprintf("%.4f", rsAccOp), "-")
+	return rows, tb.String()
+}
+
+// AreaComponent is one entry of the Fig. 14 substitute: the analytic
+// area breakdown of the 16×16 FlexFlow layout.
+type AreaComponent struct {
+	Name    string
+	AreaMM2 float64
+}
+
+// AreaReport substitutes for the Fig. 14 layout plot: the analytic
+// area breakdown of FlexFlow at 16×16 and the four baselines' totals.
+func AreaReport() ([]AreaComponent, string) {
+	p := energy.AreaFor("FlexFlow")
+	comps := []AreaComponent{
+		{"PE datapaths (256)", p.PEDatapath * 256},
+		{"PE local stores (256 × 512B)", p.SRAMPerByte * 256 * 512},
+		{"On-chip buffers (64KB)", p.SRAMPerByte * 64 * 1024},
+		{"Interconnect (CDBs)", p.WiringBase},
+	}
+	tb := metrics.NewTable("Figure 14 substitute — FlexFlow 16x16 area breakdown", "Component", "mm²")
+	total := 0.0
+	for _, c := range comps {
+		tb.Add(c.Name, fmt.Sprintf("%.3f", c.AreaMM2))
+		total += c.AreaMM2
+	}
+	tb.Add("Total", fmt.Sprintf("%.3f", total))
+	tb.Add("", "")
+	tb.Add("Systolic total", fmt.Sprintf("%.3f", energy.Area("Systolic", 252, 4, 64*1024)))
+	tb.Add("2D-Mapping total", fmt.Sprintf("%.3f", energy.Area("2D-Mapping", 256, 8, 64*1024)))
+	tb.Add("Tiling total", fmt.Sprintf("%.3f", energy.Area("Tiling", 256, 2, 64*1024)))
+	return comps, tb.String()
+}

@@ -1,0 +1,117 @@
+// Package fixed implements the 16-bit fixed-point arithmetic used by all
+// accelerator datapaths in this repository.
+//
+// The paper evaluates every architecture with a 16-bit fixed-point data
+// type (Section 6.1.1). We use the Q7.8 format: 1 sign bit, 7 integer
+// bits, 8 fractional bits. All arithmetic saturates rather than wraps,
+// which is the conventional behaviour of accelerator MAC datapaths.
+//
+// Accumulation inside a PE happens at 32-bit precision (type Acc) and is
+// rounded back to 16 bits when an output neuron is written to a buffer,
+// mirroring the wide-accumulator-narrow-storage structure of the
+// hardware.
+package fixed
+
+import "fmt"
+
+// FracBits is the number of fractional bits in the Q7.8 format.
+const FracBits = 8
+
+// One is the fixed-point representation of 1.0.
+const One Word = 1 << FracBits
+
+// MaxWord and MinWord are the saturation bounds of the 16-bit format.
+const (
+	MaxWord Word = 0x7FFF
+	MinWord Word = -0x8000
+)
+
+// Word is a 16-bit Q7.8 fixed-point value: the unit of storage in every
+// buffer, local store, bus and DRAM model in this repository.
+type Word int16
+
+// Acc is the 32-bit accumulator type used inside PEs. Products of two
+// Words are Q14.16 values; Acc holds running sums of such products.
+type Acc int32
+
+// FromFloat converts a float64 to the nearest representable Word,
+// saturating at the format bounds.
+func FromFloat(f float64) Word {
+	v := int64(f*float64(One) + copysign(0.5, f))
+	return saturate(v)
+}
+
+// Float returns the float64 value of w.
+func (w Word) Float() float64 { return float64(w) / float64(One) }
+
+// String renders the word as a decimal fixed-point number.
+func (w Word) String() string { return fmt.Sprintf("%.4f", w.Float()) }
+
+// Add returns w+v with saturation.
+func Add(w, v Word) Word { return saturate(int64(w) + int64(v)) }
+
+// Sub returns w-v with saturation.
+func Sub(w, v Word) Word { return saturate(int64(w) - int64(v)) }
+
+// Mul returns the Q7.8 product of w and v, rounded to nearest and
+// saturated. This models a standalone 16×16 multiplier with a rounding
+// output stage (used by the pooling unit's average mode).
+func Mul(w, v Word) Word {
+	p := int64(w) * int64(v) // Q14.16
+	p += 1 << (FracBits - 1) // round half up
+	return saturate(p >> FracBits)
+}
+
+// MAC returns acc + w*v at full accumulator precision. This is the PE
+// datapath operation: the 16×16 product is kept as a 32-bit Q14.16 value
+// and summed without intermediate rounding.
+func MAC(acc Acc, w, v Word) Acc {
+	return satAcc(int64(acc) + int64(w)*int64(v))
+}
+
+// AddAcc returns a+b with 32-bit saturation; used when partial results
+// written back to a neuron buffer are re-read and merged (Fig. 13f).
+func AddAcc(a, b Acc) Acc { return satAcc(int64(a) + int64(b)) }
+
+// Round converts a Q14.16 accumulator to a Q7.8 word, rounding to
+// nearest and saturating. Used when an output neuron leaves the
+// computing engine.
+func (a Acc) Round() Word {
+	v := int64(a)
+	if v >= 0 {
+		return saturate((v + 1<<(FracBits-1)) >> FracBits)
+	}
+	return saturate(-((-v + 1<<(FracBits-1)) >> FracBits))
+}
+
+// Extend widens a word to accumulator precision (Q7.8 → Q14.16).
+func (w Word) Extend() Acc { return Acc(int32(w) << FracBits) }
+
+func saturate(v int64) Word {
+	if v > int64(MaxWord) {
+		return MaxWord
+	}
+	if v < int64(MinWord) {
+		return MinWord
+	}
+	return Word(v)
+}
+
+func satAcc(v int64) Acc {
+	const maxAcc = int64(1)<<31 - 1
+	const minAcc = -int64(1) << 31
+	if v > maxAcc {
+		return Acc(maxAcc)
+	}
+	if v < minAcc {
+		return Acc(minAcc)
+	}
+	return Acc(v)
+}
+
+func copysign(mag, sign float64) float64 {
+	if sign < 0 {
+		return -mag
+	}
+	return mag
+}

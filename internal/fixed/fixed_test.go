@@ -1,0 +1,138 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.25, -3.25, 127.99, -128}
+	for _, f := range cases {
+		w := FromFloat(f)
+		if got := w.Float(); math.Abs(got-f) > 1.0/float64(One) {
+			t.Errorf("FromFloat(%v).Float() = %v, want within 1 ulp", f, got)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if w := FromFloat(1e6); w != MaxWord {
+		t.Errorf("FromFloat(1e6) = %v, want MaxWord", w)
+	}
+	if w := FromFloat(-1e6); w != MinWord {
+		t.Errorf("FromFloat(-1e6) = %v, want MinWord", w)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if got := Add(MaxWord, 1); got != MaxWord {
+		t.Errorf("Add(MaxWord,1) = %v, want MaxWord", got)
+	}
+	if got := Sub(MinWord, 1); got != MinWord {
+		t.Errorf("Sub(MinWord,1) = %v, want MinWord", got)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for _, w := range []Word{0, 1, -1, One, -One, 1000, -1000, MaxWord, MinWord + 1} {
+		if got := Mul(w, One); got != w {
+			t.Errorf("Mul(%d, One) = %d, want %d", w, got, w)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromFloat(2.5)
+	b := FromFloat(-1.5)
+	if got, want := Mul(a, b).Float(), -3.75; math.Abs(got-want) > 0.01 {
+		t.Errorf("2.5 * -1.5 = %v, want %v", got, want)
+	}
+}
+
+func TestMACMatchesExactArithmetic(t *testing.T) {
+	var acc Acc
+	acc = MAC(acc, FromFloat(2), FromFloat(3))
+	acc = MAC(acc, FromFloat(-1), FromFloat(4))
+	if got, want := acc.Round().Float(), 2.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("MAC chain = %v, want %v", got, want)
+	}
+}
+
+func TestRoundNegative(t *testing.T) {
+	a := FromFloat(-2.5).Extend()
+	if got := a.Round(); got != FromFloat(-2.5) {
+		t.Errorf("Round(-2.5) = %v", got)
+	}
+}
+
+func TestExtendRoundIsIdentity(t *testing.T) {
+	f := func(w Word) bool { return w.Extend().Round() == w }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutes(t *testing.T) {
+	f := func(a, b Word) bool { return Add(a, b) == Add(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutes(t *testing.T) {
+	f := func(a, b Word) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACCommutesInOperands(t *testing.T) {
+	f := func(acc Acc, a, b Word) bool { return MAC(acc, a, b) == MAC(acc, b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACZeroIsIdentity(t *testing.T) {
+	f := func(acc Acc, a Word) bool { return MAC(acc, a, 0) == acc && MAC(acc, 0, a) == acc }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAccAssociativeOnSmallValues(t *testing.T) {
+	// Saturation breaks associativity at the bounds, but within a safe
+	// range 32-bit addition must be exact and associative.
+	f := func(a, b, c int16) bool {
+		x, y, z := Acc(a), Acc(b), Acc(c)
+		return AddAcc(AddAcc(x, y), z) == AddAcc(x, AddAcc(y, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationOrdering(t *testing.T) {
+	// Saturating add never moves past the true sum: |sat(a+b)| <= |a+b|.
+	f := func(a, b Word) bool {
+		exact := int64(a) + int64(b)
+		sat := int64(Add(a, b))
+		if exact > int64(MaxWord) {
+			return sat == int64(MaxWord)
+		}
+		if exact < int64(MinWord) {
+			return sat == int64(MinWord)
+		}
+		return sat == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := FromFloat(1.5).String(); got != "1.5000" {
+		t.Errorf("String() = %q", got)
+	}
+}

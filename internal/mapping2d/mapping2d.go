@@ -1,0 +1,276 @@
+// Package mapping2d implements the SFMNSS baseline architecture
+// (Section 3.2): a D×D 2-D mapping array in the style of ShiDiannao.
+// Each PE computes one output neuron of a D×D block of a single output
+// feature map. Per cycle, one synapse is broadcast to all PEs and each
+// PE multiplies it with an input neuron that arrives either fresh from
+// the buffer (rightmost column / bottom row) or shifted from a
+// neighbouring PE's FIFO (everything else), accumulating locally until
+// the output neuron is complete after N·K² cycles.
+package mapping2d
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// Engine is a 2-D mapping computing engine with a D×D PE array.
+type Engine struct {
+	D int // array edge (the paper's configuration is 16)
+
+	// BufferWords bounds on-chip reuse in the DRAM model (32 KB = 16384
+	// words in the paper's configuration).
+	BufferWords int
+
+	// Tracer, when non-nil, receives dataflow events from Simulate.
+	Tracer sim.Tracer
+}
+
+// New returns a 2-D mapping engine with the paper's buffer capacity.
+func New(d int) *Engine {
+	if d <= 0 {
+		panic("mapping2d: D must be positive")
+	}
+	return &Engine{D: d, BufferWords: 16384}
+}
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return "2D-Mapping" }
+
+// PEs implements arch.Engine.
+func (e *Engine) PEs() int { return e.D * e.D }
+
+// blockGrid returns how many D×D blocks tile an S×S output map.
+func (e *Engine) blockGrid(s int) int { return (s + e.D - 1) / e.D }
+
+// Model implements arch.Engine.
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("mapping2d: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	res := arch.LayerResult{
+		Arch:  e.Name(),
+		Layer: l,
+		Factors: arch.T{Tm: 1, Tn: 1, Tr: min(e.D, l.S), Tc: min(e.D, l.S),
+			Ti: 1, Tj: 1},
+		PEs:  e.PEs(),
+		MACs: l.MACs(),
+	}
+	g := e.blockGrid(l.S)
+	perBlock := int64(l.N) * int64(l.K) * int64(l.K)
+	res.Cycles = int64(l.M) * int64(g) * int64(g) * perBlock
+
+	// Walk the block tiling to count loads exactly as Simulate does.
+	for r0 := 0; r0 < l.S; r0 += e.D {
+		for c0 := 0; c0 < l.S; c0 += e.D {
+			rows := min(e.D, l.S-r0)
+			cols := min(e.D, l.S-c0)
+			var loads, shifts int64
+			// Initial block load.
+			loads += int64(rows * cols)
+			for i := 0; i < l.K; i++ {
+				for j := 0; j < l.K; j++ {
+					if i == 0 && j == 0 {
+						continue
+					}
+					if j == 0 {
+						// Row jump: top rows-1 PE rows pop from FIFOs,
+						// the bottom row loads fresh.
+						shifts += int64((rows - 1) * cols)
+						loads += int64(cols)
+					} else {
+						// Column shift: left cols-1 columns shift, the
+						// rightmost column loads fresh.
+						shifts += int64(rows * (cols - 1))
+						loads += int64(rows)
+					}
+				}
+			}
+			res.NeuronLoads += int64(l.M) * int64(l.N) * loads
+			res.InterPEMoves += int64(l.M) * int64(l.N) * shifts
+		}
+	}
+	// One synapse broadcast per cycle (one word on the bus per step).
+	res.KernelLoads = res.Cycles
+	// Outputs accumulate locally across n and (i,j); stored once.
+	res.NeuronStores = l.OutputWords()
+	// Each MAC reads the neuron register and the partial-sum register,
+	// and writes the partial sum back.
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	e.modelDRAM(l, &res)
+	return res
+}
+
+func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(e.BufferWords) {
+		// Input stack exceeds the neuron buffer: re-stream per output map.
+		reload = int64(l.M)
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}
+
+// Simulate implements arch.Engine. The PE grid is explicit: registers
+// shift right-to-left on j-steps and pop from row FIFOs on i-steps,
+// exactly the §3.2 dataflow, so the movement counters are measured, not
+// estimated.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if l.Str() != 1 {
+		return nil, arch.LayerResult{}, fmt.Errorf("mapping2d: unit-stride dataflow cannot execute stride-%d layer %s", l.Str(), l.Name)
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("mapping2d: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("mapping2d: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	res := arch.LayerResult{
+		Arch: e.Name(), Layer: l, PEs: e.PEs(),
+		Factors: arch.T{Tm: 1, Tn: 1, Tr: min(e.D, l.S), Tc: min(e.D, l.S), Ti: 1, Tj: 1},
+	}
+	var clock sim.Clock
+
+	cur := make([][]fixed.Word, e.D)
+	acc := make([][]fixed.Acc, e.D)
+	// fifo[r][c] holds the values PE(r,c) consumed during the current
+	// kernel row, which PE(r-1,c) will need during the next kernel row.
+	fifo := make([][][]fixed.Word, e.D)
+	for r := 0; r < e.D; r++ {
+		cur[r] = make([]fixed.Word, e.D)
+		acc[r] = make([]fixed.Acc, e.D)
+		fifo[r] = make([][]fixed.Word, e.D)
+	}
+
+	for m := 0; m < l.M; m++ {
+		for r0 := 0; r0 < l.S; r0 += e.D {
+			for c0 := 0; c0 < l.S; c0 += e.D {
+				rows := min(e.D, l.S-r0)
+				cols := min(e.D, l.S-c0)
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						acc[r][c] = 0
+					}
+				}
+				for n := 0; n < l.N; n++ {
+					e.runBlock(l, in, k, cur, acc, fifo, &res, &clock, m, n, r0, c0, rows, cols)
+				}
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						out.Set(m, r0+r, c0+c, acc[r][c].Round())
+						res.NeuronStores++
+					}
+				}
+			}
+		}
+	}
+	res.Cycles = clock.Cycle()
+	e.modelDRAM(l, &res)
+	return out, res, nil
+}
+
+// runBlock executes the N·K² cycle schedule of one output block for one
+// input feature map.
+func (e *Engine) runBlock(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4,
+	cur [][]fixed.Word, acc [][]fixed.Acc, fifo [][][]fixed.Word,
+	res *arch.LayerResult, clock *sim.Clock, m, n, r0, c0, rows, cols int) {
+
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			fifo[r][c] = fifo[r][c][:0]
+		}
+	}
+	for i := 0; i < l.K; i++ {
+		for j := 0; j < l.K; j++ {
+			switch {
+			case i == 0 && j == 0:
+				// Initial parallel load of the whole block.
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						cur[r][c] = in.At(n, r0+r, c0+c)
+						res.NeuronLoads++
+					}
+				}
+			case j == 0:
+				// Kernel-row jump: PE(r,c) needs I(r0+r+i, c0+c), which
+				// PE(r+1,c) consumed first during kernel row i-1 and
+				// queued in its FIFO. The bottom row loads fresh.
+				for r := 0; r < rows-1; r++ {
+					for c := 0; c < cols; c++ {
+						cur[r][c] = fifo[r+1][c][0]
+						res.InterPEMoves++
+						if e.Tracer != nil {
+							e.Tracer.Trace(sim.Event{Cycle: clock.Cycle(), Kind: sim.EvShift, Row: r, Col: c,
+								What: fmt.Sprintf("I(%d,%d,%d)", n, r0+r+i, c0+c)})
+						}
+					}
+				}
+				for c := 0; c < cols; c++ {
+					cur[rows-1][c] = in.At(n, r0+rows-1+i, c0+c)
+					res.NeuronLoads++
+				}
+				// New kernel row: reset the FIFO queues.
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						fifo[r][c] = fifo[r][c][:0]
+					}
+				}
+			default:
+				// Column shift: PE(r,c) takes PE(r,c+1)'s value; the
+				// rightmost column loads fresh.
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols-1; c++ {
+						cur[r][c] = cur[r][c+1]
+						res.InterPEMoves++
+					}
+					cur[r][cols-1] = in.At(n, r0+r+i, c0+cols-1+j)
+					res.NeuronLoads++
+				}
+			}
+			// Queue the value each PE holds at the start of the kernel
+			// row (j == 0 position) for the row above.
+			if j == 0 {
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						fifo[r][c] = append(fifo[r][c], cur[r][c])
+					}
+				}
+			}
+			// Broadcast one synapse to all PEs and MAC.
+			w := k.At(m, n, i, j)
+			res.KernelLoads++
+			if e.Tracer != nil {
+				e.Tracer.Trace(sim.Event{Cycle: clock.Cycle(), Kind: sim.EvBroadcast, Row: -1, Col: -1,
+					What: fmt.Sprintf("K(%d,%d,%d,%d)", m, n, i, j)})
+			}
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					acc[r][c] = fixed.MAC(acc[r][c], cur[r][c], w)
+					res.MACs++
+					res.LocalReads += 2
+					res.LocalWrites++
+				}
+			}
+			clock.Tick()
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

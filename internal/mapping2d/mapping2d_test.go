@@ -1,0 +1,178 @@
+package mapping2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestSimulateMatchesGoldenConv(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "tiny", M: 1, N: 1, S: 3, K: 2},
+		{Name: "fits", M: 2, N: 2, S: 4, K: 3},
+		{Name: "tiles", M: 2, N: 1, S: 9, K: 2}, // S > D ⇒ multiple blocks
+		{Name: "exact", M: 1, N: 2, S: 4, K: 4},
+	}
+	e := New(4)
+	for _, l := range layers {
+		in, k := makeOperands(l, 99)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if !got.Equal(tensor.Conv(in, k)) {
+			t.Errorf("%s: output differs from golden conv", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := New(4)
+	for trial := 0; trial < 12; trial++ {
+		l := nn.ConvLayer{
+			Name: "rand",
+			M:    1 + rng.Intn(4),
+			N:    1 + rng.Intn(3),
+			S:    2 + rng.Intn(8),
+			K:    1 + rng.Intn(4),
+		}
+		in, k := makeOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		if simRes.Cycles != mod.Cycles {
+			t.Errorf("%+v: cycles sim=%d model=%d", l, simRes.Cycles, mod.Cycles)
+		}
+		if simRes.NeuronLoads != mod.NeuronLoads {
+			t.Errorf("%+v: NeuronLoads sim=%d model=%d", l, simRes.NeuronLoads, mod.NeuronLoads)
+		}
+		if simRes.KernelLoads != mod.KernelLoads {
+			t.Errorf("%+v: KernelLoads sim=%d model=%d", l, simRes.KernelLoads, mod.KernelLoads)
+		}
+		if simRes.InterPEMoves != mod.InterPEMoves {
+			t.Errorf("%+v: InterPEMoves sim=%d model=%d", l, simRes.InterPEMoves, mod.InterPEMoves)
+		}
+		if simRes.NeuronStores != mod.NeuronStores {
+			t.Errorf("%+v: NeuronStores sim=%d model=%d", l, simRes.NeuronStores, mod.NeuronStores)
+		}
+	}
+}
+
+func TestUtilizationFullWhenMapMatchesArray(t *testing.T) {
+	// S = D: every PE busy every cycle ⇒ utilization 1.
+	e := New(8)
+	l := nn.ConvLayer{M: 3, N: 2, S: 8, K: 3}
+	if u := e.Model(l).Utilization(); u < 0.999 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestUtilizationCollapsesForSmallMaps(t *testing.T) {
+	// The paper's core criticism: feature maps smaller than the array
+	// waste PEs. S=10 on 16×16 ⇒ (10/16)² ≈ 39%.
+	e := New(16)
+	l := nn.ConvLayer{M: 16, N: 6, S: 10, K: 5}
+	u := e.Model(l).Utilization()
+	if u < 0.38 || u > 0.40 {
+		t.Errorf("utilization = %v, want ≈ 0.39", u)
+	}
+}
+
+func TestTable3Cell(t *testing.T) {
+	// LeNet-5 C3 (S=10) on a C1-optimized 28×28 array: (10/28)² ≈ 12.7%
+	// — the exact cell of the paper's Table 3.
+	e := New(28)
+	l := nn.ConvLayer{M: 16, N: 6, S: 10, K: 5}
+	u := e.Model(l).Utilization()
+	if u < 0.125 || u > 0.13 {
+		t.Errorf("utilization = %v, want ≈ 0.127", u)
+	}
+}
+
+func TestSynapseBroadcastOncePerCycle(t *testing.T) {
+	e := New(4)
+	l := nn.ConvLayer{M: 1, N: 1, S: 4, K: 3}
+	in, k := makeOperands(l, 3)
+	_, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelLoads != res.Cycles {
+		t.Errorf("KernelLoads = %d, want one per cycle (%d)", res.KernelLoads, res.Cycles)
+	}
+}
+
+func TestShiftsReuseNeurons(t *testing.T) {
+	// Most operand arrivals must come from shifts, not buffer loads,
+	// when the block is large — that is the FIFO reuse the paper
+	// credits 2D-Mapping with.
+	e := New(8)
+	l := nn.ConvLayer{M: 1, N: 1, S: 8, K: 4}
+	in, k := makeOperands(l, 4)
+	_, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterPEMoves <= res.NeuronLoads {
+		t.Errorf("InterPEMoves %d should exceed NeuronLoads %d", res.InterPEMoves, res.NeuronLoads)
+	}
+}
+
+func TestTracerSeesShifts(t *testing.T) {
+	e := New(3)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	l := nn.ConvLayer{M: 1, N: 1, S: 3, K: 2}
+	in, k := makeOperands(l, 5)
+	if _, _, err := e.Simulate(l, in, k); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Filter(sim.EvBroadcast)) != 4 { // K² synapse broadcasts
+		t.Errorf("broadcasts = %d, want 4", len(rec.Filter(sim.EvBroadcast)))
+	}
+	if len(rec.Filter(sim.EvShift)) == 0 {
+		t.Error("no shift events recorded")
+	}
+}
+
+func TestSimulateRejectsBadShapes(t *testing.T) {
+	e := New(4)
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	if _, _, err := e.Simulate(l, tensor.NewMap3(3, 6, 6), tensor.NewKernel4(2, 1, 3)); err == nil {
+		t.Error("wrong-N input accepted")
+	}
+}
+
+func TestEngineIdentity(t *testing.T) {
+	e := New(16)
+	if e.Name() != "2D-Mapping" || e.PEs() != 256 {
+		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
+	}
+}
+
+func TestDRAMReloadPerOutputMap(t *testing.T) {
+	e := New(4)
+	e.BufferWords = 16
+	l := nn.ConvLayer{M: 3, N: 1, S: 4, K: 2} // input 25 words > 16
+	res := e.Model(l)
+	if res.DRAMReads < l.InputWords()*3 {
+		t.Errorf("DRAMReads = %d, want ≥ %d", res.DRAMReads, l.InputWords()*3)
+	}
+}

@@ -1,0 +1,94 @@
+package mapping2d
+
+// Dataflow snapshot tests: the Go analogue of the paper's Figure 5(b2)
+// — pinning the synapse-broadcast order and the neuron shift/FIFO reuse
+// pattern of the 2-D mapping dataflow.
+
+import (
+	"fmt"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+func runSnapshot(t *testing.T, l nn.ConvLayer, d int) *sim.Recorder {
+	t.Helper()
+	e := New(d)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(31)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(32)
+	if _, _, err := e.Simulate(l, in, k); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSynapseBroadcastOrder(t *testing.T) {
+	// One synapse per cycle, walked in row-major kernel order for each
+	// (m, n) — the §3.2 schedule.
+	l := nn.ConvLayer{Name: "snap", M: 2, N: 2, S: 3, K: 2}
+	rec := runSnapshot(t, l, 3)
+	bcasts := rec.Filter(sim.EvBroadcast)
+	if len(bcasts) != int(2*2*2*2) { // M·N·K² steps (one block per map)
+		t.Fatalf("broadcasts = %d, want 16", len(bcasts))
+	}
+	idx := 0
+	for m := 0; m < l.M; m++ {
+		for n := 0; n < l.N; n++ {
+			for i := 0; i < l.K; i++ {
+				for j := 0; j < l.K; j++ {
+					want := fmt.Sprintf("K(%d,%d,%d,%d)", m, n, i, j)
+					if bcasts[idx].What != want {
+						t.Fatalf("broadcast %d = %q, want %q", idx, bcasts[idx].What, want)
+					}
+					if bcasts[idx].Cycle != int64(idx) {
+						t.Fatalf("broadcast %d at cycle %d, want one per cycle", idx, bcasts[idx].Cycle)
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+func TestRowJumpShiftsComeFromBelow(t *testing.T) {
+	// On a kernel-row jump, PE(r,c) receives I(r+i, c) — the value PE
+	// row r+1 consumed during the previous kernel row (the FIFO path).
+	l := nn.ConvLayer{Name: "snap", M: 1, N: 1, S: 3, K: 3}
+	rec := runSnapshot(t, l, 3)
+	shifts := rec.Filter(sim.EvShift)
+	if len(shifts) == 0 {
+		t.Fatal("no shift events")
+	}
+	for _, e := range shifts {
+		var n, r, c int
+		if _, err := fmt.Sscanf(e.What, "I(%d,%d,%d)", &n, &r, &c); err != nil {
+			t.Fatalf("bad shift label %q", e.What)
+		}
+		// The receiving PE is (e.Row, e.Col); the value's input row must
+		// be strictly below the PE's own output row (r > e.Row) — it
+		// came up from the row beneath.
+		if r <= e.Row {
+			t.Errorf("shift %q into PE(%d,%d): value did not come from below", e.What, e.Row, e.Col)
+		}
+		if c != e.Col {
+			t.Errorf("shift %q into PE(%d,%d): column changed", e.What, e.Row, e.Col)
+		}
+	}
+}
+
+func TestShiftsOnlyOnRowJumps(t *testing.T) {
+	// Traced shift events (FIFO pops) happen exactly on the K-1 row
+	// jumps per (block, n): (rows-1)·cols values each.
+	l := nn.ConvLayer{Name: "snap", M: 1, N: 2, S: 3, K: 3}
+	rec := runSnapshot(t, l, 3)
+	want := 2 /*n*/ * (3 - 1) /*jumps*/ * (3 - 1) * 3 /*rows-1 × cols*/
+	if got := len(rec.Filter(sim.EvShift)); got != want {
+		t.Errorf("FIFO shifts = %d, want %d", got, want)
+	}
+}

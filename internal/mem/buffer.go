@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"fmt"
+
+	"flexflow/internal/fixed"
+)
+
+// Bank is one SRAM bank of an on-chip buffer. Reads and writes are
+// counted per bank so bank-level parallelism (IADP, §4.5) can be
+// checked by tests.
+type Bank struct {
+	data   []fixed.Word
+	reads  int64
+	writes int64
+}
+
+// NewBank allocates a bank of capacity words.
+func NewBank(capacity int) *Bank {
+	return &Bank{data: make([]fixed.Word, capacity)}
+}
+
+// Cap returns the bank capacity in words.
+func (b *Bank) Cap() int { return len(b.data) }
+
+// Read returns the word at addr.
+func (b *Bank) Read(addr int) fixed.Word {
+	if addr < 0 || addr >= len(b.data) {
+		panic(fmt.Sprintf("mem: bank read at %d, cap %d", addr, len(b.data)))
+	}
+	b.reads++
+	return b.data[addr]
+}
+
+// Write stores v at addr.
+func (b *Bank) Write(addr int, v fixed.Word) {
+	if addr < 0 || addr >= len(b.data) {
+		panic(fmt.Sprintf("mem: bank write at %d, cap %d", addr, len(b.data)))
+	}
+	b.writes++
+	b.data[addr] = v
+}
+
+// Reads and Writes return the access counters.
+func (b *Bank) Reads() int64  { return b.reads }
+func (b *Bank) Writes() int64 { return b.writes }
+
+// BankedBuffer is an on-chip buffer divided into groups, sub-groups and
+// banks following In-Advanced Data Placement (IADP, Fig. 12/13): the
+// kernel buffer is partitioned T_m groups × T_r sub-groups × T_c banks;
+// a neuron buffer is partitioned T_n groups × T_i sub-groups × T_j
+// banks. One word per bank can be read each cycle, so a full
+// distribution-layer line of Groups×Subs×BanksPerSub words is available
+// per cycle without conflicts.
+type BankedBuffer struct {
+	Groups      int
+	Subs        int
+	BanksPerSub int
+	banks       []*Bank
+}
+
+// NewBankedBuffer partitions totalWords of SRAM into groups × subs ×
+// banksPerSub equal banks (totalWords must divide evenly).
+func NewBankedBuffer(groups, subs, banksPerSub, totalWords int) *BankedBuffer {
+	nb := groups * subs * banksPerSub
+	if nb <= 0 {
+		panic("mem: banked buffer needs positive geometry")
+	}
+	if totalWords%nb != 0 {
+		panic(fmt.Sprintf("mem: %d words do not divide into %d banks", totalWords, nb))
+	}
+	b := &BankedBuffer{Groups: groups, Subs: subs, BanksPerSub: banksPerSub}
+	per := totalWords / nb
+	for i := 0; i < nb; i++ {
+		b.banks = append(b.banks, NewBank(per))
+	}
+	return b
+}
+
+// Bank returns the bank of (group, sub, lane).
+func (b *BankedBuffer) Bank(group, sub, lane int) *Bank {
+	if group < 0 || group >= b.Groups || sub < 0 || sub >= b.Subs || lane < 0 || lane >= b.BanksPerSub {
+		panic(fmt.Sprintf("mem: bank index (%d,%d,%d) out of %dx%dx%d", group, sub, lane, b.Groups, b.Subs, b.BanksPerSub))
+	}
+	return b.banks[(group*b.Subs+sub)*b.BanksPerSub+lane]
+}
+
+// NumBanks returns the total bank count.
+func (b *BankedBuffer) NumBanks() int { return len(b.banks) }
+
+// TotalWords returns the buffer capacity in words.
+func (b *BankedBuffer) TotalWords() int { return len(b.banks) * b.banks[0].Cap() }
+
+// Reads returns the summed read count of all banks.
+func (b *BankedBuffer) Reads() int64 {
+	var n int64
+	for _, bk := range b.banks {
+		n += bk.reads
+	}
+	return n
+}
+
+// Writes returns the summed write count of all banks.
+func (b *BankedBuffer) Writes() int64 {
+	var n int64
+	for _, bk := range b.banks {
+		n += bk.writes
+	}
+	return n
+}
+
+// FIFO is a fixed-capacity word queue: the inter-row pipeline buffer of
+// the Systolic architecture and the neuron-reuse buffer of the
+// 2D-Mapping PEs.
+type FIFO struct {
+	buf        []fixed.Word
+	head, size int
+	pushes     int64
+	pops       int64
+}
+
+// NewFIFO allocates a FIFO of the given capacity.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 0 {
+		panic("mem: negative FIFO capacity")
+	}
+	return &FIFO{buf: make([]fixed.Word, capacity)}
+}
+
+// Cap and Len return capacity and current occupancy.
+func (f *FIFO) Cap() int { return len(f.buf) }
+func (f *FIFO) Len() int { return f.size }
+
+// Push enqueues v; it panics when the FIFO is full (hardware FIFOs
+// can't drop — a full push is a simulator scheduling bug).
+func (f *FIFO) Push(v fixed.Word) {
+	if f.size == len(f.buf) {
+		panic("mem: FIFO overflow")
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	f.pushes++
+}
+
+// Pop dequeues the oldest word; panics when empty.
+func (f *FIFO) Pop() fixed.Word {
+	if f.size == 0 {
+		panic("mem: FIFO underflow")
+	}
+	v := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	f.pops++
+	return v
+}
+
+// Pushes and Pops return the movement counters.
+func (f *FIFO) Pushes() int64 { return f.pushes }
+func (f *FIFO) Pops() int64   { return f.pops }
+
+// DRAM models the external memory: word-granular reads/writes with
+// access counting. Latency is not modelled per access — all four
+// architectures in the paper stream from double-buffered on-chip SRAM,
+// so DRAM appears only in the traffic/energy accounting (DRAM Acc/Op,
+// Table 7).
+type DRAM struct {
+	reads  int64
+	writes int64
+}
+
+// ReadBlock counts a read of n words.
+func (d *DRAM) ReadBlock(n int64) { d.reads += n }
+
+// WriteBlock counts a write of n words.
+func (d *DRAM) WriteBlock(n int64) { d.writes += n }
+
+// Reads and Writes return the counters.
+func (d *DRAM) Reads() int64  { return d.reads }
+func (d *DRAM) Writes() int64 { return d.writes }
+
+// Accesses returns reads+writes.
+func (d *DRAM) Accesses() int64 { return d.reads + d.writes }

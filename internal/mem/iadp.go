@@ -1,0 +1,108 @@
+package mem
+
+import "fmt"
+
+// This file implements In-Advanced Data Placement (IADP, §4.5): the
+// concrete word-to-bank mappings that let the distribution layer read
+// a full line of operands — one word per bank — every cycle, with no
+// bank conflicts.
+
+// BankAddr locates one word inside a BankedBuffer.
+type BankAddr struct {
+	Group, Sub, Lane int // bank coordinates
+	Offset           int // word offset within the bank
+}
+
+// KernelLayout is the kernel-buffer placement of Fig. 12: the buffer
+// is divided into T_m groups, each group into T_r sub-groups of T_c
+// banks. Kernel K^(m,n) is concentrated (row-major) in group m mod T_m;
+// within a group, consecutive words round-robin across the group's
+// T_r·T_c banks so any aligned run of T_r·T_c words is conflict-free.
+type KernelLayout struct {
+	Tm, Tr, Tc int // the factor triple partitioning the buffer
+	N, K       int // layer shape (input maps, kernel edge)
+}
+
+// Place maps synapse K^(m,n)_(i,j) to its bank address.
+func (l KernelLayout) Place(m, n, i, j int) BankAddr {
+	if l.Tm <= 0 || l.Tr <= 0 || l.Tc <= 0 {
+		panic("mem: KernelLayout with non-positive factors")
+	}
+	if n < 0 || n >= l.N || i < 0 || i >= l.K || j < 0 || j >= l.K || m < 0 {
+		panic(fmt.Sprintf("mem: kernel word (%d,%d,%d,%d) outside layout", m, n, i, j))
+	}
+	group := m % l.Tm
+	// Linear word index of this group's kernel stream: kernels stack by
+	// their within-group ordinal (m / Tm), then by n, row-major in (i,j).
+	w := ((m/l.Tm)*l.N+n)*l.K*l.K + i*l.K + j
+	banks := l.Tr * l.Tc
+	return BankAddr{
+		Group:  group,
+		Sub:    (w % banks) / l.Tc,
+		Lane:   w % l.Tc,
+		Offset: w / banks,
+	}
+}
+
+// LineConflictFree reports whether the given addresses can be read in
+// a single cycle: at most one word per (group, sub, lane) bank.
+func LineConflictFree(addrs []BankAddr) bool {
+	seen := make(map[[3]int]bool, len(addrs))
+	for _, a := range addrs {
+		key := [3]int{a.Group, a.Sub, a.Lane}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// NeuronLayout is the neuron-buffer placement of Fig. 13: T_n groups ×
+// T_i sub-groups × T_j banks. Feature map n is concentrated in group
+// n mod T_n, its neuron row r in sub-group r mod T_i, and columns
+// round-robin over the sub-group's T_j banks — so the T_n·T_i·T_j
+// operands of one distribution-layer line land in distinct banks.
+type NeuronLayout struct {
+	Tn, Ti, Tj int // the factor triple partitioning the buffer
+	H, W       int // feature-map shape held by the buffer
+}
+
+// Place maps neuron I^(n)_(r,c) to its bank address.
+func (l NeuronLayout) Place(n, r, c int) BankAddr {
+	if l.Tn <= 0 || l.Ti <= 0 || l.Tj <= 0 {
+		panic("mem: NeuronLayout with non-positive factors")
+	}
+	if n < 0 || r < 0 || r >= l.H || c < 0 || c >= l.W {
+		panic(fmt.Sprintf("mem: neuron (%d,%d,%d) outside layout", n, r, c))
+	}
+	rowsPerSub := (l.H + l.Ti - 1) / l.Ti
+	colsPerLane := (l.W + l.Tj - 1) / l.Tj
+	return BankAddr{
+		Group:  n % l.Tn,
+		Sub:    r % l.Ti,
+		Lane:   c % l.Tj,
+		Offset: ((n/l.Tn)*rowsPerSub+r/l.Ti)*colsPerLane + c/l.Tj,
+	}
+}
+
+// Line returns the bank addresses of one distribution-layer line: the
+// T_n·T_i·T_j operands at lane offsets (tn, ti, tj) from an aligned
+// origin (n0, r0, c0). When the origin is aligned (n0 ≡ 0 mod T_n,
+// r0 ≡ 0 mod T_i, c0 ≡ 0 mod T_j) the line is conflict-free by
+// construction; Line lets callers and tests verify exactly that.
+func (l NeuronLayout) Line(n0, r0, c0 int) []BankAddr {
+	var out []BankAddr
+	for tn := 0; tn < l.Tn; tn++ {
+		for ti := 0; ti < l.Ti; ti++ {
+			for tj := 0; tj < l.Tj; tj++ {
+				n, r, c := n0+tn, r0+ti, c0+tj
+				if r >= l.H || c >= l.W {
+					continue
+				}
+				out = append(out, l.Place(n, r, c))
+			}
+		}
+	}
+	return out
+}

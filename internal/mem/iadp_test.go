@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelLayoutInjective(t *testing.T) {
+	l := KernelLayout{Tm: 3, Tr: 2, Tc: 2, N: 4, K: 3}
+	seen := make(map[BankAddr][4]int)
+	for m := 0; m < 6; m++ {
+		for n := 0; n < l.N; n++ {
+			for i := 0; i < l.K; i++ {
+				for j := 0; j < l.K; j++ {
+					a := l.Place(m, n, i, j)
+					if prev, dup := seen[a]; dup {
+						t.Fatalf("words %v and %v collide at %+v", prev, [4]int{m, n, i, j}, a)
+					}
+					seen[a] = [4]int{m, n, i, j}
+					if a.Group != m%l.Tm {
+						t.Fatalf("kernel (%d,...) in group %d, want %d", m, a.Group, m%l.Tm)
+					}
+					if a.Sub < 0 || a.Sub >= l.Tr || a.Lane < 0 || a.Lane >= l.Tc || a.Offset < 0 {
+						t.Fatalf("address out of geometry: %+v", a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelLayoutAlignedRunsConflictFree(t *testing.T) {
+	// Any aligned run of Tr·Tc consecutive words of one kernel stream
+	// must land in distinct banks (that is what lets the reading
+	// controller pull a full line per cycle for IPDR).
+	l := KernelLayout{Tm: 2, Tr: 2, Tc: 3, N: 3, K: 5}
+	banks := l.Tr * l.Tc
+	words := l.N * l.K * l.K
+	for start := 0; start+banks <= words; start += banks {
+		var addrs []BankAddr
+		for w := start; w < start+banks; w++ {
+			n := w / (l.K * l.K)
+			rem := w % (l.K * l.K)
+			addrs = append(addrs, l.Place(0, n, rem/l.K, rem%l.K))
+		}
+		if !LineConflictFree(addrs) {
+			t.Fatalf("run starting at %d conflicts", start)
+		}
+	}
+}
+
+func TestNeuronLayoutInjective(t *testing.T) {
+	l := NeuronLayout{Tn: 2, Ti: 3, Tj: 2, H: 7, W: 9}
+	seen := make(map[BankAddr]bool)
+	for n := 0; n < 4; n++ {
+		for r := 0; r < l.H; r++ {
+			for c := 0; c < l.W; c++ {
+				a := l.Place(n, r, c)
+				if seen[a] {
+					t.Fatalf("collision at (%d,%d,%d) -> %+v", n, r, c, a)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestNeuronLayoutGroupAssignment(t *testing.T) {
+	// The paper's assignment: I^(n) goes to Group(:, n mod Tn), row r
+	// to sub-group r mod Ti.
+	l := NeuronLayout{Tn: 3, Ti: 2, Tj: 4, H: 8, W: 8}
+	a := l.Place(5, 3, 6)
+	if a.Group != 2 || a.Sub != 1 || a.Lane != 2 {
+		t.Errorf("Place(5,3,6) = %+v, want group 2, sub 1, lane 2", a)
+	}
+}
+
+func TestNeuronLineConflictFreeWhenAligned(t *testing.T) {
+	f := func(tn, ti, tj, hw uint8) bool {
+		l := NeuronLayout{
+			Tn: int(tn%3) + 1,
+			Ti: int(ti%3) + 1,
+			Tj: int(tj%4) + 1,
+			H:  int(hw%6) + 6,
+			W:  int(hw%5) + 6,
+		}
+		// Aligned origins.
+		for _, origin := range [][3]int{{0, 0, 0}, {l.Tn, l.Ti, l.Tj}, {0, 2 * l.Ti, l.Tj}} {
+			r0, c0 := origin[1], origin[2]
+			if r0 >= l.H || c0 >= l.W {
+				continue
+			}
+			if !LineConflictFree(l.Line(origin[0], r0, c0)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeuronLayoutFillsBanksDensely(t *testing.T) {
+	// Offsets within one bank must be dense enough to fit the buffer:
+	// the maximum offset is bounded by ⌈maps/Tn⌉·⌈H/Ti⌉·⌈W/Tj⌉.
+	l := NeuronLayout{Tn: 2, Ti: 2, Tj: 2, H: 6, W: 6}
+	maxOffset := 0
+	for n := 0; n < 4; n++ {
+		for r := 0; r < l.H; r++ {
+			for c := 0; c < l.W; c++ {
+				if a := l.Place(n, r, c); a.Offset > maxOffset {
+					maxOffset = a.Offset
+				}
+			}
+		}
+	}
+	bound := (4/l.Tn)*((l.H+l.Ti-1)/l.Ti)*((l.W+l.Tj-1)/l.Tj) - 1
+	if maxOffset > bound {
+		t.Errorf("max offset %d exceeds dense bound %d", maxOffset, bound)
+	}
+}
+
+func TestPlacePanicsOutsideDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-domain Place did not panic")
+		}
+	}()
+	NeuronLayout{Tn: 1, Ti: 1, Tj: 1, H: 4, W: 4}.Place(0, 4, 0)
+}
+
+func TestLineConflictFreeDetectsCollision(t *testing.T) {
+	a := BankAddr{Group: 0, Sub: 0, Lane: 0, Offset: 1}
+	b := BankAddr{Group: 0, Sub: 0, Lane: 0, Offset: 2}
+	if LineConflictFree([]BankAddr{a, b}) {
+		t.Error("same bank, different offsets should conflict (one port)")
+	}
+	c := BankAddr{Group: 0, Sub: 0, Lane: 1}
+	if !LineConflictFree([]BankAddr{a, c}) {
+		t.Error("distinct banks should not conflict")
+	}
+}
+
+func TestKernelLayoutRandomizedInjectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		l := KernelLayout{
+			Tm: 1 + rng.Intn(4), Tr: 1 + rng.Intn(3), Tc: 1 + rng.Intn(3),
+			N: 1 + rng.Intn(4), K: 1 + rng.Intn(5),
+		}
+		m1, m2 := rng.Intn(8), rng.Intn(8)
+		n1, n2 := rng.Intn(l.N), rng.Intn(l.N)
+		i1, i2 := rng.Intn(l.K), rng.Intn(l.K)
+		j1, j2 := rng.Intn(l.K), rng.Intn(l.K)
+		if [4]int{m1, n1, i1, j1} == [4]int{m2, n2, i2, j2} {
+			continue
+		}
+		if l.Place(m1, n1, i1, j1) == l.Place(m2, n2, i2, j2) {
+			t.Fatalf("layout %+v: (%d,%d,%d,%d) and (%d,%d,%d,%d) collide",
+				l, m1, n1, i1, j1, m2, n2, i2, j2)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package mem models the storage hierarchy of the accelerators: per-PE
+// local stores with the paper's four-state addressing FSM, the
+// IADP-partitioned on-chip buffers, inter-PE FIFOs, and the external
+// DRAM. Every component counts its accesses so the energy model and the
+// data-reusability experiment (Fig. 17) can be driven from measured
+// event counts.
+package mem
+
+import (
+	"fmt"
+
+	"flexflow/internal/fixed"
+)
+
+// LocalStore is a per-PE randomly addressable store (the paper's neuron
+// local store and kernel local store, 256 B = 128 words each in the
+// 16×16 configuration). Unlike the FIFOs of prior architectures it
+// supports random reads, which is what enables RA/RS data reuse.
+type LocalStore struct {
+	data   []fixed.Word
+	reads  int64
+	writes int64
+}
+
+// NewLocalStore allocates a store of capacity words.
+func NewLocalStore(capacity int) *LocalStore {
+	if capacity <= 0 {
+		panic("mem: local store capacity must be positive")
+	}
+	return &LocalStore{data: make([]fixed.Word, capacity)}
+}
+
+// Cap returns the store capacity in words.
+func (s *LocalStore) Cap() int { return len(s.data) }
+
+// Read returns the word at addr, counting the access.
+func (s *LocalStore) Read(addr int) fixed.Word {
+	if addr < 0 || addr >= len(s.data) {
+		panic(fmt.Sprintf("mem: local store read at %d, cap %d", addr, len(s.data)))
+	}
+	s.reads++
+	return s.data[addr]
+}
+
+// Write stores v at addr, counting the access.
+func (s *LocalStore) Write(addr int, v fixed.Word) {
+	if addr < 0 || addr >= len(s.data) {
+		panic(fmt.Sprintf("mem: local store write at %d, cap %d", addr, len(s.data)))
+	}
+	s.writes++
+	s.data[addr] = v
+}
+
+// Reads and Writes return the access counters.
+func (s *LocalStore) Reads() int64  { return s.reads }
+func (s *LocalStore) Writes() int64 { return s.writes }
+
+// ResetCounters zeroes the access counters (contents are kept).
+func (s *LocalStore) ResetCounters() { s.reads, s.writes = 0, 0 }
+
+// FSMState is the state of the local-store read-address FSM (Fig. 11).
+type FSMState int
+
+const (
+	// Init (M0): a new computation starts; the address is reset to the
+	// window base.
+	Init FSMState = iota
+	// Incr (M1): the address advances by Step within a computing window.
+	Incr
+	// Hold (M2): one computing window completed; the address holds so
+	// the window can be replayed for the next output neuron.
+	Hold
+	// Jump (M3): one neuron row completed; the address jumps to the
+	// next row base.
+	Jump
+)
+
+// String names the FSM state with the paper's M0–M3 labels.
+func (s FSMState) String() string {
+	switch s {
+	case Init:
+		return "M0/INIT"
+	case Incr:
+		return "M1/INCR"
+	case Hold:
+		return "M2/HOLD"
+	case Jump:
+		return "M3/JUMP"
+	default:
+		return "?"
+	}
+}
+
+// AddrGen is the four-state read-address generator that drives a local
+// store (paper §4.4). Reading is regulated by four parameters: the
+// window length (the paper's T_i boundary), the in-window Step, the
+// row-to-row Jump, and the replay count (how many times each window is
+// replayed before jumping — the HOLD behaviour that lets T_c output
+// neurons reuse one kernel window).
+type AddrGen struct {
+	Base   int // first address of the sequence (M0 target)
+	Step   int // address increment inside a window (M1)
+	Window int // reads per window before M2/M3 is taken
+	Replay int // times each window is replayed (M2 loops); ≥ 1
+	Jump   int // increment applied to the window base at row end (M3)
+	Rows   int // number of windows (neuron rows)
+
+	state   FSMState
+	addr    int
+	winBase int
+	inWin   int
+	replays int
+	row     int
+	done    bool
+}
+
+// Reset arms the generator: the next call to Next performs M0/INIT.
+func (g *AddrGen) Reset() {
+	if g.Window <= 0 || g.Rows <= 0 {
+		panic("mem: AddrGen needs positive Window and Rows")
+	}
+	if g.Replay < 1 {
+		g.Replay = 1
+	}
+	g.state = Init
+	g.addr = g.Base
+	g.winBase = g.Base
+	g.inWin = 0
+	g.replays = 0
+	g.row = 0
+	g.done = false
+}
+
+// Done reports whether the whole sequence has been emitted.
+func (g *AddrGen) Done() bool { return g.done }
+
+// Next emits the next read address and the FSM state that produced it.
+// The sequence is: for each of Rows windows, (Window addresses starting
+// at the window base, stepping by Step) repeated Replay times, the
+// window base advancing by Jump between rows. Calling Next after the
+// sequence is exhausted panics.
+func (g *AddrGen) Next() (int, FSMState) {
+	if g.done {
+		panic("mem: AddrGen.Next called after Done")
+	}
+	st := g.state
+	a := g.addr
+	// Advance.
+	g.inWin++
+	if g.inWin < g.Window {
+		g.addr += g.Step
+		g.state = Incr
+		return a, st
+	}
+	// Window boundary.
+	g.inWin = 0
+	g.replays++
+	if g.replays < g.Replay {
+		// Replay the same window for the next output neuron.
+		g.addr = g.winBase
+		g.state = Hold
+		return a, st
+	}
+	g.replays = 0
+	g.row++
+	if g.row < g.Rows {
+		g.winBase += g.Jump
+		g.addr = g.winBase
+		g.state = Jump
+		return a, st
+	}
+	g.done = true
+	return a, st
+}
+
+// Sequence drains the generator into a slice of addresses (testing
+// convenience).
+func (g *AddrGen) Sequence() []int {
+	g.Reset()
+	var out []int
+	for !g.Done() {
+		a, _ := g.Next()
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalStoreReadWrite(t *testing.T) {
+	s := NewLocalStore(128)
+	s.Write(5, 42)
+	if got := s.Read(5); got != 42 {
+		t.Errorf("Read(5) = %d, want 42", got)
+	}
+	if s.Reads() != 1 || s.Writes() != 1 {
+		t.Errorf("counters = %d/%d, want 1/1", s.Reads(), s.Writes())
+	}
+	s.ResetCounters()
+	if s.Reads() != 0 || s.Writes() != 0 {
+		t.Error("ResetCounters did not zero counters")
+	}
+	if got := s.Read(5); got != 42 {
+		t.Error("ResetCounters cleared contents")
+	}
+}
+
+func TestLocalStoreBounds(t *testing.T) {
+	s := NewLocalStore(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds read did not panic")
+		}
+	}()
+	s.Read(4)
+}
+
+func TestAddrGenSimpleWindow(t *testing.T) {
+	// One window of 4, single pass: INIT then 3 INCRs.
+	g := &AddrGen{Base: 10, Step: 1, Window: 4, Replay: 1, Jump: 0, Rows: 1}
+	g.Reset()
+	var addrs []int
+	var states []FSMState
+	for !g.Done() {
+		a, s := g.Next()
+		addrs = append(addrs, a)
+		states = append(states, s)
+	}
+	wantA := []int{10, 11, 12, 13}
+	wantS := []FSMState{Init, Incr, Incr, Incr}
+	for i := range wantA {
+		if addrs[i] != wantA[i] || states[i] != wantS[i] {
+			t.Fatalf("step %d = (%d,%v), want (%d,%v)", i, addrs[i], states[i], wantA[i], wantS[i])
+		}
+	}
+}
+
+func TestAddrGenHoldReplaysWindow(t *testing.T) {
+	// Kernel local store of C1 Group(0,0) (paper Fig. 10): a window of
+	// T_j=4 synapses replayed for T_c=2 output neurons, then jumping to
+	// the next kernel row.
+	g := &AddrGen{Base: 0, Step: 1, Window: 4, Replay: 2, Jump: 4, Rows: 2}
+	want := []int{
+		0, 1, 2, 3, // window row 0, output 0
+		0, 1, 2, 3, // HOLD: replay for output 1
+		4, 5, 6, 7, // JUMP to row 1
+		4, 5, 6, 7,
+	}
+	got := g.Sequence()
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addr[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestAddrGenStates(t *testing.T) {
+	g := &AddrGen{Base: 0, Step: 2, Window: 2, Replay: 2, Jump: 10, Rows: 2}
+	g.Reset()
+	var states []FSMState
+	for !g.Done() {
+		_, s := g.Next()
+		states = append(states, s)
+	}
+	want := []FSMState{Init, Incr, Hold, Incr, Jump, Incr, Hold, Incr}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("state[%d] = %v, want %v (full: %v)", i, states[i], want[i], states)
+		}
+	}
+}
+
+func TestAddrGenTotalLength(t *testing.T) {
+	f := func(window, replay, rows uint8) bool {
+		w := int(window%6) + 1
+		rp := int(replay%4) + 1
+		rw := int(rows%5) + 1
+		g := &AddrGen{Base: 0, Step: 1, Window: w, Replay: rp, Jump: w, Rows: rw}
+		return len(g.Sequence()) == w*rp*rw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrGenNextAfterDonePanics(t *testing.T) {
+	g := &AddrGen{Base: 0, Step: 1, Window: 1, Replay: 1, Jump: 0, Rows: 1}
+	g.Reset()
+	g.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("Next after Done did not panic")
+		}
+	}()
+	g.Next()
+}
+
+func TestBankedBufferGeometry(t *testing.T) {
+	// Kernel buffer of the 16×16 FlexFlow: 32 KB = 16384 words split
+	// into Tm=2 groups × Tr=1 subs × Tc=2 banks.
+	b := NewBankedBuffer(2, 1, 2, 16384)
+	if b.NumBanks() != 4 || b.TotalWords() != 16384 {
+		t.Fatalf("banks=%d words=%d", b.NumBanks(), b.TotalWords())
+	}
+	b.Bank(1, 0, 1).Write(3, 9)
+	if got := b.Bank(1, 0, 1).Read(3); got != 9 {
+		t.Errorf("bank read = %d, want 9", got)
+	}
+	if b.Reads() != 1 || b.Writes() != 1 {
+		t.Errorf("aggregate counters = %d/%d", b.Reads(), b.Writes())
+	}
+}
+
+func TestBankedBufferRejectsUneven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("uneven split did not panic")
+		}
+	}()
+	NewBankedBuffer(3, 1, 1, 100)
+}
+
+func TestBankParallelReadsAreIndependent(t *testing.T) {
+	// IADP's point: one read per bank per cycle, all banks in parallel.
+	b := NewBankedBuffer(2, 2, 2, 64)
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 2; s++ {
+			for l := 0; l < 2; l++ {
+				b.Bank(g, s, l).Write(0, 1)
+			}
+		}
+	}
+	// After one "cycle" of full-width reads, every bank has exactly one read.
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 2; s++ {
+			for l := 0; l < 2; l++ {
+				b.Bank(g, s, l).Read(0)
+			}
+		}
+	}
+	for g := 0; g < 2; g++ {
+		for s := 0; s < 2; s++ {
+			for l := 0; l < 2; l++ {
+				if b.Bank(g, s, l).Reads() != 1 {
+					t.Fatalf("bank (%d,%d,%d) reads = %d, want 1", g, s, l, b.Bank(g, s, l).Reads())
+				}
+			}
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(3)
+	f.Push(1)
+	f.Push(2)
+	f.Push(3)
+	if f.Pop() != 1 || f.Pop() != 2 || f.Pop() != 3 {
+		t.Error("FIFO order violated")
+	}
+	if f.Pushes() != 3 || f.Pops() != 3 {
+		t.Errorf("counters = %d/%d", f.Pushes(), f.Pops())
+	}
+}
+
+func TestFIFOWraps(t *testing.T) {
+	f := NewFIFO(2)
+	f.Push(1)
+	f.Push(2)
+	f.Pop()
+	f.Push(3)
+	if f.Pop() != 2 || f.Pop() != 3 {
+		t.Error("FIFO wrap-around broken")
+	}
+}
+
+func TestFIFOOverflowPanics(t *testing.T) {
+	f := NewFIFO(1)
+	f.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	f.Push(2)
+}
+
+func TestFIFOUnderflowPanics(t *testing.T) {
+	f := NewFIFO(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("underflow did not panic")
+		}
+	}()
+	f.Pop()
+}
+
+func TestDRAMCounters(t *testing.T) {
+	var d DRAM
+	d.ReadBlock(100)
+	d.WriteBlock(25)
+	if d.Reads() != 100 || d.Writes() != 25 || d.Accesses() != 125 {
+		t.Errorf("DRAM counters = %d/%d/%d", d.Reads(), d.Writes(), d.Accesses())
+	}
+}
+
+func TestFSMStateString(t *testing.T) {
+	names := map[FSMState]string{Init: "M0/INIT", Incr: "M1/INCR", Hold: "M2/HOLD", Jump: "M3/JUMP"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

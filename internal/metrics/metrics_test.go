@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "A", "Bee")
+	tb.Add("x", "1")
+	tb.Add("longer", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Title") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "Bee") {
+		t.Errorf("missing header: %q", lines[1])
+	}
+	// Columns align: "1" and "2" start at the same offset.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "2") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddF(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddF("name", 0.12345)
+	if got := tb.Rows[0][1]; got != "0.123" {
+		t.Errorf("float cell = %q, want 0.123", got)
+	}
+	tb.AddF(42, "s")
+	if tb.Rows[1][0] != "42" {
+		t.Errorf("int cell = %q", tb.Rows[1][0])
+	}
+}
+
+func TestBar(t *testing.T) {
+	s := Bar("x", 5, 10, 10)
+	if !strings.Contains(s, "#####") || strings.Contains(s, "######") {
+		t.Errorf("bar = %q, want exactly 5 hashes", s)
+	}
+	// Degenerate inputs must not panic or overflow.
+	if s := Bar("x", 20, 10, 10); !strings.Contains(s, strings.Repeat("#", 10)) {
+		t.Errorf("over-max bar = %q", s)
+	}
+	Bar("x", -1, 10, 10)
+	Bar("x", 1, 0, 10)
+}
+
+func TestBarGroup(t *testing.T) {
+	out := BarGroup("G", []string{"a", "b"}, []float64{1, 2}, 8)
+	if !strings.HasPrefix(out, "G\n") || strings.Count(out, "|") != 4 {
+		t.Errorf("BarGroup = %q", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct = %q", Pct(0.5))
+	}
+	if Words2MB(500000) != 1.0 {
+		t.Errorf("Words2MB = %v", Words2MB(500000))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.Add("plain", `has,comma`)
+	tb.Add(`has"quote`, "x")
+	got := tb.CSV()
+	want := "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

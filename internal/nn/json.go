@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flexflow/internal/tensor"
+)
+
+// NetworkSpec is the JSON interchange form of a Network, so custom
+// topologies can be fed to the tools without recompiling:
+//
+//	{
+//	  "name": "custom",
+//	  "input": {"maps": 1, "size": 32},
+//	  "layers": [
+//	    {"type": "conv", "name": "C1", "m": 6, "s": 28, "k": 5},
+//	    {"type": "pool", "p": 2, "kind": "max"},
+//	    {"type": "conv", "name": "C3", "m": 16, "s": 10, "k": 5},
+//	    {"type": "fc", "out": 10}
+//	  ]
+//	}
+//
+// Shapes that follow from the previous layer (a CONV's input-map count,
+// a POOL's map count and input size, an FC's input width) may be
+// omitted and are inferred; anything given explicitly is checked by
+// Network.Validate.
+type NetworkSpec struct {
+	Name  string      `json:"name"`
+	Input InputSpec   `json:"input"`
+	Specs []LayerSpec `json:"layers"`
+}
+
+// InputSpec describes the input stack.
+type InputSpec struct {
+	Maps int `json:"maps"`
+	Size int `json:"size"`
+}
+
+// LayerSpec describes one layer; fields are by layer type.
+type LayerSpec struct {
+	Type string `json:"type"`
+	Name string `json:"name,omitempty"`
+
+	// conv
+	M      int `json:"m,omitempty"`
+	N      int `json:"n,omitempty"`
+	S      int `json:"s,omitempty"`
+	K      int `json:"k,omitempty"`
+	Stride int `json:"stride,omitempty"`
+
+	// pool
+	P    int    `json:"p,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	In   int    `json:"in,omitempty"` // pool input size / fc input width
+
+	// fc
+	Out int `json:"out,omitempty"`
+
+	// pool map count (shared with conv's N semantically, kept separate
+	// for clarity in specs)
+	Maps int `json:"maps,omitempty"`
+}
+
+// ParseJSON decodes a NetworkSpec document into a validated Network,
+// inferring omitted chained shapes.
+func ParseJSON(data []byte) (*Network, error) {
+	var spec NetworkSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("nn: bad network spec: %w", err)
+	}
+	if spec.Input.Maps <= 0 || spec.Input.Size <= 0 {
+		return nil, fmt.Errorf("nn: spec %q needs positive input maps and size", spec.Name)
+	}
+	nw := &Network{Name: spec.Name, InputN: spec.Input.Maps, InputS: spec.Input.Size}
+	curN, curS := spec.Input.Maps, spec.Input.Size
+	for idx, ls := range spec.Specs {
+		switch ls.Type {
+		case "conv":
+			c := ConvLayer{Name: ls.Name, M: ls.M, N: ls.N, S: ls.S, K: ls.K, Stride: ls.Stride}
+			if c.Name == "" {
+				c.Name = fmt.Sprintf("C%d", idx+1)
+			}
+			if c.N == 0 {
+				c.N = curN
+			}
+			if c.S == 0 {
+				// Infer the output size from the chained input; the
+				// stride must tile the input exactly or the network
+				// would fail validation anyway.
+				if c.K <= 0 || curS < c.K || (curS-c.K)%c.Str() != 0 {
+					return nil, fmt.Errorf("nn: spec layer %d: cannot infer S from input %d, K=%d, stride=%d", idx, curS, c.K, c.Str())
+				}
+				c.S = (curS-c.K)/c.Str() + 1
+			}
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("nn: spec layer %d: %w", idx, err)
+			}
+			nw.Layers = append(nw.Layers, Layer{Kind: Conv, Conv: c})
+			curN, curS = c.M, c.S
+		case "pool":
+			p := PoolLayer{Name: ls.Name, N: ls.Maps, In: ls.In, P: ls.P}
+			if p.Name == "" {
+				p.Name = fmt.Sprintf("P%d", idx+1)
+			}
+			if p.N == 0 {
+				p.N = curN
+			}
+			if p.In == 0 {
+				p.In = curS
+			}
+			if p.P <= 0 {
+				return nil, fmt.Errorf("nn: spec layer %d: pool needs positive p", idx)
+			}
+			switch ls.Kind {
+			case "", "max":
+				p.Kind = tensor.MaxPool
+			case "avg":
+				p.Kind = tensor.AvgPool
+			default:
+				return nil, fmt.Errorf("nn: spec layer %d: unknown pool kind %q", idx, ls.Kind)
+			}
+			nw.Layers = append(nw.Layers, Layer{Kind: Pool, Pool: p})
+			curS = p.OutSize()
+		case "fc":
+			f := FCLayer{Name: ls.Name, In: ls.In, Out: ls.Out}
+			if f.Name == "" {
+				f.Name = fmt.Sprintf("F%d", idx+1)
+			}
+			if f.In == 0 {
+				f.In = curN * curS * curS
+			}
+			if f.Out <= 0 {
+				return nil, fmt.Errorf("nn: spec layer %d: fc needs positive out", idx)
+			}
+			nw.Layers = append(nw.Layers, Layer{Kind: FC, FC: f})
+			curN, curS = f.Out, 1
+		default:
+			return nil, fmt.Errorf("nn: spec layer %d: unknown type %q", idx, ls.Type)
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// ToJSON encodes a Network as a NetworkSpec document (fully explicit,
+// no inferred fields).
+func ToJSON(nw *Network) ([]byte, error) {
+	spec := NetworkSpec{
+		Name:  nw.Name,
+		Input: InputSpec{Maps: nw.InputN, Size: nw.InputS},
+	}
+	for _, l := range nw.Layers {
+		switch l.Kind {
+		case Conv:
+			spec.Specs = append(spec.Specs, LayerSpec{
+				Type: "conv", Name: l.Conv.Name,
+				M: l.Conv.M, N: l.Conv.N, S: l.Conv.S, K: l.Conv.K, Stride: l.Conv.Stride,
+			})
+		case Pool:
+			kind := "max"
+			if l.Pool.Kind == tensor.AvgPool {
+				kind = "avg"
+			}
+			spec.Specs = append(spec.Specs, LayerSpec{
+				Type: "pool", Name: l.Pool.Name,
+				Maps: l.Pool.N, In: l.Pool.In, P: l.Pool.P, Kind: kind,
+			})
+		case FC:
+			spec.Specs = append(spec.Specs, LayerSpec{
+				Type: "fc", Name: l.FC.Name, In: l.FC.In, Out: l.FC.Out,
+			})
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %d", l.Kind)
+		}
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"flexflow/internal/tensor"
+)
+
+const lenetSpec = `{
+  "name": "lenet",
+  "input": {"maps": 1, "size": 32},
+  "layers": [
+    {"type": "conv", "name": "C1", "m": 6, "k": 5},
+    {"type": "pool", "p": 2},
+    {"type": "conv", "name": "C3", "m": 16, "k": 5},
+    {"type": "fc", "out": 10}
+  ]
+}`
+
+func TestParseJSONInfersShapes(t *testing.T) {
+	nw, err := ParseJSON([]byte(lenetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	convs := nw.ConvLayers()
+	if len(convs) != 2 {
+		t.Fatalf("conv layers = %d", len(convs))
+	}
+	if convs[0].N != 1 || convs[0].S != 28 {
+		t.Errorf("C1 inferred N=%d S=%d, want 1/28", convs[0].N, convs[0].S)
+	}
+	if convs[1].N != 6 || convs[1].S != 10 {
+		t.Errorf("C3 inferred N=%d S=%d, want 6/10", convs[1].N, convs[1].S)
+	}
+	fc := nw.Layers[len(nw.Layers)-1].FC
+	if fc.In != 16*10*10 || fc.Out != 10 {
+		t.Errorf("FC inferred In=%d Out=%d", fc.In, fc.Out)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Errorf("parsed network invalid: %v", err)
+	}
+}
+
+func TestParseJSONStride(t *testing.T) {
+	spec := `{
+	  "name": "strided",
+	  "input": {"maps": 3, "size": 227},
+	  "layers": [{"type": "conv", "m": 48, "k": 11, "stride": 4}]
+	}`
+	nw, err := ParseJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := nw.ConvLayers()[0]
+	if c.S != 55 || c.Stride != 4 {
+		t.Errorf("inferred S=%d stride=%d, want 55/4", c.S, c.Stride)
+	}
+}
+
+func TestParseJSONAvgPool(t *testing.T) {
+	spec := `{
+	  "name": "p",
+	  "input": {"maps": 2, "size": 8},
+	  "layers": [{"type": "pool", "p": 2, "kind": "avg"}]
+	}`
+	nw, err := ParseJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Layers[0].Pool.Kind != tensor.AvgPool {
+		t.Error("avg pool kind not parsed")
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"no input":      `{"name":"x","layers":[]}`,
+		"unknown type":  `{"input":{"maps":1,"size":8},"layers":[{"type":"wat"}]}`,
+		"bad pool kind": `{"input":{"maps":1,"size":8},"layers":[{"type":"pool","p":2,"kind":"median"}]}`,
+		"zero pool":     `{"input":{"maps":1,"size":8},"layers":[{"type":"pool"}]}`,
+		"zero fc out":   `{"input":{"maps":1,"size":8},"layers":[{"type":"fc"}]}`,
+		"kernel > in":   `{"input":{"maps":1,"size":4},"layers":[{"type":"conv","m":1,"k":5}]}`,
+		"stride no fit": `{"input":{"maps":1,"size":8},"layers":[{"type":"conv","m":1,"k":3,"stride":2}]}`,
+		"mismatch":      `{"input":{"maps":1,"size":8},"layers":[{"type":"conv","m":1,"n":5,"s":6,"k":3}]}`,
+	}
+	for name, spec := range cases {
+		if _, err := ParseJSON([]byte(spec)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	nw, err := ParseJSON([]byte(lenetSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ToJSON(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type": "conv"`) {
+		t.Errorf("serialized spec missing conv: %s", data)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if back.Name != nw.Name || len(back.Layers) != len(nw.Layers) {
+		t.Error("round trip changed the network")
+	}
+	for i := range nw.Layers {
+		if back.Layers[i] != nw.Layers[i] {
+			t.Errorf("layer %d changed: %+v vs %+v", i, back.Layers[i], nw.Layers[i])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package nn describes CNN topologies at the level the accelerator
+// architectures consume them: a sequence of CONV, POOL and FC layers
+// with the four shape parameters the paper analyzes — M (output feature
+// maps), N (input feature maps), S (output feature-map size) and K
+// (kernel size).
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"flexflow/internal/tensor"
+)
+
+// LayerKind discriminates the three operation-layer types of a CNN
+// (paper §2.1).
+type LayerKind int
+
+const (
+	// Conv is a convolutional layer.
+	Conv LayerKind = iota
+	// Pool is a subsampling layer.
+	Pool
+	// FC is a classifier (fully connected) layer.
+	FC
+)
+
+// String returns the paper's abbreviation for the layer kind.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "CONV"
+	case Pool:
+		return "POOL"
+	case FC:
+		return "FC"
+	default:
+		return "?"
+	}
+}
+
+// ConvLayer is one convolutional layer characterized by the paper's four
+// object-related parameters (Fig. 3). InH/InW are derived input sizes.
+type ConvLayer struct {
+	Name string
+	M    int // number of output feature maps
+	N    int // number of input feature maps
+	S    int // output feature map size (S×S neurons)
+	K    int // kernel size (K×K synapses)
+
+	// Stride is the convolution stride; zero means 1. The paper's
+	// dataflow analysis assumes unit stride — strided layers (e.g.
+	// AlexNet's real C1) are an extension supported by the golden
+	// reference and the FlexFlow engine; the rigid baselines keep
+	// their unit-stride contract.
+	Stride int
+
+	// ReLU applies the rectifier to the layer's outputs. Activations
+	// ride the lightweight ALU path after the convolution array (the
+	// same unit that pools), so they change values but neither cycles
+	// nor dataflow.
+	ReLU bool
+}
+
+// Str returns the effective stride (Stride, defaulting to 1).
+func (l ConvLayer) Str() int {
+	if l.Stride <= 1 {
+		return 1
+	}
+	return l.Stride
+}
+
+// InSize returns the input feature-map edge length for valid
+// convolution: (S-1)·stride + K.
+func (l ConvLayer) InSize() int { return (l.S-1)*l.Str() + l.K }
+
+// MACs returns the number of multiply-accumulate operations in the
+// layer: M·N·S²·K².
+func (l ConvLayer) MACs() int64 {
+	return int64(l.M) * int64(l.N) * int64(l.S) * int64(l.S) * int64(l.K) * int64(l.K)
+}
+
+// Ops returns the operation count used for GOPS reporting (2 ops per
+// MAC: one multiply + one add), the convention of the paper's GOPS
+// figures.
+func (l ConvLayer) Ops() int64 { return 2 * l.MACs() }
+
+// InputWords and related counters size the data objects in 16-bit words.
+func (l ConvLayer) InputWords() int64 {
+	in := int64(l.InSize())
+	return int64(l.N) * in * in
+}
+
+// OutputWords returns the number of output neurons (words).
+func (l ConvLayer) OutputWords() int64 {
+	return int64(l.M) * int64(l.S) * int64(l.S)
+}
+
+// KernelWords returns the number of synapses (words).
+func (l ConvLayer) KernelWords() int64 {
+	return int64(l.M) * int64(l.N) * int64(l.K) * int64(l.K)
+}
+
+// Validate reports whether the layer shape is well formed.
+func (l ConvLayer) Validate() error {
+	if l.M <= 0 || l.N <= 0 || l.S <= 0 || l.K <= 0 {
+		return fmt.Errorf("nn: layer %s has non-positive shape M=%d N=%d S=%d K=%d", l.Name, l.M, l.N, l.S, l.K)
+	}
+	return nil
+}
+
+// String renders the layer in the Table 1 style: "N×M@K×K → M@S×S".
+func (l ConvLayer) String() string {
+	return fmt.Sprintf("%s: %d×%d@%d×%d -> %d@%d×%d", l.Name, l.N, l.M, l.K, l.K, l.M, l.S, l.S)
+}
+
+// PoolLayer is a subsampling layer with a P×P window and stride P.
+type PoolLayer struct {
+	Name string
+	N    int // feature map count (unchanged by pooling)
+	In   int // input feature-map edge length
+	P    int // pooling window edge
+	Kind tensor.PoolKind
+}
+
+// OutSize returns the pooled feature-map edge length.
+func (l PoolLayer) OutSize() int { return l.In / l.P }
+
+// Ops returns the comparison/add operation count of the pooling layer.
+func (l PoolLayer) Ops() int64 {
+	out := int64(l.OutSize())
+	return int64(l.N) * out * out * int64(l.P) * int64(l.P)
+}
+
+// FCLayer is a classifier layer mapping In inputs to Out outputs.
+type FCLayer struct {
+	Name string
+	In   int
+	Out  int
+}
+
+// Ops returns the operation count (2 per MAC).
+func (l FCLayer) Ops() int64 { return 2 * int64(l.In) * int64(l.Out) }
+
+// Layer is one element of a network: exactly one of the three layer
+// structs, discriminated by Kind.
+type Layer struct {
+	Kind LayerKind
+	Conv ConvLayer
+	Pool PoolLayer
+	FC   FCLayer
+}
+
+// Network is an ordered CNN topology plus the input stack shape.
+type Network struct {
+	Name   string
+	InputN int // input feature maps (channels)
+	InputS int // input edge length
+	Layers []Layer
+}
+
+// ConvLayers returns just the convolutional layers, in order. The
+// paper's evaluation (like most accelerator papers of its era) focuses
+// on CONV layers, which take >90% of computation.
+func (nw *Network) ConvLayers() []ConvLayer {
+	var out []ConvLayer
+	for _, l := range nw.Layers {
+		if l.Kind == Conv {
+			out = append(out, l.Conv)
+		}
+	}
+	return out
+}
+
+// TotalConvOps returns the summed operation count of all CONV layers.
+func (nw *Network) TotalConvOps() int64 {
+	var total int64
+	for _, l := range nw.ConvLayers() {
+		total += l.Ops()
+	}
+	return total
+}
+
+// ErrShapeMismatch is returned by Validate when consecutive layers do
+// not agree on intermediate tensor shapes.
+var ErrShapeMismatch = errors.New("nn: layer shape mismatch")
+
+// Validate checks that the network's layers chain: each layer's input
+// shape must equal the previous layer's output shape.
+func (nw *Network) Validate() error {
+	n, s := nw.InputN, nw.InputS
+	for idx, l := range nw.Layers {
+		switch l.Kind {
+		case Conv:
+			c := l.Conv
+			if err := c.Validate(); err != nil {
+				return err
+			}
+			if c.N != n {
+				return fmt.Errorf("%w: %s expects %d input maps, previous layer provides %d", ErrShapeMismatch, c.Name, c.N, n)
+			}
+			if c.InSize() != s {
+				return fmt.Errorf("%w: %s expects %d×%d input, previous layer provides %d×%d", ErrShapeMismatch, c.Name, c.InSize(), c.InSize(), s, s)
+			}
+			n, s = c.M, c.S
+		case Pool:
+			p := l.Pool
+			if p.N != n || p.In != s {
+				return fmt.Errorf("%w: %s expects %d@%d×%d, previous layer provides %d@%d×%d", ErrShapeMismatch, p.Name, p.N, p.In, p.In, n, s, s)
+			}
+			s = p.OutSize()
+		case FC:
+			f := l.FC
+			if f.In != n*s*s {
+				return fmt.Errorf("%w: %s expects %d inputs, previous layer provides %d", ErrShapeMismatch, f.Name, f.In, n*s*s)
+			}
+			n, s = f.Out, 1
+		default:
+			return fmt.Errorf("nn: layer %d has unknown kind %d", idx, l.Kind)
+		}
+	}
+	return nil
+}
+
+// NextConvAfter returns the CONV layer that follows the CONV layer at
+// convIndex (counting only CONV layers), and the pooling window P
+// between them (1 if none). ok is false for the last CONV layer. The
+// compiler needs this to couple consecutive layers' unrolling factors
+// (paper §5).
+func (nw *Network) NextConvAfter(convIndex int) (next ConvLayer, poolP int, ok bool) {
+	seen := -1
+	poolP = 1
+	collecting := false
+	for _, l := range nw.Layers {
+		switch l.Kind {
+		case Conv:
+			if collecting {
+				return l.Conv, poolP, true
+			}
+			seen++
+			if seen == convIndex {
+				collecting = true
+				poolP = 1
+			}
+		case Pool:
+			if collecting {
+				poolP = l.Pool.P
+			}
+		}
+	}
+	return ConvLayer{}, 1, false
+}

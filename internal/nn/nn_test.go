@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+
+	"flexflow/internal/tensor"
+)
+
+func chainNet() *Network {
+	return &Network{
+		Name:   "chain",
+		InputN: 1,
+		InputS: 13,
+		Layers: []Layer{
+			{Kind: Conv, Conv: ConvLayer{Name: "C1", M: 2, N: 1, S: 10, K: 4}},
+			{Kind: Pool, Pool: PoolLayer{Name: "P1", N: 2, In: 10, P: 2, Kind: tensor.MaxPool}},
+			{Kind: Conv, Conv: ConvLayer{Name: "C2", M: 3, N: 2, S: 4, K: 2}},
+			{Kind: FC, FC: FCLayer{Name: "F1", In: 3 * 4 * 4, Out: 10}},
+		},
+	}
+}
+
+func TestConvLayerDerived(t *testing.T) {
+	l := ConvLayer{Name: "C3", M: 16, N: 6, S: 10, K: 5}
+	if got := l.InSize(); got != 14 {
+		t.Errorf("InSize = %d, want 14", got)
+	}
+	if got := l.MACs(); got != 16*6*10*10*5*5 {
+		t.Errorf("MACs = %d", got)
+	}
+	if got := l.Ops(); got != 2*l.MACs() {
+		t.Errorf("Ops = %d", got)
+	}
+	if got := l.InputWords(); got != 6*14*14 {
+		t.Errorf("InputWords = %d", got)
+	}
+	if got := l.OutputWords(); got != 16*10*10 {
+		t.Errorf("OutputWords = %d", got)
+	}
+	if got := l.KernelWords(); got != 16*6*5*5 {
+		t.Errorf("KernelWords = %d", got)
+	}
+}
+
+func TestConvLayerValidate(t *testing.T) {
+	if err := (ConvLayer{Name: "ok", M: 1, N: 1, S: 1, K: 1}).Validate(); err != nil {
+		t.Errorf("valid layer rejected: %v", err)
+	}
+	if err := (ConvLayer{Name: "bad", M: 0, N: 1, S: 1, K: 1}).Validate(); err == nil {
+		t.Error("zero-M layer accepted")
+	}
+}
+
+func TestNetworkValidateChains(t *testing.T) {
+	if err := chainNet().Validate(); err != nil {
+		t.Errorf("chaining network rejected: %v", err)
+	}
+}
+
+func TestNetworkValidateDetectsMismatch(t *testing.T) {
+	nw := chainNet()
+	nw.Layers[2].Conv.N = 5 // breaks: previous provides 2 maps
+	err := nw.Validate()
+	if !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("want ErrShapeMismatch, got %v", err)
+	}
+}
+
+func TestNetworkValidateFCMismatch(t *testing.T) {
+	nw := chainNet()
+	nw.Layers[3].FC.In = 7
+	if err := nw.Validate(); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("want ErrShapeMismatch, got %v", err)
+	}
+}
+
+func TestConvLayersOrder(t *testing.T) {
+	nw := chainNet()
+	convs := nw.ConvLayers()
+	if len(convs) != 2 || convs[0].Name != "C1" || convs[1].Name != "C2" {
+		t.Errorf("ConvLayers = %v", convs)
+	}
+}
+
+func TestTotalConvOps(t *testing.T) {
+	nw := chainNet()
+	want := nw.Layers[0].Conv.Ops() + nw.Layers[2].Conv.Ops()
+	if got := nw.TotalConvOps(); got != want {
+		t.Errorf("TotalConvOps = %d, want %d", got, want)
+	}
+}
+
+func TestNextConvAfter(t *testing.T) {
+	nw := chainNet()
+	next, p, ok := nw.NextConvAfter(0)
+	if !ok || next.Name != "C2" || p != 2 {
+		t.Errorf("NextConvAfter(0) = %v, p=%d, ok=%v", next.Name, p, ok)
+	}
+	if _, _, ok := nw.NextConvAfter(1); ok {
+		t.Error("NextConvAfter(last) should report !ok")
+	}
+}
+
+func TestNextConvAfterNoPool(t *testing.T) {
+	nw := &Network{
+		InputN: 1, InputS: 6,
+		Layers: []Layer{
+			{Kind: Conv, Conv: ConvLayer{Name: "A", M: 2, N: 1, S: 4, K: 3}},
+			{Kind: Conv, Conv: ConvLayer{Name: "B", M: 2, N: 2, S: 2, K: 3}},
+		},
+	}
+	next, p, ok := nw.NextConvAfter(0)
+	if !ok || next.Name != "B" || p != 1 {
+		t.Errorf("NextConvAfter = %v p=%d ok=%v, want B p=1", next.Name, p, ok)
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	if Conv.String() != "CONV" || Pool.String() != "POOL" || FC.String() != "FC" {
+		t.Error("LayerKind.String mismatch")
+	}
+}
+
+func TestPoolLayerDerived(t *testing.T) {
+	p := PoolLayer{N: 4, In: 9, P: 2}
+	if p.OutSize() != 4 {
+		t.Errorf("OutSize = %d, want 4 (truncating)", p.OutSize())
+	}
+	if p.Ops() != 4*4*4*2*2 {
+		t.Errorf("Ops = %d", p.Ops())
+	}
+}

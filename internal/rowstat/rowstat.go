@@ -1,0 +1,266 @@
+// Package rowstat implements a row-stationary (RS) dataflow engine in
+// the style of Eyeriss — the strongest contemporary comparator the
+// paper discusses (§7, Table 7). It is an extension beyond the paper's
+// four architectures: having a measured RS machine lets Table 7's
+// DRAM-accesses-per-op comparison be computed instead of quoted.
+//
+// The canonical RS mapping: a PE set is K rows × E columns. PE (i, e)
+// of a set holds kernel row i stationary in its register file and
+// computes the 1-D convolution of that kernel row with input row
+// (e + i), producing partial sums for output row e; the K per-row
+// contributions of output row e accumulate through the set's vertical
+// psum links. Multiple sets stack vertically on the physical array
+// (⌊Rows/K⌋ of them) and work on different output feature maps, sharing
+// the same input rows by multicast — Eyeriss's inter-set input reuse.
+package rowstat
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// Engine is a row-stationary accelerator with a Rows×Cols PE array
+// (Eyeriss's configuration is 12×14 = 168 PEs).
+type Engine struct {
+	Rows, Cols int
+
+	// BufferWords bounds on-chip reuse in the DRAM model (Eyeriss's
+	// global buffer is 108 KB = 55296 words).
+	BufferWords int
+}
+
+// New returns an RS engine with the Eyeriss-like global buffer.
+func New(rows, cols int) *Engine {
+	if rows <= 0 || cols <= 0 {
+		panic("rowstat: array dimensions must be positive")
+	}
+	return &Engine{Rows: rows, Cols: cols, BufferWords: 55296}
+}
+
+// NewEyeriss returns the 12×14, 108 KB configuration of Table 7.
+func NewEyeriss() *Engine { return New(12, 14) }
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return "Row-Stationary" }
+
+// PEs implements arch.Engine.
+func (e *Engine) PEs() int { return e.Rows * e.Cols }
+
+// geometry derives the RS mapping of a layer: set height (kernel rows,
+// folded when K exceeds the physical height), set width E (output rows
+// per pass), and the number of concurrent sets.
+func (e *Engine) geometry(l nn.ConvLayer) (setH, setW, sets, folds int) {
+	setH = l.K
+	folds = 1
+	if setH > e.Rows {
+		folds = (l.K + e.Rows - 1) / e.Rows
+		setH = e.Rows
+	}
+	setW = l.S
+	if setW > e.Cols {
+		setW = e.Cols
+	}
+	sets = e.Rows / setH
+	if sets < 1 {
+		sets = 1
+	}
+	return setH, setW, sets, folds
+}
+
+// Model implements arch.Engine.
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("rowstat: unit-stride model only")
+	}
+	setH, setW, sets, folds := e.geometry(l)
+	in := int64(l.InSize())
+
+	// One set-pass: setW output rows of one (m, n) pair for one kernel
+	// fold; every PE runs a 1-D conv of S outputs × K taps, plus the
+	// psum drain down the set.
+	cyclesPerPass := int64(l.S)*int64(l.K) + int64(setH)
+	rowGroups := int64((l.S + setW - 1) / setW)
+	// Rounds are grouped by (n, fold, m-group, row-group): a partial
+	// m-group still occupies a full round.
+	mGroupsForRounds := int64((l.M + sets - 1) / sets)
+	engineRounds := int64(l.N) * int64(folds) * mGroupsForRounds * rowGroups
+
+	res := arch.LayerResult{
+		Arch:  e.Name(),
+		Layer: l,
+		Factors: arch.T{Tm: sets, Tn: 1, Tr: setW, Tc: 1,
+			Ti: setH, Tj: 1},
+		PEs:    e.PEs(),
+		Cycles: engineRounds * cyclesPerPass,
+		MACs:   l.MACs(),
+	}
+
+	// Kernel rows stay stationary across an (m, n)'s row groups: each
+	// fold's rows are loaded once per (m, n), so the folds together load
+	// each synapse exactly once.
+	res.KernelLoads = int64(l.M) * int64(l.N) * int64(l.K) * int64(l.K)
+	// Input rows multicast to the concurrent sets (different m, same n):
+	// one buffer read serves a whole m-group. Sum the exact row-group
+	// extents (the last group is narrower).
+	mGroups := int64((l.M + sets - 1) / sets)
+	var rowGroupWords int64
+	for e0 := 0; e0 < l.S; e0 += setW {
+		ew := setW
+		if e0+ew > l.S {
+			ew = l.S - e0
+		}
+		rowGroupWords += int64(ew+setH-1) * in
+	}
+	res.NeuronLoads = mGroups * int64(l.N) * int64(folds) * rowGroupWords
+	_ = rowGroups
+	// Partial sums spill to the buffer per n (and per fold) and are
+	// re-read for accumulation.
+	s2 := int64(l.S) * int64(l.S)
+	nPasses := int64(l.N) * int64(folds)
+	res.NeuronStores = int64(l.M) * nPasses * s2
+	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
+	// Psums hop up the set once per tap row beyond the first (per fold,
+	// a set of ka rows makes ka-1 hops per output element).
+	var hopsPerElem int64
+	for fold := 0; fold < folds; fold++ {
+		ka := setH
+		if fold*setH+ka > l.K {
+			ka = l.K - fold*setH
+		}
+		hopsPerElem += int64(ka - 1)
+	}
+	res.InterPEMoves = int64(l.M) * int64(l.N) * s2 * hopsPerElem
+	// The stationary register file is read per MAC (kernel + psum).
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	e.modelDRAM(l, &res, mGroups)
+	return res
+}
+
+func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(e.BufferWords) {
+		reload = mGroups
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}
+
+// Simulate implements arch.Engine: each PE runs its stationary-row 1-D
+// convolution explicitly and the set's vertical links accumulate the
+// output rows, so the functional result is produced by the actual RS
+// dataflow.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if l.Str() != 1 {
+		return nil, arch.LayerResult{}, fmt.Errorf("rowstat: unit-stride dataflow cannot execute stride-%d layer %s", l.Str(), l.Name)
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("rowstat: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("rowstat: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	setH, setW, sets, folds := e.geometry(l)
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	res := arch.LayerResult{
+		Arch: e.Name(), Layer: l, PEs: e.PEs(),
+		Factors: arch.T{Tm: sets, Tn: 1, Tr: setW, Tc: 1, Ti: setH, Tj: 1},
+	}
+
+	cyclesPerPass := int64(l.S)*int64(l.K) + int64(setH)
+	var setPasses, rounds int64
+
+	for n := 0; n < l.N; n++ {
+		for fold := 0; fold < folds; fold++ {
+			i0 := fold * setH
+			ka := setH
+			if i0+ka > l.K {
+				ka = l.K - i0
+			}
+			// m-groups share the input multicast across concurrent sets.
+			for m0 := 0; m0 < l.M; m0 += sets {
+				for e0 := 0; e0 < l.S; e0 += setW {
+					ew := setW
+					if e0+ew > l.S {
+						ew = l.S - e0
+					}
+					// Input rows for this row group, multicast once.
+					rounds++
+					res.NeuronLoads += int64(ew+setH-1) * int64(in.W)
+					for s := 0; s < sets; s++ {
+						m := m0 + s
+						if m >= l.M {
+							break
+						}
+						setPasses++
+						e.runSet(l, in, k, psum, &res, m, n, i0, ka, e0, ew)
+					}
+				}
+			}
+		}
+	}
+
+	for m := 0; m < l.M; m++ {
+		for r := 0; r < l.S; r++ {
+			for c := 0; c < l.S; c++ {
+				out.Set(m, r, c, psum[(m*l.S+r)*l.S+c].Round())
+			}
+		}
+	}
+	// Concurrent sets overlap in time: engine rounds, not set passes.
+	res.Cycles = rounds * cyclesPerPass
+	_ = setPasses
+	res.MACs = l.MACs()
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+	mGroups := int64((l.M + sets - 1) / sets)
+	e.modelDRAM(l, &res, mGroups)
+	return out, res, nil
+}
+
+// runSet executes one PE set pass: output rows e0..e0+ew-1 of map m,
+// input map n, kernel rows i0..i0+ka-1.
+func (e *Engine) runSet(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4,
+	psum []fixed.Acc, res *arch.LayerResult, m, n, i0, ka, e0, ew int) {
+
+	// Kernel rows are loaded stationary into the set's register files on
+	// the first row group of each (m, n, fold) and stay resident.
+	if e0 == 0 {
+		res.KernelLoads += int64(ka) * int64(l.K)
+	}
+	first := n == 0 && i0 == 0
+	for er := e0; er < e0+ew; er++ {
+		for c := 0; c < l.S; c++ {
+			// Column accumulation: PE (i) contributes its 1-D conv tap
+			// sums; the vertical links fold them into the output row.
+			var colAcc fixed.Acc
+			for i := i0; i < i0+ka; i++ {
+				var tap fixed.Acc
+				for j := 0; j < l.K; j++ {
+					tap = fixed.MAC(tap, in.At(n, er+i, c+j), k.At(m, n, i, j))
+				}
+				colAcc = fixed.AddAcc(colAcc, tap)
+				if i > i0 {
+					res.InterPEMoves++ // psum hop up the set
+				}
+			}
+			idx := (m*l.S+er)*l.S + c
+			psum[idx] = fixed.AddAcc(psum[idx], colAcc)
+			res.NeuronStores++
+			if !first {
+				res.NeuronLoads++ // re-read of the prior partial
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package rowstat
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestSimulateMatchesGoldenConv(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "tiny", M: 1, N: 1, S: 3, K: 2},
+		{Name: "sets", M: 5, N: 2, S: 4, K: 3},  // several sets + partial m-group
+		{Name: "wide", M: 2, N: 1, S: 20, K: 3}, // S > Cols ⇒ row groups
+		{Name: "fold", M: 1, N: 1, S: 4, K: 13}, // K > Rows ⇒ kernel folding
+		{Name: "deep", M: 3, N: 4, S: 5, K: 4},
+	}
+	e := NewEyeriss()
+	for _, l := range layers {
+		in, k := makeOperands(l, 61)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if !got.Equal(tensor.Conv(in, k)) {
+			t.Errorf("%s: RS output differs from golden conv", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	e := New(6, 5)
+	for trial := 0; trial < 14; trial++ {
+		l := nn.ConvLayer{
+			Name: "rand",
+			M:    1 + rng.Intn(7),
+			N:    1 + rng.Intn(3),
+			S:    2 + rng.Intn(7),
+			K:    1 + rng.Intn(8), // can exceed Rows ⇒ folding
+		}
+		in, k := makeOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		for _, cmp := range []struct {
+			name     string
+			sim, mod int64
+		}{
+			{"Cycles", simRes.Cycles, mod.Cycles},
+			{"MACs", simRes.MACs, mod.MACs},
+			{"NeuronLoads", simRes.NeuronLoads, mod.NeuronLoads},
+			{"NeuronStores", simRes.NeuronStores, mod.NeuronStores},
+			{"KernelLoads", simRes.KernelLoads, mod.KernelLoads},
+			{"InterPEMoves", simRes.InterPEMoves, mod.InterPEMoves},
+		} {
+			if cmp.sim != cmp.mod {
+				t.Errorf("%+v: %s sim=%d model=%d", l, cmp.name, cmp.sim, cmp.mod)
+			}
+		}
+	}
+}
+
+func TestKernelsLoadedOnce(t *testing.T) {
+	// The row-stationary point: synapse traffic equals the kernel
+	// working set exactly, regardless of the output size.
+	e := NewEyeriss()
+	l := nn.ConvLayer{M: 4, N: 3, S: 30, K: 3}
+	res := e.Model(l)
+	if res.KernelLoads != l.KernelWords() {
+		t.Errorf("KernelLoads = %d, want exactly %d", res.KernelLoads, l.KernelWords())
+	}
+}
+
+func TestEyerissUtilizationReasonable(t *testing.T) {
+	e := NewEyeriss()
+	for _, l := range []nn.ConvLayer{
+		{Name: "alex-c3", M: 128, N: 48, S: 27, K: 5},
+		{Name: "lenet-c3", M: 16, N: 6, S: 10, K: 5},
+	} {
+		u := e.Model(l).Utilization()
+		if u <= 0.1 || u > 1.0 {
+			t.Errorf("%s: utilization %v out of plausible band", l.Name, u)
+		}
+	}
+}
+
+func TestRejectsStride(t *testing.T) {
+	e := NewEyeriss()
+	l := nn.ConvLayer{M: 1, N: 1, S: 3, K: 2, Stride: 2}
+	in := tensor.NewMap3(1, l.InSize(), l.InSize())
+	k := tensor.NewKernel4(1, 1, 2)
+	if _, _, err := e.Simulate(l, in, k); err == nil {
+		t.Error("strided layer accepted")
+	}
+}
+
+func TestEngineIdentity(t *testing.T) {
+	e := NewEyeriss()
+	if e.Name() != "Row-Stationary" || e.PEs() != 168 {
+		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
+	}
+}

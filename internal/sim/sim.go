@@ -1,0 +1,113 @@
+// Package sim provides the small cycle-simulation substrate shared by
+// the four architecture simulators: a clock, and an event tracer that
+// can record operand movements for dataflow-snapshot tests (the Go
+// equivalent of the paper's Figure 5 snapshots).
+package sim
+
+import "fmt"
+
+// Clock counts engine cycles. The zero value is a clock at cycle 0.
+type Clock struct {
+	cycle int64
+}
+
+// Cycle returns the current cycle number.
+func (c *Clock) Cycle() int64 { return c.cycle }
+
+// Tick advances the clock by one cycle.
+func (c *Clock) Tick() { c.cycle++ }
+
+// Advance advances the clock by n cycles (n ≥ 0).
+func (c *Clock) Advance(n int64) {
+	if n < 0 {
+		panic("sim: Advance by negative cycles")
+	}
+	c.cycle += n
+}
+
+// EventKind classifies traced dataflow events.
+type EventKind int
+
+const (
+	// EvBroadcast is an operand broadcast onto a bus.
+	EvBroadcast EventKind = iota
+	// EvShift is an operand move between neighbouring PEs/pipeline slots.
+	EvShift
+	// EvMAC is a multiply-accumulate issued by a PE.
+	EvMAC
+	// EvLoad is an operand load from a buffer into a PE.
+	EvLoad
+	// EvStore is an output neuron leaving the engine.
+	EvStore
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvBroadcast:
+		return "broadcast"
+	case EvShift:
+		return "shift"
+	case EvMAC:
+		return "mac"
+	case EvLoad:
+		return "load"
+	case EvStore:
+		return "store"
+	default:
+		return "?"
+	}
+}
+
+// Event is one traced dataflow occurrence.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	// PE row/column (or pipeline stage) the event happened at; -1 when
+	// not applicable.
+	Row, Col int
+	// What describes the operand, e.g. "I(1,5,4)" or "O(0,3,1)".
+	What string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("@%d %s PE(%d,%d) %s", e.Cycle, e.Kind, e.Row, e.Col, e.What)
+}
+
+// Tracer receives dataflow events from a simulator. Implementations
+// must be cheap; simulators call Trace on hot paths only when a tracer
+// is installed.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Recorder is a Tracer that stores every event, for tests.
+type Recorder struct {
+	Events []Event
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(e Event) { r.Events = append(r.Events, e) }
+
+// Filter returns the recorded events of one kind.
+func (r *Recorder) Filter(k EventKind) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AtCycle returns the recorded events of one cycle.
+func (r *Recorder) AtCycle(c int64) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Cycle == c {
+			out = append(out, e)
+		}
+	}
+	return out
+}

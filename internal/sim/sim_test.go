@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Cycle() != 0 {
+		t.Error("zero clock should be at cycle 0")
+	}
+	c.Tick()
+	c.Advance(10)
+	if c.Cycle() != 11 {
+		t.Errorf("Cycle = %d, want 11", c.Cycle())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestRecorderFilter(t *testing.T) {
+	var r Recorder
+	r.Trace(Event{Cycle: 0, Kind: EvBroadcast, Row: -1, Col: 2, What: "I(1,5,4)"})
+	r.Trace(Event{Cycle: 0, Kind: EvMAC, Row: 1, Col: 2, What: "O(0,3,1)"})
+	r.Trace(Event{Cycle: 1, Kind: EvMAC, Row: 1, Col: 3, What: "O(0,3,2)"})
+	if got := len(r.Filter(EvMAC)); got != 2 {
+		t.Errorf("Filter(EvMAC) = %d events, want 2", got)
+	}
+	if got := len(r.AtCycle(0)); got != 2 {
+		t.Errorf("AtCycle(0) = %d events, want 2", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 3, Kind: EvShift, Row: 1, Col: 2, What: "O(0,0,0)"}
+	if got := e.String(); got != "@3 shift PE(1,2) O(0,0,0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvBroadcast: "broadcast", EvShift: "shift", EvMAC: "mac",
+		EvLoad: "load", EvStore: "store",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d String = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTraceWriterFiltersAndWrites(t *testing.T) {
+	var buf strings.Builder
+	tw := NewTraceWriter(&buf, TraceFilter{Kinds: []EventKind{EvMAC}, MaxEvents: 2})
+	events := []Event{
+		{Cycle: 0, Kind: EvBroadcast, Row: -1, Col: -1, What: "I(0,0,0)"},
+		{Cycle: 0, Kind: EvMAC, Row: 1, Col: 2, What: "O(0,0,0)"},
+		{Cycle: 1, Kind: EvMAC, Row: 1, Col: 3, What: "O(0,0,1)"},
+		{Cycle: 2, Kind: EvMAC, Row: 1, Col: 4, What: "O(0,0,2)"}, // beyond cap
+	}
+	for _, e := range events {
+		tw.Trace(e)
+	}
+	n, err := tw.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("written = %d, want 2 (kind filter + cap)", n)
+	}
+	out := buf.String()
+	if strings.Contains(out, "broadcast") {
+		t.Error("filter leaked a broadcast event")
+	}
+	if !strings.Contains(out, "O(0,0,1)") {
+		t.Errorf("missing expected line in %q", out)
+	}
+}
+
+func TestTraceWriterCycleWindow(t *testing.T) {
+	var buf strings.Builder
+	tw := NewTraceWriter(&buf, TraceFilter{FromCycle: 5, ToCycle: 6})
+	for c := int64(0); c < 10; c++ {
+		tw.Trace(Event{Cycle: c, Kind: EvLoad})
+	}
+	if n, _ := tw.Flush(); n != 2 {
+		t.Errorf("window wrote %d events, want 2", n)
+	}
+}

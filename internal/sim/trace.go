@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TraceFilter selects which events a TraceWriter emits. The zero value
+// passes everything.
+type TraceFilter struct {
+	// Kinds restricts output to the listed kinds; empty means all.
+	Kinds []EventKind
+	// FromCycle/ToCycle bound the emitted window; ToCycle 0 means
+	// unbounded.
+	FromCycle, ToCycle int64
+	// MaxEvents caps the output; 0 means unlimited.
+	MaxEvents int
+}
+
+func (f TraceFilter) pass(e Event) bool {
+	if e.Cycle < f.FromCycle {
+		return false
+	}
+	if f.ToCycle > 0 && e.Cycle > f.ToCycle {
+		return false
+	}
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	for _, k := range f.Kinds {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceWriter is a Tracer that streams events as text lines, one per
+// event, in the Event.String format — the textual analogue of the
+// paper's Figure 5 dataflow snapshots. It is safe to hand to a
+// simulator directly.
+type TraceWriter struct {
+	w       *bufio.Writer
+	filter  TraceFilter
+	written int
+	err     error
+}
+
+// NewTraceWriter wraps w with an optional filter.
+func NewTraceWriter(w io.Writer, filter TraceFilter) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w), filter: filter}
+}
+
+// Trace implements Tracer.
+func (t *TraceWriter) Trace(e Event) {
+	if t.err != nil || !t.filter.pass(e) {
+		return
+	}
+	if t.filter.MaxEvents > 0 && t.written >= t.filter.MaxEvents {
+		return
+	}
+	if _, err := fmt.Fprintln(t.w, e.String()); err != nil {
+		t.err = err
+		return
+	}
+	t.written++
+}
+
+// Flush drains the buffer and reports the first write error and the
+// number of events written.
+func (t *TraceWriter) Flush() (int, error) {
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.written, t.err
+}

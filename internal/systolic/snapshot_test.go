@@ -1,0 +1,134 @@
+package systolic
+
+// Dataflow snapshot tests: the Go analogue of the paper's Figure 5(a2)
+// — pinning *when* and *where* operands move through the systolic
+// pipeline, not just that the final numbers are right.
+
+import (
+	"fmt"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// snapshotLayer is a single-map layer small enough to reason about by
+// hand: K=2 on a 2×2 array, 3×3 input, 2×2 output.
+var snapshotLayer = nn.ConvLayer{Name: "snap", M: 1, N: 1, S: 2, K: 2}
+
+func runSnapshot(t *testing.T) *sim.Recorder {
+	t.Helper()
+	e := New(2, 1)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	in := tensor.NewMap3(1, 3, 3)
+	in.FillPattern(9)
+	k := tensor.NewKernel4(1, 1, 2)
+	k.FillPattern(10)
+	if _, _, err := e.Simulate(snapshotLayer, in, k); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestBroadcastIsRasterOrder(t *testing.T) {
+	rec := runSnapshot(t)
+	bcasts := rec.Filter(sim.EvBroadcast)
+	if len(bcasts) != 9 {
+		t.Fatalf("broadcasts = %d, want 9 (3×3 raster)", len(bcasts))
+	}
+	for idx, e := range bcasts {
+		want := fmt.Sprintf("I(0,%d,%d)", idx/3, idx%3)
+		if e.What != want {
+			t.Errorf("broadcast %d = %q, want %q (raster order)", idx, e.What, want)
+		}
+		if e.Cycle != int64(idx) {
+			t.Errorf("broadcast %d at cycle %d, want one per cycle", idx, e.Cycle)
+		}
+	}
+}
+
+func TestOutputBornWithItsWindowOrigin(t *testing.T) {
+	// O(r,c) enters the pipeline exactly when I(r,c) — its window
+	// origin — is broadcast, and first accumulates at stage (0,0).
+	rec := runSnapshot(t)
+	for _, e := range rec.Filter(sim.EvMAC) {
+		if e.Row == 0 && e.Col == 0 {
+			var m, r, c int
+			if _, err := fmt.Sscanf(e.What, "O(%d,%d,%d)", &m, &r, &c); err != nil {
+				t.Fatalf("bad MAC label %q", e.What)
+			}
+			if wantCycle := int64(r*3 + c); e.Cycle != wantCycle {
+				t.Errorf("O(%d,%d) first MAC at cycle %d, want %d", r, c, e.Cycle, wantCycle)
+			}
+		}
+	}
+}
+
+func TestStageTimingSkew(t *testing.T) {
+	// The §3.1 skew: an output at stage (i,j) lags its birth by
+	// i·inputWidth + j cycles — rows cost a full input-row traversal
+	// (the inter-row FIFO), columns one cycle.
+	rec := runSnapshot(t)
+	firstMAC := map[string]map[[2]int]int64{} // output -> stage -> cycle
+	for _, e := range rec.Filter(sim.EvMAC) {
+		if firstMAC[e.What] == nil {
+			firstMAC[e.What] = map[[2]int]int64{}
+		}
+		stage := [2]int{e.Row, e.Col}
+		if _, seen := firstMAC[e.What][stage]; !seen {
+			firstMAC[e.What][stage] = e.Cycle
+		}
+	}
+	for out, stages := range firstMAC {
+		birth, ok := stages[[2]int{0, 0}]
+		if !ok {
+			t.Fatalf("%s never visited stage (0,0)", out)
+		}
+		for stage, cycle := range stages {
+			want := birth + int64(stage[0]*3+stage[1]) // inputWidth = 3
+			if cycle != want {
+				t.Errorf("%s at stage %v on cycle %d, want %d", out, stage, cycle, want)
+			}
+		}
+	}
+}
+
+func TestEveryOutputVisitsEveryStage(t *testing.T) {
+	rec := runSnapshot(t)
+	visits := map[string]int{}
+	for _, e := range rec.Filter(sim.EvMAC) {
+		visits[e.What]++
+	}
+	if len(visits) != 4 { // S² outputs
+		t.Fatalf("outputs seen = %d, want 4", len(visits))
+	}
+	for out, n := range visits {
+		if n != 4 { // K² stages
+			t.Errorf("%s visited %d stages, want 4", out, n)
+		}
+	}
+}
+
+func TestStoresFollowLastStage(t *testing.T) {
+	// Each output is pumped out exactly once, the cycle after its last
+	// stage (the line-exit shift).
+	rec := runSnapshot(t)
+	lastMAC := map[string]int64{}
+	for _, e := range rec.Filter(sim.EvMAC) {
+		if e.Cycle > lastMAC[e.What] {
+			lastMAC[e.What] = e.Cycle
+		}
+	}
+	stores := rec.Filter(sim.EvStore)
+	if len(stores) != 4 {
+		t.Fatalf("stores = %d, want 4", len(stores))
+	}
+	for _, e := range stores {
+		if e.Cycle != lastMAC[e.What]+1 {
+			t.Errorf("%s stored at cycle %d, want %d (one shift after last MAC)",
+				e.What, e.Cycle, lastMAC[e.What]+1)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package systolic implements the SFSNMS baseline architecture
+// (Section 3.1): a set of K₀×K₀ systolic arrays in the style of
+// DC-CNN / CNP / Neuflow. Each PE holds one constant synapse; output
+// neurons are born at the first pipeline stage, travel through the
+// K₀×K₀ stages (with inter-row FIFOs sized inputWidth−K), and
+// accumulate one synapse's contribution per stage while input neurons
+// are broadcast to all PEs in raster order. Multiple identical arrays
+// work in a tiling-like mode over output feature maps (DC-CNN's
+// configuration, §6.1.1).
+//
+// The functional simulator moves partial sums through an explicit
+// delay-line of pipeline slots, so pipeline fill/drain time — the
+// effect the paper blames for Systolic's poor achieved GOPS — emerges
+// from the dataflow rather than being added as a fudge term.
+package systolic
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// Engine is a systolic computing engine: Arrays identical K0×K0 PE
+// arrays plus (modelled) 32 KB neuron and kernel buffers.
+type Engine struct {
+	K0     int // PE array edge (the paper uses 6, or 11 for AlexNet)
+	Arrays int // number of identical arrays (the paper uses 7)
+
+	// BufferWords is the capacity of each on-chip buffer in 16-bit
+	// words (32 KB = 16384 words in the paper's configuration). It
+	// bounds on-chip reuse in the DRAM traffic model.
+	BufferWords int
+
+	// Tracer, when non-nil, receives dataflow events from Simulate.
+	Tracer sim.Tracer
+}
+
+// New returns a systolic engine with the paper's defaults for buffer
+// capacity.
+func New(k0, arrays int) *Engine {
+	if k0 <= 0 || arrays <= 0 {
+		panic("systolic: K0 and Arrays must be positive")
+	}
+	return &Engine{K0: k0, Arrays: arrays, BufferWords: 16384}
+}
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return "Systolic" }
+
+// PEs implements arch.Engine.
+func (e *Engine) PEs() int { return e.Arrays * e.K0 * e.K0 }
+
+// passes returns how many sub-kernel passes cover a K×K kernel on the
+// K0×K0 array (⌈K/K0⌉ in each dimension).
+func (e *Engine) passes(k int) int {
+	n := (k + e.K0 - 1) / e.K0
+	return n * n
+}
+
+// cyclesPerPass returns the cycles of one full raster pass of the
+// input feature map through one array: one broadcast per input neuron
+// plus one drain cycle for the last partial sum to exit the line.
+func cyclesPerPass(l nn.ConvLayer) int64 {
+	in := int64(l.InSize())
+	return in*in + 1
+}
+
+// Model implements arch.Engine: the analytic cycle/traffic model.
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("systolic: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	in := int64(l.InSize())
+	subPasses := int64(e.passes(l.K))
+	mGroups := int64((l.M + e.Arrays - 1) / e.Arrays)
+	// Arrays in one m-group run in lock-step on the same broadcast, so
+	// engine cycles follow the per-array schedule.
+	cycles := mGroups * int64(l.N) * subPasses * cyclesPerPass(l)
+
+	res := arch.LayerResult{
+		Arch:  e.Name(),
+		Layer: l,
+		Factors: arch.T{Tm: min(e.Arrays, l.M), Tn: 1, Tr: 1, Tc: 1,
+			Ti: min(e.K0, l.K), Tj: min(e.K0, l.K)},
+		PEs:    e.PEs(),
+		Cycles: cycles,
+		MACs:   l.MACs(),
+	}
+
+	s2 := int64(l.S) * int64(l.S)
+	// Input neurons: broadcast in raster order, shared by all arrays of
+	// an m-group (the inter-array sharing the paper credits Systolic
+	// with). One buffer read feeds the whole group.
+	res.NeuronLoads = mGroups * int64(l.N) * subPasses * (in * in)
+	// Synapses: loaded once per (m,n,sub-kernel) pass and then resident.
+	res.KernelLoads = l.KernelWords()
+	// Partial sums: every pass pumps S² partials out of each array;
+	// all but the first pass's stores trigger a re-read of the previous
+	// partial for accumulation.
+	nPasses := int64(l.N) * subPasses
+	res.NeuronStores = int64(l.M) * nPasses * s2
+	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
+	// Partial sums shift once per line position after birth:
+	// lineLen-1 moves per slot, with the line length of each sub-pass.
+	sub := (l.K + e.K0 - 1) / e.K0
+	var movesPerMN int64
+	for oi := 0; oi < sub; oi++ {
+		for oj := 0; oj < sub; oj++ {
+			ka := min(e.K0, l.K-oi*e.K0)
+			kb := min(e.K0, l.K-oj*e.K0)
+			lineLen := int64(ka-1)*in + int64(kb)
+			movesPerMN += s2 * (lineLen - 1)
+		}
+	}
+	res.InterPEMoves = int64(l.M) * int64(l.N) * movesPerMN
+	// Each MAC reads the synapse register and the partial-sum register.
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	e.modelDRAM(l, &res, mGroups)
+	return res
+}
+
+// modelDRAM fills the external-memory counters: compulsory traffic plus
+// re-fetches when the input stack exceeds the neuron buffer.
+func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(e.BufferWords) {
+		// The input stack does not fit: it is re-streamed once per
+		// m-group.
+		reload = mGroups
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}
+
+// slot is one partial sum travelling along the systolic delay line.
+type slot struct {
+	valid bool
+	r, c  int // output coordinates
+	acc   fixed.Acc
+}
+
+// Simulate implements arch.Engine: a slot-accurate functional run.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if l.Str() != 1 {
+		return nil, arch.LayerResult{}, fmt.Errorf("systolic: unit-stride dataflow cannot execute stride-%d layer %s", l.Str(), l.Name)
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("systolic: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("systolic: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	res := arch.LayerResult{
+		Arch: e.Name(), Layer: l, PEs: e.PEs(),
+		Factors: arch.T{Tm: min(e.Arrays, l.M), Tn: 1, Tr: 1, Tc: 1,
+			Ti: min(e.K0, l.K), Tj: min(e.K0, l.K)},
+	}
+
+	sub := (l.K + e.K0 - 1) / e.K0
+	mGroups := (l.M + e.Arrays - 1) / e.Arrays
+	var clock sim.Clock
+
+	for g := 0; g < mGroups; g++ {
+		for n := 0; n < l.N; n++ {
+			for oi := 0; oi < sub; oi++ {
+				for oj := 0; oj < sub; oj++ {
+					// All arrays of the group consume one shared
+					// broadcast stream; simulate each array's pipeline.
+					groupCycles := int64(0)
+					first := n == 0 && oi == 0 && oj == 0
+					for a := 0; a < e.Arrays; a++ {
+						m := g*e.Arrays + a
+						if m >= l.M {
+							break
+						}
+						c := e.runPass(l, in, k, psum, &res, m, n, oi*e.K0, oj*e.K0, first)
+						if c > groupCycles {
+							groupCycles = c
+						}
+					}
+					// Shared input broadcast for the group: one buffer
+					// read per input neuron.
+					inSz := l.InSize()
+					res.NeuronLoads += int64(inSz) * int64(inSz)
+					clock.Advance(groupCycles)
+				}
+			}
+		}
+	}
+
+	for m := 0; m < l.M; m++ {
+		for r := 0; r < l.S; r++ {
+			for c := 0; c < l.S; c++ {
+				out.Set(m, r, c, psum[(m*l.S+r)*l.S+c].Round())
+			}
+		}
+	}
+	res.Cycles = clock.Cycle()
+	e.modelDRAM(l, &res, int64(mGroups))
+	return out, res, nil
+}
+
+// runPass streams the whole input feature map n through one array
+// configured with sub-kernel (oi,oj) of kernel (m,·), accumulating into
+// psum. Returns the pass cycle count.
+func (e *Engine) runPass(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4, psum []fixed.Acc, res *arch.LayerResult, m, n, oi, oj int, first bool) int64 {
+	inSz := l.InSize()
+	ka := min(e.K0, l.K-oi) // active kernel rows this pass
+	kb := min(e.K0, l.K-oj) // active kernel cols this pass
+	// Load the sub-kernel into the PE registers (one word per PE).
+	res.KernelLoads += int64(ka * kb)
+
+	// The delay line: ka rows of kb compute stages, rows joined by
+	// FIFOs of length inSz-kb, so stage (i,j) sits at line position
+	// i*inSz + j. Total length (ka-1)*inSz + kb.
+	lineLen := (ka-1)*inSz + kb
+	line := make([]slot, lineLen)
+
+	totalCycles := int64(inSz*inSz) + 1
+	for t := int64(0); t < totalCycles; t++ {
+		// Shift the line right by one position; the slot leaving the
+		// end has finished all ka×kb stages.
+		last := line[lineLen-1]
+		copy(line[1:], line[:lineLen-1])
+		if last.valid {
+			idx := (m*l.S+last.r)*l.S + last.c
+			psum[idx] = fixed.AddAcc(psum[idx], last.acc)
+			res.NeuronStores++
+			if !first {
+				// Accumulating into an existing partial re-reads it.
+				res.NeuronLoads++
+			}
+			if e.Tracer != nil {
+				e.Tracer.Trace(sim.Event{Cycle: t, Kind: sim.EvStore, Row: ka - 1, Col: kb - 1,
+					What: fmt.Sprintf("O(%d,%d,%d)", m, last.r, last.c)})
+			}
+		}
+		// Count the shifts of live slots.
+		for p := 1; p < lineLen; p++ {
+			if line[p].valid {
+				res.InterPEMoves++
+			}
+		}
+		// Birth: at cycle t = r·inSz + c a new output partial enters if
+		// (r-oi, c-oj) is a valid output coordinate.
+		line[0] = slot{}
+		if t < int64(inSz*inSz) {
+			br := int(t)/inSz - oi
+			bc := int(t)%inSz - oj
+			if br >= 0 && br < l.S && bc >= 0 && bc < l.S {
+				line[0] = slot{valid: true, r: br, c: bc}
+			}
+			// Broadcast input neuron I(n, t/inSz, t%inSz) to all stages.
+			iv := in.At(n, int(t)/inSz, int(t)%inSz)
+			if e.Tracer != nil {
+				e.Tracer.Trace(sim.Event{Cycle: t, Kind: sim.EvBroadcast, Row: -1, Col: -1,
+					What: fmt.Sprintf("I(%d,%d,%d)", n, int(t)/inSz, int(t)%inSz)})
+			}
+			// Every valid slot sitting at a compute stage accumulates.
+			for i := 0; i < ka; i++ {
+				for j := 0; j < kb; j++ {
+					s := &line[i*inSz+j]
+					if !s.valid {
+						continue
+					}
+					w := k.At(m, n, oi+i, oj+j)
+					s.acc = fixed.MAC(s.acc, iv, w)
+					res.MACs++
+					res.LocalReads += 2
+					res.LocalWrites++
+					if e.Tracer != nil {
+						e.Tracer.Trace(sim.Event{Cycle: t, Kind: sim.EvMAC, Row: i, Col: j,
+							What: fmt.Sprintf("O(%d,%d,%d)", m, s.r, s.c)})
+					}
+				}
+			}
+		}
+	}
+	return totalCycles
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

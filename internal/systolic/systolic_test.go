@@ -1,0 +1,230 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestSimulateMatchesGoldenConv(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "tiny", M: 1, N: 1, S: 3, K: 2},
+		{Name: "c1", M: 2, N: 1, S: 8, K: 4},
+		{Name: "c2", M: 2, N: 2, S: 4, K: 2},
+		{Name: "deep", M: 3, N: 3, S: 5, K: 3},
+	}
+	e := New(6, 7)
+	for _, l := range layers {
+		in, k := makeOperands(l, 42)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		want := tensor.Conv(in, k)
+		if !got.Equal(want) {
+			t.Errorf("%s: systolic output differs from golden conv", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestSimulateKernelLargerThanArray(t *testing.T) {
+	// K=5 on a 3×3 array needs ⌈5/3⌉² = 4 sub-kernel passes.
+	l := nn.ConvLayer{Name: "big-k", M: 1, N: 1, S: 4, K: 5}
+	e := New(3, 2)
+	in, k := makeOperands(l, 7)
+	got, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tensor.Conv(in, k)) {
+		t.Error("sub-kernel decomposition produced wrong outputs")
+	}
+	wantCycles := int64(1) * 1 * 4 * (8*8 + 1) // mGroups·N·passes·(Sin²+1)
+	if res.Cycles != wantCycles {
+		t.Errorf("Cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+}
+
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := New(4, 3)
+	for trial := 0; trial < 12; trial++ {
+		l := nn.ConvLayer{
+			Name: "rand",
+			M:    1 + rng.Intn(5),
+			N:    1 + rng.Intn(3),
+			S:    2 + rng.Intn(5),
+			K:    1 + rng.Intn(5),
+		}
+		in, k := makeOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		if simRes.Cycles != mod.Cycles {
+			t.Errorf("%+v: cycles sim=%d model=%d", l, simRes.Cycles, mod.Cycles)
+		}
+		if simRes.MACs != mod.MACs {
+			t.Errorf("%+v: MACs sim=%d model=%d", l, simRes.MACs, mod.MACs)
+		}
+		if simRes.NeuronLoads != mod.NeuronLoads {
+			t.Errorf("%+v: NeuronLoads sim=%d model=%d", l, simRes.NeuronLoads, mod.NeuronLoads)
+		}
+		if simRes.NeuronStores != mod.NeuronStores {
+			t.Errorf("%+v: NeuronStores sim=%d model=%d", l, simRes.NeuronStores, mod.NeuronStores)
+		}
+		if simRes.KernelLoads != mod.KernelLoads {
+			t.Errorf("%+v: KernelLoads sim=%d model=%d", l, simRes.KernelLoads, mod.KernelLoads)
+		}
+		if simRes.InterPEMoves != mod.InterPEMoves {
+			t.Errorf("%+v: InterPEMoves sim=%d model=%d", l, simRes.InterPEMoves, mod.InterPEMoves)
+		}
+	}
+}
+
+func TestModelUtilizationDropsForSmallKernels(t *testing.T) {
+	// PV C3 (K=3) on a C1-optimized 6×6 array: static occupancy 25%,
+	// and achieved utilization must be below that (raster overhead).
+	e := New(6, 7)
+	l := nn.ConvLayer{Name: "PV-C3", M: 12, N: 8, S: 20, K: 3}
+	res := e.Model(l)
+	u := res.Utilization()
+	if u > 0.25 {
+		t.Errorf("utilization %v should be below the 25%% occupancy bound", u)
+	}
+	if u < 0.10 {
+		t.Errorf("utilization %v unreasonably low", u)
+	}
+}
+
+func TestPipelineFillHurtsSmallMaps(t *testing.T) {
+	// The same MAC volume in a smaller map ⇒ relatively more fill
+	// overhead ⇒ lower utilization.
+	e := New(3, 1)
+	small := nn.ConvLayer{M: 1, N: 1, S: 2, K: 3}
+	large := nn.ConvLayer{M: 1, N: 1, S: 30, K: 3}
+	us := e.Model(small).Utilization()
+	ul := e.Model(large).Utilization()
+	if us >= ul {
+		t.Errorf("small-map utilization %v should be below large-map %v", us, ul)
+	}
+}
+
+func TestSevenArraysShareInput(t *testing.T) {
+	// With M=7 outputs on 7 arrays, the input is broadcast once for the
+	// whole group: neuron loads must not scale with M.
+	l := nn.ConvLayer{M: 7, N: 1, S: 4, K: 3}
+	in := int64(l.InSize() * l.InSize())
+	e := New(3, 7)
+	res := e.Model(l)
+	// loads = 1 group × 1 n × 1 pass × in² + psum re-reads (none: single pass).
+	if res.NeuronLoads != in {
+		t.Errorf("NeuronLoads = %d, want %d (shared broadcast)", res.NeuronLoads, in)
+	}
+}
+
+func TestTraceShowsBroadcastAndStores(t *testing.T) {
+	l := nn.ConvLayer{M: 1, N: 1, S: 2, K: 2}
+	e := New(2, 1)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	in, k := makeOperands(l, 1)
+	if _, _, err := e.Simulate(l, in, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Filter(sim.EvBroadcast)); got != 9 { // Sin²=9 broadcasts
+		t.Errorf("broadcast events = %d, want 9", got)
+	}
+	if got := len(rec.Filter(sim.EvStore)); got != 4 { // S²=4 outputs
+		t.Errorf("store events = %d, want 4", got)
+	}
+	if got := len(rec.Filter(sim.EvMAC)); got != 16 { // S²·K²=16 MACs
+		t.Errorf("MAC events = %d, want 16", got)
+	}
+}
+
+func TestSimulateRejectsBadShapes(t *testing.T) {
+	e := New(6, 7)
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	in := tensor.NewMap3(2, 6, 6) // wrong N
+	k := tensor.NewKernel4(2, 1, 3)
+	if _, _, err := e.Simulate(l, in, k); err == nil {
+		t.Error("mismatched input accepted")
+	}
+	in2 := tensor.NewMap3(1, 5, 5) // wrong size
+	if _, _, err := e.Simulate(l, in2, k); err == nil {
+		t.Error("mismatched size accepted")
+	}
+}
+
+func TestEngineIdentity(t *testing.T) {
+	e := New(6, 7)
+	if e.Name() != "Systolic" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.PEs() != 7*36 {
+		t.Errorf("PEs = %d, want 252", e.PEs())
+	}
+}
+
+func TestDRAMReloadWhenInputExceedsBuffer(t *testing.T) {
+	e := New(6, 2)
+	e.BufferWords = 64                        // tiny buffer
+	l := nn.ConvLayer{M: 4, N: 2, S: 8, K: 3} // input 2·100 = 200 words > 64
+	res := e.Model(l)
+	wantMin := l.InputWords() * 2 // 2 m-groups re-stream
+	if res.DRAMReads < wantMin {
+		t.Errorf("DRAMReads = %d, want ≥ %d with reload", res.DRAMReads, wantMin)
+	}
+}
+
+func TestMultiGroupSchedule(t *testing.T) {
+	// M=5 on 2 arrays: 3 m-groups; cycles scale with groups, and the
+	// functional result still matches golden conv.
+	l := nn.ConvLayer{Name: "groups", M: 5, N: 2, S: 3, K: 2}
+	e := New(2, 2)
+	in, k := makeOperands(l, 77)
+	got, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tensor.Conv(in, k)) {
+		t.Error("multi-group output differs from golden")
+	}
+	inSz := int64(l.InSize())
+	wantCycles := 3 /*groups*/ * 2 /*N*/ * (inSz*inSz + 1)
+	if res.Cycles != wantCycles {
+		t.Errorf("Cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+}
+
+func TestAlexNetConfigurationK11(t *testing.T) {
+	// The §6.1.1 AlexNet configuration: 11×11 arrays. C1 (K=11) fits in
+	// one pass; C3 (K=5) wastes (5/11)² of the array.
+	e := New(11, 2)
+	c1 := nn.ConvLayer{Name: "C1", M: 48, N: 3, S: 55, K: 11}
+	c3 := nn.ConvLayer{Name: "C3", M: 128, N: 48, S: 27, K: 5}
+	u1 := e.Model(c1).Utilization()
+	u3 := e.Model(c3).Utilization()
+	if u1 < 0.5 {
+		t.Errorf("C1 on K0=11: utilization %v too low", u1)
+	}
+	if u3 > 0.25 {
+		t.Errorf("C3 on K0=11: utilization %v should collapse below (5/11)²≈0.21", u3)
+	}
+}

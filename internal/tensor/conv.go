@@ -1,0 +1,152 @@
+package tensor
+
+import "flexflow/internal/fixed"
+
+// Conv computes the reference (golden) convolution of the paper's
+// Figure 3 pseudo-code: for every output feature map m and output
+// location (r,c),
+//
+//	O^(m)_(r,c) = Σ_n Σ_i Σ_j K^(m,n)_(i,j) · I^(n)_(r+i, c+j)
+//
+// with unit stride and no padding ("valid" convolution). The input must
+// have in.N == k.N feature maps; the output has k.M maps of size
+// (in.H-K+1) × (in.W-K+1).
+//
+// All accumulation is done at 32-bit precision and rounded once at the
+// end, exactly as the accelerator datapaths do, so simulator outputs can
+// be compared bit-exactly against this function.
+func Conv(in *Map3, k *Kernel4) *Map3 { return ConvStride(in, k, 1) }
+
+// ConvStride is Conv with a convolution stride: output (r,c) reads the
+// input window anchored at (r·stride, c·stride). Stride 1 is the
+// paper's setting; larger strides support real strided layers such as
+// AlexNet's C1.
+func ConvStride(in *Map3, k *Kernel4, stride int) *Map3 {
+	if in.N != k.N {
+		panic("tensor: Conv input map count does not match kernel set")
+	}
+	if stride < 1 {
+		panic("tensor: Conv stride must be ≥ 1")
+	}
+	outH := (in.H-k.K)/stride + 1
+	outW := (in.W-k.K)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("tensor: Conv kernel larger than input")
+	}
+	out := NewMap3(k.M, outH, outW)
+	for m := 0; m < k.M; m++ {
+		for r := 0; r < outH; r++ {
+			for c := 0; c < outW; c++ {
+				var acc fixed.Acc
+				for n := 0; n < k.N; n++ {
+					for i := 0; i < k.K; i++ {
+						for j := 0; j < k.K; j++ {
+							acc = fixed.MAC(acc, in.At(n, r*stride+i, c*stride+j), k.At(m, n, i, j))
+						}
+					}
+				}
+				out.Set(m, r, c, acc.Round())
+			}
+		}
+	}
+	return out
+}
+
+// PoolKind selects the subsampling operation of a pooling layer.
+type PoolKind int
+
+const (
+	// MaxPool takes the maximum of each P×P window.
+	MaxPool PoolKind = iota
+	// AvgPool takes the rounded average of each P×P window.
+	AvgPool
+)
+
+// String returns the conventional name of the pooling kind.
+func (p PoolKind) String() string {
+	switch p {
+	case MaxPool:
+		return "max"
+	case AvgPool:
+		return "avg"
+	default:
+		return "unknown"
+	}
+}
+
+// Pool computes reference non-overlapping P×P pooling with stride P.
+// Trailing rows/columns that do not fill a complete window are dropped,
+// which matches the truncating behaviour of the 1-D pooling unit.
+func Pool(in *Map3, p int, kind PoolKind) *Map3 {
+	if p <= 0 {
+		panic("tensor: Pool window must be positive")
+	}
+	outH := in.H / p
+	outW := in.W / p
+	out := NewMap3(in.N, outH, outW)
+	inv := fixed.FromFloat(1.0 / float64(p*p))
+	for n := 0; n < in.N; n++ {
+		for r := 0; r < outH; r++ {
+			for c := 0; c < outW; c++ {
+				switch kind {
+				case MaxPool:
+					best := in.At(n, r*p, c*p)
+					for i := 0; i < p; i++ {
+						for j := 0; j < p; j++ {
+							if v := in.At(n, r*p+i, c*p+j); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, r, c, best)
+				case AvgPool:
+					var sum fixed.Acc
+					for i := 0; i < p; i++ {
+						for j := 0; j < p; j++ {
+							sum = fixed.AddAcc(sum, in.At(n, r*p+i, c*p+j).Extend())
+						}
+					}
+					out.Set(n, r, c, fixed.Mul(sum.Round(), inv))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected computes a reference classifier layer: out[m] =
+// Σ_x w[m][x] · in[x], where in is the flattened input stack. Weights
+// are indexed row-major as w[m*len(in)+x].
+func FullyConnected(in *Map3, w []fixed.Word, outputs int) []fixed.Word {
+	total := in.Words()
+	if len(w) != total*outputs {
+		panic("tensor: FullyConnected weight count mismatch")
+	}
+	flat := make([]fixed.Word, 0, total)
+	for n := 0; n < in.N; n++ {
+		flat = append(flat, in.Maps[n].Data...)
+	}
+	out := make([]fixed.Word, outputs)
+	for m := 0; m < outputs; m++ {
+		var acc fixed.Acc
+		for x, v := range flat {
+			acc = fixed.MAC(acc, v, w[m*total+x])
+		}
+		out[m] = acc.Round()
+	}
+	return out
+}
+
+// ReLU applies the rectifier max(0, x) in place and returns the stack.
+// In the FlexFlow engine activations ride the lightweight ALU path of
+// the pooling unit, after the convolution array and before write-back.
+func ReLU(in *Map3) *Map3 {
+	for n := 0; n < in.N; n++ {
+		for i, v := range in.Maps[n].Data {
+			if v < 0 {
+				in.Maps[n].Data[i] = 0
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,152 @@
+// Package tensor provides the 2-D/3-D fixed-point tensors that flow
+// between layers, plus the golden (reference) implementations of
+// convolution and pooling that every accelerator simulator is validated
+// against.
+//
+// Feature maps are stored as Map3 values: a stack of N two-dimensional
+// feature maps, matching the paper's notation I^(n)_(r,c). Kernel sets
+// are stored as Kernel4 values indexed K^(m,n)_(i,j).
+package tensor
+
+import (
+	"fmt"
+
+	"flexflow/internal/fixed"
+)
+
+// Map2 is a single 2-D feature map of H×W neurons, stored row-major.
+type Map2 struct {
+	H, W int
+	Data []fixed.Word
+}
+
+// NewMap2 allocates an H×W feature map initialized to zero.
+func NewMap2(h, w int) *Map2 {
+	if h < 0 || w < 0 {
+		panic(fmt.Sprintf("tensor: invalid map size %dx%d", h, w))
+	}
+	return &Map2{H: h, W: w, Data: make([]fixed.Word, h*w)}
+}
+
+// At returns the neuron at row r, column c.
+func (m *Map2) At(r, c int) fixed.Word { return m.Data[r*m.W+c] }
+
+// Set writes the neuron at row r, column c.
+func (m *Map2) Set(r, c int, v fixed.Word) { m.Data[r*m.W+c] = v }
+
+// Clone returns a deep copy of the map.
+func (m *Map2) Clone() *Map2 {
+	out := NewMap2(m.H, m.W)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether two maps have identical shape and contents.
+func (m *Map2) Equal(o *Map2) bool {
+	if m.H != o.H || m.W != o.W {
+		return false
+	}
+	for i, v := range m.Data {
+		if o.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Map3 is a stack of N feature maps of identical shape: the input or
+// output of one CNN layer.
+type Map3 struct {
+	N, H, W int
+	Maps    []*Map2
+}
+
+// NewMap3 allocates N zeroed H×W feature maps.
+func NewMap3(n, h, w int) *Map3 {
+	t := &Map3{N: n, H: h, W: w, Maps: make([]*Map2, n)}
+	for i := range t.Maps {
+		t.Maps[i] = NewMap2(h, w)
+	}
+	return t
+}
+
+// At returns neuron (r,c) of feature map n.
+func (t *Map3) At(n, r, c int) fixed.Word { return t.Maps[n].At(r, c) }
+
+// Set writes neuron (r,c) of feature map n.
+func (t *Map3) Set(n, r, c int, v fixed.Word) { t.Maps[n].Set(r, c, v) }
+
+// Clone returns a deep copy.
+func (t *Map3) Clone() *Map3 {
+	out := &Map3{N: t.N, H: t.H, W: t.W, Maps: make([]*Map2, t.N)}
+	for i, m := range t.Maps {
+		out.Maps[i] = m.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two stacks have identical shape and contents.
+func (t *Map3) Equal(o *Map3) bool {
+	if t.N != o.N || t.H != o.H || t.W != o.W {
+		return false
+	}
+	for i, m := range t.Maps {
+		if !m.Equal(o.Maps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Words returns the total number of 16-bit words held by the stack.
+func (t *Map3) Words() int { return t.N * t.H * t.W }
+
+// Kernel4 is a full CONV-layer kernel set: M×N kernels of K×K synapses,
+// indexed K^(m,n)_(i,j) as in the paper.
+type Kernel4 struct {
+	M, N, K int
+	Data    []fixed.Word // [m][n][i][j] row-major
+}
+
+// NewKernel4 allocates a zeroed kernel set.
+func NewKernel4(m, n, k int) *Kernel4 {
+	return &Kernel4{M: m, N: n, K: k, Data: make([]fixed.Word, m*n*k*k)}
+}
+
+// At returns synapse (i,j) of kernel (m,n).
+func (k *Kernel4) At(m, n, i, j int) fixed.Word {
+	return k.Data[((m*k.N+n)*k.K+i)*k.K+j]
+}
+
+// Set writes synapse (i,j) of kernel (m,n).
+func (k *Kernel4) Set(m, n, i, j int, v fixed.Word) {
+	k.Data[((m*k.N+n)*k.K+i)*k.K+j] = v
+}
+
+// Words returns the total number of 16-bit synapse words.
+func (k *Kernel4) Words() int { return len(k.Data) }
+
+// FillPattern fills a Map3 with a deterministic pseudo-random pattern
+// seeded by seed. Values are kept small (|v| < 2.0) so that deep MAC
+// chains stay far from the accumulator saturation bounds and the golden
+// and simulated datapaths agree bit-exactly.
+func (t *Map3) FillPattern(seed uint64) {
+	s := seed*2862933555777941757 + 3037000493
+	for n := 0; n < t.N; n++ {
+		for i := range t.Maps[n].Data {
+			s = s*6364136223846793005 + 1442695040888963407
+			// 10-bit signed fraction: range (-2.0, 2.0) in Q7.8.
+			t.Maps[n].Data[i] = fixed.Word(int16(s>>48) >> 6) // [-512,511]
+		}
+	}
+}
+
+// FillPattern fills a Kernel4 with a deterministic pattern (see
+// Map3.FillPattern).
+func (k *Kernel4) FillPattern(seed uint64) {
+	s := seed*2862933555777941757 + 5023861921
+	for i := range k.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		k.Data[i] = fixed.Word(int16(s>>48) >> 6)
+	}
+}

@@ -1,0 +1,259 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexflow/internal/fixed"
+)
+
+func TestMap2SetAt(t *testing.T) {
+	m := NewMap2(3, 4)
+	m.Set(2, 3, 42)
+	if got := m.At(2, 3); got != 42 {
+		t.Errorf("At(2,3) = %d, want 42", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %d, want 0", got)
+	}
+}
+
+func TestMap3CloneIsDeep(t *testing.T) {
+	a := NewMap3(2, 2, 2)
+	a.Set(1, 1, 1, 7)
+	b := a.Clone()
+	b.Set(1, 1, 1, 9)
+	if a.At(1, 1, 1) != 7 {
+		t.Error("Clone shares storage with original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestKernel4Indexing(t *testing.T) {
+	k := NewKernel4(2, 3, 4)
+	k.Set(1, 2, 3, 0, 5)
+	if got := k.At(1, 2, 3, 0); got != 5 {
+		t.Errorf("At = %d, want 5", got)
+	}
+	// All other cells untouched.
+	count := 0
+	for _, v := range k.Data {
+		if v != 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Set wrote %d cells, want 1", count)
+	}
+}
+
+func TestFillPatternDeterministic(t *testing.T) {
+	a := NewMap3(2, 5, 5)
+	b := NewMap3(2, 5, 5)
+	a.FillPattern(1)
+	b.FillPattern(1)
+	if !a.Equal(b) {
+		t.Error("FillPattern not deterministic")
+	}
+	b.FillPattern(2)
+	if a.Equal(b) {
+		t.Error("FillPattern ignores seed")
+	}
+}
+
+func TestFillPatternBounded(t *testing.T) {
+	a := NewMap3(1, 16, 16)
+	a.FillPattern(3)
+	for _, v := range a.Maps[0].Data {
+		if v < -512 || v > 511 {
+			t.Fatalf("FillPattern value %d out of bounds", v)
+		}
+	}
+	// And not all zero.
+	nonzero := false
+	for _, v := range a.Maps[0].Data {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("FillPattern produced all zeros")
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	in := NewMap3(1, 4, 4)
+	in.FillPattern(7)
+	k := NewKernel4(1, 1, 1)
+	k.Set(0, 0, 0, 0, fixed.One)
+	out := Conv(in, k)
+	if !out.Equal(in) {
+		t.Error("1x1 identity kernel should reproduce input")
+	}
+}
+
+func TestConvShapes(t *testing.T) {
+	in := NewMap3(3, 10, 10)
+	k := NewKernel4(5, 3, 3)
+	out := Conv(in, k)
+	if out.N != 5 || out.H != 8 || out.W != 8 {
+		t.Errorf("Conv output shape = %dx%dx%d, want 5x8x8", out.N, out.H, out.W)
+	}
+}
+
+func TestConvKnownValue(t *testing.T) {
+	// 2x2 input, 2x2 kernel of ones => single output = sum of inputs.
+	in := NewMap3(1, 2, 2)
+	in.Set(0, 0, 0, fixed.FromFloat(1))
+	in.Set(0, 0, 1, fixed.FromFloat(2))
+	in.Set(0, 1, 0, fixed.FromFloat(3))
+	in.Set(0, 1, 1, fixed.FromFloat(4))
+	k := NewKernel4(1, 1, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			k.Set(0, 0, i, j, fixed.One)
+		}
+	}
+	out := Conv(in, k)
+	if got := out.At(0, 0, 0); got != fixed.FromFloat(10) {
+		t.Errorf("Conv sum = %v, want 10", got.Float())
+	}
+}
+
+func TestConvLinearInKernel(t *testing.T) {
+	// Conv(in, k1+k2) == Conv(in,k1) + Conv(in,k2) for values far from
+	// saturation.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(2)
+		m := 1 + rng.Intn(2)
+		kk := 1 + rng.Intn(3)
+		sz := kk + rng.Intn(4)
+		in := NewMap3(n, sz, sz)
+		in.FillPattern(uint64(trial))
+		k1 := NewKernel4(m, n, kk)
+		k2 := NewKernel4(m, n, kk)
+		k1.FillPattern(uint64(trial * 2))
+		k2.FillPattern(uint64(trial*2 + 1))
+		sum := NewKernel4(m, n, kk)
+		for i := range sum.Data {
+			sum.Data[i] = fixed.Add(k1.Data[i], k2.Data[i])
+		}
+		o1 := Conv(in, k1)
+		o2 := Conv(in, k2)
+		os := Conv(in, sum)
+		for mi := 0; mi < m; mi++ {
+			for r := 0; r < os.H; r++ {
+				for c := 0; c < os.W; c++ {
+					got := os.At(mi, r, c).Float()
+					want := o1.At(mi, r, c).Float() + o2.At(mi, r, c).Float()
+					if diff := got - want; diff > 0.02 || diff < -0.02 {
+						t.Fatalf("linearity violated at (%d,%d,%d): %v vs %v", mi, r, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := NewMap3(1, 4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			in.Set(0, r, c, fixed.Word(r*4+c))
+		}
+	}
+	out := Pool(in, 2, MaxPool)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("pool shape = %dx%d", out.H, out.W)
+	}
+	if got := out.At(0, 0, 0); got != 5 {
+		t.Errorf("max of top-left window = %d, want 5", got)
+	}
+	if got := out.At(0, 1, 1); got != 15 {
+		t.Errorf("max of bottom-right window = %d, want 15", got)
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	in := NewMap3(1, 2, 2)
+	in.Set(0, 0, 0, fixed.FromFloat(1))
+	in.Set(0, 0, 1, fixed.FromFloat(2))
+	in.Set(0, 1, 0, fixed.FromFloat(3))
+	in.Set(0, 1, 1, fixed.FromFloat(4))
+	out := Pool(in, 2, AvgPool)
+	if got := out.At(0, 0, 0).Float(); got < 2.49 || got > 2.51 {
+		t.Errorf("avg = %v, want 2.5", got)
+	}
+}
+
+func TestPoolDropsPartialWindows(t *testing.T) {
+	in := NewMap3(1, 5, 5)
+	out := Pool(in, 2, MaxPool)
+	if out.H != 2 || out.W != 2 {
+		t.Errorf("pool of 5x5 by 2 = %dx%d, want 2x2", out.H, out.W)
+	}
+}
+
+func TestPoolMonotone(t *testing.T) {
+	// Max-pooling a pointwise-larger stack yields pointwise-larger output.
+	f := func(seed uint64) bool {
+		a := NewMap3(1, 6, 6)
+		a.FillPattern(seed)
+		b := a.Clone()
+		for i := range b.Maps[0].Data {
+			b.Maps[0].Data[i] = fixed.Add(b.Maps[0].Data[i], 10)
+		}
+		pa := Pool(a, 2, MaxPool)
+		pb := Pool(b, 2, MaxPool)
+		for i := range pa.Maps[0].Data {
+			if pb.Maps[0].Data[i] < pa.Maps[0].Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	in := NewMap3(1, 1, 3)
+	in.Set(0, 0, 0, fixed.FromFloat(1))
+	in.Set(0, 0, 1, fixed.FromFloat(2))
+	in.Set(0, 0, 2, fixed.FromFloat(3))
+	w := []fixed.Word{
+		fixed.One, fixed.One, fixed.One, // output 0: sum = 6
+		fixed.One, 0, -fixed.One, // output 1: 1-3 = -2
+	}
+	out := FullyConnected(in, w, 2)
+	if out[0] != fixed.FromFloat(6) || out[1] != fixed.FromFloat(-2) {
+		t.Errorf("FC = %v,%v, want 6,-2", out[0].Float(), out[1].Float())
+	}
+}
+
+func TestPoolKindString(t *testing.T) {
+	if MaxPool.String() != "max" || AvgPool.String() != "avg" {
+		t.Error("PoolKind.String mismatch")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := NewMap3(1, 2, 2)
+	in.Set(0, 0, 0, -5)
+	in.Set(0, 0, 1, 7)
+	in.Set(0, 1, 0, 0)
+	in.Set(0, 1, 1, -1)
+	out := ReLU(in)
+	if out.At(0, 0, 0) != 0 || out.At(0, 0, 1) != 7 || out.At(0, 1, 1) != 0 {
+		t.Errorf("ReLU wrong: %v %v %v", out.At(0, 0, 0), out.At(0, 0, 1), out.At(0, 1, 1))
+	}
+	// In-place: the same storage is returned.
+	if out != in {
+		t.Error("ReLU should operate in place")
+	}
+}

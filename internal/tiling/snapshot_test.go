@@ -1,0 +1,92 @@
+package tiling
+
+// Dataflow snapshot tests for the Tiling baseline: the Figure 5(c2)
+// narrative — per cycle, Tn neurons fan out against Tm×Tn synapses and
+// each PE's adder tree folds its Tn products into one output's partial
+// sum.
+
+import (
+	"fmt"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+func TestEveryCycleTouchesEveryActivePE(t *testing.T) {
+	l := nn.ConvLayer{Name: "snap", M: 3, N: 2, S: 2, K: 2}
+	e := New(3, 2)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(3)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(4)
+	_, res, err := e.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := rec.Filter(sim.EvMAC)
+	// One tree event per PE per cycle: 3 active PEs × cycles.
+	if got, want := int64(len(macs)), 3*res.Cycles; got != want {
+		t.Fatalf("MAC events = %d, want %d (3 PEs × %d cycles)", got, want, res.Cycles)
+	}
+	// Per cycle, the three PEs serve outputs of the three different maps
+	// at the same (r,c) — the MFSNSS signature.
+	byCycle := map[int64][]string{}
+	for _, ev := range macs {
+		byCycle[ev.Cycle] = append(byCycle[ev.Cycle], ev.What)
+	}
+	for cyc, whats := range byCycle {
+		if len(whats) != 3 {
+			t.Fatalf("cycle %d has %d PE events", cyc, len(whats))
+		}
+		var r0, c0 int
+		seenMaps := map[int]bool{}
+		for i, w := range whats {
+			var m, r, c int
+			if _, err := fmt.Sscanf(w, "O(%d,%d,%d)", &m, &r, &c); err != nil {
+				t.Fatalf("bad label %q", w)
+			}
+			if i == 0 {
+				r0, c0 = r, c
+			} else if r != r0 || c != c0 {
+				t.Fatalf("cycle %d mixes positions (%d,%d) vs (%d,%d)", cyc, r, c, r0, c0)
+			}
+			seenMaps[m] = true
+		}
+		if len(seenMaps) != 3 {
+			t.Fatalf("cycle %d does not span 3 output maps: %v", cyc, whats)
+		}
+	}
+}
+
+func TestKernelStepOrderIsRowMajor(t *testing.T) {
+	// Outputs complete only after the K×K raster finishes: the last MAC
+	// of each output lands exactly K²·⌈N/Tn⌉ cycles after its first.
+	l := nn.ConvLayer{Name: "snap", M: 1, N: 1, S: 2, K: 3}
+	e := New(1, 1)
+	rec := &sim.Recorder{}
+	e.Tracer = rec
+	in := tensor.NewMap3(1, l.InSize(), l.InSize())
+	in.FillPattern(5)
+	k := tensor.NewKernel4(1, 1, 3)
+	k.FillPattern(6)
+	if _, _, err := e.Simulate(l, in, k); err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]int64{}
+	last := map[string]int64{}
+	for _, ev := range rec.Filter(sim.EvMAC) {
+		if _, ok := first[ev.What]; !ok {
+			first[ev.What] = ev.Cycle
+		}
+		last[ev.What] = ev.Cycle
+	}
+	for out := range first {
+		if span := last[out] - first[out] + 1; span != 9 {
+			t.Errorf("%s spanned %d cycles, want K²=9", out, span)
+		}
+	}
+}

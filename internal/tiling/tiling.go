@@ -1,0 +1,221 @@
+// Package tiling implements the MFSNSS baseline architecture
+// (Section 3.3): a Tiling array in the style of DianNao/DaDianNao.
+// The engine has Tm PEs; each PE holds Tn multipliers feeding an adder
+// tree. Per cycle, Tn input neurons (one per input feature map) and
+// Tm×Tn synapses are loaded; each PE sums its Tn products into one
+// output neuron's partial sum. There is no local operand storage:
+// neurons and synapses are re-fetched every cycle, which is why the
+// paper calls Tiling's data sharing the poorest.
+package tiling
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// Engine is a Tiling computing engine with Tm PEs of Tn multipliers.
+type Engine struct {
+	Tm int // output feature maps processed in parallel (PE count)
+	Tn int // input feature maps processed in parallel (multipliers/PE)
+
+	// BufferWords bounds on-chip reuse in the DRAM model.
+	BufferWords int
+
+	// Tracer, when non-nil, receives dataflow events from Simulate.
+	Tracer sim.Tracer
+}
+
+// New returns a tiling engine with the paper's buffer capacity.
+func New(tm, tn int) *Engine {
+	if tm <= 0 || tn <= 0 {
+		panic("tiling: Tm and Tn must be positive")
+	}
+	return &Engine{Tm: tm, Tn: tn, BufferWords: 16384}
+}
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return "Tiling" }
+
+// PEs implements arch.Engine.
+func (e *Engine) PEs() int { return e.Tm * e.Tn }
+
+// Model implements arch.Engine.
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("tiling: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	mBlocks := int64(ceilDiv(l.M, e.Tm))
+	nBlocks := int64(ceilDiv(l.N, e.Tn))
+	s2k2 := int64(l.S) * int64(l.S) * int64(l.K) * int64(l.K)
+	cycles := mBlocks * nBlocks * s2k2
+
+	res := arch.LayerResult{
+		Arch:  e.Name(),
+		Layer: l,
+		Factors: arch.T{Tm: min(e.Tm, l.M), Tn: min(e.Tn, l.N), Tr: 1, Tc: 1,
+			Ti: 1, Tj: 1},
+		PEs:    e.PEs(),
+		Cycles: cycles,
+		MACs:   l.MACs(),
+	}
+
+	// Every cycle fetches the active lanes' neurons and synapses anew —
+	// there is no local operand storage, so the traffic scales with the
+	// MAC count itself (the "poorest data sharing" of §3.3). Inactive
+	// lanes are fetch-gated, which is what keeps Tiling's power at the
+	// bottom of Fig. 18c even as its traffic tops Fig. 17.
+	s2 := int64(l.S) * int64(l.S)
+	k2 := int64(l.K) * int64(l.K)
+	for m0 := 0; m0 < l.M; m0 += e.Tm {
+		lanes := int64(min(e.Tm, l.M-m0))
+		for n0 := 0; n0 < l.N; n0 += e.Tn {
+			width := int64(min(e.Tn, l.N-n0))
+			res.NeuronLoads += width * s2 * k2
+			res.KernelLoads += lanes * width * s2 * k2
+		}
+	}
+	// Partial sums live in the PE across (i,j) but are spilled per
+	// n-block: each output is stored once per n-block and re-read for
+	// every n-block after the first.
+	res.NeuronStores = mBlocks * nBlocks * int64(min(e.Tm, l.M)) * int64(l.S) * int64(l.S)
+	// Only real outputs spill; for partial m-blocks fewer PEs carry
+	// outputs. Recompute exactly over blocks.
+	res.NeuronStores = 0
+	for m0 := 0; m0 < l.M; m0 += e.Tm {
+		lanes := int64(min(e.Tm, l.M-m0))
+		res.NeuronStores += nBlocks * lanes * int64(l.S) * int64(l.S)
+	}
+	res.NeuronLoads += res.NeuronStores - l.OutputWords() // re-reads of partials
+	// The adder-tree output register is the only local state: one
+	// read-modify-write per active PE per cycle.
+	res.LocalReads = 0
+	for m0 := 0; m0 < l.M; m0 += e.Tm {
+		lanes := int64(min(e.Tm, l.M-m0))
+		res.LocalReads += lanes * nBlocks * s2k2
+	}
+	res.LocalWrites = res.LocalReads
+
+	e.modelDRAM(l, &res, nBlocks)
+	return res
+}
+
+func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, nBlocks int64) {
+	kernWords := l.KernelWords()
+	reload := int64(1)
+	if kernWords > int64(e.BufferWords) {
+		// Kernels exceed the kernel buffer: re-stream per output pass.
+		reload = int64(ceilDiv(l.M, e.Tm))
+	}
+	res.DRAMReads = l.InputWords() + kernWords*min64(reload, 4)
+	res.DRAMWrites = l.OutputWords()
+	// Partial sums that do not fit on chip spill to DRAM.
+	if nBlocks > 1 && l.OutputWords() > int64(e.BufferWords) {
+		res.DRAMWrites += (nBlocks - 1) * l.OutputWords()
+		res.DRAMReads += (nBlocks - 1) * l.OutputWords()
+	}
+}
+
+// Simulate implements arch.Engine: the explicit Tm×Tn datapath with an
+// adder tree per PE, executed cycle by cycle.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, arch.LayerResult{}, err
+	}
+	if l.Str() != 1 {
+		return nil, arch.LayerResult{}, fmt.Errorf("tiling: unit-stride dataflow cannot execute stride-%d layer %s", l.Str(), l.Name)
+	}
+	if in.N != l.N || k.M != l.M || k.N != l.N || k.K != l.K {
+		return nil, arch.LayerResult{}, fmt.Errorf("tiling: operand shapes do not match layer %v", l)
+	}
+	if in.H != l.InSize() || in.W != l.InSize() {
+		return nil, arch.LayerResult{}, fmt.Errorf("tiling: input is %dx%d, layer needs %dx%d", in.H, in.W, l.InSize(), l.InSize())
+	}
+
+	out := tensor.NewMap3(l.M, l.S, l.S)
+	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	res := arch.LayerResult{
+		Arch: e.Name(), Layer: l, PEs: e.PEs(),
+		Factors: arch.T{Tm: min(e.Tm, l.M), Tn: min(e.Tn, l.N), Tr: 1, Tc: 1, Ti: 1, Tj: 1},
+	}
+	var clock sim.Clock
+
+	nBlocks := ceilDiv(l.N, e.Tn)
+	for m0 := 0; m0 < l.M; m0 += e.Tm {
+		lanes := min(e.Tm, l.M-m0)
+		for n0 := 0; n0 < l.N; n0 += e.Tn {
+			width := min(e.Tn, l.N-n0)
+			for r := 0; r < l.S; r++ {
+				for c := 0; c < l.S; c++ {
+					// Each PE accumulates one output neuron over the
+					// K×K window for this n-block.
+					accs := make([]fixed.Acc, lanes)
+					for i := 0; i < l.K; i++ {
+						for j := 0; j < l.K; j++ {
+							// Fetch the active lanes' neurons and synapses.
+							res.NeuronLoads += int64(width)
+							res.KernelLoads += int64(lanes) * int64(width)
+							for pe := 0; pe < lanes; pe++ {
+								m := m0 + pe
+								var tree fixed.Acc
+								for lane := 0; lane < width; lane++ {
+									n := n0 + lane
+									tree = fixed.MAC(tree, in.At(n, r+i, c+j), k.At(m, n, i, j))
+									res.MACs++
+								}
+								accs[pe] = fixed.AddAcc(accs[pe], tree)
+								res.LocalReads++
+								res.LocalWrites++
+								if e.Tracer != nil {
+									e.Tracer.Trace(sim.Event{Cycle: clock.Cycle(), Kind: sim.EvMAC, Row: pe, Col: 0,
+										What: fmt.Sprintf("O(%d,%d,%d)", m, r, c)})
+								}
+							}
+							clock.Tick()
+						}
+					}
+					// Spill this n-block's partials.
+					for pe := 0; pe < lanes; pe++ {
+						idx := ((m0+pe)*l.S+r)*l.S + c
+						psum[idx] = fixed.AddAcc(psum[idx], accs[pe])
+						res.NeuronStores++
+						if n0 > 0 {
+							res.NeuronLoads++ // re-read of the prior partial
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for m := 0; m < l.M; m++ {
+		for r := 0; r < l.S; r++ {
+			for c := 0; c < l.S; c++ {
+				out.Set(m, r, c, psum[(m*l.S+r)*l.S+c].Round())
+			}
+		}
+	}
+	res.Cycles = clock.Cycle()
+	e.modelDRAM(l, &res, int64(nBlocks))
+	return out, res, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+func TestSimulateMatchesGoldenConv(t *testing.T) {
+	layers := []nn.ConvLayer{
+		{Name: "tiny", M: 1, N: 1, S: 3, K: 2},
+		{Name: "multi-m", M: 5, N: 2, S: 4, K: 3}, // M > Tm ⇒ 2 m-blocks
+		{Name: "multi-n", M: 2, N: 5, S: 3, K: 2}, // N > Tn ⇒ 3 n-blocks
+		{Name: "both", M: 7, N: 4, S: 3, K: 2},
+	}
+	e := New(4, 2)
+	for _, l := range layers {
+		in, k := makeOperands(l, 17)
+		got, res, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if !got.Equal(tensor.Conv(in, k)) {
+			t.Errorf("%s: output differs from golden conv", l.Name)
+		}
+		if res.MACs != l.MACs() {
+			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
+		}
+	}
+}
+
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := New(4, 3)
+	for trial := 0; trial < 12; trial++ {
+		l := nn.ConvLayer{
+			Name: "rand",
+			M:    1 + rng.Intn(6),
+			N:    1 + rng.Intn(5),
+			S:    2 + rng.Intn(4),
+			K:    1 + rng.Intn(3),
+		}
+		in, k := makeOperands(l, uint64(trial))
+		_, simRes, err := e.Simulate(l, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := e.Model(l)
+		for _, cmp := range []struct {
+			name     string
+			sim, mod int64
+		}{
+			{"Cycles", simRes.Cycles, mod.Cycles},
+			{"MACs", simRes.MACs, mod.MACs},
+			{"NeuronLoads", simRes.NeuronLoads, mod.NeuronLoads},
+			{"NeuronStores", simRes.NeuronStores, mod.NeuronStores},
+			{"KernelLoads", simRes.KernelLoads, mod.KernelLoads},
+			{"LocalReads", simRes.LocalReads, mod.LocalReads},
+		} {
+			if cmp.sim != cmp.mod {
+				t.Errorf("%+v: %s sim=%d model=%d", l, cmp.name, cmp.sim, cmp.mod)
+			}
+		}
+	}
+}
+
+func TestUtilizationTable3Cells(t *testing.T) {
+	// PV C3 (M=12, N=8) on C1-optimized Tiling (Tm=8, Tn=1):
+	// util = 12·8/(⌈12/8⌉·8 · ⌈8/1⌉·1) = 96/128 = 75% — Table 3's cell.
+	e := New(8, 1)
+	l := nn.ConvLayer{M: 12, N: 8, S: 20, K: 3}
+	if u := e.Model(l).Utilization(); u < 0.749 || u > 0.751 {
+		t.Errorf("PV C3 on C1-opt = %v, want 0.75", u)
+	}
+	// PV C1 (M=8, N=1) on C3-optimized Tiling (Tm=12, Tn=8):
+	// util = 8/(12·8) = 8.3%.
+	e2 := New(12, 8)
+	l2 := nn.ConvLayer{M: 8, N: 1, S: 45, K: 6}
+	if u := e2.Model(l2).Utilization(); u < 0.082 || u > 0.085 {
+		t.Errorf("PV C1 on C3-opt = %v, want 0.083", u)
+	}
+}
+
+func TestUtilizationCollapsesForFewMaps(t *testing.T) {
+	// LeNet-5 C1 (M=6, N=1) on the 16×16 evaluation configuration:
+	// 6/(16·16) ≈ 2.3% — why Tiling bottoms out in Fig. 15.
+	e := New(16, 16)
+	l := nn.ConvLayer{M: 6, N: 1, S: 28, K: 5}
+	u := e.Model(l).Utilization()
+	if u > 0.03 {
+		t.Errorf("utilization = %v, want ≈ 0.023", u)
+	}
+}
+
+func TestUtilizationHighWhenMapsAbound(t *testing.T) {
+	// AlexNet C6 (M=192, N=192): multiples of 16 ⇒ full utilization.
+	e := New(16, 16)
+	l := nn.ConvLayer{M: 192, N: 192, S: 13, K: 3}
+	if u := e.Model(l).Utilization(); u < 0.999 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestDataVolumeIsHuge(t *testing.T) {
+	// Tiling reloads Tm×Tn synapses every cycle: its kernel traffic
+	// must exceed the kernel working set by orders of magnitude.
+	e := New(16, 16)
+	l := nn.ConvLayer{M: 16, N: 6, S: 10, K: 5}
+	res := e.Model(l)
+	if res.KernelLoads < 100*l.KernelWords() {
+		t.Errorf("KernelLoads = %d, want ≥ 100× kernel words (%d)", res.KernelLoads, l.KernelWords())
+	}
+}
+
+func TestSimulateRejectsBadShapes(t *testing.T) {
+	e := New(4, 4)
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	if _, _, err := e.Simulate(l, tensor.NewMap3(1, 4, 4), tensor.NewKernel4(2, 1, 3)); err == nil {
+		t.Error("wrong-size input accepted")
+	}
+}
+
+func TestEngineIdentity(t *testing.T) {
+	e := New(16, 16)
+	if e.Name() != "Tiling" || e.PEs() != 256 {
+		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
+	}
+}
+
+func TestPartialBlocksSpillAccounting(t *testing.T) {
+	// N > Tn forces partial-sum spills: every output is stored once per
+	// n-block and re-read for each block after the first.
+	e := New(4, 2)
+	l := nn.ConvLayer{M: 3, N: 5, S: 3, K: 2} // 3 n-blocks (2+2+1)
+	res := e.Model(l)
+	nBlocks := int64(3)
+	wantStores := nBlocks * l.OutputWords()
+	if res.NeuronStores != wantStores {
+		t.Errorf("NeuronStores = %d, want %d", res.NeuronStores, wantStores)
+	}
+}
+
+func TestAdderTreeWidthGatesFetches(t *testing.T) {
+	// With N=1 on a Tn=16 engine, only one lane fetches: neuron loads
+	// equal one word per cycle, not sixteen.
+	e := New(4, 16)
+	l := nn.ConvLayer{M: 4, N: 1, S: 3, K: 2}
+	res := e.Model(l)
+	if res.NeuronLoads != res.Cycles {
+		t.Errorf("NeuronLoads = %d, want one per cycle (%d) with a single active lane",
+			res.NeuronLoads, res.Cycles)
+	}
+}
+
+func TestDRAMPsumSpillWhenOutputsExceedBuffer(t *testing.T) {
+	e := New(2, 2)
+	e.BufferWords = 8
+	l := nn.ConvLayer{M: 2, N: 4, S: 4, K: 2} // outputs 32 words > 8, 2 n-blocks
+	res := e.Model(l)
+	if res.DRAMWrites <= l.OutputWords() {
+		t.Errorf("DRAMWrites = %d, want psum spills beyond %d", res.DRAMWrites, l.OutputWords())
+	}
+}

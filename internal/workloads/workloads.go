@@ -1,0 +1,183 @@
+// Package workloads defines the six practical CNNs of the paper's
+// Table 1 (PV, FR, LeNet-5, HG, AlexNet, VGG-11) plus the small running
+// example of Figure 2 used throughout Section 4.
+//
+// Layer shapes are taken verbatim from Table 1. A few published shapes
+// do not chain exactly under valid convolution + 2×2 pooling (FR C3,
+// HG C3, AlexNet's strided C1, VGG's C9 output-map count, which the
+// table prints as 128 although its kernel column says 512×512); we keep
+// the published per-layer (M, N, S, K) values because every evaluated
+// metric — utilization, cycles, GOPS, data volume, power — depends only
+// on the individual layer shapes, never on inter-layer tensor identity.
+// Pooling layers between CONV layers are recorded so the compiler can
+// apply the paper's §5 inter-layer constraint (T_r, T_c ≤ P·K′).
+package workloads
+
+import (
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+func conv(name string, m, n, s, k int) nn.Layer {
+	return nn.Layer{Kind: nn.Conv, Conv: nn.ConvLayer{Name: name, M: m, N: n, S: s, K: k}}
+}
+
+func pool(name string, n, in, p int) nn.Layer {
+	return nn.Layer{Kind: nn.Pool, Pool: nn.PoolLayer{Name: name, N: n, In: in, P: p, Kind: tensor.MaxPool}}
+}
+
+// PV is the pedestrian-and-vehicle recognition model [28] of Table 1.
+func PV() *nn.Network {
+	return &nn.Network{
+		Name:   "PV",
+		InputN: 1,
+		InputS: 50,
+		Layers: []nn.Layer{
+			conv("C1", 8, 1, 45, 6),
+			pool("P2", 8, 45, 2),
+			conv("C3", 12, 8, 20, 3),
+			pool("P4", 12, 20, 2),
+			conv("C5", 16, 12, 8, 3),
+			conv("C6", 10, 16, 6, 3),
+			conv("C7", 6, 10, 4, 3),
+		},
+	}
+}
+
+// FR is the face recognition model [5] of Table 1.
+func FR() *nn.Network {
+	return &nn.Network{
+		Name:   "FR",
+		InputN: 1,
+		InputS: 32,
+		Layers: []nn.Layer{
+			conv("C1", 4, 1, 28, 5),
+			pool("P2", 4, 28, 2),
+			conv("C3", 16, 4, 10, 4),
+		},
+	}
+}
+
+// LeNet5 is the handwriting recognition model [16] of Table 1.
+func LeNet5() *nn.Network {
+	return &nn.Network{
+		Name:   "LeNet-5",
+		InputN: 1,
+		InputS: 32,
+		Layers: []nn.Layer{
+			conv("C1", 6, 1, 28, 5),
+			pool("P2", 6, 28, 2),
+			conv("C3", 16, 6, 10, 5),
+		},
+	}
+}
+
+// HG is the hand-gesture recognition model [17] of Table 1.
+func HG() *nn.Network {
+	return &nn.Network{
+		Name:   "HG",
+		InputN: 1,
+		InputS: 28,
+		Layers: []nn.Layer{
+			conv("C1", 6, 1, 24, 5),
+			pool("P2", 6, 24, 2),
+			conv("C3", 12, 6, 8, 4),
+		},
+	}
+}
+
+// AlexNet is the image-classification model [13] of Table 1. Per the
+// table's caption, just one of the two identical layer-parts is listed,
+// except C5 whose input merges both parts (N = 256).
+func AlexNet() *nn.Network {
+	return &nn.Network{
+		Name:   "AlexNet",
+		InputN: 3,
+		InputS: 224,
+		Layers: []nn.Layer{
+			conv("C1", 48, 3, 55, 11),
+			pool("P2", 48, 55, 2),
+			conv("C3", 128, 48, 27, 5),
+			pool("P4", 128, 27, 2),
+			conv("C5", 192, 256, 13, 3),
+			conv("C6", 192, 192, 13, 3),
+			conv("C7", 128, 192, 13, 3),
+		},
+	}
+}
+
+// AlexNetStrided is AlexNet with its real first-layer geometry — an
+// 11×11 kernel at stride 4 over a 227-pixel input — rather than the
+// shape-only Table 1 view. Strided layers are an extension of this
+// reproduction: the FlexFlow engine executes them natively, while the
+// rigid baselines (like the paper's) assume unit stride.
+func AlexNetStrided() *nn.Network {
+	nw := AlexNet()
+	nw.Name = "AlexNet-strided"
+	nw.InputS = 227
+	nw.Layers[0].Conv.Stride = 4
+	return nw
+}
+
+// VGG11 is the VGG image-classification model [25] of Table 1. C9's
+// output-map count follows its kernel column (512×512 ⇒ M = 512); the
+// table's "128@21×21" layer-size entry is a typo.
+func VGG11() *nn.Network {
+	return &nn.Network{
+		Name:   "VGG-11",
+		InputN: 3,
+		InputS: 224,
+		Layers: []nn.Layer{
+			conv("C1", 64, 3, 222, 3),
+			pool("P2", 64, 222, 2),
+			conv("C3", 128, 64, 109, 3),
+			pool("P4", 128, 109, 2),
+			conv("C5", 256, 128, 52, 3),
+			conv("C6", 256, 256, 50, 3),
+			pool("P7", 256, 50, 2),
+			conv("C8", 512, 256, 23, 3),
+			conv("C9", 512, 512, 21, 3),
+			pool("P10", 512, 21, 2),
+			conv("C11", 512, 512, 8, 3),
+			conv("C12", 512, 512, 6, 3),
+		},
+	}
+}
+
+// Example is the small running example of Section 4 (Fig. 6's engine
+// walk-through): two CONV layers C1 (M=2, N=1, K=4) and C2 (M=2, N=2,
+// S=4, K=2) with a 2×2 pooling layer between them. C1's output size is
+// 10 (the paper uses 8) so that the chain C1 → pool → C2 closes exactly
+// under valid convolution; C2 keeps the paper's shape. Because it
+// chains, the functional simulators can execute it end-to-end.
+func Example() *nn.Network {
+	return &nn.Network{
+		Name:   "Example",
+		InputN: 1,
+		InputS: 13,
+		Layers: []nn.Layer{
+			conv("C1", 2, 1, 10, 4),
+			pool("P1", 2, 10, 2),
+			conv("C2", 2, 2, 4, 2),
+		},
+	}
+}
+
+// All returns the six Table 1 workloads in the paper's order.
+func All() []*nn.Network {
+	return []*nn.Network{PV(), FR(), LeNet5(), HG(), AlexNet(), VGG11()}
+}
+
+// ByName returns the workload with the given name (case-sensitive,
+// matching the Name field) or nil.
+func ByName(name string) *nn.Network {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	if name == "Example" {
+		return Example()
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"testing"
+
+	"flexflow/internal/nn"
+)
+
+// table1 pins the exact shapes the paper publishes in Table 1.
+var table1 = map[string][]nn.ConvLayer{
+	"PV": {
+		{Name: "C1", M: 8, N: 1, S: 45, K: 6},
+		{Name: "C3", M: 12, N: 8, S: 20, K: 3},
+		{Name: "C5", M: 16, N: 12, S: 8, K: 3},
+		{Name: "C6", M: 10, N: 16, S: 6, K: 3},
+		{Name: "C7", M: 6, N: 10, S: 4, K: 3},
+	},
+	"FR": {
+		{Name: "C1", M: 4, N: 1, S: 28, K: 5},
+		{Name: "C3", M: 16, N: 4, S: 10, K: 4},
+	},
+	"LeNet-5": {
+		{Name: "C1", M: 6, N: 1, S: 28, K: 5},
+		{Name: "C3", M: 16, N: 6, S: 10, K: 5},
+	},
+	"HG": {
+		{Name: "C1", M: 6, N: 1, S: 24, K: 5},
+		{Name: "C3", M: 12, N: 6, S: 8, K: 4},
+	},
+	"AlexNet": {
+		{Name: "C1", M: 48, N: 3, S: 55, K: 11},
+		{Name: "C3", M: 128, N: 48, S: 27, K: 5},
+		{Name: "C5", M: 192, N: 256, S: 13, K: 3},
+		{Name: "C6", M: 192, N: 192, S: 13, K: 3},
+		{Name: "C7", M: 128, N: 192, S: 13, K: 3},
+	},
+	"VGG-11": {
+		{Name: "C1", M: 64, N: 3, S: 222, K: 3},
+		{Name: "C3", M: 128, N: 64, S: 109, K: 3},
+		{Name: "C5", M: 256, N: 128, S: 52, K: 3},
+		{Name: "C6", M: 256, N: 256, S: 50, K: 3},
+		{Name: "C8", M: 512, N: 256, S: 23, K: 3},
+		{Name: "C9", M: 512, N: 512, S: 21, K: 3},
+		{Name: "C11", M: 512, N: 512, S: 8, K: 3},
+		{Name: "C12", M: 512, N: 512, S: 6, K: 3},
+	},
+}
+
+func TestTable1Shapes(t *testing.T) {
+	for _, w := range All() {
+		want, ok := table1[w.Name]
+		if !ok {
+			t.Fatalf("workload %q not in Table 1 pin map", w.Name)
+		}
+		got := w.ConvLayers()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d conv layers, want %d", w.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s layer %d = %+v, want %+v", w.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllHasSixWorkloads(t *testing.T) {
+	if len(All()) != 6 {
+		t.Fatalf("All() returned %d workloads, want 6", len(All()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"PV", "FR", "LeNet-5", "HG", "AlexNet", "VGG-11", "Example"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestExampleChains(t *testing.T) {
+	if err := Example().Validate(); err != nil {
+		t.Errorf("Example network must chain exactly: %v", err)
+	}
+}
+
+func TestLeNet5FirstLayersChain(t *testing.T) {
+	// LeNet-5's published shapes chain exactly; verify end to end.
+	if err := LeNet5().Validate(); err != nil {
+		t.Errorf("LeNet-5 should chain: %v", err)
+	}
+}
+
+func TestPVChains(t *testing.T) {
+	if err := PV().Validate(); err != nil {
+		t.Errorf("PV should chain: %v", err)
+	}
+}
+
+func TestNextConvCoupling(t *testing.T) {
+	le := LeNet5()
+	next, p, ok := le.NextConvAfter(0)
+	if !ok || next.Name != "C3" || p != 2 {
+		t.Errorf("LeNet-5 C1 coupling = %v p=%d ok=%v, want C3 p=2", next.Name, p, ok)
+	}
+}
+
+func TestWorkloadOpsMagnitude(t *testing.T) {
+	// Sanity-pin total CONV op counts (2 ops per MAC): AlexNet's listed
+	// half-network is on the order of 2 GOP, VGG-11 tens of GOP.
+	al := AlexNet().TotalConvOps()
+	if al < 3e8 || al > 5e9 {
+		t.Errorf("AlexNet ops = %d, expected ~7e8", al)
+	}
+	vg := VGG11().TotalConvOps()
+	if vg < 1e9 || vg > 1e11 {
+		t.Errorf("VGG-11 ops = %d, expected ~1e10", vg)
+	}
+	le := LeNet5().TotalConvOps()
+	if le < 1e5 || le > 1e7 {
+		t.Errorf("LeNet-5 ops = %d, expected ~7e5", le)
+	}
+}
+
+func TestAlexNetStrided(t *testing.T) {
+	nw := AlexNetStrided()
+	c1 := nw.ConvLayers()[0]
+	if c1.Stride != 4 || c1.InSize() != 227 {
+		t.Errorf("C1 stride=%d in=%d, want 4/227", c1.Stride, c1.InSize())
+	}
+	if c1.MACs() != AlexNet().ConvLayers()[0].MACs() {
+		t.Error("stride must not change the MAC count")
+	}
+	// The strided variant is not in All() — the paper's evaluation uses
+	// the Table 1 shapes.
+	for _, w := range All() {
+		if w.Name == nw.Name {
+			t.Error("AlexNet-strided leaked into the Table 1 set")
+		}
+	}
+}
