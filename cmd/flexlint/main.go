@@ -1,0 +1,64 @@
+// Command flexlint runs the repository's custom static-analysis suite
+// (internal/lint) and exits nonzero when any invariant is violated, so
+// it can gate CI alongside go vet.
+//
+// Usage:
+//
+//	flexlint ./...                 # analyze the whole module
+//	flexlint ./internal/core/...   # analyze a subtree
+//	flexlint -list                 # describe the analyzers
+//
+// Exit status: 0 with no findings, 1 with findings, 2 when the source
+// tree fails to load or type-check.
+//
+// The tool uses only the standard library (go/parser, go/types and the
+// source importer); it needs no build cache and no external binaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexflow/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	prog, err := lint.Load(".", roots...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		fmt.Println(f.Render(wd))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

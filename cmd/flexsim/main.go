@@ -182,7 +182,7 @@ func parseLayer(s string) (nn.ConvLayer, error) {
 
 // runTraced executes the network functionally on the FlexFlow engine
 // with a dataflow trace attached.
-func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) error {
+func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) (err error) {
 	if err := nw.Validate(); err != nil {
 		return fmt.Errorf("tracing needs a chaining network: %w", err)
 	}
@@ -190,7 +190,13 @@ func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) erro
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The trace is only complete if the final flush makes it to disk:
+	// surface the Close error instead of dropping it.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	tw := sim.NewTraceWriter(f, sim.TraceFilter{MaxEvents: maxEvents})
 
 	input := flexflow.RandomInput(nw, 1)

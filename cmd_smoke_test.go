@@ -99,6 +99,53 @@ func TestCommandSmoke(t *testing.T) {
 	}
 }
 
+// TestFlexlintSmoke covers the static-analysis gate: the repository's
+// own tree must be clean (exit 0), and a module with a violation must
+// produce exit status 1 with a file:line diagnostic.
+func TestFlexlintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	out := runTool(t, dir, "flexlint", "-list")
+	for _, analyzer := range []string{"fixedsat", "detsim", "counteraudit", "errdrop", "concsafe"} {
+		if !strings.Contains(out, analyzer) {
+			t.Errorf("flexlint -list missing analyzer %q:\n%s", analyzer, out)
+		}
+	}
+
+	// Clean tree: runTool fails the test on a nonzero exit.
+	runTool(t, dir, "flexlint", "./...")
+
+	// A scratch module with a silently dropped error must be rejected.
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(mod, "internal", "bad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package bad\n\nimport \"os\"\n\nfunc Cleanup() {\n\tos.Remove(\"scratch\")\n}\n"
+	if err := os.WriteFile(filepath.Join(mod, "internal", "bad", "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(dir, "flexlint"), "./...")
+	cmd.Dir = mod
+	violOut, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("flexlint on a violating module: want exit status 1, got %v\n%s", err, violOut)
+	}
+	text := string(violOut)
+	if !strings.Contains(text, filepath.Join("internal", "bad", "bad.go")+":6:") {
+		t.Errorf("flexlint diagnostic lacks the file:line position:\n%s", text)
+	}
+	if !strings.Contains(text, "errdrop/ignored") {
+		t.Errorf("flexlint diagnostic lacks the stable finding ID:\n%s", text)
+	}
+}
+
 func TestExampleSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcSafe enforces two concurrency-safety contracts the race
+// detector cannot always see:
+//
+//   - concsafe/copy: a sync.Mutex, sync.RWMutex, sync.WaitGroup,
+//     sync.Once or sync.Cond (or any struct/array containing one)
+//     copied by value — by-value parameters and receivers, plain
+//     assignments from an existing value, and range-clause element
+//     copies. A copied lock guards nothing.
+//   - concsafe/goroutine-add: WaitGroup.Add called inside the spawned
+//     goroutine itself; the parent may reach Wait before the goroutine
+//     is scheduled, so Add must run before the go statement.
+type ConcSafe struct{}
+
+// NewConcSafe returns the analyzer.
+func NewConcSafe() *ConcSafe { return &ConcSafe{} }
+
+func (*ConcSafe) Name() string { return "concsafe" }
+func (*ConcSafe) Doc() string {
+	return "sync primitives must not be copied, and WaitGroup.Add must precede the go statement"
+}
+
+func (a *ConcSafe) Run(prog *Program) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		reportCopy := func(what string, t types.Type, p token.Pos) {
+			out = append(out, Finding{
+				ID:      "concsafe/copy",
+				Pos:     prog.Fset.Position(p),
+				Message: fmt.Sprintf("%s copies %s, which contains a sync primitive; use a pointer", what, t),
+			})
+		}
+		checkFieldList := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				if t := info.TypeOf(f.Type); t != nil && containsLock(t) {
+					reportCopy(what, t, f.Type.Pos())
+				}
+			}
+		}
+		inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(e.Recv, "receiver")
+				checkFieldList(e.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkFieldList(e.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					// Assigning to the blank identifier discards the
+					// copy; nothing can use the dead lock.
+					if len(e.Lhs) == len(e.Rhs) {
+						if id, ok := unparen(e.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if t := info.TypeOf(rhs); t != nil && containsLock(t) {
+						reportCopy("assignment", t, rhs.Pos())
+					}
+				}
+			case *ast.RangeStmt:
+				if e.Value != nil {
+					if t := info.TypeOf(e.Value); t != nil && containsLock(t) {
+						reportCopy("range clause", t, e.Value.Pos())
+					}
+				}
+			case *ast.GoStmt:
+				fl, ok := unparen(e.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeFunc(info, call); fn != nil && fn.FullName() == "(*sync.WaitGroup).Add" {
+						out = append(out, Finding{
+							ID:      "concsafe/goroutine-add",
+							Pos:     prog.Fset.Position(call.Pos()),
+							Message: "WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement",
+						})
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// copiesExistingValue reports whether the expression denotes an
+// already-existing value whose assignment performs a copy (as opposed
+// to a freshly constructed composite literal, call result or
+// conversion).
+func copiesExistingValue(e ast.Expr) bool {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// containsLock reports whether t (not a pointer to t) contains a sync
+// primitive that must not be copied.
+func containsLock(t types.Type) bool {
+	return containsLock1(t, map[types.Type]bool{})
+}
+
+func containsLock1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), seen)
+	}
+	return false
+}

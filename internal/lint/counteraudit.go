@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CounterAudit is a types-driven cross-check of the contract between
+// the simulators and the energy model: every event counter a
+// simulator accumulates into the per-layer result record must be
+// charged by the energy model's per-layer function, and every counter
+// the energy model charges must be produced by at least one
+// simulator. Two rules:
+//
+//   - counteraudit/unbilled: a counter field written by a simulator
+//     package is never read inside the energy function — the event is
+//     counted but never billed, so the energy tables silently drift
+//     from what the simulators measure.
+//   - counteraudit/uncharged: the energy function reads a counter no
+//     simulator ever writes — a dead charge that hides a missing
+//     accounting path.
+//
+// Counters are the int64 fields of the result struct (shape and
+// configuration fields such as PEs are not audited).
+type CounterAudit struct {
+	ResultPkg  string   // package defining the per-layer result record
+	ResultType string   // the record's type name
+	EnergyPkg  string   // package holding the billing function
+	EnergyFunc string   // function (or method) charging one record
+	SimPkgs    []string // simulator packages whose writes are audited
+}
+
+// NewCounterAudit returns the analyzer configured for this repository.
+func NewCounterAudit() *CounterAudit {
+	return &CounterAudit{
+		ResultPkg:  "flexflow/internal/arch",
+		ResultType: "LayerResult",
+		EnergyPkg:  "flexflow/internal/energy",
+		EnergyFunc: "LayerEnergy",
+		SimPkgs: []string{
+			"flexflow/internal/core",
+			"flexflow/internal/systolic",
+			"flexflow/internal/mapping2d",
+			"flexflow/internal/tiling",
+		},
+	}
+}
+
+func (*CounterAudit) Name() string { return "counteraudit" }
+func (*CounterAudit) Doc() string {
+	return "every counter a simulator accumulates must be charged by the energy model, and vice versa"
+}
+
+func (a *CounterAudit) Run(prog *Program) ([]Finding, error) {
+	// The audit is tied to one module's packages; when flexlint is
+	// pointed at a different module the contract does not apply.
+	if !prog.IsModuleLocal(a.ResultPkg) {
+		return nil, nil
+	}
+	resPkg, err := prog.Package(a.ResultPkg)
+	if err != nil {
+		return nil, err
+	}
+	obj := resPkg.Types.Scope().Lookup(a.ResultType)
+	if obj == nil {
+		return nil, fmt.Errorf("%s.%s not found", a.ResultPkg, a.ResultType)
+	}
+	named, ok := types.Unalias(obj.Type()).(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("%s.%s is not a named type", a.ResultPkg, a.ResultType)
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("%s.%s is not a struct", a.ResultPkg, a.ResultType)
+	}
+
+	// The audited counters: int64 fields of the result record.
+	counters := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+			counters[f.Name()] = true
+		}
+	}
+	if len(counters) == 0 {
+		return nil, fmt.Errorf("%s.%s has no int64 counter fields", a.ResultPkg, a.ResultType)
+	}
+
+	// Collect counter writes across the simulator packages.
+	writes := map[string][]token.Pos{} // field → write sites
+	for _, path := range a.SimPkgs {
+		pkg, err := prog.Package(path)
+		if err != nil {
+			return nil, err
+		}
+		a.collectWrites(pkg, named, counters, writes)
+	}
+
+	// Collect counter reads inside the energy function.
+	energyPkg, err := prog.Package(a.EnergyPkg)
+	if err != nil {
+		return nil, err
+	}
+	reads := map[string][]token.Pos{}
+	found := false
+	for _, file := range energyPkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != a.EnergyFunc || fd.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if field := fieldOf(energyPkg.Info, sel, named); field != "" && counters[field] {
+					reads[field] = append(reads[field], sel.Sel.Pos())
+				}
+				return true
+			})
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%s.%s not found", a.EnergyPkg, a.EnergyFunc)
+	}
+
+	short := func(path string) string { return path[lastSlash(path)+1:] }
+	var out []Finding
+	for _, field := range sortedKeys(counters) {
+		w, r := writes[field], reads[field]
+		switch {
+		case len(w) > 0 && len(r) == 0:
+			pos := minPos(w)
+			out = append(out, Finding{
+				ID:  "counteraudit/unbilled",
+				Pos: prog.Fset.Position(pos),
+				Message: fmt.Sprintf("%s.%s is accumulated by the simulators but never read in %s.%s: the event is counted but never billed",
+					a.ResultType, field, short(a.EnergyPkg), a.EnergyFunc),
+			})
+		case len(r) > 0 && len(w) == 0:
+			pos := minPos(r)
+			out = append(out, Finding{
+				ID:  "counteraudit/uncharged",
+				Pos: prog.Fset.Position(pos),
+				Message: fmt.Sprintf("%s.%s charges %s.%s but no simulator package ever writes it",
+					short(a.EnergyPkg), a.EnergyFunc, a.ResultType, field),
+			})
+		}
+	}
+	return out, nil
+}
+
+// collectWrites records assignments, inc/dec statements and composite
+// literals that store into counter fields of the result type.
+func (a *CounterAudit) collectWrites(pkg *Package, named *types.Named, counters map[string]bool, writes map[string][]token.Pos) {
+	info := pkg.Info
+	record := func(field string, pos token.Pos) {
+		if counters[field] {
+			writes[field] = append(writes[field], pos)
+		}
+	}
+	inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+					if field := fieldOf(info, sel, named); field != "" {
+						record(field, sel.Sel.Pos())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := unparen(e.X).(*ast.SelectorExpr); ok {
+				if field := fieldOf(info, sel, named); field != "" {
+					record(field, sel.Sel.Pos())
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(e)
+			if t == nil || !sameNamed(t, named) {
+				return true
+			}
+			st := named.Underlying().(*types.Struct)
+			for i, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						record(id.Name, id.Pos())
+					}
+				} else if i < st.NumFields() {
+					record(st.Field(i).Name(), elt.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldOf returns the field name when sel selects a field of the named
+// struct type (directly or through a pointer), else "".
+func fieldOf(info *types.Info, sel *ast.SelectorExpr, named *types.Named) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if !sameNamed(recv, named) {
+		return ""
+	}
+	// Only direct fields of the record count (no embedded promotion in
+	// play here).
+	return s.Obj().Name()
+}
+
+func sameNamed(t types.Type, named *types.Named) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func minPos(ps []token.Pos) token.Pos {
+	min := ps[0]
+	for _, p := range ps[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DetSim forbids sources of nondeterminism in the simulator, compiler
+// and experiment packages. The analytical models are validated against
+// the cycle-level simulators and the experiment goldens are compared
+// byte-for-byte, so those packages must be bit-reproducible run to
+// run. Three rules:
+//
+//   - detsim/map-range: a range over a map — Go randomizes map
+//     iteration order, so any result, counter or output ordering fed
+//     from such a loop differs between runs. Iterate a sorted key
+//     slice instead (or suppress with a reason when order provably
+//     cannot escape).
+//   - detsim/time-now: time.Now in simulation code makes results
+//     depend on the wall clock.
+//   - detsim/rand: importing math/rand (or math/rand/v2) into
+//     simulation code; layer data for functional runs must come from
+//     the repository's seeded deterministic generators instead.
+type DetSim struct {
+	// Match selects the package import paths the determinism contract
+	// applies to.
+	Match func(pkgPath string) bool
+}
+
+// NewDetSim returns the analyzer configured for this repository: the
+// whole module except cmd/ (CLI frontends may time themselves),
+// examples/, and internal/lint itself.
+func NewDetSim() *DetSim {
+	return &DetSim{Match: func(path string) bool {
+		switch {
+		case strings.HasPrefix(path, "flexflow/cmd/"),
+			strings.HasPrefix(path, "flexflow/examples/"),
+			strings.HasPrefix(path, "flexflow/internal/lint"):
+			return false
+		}
+		return path == "flexflow" || strings.HasPrefix(path, "flexflow/")
+	}}
+}
+
+func (*DetSim) Name() string { return "detsim" }
+func (*DetSim) Doc() string {
+	return "simulator/compiler packages must be deterministic: no map-order dependence, time.Now or math/rand"
+}
+
+func (a *DetSim) Run(prog *Program) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if !a.Match(pkg.Path) {
+			continue
+		}
+		info := pkg.Info
+		inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.ImportSpec:
+				path, err := strconv.Unquote(e.Path.Value)
+				if err == nil && (path == "math/rand" || path == "math/rand/v2") {
+					out = append(out, Finding{
+						ID:      "detsim/rand",
+						Pos:     prog.Fset.Position(e.Pos()),
+						Message: fmt.Sprintf("simulation package imports %s; use the seeded deterministic generators instead", path),
+					})
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(e.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						out = append(out, Finding{
+							ID:      "detsim/map-range",
+							Pos:     prog.Fset.Position(e.For),
+							Message: "range over a map iterates in randomized order; iterate sorted keys to keep simulation results deterministic",
+						})
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, e); fn != nil && fn.FullName() == "time.Now" {
+					out = append(out, Finding{
+						ID:      "detsim/time-now",
+						Pos:     prog.Fset.Position(e.Pos()),
+						Message: "time.Now makes simulation results depend on the wall clock",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes, or
+// nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements in cmd/ and internal/ packages that
+// silently discard an error result. A simulator that swallows an I/O
+// or validation error reports numbers computed from partial state,
+// which is worse than failing. Two rules:
+//
+//   - errdrop/ignored: a bare call statement whose results include an
+//     error;
+//   - errdrop/deferred: a defer of such a call (the classic
+//     `defer f.Close()` on a file open for writing, where the flush
+//     error vanishes); wrap the call in a closure that records the
+//     error into a named return instead.
+//
+// Pragmatic exemptions (the conventional errcheck whitelist):
+//
+//   - fmt.Print/Printf/Println, and fmt.Fprint* when the writer is
+//     os.Stdout, os.Stderr, a *bytes.Buffer or a *strings.Builder —
+//     best-effort CLI output and infallible in-memory writers;
+//   - methods on *bytes.Buffer and *strings.Builder, whose error
+//     results are documented to always be nil.
+//
+// Explicitly assigning to the blank identifier (_ = f()) is treated as
+// a deliberate, visible decision and is not flagged.
+type ErrDrop struct {
+	// Match selects the package import paths the check applies to.
+	Match func(pkgPath string) bool
+}
+
+// NewErrDrop returns the analyzer scoped to any module's cmd/ and
+// internal/ trees (module-relative, so the tool also works when
+// pointed at a different module).
+func NewErrDrop() *ErrDrop {
+	return &ErrDrop{Match: func(path string) bool {
+		return strings.Contains(path, "/cmd/") || strings.Contains(path, "/internal/") ||
+			strings.HasPrefix(path, "cmd/") || strings.HasPrefix(path, "internal/")
+	}}
+}
+
+func (*ErrDrop) Name() string { return "errdrop" }
+func (*ErrDrop) Doc() string {
+	return "call statements must not silently discard error results"
+}
+
+func (a *ErrDrop) Run(prog *Program) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if !a.Match(pkg.Path) {
+			continue
+		}
+		info := pkg.Info
+		inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(info, call) || exemptCall(info, call) {
+					return true
+				}
+				out = append(out, Finding{
+					ID:      "errdrop/ignored",
+					Pos:     prog.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("result of %s includes an error that is silently discarded; handle it or assign it to _ explicitly", calleeName(info, call)),
+				})
+			case *ast.DeferStmt:
+				call := stmt.Call
+				if _, isClosure := unparen(call.Fun).(*ast.FuncLit); isClosure {
+					return true // its body is inspected like any other code
+				}
+				if !returnsError(info, call) || exemptCall(info, call) {
+					return true
+				}
+				out = append(out, Finding{
+					ID:      "errdrop/deferred",
+					Pos:     prog.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("deferred call to %s discards its error; wrap it in a closure that records the error into a named return", calleeName(info, call)),
+				})
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// returnsError reports whether the call produces an error among its
+// results.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCall implements the whitelist documented on ErrDrop.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.FullName()
+	switch name {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) > 0 {
+			return infallibleWriter(info, call.Args[0])
+		}
+	}
+	if strings.HasPrefix(name, "(*bytes.Buffer).") || strings.HasPrefix(name, "(*strings.Builder).") {
+		return true
+	}
+	return false
+}
+
+// infallibleWriter reports whether the expression denotes os.Stdout /
+// os.Stderr or an in-memory writer whose Write never fails.
+func infallibleWriter(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			if v.Name() == "Stdout" || v.Name() == "Stderr" {
+				return true
+			}
+		}
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	for _, name := range []string{"bytes.Buffer", "strings.Builder"} {
+		if t.String() == "*"+name {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders a human-readable name for the called function.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FixedSat flags raw two's-complement arithmetic (+, -, *, <<, and
+// their assignment/inc-dec forms) on fixed.Word or fixed.Acc outside
+// the fixed package itself. The paper's datapaths are 16-bit
+// fixed-point MAC hardware that saturates on overflow (§6.1.1); Go's
+// built-in operators silently wrap, so any raw operation bypasses the
+// saturation the numerics depend on. Use fixed.Add / fixed.Sub /
+// fixed.Mul / fixed.MAC / fixed.AddAcc instead.
+//
+// Constant-folded expressions are exempt: the compiler rejects
+// overflowing constants, so they cannot wrap at run time.
+type FixedSat struct {
+	// FixedPkg is the import path of the saturating-arithmetic package
+	// whose internals are exempt.
+	FixedPkg string
+	// TypeNames are the saturating types within FixedPkg.
+	TypeNames []string
+}
+
+// NewFixedSat returns the analyzer configured for this repository.
+func NewFixedSat() *FixedSat {
+	return &FixedSat{
+		FixedPkg:  "flexflow/internal/fixed",
+		TypeNames: []string{"Word", "Acc"},
+	}
+}
+
+func (*FixedSat) Name() string { return "fixedsat" }
+func (*FixedSat) Doc() string {
+	return "raw +, -, *, << on fixed.Word/fixed.Acc bypasses hardware saturation"
+}
+
+var fixedsatOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.SHL: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true, token.SHL_ASSIGN: true,
+	token.INC: true, token.DEC: true,
+}
+
+func (a *FixedSat) Run(prog *Program) ([]Finding, error) {
+	var out []Finding
+	report := func(pos token.Pos, op token.Token, t types.Type) {
+		out = append(out, Finding{
+			ID:  "fixedsat/raw-op",
+			Pos: prog.Fset.Position(pos),
+			Message: fmt.Sprintf("raw %s on %s wraps instead of saturating; use the fixed package's saturating helpers",
+				op, types.TypeString(t, func(p *types.Package) string { return p.Name() })),
+		})
+	}
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == a.FixedPkg {
+			continue
+		}
+		info := pkg.Info
+		inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if !fixedsatOps[e.Op] {
+					return true
+				}
+				// Constant expressions are folded (and overflow-checked)
+				// at compile time.
+				if tv, ok := info.Types[e]; ok && tv.Value != nil {
+					return true
+				}
+				if t := a.fixedType(info.TypeOf(e.X)); t != nil {
+					report(e.OpPos, e.Op, t)
+				} else if t := a.fixedType(info.TypeOf(e.Y)); t != nil {
+					report(e.OpPos, e.Op, t)
+				}
+			case *ast.AssignStmt:
+				if !fixedsatOps[e.Tok] {
+					return true
+				}
+				for _, lhs := range e.Lhs {
+					if t := a.fixedType(info.TypeOf(lhs)); t != nil {
+						report(e.TokPos, e.Tok, t)
+					}
+				}
+			case *ast.IncDecStmt:
+				if t := a.fixedType(info.TypeOf(e.X)); t != nil {
+					report(e.TokPos, e.Tok, t)
+				}
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// fixedType returns t if it is (an alias of) one of the saturating
+// named types, else nil.
+func (a *FixedSat) fixedType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != a.FixedPkg {
+		return nil
+	}
+	for _, name := range a.TypeNames {
+		if obj.Name() == name {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package lint is flexlint: a standard-library-only static-analysis
+// suite enforcing the repository's simulator invariants. The paper's
+// evaluation rests on contracts the compiler cannot check — all
+// datapath arithmetic saturates like the 16-bit fixed-point MAC
+// hardware (§6.1.1), cycle-level simulators are deterministic so the
+// analytical models can be validated against them, and every event a
+// simulator counts is charged by the energy model. Each analyzer
+// mechanically enforces one such contract over the type-checked
+// source of the module; cmd/flexlint runs them all and gates CI.
+//
+// Findings carry stable IDs of the form "<analyzer>/<rule>" and can be
+// suppressed at a specific site with a comment on, or on the line
+// above, the offending code:
+//
+//	//lint:ignore detsim/map-range order is re-sorted by the caller
+//
+// The ignore must name the finding's full ID (or just the analyzer
+// name to suppress every rule of that analyzer) and must give a
+// reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic. ID is stable across runs ("fixedsat/raw-op");
+// Pos is the offending source position.
+type Finding struct {
+	ID      string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form,
+// with the file path relative to dir when possible.
+func (f Finding) String() string { return f.Render("") }
+
+// Render renders the finding with the file path made relative to dir.
+func (f Finding) Render(dir string) string {
+	file := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", file, f.Pos.Line, f.Pos.Column, f.Message, f.ID)
+}
+
+// Analyzer is one flexlint check, run over a whole Program so that
+// cross-package analyses (counteraudit) fit the same interface as
+// per-package syntax checks.
+type Analyzer interface {
+	// Name is the analyzer's short name, the first segment of its
+	// finding IDs.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Run reports findings over the program. Findings suppressed by
+	// //lint:ignore comments are filtered out by Run/RunAnalyzers, not
+	// by the analyzer.
+	Run(prog *Program) ([]Finding, error)
+}
+
+// DefaultAnalyzers returns the full suite with the repository's
+// canonical configuration.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewFixedSat(),
+		NewDetSim(),
+		NewCounterAudit(),
+		NewErrDrop(),
+		NewConcSafe(),
+	}
+}
+
+// RunAnalyzers runs every analyzer, filters findings suppressed by
+// //lint:ignore comments in the analyzed packages, and returns the
+// remainder sorted by position.
+func RunAnalyzers(prog *Program, analyzers []Analyzer) ([]Finding, error) {
+	ignores := collectIgnores(prog)
+	var out []Finding
+	for _, a := range analyzers {
+		fs, err := a.Run(prog)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name(), err)
+		}
+		for _, f := range fs {
+			if !ignores.covers(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.ID < b.ID
+	})
+	return out, nil
+}
+
+// ignoreIndex maps file → line → the IDs suppressed at that line.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores parses //lint:ignore directives out of every analyzed
+// file. A directive suppresses matching findings on its own line and
+// on the line directly below it (the "comment above the statement"
+// placement).
+func collectIgnores(prog *Program) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						// An ignore without a reason is not honored.
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					m := idx[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						idx[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], fields[0])
+					m[pos.Line+1] = append(m[pos.Line+1], fields[0])
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) covers(f Finding) bool {
+	for _, id := range idx[f.Pos.Filename][f.Pos.Line] {
+		if id == f.ID || id == analyzerOf(f.ID) {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzerOf(id string) string {
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// inspectFiles runs fn over every node of every file of pkg.
+func inspectFiles(pkg *Package, fn func(*ast.File, ast.Node) bool) {
+	for _, file := range pkg.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool { return fn(f, n) })
+	}
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

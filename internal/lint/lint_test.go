@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadModule pins the loader's basic contract: it discovers the
+// module, selects packages under the requested roots, and resolves
+// other module packages lazily.
+func TestLoadModule(t *testing.T) {
+	prog, err := Load(".", "testdata/fixedsat/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModPath != "flexflow" {
+		t.Errorf("ModPath = %q, want flexflow", prog.ModPath)
+	}
+	if len(prog.Pkgs) != 1 || prog.Pkgs[0].Path != "flexflow/internal/lint/testdata/fixedsat/a" {
+		t.Fatalf("Pkgs = %v, want exactly the fixture package", pkgPaths(prog))
+	}
+	// Lazy resolution of a package outside the analysis roots.
+	fixed, err := prog.Package("flexflow/internal/fixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Types.Scope().Lookup("Word") == nil {
+		t.Error("lazily loaded fixed package lacks Word")
+	}
+	// Unknown paths fail rather than guessing.
+	if _, err := prog.Package("flexflow/internal/nosuchpkg"); err == nil {
+		t.Error("expected error for unknown package path")
+	}
+}
+
+// TestLoadWholeModule checks the default root selection covers the
+// interesting packages and skips testdata.
+func TestLoadWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := pkgPaths(prog)
+	for _, want := range []string{
+		"flexflow",
+		"flexflow/cmd/flexlint",
+		"flexflow/internal/core",
+		"flexflow/internal/energy",
+	} {
+		found := false
+		for _, p := range paths {
+			if p == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("whole-module load is missing %s (got %d packages)", want, len(paths))
+		}
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "/testdata/") {
+			t.Errorf("whole-module load must skip testdata, got %s", p)
+		}
+	}
+}
+
+func pkgPaths(prog *Program) []string {
+	var out []string
+	for _, p := range prog.Pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// TestFindingRender pins the file:line:col diagnostic format the CI
+// gate and the smoke tests grep for.
+func TestFindingRender(t *testing.T) {
+	f := Finding{
+		ID:      "detsim/map-range",
+		Pos:     token.Position{Filename: "/mod/internal/core/x.go", Line: 7, Column: 3},
+		Message: "range over a map",
+	}
+	if got, want := f.Render("/mod"), "internal/core/x.go:7:3: range over a map [detsim/map-range]"; got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+	if got, want := f.Render("/elsewhere/unrelated"), "/mod/internal/core/x.go:7:3: range over a map [detsim/map-range]"; got != want {
+		t.Errorf("Render outside dir = %q, want %q", got, want)
+	}
+}

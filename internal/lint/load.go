@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	Path  string // import path ("flexflow/internal/core")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the unit flexlint analyzers run over: the set of packages
+// selected for analysis plus a lazy resolver for the rest of the
+// module (cross-package analyzers such as counteraudit pull in the
+// energy and arch packages on demand even when they are not analysis
+// roots).
+type Program struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModRoot string // absolute directory containing go.mod
+	Pkgs    []*Package
+
+	ld *loader
+}
+
+// Package returns the type-checked package for an import path, loading
+// it on demand. Only module-local and standard-library paths resolve.
+func (p *Program) Package(path string) (*Package, error) { return p.ld.load(path) }
+
+// IsModuleLocal reports whether an import path belongs to the loaded
+// module.
+func (p *Program) IsModuleLocal(path string) bool { return p.ld.isModuleLocal(path) }
+
+// sharedFset and sharedStd give every Load in the process one file set
+// and one source-based standard-library importer, so repeated loads
+// (the golden self-tests load one fixture tree each) type-check fmt,
+// sync and friends only once.
+var (
+	sharedOnce sync.Once
+	sharedFset *token.FileSet
+	sharedStd  types.ImporterFrom
+)
+
+func shared() (*token.FileSet, types.ImporterFrom) {
+	sharedOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	return sharedFset, sharedStd
+}
+
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Import and ImportFrom make the loader a types.Importer: module-local
+// paths are type-checked from source inside the module, everything
+// else is delegated to the standard-library source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modRoot, 0)
+}
+
+func (l *loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModuleLocal(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.modRoot, 0)
+}
+
+func (l *loader) isModuleLocal(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modRoot)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// load parses and type-checks one module-local package, memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load type-checks the module containing dir. With no roots, every
+// package of the module is selected for analysis (skipping testdata,
+// hidden and vendor directories); otherwise only packages under the
+// given root directories are selected. A root may end in "/..." to
+// walk recursively; without the suffix it names a single package
+// directory.
+func Load(dir string, roots ...string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset, std := shared()
+	ld := &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     std,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	if len(roots) == 0 {
+		roots = []string{modRoot + "/..."}
+	}
+
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, root := range roots {
+		recursive := false
+		if strings.HasSuffix(root, "...") {
+			recursive = true
+			root = strings.TrimSuffix(strings.TrimSuffix(root, "..."), string(filepath.Separator))
+			root = strings.TrimSuffix(root, "/")
+		}
+		if root == "" || root == "." {
+			root = abs
+		}
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(abs, root)
+		}
+		if !recursive {
+			addDir(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &Program{Fset: fset, ModPath: modPath, ModRoot: modRoot, ld: ld}
+	for _, d := range dirs {
+		path, err := ld.pathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,74 @@
+// Package a is the concsafe golden fixture: copied sync primitives
+// and goroutine-local WaitGroup.Add must be flagged.
+package a
+
+import "sync"
+
+// Guarded embeds a mutex, so any by-value copy of it is a dead lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *Guarded) Inc() { // pointer receiver: fine
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g Guarded) Get() int { // want "receiver copies"
+	return g.n
+}
+
+func ByValue(g Guarded) int { // want "parameter copies"
+	return g.n
+}
+
+func ByPointer(g *Guarded) int { return g.n }
+
+func Copies(list []Guarded, g *Guarded) {
+	cp := *g // want "assignment copies"
+	_ = cp
+	for _, v := range list { // want "range clause copies"
+		_ = v
+	}
+	for i := range list { // index-only range copies nothing
+		_ = i
+	}
+	fresh := Guarded{} // composite literals are fresh values, not copies
+	_ = fresh.n
+}
+
+func Spawn(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, it := range items {
+		go func(it int) {
+			wg.Add(1) // want "WaitGroup\.Add inside the spawned goroutine"
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+func SpawnRight(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, it := range items {
+		wg.Add(1) // Add before the go statement: correct
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}

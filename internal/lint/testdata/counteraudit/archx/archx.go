@@ -1,0 +1,14 @@
+// Package archx is the result-record fixture for the counteraudit
+// golden test: a miniature arch.LayerResult analogue.
+package archx
+
+// Result mimics arch.LayerResult: int64 fields are audited counters,
+// everything else is configuration.
+type Result struct {
+	Name   string
+	PEs    int
+	Cycles int64
+	MACs   int64
+	Spills int64 // counted by the simulator, never billed
+	Ghost  int64 // billed by the energy model, never counted
+}

@@ -1,0 +1,14 @@
+// Package energyx is the energy-model fixture for the counteraudit
+// golden test.
+package energyx
+
+import "flexflow/internal/lint/testdata/counteraudit/archx"
+
+// LayerEnergy bills Cycles and MACs (fine), never reads Spills
+// (reported in the simulator fixture) and reads Ghost, which no
+// simulator produces.
+func LayerEnergy(r archx.Result) float64 {
+	e := float64(r.Cycles)*2.0 + float64(r.MACs)
+	e += float64(r.Ghost) // want "charges Result\.Ghost but no simulator package ever writes it"
+	return e
+}

@@ -1,0 +1,17 @@
+// Package simx is the simulator fixture for the counteraudit golden
+// test: it writes counters through every form the analyzer tracks.
+package simx
+
+import "flexflow/internal/lint/testdata/counteraudit/archx"
+
+// Simulate writes Cycles (plain assignment), MACs (inc/dec),
+// Spills (compound assignment) and a composite-literal record.
+func Simulate() archx.Result {
+	var r archx.Result
+	r.Cycles = 10
+	r.MACs++
+	r.Spills += 4 // want "Result\.Spills is accumulated by the simulators but never read"
+	other := archx.Result{Name: "x", Cycles: 5}
+	r.Cycles += other.Cycles
+	return r
+}

@@ -1,0 +1,32 @@
+// Package simx is the detsim golden fixture: nondeterminism sources
+// in simulation code must be flagged.
+package simx
+
+import (
+	"math/rand" // want "imports math/rand"
+	"sort"
+	"time"
+)
+
+// Nondet shows the three forbidden constructs.
+func Nondet(counts map[string]int64) int64 {
+	var total int64
+	for _, v := range counts { // want "range over a map"
+		total += v
+	}
+	start := time.Now() // want "time\.Now"
+	_ = start
+	return total + int64(rand.Intn(3))
+}
+
+// SortedKeys shows the sanctioned pattern: collecting keys for
+// sorting is order-independent, which the suppression records.
+func SortedKeys(counts map[string]int64) []string {
+	keys := make([]string, 0, len(counts))
+	//lint:ignore detsim/map-range keys are sorted before any use
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,49 @@
+// Package a is the errdrop golden fixture: silently discarded error
+// results must be flagged, while the documented exemptions stay quiet.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func multi() (int, error) { return 0, nil }
+
+func Drop(path string) {
+	os.Remove(path) // want "os\.Remove includes an error"
+	fallible()      // want "fallible includes an error"
+	multi()         // want "multi includes an error"
+
+	fmt.Println("ok")              // stdout output is best-effort
+	fmt.Fprintf(os.Stderr, "no\n") // stderr likewise
+	var b bytes.Buffer
+	b.WriteString("x") // (*bytes.Buffer) errors are documented nil
+	fmt.Fprintf(&b, "%d", 1)
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "y")
+	sb.WriteString("z")
+
+	_ = fallible() // explicit blank assignment is a visible decision
+	if err := os.Remove(path); err != nil {
+		_ = err
+	}
+}
+
+func DeferredDrop(path string) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer f.Close() // want "deferred call to .*Close.* discards its error"
+	defer func() {  // the sanctioned pattern: record the error
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	defer fmt.Println("done") // exempt writer, quiet
+	return nil
+}

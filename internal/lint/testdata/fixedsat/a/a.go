@@ -1,0 +1,33 @@
+// Package a is the fixedsat golden fixture: raw two's-complement
+// arithmetic on the saturating fixed-point types must be flagged
+// everywhere outside internal/fixed.
+package a
+
+import "flexflow/internal/fixed"
+
+// Constant expressions are folded and overflow-checked by the
+// compiler, so they cannot wrap at run time and are not flagged.
+const scale = fixed.One * 2
+
+func Bad(w, v fixed.Word, acc fixed.Acc) fixed.Acc {
+	x := w + v  // want "raw \+ on fixed\.Word"
+	y := w * v  // want "raw \* on fixed\.Word"
+	z := w - v  // want "raw - on fixed\.Word"
+	s := w << 1 // want "raw << on fixed\.Word"
+	acc += 1    // want "raw \+= on fixed\.Acc"
+	w++         // want "raw \+\+ on fixed\.Word"
+	_, _, _, _, _ = x, y, z, s, w
+	return acc
+}
+
+func Good(w, v fixed.Word, acc fixed.Acc) fixed.Word {
+	sum := fixed.Add(w, v)
+	acc = fixed.MAC(acc, sum, v)
+	acc = fixed.AddAcc(acc, w.Extend())
+	i := int(w) + int(v) // plain integer arithmetic is fine
+	_ = i
+	if w > v { // comparisons cannot overflow
+		return acc.Round()
+	}
+	return scale
+}

@@ -1,0 +1,15 @@
+// Package a exercises the //lint:ignore suppression mechanism: a
+// directive on the offending line or on the line directly above it
+// suppresses matching findings, but only when it gives a reason.
+package a
+
+import "os"
+
+func Ignored(path string) {
+	//lint:ignore errdrop/ignored cleanup of a scratch file is best-effort
+	os.Remove(path)
+	os.Remove(path) //lint:ignore errdrop bare analyzer name suppresses all its rules
+	//lint:ignore errdrop
+	os.Remove(path) // want "os\.Remove includes an error" — an ignore without a reason is not honored
+	os.Remove(path) // want "os\.Remove includes an error"
+}
