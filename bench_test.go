@@ -271,7 +271,11 @@ func BenchmarkModelPerWorkload(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if r := Run(e, nw); r.Cycles() == 0 {
+				r, err := Run(e, nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Cycles() == 0 {
 					b.Fatal("no cycles")
 				}
 			}

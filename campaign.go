@@ -1,0 +1,285 @@
+package flexflow
+
+// Fault-injection campaigns: seeded single-event injections per CONV
+// layer, classified against the golden tensor model into the standard
+// reliability taxonomy — masked (architecturally invisible), detected
+// (the run errored or an audit counter diverged), and silent data
+// corruption (wrong output, nothing noticed). The same seed always
+// reproduces the same campaign bit for bit, which is what makes a
+// fault-coverage table a regression artifact instead of a one-off.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexflow/internal/bus"
+	"flexflow/internal/core"
+	"flexflow/internal/fault"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// FaultOutcome classifies one injection trial.
+type FaultOutcome int
+
+// The campaign taxonomy.
+const (
+	// OutcomeMasked: the fault was architecturally invisible — the
+	// output matched the golden model exactly (including faults whose
+	// coordinates never matched a live access).
+	OutcomeMasked FaultOutcome = iota
+	// OutcomeDetected: the run surfaced the fault — a typed error
+	// (watchdog, invariant) or a bus-audit counter divergence.
+	OutcomeDetected
+	// OutcomeSDC: silent data corruption — the run completed cleanly
+	// but the output differs from the golden model.
+	OutcomeSDC
+)
+
+// String returns the taxonomy label.
+func (o FaultOutcome) String() string {
+	switch o {
+	case OutcomeMasked:
+		return "masked"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeSDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// CampaignConfig parameterizes a fault-injection campaign.
+type CampaignConfig struct {
+	// Workload is the network whose CONV layers are injected.
+	Workload *Network
+	// Scale is the PE-array edge of the FlexFlow engine under test.
+	Scale int
+	// Trials is the number of seeded single-fault injections per layer.
+	Trials int
+	// Seed drives every random draw; identical (Workload, Scale,
+	// Trials, Seed) campaigns are bit-identical.
+	Seed uint64
+}
+
+// CampaignTally is one masked/detected/SDC count triple.
+type CampaignTally struct {
+	Trials   int
+	Fired    int // trials whose fault matched at least one live access
+	Masked   int
+	Detected int
+	SDC      int
+}
+
+func (t *CampaignTally) add(o FaultOutcome, fired bool) {
+	t.Trials++
+	if fired {
+		t.Fired++
+	}
+	switch o {
+	case OutcomeDetected:
+		t.Detected++
+	case OutcomeSDC:
+		t.SDC++
+	default:
+		t.Masked++
+	}
+}
+
+// CampaignRow is the tally of one CONV layer.
+type CampaignRow struct {
+	Layer string
+	CampaignTally
+}
+
+// CampaignResult is a completed campaign: per-layer and per-site
+// tallies plus the totals.
+type CampaignResult struct {
+	Workload string
+	Scale    int
+	Trials   int // per layer
+	Seed     uint64
+
+	Rows   []CampaignRow
+	BySite map[string]*CampaignTally
+	Total  CampaignTally
+}
+
+// RunCampaign executes a fault-injection campaign: for every CONV
+// layer of the workload it first runs the layer cleanly (verifying the
+// simulator against the golden tensor convolution — a failed golden
+// check is ErrInternal), then Trials seeded single-fault injections,
+// classifying each against the clean run.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	var res *CampaignResult
+	err := guard(func() error {
+		var err error
+		res, err = runCampaign(cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Workload == nil {
+		return nil, invalid("campaign needs a workload")
+	}
+	if cfg.Scale <= 0 {
+		return nil, invalid("campaign scale must be positive, got %d", cfg.Scale)
+	}
+	if cfg.Trials <= 0 {
+		return nil, invalid("campaign needs a positive trial count, got %d", cfg.Trials)
+	}
+	layers := cfg.Workload.ConvLayers()
+	if len(layers) == 0 {
+		return nil, invalid("workload %s has no CONV layers", cfg.Workload.Name)
+	}
+	for _, l := range layers {
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+	}
+
+	res := &CampaignResult{
+		Workload: cfg.Workload.Name,
+		Scale:    cfg.Scale,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		BySite:   map[string]*CampaignTally{},
+	}
+
+	for li, l := range layers {
+		// Deterministic per-layer operands and the golden output.
+		in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+		in.FillPattern(fault.Mix(cfg.Seed, uint64(li), 0xA11CE))
+		k := tensor.NewKernel4(l.M, l.N, l.K)
+		k.FillPattern(fault.Mix(cfg.Seed, uint64(li), 0xB0B))
+		golden := tensor.ConvStride(in, k, l.Str())
+
+		// Clean reference run, with the bus audit counters armed.
+		cleanOut, cleanRes, cleanV, cleanH, err := campaignRun(cfg.Scale, l, in, k, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: clean run of %s failed: %v", ErrInternal, l.Name, err)
+		}
+		if !cleanOut.Equal(golden) {
+			return nil, fmt.Errorf("%w: clean run of %s diverges from the golden model", ErrInternal, l.Name)
+		}
+
+		bounds := fault.Bounds{
+			Cycles:      cleanRes.Cycles,
+			Rows:        cfg.Scale,
+			Cols:        cfg.Scale,
+			NeuronWords: in.Words(),
+			KernelWords: k.Words(),
+		}
+		row := CampaignRow{Layer: l.Name}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			plan := fault.RandomPlan(fault.Mix(cfg.Seed, uint64(li), uint64(trial), 0xFA017), 1, bounds)
+			site := plan.Events[0].Site.String()
+
+			inj := fault.NewInjector(plan)
+			tIn, tK := in, k
+			if len(plan.EventsAt(fault.SiteDRAMNeuron)) > 0 {
+				tIn = in.Clone()
+				corruptMap3(inj, tIn)
+			}
+			if len(plan.EventsAt(fault.SiteDRAMKernel)) > 0 {
+				tK = k.Clone()
+				inj.CorruptMemory(fault.SiteDRAMKernel, tK.Data)
+			}
+
+			// The watchdog rides along with a generous margin: a fault
+			// that derails the schedule into a runaway is "detected".
+			out, _, v, h, err := campaignRun(cfg.Scale, l, tIn, tK, inj, 4*cleanRes.Cycles+64)
+
+			var outcome FaultOutcome
+			switch {
+			case err != nil:
+				outcome = OutcomeDetected
+			case v != cleanV || h != cleanH:
+				// Bus-transfer parity audit: dropped or duplicated
+				// transfers leave a counter signature.
+				outcome = OutcomeDetected
+			case out.Equal(golden):
+				outcome = OutcomeMasked
+			default:
+				outcome = OutcomeSDC
+			}
+
+			fired := inj.Fired() > 0
+			row.add(outcome, fired)
+			st, ok := res.BySite[site]
+			if !ok {
+				st = &CampaignTally{}
+				res.BySite[site] = st
+			}
+			st.add(outcome, fired)
+			res.Total.add(outcome, fired)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// campaignRun executes one layer on a fresh engine with bus audit
+// counters, an optional injector, and an optional cycle budget.
+func campaignRun(scale int, l ConvLayer, in *Map3, k *Kernel4, inj *fault.Injector, budget int64) (*Map3, LayerResult, int64, int64, error) {
+	e := core.New(scale)
+	e.VerticalBus = bus.New("campaign-v")
+	e.HorizontalBus = bus.New("campaign-h")
+	e.Injector = inj
+	if budget > 0 {
+		e.Watchdog = sim.NewWatchdog(nil, budget)
+	}
+	out, lr, err := e.Simulate(l, in, k)
+	return out, lr, e.VerticalBus.Transfers(), e.HorizontalBus.Transfers(), err
+}
+
+// corruptMap3 applies SiteDRAMNeuron events to a Map3 in place through
+// its flattened word image.
+func corruptMap3(inj *fault.Injector, m *Map3) {
+	flat := make([]Word, 0, m.Words())
+	for _, mp := range m.Maps {
+		flat = append(flat, mp.Data...)
+	}
+	inj.CorruptMemory(fault.SiteDRAMNeuron, flat)
+	x := 0
+	for _, mp := range m.Maps {
+		copy(mp.Data, flat[x:x+len(mp.Data)])
+		x += len(mp.Data)
+	}
+}
+
+// Table renders the fault-coverage table: per-layer rows, per-site
+// rows, and the totals. The rendering is fully deterministic (fixed
+// column order, sites sorted by name, no timestamps), so identical
+// campaigns produce byte-identical tables.
+func (r *CampaignResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-coverage: workload=%s scale=%d trials/layer=%d seed=%#x\n",
+		r.Workload, r.Scale, r.Trials, r.Seed)
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s\n", "layer", "trials", "fired", "masked", "detected", "sdc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %8d %8d\n",
+			row.Layer, row.Trials, row.Fired, row.Masked, row.Detected, row.SDC)
+	}
+	sites := make([]string, 0, len(r.BySite))
+	//lint:ignore detsim/map-range key collection is sorted before rendering
+	for s := range r.BySite {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s\n", "site", "trials", "fired", "masked", "detected", "sdc")
+	for _, s := range sites {
+		t := r.BySite[s]
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %8d %8d\n", s, t.Trials, t.Fired, t.Masked, t.Detected, t.SDC)
+	}
+	fmt.Fprintf(&b, "%-16s %8d %8d %8d %8d %8d\n",
+		"total", r.Total.Trials, r.Total.Fired, r.Total.Masked, r.Total.Detected, r.Total.SDC)
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package flexflow
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func exampleCampaign(seed uint64) CampaignConfig {
+	nw, _ := Workload("Example")
+	return CampaignConfig{Workload: nw, Scale: 8, Trials: 15, Seed: seed}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := RunCampaign(exampleCampaign(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(exampleCampaign(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Errorf("same seed produced different coverage tables:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+	c, err := RunCampaign(exampleCampaign(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() == c.Table() {
+		t.Error("different seeds produced identical coverage tables")
+	}
+}
+
+func TestCampaignAccounting(t *testing.T) {
+	r, err := RunCampaign(exampleCampaign(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := Workload("Example")
+	wantTrials := len(nw.ConvLayers()) * 15
+	if r.Total.Trials != wantTrials {
+		t.Errorf("total trials = %d, want %d", r.Total.Trials, wantTrials)
+	}
+	if r.Total.Masked+r.Total.Detected+r.Total.SDC != wantTrials {
+		t.Errorf("taxonomy does not partition the trials: %+v", r.Total)
+	}
+	var bySite, byLayer int
+	for _, tl := range r.BySite {
+		bySite += tl.Trials
+	}
+	for _, row := range r.Rows {
+		byLayer += row.Trials
+		if row.Masked+row.Detected+row.SDC != row.Trials {
+			t.Errorf("layer %s taxonomy does not partition: %+v", row.Layer, row.CampaignTally)
+		}
+	}
+	if bySite != wantTrials || byLayer != wantTrials {
+		t.Errorf("per-site (%d) / per-layer (%d) tallies disagree with total %d", bySite, byLayer, wantTrials)
+	}
+	// A campaign that never activates or never corrupts would be
+	// vacuous; the Example workload at these sizes reliably produces
+	// both fired faults and at least one non-masked outcome.
+	if r.Total.Fired == 0 || r.Total.Detected+r.Total.SDC == 0 {
+		t.Errorf("campaign looks vacuous: %+v", r.Total)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	nw, _ := Workload("Example")
+	bad := []CampaignConfig{
+		{Workload: nil, Scale: 8, Trials: 5, Seed: 1},
+		{Workload: nw, Scale: 0, Trials: 5, Seed: 1},
+		{Workload: nw, Scale: 8, Trials: 0, Seed: 1},
+		{Workload: &Network{Name: "empty", InputN: 1, InputS: 4}, Scale: 8, Trials: 5, Seed: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunCampaign(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("config %d: err = %v, want ErrInvalidConfig", i, err)
+		}
+	}
+}
+
+// TestCampaignArtifactCurrent pins the committed fault-coverage table:
+// regenerating it with the same parameters must reproduce the file
+// byte for byte (the acceptance criterion that a campaign seed is a
+// reproducible artifact, not a one-off log).
+func TestCampaignArtifactCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LeNet-5 campaign in -short mode")
+	}
+	want, err := os.ReadFile("results/fault_coverage.txt")
+	if err != nil {
+		t.Skipf("no committed artifact: %v", err)
+	}
+	nw, _ := Workload("LeNet-5")
+	r, err := RunCampaign(CampaignConfig{Workload: nw, Scale: 16, Trials: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table() != string(want) {
+		t.Error("results/fault_coverage.txt is stale; regenerate with: go run ./cmd/flexfault -out results/fault_coverage.txt -workload LeNet-5 -scale 16 -n 25 -seed 7")
+	}
+}

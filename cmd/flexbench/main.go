@@ -22,6 +22,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flexbench: ")
+	// No input may escape as a panic stack: anything that slips past
+	// validation dies here as a one-line diagnostic with exit 1.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("internal error: %v", r)
+		}
+	}()
 	out := flag.String("out", "", "directory to write one text file per artifact (optional)")
 	csvDir := flag.String("csv", "", "directory to write machine-readable CSVs of the figure data (optional)")
 	flag.Parse()

@@ -22,6 +22,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flexcc: ")
+	// No input may escape as a panic stack: anything that slips past
+	// validation dies here as a one-line diagnostic with exit 1.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("internal error: %v", r)
+		}
+	}()
 	workload := flag.String("workload", "LeNet-5", "workload name")
 	scale := flag.Int("scale", 16, "PE-array edge")
 	uncoupled := flag.Bool("uncoupled", false, "optimize each layer independently (no IADP coupling)")
@@ -32,6 +39,9 @@ func main() {
 	lambda := flag.Float64("lambda", 0, "traffic weight for balanced planning (cycles per D words; 0 = cycles only)")
 	flag.Parse()
 
+	if *scale <= 0 {
+		log.Fatalf("scale must be positive, got %d", *scale)
+	}
 	nw, err := flexflow.Workload(*workload)
 	if err != nil {
 		log.Fatal(err)
@@ -50,12 +60,15 @@ func main() {
 		return
 	}
 
-	prog := flexflow.Compile(nw, *scale)
+	prog, err := flexflow.Compile(nw, *scale)
 	if *uncoupled {
-		prog = flexflow.CompileUncoupled(nw, *scale)
+		prog, err = flexflow.CompileUncoupled(nw, *scale)
 	}
 	if *lambda > 0 {
-		prog = flexflow.CompileBalanced(nw, *scale, *lambda)
+		prog, err = flexflow.CompileBalanced(nw, *scale, *lambda)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *occupancy {

@@ -1,0 +1,107 @@
+// Command flexfault runs seeded fault-injection campaigns against the
+// FlexFlow engine and reports a reproducible fault-coverage table:
+// per-layer and per-site masked / detected / silent-data-corruption
+// counts, classified against the golden tensor model.
+//
+// Usage:
+//
+//	flexfault [-workload Example] [-scale 8] [-n 25] [-seed 1]
+//	flexfault -out results/fault_coverage.txt        # write the table
+//	flexfault -expect masked=12,detected=21,sdc=47   # CI assertion
+//
+// The same (workload, scale, n, seed) always produces a byte-identical
+// table, so a committed table plus -expect makes fault coverage a
+// regression artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"flexflow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexfault: ")
+	// No input may escape as a panic stack: anything that slips past
+	// validation dies here as a one-line diagnostic with exit 1.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("internal error: %v", r)
+		}
+	}()
+	workload := flag.String("workload", "Example", "workload name (PV, FR, LeNet-5, HG, AlexNet, VGG-11, Example)")
+	scale := flag.Int("scale", 8, "PE-array edge of the engine under test")
+	trials := flag.Int("n", 25, "seeded single-fault injections per CONV layer")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	out := flag.String("out", "", "write the coverage table to this file (default stdout)")
+	expect := flag.String("expect", "", "assert totals, e.g. masked=12,detected=21,sdc=47 (exit 1 on mismatch)")
+	flag.Parse()
+
+	nw, err := flexflow.Workload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flexflow.RunCampaign(flexflow.CampaignConfig{
+		Workload: nw,
+		Scale:    *scale,
+		Trials:   *trials,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := res.Table()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d trials, %d masked / %d detected / %d sdc)\n",
+			*out, res.Total.Trials, res.Total.Masked, res.Total.Detected, res.Total.SDC)
+	} else {
+		fmt.Print(table)
+	}
+
+	if *expect != "" {
+		if err := checkExpect(*expect, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("expected classification counts confirmed")
+	}
+}
+
+// checkExpect parses "masked=A,detected=B,sdc=C" (any subset) and
+// compares against the campaign totals.
+func checkExpect(spec string, res *flexflow.CampaignResult) error {
+	got := map[string]int{
+		"masked":   res.Total.Masked,
+		"detected": res.Total.Detected,
+		"sdc":      res.Total.SDC,
+		"fired":    res.Total.Fired,
+		"trials":   res.Total.Trials,
+	}
+	for _, field := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -expect field %q", field)
+		}
+		want, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return fmt.Errorf("bad -expect value %q", field)
+		}
+		g, ok := got[strings.ToLower(kv[0])]
+		if !ok {
+			return fmt.Errorf("unknown -expect key %q (masked, detected, sdc, fired, trials)", kv[0])
+		}
+		if g != want {
+			return fmt.Errorf("%s = %d, expected %d", kv[0], g, want)
+		}
+	}
+	return nil
+}

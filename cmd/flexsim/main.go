@@ -27,6 +27,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flexsim: ")
+	// No input may escape as a panic stack: anything that slips past
+	// validation dies here as a one-line diagnostic with exit 1.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Fatalf("internal error: %v", r)
+		}
+	}()
 	workload := flag.String("workload", "LeNet-5", "workload name (PV, FR, LeNet-5, HG, AlexNet, VGG-11, Example)")
 	spec := flag.String("spec", "", "path to a JSON network spec (overrides -workload)")
 	layer := flag.String("layer", "", "ad-hoc CONV layer, e.g. M=6,N=1,S=28,K=5[,STRIDE=2] (overrides -workload)")
@@ -73,7 +80,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run := flexflow.Run(engine, nw)
+		run, err := flexflow.Run(engine, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		tb := metrics.NewTable(
 			fmt.Sprintf("%s on %s (%dx%d scale, %d PEs)", nw.Name, engine.Name(), *scale, *scale, engine.PEs()),
@@ -94,8 +104,11 @@ func main() {
 			run.Cycles(), 100*run.Utilization(), run.GOPS(flexflow.ClockHz),
 			flexflow.PowerMW(run, *scale), b.ChipPJ()*1e-6,
 			float64(run.DRAMAccesses())/float64(2*run.MACs()))
-		if *bandwidth > 0 {
-			wall := run.WallClock(*bandwidth / 2.0) // GB/s @ 1 GHz = bytes/cycle; 2 B/word
+		if *bandwidth != 0 {
+			wall, err := run.WallClock(*bandwidth / 2.0) // GB/s @ 1 GHz = bytes/cycle; 2 B/word
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("wall-clock @ %.1f GB/s: %d cycles, %.1f GOPS (%.0f%% of compute)\n",
 				*bandwidth, wall, float64(2*run.MACs())/float64(wall),
 				100*float64(run.Cycles())/float64(wall))

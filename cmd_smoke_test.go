@@ -176,3 +176,134 @@ func TestExampleSmoke(t *testing.T) {
 		})
 	}
 }
+
+// runToolExpectError runs a tool expecting a nonzero exit with a
+// one-line diagnostic: no panic stack, no goroutine dump.
+func runToolExpectError(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	text := string(out)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() < 1 {
+		t.Fatalf("%s %v: want exit status >= 1, got %v\n%s", name, args, err, text)
+	}
+	if strings.Contains(text, "panic:") || strings.Contains(text, "goroutine ") {
+		t.Errorf("%s %v leaked a panic stack:\n%s", name, args, text)
+	}
+	// The diagnostic itself is the prefixed final line (a tool may
+	// legitimately print results before a late failure like -expect).
+	if !strings.HasPrefix(lastLine(text), name+": ") {
+		t.Errorf("%s %v: final line is not a %q-prefixed diagnostic:\n%s", name, args, name, text)
+	}
+	return text
+}
+
+// TestCommandRejectsMalformedInput pins the CLI robustness contract:
+// every tool must reject malformed input with exit status 1 and a
+// one-line diagnostic — never a panic stack.
+func TestCommandRejectsMalformedInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	badSpec := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badSpec, []byte(`{"name":"broken","layers":[`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zeroSpec := filepath.Join(dir, "zero.json")
+	if err := os.WriteFile(zeroSpec, []byte(`{
+		"name":"zero","input":{"maps":1,"size":8},
+		"layers":[{"type":"conv","m":0,"k":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A plain file where flexbench expects to create a directory.
+	notDir := filepath.Join(dir, "notadir")
+	if err := os.WriteFile(notDir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		tool string
+		args []string
+	}{
+		{"flexsim", []string{"-workload", "NoSuchNet"}},
+		{"flexsim", []string{"-spec", badSpec}},
+		{"flexsim", []string{"-spec", filepath.Join(dir, "missing.json")}},
+		{"flexsim", []string{"-spec", zeroSpec}},
+		{"flexsim", []string{"-layer", "M=six,N=1"}},
+		{"flexsim", []string{"-layer", "M=2,N=1,S=0,K=3"}},
+		{"flexsim", []string{"-workload", "LeNet-5", "-scale", "-4"}},
+		{"flexsim", []string{"-workload", "LeNet-5", "-bandwidth", "-1"}},
+		{"flexcc", []string{"-workload", "NoSuchNet"}},
+		{"flexcc", []string{"-workload", "LeNet-5", "-scale", "0"}},
+		{"flexfault", []string{"-workload", "NoSuchNet"}},
+		{"flexfault", []string{"-workload", "Example", "-scale", "0"}},
+		{"flexfault", []string{"-workload", "Example", "-n", "-2"}},
+		{"flexfault", []string{"-workload", "Example", "-scale", "4", "-n", "1", "-expect", "nonsense"}},
+		{"flexreport", []string{"-o", filepath.Join(dir, "no", "such", "dir", "r.md")}},
+		{"flexbench", []string{"-out", filepath.Join(notDir, "sub")}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.tool+strings.Join(c.args, "_"), func(t *testing.T) {
+			t.Parallel()
+			runToolExpectError(t, dir, c.tool, c.args...)
+		})
+	}
+}
+
+// TestFlexfaultSmoke runs a small campaign end to end: the table must
+// carry the taxonomy, -expect must verify the totals, and two runs with
+// the same seed must be byte-identical on stdout.
+func TestFlexfaultSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	args := []string{"-workload", "Example", "-scale", "8", "-n", "5", "-seed", "3"}
+	out1 := runTool(t, dir, "flexfault", args...)
+	for _, want := range []string{"fault-coverage:", "masked", "detected", "sdc", "total"} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("flexfault table missing %q:\n%s", want, out1)
+		}
+	}
+	out2 := runTool(t, dir, "flexfault", args...)
+	if out1 != out2 {
+		t.Errorf("same campaign seed produced different stdout:\n%s\nvs\n%s", out1, out2)
+	}
+
+	// -out writes the table; -expect with the true totals passes.
+	table := filepath.Join(dir, "coverage.txt")
+	out := runTool(t, dir, "flexfault", append(args, "-out", table)...)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("flexfault -out output unexpected:\n%s", out)
+	}
+	data, err := os.ReadFile(table)
+	if err != nil || !strings.Contains(string(data), "fault-coverage:") {
+		t.Errorf("flexfault -out file wrong: %v", err)
+	}
+	if !strings.Contains(out1, "total") {
+		t.Fatalf("no totals line:\n%s", out1)
+	}
+	// The stdout table ends with the totals row; feed it back via -expect.
+	fields := strings.Fields(lastLine(out1))
+	if len(fields) != 6 {
+		t.Fatalf("unexpected totals row %q", lastLine(out1))
+	}
+	expect := "trials=" + fields[1] + ",fired=" + fields[2] + ",masked=" + fields[3] +
+		",detected=" + fields[4] + ",sdc=" + fields[5]
+	out = runTool(t, dir, "flexfault", append(args, "-expect", expect)...)
+	if !strings.Contains(out, "confirmed") {
+		t.Errorf("flexfault -expect did not confirm:\n%s", out)
+	}
+	// And a wrong expectation must fail.
+	runToolExpectError(t, dir, "flexfault", append(args, "-expect", "masked=99999")...)
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return lines[len(lines)-1]
+}

@@ -1,0 +1,67 @@
+package flexflow
+
+// The panic-free contract of the public API: every exported entry point
+// of this package — Execute and friends, Run, NewEngine, the compilers
+// — returns a typed, wrapped error for any input a caller can get
+// wrong, and converts escaped internal panics into ErrInternal at the
+// recovery boundary. Internal packages keep panics as invariant checks
+// (a panic there is a simulator bug, not a user error), but none of
+// them crosses the facade.
+
+import (
+	"errors"
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fault"
+	"flexflow/internal/sim"
+)
+
+// Sentinel errors of the public API. Match with errors.Is; the dynamic
+// message carries the specifics.
+var (
+	// ErrInvalidConfig marks any malformed caller input: bad network
+	// topology, non-positive geometry, mismatched operand shapes,
+	// unknown architecture or workload names.
+	ErrInvalidConfig = errors.New("flexflow: invalid configuration")
+
+	// ErrInternal marks a simulator invariant violation that escaped to
+	// the public boundary. Seeing it is a bug in this package, not in
+	// the caller; the message carries the recovered panic value.
+	ErrInternal = errors.New("flexflow: internal error")
+
+	// ErrCancelled is returned when a watchdogged run's context is
+	// cancelled (alias of the internal sentinel, so errors.Is works on
+	// either).
+	ErrCancelled = sim.ErrCancelled
+
+	// ErrBudget is returned when a watchdogged run exhausts its cycle
+	// budget.
+	ErrBudget = sim.ErrBudget
+
+	// ErrFaulted marks errors attributable to an injected hardware
+	// fault (the "detected" outcome of a campaign).
+	ErrFaulted = fault.ErrFaulted
+
+	// ErrBandwidth is returned by WallClock for non-positive memory
+	// bandwidths.
+	ErrBandwidth = arch.ErrBandwidth
+)
+
+// invalid wraps a formatted message with ErrInvalidConfig.
+func invalid(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, a...))
+}
+
+// guard is the recovery boundary: it runs f and converts any escaped
+// panic into an ErrInternal-wrapped error, so no input — however
+// malformed — can crash a caller of the public API. Errors f returns
+// deliberately pass through untouched.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrInternal, r)
+		}
+	}()
+	return f()
+}

@@ -14,7 +14,7 @@ import (
 func ExampleRun() {
 	nw, _ := flexflow.Workload("LeNet-5")
 	engine, _ := flexflow.NewEngine(flexflow.FlexFlow, 16, nw)
-	r := flexflow.Run(engine, nw)
+	r, _ := flexflow.Run(engine, nw)
 	fmt.Printf("%.1f%% utilization, %.0f GOPS\n", 100*r.Utilization(), r.GOPS(flexflow.ClockHz))
 	// Output: 83.5% utilization, 428 GOPS
 }
@@ -23,7 +23,7 @@ func ExampleRun() {
 // for LeNet-5's first layer.
 func ExampleCompile() {
 	nw, _ := flexflow.Workload("LeNet-5")
-	prog := flexflow.Compile(nw, 16)
+	prog, _ := flexflow.Compile(nw, 16)
 	fmt.Println(prog.Plans[0].Factors)
 	// Output: <Tm=3 Tn=1 Tr=1 Tc=5 Ti=3 Tj=5>
 }

@@ -27,8 +27,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		coupled := flexflow.Compile(nw, 16)
-		free := flexflow.CompileUncoupled(nw, 16)
+		coupled, err := flexflow.Compile(nw, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		free, err := flexflow.CompileUncoupled(nw, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		tb := metrics.NewTable(fmt.Sprintf("%s at 16x16: coupled plan vs per-layer optimum", name),
 			"Layer", "Coupled factors", "U_t", "Uncoupled factors", "U_t", "Coupling cost")
@@ -43,7 +49,10 @@ func main() {
 	}
 
 	nw, _ := flexflow.Workload("LeNet-5")
-	prog := flexflow.Compile(nw, 16)
+	prog, err := flexflow.Compile(nw, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	asm := prog.Assembly()
 	fmt.Println("LeNet-5 assembly program:")
 	fmt.Println(asm)

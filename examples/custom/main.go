@@ -39,7 +39,10 @@ func main() {
 	// Compile: the Section 5 workload analyzer picks unrolling factors
 	// per layer, coupled so each layer writes its outputs in the next
 	// layer's buffer layout.
-	prog := flexflow.Compile(nw, 8)
+	prog, err := flexflow.Compile(nw, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tb := metrics.NewTable("compiled plan (8x8 engine)", "Layer", "Factors", "Style", "U_t")
 	for _, lp := range prog.Plans {
 		tb.Add(lp.Layer.Name, lp.Factors.String(), lp.Factors.Style(), metrics.Pct(lp.Utilization))

@@ -63,7 +63,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run := flexflow.Run(engine, nw)
+		run, err := flexflow.Run(engine, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
 		nominal := 2 * float64(engine.PEs())
 		achieved := run.GOPS(flexflow.ClockHz)
 		tb2.Add(engine.Name(),

@@ -42,7 +42,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			run := flexflow.Run(engine, nw)
+			run, err := flexflow.Run(engine, nw)
+			if err != nil {
+				log.Fatal(err)
+			}
 			uRow = append(uRow, metrics.Pct(run.Utilization()))
 			gRow = append(gRow, fmt.Sprintf("%.0f", run.GOPS(flexflow.ClockHz)))
 			aRow = append(aRow, fmt.Sprintf("%.1f", flexflow.Area(a, engine.PEs())))

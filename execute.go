@@ -1,10 +1,12 @@
 package flexflow
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/compiler"
 	"flexflow/internal/core"
+	"flexflow/internal/fault"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -18,6 +20,14 @@ type ExecResult struct {
 	Layers []LayerResult
 	// PoolCycles is the total time spent in the 1-D pooling unit.
 	PoolCycles int64
+
+	// FaultsFired and FaultHits report fault-plan activity when a plan
+	// was installed via Options: how many plan events matched at least
+	// once, and how many individual corruptions were applied. Zero on
+	// fault-free runs — and a fired-but-masked fault is what campaigns
+	// classify as "masked".
+	FaultsFired int
+	FaultHits   int64
 }
 
 // Cycles returns the total engine cycles (convolution + pooling).
@@ -60,7 +70,7 @@ func RandomInput(nw *Network, seed uint64) *Map3 {
 // fcWeights, execution stops at the first classifier with the tensor
 // that feeds it.
 func Execute(nw *Network, input *Map3, kernels []*Kernel4, scale int, fcWeights ...[]Word) (ExecResult, error) {
-	return ExecuteTraced(nw, input, kernels, scale, nil, fcWeights...)
+	return ExecuteOpts(nw, input, kernels, scale, Options{}, fcWeights...)
 }
 
 // ExecuteTraced is Execute with a dataflow tracer attached to the
@@ -68,16 +78,83 @@ func Execute(nw *Network, input *Map3, kernels []*Kernel4, scale int, fcWeights 
 // (the Fig. 5-style snapshot stream). Tracing is only practical for
 // small networks.
 func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, tracer sim.Tracer, fcWeights ...[]Word) (ExecResult, error) {
+	return ExecuteOpts(nw, input, kernels, scale, Options{Tracer: tracer}, fcWeights...)
+}
+
+// Options bundles the robustness controls of an Execute run. The zero
+// value is the plain fast path: no cancellation, no cycle bound, no
+// faults, no tracing.
+type Options struct {
+	// Context, when non-nil, cancels the run between schedule passes;
+	// the result is an ErrCancelled-wrapped error.
+	Context context.Context
+	// MaxCycles, when positive, bounds the total engine cycles across
+	// all layers; exceeding it returns an ErrBudget-wrapped error.
+	MaxCycles int64
+	// Plan, when non-nil, arms a fault-injection plan on the engine.
+	// DRAM events corrupt (cloned) operand tensors before the run; all
+	// other sites fire inside the PE-array dataflow.
+	Plan *FaultPlan
+	// Tracer, when non-nil, receives every MAC issue and output drain.
+	Tracer sim.Tracer
+}
+
+// ExecuteOpts is Execute with robustness controls: context
+// cancellation, a cycle-budget watchdog, and fault injection. It is
+// panic-free: malformed inputs return ErrInvalidConfig and escaped
+// internal panics ErrInternal.
+func ExecuteOpts(nw *Network, input *Map3, kernels []*Kernel4, scale int, opts Options, fcWeights ...[]Word) (ExecResult, error) {
+	var res ExecResult
+	err := guard(func() error {
+		var err error
+		res, err = executeOpts(nw, input, kernels, scale, opts, fcWeights)
+		return err
+	})
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return res, nil
+}
+
+func executeOpts(nw *Network, input *Map3, kernels []*Kernel4, scale int, opts Options, fcWeights [][]Word) (ExecResult, error) {
+	if scale <= 0 {
+		return ExecResult{}, invalid("scale must be positive, got %d", scale)
+	}
+	if nw == nil {
+		return ExecResult{}, invalid("nil network")
+	}
 	if err := nw.Validate(); err != nil {
-		return ExecResult{}, fmt.Errorf("flexflow: network does not chain: %w", err)
+		return ExecResult{}, fmt.Errorf("%w: network does not chain: %v", ErrInvalidConfig, err)
+	}
+	if input == nil {
+		return ExecResult{}, invalid("nil input tensor")
+	}
+	if input.N != nw.InputN || input.H != nw.InputS || input.W != nw.InputS {
+		return ExecResult{}, invalid("input is %d@%dx%d, network %s expects %d@%dx%d",
+			input.N, input.H, input.W, nw.Name, nw.InputN, nw.InputS, nw.InputS)
 	}
 	if got, want := len(kernels), len(nw.ConvLayers()); got != want {
-		return ExecResult{}, fmt.Errorf("flexflow: %d kernel sets for %d CONV layers", got, want)
+		return ExecResult{}, invalid("%d kernel sets for %d CONV layers", got, want)
+	}
+	for i, k := range kernels {
+		if k == nil {
+			return ExecResult{}, invalid("kernel set %d is nil", i)
+		}
 	}
 
 	engine := core.New(scale)
 	engine.Chooser = compiler.Plan(nw, scale).Chooser()
-	engine.Tracer = tracer
+	engine.Tracer = opts.Tracer
+
+	var inj *fault.Injector
+	if opts.Plan != nil {
+		inj = fault.NewInjector(opts.Plan)
+		engine.Injector = inj
+		input, kernels = applyDRAMFaults(inj, opts.Plan, input, kernels)
+	}
+	if opts.Context != nil || opts.MaxCycles > 0 {
+		engine.Watchdog = sim.NewWatchdog(opts.Context, opts.MaxCycles)
+	}
 	pool := core.NewPoolUnit(scale)
 
 	res := ExecResult{}
@@ -89,7 +166,7 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 		case nn.Conv:
 			out, lr, err := engine.Simulate(layer.Conv, cur, kernels[convIdx])
 			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Conv.Name, err)
+				return ExecResult{}, layerErr(inj, layer.Conv.Name, err)
 			}
 			if layer.Conv.ReLU {
 				out = tensor.ReLU(out)
@@ -114,6 +191,8 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 				// as the paper's engine evaluation does.
 				res.Output = cur
 				res.PoolCycles = pool.Cycles()
+				res.FaultsFired = inj.Fired()
+				res.FaultHits = inj.Hits()
 				return res, nil
 			}
 			conv, flat, kset, err := fcAsConv(layer.FC, cur, fcWeights[fcIdx])
@@ -122,7 +201,7 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 			}
 			out, lr, err := engine.Simulate(conv, flat, kset)
 			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
+				return ExecResult{}, layerErr(inj, layer.FC.Name, err)
 			}
 			res.Layers = append(res.Layers, lr)
 			// Back to a 1×1 stack of Out maps for any following layer.
@@ -132,7 +211,61 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 	}
 	res.Output = cur
 	res.PoolCycles = pool.Cycles()
+	res.FaultsFired = inj.Fired()
+	res.FaultHits = inj.Hits()
 	return res, nil
+}
+
+// layerErr attributes a mid-simulation failure: once an armed injector
+// has fired, the failure is additionally marked ErrFaulted so callers
+// can tell an injected-fault crash from an ordinary one (both wrapped
+// errors stay visible to errors.Is).
+func layerErr(inj *fault.Injector, name string, err error) error {
+	if inj.Fired() > 0 {
+		return fmt.Errorf("flexflow: layer %s: %w: %w", name, fault.ErrFaulted, err)
+	}
+	return fmt.Errorf("flexflow: layer %s: %w", name, err)
+}
+
+// applyDRAMFaults applies the plan's external-memory events to clones
+// of the operand tensors (the caller's tensors are never touched),
+// returning the possibly corrupted working set. Neuron events address
+// the flattened input image; kernel events the concatenation of all
+// layers' kernel sets.
+func applyDRAMFaults(inj *fault.Injector, p *FaultPlan, input *Map3, kernels []*Kernel4) (*Map3, []*Kernel4) {
+	if len(p.EventsAt(fault.SiteDRAMNeuron)) > 0 {
+		input = input.Clone()
+		flat := make([]Word, 0, input.Words())
+		for _, m := range input.Maps {
+			flat = append(flat, m.Data...)
+		}
+		inj.CorruptMemory(fault.SiteDRAMNeuron, flat)
+		x := 0
+		for _, m := range input.Maps {
+			copy(m.Data, flat[x:x+len(m.Data)])
+			x += len(m.Data)
+		}
+	}
+	if len(p.EventsAt(fault.SiteDRAMKernel)) > 0 {
+		cloned := make([]*Kernel4, len(kernels))
+		var total int
+		for i, k := range kernels {
+			cloned[i] = k.Clone()
+			total += k.Words()
+		}
+		flat := make([]Word, 0, total)
+		for _, k := range cloned {
+			flat = append(flat, k.Data...)
+		}
+		inj.CorruptMemory(fault.SiteDRAMKernel, flat)
+		x := 0
+		for _, k := range cloned {
+			copy(k.Data, flat[x:x+len(k.Data)])
+			x += len(k.Data)
+		}
+		kernels = cloned
+	}
+	return input, kernels
 }
 
 // fcAsConv rewrites a classifier layer over the current activations as
@@ -167,8 +300,30 @@ func fcAsConv(fc nn.FCLayer, cur *Map3, weights []Word) (nn.ConvLayer, *Map3, *K
 // convolution, pooling and fully connected layers), for validating
 // Execute.
 func Reference(nw *Network, input *Map3, kernels []*Kernel4, fcWeights ...[]Word) (*Map3, error) {
-	if err := nw.Validate(); err != nil {
+	var out *Map3
+	err := guard(func() error {
+		var err error
+		out, err = reference(nw, input, kernels, fcWeights)
+		return err
+	})
+	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+func reference(nw *Network, input *Map3, kernels []*Kernel4, fcWeights [][]Word) (*Map3, error) {
+	if nw == nil {
+		return nil, invalid("nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if input == nil {
+		return nil, invalid("nil input tensor")
+	}
+	if got, want := len(kernels), len(nw.ConvLayers()); got != want {
+		return nil, invalid("%d kernel sets for %d CONV layers", got, want)
 	}
 	cur := input
 	convIdx := 0
@@ -204,16 +359,40 @@ func Reference(nw *Network, input *Map3, kernels []*Kernel4, fcWeights ...[]Word
 // rebuilds the network topology from the LAYER/POOL directives,
 // installs the CONFIG unrolling factors, and executes functionally.
 func ExecuteAssembly(asm string, input *Map3, kernels []*Kernel4, scale int) (ExecResult, error) {
-	prog, err := compiler.ParseAssembly(asm)
+	var res ExecResult
+	err := guard(func() error {
+		var err error
+		res, err = executeAssembly(asm, input, kernels, scale)
+		return err
+	})
 	if err != nil {
 		return ExecResult{}, err
 	}
+	return res, nil
+}
+
+func executeAssembly(asm string, input *Map3, kernels []*Kernel4, scale int) (ExecResult, error) {
+	if scale <= 0 {
+		return ExecResult{}, invalid("scale must be positive, got %d", scale)
+	}
+	if input == nil {
+		return ExecResult{}, invalid("nil input tensor")
+	}
+	prog, err := compiler.ParseAssembly(asm)
+	if err != nil {
+		return ExecResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
 	nw := prog.BuildNetwork()
 	if err := nw.Validate(); err != nil {
-		return ExecResult{}, fmt.Errorf("flexflow: decoded program does not chain: %w", err)
+		return ExecResult{}, fmt.Errorf("%w: decoded program does not chain: %v", ErrInvalidConfig, err)
 	}
 	if got, want := len(kernels), len(prog.Plans); got != want {
-		return ExecResult{}, fmt.Errorf("flexflow: %d kernel sets for %d program layers", got, want)
+		return ExecResult{}, invalid("%d kernel sets for %d program layers", got, want)
+	}
+	for i, k := range kernels {
+		if k == nil {
+			return ExecResult{}, invalid("kernel set %d is nil", i)
+		}
 	}
 
 	engine := core.New(scale)

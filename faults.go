@@ -1,0 +1,60 @@
+package flexflow
+
+// Public surface of the fault-injection subsystem (internal/fault):
+// type aliases and thin constructors, so campaigns can be scripted
+// against the facade without importing internal packages.
+
+import "flexflow/internal/fault"
+
+// Re-exported fault-injection types.
+type (
+	// FaultPlan is a deterministic list of fault events to inject.
+	FaultPlan = fault.Plan
+	// FaultEvent is one fault: a site, a model, and where/when it hits.
+	FaultEvent = fault.Event
+	// FaultBounds bounds the random coordinates RandomFaultPlan draws.
+	FaultBounds = fault.Bounds
+	// FaultInjector matches events against simulation state; install it
+	// on a FlexFlow engine (or pass a plan via Options).
+	FaultInjector = fault.Injector
+	// FaultSite names a hardware structure faults can hit.
+	FaultSite = fault.Site
+	// FaultModel names how a fault corrupts its site.
+	FaultModel = fault.Model
+)
+
+// The fault sites (FaultSite values).
+const (
+	SiteNeuronStore   = fault.SiteNeuronStore
+	SiteKernelStore   = fault.SiteKernelStore
+	SiteBankRead      = fault.SiteBankRead
+	SiteMAC           = fault.SiteMAC
+	SiteBusVertical   = fault.SiteBusVertical
+	SiteBusHorizontal = fault.SiteBusHorizontal
+	SiteDRAMNeuron    = fault.SiteDRAMNeuron
+	SiteDRAMKernel    = fault.SiteDRAMKernel
+)
+
+// The fault models (FaultModel values).
+const (
+	FaultBitFlip     = fault.BitFlip
+	FaultStuckAtZero = fault.StuckAtZero
+	FaultDrop        = fault.Drop
+	FaultDuplicate   = fault.Duplicate
+)
+
+// RandomFaultPlan draws n random single-fault events within the given
+// bounds, deterministically from the seed: the same (seed, n, bounds)
+// always produces the same plan, which is what makes campaigns
+// reproducible.
+func RandomFaultPlan(seed uint64, n int, b FaultBounds) *FaultPlan {
+	return fault.RandomPlan(seed, n, b)
+}
+
+// NewFaultInjector arms a plan. A nil plan (or nil injector) is inert.
+func NewFaultInjector(p *FaultPlan) *FaultInjector { return fault.NewInjector(p) }
+
+// MixSeed derives an independent deterministic seed stream from a
+// campaign seed and lane indices (layer number, trial number, ...), so
+// every trial of a campaign gets its own reproducible randomness.
+func MixSeed(seed uint64, lanes ...uint64) uint64 { return fault.Mix(seed, lanes...) }

@@ -90,7 +90,17 @@ const ClockHz = 1e9
 // and FlexFlow compiles the coupled layer plan.
 func NewEngine(a Arch, scale int, nw *Network) (Engine, error) {
 	if scale <= 0 {
-		return nil, fmt.Errorf("flexflow: scale must be positive, got %d", scale)
+		return nil, invalid("scale must be positive, got %d", scale)
+	}
+	if nw != nil {
+		// Per-layer shapes must be sane before the compiler sizes its
+		// plans; full chaining is not required here (the Table 1
+		// workloads keep published shapes that do not chain exactly).
+		for _, l := range nw.ConvLayers() {
+			if err := l.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+			}
+		}
 	}
 	switch a {
 	case Systolic:
@@ -117,7 +127,7 @@ func NewEngine(a Arch, scale int, nw *Network) (Engine, error) {
 		}
 		return e, nil
 	default:
-		return nil, fmt.Errorf("flexflow: unknown architecture %q", a)
+		return nil, invalid("unknown architecture %q", a)
 	}
 }
 
@@ -131,27 +141,79 @@ func Workload(name string) (*Network, error) {
 	if nw := workloads.ByName(name); nw != nil {
 		return nw, nil
 	}
-	return nil, fmt.Errorf("flexflow: unknown workload %q", name)
+	return nil, invalid("unknown workload %q", name)
 }
 
 // Run analytically evaluates every CONV layer of the network on the
-// engine (cycles, utilization, traffic).
-func Run(e Engine, nw *Network) RunResult { return arch.RunModel(e, nw) }
+// engine (cycles, utilization, traffic). The network is validated
+// against the engine first (topology chaining plus per-engine layer
+// constraints, e.g. the rigid baselines' unit-stride contract), so a
+// malformed or unrunnable network returns ErrInvalidConfig instead of
+// crashing; an escaped internal panic comes back as ErrInternal.
+func Run(e Engine, nw *Network) (RunResult, error) {
+	var res RunResult
+	err := guard(func() error {
+		if e == nil {
+			return invalid("nil engine")
+		}
+		if nw == nil {
+			return invalid("nil network")
+		}
+		if err := arch.CheckNetwork(e, nw); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		res = arch.RunModel(e, nw)
+		return nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return res, nil
+}
 
 // Compile runs the Section 5 workload analyzer: unrolling factors for
 // every CONV layer with the inter-layer IADP coupling, ready for
 // Program.Assembly.
-func Compile(nw *Network, scale int) *Program { return compiler.Plan(nw, scale) }
+func Compile(nw *Network, scale int) (*Program, error) {
+	return compile(nw, scale, func() *Program { return compiler.Plan(nw, scale) })
+}
 
 // CompileUncoupled optimizes each layer independently (the upper bound
 // the coupled plan is measured against).
-func CompileUncoupled(nw *Network, scale int) *Program { return compiler.PlanUncoupled(nw, scale) }
+func CompileUncoupled(nw *Network, scale int) (*Program, error) {
+	return compile(nw, scale, func() *Program { return compiler.PlanUncoupled(nw, scale) })
+}
 
 // CompileBalanced compiles with a joint cycles+traffic objective:
 // lambda > 0 lets the planner pay cycles to cut buffer→PE data
 // movement (energy-bound deployments); lambda = 0 reduces to Compile.
-func CompileBalanced(nw *Network, scale int, lambda float64) *Program {
-	return compiler.PlanBalanced(nw, scale, lambda)
+func CompileBalanced(nw *Network, scale int, lambda float64) (*Program, error) {
+	return compile(nw, scale, func() *Program { return compiler.PlanBalanced(nw, scale, lambda) })
+}
+
+// compile validates the compiler inputs and runs the planner inside
+// the recovery boundary.
+func compile(nw *Network, scale int, plan func() *Program) (*Program, error) {
+	var p *Program
+	err := guard(func() error {
+		if nw == nil {
+			return invalid("nil network")
+		}
+		if scale <= 0 {
+			return invalid("scale must be positive, got %d", scale)
+		}
+		for _, l := range nw.ConvLayers() {
+			if err := l.Validate(); err != nil {
+				return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+			}
+		}
+		p = plan()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // DefaultEnergy returns the calibrated 65 nm energy parameters.

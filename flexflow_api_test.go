@@ -50,7 +50,10 @@ func TestWorkloadLookup(t *testing.T) {
 func TestRunProducesMetrics(t *testing.T) {
 	nw, _ := Workload("LeNet-5")
 	e, _ := NewEngine(FlexFlow, 16, nw)
-	r := Run(e, nw)
+	r, err := Run(e, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Cycles() <= 0 || r.MACs() != nw.ConvLayers()[0].MACs()+nw.ConvLayers()[1].MACs() {
 		t.Errorf("Run metrics wrong: cycles=%d macs=%d", r.Cycles(), r.MACs())
 	}
@@ -64,11 +67,17 @@ func TestRunProducesMetrics(t *testing.T) {
 
 func TestCompileAssembly(t *testing.T) {
 	nw, _ := Workload("LeNet-5")
-	prog := Compile(nw, 16)
+	prog, err := Compile(nw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(prog.Assembly(), "LAYER C1") {
 		t.Error("assembly missing C1")
 	}
-	unc := CompileUncoupled(nw, 16)
+	unc, err := CompileUncoupled(nw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(unc.Plans) != len(prog.Plans) {
 		t.Error("plan length mismatch")
 	}
@@ -77,7 +86,10 @@ func TestCompileAssembly(t *testing.T) {
 func TestEnergyAndPower(t *testing.T) {
 	nw, _ := Workload("LeNet-5")
 	e, _ := NewEngine(FlexFlow, 16, nw)
-	r := Run(e, nw)
+	r, err := Run(e, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := Energy(r, 16)
 	if b.ChipPJ() <= 0 || b.TotalPJ() < b.ChipPJ() {
 		t.Errorf("energy breakdown wrong: %+v", b)
@@ -239,7 +251,11 @@ func TestExecuteAssemblyRoundTrip(t *testing.T) {
 	// Compile the Example network to assembly text, decode it, execute
 	// the decoded program, and match against the direct execution.
 	nw, _ := Workload("Example")
-	asm := Compile(nw, 4).Assembly()
+	prog, err := Compile(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := prog.Assembly()
 	if !strings.Contains(asm, "POOL P=2") {
 		t.Fatalf("assembly lost the pooling layer:\n%s", asm)
 	}
@@ -364,7 +380,10 @@ func TestRowStationaryViaFacade(t *testing.T) {
 	if e.Name() != "Row-Stationary" || e.PEs() != 256 {
 		t.Errorf("Name=%q PEs=%d", e.Name(), e.PEs())
 	}
-	r := Run(e, nw)
+	r, err := Run(e, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if u := r.Utilization(); u <= 0.2 || u > 1 {
 		t.Errorf("RS utilization %v implausible", u)
 	}

@@ -1,0 +1,152 @@
+package flexflow
+
+// Fuzz harnesses for the panic-free API contract: whatever shapes,
+// strides, scales, or JSON documents come in, the public entry points
+// must return an error or succeed — never panic. The guard boundary
+// converts an escaped panic into ErrInternal, so the harnesses treat
+// ErrInternal as a finding: validation let a malformed configuration
+// reach the machinery. Seed corpora live under testdata/fuzz/.
+
+import (
+	"errors"
+	"testing"
+
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// nonneg clamps fuzzed allocation sizes; layer fields keep their raw
+// (possibly negative) values so validation is exercised, but the test
+// harness itself must not ask make() for a negative length.
+func nonneg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FuzzExecuteShapes drives Execute with arbitrary layer geometry,
+// tensor shapes, kernel-set counts, and scales. Contract: error or
+// success, never a panic, and never an ErrInternal (which would mean
+// validation let bad input reach the simulator).
+func FuzzExecuteShapes(f *testing.F) {
+	f.Add(1, 6, 2, 1, 4, 3, 1, 4, 1)  // valid single-layer run
+	f.Add(1, 6, 2, 1, 4, 3, 1, 0, 1)  // zero scale
+	f.Add(2, 9, 3, 2, 4, 3, 2, 4, 1)  // strided
+	f.Add(1, 6, -1, 1, 4, 3, 1, 4, 1) // negative map count
+	f.Add(1, 6, 2, 1, 4, 5, 1, 4, 0)  // no kernel sets
+	f.Add(1, 3, 2, 1, 4, 9, 1, 4, 1)  // kernel window larger than input
+	f.Add(3, 11, 2, 2, 4, 3, 1, 4, 2) // input shape mismatching the spec
+	f.Fuzz(func(t *testing.T, inN, inS, m, n, s, k, stride, scale, kn int) {
+		// Bound the geometry so a valid draw still executes in
+		// microseconds; Go's % keeps the dividend's sign, so negative
+		// values survive to exercise the validators.
+		inN, inS = inN%5, inS%13
+		m, n, s, k, stride = m%5, n%5, s%13, k%7, stride%4
+		scale %= 9
+		kn = ((kn % 3) + 3) % 3
+
+		nw := &Network{Name: "fuzz", InputN: inN, InputS: inS, Layers: []nn.Layer{
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "C1", M: m, N: n, S: s, K: k, Stride: stride}},
+		}}
+		in := tensor.NewMap3(nonneg(inN), nonneg(inS), nonneg(inS))
+		in.FillPattern(7)
+		ks := make([]*Kernel4, kn)
+		for i := range ks {
+			ks[i] = tensor.NewKernel4(nonneg(m), nonneg(n), nonneg(k))
+			ks[i].FillPattern(uint64(11 + i))
+		}
+
+		res, err := Execute(nw, in, ks, scale)
+		if err != nil {
+			if errors.Is(err, ErrInternal) {
+				t.Fatalf("internal panic escaped validation: %v", err)
+			}
+			return
+		}
+		if res.Output == nil {
+			t.Fatal("successful Execute returned a nil output")
+		}
+	})
+}
+
+// FuzzNetworkJSON drives the JSON spec parser with arbitrary bytes:
+// parse errors are fine, panics are not, and an accepted network must
+// survive validation and re-validation without crashing.
+func FuzzNetworkJSON(f *testing.F) {
+	seeds := []string{
+		`{"name":"ok","input":{"maps":1,"size":12},"layers":[{"type":"conv","m":2,"k":3}]}`,
+		`{"name":"chain","input":{"maps":1,"size":28},"layers":[
+			{"type":"conv","m":6,"k":5},{"type":"pool","p":2},
+			{"type":"conv","m":16,"k":5},{"type":"fc","out":10}]}`,
+		`{"name":"broken","layers":[`,
+		`{"name":"zero","input":{"maps":0,"size":8},"layers":[]}`,
+		`{"name":"neg","input":{"maps":1,"size":8},"layers":[{"type":"conv","m":-2,"k":3}]}`,
+		`{"name":"odd","input":{"maps":1,"size":8},"layers":[{"type":"warp","m":2}]}`,
+		`[1,2,3]`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nw, err := nn.ParseJSON(data)
+		if err != nil {
+			return
+		}
+		if nw == nil {
+			t.Fatal("ParseJSON returned nil network with nil error")
+		}
+		// An accepted spec must round-trip the validators panic-free.
+		_ = nw.Validate()
+		for _, l := range nw.ConvLayers() {
+			_ = l.Validate()
+		}
+	})
+}
+
+// FuzzCompileFactors drives the Section 5 factor picker with arbitrary
+// layer geometry and engine scales: the compiler must reject what it
+// cannot plan and never panic on what it accepts.
+func FuzzCompileFactors(f *testing.F) {
+	f.Add(2, 1, 4, 3, 1, 4, 0)    // small valid plan
+	f.Add(6, 1, 28, 5, 1, 16, 0)  // LeNet-ish C1
+	f.Add(3, 2, 5, 3, 2, 8, 1)    // strided, balanced objective
+	f.Add(2, 1, 4, 3, 1, 0, 0)    // zero scale
+	f.Add(-2, 1, 4, 3, 1, 8, 0)   // negative maps
+	f.Add(2, 1, 4, 3, -1, 8, 0)   // negative stride
+	f.Add(16, 8, 31, 7, 3, 24, 2) // big odd geometry
+	f.Fuzz(func(t *testing.T, m, n, s, k, stride, scale, mode int) {
+		m, n, s, k, stride = m%33, n%17, s%41, k%12, stride%5
+		scale %= 33
+		l := nn.ConvLayer{Name: "C1", M: m, N: n, S: s, K: k, Stride: stride}
+		nw := &Network{Name: "fuzz", InputN: nonneg(n), InputS: nonneg(l.InSize()), Layers: []nn.Layer{
+			{Kind: nn.Conv, Conv: l},
+		}}
+
+		var prog *Program
+		var err error
+		switch ((mode % 3) + 3) % 3 {
+		case 0:
+			prog, err = Compile(nw, scale)
+		case 1:
+			prog, err = CompileUncoupled(nw, scale)
+		default:
+			prog, err = CompileBalanced(nw, scale, float64(nonneg(mode%7))/4)
+		}
+		if err != nil {
+			if errors.Is(err, ErrInternal) {
+				t.Fatalf("factor picker panicked on validated input: %v", err)
+			}
+			return
+		}
+		if prog == nil || len(prog.Plans) != 1 {
+			t.Fatalf("compiled program malformed: %+v", prog)
+		}
+		fct := prog.Plans[0].Factors
+		if fct.Tm <= 0 || fct.Tn <= 0 || fct.Tr <= 0 || fct.Tc <= 0 || fct.Ti <= 0 || fct.Tj <= 0 {
+			t.Fatalf("factor picker chose a non-positive factor: %v", fct)
+		}
+	})
+}

@@ -76,7 +76,10 @@ func TestEngineInvariants(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				r := Run(e, nw)
+				r, err := Run(e, nw)
+				if err != nil {
+					t.Fatal(err)
+				}
 				u := r.Utilization()
 				if u <= 0 || u > 1.0+1e-9 {
 					t.Errorf("%s/%s@%d: utilization %v out of (0,1]", nw.Name, a, scale, u)

@@ -6,6 +6,7 @@
 package arch
 
 import (
+	"errors"
 	"fmt"
 
 	"flexflow/internal/nn"
@@ -272,28 +273,73 @@ func (t T) Style() string {
 	})
 }
 
+// ErrBandwidth is returned by WallClock when the memory bandwidth is
+// not a positive number of words per cycle. The bandwidth typically
+// arrives from a CLI flag or a config file, so this is a user error,
+// not an invariant violation.
+var ErrBandwidth = errors.New("arch: bandwidth must be positive")
+
 // WallClock estimates the layer's wall-clock cycles when DRAM traffic
 // is streamed concurrently with compute through double-buffered on-chip
 // memories: the slower of the compute schedule and the memory stream at
 // the given bandwidth (words per cycle). The paper's cycle counts
 // assume the memory side keeps up; WallClock quantifies when it does
 // not.
-func (r LayerResult) WallClock(wordsPerCycle float64) int64 {
-	if wordsPerCycle <= 0 {
-		panic("arch: WallClock needs positive bandwidth")
+func (r LayerResult) WallClock(wordsPerCycle float64) (int64, error) {
+	if !(wordsPerCycle > 0) { // also rejects NaN
+		return 0, fmt.Errorf("%w: got %v words/cycle", ErrBandwidth, wordsPerCycle)
 	}
 	memCycles := int64(float64(r.DRAMReads+r.DRAMWrites) / wordsPerCycle)
 	if memCycles > r.Cycles {
-		return memCycles
+		return memCycles, nil
 	}
-	return r.Cycles
+	return r.Cycles, nil
 }
 
 // WallClock sums the per-layer wall-clock cycles of a run.
-func (r RunResult) WallClock(wordsPerCycle float64) int64 {
+func (r RunResult) WallClock(wordsPerCycle float64) (int64, error) {
 	var c int64
 	for _, l := range r.Layers {
-		c += l.WallClock(wordsPerCycle)
+		w, err := l.WallClock(wordsPerCycle)
+		if err != nil {
+			return 0, err
+		}
+		c += w
 	}
-	return c
+	return c, nil
+}
+
+// LayerChecker is implemented by engines whose dataflow cannot run
+// every well-formed layer (the rigid baselines keep the paper's
+// unit-stride contract). CheckLayer reports, without executing
+// anything, whether Model/Simulate would accept the layer; callers that
+// take untrusted networks probe it before invoking Model, which keeps
+// its panic an invariant check rather than a reachable crash.
+type LayerChecker interface {
+	CheckLayer(l nn.ConvLayer) error
+}
+
+// CheckNetwork validates a network against an engine for analytic
+// evaluation: every CONV layer must be well formed and runnable on the
+// engine (per LayerChecker, when implemented). Full topology chaining
+// is deliberately NOT required here — the analytic models consume
+// per-layer shapes only, and several Table 1 workloads keep published
+// shapes that do not chain exactly (see internal/workloads); the
+// functional Execute path enforces chaining separately.
+func CheckNetwork(e Engine, nw *nn.Network) error {
+	if nw == nil {
+		return errors.New("arch: nil network")
+	}
+	c, _ := e.(LayerChecker)
+	for _, l := range nw.ConvLayers() {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+		if c != nil {
+			if err := c.CheckLayer(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

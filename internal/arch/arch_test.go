@@ -1,6 +1,8 @@
 package arch
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"flexflow/internal/nn"
@@ -193,26 +195,28 @@ func TestFigure8FullOccupancy(t *testing.T) {
 func TestWallClock(t *testing.T) {
 	r := LayerResult{Cycles: 1000, DRAMReads: 3000, DRAMWrites: 1000}
 	// 2 words/cycle: memory needs 2000 cycles > 1000 compute.
-	if got := r.WallClock(2); got != 2000 {
-		t.Errorf("WallClock(2) = %d, want 2000", got)
+	if got, err := r.WallClock(2); err != nil || got != 2000 {
+		t.Errorf("WallClock(2) = %d, %v, want 2000", got, err)
 	}
 	// 8 words/cycle: memory hides behind compute.
-	if got := r.WallClock(8); got != 1000 {
-		t.Errorf("WallClock(8) = %d, want 1000", got)
+	if got, err := r.WallClock(8); err != nil || got != 1000 {
+		t.Errorf("WallClock(8) = %d, %v, want 1000", got, err)
 	}
 	run := RunResult{Layers: []LayerResult{r, r}}
-	if got := run.WallClock(2); got != 4000 {
-		t.Errorf("run WallClock = %d, want 4000", got)
+	if got, err := run.WallClock(2); err != nil || got != 4000 {
+		t.Errorf("run WallClock = %d, %v, want 4000", got, err)
 	}
 }
 
-func TestWallClockRejectsZeroBandwidth(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero bandwidth accepted")
+func TestWallClockRejectsBadBandwidth(t *testing.T) {
+	for _, bw := range []float64{0, -1, math.NaN()} {
+		if _, err := (LayerResult{Cycles: 1}).WallClock(bw); !errors.Is(err, ErrBandwidth) {
+			t.Errorf("WallClock(%v) err = %v, want ErrBandwidth", bw, err)
 		}
-	}()
-	LayerResult{Cycles: 1}.WallClock(0)
+		if _, err := (RunResult{Layers: []LayerResult{{Cycles: 1}}}).WallClock(bw); !errors.Is(err, ErrBandwidth) {
+			t.Errorf("run WallClock(%v) err = %v, want ErrBandwidth", bw, err)
+		}
+	}
 }
 
 func TestRunModelCollectsAllConvLayers(t *testing.T) {
@@ -254,7 +258,7 @@ func TestRunResultDataVolumeAndWallClockAggregation(t *testing.T) {
 		t.Errorf("DataVolume = %d", r.DataVolume())
 	}
 	// Layer 1 memory-bound at 1 word/cycle (100 > 10); layer 2 not (40 > 20 → bound too).
-	if got := r.WallClock(1); got != 140 {
-		t.Errorf("WallClock = %d, want 140", got)
+	if got, err := r.WallClock(1); err != nil || got != 140 {
+		t.Errorf("WallClock = %d, %v, want 140", got, err)
 	}
 }

@@ -15,6 +15,12 @@ type CDB struct {
 	name      string
 	transfers int64 // words placed on the bus
 	delivered int64 // word-arrivals at PEs (transfers × fan-out)
+
+	// TransferHook, when non-nil, intercepts every transfer batch and
+	// returns the word count that actually makes it onto the bus — the
+	// fault-injection hook point for dropped and duplicated transfers
+	// (internal/fault). Nil keeps the fault-free fast path.
+	TransferHook func(n int64, fanout int) int64
 }
 
 // New creates a named bus.
@@ -28,14 +34,19 @@ func (b *CDB) Broadcast(fanout int) {
 	if fanout < 1 {
 		panic("bus: broadcast fan-out must be ≥ 1")
 	}
-	b.transfers++
-	b.delivered += int64(fanout)
+	b.BroadcastN(1, fanout)
 }
 
 // BroadcastN places n words on the bus, each with the given fan-out.
 func (b *CDB) BroadcastN(n int64, fanout int) {
 	if n < 0 || fanout < 1 {
 		panic("bus: invalid BroadcastN")
+	}
+	if b.TransferHook != nil {
+		n = b.TransferHook(n, fanout)
+		if n < 0 {
+			n = 0
+		}
 	}
 	b.transfers += n
 	b.delivered += n * int64(fanout)

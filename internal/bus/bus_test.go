@@ -27,6 +27,22 @@ func TestBroadcastRejectsZeroFanout(t *testing.T) {
 	b.Broadcast(0)
 }
 
+func TestTransferHook(t *testing.T) {
+	b := New("v")
+	b.TransferHook = func(n int64, fanout int) int64 { return n - 1 } // drop one word
+	b.BroadcastN(10, 4)
+	if b.Transfers() != 9 || b.Delivered() != 36 {
+		t.Errorf("hooked bus = %d transfers / %d delivered, want 9/36", b.Transfers(), b.Delivered())
+	}
+	// A hook that over-drops clamps at zero rather than going negative.
+	b2 := New("w")
+	b2.TransferHook = func(n int64, fanout int) int64 { return -5 }
+	b2.BroadcastN(2, 1)
+	if b2.Transfers() != 0 || b2.Delivered() != 0 {
+		t.Errorf("over-dropping hook: %d transfers / %d delivered, want 0/0", b2.Transfers(), b2.Delivered())
+	}
+}
+
 func TestReplicator(t *testing.T) {
 	r := NewReplicator(8) // Tr×Tc = 8
 	out := r.Replicate(10)

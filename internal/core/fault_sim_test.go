@@ -1,0 +1,189 @@
+package core
+
+// Tests for the robustness wiring of Simulate: the fault-injection
+// hook points and the watchdog. The central invariant is that a nil
+// (or empty) injector and a nil watchdog leave the fault-free path
+// bit-identical — outputs, cycles and every movement counter.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flexflow/internal/bus"
+	"flexflow/internal/fault"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+var faultTestLayer = nn.ConvLayer{Name: "ft", M: 3, N: 2, S: 6, K: 3}
+
+func TestSimulateEmptyInjectorUnchanged(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+
+	clean := New(4)
+	wantOut, wantRes, err := clean.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armed := New(4)
+	armed.Injector = fault.NewInjector(nil) // armed but empty plan
+	armed.Watchdog = sim.NewWatchdog(context.Background(), 1<<40)
+	gotOut, gotRes, err := armed.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotOut.Equal(wantOut) {
+		t.Error("empty injector changed the output tensor")
+	}
+	if gotRes != wantRes {
+		t.Errorf("empty injector changed counters:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+}
+
+func TestSimulateBitFlipCorruptsDataOnly(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+
+	clean := New(4)
+	wantOut, wantRes, err := clean.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A high-bit flip on a neuron-store read port early in the run:
+	// data corrupts, but the dataflow (cycles, movement counters) is
+	// untouched — exactly what makes the SDC taxonomy meaningful.
+	faulty := New(4)
+	faulty.Injector = fault.NewInjector(&fault.Plan{Events: []fault.Event{
+		{Site: fault.SiteNeuronStore, Model: fault.BitFlip, Cycle: 0, Row: 0, Col: 0, Bit: 14},
+	}})
+	gotOut, gotRes, err := faulty.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Injector.Fired() != 1 {
+		t.Fatalf("bit flip did not fire (Fired = %d)", faulty.Injector.Fired())
+	}
+	if gotOut.Equal(wantOut) {
+		t.Error("a 2^6-weight operand flip was silently exact — expected a corrupted output")
+	}
+	if gotRes != wantRes {
+		t.Errorf("bit flip changed counters:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+}
+
+func TestSimulateMACStuckAtZero(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+
+	clean := New(4)
+	wantOut, wantRes, err := clean.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := New(4)
+	faulty.Injector = fault.NewInjector(&fault.Plan{Events: []fault.Event{
+		{Site: fault.SiteMAC, Model: fault.StuckAtZero, Cycle: 0, Row: 0, Col: -1},
+	}})
+	gotOut, gotRes, err := faulty.Simulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Injector.Hits() == 0 {
+		t.Fatal("stuck-at-zero never matched a MAC")
+	}
+	if gotOut.Equal(wantOut) {
+		t.Error("a stuck-at-zero PE left the output intact")
+	}
+	// The op was issued and its operands read; only the product is lost.
+	if gotRes.MACs != wantRes.MACs || gotRes.LocalReads != wantRes.LocalReads {
+		t.Errorf("stuck-at fault changed issue counters: MACs %d/%d, LocalReads %d/%d",
+			gotRes.MACs, wantRes.MACs, gotRes.LocalReads, wantRes.LocalReads)
+	}
+}
+
+func TestSimulateBusDropDetectableByAudit(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+
+	run := func(inj *fault.Injector) (int64, int64) {
+		e := New(4)
+		e.VerticalBus = bus.New("v")
+		e.HorizontalBus = bus.New("h")
+		e.Injector = inj
+		if _, _, err := e.Simulate(l, in, k); err != nil {
+			t.Fatal(err)
+		}
+		return e.VerticalBus.Transfers(), e.HorizontalBus.Transfers()
+	}
+
+	cleanV, cleanH := run(nil)
+	dropV, _ := run(fault.NewInjector(&fault.Plan{Events: []fault.Event{
+		{Site: fault.SiteBusVertical, Model: fault.Drop, Cycle: 0},
+	}}))
+	if dropV != cleanV-1 {
+		t.Errorf("dropped transfer: vertical bus %d, want %d", dropV, cleanV-1)
+	}
+	_, dupH := run(fault.NewInjector(&fault.Plan{Events: []fault.Event{
+		{Site: fault.SiteBusHorizontal, Model: fault.Duplicate, Cycle: 0},
+	}}))
+	if dupH != cleanH+1 {
+		t.Errorf("duplicated transfer: horizontal bus %d, want %d", dupH, cleanH+1)
+	}
+}
+
+func TestSimulateWatchdogBudget(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+	e := New(4)
+	e.Watchdog = sim.NewWatchdog(nil, 2) // far below the layer's cycles
+	_, _, err := e.Simulate(l, in, k)
+	if !errors.Is(err, sim.ErrBudget) {
+		t.Errorf("budget watchdog: err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSimulateWatchdogCancel(t *testing.T) {
+	l := faultTestLayer
+	in, k := makeOperands(l, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must stop at the first check
+	e := New(4)
+	e.Watchdog = sim.NewWatchdog(ctx, 0)
+	_, _, err := e.Simulate(l, in, k)
+	if !errors.Is(err, sim.ErrCancelled) {
+		t.Errorf("cancelled context: err = %v, want ErrCancelled", err)
+	}
+}
+
+func TestMicroSimulateBankReadHook(t *testing.T) {
+	// The banked-SRAM hook point: stage a tiny layer through
+	// MicroSimulate with a bank read hook installed via the injector
+	// adapter, and check the corruption reaches the output.
+	l := nn.ConvLayer{Name: "bank", M: 1, N: 1, S: 3, K: 2}
+	in, k := makeOperands(l, 5)
+
+	clean := New(4)
+	wantOut, _, err := clean.MicroSimulate(l, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantOut.Equal(tensor.Conv(in, k)) {
+		t.Fatal("clean MicroSimulate does not match golden conv")
+	}
+	// MicroSimulate stages operands through mem.BankedBuffer; the bank
+	// hook is installed directly (unit-level) in the mem tests. Here we
+	// prove the same injector adapter corrupts a raw banked read.
+	inj := fault.NewInjector(&fault.Plan{Events: []fault.Event{
+		{Site: fault.SiteBankRead, Model: fault.BitFlip, Cycle: 0, Row: -1, Col: -1, Bit: 3},
+	}})
+	hook := inj.StoreReadHook(fault.SiteBankRead, -1, -1, func() int64 { return 0 })
+	if got := hook(0, 8); got != 0 {
+		t.Errorf("bank-read adapter: got %d, want 0 (bit 3 cleared)", got)
+	}
+}

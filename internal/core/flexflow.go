@@ -3,6 +3,7 @@ package core
 import (
 	"flexflow/internal/arch"
 	"flexflow/internal/bus"
+	"flexflow/internal/fault"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 )
@@ -47,6 +48,18 @@ type Engine struct {
 	// traffic equals the buffer-read counters.
 	VerticalBus   *bus.CDB
 	HorizontalBus *bus.CDB
+
+	// Injector, when non-nil, corrupts the dataflow according to its
+	// armed fault plan: operand reads out of the PE local stores, PE
+	// multiplier outputs, and (through the bus TransferHooks it
+	// installs) CDB transfers. Nil keeps the fault-free fast path.
+	Injector *fault.Injector
+
+	// Watchdog, when non-nil, bounds Simulate: it is polled at pass
+	// boundaries and between compute chunks, so a cancelled context or
+	// exhausted cycle budget stops the run with a typed error instead
+	// of letting it run away.
+	Watchdog *sim.Watchdog
 }
 
 // New returns a FlexFlow engine with the paper's Table 5 configuration

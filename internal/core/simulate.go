@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexflow/internal/arch"
+	"flexflow/internal/fault"
 	"flexflow/internal/fixed"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
@@ -43,8 +44,21 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	acc := make([]fixed.Acc, t.Rows())
 	seen := make(map[int]struct{})
 
+	// Per-run robustness state: the fault injector and the watchdog.
+	// Both are nil on the fast path and cost one pointer test.
+	inj := e.Injector
+	wd := e.Watchdog
+	var simErr error
+
 	str := l.Str()
 	forEachPass(l, s, func(p passInfo) {
+		if simErr != nil {
+			return
+		}
+		if err := wd.Check(clock.Cycle()); err != nil {
+			simErr = err
+			return
+		}
 		validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
 		chunkOps := int64(p.vN) * int64(l.K) * int64(l.K)
 
@@ -83,14 +97,22 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		res.NeuronLoads += neuronWords
 		res.LocalWrites += validRows * chunkOps // each operand slot preloaded once
 		if e.VerticalBus != nil && neuronWords > 0 {
-			e.VerticalBus.BroadcastN(neuronWords, int(validRows))
+			onBus := neuronWords
+			if inj != nil {
+				onBus = inj.BusWords(fault.SiteBusVertical, clock.Cycle(), onBus)
+			}
+			e.VerticalBus.BroadcastN(onBus, int(validRows))
 		}
 		if e.HorizontalBus != nil && kr > 0 {
 			fanout := 1
 			if e.IPDR {
 				fanout = p.vTr * p.vTc
 			}
-			e.HorizontalBus.BroadcastN(kr, fanout)
+			onBus := kr
+			if inj != nil {
+				onBus = inj.BusWords(fault.SiteBusHorizontal, clock.Cycle(), onBus)
+			}
+			e.HorizontalBus.BroadcastN(onBus, fanout)
 		}
 
 		// Compute phase: cppChunk block steps through (n, i, j) space.
@@ -101,6 +123,10 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		iBlocks := ceilDiv(l.K, t.Ti)
 		jBlocks := ceilDiv(l.K, t.Tj)
 		for nb := 0; nb < nBlocks; nb++ {
+			if err := wd.Check(clock.Cycle()); err != nil {
+				simErr = err
+				return
+			}
 			for ib := 0; ib < iBlocks; ib++ {
 				for jb := 0; jb < jBlocks; jb++ {
 					forEachValidOutput(l, t, p, func(m, r, c int) {
@@ -121,7 +147,21 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 									if j >= l.K {
 										continue
 									}
-									tree = fixed.MAC(tree, in.At(n, r*str+i, c*str+j), k.At(m, n, i, j))
+									nv := in.At(n, r*str+i, c*str+j)
+									kv := k.At(m, n, i, j)
+									if inj == nil {
+										tree = fixed.MAC(tree, nv, kv)
+									} else {
+										// Faulted path: local-store read
+										// ports, then the multiplier.
+										cyc := clock.Cycle()
+										col := ColOf(n, i, j, t)
+										nv = inj.Word(fault.SiteNeuronStore, cyc, row, col, nv)
+										kv = inj.Word(fault.SiteKernelStore, cyc, row, col, kv)
+										if !inj.MACZero(cyc, row, col) {
+											tree = fixed.MAC(tree, nv, kv)
+										}
+									}
 									res.MACs++
 									res.LocalReads += 2
 									if e.Tracer != nil {
@@ -167,6 +207,10 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		})
 	})
 
+	if simErr != nil {
+		return nil, arch.LayerResult{}, fmt.Errorf("flexflow: layer %s aborted: %w", l.Name, simErr)
+	}
+
 	for m := 0; m < l.M; m++ {
 		for r := 0; r < l.S; r++ {
 			for c := 0; c < l.S; c++ {
@@ -176,6 +220,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	}
 	res.Cycles = clock.Cycle()
 	e.modelDRAM(l, t, &res)
+	wd.Commit(res.Cycles)
 	return out, res, nil
 }
 

@@ -310,7 +310,12 @@ func BandwidthSensitivity() ([]BandwidthPoint, string) {
 			Compute: make([]float64, len(engines))}
 		row := []string{fmt.Sprintf("%.1f GB/s", gbs)}
 		for j := range engines {
-			wall := runs[j].WallClock(wordsPerCycle)
+			wall, err := runs[j].WallClock(wordsPerCycle)
+			if err != nil {
+				// The bandwidth list above is hardcoded positive, so an
+				// error here is an invariant violation.
+				panic(err)
+			}
 			pt.GOPS[j] = float64(2*runs[j].MACs()) / float64(wall)
 			pt.Compute[j] = runs[j].GOPS(ClockHz)
 			row = append(row, fmt.Sprintf("%.0f", pt.GOPS[j]))

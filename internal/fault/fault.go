@@ -1,0 +1,456 @@
+// Package fault is the deterministic hardware fault-injection
+// subsystem. The cycle-level simulators expose the paper's concrete
+// storage and transport structures — per-PE local stores, IADP-banked
+// SRAM buffers, the common data buses, the PE multipliers, and the
+// external DRAM stream — and this package describes corruptions of
+// those structures as data: an injection Plan says what to corrupt, at
+// which cycle, with which fault model. An Injector arms a plan against
+// one simulation run and applies the corruptions through the hook
+// points the simulators expose (nil hooks keep the fault-free fast
+// path untouched).
+//
+// Everything is seed-driven and bit-reproducible: RandomPlan derives a
+// plan from a uint64 seed with a splitmix64 generator, so the same
+// seed always yields the same campaign — the property the
+// fault-coverage tables under results/ rely on.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"flexflow/internal/fixed"
+)
+
+// ErrFaulted marks errors caused by an injected (or detected) hardware
+// fault, as opposed to invalid configuration or cancellation.
+var ErrFaulted = errors.New("fault: hardware fault detected")
+
+// Site identifies an injectable hardware structure of the FlexFlow
+// engine (Fig. 6/7 of the paper).
+type Site uint8
+
+const (
+	// SiteNeuronStore is a PE neuron local-store read port.
+	SiteNeuronStore Site = iota
+	// SiteKernelStore is a PE kernel local-store read port.
+	SiteKernelStore
+	// SiteBankRead is a banked on-chip SRAM read port (IADP buffers).
+	SiteBankRead
+	// SiteMAC is a PE multiplier output.
+	SiteMAC
+	// SiteBusVertical is a vertical (neuron) common data bus transfer.
+	SiteBusVertical
+	// SiteBusHorizontal is a horizontal (kernel) common data bus transfer.
+	SiteBusHorizontal
+	// SiteDRAMNeuron is a word of the layer's input stack as it streams
+	// in from external memory.
+	SiteDRAMNeuron
+	// SiteDRAMKernel is a word of the layer's kernel set as it streams
+	// in from external memory.
+	SiteDRAMKernel
+
+	numSites
+)
+
+// String names the site.
+func (s Site) String() string {
+	switch s {
+	case SiteNeuronStore:
+		return "neuron-store"
+	case SiteKernelStore:
+		return "kernel-store"
+	case SiteBankRead:
+		return "bank-read"
+	case SiteMAC:
+		return "mac"
+	case SiteBusVertical:
+		return "bus-v"
+	case SiteBusHorizontal:
+		return "bus-h"
+	case SiteDRAMNeuron:
+		return "dram-neuron"
+	case SiteDRAMKernel:
+		return "dram-kernel"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// Model is the fault model applied at a site.
+type Model uint8
+
+const (
+	// BitFlip XORs one bit of the word at the first matching access at
+	// or after the armed cycle (a transient single-event upset).
+	BitFlip Model = iota
+	// StuckAtZero forces the value to zero at every matching access
+	// from the armed cycle on (a permanent stuck-at fault).
+	StuckAtZero
+	// Drop suppresses one word of a bus transfer batch (the word never
+	// reaches its PEs).
+	Drop
+	// Duplicate replays one word of a bus transfer batch (the word is
+	// delivered twice).
+	Duplicate
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case BitFlip:
+		return "bit-flip"
+	case StuckAtZero:
+		return "stuck-at-0"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("model(%d)", uint8(m))
+	}
+}
+
+// Event is one planned injection: corrupt Site with Model, armed from
+// Cycle on, at the PE (or bank) coordinates Row/Col. Row or Col set to
+// -1 matches any coordinate. For DRAM sites, Addr indexes the word of
+// the streamed working set; for BitFlip, Bit selects the flipped bit
+// of the 16-bit word.
+type Event struct {
+	Site  Site
+	Model Model
+	Cycle int64
+	Row   int
+	Col   int
+	Addr  int
+	Bit   uint8
+}
+
+// String renders the event compactly, e.g.
+// "bit-flip@neuron-store cyc=120 pe=(3,7) bit=9".
+func (e Event) String() string {
+	switch e.Site {
+	case SiteDRAMNeuron, SiteDRAMKernel:
+		return fmt.Sprintf("%s@%s addr=%d bit=%d", e.Model, e.Site, e.Addr, e.Bit)
+	case SiteBusVertical, SiteBusHorizontal:
+		return fmt.Sprintf("%s@%s cyc=%d", e.Model, e.Site, e.Cycle)
+	case SiteMAC:
+		return fmt.Sprintf("%s@%s cyc=%d pe=(%d,%d)", e.Model, e.Site, e.Cycle, e.Row, e.Col)
+	default:
+		return fmt.Sprintf("%s@%s cyc=%d pe=(%d,%d) bit=%d", e.Model, e.Site, e.Cycle, e.Row, e.Col, e.Bit)
+	}
+}
+
+// Plan is an ordered set of injections for one simulation run.
+type Plan struct {
+	Events []Event
+}
+
+// EventsAt returns the planned events targeting one site (DRAM events
+// are applied by the harness before the run; the rest fire through the
+// engine hooks during it).
+func (p *Plan) EventsAt(site Site) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range p.Events {
+		if e.Site == site {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Bounds describes one layer run's injectable space, taken from a
+// clean (fault-free) reference execution: the cycle count, the active
+// PE-array extent, and the DRAM working-set sizes in words.
+type Bounds struct {
+	Cycles      int64 // clean-run cycle count (events arm in [0, Cycles))
+	Rows, Cols  int   // active PE rows/columns
+	NeuronWords int   // input-stack words streamed from DRAM
+	KernelWords int   // kernel-set words streamed from DRAM
+}
+
+// RandomPlan derives an n-event injection plan from seed, uniformly
+// covering the sites within b. Same seed and bounds give bit-identical
+// plans on every run and platform.
+func RandomPlan(seed uint64, n int, b Bounds) *Plan {
+	rng := NewRNG(seed)
+	p := &Plan{}
+	for i := 0; i < n; i++ {
+		p.Events = append(p.Events, randomEvent(rng, b))
+	}
+	return p
+}
+
+// randomEvent draws one event. Sites are weighted uniformly; the model
+// follows from the site (stores and DRAM flip bits, MACs stick at
+// zero, buses drop or duplicate).
+func randomEvent(rng *RNG, b Bounds) Event {
+	cycles := b.Cycles
+	if cycles < 1 {
+		cycles = 1
+	}
+	rows, cols := b.Rows, b.Cols
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	e := Event{
+		Site:  Site(rng.Intn(int(numSites))),
+		Cycle: int64(rng.Intn(int(cycles))),
+		Row:   rng.Intn(rows),
+		Col:   rng.Intn(cols),
+		Bit:   uint8(rng.Intn(16)),
+	}
+	switch e.Site {
+	case SiteNeuronStore, SiteKernelStore, SiteBankRead:
+		e.Model = BitFlip
+	case SiteMAC:
+		e.Model = StuckAtZero
+	case SiteBusVertical, SiteBusHorizontal:
+		if rng.Intn(2) == 0 {
+			e.Model = Drop
+		} else {
+			e.Model = Duplicate
+		}
+	case SiteDRAMNeuron:
+		e.Model = BitFlip
+		if b.NeuronWords > 0 {
+			e.Addr = rng.Intn(b.NeuronWords)
+		}
+	case SiteDRAMKernel:
+		e.Model = BitFlip
+		if b.KernelWords > 0 {
+			e.Addr = rng.Intn(b.KernelWords)
+		}
+	}
+	return e
+}
+
+// RNG is a splitmix64 pseudo-random generator. It is deliberately not
+// math/rand: the simulator packages are bound by the repository's
+// determinism contract (flexlint detsim), and splitmix64 is a fixed,
+// platform-independent sequence.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed} }
+
+// Uint64 returns the next value of the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n); n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Intn needs positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Mix folds extra stream identifiers into a seed, so one campaign seed
+// can derive independent per-layer, per-injection seeds.
+func Mix(seed uint64, lanes ...uint64) uint64 {
+	r := NewRNG(seed)
+	out := r.Uint64()
+	for _, l := range lanes {
+		out = NewRNG(out ^ (l + 0x9e3779b97f4a7c15)).Uint64()
+	}
+	return out
+}
+
+// Injector arms a plan against one simulation run. It is the state
+// machine behind the hook points: each call answers "does a planned
+// fault fire here, now?" and applies the corruption. Transient models
+// (BitFlip, Drop, Duplicate) fire exactly once; StuckAtZero stays
+// active from its armed cycle on. The zero Injector (or nil) injects
+// nothing.
+type Injector struct {
+	plan  *Plan
+	fired []bool
+	hits  int64
+}
+
+// NewInjector arms a plan. A nil plan yields an injector that never
+// fires.
+func NewInjector(p *Plan) *Injector {
+	var n int
+	if p != nil {
+		n = len(p.Events)
+	}
+	return &Injector{plan: p, fired: make([]bool, n)}
+}
+
+// Fired returns how many planned events have fired at least once.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range in.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Hits returns the total number of corruptions applied (a persistent
+// stuck-at fault counts every corrupted access).
+func (in *Injector) Hits() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.hits
+}
+
+// matches reports whether event i targeting site fires for an access
+// at (cycle, row, col), honouring the armed cycle and one-shot state.
+func (in *Injector) matches(i int, e Event, site Site, cycle int64, row, col int) bool {
+	if e.Site != site || cycle < e.Cycle {
+		return false
+	}
+	if e.Model != StuckAtZero && in.fired[i] {
+		return false
+	}
+	if e.Row >= 0 && row >= 0 && e.Row != row {
+		return false
+	}
+	if e.Col >= 0 && col >= 0 && e.Col != col {
+		return false
+	}
+	return true
+}
+
+// Word passes one data word read at (cycle, row, col) from site
+// through the armed plan, returning the possibly corrupted word.
+func (in *Injector) Word(site Site, cycle int64, row, col int, v fixed.Word) fixed.Word {
+	if in == nil || in.plan == nil {
+		return v
+	}
+	for i, e := range in.plan.Events {
+		if !in.matches(i, e, site, cycle, row, col) {
+			continue
+		}
+		switch e.Model {
+		case BitFlip:
+			// Flip the raw storage bit: an SEU corrupts the
+			// representation, so this is bit math on the uint16 image,
+			// not saturating fixed-point arithmetic.
+			v = fixed.Word(uint16(v) ^ uint16(1)<<(e.Bit%16))
+		case StuckAtZero:
+			v = 0
+		default:
+			continue
+		}
+		in.fired[i] = true
+		in.hits++
+	}
+	return v
+}
+
+// MACZero reports whether the multiplier of PE (row, col) is stuck at
+// zero this cycle; the caller suppresses the MAC's contribution.
+func (in *Injector) MACZero(cycle int64, row, col int) bool {
+	if in == nil || in.plan == nil {
+		return false
+	}
+	stuck := false
+	for i, e := range in.plan.Events {
+		if e.Model != StuckAtZero || !in.matches(i, e, SiteMAC, cycle, row, col) {
+			continue
+		}
+		in.fired[i] = true
+		in.hits++
+		stuck = true
+	}
+	return stuck
+}
+
+// BusWords passes a batch of n bus transfers at cycle through the
+// plan's Drop/Duplicate events for the given bus site, returning the
+// adjusted word count. Each event fires once, removing or adding one
+// word.
+func (in *Injector) BusWords(site Site, cycle int64, n int64) int64 {
+	if in == nil || in.plan == nil || n <= 0 {
+		return n
+	}
+	for i, e := range in.plan.Events {
+		if !in.matches(i, e, site, cycle, -1, -1) {
+			continue
+		}
+		switch e.Model {
+		case Drop:
+			if n > 0 {
+				n--
+			}
+		case Duplicate:
+			n++
+		default:
+			continue
+		}
+		in.fired[i] = true
+		in.hits++
+	}
+	return n
+}
+
+// CorruptMemory applies the plan's events for an external-memory site
+// to a word slice in place — the campaign pre-pass: DRAM corruption
+// happens before the run streams the tensors on chip, so the caller
+// hands in (a clone of) the flattened resident image. Addr is taken
+// modulo the slice length so randomly drawn plans always land; each
+// event fires at most once.
+func (in *Injector) CorruptMemory(site Site, data []fixed.Word) {
+	if in == nil || in.plan == nil || len(data) == 0 {
+		return
+	}
+	for i, e := range in.plan.Events {
+		if e.Site != site || in.fired[i] {
+			continue
+		}
+		a := e.Addr % len(data)
+		if a < 0 {
+			a += len(data)
+		}
+		switch e.Model {
+		case BitFlip:
+			data[a] = fixed.Word(uint16(data[a]) ^ uint16(1)<<(e.Bit%16))
+		case StuckAtZero:
+			data[a] = 0
+		default:
+			continue
+		}
+		in.fired[i] = true
+		in.hits++
+	}
+}
+
+// StoreReadHook adapts the injector to the mem package's read-hook
+// shape for the local store (or bank) at fixed coordinates; cycle
+// supplies the current engine cycle. The returned closure is what gets
+// installed on mem.LocalStore.ReadHook / mem.Bank.ReadHook.
+func (in *Injector) StoreReadHook(site Site, row, col int, cycle func() int64) func(addr int, v fixed.Word) fixed.Word {
+	return func(addr int, v fixed.Word) fixed.Word {
+		return in.Word(site, cycle(), row, col, v)
+	}
+}
+
+// BusHook adapts the injector to the bus package's transfer-hook
+// shape; cycle supplies the current engine cycle.
+func (in *Injector) BusHook(site Site, cycle func() int64) func(n int64, fanout int) int64 {
+	return func(n int64, fanout int) int64 {
+		return in.BusWords(site, cycle(), n)
+	}
+}

@@ -92,3 +92,31 @@ func TestFindingRender(t *testing.T) {
 		t.Errorf("Render outside dir = %q, want %q", got, want)
 	}
 }
+
+// TestDetSimCoversFaultSubsystem pins the determinism gate's scope: the
+// fault-injection subsystem is simulation code and must stay inside the
+// detsim analyzer's match set (its randomness comes from the seeded
+// splitmix64 streams, never wall clocks or math/rand), while the CLI,
+// example, and lint trees stay exempt.
+func TestDetSimCoversFaultSubsystem(t *testing.T) {
+	match := NewDetSim().Match
+	for _, covered := range []string{
+		"flexflow",
+		"flexflow/internal/fault",
+		"flexflow/internal/core",
+		"flexflow/internal/sim",
+	} {
+		if !match(covered) {
+			t.Errorf("detsim does not cover %s", covered)
+		}
+	}
+	for _, exempt := range []string{
+		"flexflow/cmd/flexfault",
+		"flexflow/examples/lenet",
+		"flexflow/internal/lint",
+	} {
+		if match(exempt) {
+			t.Errorf("detsim unexpectedly covers %s", exempt)
+		}
+	}
+}

@@ -47,6 +47,18 @@ func (e *Engine) PEs() int { return e.D * e.D }
 // blockGrid returns how many D×D blocks tile an S×S output map.
 func (e *Engine) blockGrid(s int) int { return (s + e.D - 1) / e.D }
 
+// CheckLayer implements arch.LayerChecker: the 2-D mapping baseline
+// keeps the paper's unit-stride contract (§3).
+func (e *Engine) CheckLayer(l nn.ConvLayer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.Str() != 1 {
+		return fmt.Errorf("mapping2d: layer %s has stride %d; the rigid baselines assume unit stride (paper §3)", l.Name, l.Str())
+	}
+	return nil
+}
+
 // Model implements arch.Engine.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
 	if l.Str() != 1 {

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 
 	"flexflow/internal/fixed"
@@ -13,6 +14,11 @@ type Bank struct {
 	data   []fixed.Word
 	reads  int64
 	writes int64
+
+	// ReadHook, when non-nil, intercepts every read's value — the
+	// fault-injection hook point for bit flips in banked SRAM reads.
+	// Nil keeps the fault-free fast path.
+	ReadHook func(addr int, v fixed.Word) fixed.Word
 }
 
 // NewBank allocates a bank of capacity words.
@@ -29,7 +35,11 @@ func (b *Bank) Read(addr int) fixed.Word {
 		panic(fmt.Sprintf("mem: bank read at %d, cap %d", addr, len(b.data)))
 	}
 	b.reads++
-	return b.data[addr]
+	v := b.data[addr]
+	if b.ReadHook != nil {
+		v = b.ReadHook(addr, v)
+	}
+	return v
 }
 
 // Write stores v at addr.
@@ -109,6 +119,15 @@ func (b *BankedBuffer) Writes() int64 {
 	return n
 }
 
+// ErrFIFOOverflow and ErrFIFOUnderflow are the typed full-push /
+// empty-pop errors. FIFO capacities are caller-supplied (schedules
+// size them from layer shapes), so a mis-sized queue must surface as
+// an error the simulator can return, not a process crash.
+var (
+	ErrFIFOOverflow  = errors.New("mem: FIFO overflow")
+	ErrFIFOUnderflow = errors.New("mem: FIFO underflow")
+)
+
 // FIFO is a fixed-capacity word queue: the inter-row pipeline buffer of
 // the Systolic architecture and the neuron-reuse buffer of the
 // 2D-Mapping PEs.
@@ -131,27 +150,30 @@ func NewFIFO(capacity int) *FIFO {
 func (f *FIFO) Cap() int { return len(f.buf) }
 func (f *FIFO) Len() int { return f.size }
 
-// Push enqueues v; it panics when the FIFO is full (hardware FIFOs
-// can't drop — a full push is a simulator scheduling bug).
-func (f *FIFO) Push(v fixed.Word) {
+// Push enqueues v; a push into a full FIFO returns ErrFIFOOverflow
+// (hardware FIFOs can't drop — a full push means the schedule that
+// sized the queue was wrong).
+func (f *FIFO) Push(v fixed.Word) error {
 	if f.size == len(f.buf) {
-		panic("mem: FIFO overflow")
+		return fmt.Errorf("%w: capacity %d", ErrFIFOOverflow, len(f.buf))
 	}
 	f.buf[(f.head+f.size)%len(f.buf)] = v
 	f.size++
 	f.pushes++
+	return nil
 }
 
-// Pop dequeues the oldest word; panics when empty.
-func (f *FIFO) Pop() fixed.Word {
+// Pop dequeues the oldest word; popping an empty FIFO returns
+// ErrFIFOUnderflow.
+func (f *FIFO) Pop() (fixed.Word, error) {
 	if f.size == 0 {
-		panic("mem: FIFO underflow")
+		return 0, ErrFIFOUnderflow
 	}
 	v := f.buf[f.head]
 	f.head = (f.head + 1) % len(f.buf)
 	f.size--
 	f.pops++
-	return v
+	return v, nil
 }
 
 // Pushes and Pops return the movement counters.

@@ -20,6 +20,11 @@ type LocalStore struct {
 	data   []fixed.Word
 	reads  int64
 	writes int64
+
+	// ReadHook, when non-nil, intercepts every read's value — the
+	// fault-injection hook point (internal/fault wires bit flips in
+	// here). Nil keeps the fault-free fast path.
+	ReadHook func(addr int, v fixed.Word) fixed.Word
 }
 
 // NewLocalStore allocates a store of capacity words.
@@ -39,7 +44,11 @@ func (s *LocalStore) Read(addr int) fixed.Word {
 		panic(fmt.Sprintf("mem: local store read at %d, cap %d", addr, len(s.data)))
 	}
 	s.reads++
-	return s.data[addr]
+	v := s.data[addr]
+	if s.ReadHook != nil {
+		v = s.ReadHook(addr, v)
+	}
+	return v
 }
 
 // Write stores v at addr, counting the access.

@@ -1,8 +1,11 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
+
+	"flexflow/internal/fixed"
 )
 
 func TestLocalStoreReadWrite(t *testing.T) {
@@ -170,12 +173,30 @@ func TestBankParallelReadsAreIndependent(t *testing.T) {
 	}
 }
 
+// mustPush and mustPop are test helpers for the error-returning FIFO
+// accessors in flows where over/underflow would be a test bug.
+func mustPush(t *testing.T, f *FIFO, v fixed.Word) {
+	t.Helper()
+	if err := f.Push(v); err != nil {
+		t.Fatalf("Push(%d): %v", v, err)
+	}
+}
+
+func mustPop(t *testing.T, f *FIFO) fixed.Word {
+	t.Helper()
+	v, err := f.Pop()
+	if err != nil {
+		t.Fatalf("Pop: %v", err)
+	}
+	return v
+}
+
 func TestFIFOOrder(t *testing.T) {
 	f := NewFIFO(3)
-	f.Push(1)
-	f.Push(2)
-	f.Push(3)
-	if f.Pop() != 1 || f.Pop() != 2 || f.Pop() != 3 {
+	mustPush(t, f, 1)
+	mustPush(t, f, 2)
+	mustPush(t, f, 3)
+	if mustPop(t, f) != 1 || mustPop(t, f) != 2 || mustPop(t, f) != 3 {
 		t.Error("FIFO order violated")
 	}
 	if f.Pushes() != 3 || f.Pops() != 3 {
@@ -185,34 +206,66 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestFIFOWraps(t *testing.T) {
 	f := NewFIFO(2)
-	f.Push(1)
-	f.Push(2)
-	f.Pop()
-	f.Push(3)
-	if f.Pop() != 2 || f.Pop() != 3 {
+	mustPush(t, f, 1)
+	mustPush(t, f, 2)
+	mustPop(t, f)
+	mustPush(t, f, 3)
+	if mustPop(t, f) != 2 || mustPop(t, f) != 3 {
 		t.Error("FIFO wrap-around broken")
 	}
 }
 
-func TestFIFOOverflowPanics(t *testing.T) {
+func TestFIFOOverflowError(t *testing.T) {
 	f := NewFIFO(1)
-	f.Push(1)
-	defer func() {
-		if recover() == nil {
-			t.Error("overflow did not panic")
-		}
-	}()
-	f.Push(2)
+	mustPush(t, f, 1)
+	if err := f.Push(2); !errors.Is(err, ErrFIFOOverflow) {
+		t.Errorf("full push: err = %v, want ErrFIFOOverflow", err)
+	}
+	// The failed push must not disturb the queue.
+	if f.Len() != 1 || mustPop(t, f) != 1 {
+		t.Error("failed push corrupted the FIFO")
+	}
 }
 
-func TestFIFOUnderflowPanics(t *testing.T) {
+func TestFIFOUnderflowError(t *testing.T) {
 	f := NewFIFO(1)
-	defer func() {
-		if recover() == nil {
-			t.Error("underflow did not panic")
-		}
-	}()
-	f.Pop()
+	if _, err := f.Pop(); !errors.Is(err, ErrFIFOUnderflow) {
+		t.Errorf("empty pop: err = %v, want ErrFIFOUnderflow", err)
+	}
+}
+
+func TestLocalStoreReadHook(t *testing.T) {
+	s := NewLocalStore(8)
+	s.Write(3, 40)
+	if got := s.Read(3); got != 40 {
+		t.Fatalf("hookless read = %d, want 40", got)
+	}
+	var sawAddr int
+	s.ReadHook = func(addr int, v fixed.Word) fixed.Word {
+		sawAddr = addr
+		return v ^ 1
+	}
+	if got := s.Read(3); got != 41 || sawAddr != 3 {
+		t.Errorf("hooked read = %d (addr %d), want 41 at addr 3", got, sawAddr)
+	}
+	// The hook corrupts the read value only, never the stored word.
+	s.ReadHook = nil
+	if got := s.Read(3); got != 40 {
+		t.Errorf("stored word corrupted by hook: %d", got)
+	}
+}
+
+func TestBankReadHook(t *testing.T) {
+	b := NewBank(4)
+	b.Write(1, 7)
+	b.ReadHook = func(addr int, v fixed.Word) fixed.Word { return v ^ (1 << 2) }
+	if got := b.Read(1); got != 3 {
+		t.Errorf("hooked bank read = %d, want 3", got)
+	}
+	b.ReadHook = nil
+	if got := b.Read(1); got != 7 {
+		t.Errorf("stored bank word corrupted by hook: %d", got)
+	}
 }
 
 func TestDRAMCounters(t *testing.T) {

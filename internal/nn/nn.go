@@ -106,6 +106,9 @@ func (l ConvLayer) Validate() error {
 	if l.M <= 0 || l.N <= 0 || l.S <= 0 || l.K <= 0 {
 		return fmt.Errorf("nn: layer %s has non-positive shape M=%d N=%d S=%d K=%d", l.Name, l.M, l.N, l.S, l.K)
 	}
+	if l.Stride < 0 {
+		return fmt.Errorf("nn: layer %s has negative stride %d", l.Name, l.Stride)
+	}
 	return nil
 }
 
@@ -126,6 +129,19 @@ type PoolLayer struct {
 // OutSize returns the pooled feature-map edge length.
 func (l PoolLayer) OutSize() int { return l.In / l.P }
 
+// Validate reports whether the pooling layer is well formed. The
+// window need not divide the input edge: pooling truncates (In/P),
+// which is how several Table 1 workloads chain.
+func (l PoolLayer) Validate() error {
+	if l.N <= 0 || l.In <= 0 || l.P <= 0 {
+		return fmt.Errorf("nn: pool %s has non-positive shape N=%d In=%d P=%d", l.Name, l.N, l.In, l.P)
+	}
+	if l.OutSize() < 1 {
+		return fmt.Errorf("nn: pool %s window %d swallows the whole %d-wide input", l.Name, l.P, l.In)
+	}
+	return nil
+}
+
 // Ops returns the comparison/add operation count of the pooling layer.
 func (l PoolLayer) Ops() int64 {
 	out := int64(l.OutSize())
@@ -141,6 +157,14 @@ type FCLayer struct {
 
 // Ops returns the operation count (2 per MAC).
 func (l FCLayer) Ops() int64 { return 2 * int64(l.In) * int64(l.Out) }
+
+// Validate reports whether the classifier layer is well formed.
+func (l FCLayer) Validate() error {
+	if l.In <= 0 || l.Out <= 0 {
+		return fmt.Errorf("nn: classifier %s has non-positive shape In=%d Out=%d", l.Name, l.In, l.Out)
+	}
+	return nil
+}
 
 // Layer is one element of a network: exactly one of the three layer
 // structs, discriminated by Kind.
@@ -188,6 +212,12 @@ var ErrShapeMismatch = errors.New("nn: layer shape mismatch")
 // Validate checks that the network's layers chain: each layer's input
 // shape must equal the previous layer's output shape.
 func (nw *Network) Validate() error {
+	if nw == nil {
+		return errors.New("nn: nil network")
+	}
+	if nw.InputN <= 0 || nw.InputS <= 0 {
+		return fmt.Errorf("nn: network %s has non-positive input shape %d@%d×%d", nw.Name, nw.InputN, nw.InputS, nw.InputS)
+	}
 	n, s := nw.InputN, nw.InputS
 	for idx, l := range nw.Layers {
 		switch l.Kind {
@@ -205,12 +235,18 @@ func (nw *Network) Validate() error {
 			n, s = c.M, c.S
 		case Pool:
 			p := l.Pool
+			if err := p.Validate(); err != nil {
+				return err
+			}
 			if p.N != n || p.In != s {
 				return fmt.Errorf("%w: %s expects %d@%d×%d, previous layer provides %d@%d×%d", ErrShapeMismatch, p.Name, p.N, p.In, p.In, n, s, s)
 			}
 			s = p.OutSize()
 		case FC:
 			f := l.FC
+			if err := f.Validate(); err != nil {
+				return err
+			}
 			if f.In != n*s*s {
 				return fmt.Errorf("%w: %s expects %d inputs, previous layer provides %d", ErrShapeMismatch, f.Name, f.In, n*s*s)
 			}

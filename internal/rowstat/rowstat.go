@@ -71,6 +71,18 @@ func (e *Engine) geometry(l nn.ConvLayer) (setH, setW, sets, folds int) {
 	return setH, setW, sets, folds
 }
 
+// CheckLayer implements arch.LayerChecker: the RS comparator is a
+// unit-stride model.
+func (e *Engine) CheckLayer(l nn.ConvLayer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.Str() != 1 {
+		return fmt.Errorf("rowstat: layer %s has stride %d; the RS comparator models unit stride only", l.Name, l.Str())
+	}
+	return nil
+}
+
 // Model implements arch.Engine.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
 	if l.Str() != 1 {

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCancelled and ErrBudget are the two ways a watchdogged simulation
+// stops early: its context was cancelled (deadline, Ctrl-C, caller
+// decision) or it exhausted its cycle budget (a runaway or
+// pathologically configured run).
+var (
+	ErrCancelled = errors.New("sim: simulation cancelled")
+	ErrBudget    = errors.New("sim: cycle budget exhausted")
+)
+
+// Watchdog bounds a simulation run: an optional context for
+// cancellation and an optional cycle budget. Engines poll Check at
+// schedule boundaries (pass and chunk granularity — cheap enough to
+// never show up in profiles, frequent enough that cancellation latency
+// stays a tiny fraction of a layer) and Commit completed work so the
+// budget spans a whole multi-layer run. A nil *Watchdog is inert and
+// costs one pointer test.
+type Watchdog struct {
+	ctx    context.Context
+	budget int64
+	spent  int64
+}
+
+// NewWatchdog builds a watchdog; ctx may be nil (no cancellation) and
+// budget may be 0 (no cycle bound).
+func NewWatchdog(ctx context.Context, budget int64) *Watchdog {
+	return &Watchdog{ctx: ctx, budget: budget}
+}
+
+// Check reports whether the run must stop, given the cycles the
+// current simulation has accumulated on top of previously committed
+// work. It returns nil, ErrCancelled, or ErrBudget.
+func (w *Watchdog) Check(currentCycles int64) error {
+	if w == nil {
+		return nil
+	}
+	if w.ctx != nil {
+		select {
+		case <-w.ctx.Done():
+			return fmt.Errorf("%w: %v", ErrCancelled, w.ctx.Err())
+		default:
+		}
+	}
+	if w.budget > 0 && w.spent+currentCycles > w.budget {
+		return fmt.Errorf("%w: %d cycles exceed budget %d", ErrBudget, w.spent+currentCycles, w.budget)
+	}
+	return nil
+}
+
+// Commit adds finished cycles to the spent tally, so the budget covers
+// an entire run across layers and engines.
+func (w *Watchdog) Commit(cycles int64) {
+	if w == nil {
+		return
+	}
+	w.spent += cycles
+}
+
+// Spent returns the committed cycle tally.
+func (w *Watchdog) Spent() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.spent
+}

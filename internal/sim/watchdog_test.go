@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilWatchdogIsInert(t *testing.T) {
+	var w *Watchdog
+	if err := w.Check(1 << 40); err != nil {
+		t.Errorf("nil watchdog erred: %v", err)
+	}
+	w.Commit(5)
+	if w.Spent() != 0 {
+		t.Error("nil watchdog accumulated cycles")
+	}
+}
+
+func TestWatchdogBudget(t *testing.T) {
+	w := NewWatchdog(nil, 1000)
+	if err := w.Check(1000); err != nil {
+		t.Errorf("at-budget check erred: %v", err)
+	}
+	if err := w.Check(1001); !errors.Is(err, ErrBudget) {
+		t.Errorf("over-budget check = %v, want ErrBudget", err)
+	}
+	w.Commit(600)
+	if err := w.Check(500); !errors.Is(err, ErrBudget) {
+		t.Errorf("committed+current over budget = %v, want ErrBudget", err)
+	}
+	if w.Spent() != 600 {
+		t.Errorf("Spent = %d, want 600", w.Spent())
+	}
+}
+
+func TestWatchdogUnlimited(t *testing.T) {
+	w := NewWatchdog(nil, 0)
+	if err := w.Check(1 << 50); err != nil {
+		t.Errorf("unbudgeted watchdog erred: %v", err)
+	}
+}
+
+func TestWatchdogCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewWatchdog(ctx, 0)
+	if err := w.Check(1); err != nil {
+		t.Errorf("live context erred: %v", err)
+	}
+	cancel()
+	if err := w.Check(1); !errors.Is(err, ErrCancelled) {
+		t.Errorf("cancelled context = %v, want ErrCancelled", err)
+	}
+}

@@ -69,6 +69,19 @@ func cyclesPerPass(l nn.ConvLayer) int64 {
 	return in*in + 1
 }
 
+// CheckLayer implements arch.LayerChecker: the systolic baseline keeps
+// the paper's unit-stride contract (§3), so strided layers are rejected
+// up front instead of panicking inside Model.
+func (e *Engine) CheckLayer(l nn.ConvLayer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.Str() != 1 {
+		return fmt.Errorf("systolic: layer %s has stride %d; the rigid baselines assume unit stride (paper §3)", l.Name, l.Str())
+	}
+	return nil
+}
+
 // Model implements arch.Engine: the analytic cycle/traffic model.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
 	if l.Str() != 1 {

@@ -126,6 +126,13 @@ func (k *Kernel4) Set(m, n, i, j int, v fixed.Word) {
 // Words returns the total number of 16-bit synapse words.
 func (k *Kernel4) Words() int { return len(k.Data) }
 
+// Clone returns a deep copy of the kernel set.
+func (k *Kernel4) Clone() *Kernel4 {
+	c := NewKernel4(k.M, k.N, k.K)
+	copy(c.Data, k.Data)
+	return c
+}
+
 // FillPattern fills a Map3 with a deterministic pseudo-random pattern
 // seeded by seed. Values are kept small (|v| < 2.0) so that deep MAC
 // chains stay far from the accumulator saturation bounds and the golden

@@ -44,6 +44,18 @@ func (e *Engine) Name() string { return "Tiling" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Tm * e.Tn }
 
+// CheckLayer implements arch.LayerChecker: the tiling baseline keeps
+// the paper's unit-stride contract (§3).
+func (e *Engine) CheckLayer(l nn.ConvLayer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.Str() != 1 {
+		return fmt.Errorf("tiling: layer %s has stride %d; the rigid baselines assume unit stride (paper §3)", l.Name, l.Str())
+	}
+	return nil
+}
+
 // Model implements arch.Engine.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
 	if l.Str() != 1 {

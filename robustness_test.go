@@ -1,0 +1,172 @@
+package flexflow
+
+// Tests for the panic-free public API contract: malformed inputs come
+// back as ErrInvalidConfig, watchdogged runs as ErrCancelled/ErrBudget,
+// and fault plans corrupt data without disturbing the fault-free
+// counters.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flexflow/internal/nn"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	nw, _ := Workload("LeNet-5")
+	e, _ := NewEngine(FlexFlow, 16, nw)
+
+	if _, err := Run(nil, nw); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("nil engine: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Run(e, nil); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("nil network: err = %v, want ErrInvalidConfig", err)
+	}
+	bad := &Network{Name: "bad", InputN: 1, InputS: 8, Layers: []nn.Layer{
+		{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "Z", M: 0, N: 1, S: 4, K: 3}},
+	}}
+	if _, err := Run(e, bad); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero-shape layer: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestRunRejectsStridedLayersOnRigidBaselines(t *testing.T) {
+	strided := &Network{Name: "strided", InputN: 1, InputS: 13, Layers: []nn.Layer{
+		{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "C1", M: 2, N: 1, S: 5, K: 5, Stride: 2}},
+	}}
+	for _, a := range []Arch{Systolic, Mapping2D, Tiling, RowStationary} {
+		e, err := NewEngine(a, 16, strided)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if _, err := Run(e, strided); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s accepted a strided layer: err = %v, want ErrInvalidConfig", a, err)
+		}
+	}
+	// FlexFlow itself supports strides.
+	e, err := NewEngine(FlexFlow, 16, strided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e, strided); err != nil {
+		t.Errorf("FlexFlow rejected the strided layer: %v", err)
+	}
+}
+
+func TestNewEngineRejectsBadConfig(t *testing.T) {
+	if _, err := NewEngine(FlexFlow, 0, nil); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero scale: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := NewEngine(Arch("TPU"), 16, nil); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown arch: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Workload("nope"); !errors.Is(err, ErrInvalidConfig) {
+		t.Error("unknown workload should be ErrInvalidConfig")
+	}
+}
+
+func TestExecuteOptsRejectsBadInputs(t *testing.T) {
+	nw, _ := Workload("Example")
+	in := RandomInput(nw, 1)
+	ks := RandomKernels(nw, 2)
+
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"nil network", func() error { _, err := Execute(nil, in, ks, 4); return err }()},
+		{"nil input", func() error { _, err := Execute(nw, nil, ks, 4); return err }()},
+		{"zero scale", func() error { _, err := Execute(nw, in, ks, 0); return err }()},
+		{"missing kernels", func() error { _, err := Execute(nw, in, ks[:0], 4); return err }()},
+		{"nil kernel set", func() error { _, err := Execute(nw, in, []*Kernel4{nil}, 4); return err }()},
+		{"wrong input shape", func() error {
+			other, _ := Workload("LeNet-5")
+			_, err := Execute(nw, RandomInput(other, 1), ks, 4)
+			return err
+		}()},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", c.name, c.err)
+		}
+	}
+}
+
+func TestExecuteOptsWatchdog(t *testing.T) {
+	nw, _ := Workload("Example")
+	in := RandomInput(nw, 1)
+	ks := RandomKernels(nw, 2)
+
+	if _, err := ExecuteOpts(nw, in, ks, 4, Options{MaxCycles: 3}); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: err = %v, want ErrBudget", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteOpts(nw, in, ks, 4, Options{Context: ctx}); !errors.Is(err, ErrCancelled) {
+		t.Errorf("cancelled context: err = %v, want ErrCancelled", err)
+	}
+	// A generous budget and a live context must not perturb the run.
+	clean, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := ExecuteOpts(nw, in, ks, 4, Options{Context: context.Background(), MaxCycles: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guarded.Output.Equal(clean.Output) || guarded.Cycles() != clean.Cycles() {
+		t.Error("watchdogged run diverged from the plain run")
+	}
+}
+
+func TestExecuteOptsFaultPlan(t *testing.T) {
+	nw, _ := Workload("Example")
+	in := RandomInput(nw, 1)
+	ks := RandomKernels(nw, 2)
+	clean, err := Execute(nw, in, ks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An armed-but-empty plan must not perturb outputs or counters.
+	empty, err := ExecuteOpts(nw, in, ks, 4, Options{Plan: &FaultPlan{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Output.Equal(clean.Output) || empty.Cycles() != clean.Cycles() {
+		t.Error("empty fault plan perturbed the run")
+	}
+	if empty.FaultsFired != 0 || empty.FaultHits != 0 {
+		t.Error("empty fault plan reported activity")
+	}
+
+	// A DRAM kernel-word flip must fire and corrupt the output, while
+	// the caller's kernel tensors stay untouched.
+	before := ks[0].Data[0]
+	faulty, err := ExecuteOpts(nw, in, ks, 4, Options{Plan: &FaultPlan{Events: []FaultEvent{
+		{Site: SiteDRAMKernel, Model: FaultBitFlip, Addr: 0, Bit: 13},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultsFired != 1 {
+		t.Errorf("DRAM flip fired %d times, want 1", faulty.FaultsFired)
+	}
+	if faulty.Output.Equal(clean.Output) {
+		t.Error("DRAM kernel flip was silently exact")
+	}
+	if ks[0].Data[0] != before {
+		t.Error("caller's kernel tensor was mutated")
+	}
+
+	// A failure after a fault has fired is attributed: the error wraps
+	// both the cause (here the watchdog budget) and ErrFaulted.
+	_, err = ExecuteOpts(nw, in, ks, 4, Options{
+		MaxCycles: 3,
+		Plan:      &FaultPlan{Events: []FaultEvent{{Site: SiteDRAMKernel, Model: FaultBitFlip, Addr: 0, Bit: 13}}},
+	})
+	if !errors.Is(err, ErrBudget) || !errors.Is(err, ErrFaulted) {
+		t.Errorf("faulted watchdog trip: err = %v, want ErrBudget and ErrFaulted", err)
+	}
+}
