@@ -4,18 +4,31 @@
 //
 // Usage:
 //
-//	flexlint ./...                 # analyze the whole module
-//	flexlint ./internal/core/...   # analyze a subtree
-//	flexlint -list                 # describe the analyzers
+//	flexlint ./...                   # analyze the whole module
+//	flexlint ./internal/core/...     # analyze a subtree
+//	flexlint -list                   # describe the analyzers
+//	flexlint -json ./...             # machine-readable findings
+//	flexlint -baseline b.json ./...  # fail only on findings not in b.json
+//	flexlint -disable unitcheck ./...
 //
-// Exit status: 0 with no findings, 1 with findings, 2 when the source
-// tree fails to load or type-check.
+// The -json output is an object {"findings": [...]} whose entries carry
+// id, module-relative file, line, column and message — the same shape a
+// -baseline file uses, so a findings dump can seed a baseline directly.
+// Baseline entries match on (id, file) only; line numbers churn with
+// unrelated edits and are ignored. The shipped baseline is empty:
+// baselines are a staged-adoption ledger, not a suppression mechanism
+// (//lint:ignore with a reason is the suppression mechanism).
+//
+// Exit status: 0 with no new findings, 1 with findings (or an unusable
+// baseline file), 2 when the source tree fails to load or type-check or
+// an analyzer name is unknown.
 //
 // The tool uses only the standard library (go/parser, go/types and the
 // source importer); it needs no build cache and no external binaries.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,18 +38,35 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "baseline `file`; findings listed there do not fail the run")
+	enable := flag.String("enable", "", "comma-separated `analyzers` to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated `analyzers` to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
+		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [-json] [-baseline file] [-enable a,b] [-disable a,b] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers := lint.DefaultAnalyzers()
+	analyzers, err := lint.SelectAnalyzers(lint.DefaultAnalyzers(), *enable, *disable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.ParseBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	roots := flag.Args()
@@ -53,12 +83,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
 		os.Exit(2)
 	}
-	wd, _ := os.Getwd()
-	for _, f := range findings {
-		fmt.Println(f.Render(wd))
+	fresh, known := baseline.Filter(findings, prog.ModRoot)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.Baseline{Findings: lint.ToJSON(fresh, prog.ModRoot)}); err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		wd, _ := os.Getwd()
+		for _, f := range fresh {
+			fmt.Println(f.Render(wd))
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", len(findings))
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)", len(fresh))
+		if len(known) > 0 {
+			fmt.Fprintf(os.Stderr, " (%d more in baseline)", len(known))
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
+	}
+	if len(known) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: no new findings; %d baseline finding(s) still present\n", len(known))
 	}
 }

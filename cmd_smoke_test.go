@@ -5,6 +5,7 @@ package flexflow_test
 // plausible stdout. Skipped when the go tool is unavailable.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -109,7 +110,10 @@ func TestFlexlintSmoke(t *testing.T) {
 	dir := buildTools(t)
 
 	out := runTool(t, dir, "flexlint", "-list")
-	for _, analyzer := range []string{"fixedsat", "detsim", "counteraudit", "errdrop", "concsafe"} {
+	for _, analyzer := range []string{
+		"fixedsat", "detsim", "counteraudit", "errdrop", "concsafe",
+		"layering", "unitcheck", "apiguard", "hookparity",
+	} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("flexlint -list missing analyzer %q:\n%s", analyzer, out)
 		}
@@ -143,6 +147,158 @@ func TestFlexlintSmoke(t *testing.T) {
 	}
 	if !strings.Contains(text, "errdrop/ignored") {
 		t.Errorf("flexlint diagnostic lacks the stable finding ID:\n%s", text)
+	}
+}
+
+// TestFlexlintJSONBaseline pins the machine-readable interface: -json
+// output round-trips through encoding/json and shares its shape with
+// baseline files, -baseline suppresses exactly the findings it lists
+// (matching id and file, not line), and a malformed baseline is
+// rejected with exit status 1 and a one-line diagnostic.
+func TestFlexlintJSONBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+	bin := filepath.Join(dir, "flexlint")
+
+	// A scratch module with one errdrop violation in each of two files.
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"one", "two"} {
+		if err := os.MkdirAll(filepath.Join(mod, "internal", pkg), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		src := "package " + pkg + "\n\nimport \"os\"\n\nfunc Cleanup() {\n\tos.Remove(\"scratch\")\n}\n"
+		if err := os.WriteFile(filepath.Join(mod, "internal", pkg, pkg+".go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(args ...string) (stdout, stderr string, code int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = mod
+		var so, se strings.Builder
+		cmd.Stdout, cmd.Stderr = &so, &se
+		err := cmd.Run()
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("flexlint %v: %v", args, err)
+		}
+		return so.String(), se.String(), code
+	}
+
+	type finding struct {
+		ID      string `json:"id"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Message string `json:"message"`
+	}
+	type report struct {
+		Findings []finding `json:"findings"`
+	}
+
+	// -json must be valid JSON whose entries carry stable IDs and
+	// module-relative slash-separated paths.
+	stdout, _, code := run("-json", "./...")
+	if code != 1 {
+		t.Fatalf("flexlint -json on a violating module: want exit 1, got %d\n%s", code, stdout)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-json output does not round-trip through encoding/json: %v\n%s", err, stdout)
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("want 2 findings, got %d:\n%s", len(rep.Findings), stdout)
+	}
+	for _, f := range rep.Findings {
+		if f.ID != "errdrop/ignored" {
+			t.Errorf("finding ID = %q, want errdrop/ignored", f.ID)
+		}
+		if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) || !strings.HasPrefix(f.File, "internal/") {
+			t.Errorf("finding file %q is not a module-relative slash path", f.File)
+		}
+		if f.Line <= 0 || f.Message == "" {
+			t.Errorf("finding %+v lacks position or message", f)
+		}
+	}
+
+	// A baseline listing the first finding suppresses exactly that one,
+	// regardless of the recorded line number.
+	writeBaseline := func(name string, fs ...finding) string {
+		t.Helper()
+		data, err := json.Marshal(report{Findings: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	first, second := rep.Findings[0], rep.Findings[1]
+	first.Line = 9999 // lines churn; matching is on (id, file) only
+	partial := writeBaseline("partial.json", first)
+	stdout, stderr, code := run("-json", "-baseline", partial, "./...")
+	if code != 1 {
+		t.Fatalf("partially baselined module: want exit 1, got %d\n%s", code, stdout)
+	}
+	rep = report{}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].File != second.File {
+		t.Errorf("baseline suppressed the wrong finding set:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 more in baseline") {
+		t.Errorf("stderr does not account for the baselined finding:\n%s", stderr)
+	}
+
+	// A baseline covering everything makes the gate pass.
+	full := writeBaseline("full.json", rep.Findings[0], first)
+	_, stderr, code = run("-baseline", full, "./...")
+	if code != 0 {
+		t.Fatalf("fully baselined module: want exit 0, got %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "baseline finding(s) still present") {
+		t.Errorf("stderr does not report baseline debt:\n%s", stderr)
+	}
+
+	// Malformed baselines fail with exit 1 and a one-line diagnostic.
+	for name, content := range map[string]string{
+		"syntax.json":  `{"findings":[`,
+		"unknown.json": `{"findings":[],"extra":true}`,
+		"missing.json": `{"findings":[{"id":"errdrop/ignored"}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stdout, stderr, code := run("-baseline", path, "./...")
+		if code != 1 {
+			t.Errorf("malformed baseline %s: want exit 1, got %d", name, code)
+		}
+		if stdout != "" {
+			t.Errorf("malformed baseline %s still ran the analysis:\n%s", name, stdout)
+		}
+		if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n != 0 || !strings.HasPrefix(stderr, "flexlint: baseline") {
+			t.Errorf("malformed baseline %s: want one flexlint-prefixed diagnostic line, got:\n%s", name, stderr)
+		}
+	}
+
+	// Analyzer selection: a disabled analyzer stops reporting, an
+	// unknown name is a usage error (exit 2), not a silent no-op.
+	if _, _, code := run("-disable", "errdrop", "./..."); code != 0 {
+		t.Errorf("-disable errdrop: want exit 0, got %d", code)
+	}
+	if _, stderr, code := run("-enable", "nosuch", "./..."); code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("-enable nosuch: want exit 2 with diagnostic, got %d\n%s", code, stderr)
 	}
 }
 

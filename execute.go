@@ -273,10 +273,10 @@ func applyDRAMFaults(inj *fault.Injector, p *FaultPlan, input *Map3, kernels []*
 func fcAsConv(fc nn.FCLayer, cur *Map3, weights []Word) (nn.ConvLayer, *Map3, *Kernel4, error) {
 	total := cur.Words()
 	if fc.In != total {
-		return nn.ConvLayer{}, nil, nil, fmt.Errorf("classifier expects %d inputs, activations hold %d", fc.In, total)
+		return nn.ConvLayer{}, nil, nil, invalid("classifier expects %d inputs, activations hold %d", fc.In, total)
 	}
 	if len(weights) != fc.In*fc.Out {
-		return nn.ConvLayer{}, nil, nil, fmt.Errorf("classifier needs %d weights, got %d", fc.In*fc.Out, len(weights))
+		return nn.ConvLayer{}, nil, nil, invalid("classifier needs %d weights, got %d", fc.In*fc.Out, len(weights))
 	}
 	flat := tensor.NewMap3(total, 1, 1)
 	x := 0

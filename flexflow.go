@@ -89,46 +89,54 @@ const ClockHz = 1e9
 // workload: the Systolic baseline picks its kernel-matched array size
 // and FlexFlow compiles the coupled layer plan.
 func NewEngine(a Arch, scale int, nw *Network) (Engine, error) {
-	if scale <= 0 {
-		return nil, invalid("scale must be positive, got %d", scale)
-	}
-	if nw != nil {
-		// Per-layer shapes must be sane before the compiler sizes its
-		// plans; full chaining is not required here (the Table 1
-		// workloads keep published shapes that do not chain exactly).
-		for _, l := range nw.ConvLayers() {
-			if err := l.Validate(); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	var eng Engine
+	err := guard(func() error {
+		if scale <= 0 {
+			return invalid("scale must be positive, got %d", scale)
+		}
+		if nw != nil {
+			// Per-layer shapes must be sane before the compiler sizes its
+			// plans; full chaining is not required here (the Table 1
+			// workloads keep published shapes that do not chain exactly).
+			for _, l := range nw.ConvLayers() {
+				if err := l.Validate(); err != nil {
+					return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+				}
 			}
 		}
+		switch a {
+		case Systolic:
+			k0 := 6
+			if nw != nil && nw.Name == "AlexNet" {
+				k0 = 11
+			}
+			arrays := scale * scale / (k0 * k0)
+			if arrays < 1 {
+				arrays = 1
+			}
+			eng = systolic.New(k0, arrays)
+		case Mapping2D:
+			eng = mapping2d.New(scale)
+		case Tiling:
+			eng = tiling.New(scale, scale)
+		case RowStationary:
+			// Eyeriss-like geometry scaled to the requested PE budget.
+			eng = rowstat.New(scale, scale)
+		case FlexFlow:
+			e := core.New(scale)
+			if nw != nil {
+				e.Chooser = compiler.Plan(nw, scale).Chooser()
+			}
+			eng = e
+		default:
+			return invalid("unknown architecture %q", a)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	switch a {
-	case Systolic:
-		k0 := 6
-		if nw != nil && nw.Name == "AlexNet" {
-			k0 = 11
-		}
-		arrays := scale * scale / (k0 * k0)
-		if arrays < 1 {
-			arrays = 1
-		}
-		return systolic.New(k0, arrays), nil
-	case Mapping2D:
-		return mapping2d.New(scale), nil
-	case Tiling:
-		return tiling.New(scale, scale), nil
-	case RowStationary:
-		// Eyeriss-like geometry scaled to the requested PE budget.
-		return rowstat.New(scale, scale), nil
-	case FlexFlow:
-		e := core.New(scale)
-		if nw != nil {
-			e.Chooser = compiler.Plan(nw, scale).Chooser()
-		}
-		return e, nil
-	default:
-		return nil, invalid("unknown architecture %q", a)
-	}
+	return eng, nil
 }
 
 // Workloads returns the six Table 1 networks (PV, FR, LeNet-5, HG,
@@ -138,10 +146,17 @@ func Workloads() []*Network { return workloads.All() }
 // Workload returns one workload by name ("LeNet-5", "AlexNet", …, or
 // "Example" for the small Section 4 running example), or an error.
 func Workload(name string) (*Network, error) {
-	if nw := workloads.ByName(name); nw != nil {
-		return nw, nil
+	var nw *Network
+	err := guard(func() error {
+		if nw = workloads.ByName(name); nw == nil {
+			return invalid("unknown workload %q", name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, invalid("unknown workload %q", name)
+	return nw, nil
 }
 
 // Run analytically evaluates every CONV layer of the network on the

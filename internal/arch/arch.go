@@ -119,6 +119,19 @@ type LayerResult struct {
 	DRAMWrites   int64 // words written to external memory
 }
 
+// IdleSlots returns the PE-cycle slots that issued no useful MAC:
+// total slots (Cycles × PEs) minus the useful ones. It is the
+// sanctioned cycles→events conversion for idle-energy billing — the
+// one place the cycle axis and the event axis legitimately meet
+// (flexlint unitcheck treats it as a conversion helper).
+func (r LayerResult) IdleSlots() int64 {
+	idle := r.Cycles*int64(r.PEs) - r.MACs
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
 // Utilization is the computing-resource utilization the paper plots:
 // useful PE-cycles over total PE-cycles.
 func (r LayerResult) Utilization() float64 {

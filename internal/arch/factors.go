@@ -1,0 +1,86 @@
+package arch
+
+import "flexflow/internal/nn"
+
+// ChooseFactors exhaustively searches the feasible unrolling factors of
+// Constraint (1) for the factor vector maximizing U_r·U_c (Section 5).
+// Because U_r depends only on ⟨T_n,T_i,T_j⟩ and U_c only on
+// ⟨T_m,T_r,T_c⟩, and the two triples are constrained independently
+// (column side ≤ D, row side ≤ D), the search decomposes into two
+// small independent maximizations. rcBound is the paper's P·K′ limit
+// on T_r and T_c from the next layers (pass l.S when unconstrained).
+//
+// The search lives here rather than in the simulator packages because
+// it is pure planning math over the Section 5 equations: both the
+// compiler and the FlexFlow engine consume it, and the repository's
+// layering contract (flexlint layering) forbids the compiler from
+// importing a simulator.
+func ChooseFactors(l nn.ConvLayer, d, rcBound int) T {
+	if rcBound > l.S {
+		rcBound = l.S
+	}
+	if rcBound < 1 {
+		rcBound = 1
+	}
+	best := T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1}
+
+	// Column side: maximize Eq. 2 over ⟨T_n,T_i,T_j⟩ with Tn·Ti·Tj ≤ D.
+	bestUr := -1.0
+	for tn := 1; tn <= minFactor(l.N, d); tn++ {
+		for ti := 1; ti <= minFactor(l.K, d/tn); ti++ {
+			for tj := 1; tj <= minFactor(l.K, d/(tn*ti)); tj++ {
+				t := T{Tn: tn, Ti: ti, Tj: tj, Tm: 1, Tr: 1, Tc: 1}
+				if ur := RowUtilization(l, t, d); ur > bestUr+1e-12 {
+					bestUr = ur
+					best.Tn, best.Ti, best.Tj = tn, ti, tj
+				}
+			}
+		}
+	}
+
+	// Row side: maximize Eq. 3 over ⟨T_m,T_r,T_c⟩ with Tm·Tr·Tc ≤ D and
+	// T_r,T_c ≤ rcBound.
+	bestUc := -1.0
+	for tm := 1; tm <= minFactor(l.M, d); tm++ {
+		for tr := 1; tr <= minFactor(rcBound, d/tm); tr++ {
+			for tc := 1; tc <= minFactor(rcBound, d/(tm*tr)); tc++ {
+				t := T{Tm: tm, Tr: tr, Tc: tc, Tn: 1, Ti: 1, Tj: 1}
+				if uc := ColUtilization(l, t, d); uc > bestUc+1e-12 {
+					bestUc = uc
+					best.Tm, best.Tr, best.Tc = tm, tr, tc
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ChooseFactorsCoupled is ChooseFactors with the column-side triple
+// ⟨T_n,T_i,T_j⟩ fixed by the previous layer's ⟨T_m,T_r,T_c⟩ (the IADP
+// inter-layer coupling of Section 5: outputs are written in the next
+// layer's layout, so the next layer must read with that geometry). The
+// coupled values are clamped into the layer's feasible range.
+func ChooseFactorsCoupled(l nn.ConvLayer, d, rcBound int, prev T) T {
+	t := ChooseFactors(l, d, rcBound)
+	t.Tn = clampFactor(prev.Tm, 1, minFactor(l.N, d))
+	t.Ti = clampFactor(prev.Tr, 1, minFactor(l.K, d/t.Tn))
+	t.Tj = clampFactor(prev.Tc, 1, minFactor(l.K, d/(t.Tn*t.Ti)))
+	return t
+}
+
+func minFactor(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampFactor(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

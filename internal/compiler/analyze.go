@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"flexflow/internal/arch"
-	"flexflow/internal/core"
 	"flexflow/internal/nn"
 )
 
@@ -77,7 +76,7 @@ func AnalyzeLayer(l nn.ConvLayer, d int) LayerAnalysis {
 		t.Tm, t.Tn = x, y
 		return t
 	}, minI(l.M, d), minI(l.N, d))
-	a.Mixed = arch.TotalUtilization(l, core.ChooseFactors(l, d, l.S), d)
+	a.Mixed = arch.TotalUtilization(l, arch.ChooseFactors(l, d, l.S), d)
 
 	a.Dominant = "NP"
 	best := a.PureNP

@@ -17,7 +17,6 @@ import (
 	"strings"
 
 	"flexflow/internal/arch"
-	"flexflow/internal/core"
 	"flexflow/internal/nn"
 	"flexflow/internal/tensor"
 )
@@ -96,7 +95,7 @@ func plan(nw *nn.Network, d int, coupled bool) *Program {
 	}
 	for i, l := range nw.ConvLayers() {
 		bound := rcBoundFor(nw, i, l)
-		f := core.ChooseFactors(l, d, bound)
+		f := arch.ChooseFactors(l, d, bound)
 		prog.Plans = append(prog.Plans, LayerPlan{
 			Layer:       l,
 			Factors:     f,
@@ -159,7 +158,7 @@ func (p *Program) Chooser() func(nn.ConvLayer) arch.T {
 		if f, ok := byShape[l]; ok {
 			return f
 		}
-		return core.ChooseFactors(l, d, l.S)
+		return arch.ChooseFactors(l, d, l.S)
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"flexflow/internal/arch"
-	"flexflow/internal/core"
 	"flexflow/internal/nn"
 	"flexflow/internal/workloads"
 )
@@ -198,9 +197,9 @@ func TestDPPlanAtLeastGreedyCoupled(t *testing.T) {
 			bound := rcBoundFor(nw, i, l)
 			var f arch.T
 			if i == 0 {
-				f = core.ChooseFactors(l, 16, bound)
+				f = arch.ChooseFactors(l, 16, bound)
 			} else {
-				f = core.ChooseFactorsCoupled(l, 16, bound, prev)
+				f = arch.ChooseFactorsCoupled(l, 16, bound, prev)
 			}
 			greedyCycles += arch.GroupPasses(l, f) * arch.CyclesPerPass(l, f)
 			prev = f
@@ -283,7 +282,7 @@ func TestSweepTopEqualsChooser(t *testing.T) {
 		if len(top) != 1 {
 			t.Fatalf("%s: sweep empty", l.Name)
 		}
-		chosen := core.ChooseFactors(l, 16, l.S)
+		chosen := arch.ChooseFactors(l, 16, l.S)
 		if want := arch.TotalUtilization(l, chosen, 16); top[0].Ut < want-1e-9 {
 			t.Errorf("%s: sweep best %.4f below chooser %.4f", l.Name, top[0].Ut, want)
 		}

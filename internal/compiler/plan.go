@@ -2,7 +2,6 @@ package compiler
 
 import (
 	"flexflow/internal/arch"
-	"flexflow/internal/core"
 	"flexflow/internal/nn"
 )
 
@@ -104,7 +103,7 @@ func planCoupledDP(nw *nn.Network, d int, cost layerCost) []LayerPlan {
 	}
 
 	// Layer 0's column side is free: the per-layer optimum.
-	freeCol0 := core.ChooseFactors(layers[0], d, bounds[0])
+	freeCol0 := arch.ChooseFactors(layers[0], d, bounds[0])
 
 	combine := func(row, col arch.T) arch.T {
 		return arch.T{Tm: row.Tm, Tr: row.Tr, Tc: row.Tc, Tn: col.Tn, Ti: col.Ti, Tj: col.Tj}

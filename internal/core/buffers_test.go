@@ -12,7 +12,7 @@ import (
 
 func TestBufferPlanCoupling(t *testing.T) {
 	l := nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
-	f := ChooseFactors(l, 16, 10)
+	f := arch.ChooseFactors(l, 16, 10)
 	input, kernels, output := BufferPlan(l, f)
 	if input.Tn != f.Tn || input.Ti != f.Ti || input.Tj != f.Tj {
 		t.Errorf("input layout %+v does not match factors %v", input, f)
@@ -79,7 +79,7 @@ func TestBusProbesMatchBufferReads(t *testing.T) {
 func TestOccupancyMapRendersFig8(t *testing.T) {
 	// The Section 4.2 example: C1 on a 4×4 array fully occupied.
 	l := nn.ConvLayer{Name: "C1", M: 2, N: 1, S: 8, K: 4}
-	f := ChooseFactors(l, 4, l.S)
+	f := arch.ChooseFactors(l, 4, l.S)
 	out := OccupancyMap(l, f, 4)
 	if !strings.Contains(out, "O(0,0,0)") {
 		t.Errorf("missing output label:\n%s", out)

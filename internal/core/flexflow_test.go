@@ -144,9 +144,9 @@ func TestChooseFactorsRespectsConstraints(t *testing.T) {
 		}
 		d := 2 + rng.Intn(31)
 		bound := 1 + rng.Intn(l.S)
-		f := ChooseFactors(l, d, bound)
+		f := arch.ChooseFactors(l, d, bound)
 		if err := f.Validate(l, d, bound); err != nil {
-			t.Errorf("ChooseFactors(%+v, %d, %d) = %v violates constraints: %v", l, d, bound, f, err)
+			t.Errorf("arch.ChooseFactors(%+v, %d, %d) = %v violates constraints: %v", l, d, bound, f, err)
 		}
 	}
 }
@@ -182,8 +182,8 @@ func TestCoupledChooserPropagatesLayout(t *testing.T) {
 	// LeNet-5: C1's ⟨T_m,T_r,T_c⟩ must become C3's ⟨T_n,T_i,T_j⟩.
 	c1 := nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
 	c3 := nn.ConvLayer{Name: "C3", M: 16, N: 6, S: 10, K: 5}
-	f1 := ChooseFactors(c1, 16, 10)
-	f3 := ChooseFactorsCoupled(c3, 16, c3.S, f1)
+	f1 := arch.ChooseFactors(c1, 16, 10)
+	f3 := arch.ChooseFactorsCoupled(c3, 16, c3.S, f1)
 	if f3.Tn != f1.Tm {
 		t.Errorf("C3 Tn = %d, want C1 Tm = %d", f3.Tn, f1.Tm)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexflow/internal/arch"
+	"flexflow/internal/fault"
 	"flexflow/internal/fixed"
 	"flexflow/internal/mem"
 	"flexflow/internal/nn"
@@ -70,6 +71,28 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 	out := tensor.NewMap3(l.M, l.S, l.S)
 	psum := make([]fixed.Acc, l.M*l.S*l.S)
 	res := arch.LayerResult{Arch: e.Name() + "-micro", Layer: l, Factors: t, PEs: e.PEs()}
+
+	// Fault hooks: the micro path exercises the real component read
+	// ports, so faults are injected where the hardware would see them —
+	// the IADP bank read ports and the per-PE local-store read ports.
+	// The banks and rows are per-call locals, so no unhooking is needed.
+	if inj := e.Injector; inj != nil {
+		cycle := func() int64 { return res.Cycles }
+		for g := 0; g < layout.Tn; g++ {
+			for sb := 0; sb < layout.Ti; sb++ {
+				for ln := 0; ln < layout.Tj; ln++ {
+					banks.Bank(g, sb, ln).ReadHook =
+						inj.StoreReadHook(fault.SiteBankRead, g*layout.Ti+sb, ln, cycle)
+				}
+			}
+		}
+		for ri, row := range physRows {
+			for ci, pe := range row.PEs {
+				pe.Neurons.ReadHook = inj.StoreReadHook(fault.SiteNeuronStore, ri, ci, cycle)
+				pe.Kernels.ReadHook = inj.StoreReadHook(fault.SiteKernelStore, ri, ci, cycle)
+			}
+		}
+	}
 
 	var simErr error
 	forEachPass(l, s, func(p passInfo) {

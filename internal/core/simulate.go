@@ -50,6 +50,23 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	wd := e.Watchdog
 	var simErr error
 
+	// Bus faults flow through the CDB TransferHook so the corruption is
+	// applied at the wire, where the transfer counters are kept. The
+	// hooks are (re)installed every run because the engine is reusable:
+	// a later fault-free run must not inherit a stale injector closure.
+	if e.VerticalBus != nil {
+		e.VerticalBus.TransferHook = nil
+		if inj != nil {
+			e.VerticalBus.TransferHook = inj.BusHook(fault.SiteBusVertical, clock.Cycle)
+		}
+	}
+	if e.HorizontalBus != nil {
+		e.HorizontalBus.TransferHook = nil
+		if inj != nil {
+			e.HorizontalBus.TransferHook = inj.BusHook(fault.SiteBusHorizontal, clock.Cycle)
+		}
+	}
+
 	str := l.Str()
 	forEachPass(l, s, func(p passInfo) {
 		if simErr != nil {
@@ -97,22 +114,14 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		res.NeuronLoads += neuronWords
 		res.LocalWrites += validRows * chunkOps // each operand slot preloaded once
 		if e.VerticalBus != nil && neuronWords > 0 {
-			onBus := neuronWords
-			if inj != nil {
-				onBus = inj.BusWords(fault.SiteBusVertical, clock.Cycle(), onBus)
-			}
-			e.VerticalBus.BroadcastN(onBus, int(validRows))
+			e.VerticalBus.BroadcastN(neuronWords, int(validRows))
 		}
 		if e.HorizontalBus != nil && kr > 0 {
 			fanout := 1
 			if e.IPDR {
 				fanout = p.vTr * p.vTc
 			}
-			onBus := kr
-			if inj != nil {
-				onBus = inj.BusWords(fault.SiteBusHorizontal, clock.Cycle(), onBus)
-			}
-			e.HorizontalBus.BroadcastN(onBus, fanout)
+			e.HorizontalBus.BroadcastN(kr, fanout)
 		}
 
 		// Compute phase: cppChunk block steps through (n, i, j) space.

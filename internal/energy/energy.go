@@ -110,8 +110,8 @@ func (p Params) LayerEnergy(r arch.LayerResult, edge int) Breakdown {
 	b.Compute = float64(r.MACs)*p.MAC +
 		float64(r.LocalReads)*p.LocalRead +
 		float64(r.LocalWrites)*p.LocalWrite
-	if idle := float64(r.Cycles)*float64(r.PEs) - float64(r.MACs); idle > 0 {
-		b.Compute += idle * p.IdlePE
+	if idle := r.IdleSlots(); idle > 0 {
+		b.Compute += float64(idle) * p.IdlePE
 	}
 	b.NeuronIn = float64(r.NeuronLoads) * p.BufRead
 	b.NeuronOut = float64(r.NeuronStores) * p.BufWrite

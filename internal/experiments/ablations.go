@@ -80,9 +80,9 @@ func greedyChooser(nw *nn.Network, d int) func(nn.ConvLayer) arch.T {
 	for i, l := range nw.ConvLayers() {
 		var f arch.T
 		if i == 0 {
-			f = core.ChooseFactors(l, d, l.S)
+			f = arch.ChooseFactors(l, d, l.S)
 		} else {
-			f = core.ChooseFactorsCoupled(l, d, l.S, prev)
+			f = arch.ChooseFactorsCoupled(l, d, l.S, prev)
 		}
 		byShape[l] = f
 		prev = f
@@ -91,7 +91,7 @@ func greedyChooser(nw *nn.Network, d int) func(nn.ConvLayer) arch.T {
 		if f, ok := byShape[l]; ok {
 			return f
 		}
-		return core.ChooseFactors(l, d, l.S)
+		return arch.ChooseFactors(l, d, l.S)
 	}
 }
 

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// APIGuard statically pins the facade's panic-free contract: every
+// exported function or method of the public package that can fail must
+// route through the guard recovery boundary (so an escaped internal
+// panic surfaces as ErrInternal, never a crash), and every error the
+// package fabricates must wrap a typed sentinel (so errors.Is works on
+// the public API). Two rules:
+//
+//   - apiguard/unguarded: an exported error-returning function of the
+//     guarded package neither calls the guard function nor reaches it
+//     through package-local calls.
+//   - apiguard/naked-error: a function body in the guarded package
+//     builds an error with errors.New, or with fmt.Errorf whose format
+//     string has no %w verb — an unwrapped error a caller cannot match
+//     with errors.Is. Package-level sentinel declarations (outside any
+//     function body) are the sanctioned use of errors.New.
+type APIGuard struct {
+	// Pkg is the import path of the guarded (public) package.
+	Pkg string
+	// GuardFunc is the package-local recovery boundary function.
+	GuardFunc string
+}
+
+// NewAPIGuard returns the analyzer configured for this repository's
+// root facade package.
+func NewAPIGuard() *APIGuard {
+	return &APIGuard{Pkg: "flexflow", GuardFunc: "guard"}
+}
+
+func (*APIGuard) Name() string { return "apiguard" }
+func (*APIGuard) Doc() string {
+	return "exported error-returning functions of the facade must pass through the guard recovery boundary and return only wrapped typed errors"
+}
+
+func (a *APIGuard) Run(prog *Program) ([]Finding, error) {
+	if !prog.IsModuleLocal(a.Pkg) {
+		return nil, nil
+	}
+	pkg, err := prog.Package(a.Pkg)
+	if err != nil {
+		return nil, err
+	}
+	info := pkg.Info
+
+	guardObj := pkg.Types.Scope().Lookup(a.GuardFunc)
+	if guardObj == nil {
+		return nil, fmt.Errorf("%s has no %s function", a.Pkg, a.GuardFunc)
+	}
+
+	// Package-local call graph: which functions does each function body
+	// call, and which call guard directly.
+	type node struct {
+		decl    *ast.FuncDecl
+		callees map[types.Object]bool
+		guarded bool
+	}
+	nodes := map[types.Object]*node{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			n := &node{decl: fd, callees: map[types.Object]bool{}}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeObj(info, unparen(call.Fun))
+				if callee == nil || callee.Pkg() != pkg.Types {
+					return true
+				}
+				if callee == guardObj {
+					n.guarded = true
+				} else {
+					n.callees[callee] = true
+				}
+				return true
+			})
+			nodes[obj] = n
+		}
+	}
+
+	// reaches reports whether fn reaches guard through package-local
+	// calls (including transitively).
+	var reaches func(obj types.Object, seen map[types.Object]bool) bool
+	reaches = func(obj types.Object, seen map[types.Object]bool) bool {
+		n, ok := nodes[obj]
+		if !ok || seen[obj] {
+			return false
+		}
+		if n.guarded {
+			return true
+		}
+		seen[obj] = true
+		for callee := range n.callees {
+			if reaches(callee, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Finding
+	for obj, n := range nodes {
+		fd := n.decl
+		if !fd.Name.IsExported() || !exposedReceiver(fd) {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || !signatureReturnsError(fn) {
+			continue
+		}
+		if !reaches(obj, map[types.Object]bool{}) {
+			out = append(out, Finding{
+				ID:  "apiguard/unguarded",
+				Pos: prog.Fset.Position(fd.Name.Pos()),
+				Message: fmt.Sprintf("exported %s returns an error without passing through %s: a panic inside it would crash the caller instead of becoming ErrInternal",
+					fd.Name.Name, a.GuardFunc),
+			})
+		}
+	}
+
+	// naked-error: unwrapped error fabrication inside function bodies.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeObj(info, unparen(call.Fun))
+				if callee == nil {
+					return true
+				}
+				switch callee.FullName() {
+				case "errors.New":
+					out = append(out, Finding{
+						ID:      "apiguard/naked-error",
+						Pos:     prog.Fset.Position(call.Pos()),
+						Message: "errors.New inside a function body builds an unwrapped error: wrap a typed sentinel instead (package-level sentinel declarations are the sanctioned use)",
+					})
+				case "fmt.Errorf":
+					if format, ok := constString(info, call.Args); ok && !strings.Contains(format, "%w") {
+						out = append(out, Finding{
+							ID:      "apiguard/naked-error",
+							Pos:     prog.Fset.Position(call.Pos()),
+							Message: fmt.Sprintf("fmt.Errorf(%q, …) does not wrap a sentinel with %%w: callers cannot match the error with errors.Is", format),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// exposedReceiver reports whether fd is a plain function or a method
+// on an exported receiver type (methods on unexported types are not
+// public API surface).
+func exposedReceiver(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// signatureReturnsError reports whether fn's results include error.
+func signatureReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// constString extracts a constant first-argument string.
+func constString(info *types.Info, args []ast.Expr) (string, bool) {
+	if len(args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

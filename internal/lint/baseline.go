@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// JSONFinding is the machine-readable rendering of one finding, the
+// element type of flexlint -json output and of baseline files. File is
+// the module-relative path (stable across checkouts, unlike the
+// absolute position the human rendering shows).
+type JSONFinding struct {
+	ID      string `json:"id"`
+	File    string `json:"file"`
+	Line    int    `json:"line,omitempty"`
+	Column  int    `json:"column,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// ToJSON converts findings to their machine-readable form with paths
+// relative to modRoot.
+func ToJSON(findings []Finding, modRoot string) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if modRoot != "" {
+			if rel, ok := strings.CutPrefix(file, modRoot+string(os.PathSeparator)); ok {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONFinding{
+			ID:      f.ID,
+			File:    file,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Message: f.Message,
+		})
+	}
+	return out
+}
+
+// Baseline is a set of accepted findings: flexlint subtracts it from a
+// run's findings so a new analyzer can be adopted in stages. An entry
+// matches on (id, file) — line numbers churn with unrelated edits, so
+// they are deliberately not part of the key. The shipped baseline is
+// empty; entries are a temporary debt ledger, not a suppression
+// mechanism (that is //lint:ignore's job, with a reason, at the site).
+type Baseline struct {
+	Findings []JSONFinding `json:"findings"`
+}
+
+// ParseBaseline reads and validates a baseline file.
+func ParseBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	for i, f := range b.Findings {
+		if f.ID == "" || f.File == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d must carry both id and file", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (new)
+// and those covered (known). Matching is by (id, module-relative
+// file).
+func (b *Baseline) Filter(findings []Finding, modRoot string) (fresh, known []Finding) {
+	if b == nil || len(b.Findings) == 0 {
+		return findings, nil
+	}
+	accepted := map[string]bool{}
+	for _, f := range b.Findings {
+		accepted[f.ID+"\x00"+f.File] = true
+	}
+	js := ToJSON(findings, modRoot)
+	for i, f := range findings {
+		if accepted[js[i].ID+"\x00"+js[i].File] {
+			known = append(known, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, known
+}
+
+// SelectAnalyzers filters the suite by comma-separated enable/disable
+// lists. An empty enable list keeps everything; disable wins over
+// enable. Unknown names are an error so a typo cannot silently turn a
+// gate off.
+func SelectAnalyzers(all []Analyzer, enable, disable string) ([]Analyzer, error) {
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name()] = true
+	}
+	parse := func(list string) (map[string]bool, error) {
+		if strings.TrimSpace(list) == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !names[n] {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(analyzerNames(all), ", "))
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []Analyzer
+	for _, a := range all {
+		if on != nil && !on[a.Name()] {
+			continue
+		}
+		if off[a.Name()] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(all []Analyzer) []string {
+	out := make([]string, 0, len(all))
+	for _, a := range all {
+		out = append(out, a.Name())
+	}
+	sort.Strings(out)
+	return out
+}

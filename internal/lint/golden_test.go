@@ -8,6 +8,8 @@ package lint
 
 import (
 	"regexp"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -116,6 +118,58 @@ func TestErrDropGolden(t *testing.T) {
 	runGolden(t, NewErrDrop(), "testdata/errdrop")
 }
 
+func TestLayeringGolden(t *testing.T) {
+	const base = "internal/lint/testdata/layering/"
+	a := &Layering{Allowed: map[string][]string{
+		base + "a": {base + "b"},
+		base + "b": {},
+		base + "e": {},
+		// c is deliberately untracked.
+	}}
+	runGolden(t, a, "testdata/layering")
+}
+
+func TestUnitCheckGolden(t *testing.T) {
+	const upkg = "flexflow/internal/lint/testdata/unitcheck/unitx"
+	a := &UnitCheck{
+		Fields: map[string]string{
+			upkg + ".Result.Cycles": UnitCycles,
+			upkg + ".Result.MACs":   UnitEvents,
+			upkg + ".Result.Loads":  UnitEvents,
+			upkg + ".Result.PEs":    UnitPlain,
+			upkg + ".Tariff.MAC":    UnitPJ,
+		},
+		Funcs:  map[string]string{upkg + ".IdleSlots": UnitEvents},
+		Exempt: []string{upkg + ".IdleSlots"},
+	}
+	runGolden(t, a, "testdata/unitcheck")
+}
+
+func TestAPIGuardGolden(t *testing.T) {
+	a := &APIGuard{
+		Pkg:       "flexflow/internal/lint/testdata/apiguard/apix",
+		GuardFunc: "guard",
+	}
+	runGolden(t, a, "testdata/apiguard")
+}
+
+func TestHookParityGolden(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/hookparity/"
+	a := &HookParity{
+		FaultPkg:   base + "faultx",
+		SiteType:   "Site",
+		WiringPkgs: []string{base + "corex"},
+		ImplicitWiring: map[string][]string{
+			"SiteImplicit": {"(*" + base + "faultx.Injector).MACZero"},
+		},
+		HookPkgs:   []string{base + "memx"},
+		EnergyPkg:  base + "energyx",
+		ParamsType: "Tariff",
+		EnergyFunc: "Bill",
+	}
+	runGolden(t, a, "testdata/hookparity")
+}
+
 func TestConcSafeGolden(t *testing.T) {
 	runGolden(t, NewConcSafe(), "testdata/concsafe")
 }
@@ -162,7 +216,39 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single path segment", name)
 		}
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the 5-analyzer suite, got %d", len(seen))
+	if len(seen) != 9 {
+		t.Errorf("expected the 9-analyzer suite, got %d", len(seen))
+	}
+}
+
+// TestLayeringTableMatchesReality pins the committed DAG exactly
+// against the module's real import graph: a new package or a new edge
+// must be added to RepoLayering, and a removed edge must be deleted
+// from it — stale rows fail as fast as missing ones.
+func TestLayeringTableMatchesReality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := ActualEdges(prog)
+	table := RepoLayering()
+	for pkg, deps := range actual {
+		row, ok := table[pkg]
+		if !ok {
+			t.Errorf("package %s is missing from RepoLayering", pkg)
+			continue
+		}
+		sort.Strings(row)
+		if !slices.Equal(row, deps) {
+			t.Errorf("RepoLayering[%q] = %v, but the real imports are %v", pkg, row, deps)
+		}
+	}
+	for pkg := range table {
+		if _, ok := actual[pkg]; !ok {
+			t.Errorf("RepoLayering lists %s, which no longer exists in the module", pkg)
+		}
 	}
 }

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HookParity is the cross-package parity check between the fault
+// model, the component hook points and the energy tariff table —
+// counteraudit generalized from counters to the whole observation
+// surface. A fault site nobody arms is a coverage hole the campaign
+// tables silently omit; an instrumentation hook nobody installs is
+// dead observation surface; a tariff nobody charges hides a missing
+// accounting path. Three rules:
+//
+//   - hookparity/unwired-site: an exported fault-site constant is
+//     never referenced inside a function body of any wiring package
+//     (re-export alias declarations do not count as wiring). Sites
+//     armed through a dedicated injector method (SiteMAC via MACZero)
+//     are declared in ImplicitWiring.
+//   - hookparity/unused-hook: an exported func-typed …Hook field of a
+//     component package is never referenced outside its declaring
+//     package — the hook point exists but no simulator installs it.
+//   - hookparity/dead-tariff: an exported field of the energy tariff
+//     record is never read by the per-layer billing function.
+type HookParity struct {
+	FaultPkg   string   // package declaring the site enumeration
+	SiteType   string   // the site enumeration's type name
+	WiringPkgs []string // packages whose bodies must arm the sites
+	// ImplicitWiring maps a site constant name to callee FullNames
+	// whose call arms the site without naming it.
+	ImplicitWiring map[string][]string
+	HookPkgs       []string // packages declaring exported …Hook fields
+	EnergyPkg      string   // package holding the tariff table
+	ParamsType     string   // the tariff record's type name
+	EnergyFunc     string   // the billing function reading the tariffs
+}
+
+// NewHookParity returns the analyzer configured for this repository.
+func NewHookParity() *HookParity {
+	return &HookParity{
+		FaultPkg:   "flexflow/internal/fault",
+		SiteType:   "Site",
+		WiringPkgs: []string{"flexflow/internal/core", "flexflow"},
+		ImplicitWiring: map[string][]string{
+			// The multiplier site is armed through the dedicated
+			// stuck-at-zero query on the MAC fast path.
+			"SiteMAC": {"(*flexflow/internal/fault.Injector).MACZero"},
+		},
+		HookPkgs:   []string{"flexflow/internal/mem", "flexflow/internal/bus"},
+		EnergyPkg:  "flexflow/internal/energy",
+		ParamsType: "Params",
+		EnergyFunc: "LayerEnergy",
+	}
+}
+
+func (*HookParity) Name() string { return "hookparity" }
+func (*HookParity) Doc() string {
+	return "every fault site must be armed by a simulator, every component hook installed, and every energy tariff charged"
+}
+
+func (a *HookParity) Run(prog *Program) ([]Finding, error) {
+	if !prog.IsModuleLocal(a.FaultPkg) {
+		return nil, nil
+	}
+	var out []Finding
+	if err := a.checkSites(prog, &out); err != nil {
+		return nil, err
+	}
+	if err := a.checkHooks(prog, &out); err != nil {
+		return nil, err
+	}
+	if err := a.checkTariffs(prog, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkSites enforces hookparity/unwired-site.
+func (a *HookParity) checkSites(prog *Program, out *[]Finding) error {
+	faultPkg, err := prog.Package(a.FaultPkg)
+	if err != nil {
+		return err
+	}
+	siteObj := faultPkg.Types.Scope().Lookup(a.SiteType)
+	if siteObj == nil {
+		return fmt.Errorf("%s.%s not found", a.FaultPkg, a.SiteType)
+	}
+	siteType := siteObj.Type()
+
+	// The exported site constants, in declaration order.
+	type site struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sites []site
+	scope := faultPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		c, ok := obj.(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), siteType) {
+			continue
+		}
+		sites = append(sites, site{obj: obj, pos: obj.Pos()})
+	}
+
+	implicit := map[string]string{} // callee FullName → site const name
+	for siteName, callees := range a.ImplicitWiring {
+		for _, callee := range callees {
+			implicit[callee] = siteName
+		}
+	}
+	// Arming is matched by constant value, not object identity, so a
+	// wiring package using a re-exported alias of a site still counts.
+	armedValue := map[string]bool{}
+	armedByName := map[string]bool{}
+
+	for _, path := range a.WiringPkgs {
+		pkg, err := prog.Package(path)
+		if err != nil {
+			return err
+		}
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.Ident:
+						if c, ok := info.Uses[x].(*types.Const); ok && types.Identical(c.Type(), siteType) {
+							armedValue[c.Val().String()] = true
+						}
+					case *ast.CallExpr:
+						if f := calleeObj(info, unparen(x.Fun)); f != nil {
+							if siteName, ok := implicit[f.FullName()]; ok {
+								armedByName[siteName] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, s := range sites {
+		if armedValue[s.obj.(*types.Const).Val().String()] || armedByName[s.obj.Name()] {
+			continue
+		}
+		*out = append(*out, Finding{
+			ID:  "hookparity/unwired-site",
+			Pos: prog.Fset.Position(s.pos),
+			Message: fmt.Sprintf("fault site %s is never armed by a wiring package: campaigns cannot exercise it, so its coverage row is silently empty",
+				s.obj.Name()),
+		})
+	}
+	return nil
+}
+
+// checkHooks enforces hookparity/unused-hook.
+func (a *HookParity) checkHooks(prog *Program, out *[]Finding) error {
+	for _, path := range a.HookPkgs {
+		hookPkg, err := prog.Package(path)
+		if err != nil {
+			return err
+		}
+		// The exported func-typed …Hook fields declared in this package.
+		hooks := map[types.Object]token.Pos{}
+		scope := hookPkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() || !strings.HasSuffix(f.Name(), "Hook") {
+					continue
+				}
+				if _, ok := f.Type().Underlying().(*types.Signature); !ok {
+					continue
+				}
+				hooks[f] = f.Pos()
+			}
+		}
+		if len(hooks) == 0 {
+			continue
+		}
+		// A hook is used when any analyzed package other than the
+		// declaring one selects it.
+		for _, pkg := range prog.Pkgs {
+			if pkg.Path == path {
+				continue
+			}
+			for _, s := range pkg.Info.Selections {
+				if s.Kind() == types.FieldVal {
+					delete(hooks, s.Obj())
+				}
+			}
+		}
+		for obj, pos := range hooks {
+			*out = append(*out, Finding{
+				ID:  "hookparity/unused-hook",
+				Pos: prog.Fset.Position(pos),
+				Message: fmt.Sprintf("hook field %s.%s is never installed outside %s: the observation point exists but no simulator wires it",
+					lastSegment(path), obj.Name(), lastSegment(path)),
+			})
+		}
+	}
+	return nil
+}
+
+// checkTariffs enforces hookparity/dead-tariff.
+func (a *HookParity) checkTariffs(prog *Program, out *[]Finding) error {
+	energyPkg, err := prog.Package(a.EnergyPkg)
+	if err != nil {
+		return err
+	}
+	obj := energyPkg.Types.Scope().Lookup(a.ParamsType)
+	if obj == nil {
+		return fmt.Errorf("%s.%s not found", a.EnergyPkg, a.ParamsType)
+	}
+	named, ok := types.Unalias(obj.Type()).(*types.Named)
+	if !ok {
+		return fmt.Errorf("%s.%s is not a named type", a.EnergyPkg, a.ParamsType)
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return fmt.Errorf("%s.%s is not a struct", a.EnergyPkg, a.ParamsType)
+	}
+	unread := map[string]token.Pos{}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			unread[f.Name()] = f.Pos()
+		}
+	}
+
+	found := false
+	for _, file := range energyPkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != a.EnergyFunc || fd.Body == nil {
+				continue
+			}
+			found = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if field := fieldOf(energyPkg.Info, sel, named); field != "" {
+						delete(unread, field)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !found {
+		return fmt.Errorf("%s.%s not found", a.EnergyPkg, a.EnergyFunc)
+	}
+
+	for _, name := range sortedKeys(boolKeys(unread)) {
+		*out = append(*out, Finding{
+			ID:  "hookparity/dead-tariff",
+			Pos: prog.Fset.Position(unread[name]),
+			Message: fmt.Sprintf("tariff %s.%s is never read by %s: the charge exists in the table but no event is ever billed at it",
+				a.ParamsType, name, a.EnergyFunc),
+		})
+	}
+	return nil
+}
+
+func boolKeys(m map[string]token.Pos) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func lastSegment(path string) string { return path[lastSlash(path)+1:] }

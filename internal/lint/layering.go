@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Layering enforces the module's dependency DAG: every module-local
+// import must appear in a committed allow-table. The table is the
+// architecture document the compiler cannot hold — simulators never
+// reach the energy model, the compiler never reaches a simulator, leaf
+// packages (fixed, bus, sim) import nothing — and a test pins it
+// exactly against reality so both a new forbidden edge and a stale
+// table entry fail fast. Two rules:
+//
+//   - layering/forbidden: a tracked package imports a module-local
+//     package that its table row does not allow.
+//   - layering/untracked: a module-local package has no table row at
+//     all, so its dependencies are unreviewed.
+//
+// Table keys and values are module-relative paths ("internal/core",
+// "cmd/flexlint"); the module root package is ".".
+type Layering struct {
+	// Module is the module path the table describes; the analyzer is a
+	// no-op on any other module (the repository's DAG says nothing
+	// about a scratch module under test). Empty means any module.
+	Module string
+	// Allowed maps each tracked package to the exact set of
+	// module-local packages it may import.
+	Allowed map[string][]string
+}
+
+// RepoLayering is the repository's committed dependency DAG. Layer
+// order, bottom up: word-level leaves (fixed, bus, sim, metrics) →
+// data/model substrate (tensor, nn, mem, fault) → architecture algebra
+// (arch, workloads) → simulators (core, systolic, mapping2d, tiling,
+// rowstat) ∥ planners (compiler) ∥ billing (energy) → experiments →
+// the facade and the commands. The factor search lives in arch
+// precisely so compiler and the simulators can share it without an
+// edge between them.
+func RepoLayering() map[string][]string {
+	return map[string][]string{
+		"internal/fixed":   {},
+		"internal/bus":     {},
+		"internal/sim":     {},
+		"internal/metrics": {},
+		"internal/lint":    {},
+
+		"internal/tensor":    {"internal/fixed"},
+		"internal/nn":        {"internal/tensor"},
+		"internal/mem":       {"internal/fixed"},
+		"internal/fault":     {"internal/fixed"},
+		"internal/workloads": {"internal/nn", "internal/tensor"},
+
+		"internal/arch": {"internal/nn", "internal/tensor"},
+
+		"internal/core":      {"internal/arch", "internal/bus", "internal/fault", "internal/fixed", "internal/mem", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/systolic":  {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/mapping2d": {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/tiling":    {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/rowstat":   {"internal/arch", "internal/fixed", "internal/nn", "internal/tensor"},
+
+		"internal/compiler": {"internal/arch", "internal/nn", "internal/tensor"},
+		"internal/energy":   {"internal/arch"},
+
+		"internal/experiments": {"internal/arch", "internal/compiler", "internal/core", "internal/energy", "internal/mapping2d", "internal/metrics", "internal/nn", "internal/rowstat", "internal/systolic", "internal/tiling", "internal/workloads"},
+
+		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping2d", "internal/nn", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
+
+		"cmd/flexbench":  {"internal/experiments", "internal/metrics"},
+		"cmd/flexcc":     {".", "internal/compiler", "internal/core", "internal/metrics"},
+		"cmd/flexfault":  {"."},
+		"cmd/flexlint":   {"internal/lint"},
+		"cmd/flexreport": {".", "internal/experiments"},
+		"cmd/flexsim":    {".", "internal/core", "internal/metrics", "internal/nn", "internal/sim"},
+
+		"examples/compiler":    {".", "internal/compiler", "internal/metrics"},
+		"examples/custom":      {".", "internal/metrics", "internal/nn"},
+		"examples/lenet":       {".", "internal/metrics"},
+		"examples/precision":   {".", "internal/metrics", "internal/nn", "internal/tensor"},
+		"examples/quickstart":  {".", "internal/metrics", "internal/tensor"},
+		"examples/scalability": {".", "internal/metrics"},
+	}
+}
+
+// NewLayering returns the analyzer configured with the repository's
+// committed DAG.
+func NewLayering() *Layering { return &Layering{Module: "flexflow", Allowed: RepoLayering()} }
+
+func (*Layering) Name() string { return "layering" }
+func (*Layering) Doc() string {
+	return "module-local imports must follow the committed dependency DAG (simulators never import energy/compiler, the compiler never imports a simulator)"
+}
+
+// relPath maps a module-local import path to a table key.
+func relPath(modPath, path string) string {
+	if path == modPath {
+		return "."
+	}
+	return strings.TrimPrefix(path, modPath+"/")
+}
+
+func (a *Layering) Run(prog *Program) ([]Finding, error) {
+	if a.Module != "" && prog.ModPath != a.Module {
+		return nil, nil
+	}
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		key := relPath(prog.ModPath, pkg.Path)
+		allowed, tracked := a.Allowed[key]
+		if !tracked {
+			pos := token.NoPos
+			if len(pkg.Files) > 0 {
+				pos = pkg.Files[0].Package
+			}
+			out = append(out, Finding{
+				ID:  "layering/untracked",
+				Pos: prog.Fset.Position(pos),
+				Message: fmt.Sprintf("package %s has no row in the layering table: declare its allowed imports in RepoLayering",
+					key),
+			})
+			continue
+		}
+		allow := map[string]bool{}
+		for _, p := range allowed {
+			allow[p] = true
+		}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !prog.IsModuleLocal(path) {
+					continue
+				}
+				dep := relPath(prog.ModPath, path)
+				if !allow[dep] {
+					out = append(out, Finding{
+						ID:  "layering/forbidden",
+						Pos: prog.Fset.Position(imp.Path.Pos()),
+						Message: fmt.Sprintf("package %s may not import %s: the edge is not in the layering table",
+							key, dep),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ActualEdges computes the real module-local import graph of the
+// analyzed packages, keyed like the layering table. The table test
+// pins Allowed equal to this, so a removed edge must be deleted from
+// the table (stale rows fail fast, not just missing ones).
+func ActualEdges(prog *Program) map[string][]string {
+	edges := map[string][]string{}
+	for _, pkg := range prog.Pkgs {
+		key := relPath(prog.ModPath, pkg.Path)
+		seen := map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if prog.IsModuleLocal(path) {
+					seen[relPath(prog.ModPath, path)] = true
+				}
+			}
+		}
+		edges[key] = sortedKeys(seen)
+	}
+	return edges
+}

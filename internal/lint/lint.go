@@ -75,6 +75,10 @@ func DefaultAnalyzers() []Analyzer {
 		NewCounterAudit(),
 		NewErrDrop(),
 		NewConcSafe(),
+		NewLayering(),
+		NewUnitCheck(),
+		NewAPIGuard(),
+		NewHookParity(),
 	}
 }
 

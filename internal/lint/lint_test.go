@@ -69,6 +69,27 @@ func TestLoadWholeModule(t *testing.T) {
 	}
 }
 
+// TestLoadBrokenPackage pins the loader's failure mode for a package
+// that parses but does not type-check: the load fails loudly, the
+// error names the package, and it carries every type error rather
+// than only the first — no silent degradation to syntax-only
+// analysis.
+func TestLoadBrokenPackage(t *testing.T) {
+	_, err := Load(".", "testdata/broken/...")
+	if err == nil {
+		t.Fatal("loading the deliberately broken fixture succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "flexflow/internal/lint/testdata/broken/brokenx") {
+		t.Errorf("load error lacks package context: %v", err)
+	}
+	for _, frag := range []string{"cannot use 42", "missing"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("load error does not surface the type error %q: %v", frag, err)
+		}
+	}
+}
+
 func pkgPaths(prog *Program) []string {
 	var out []string
 	for _, p := range prog.Pkgs {

@@ -148,8 +148,27 @@ func (l *loader) load(path string) (*Package, error) {
 		Instances:  map[*ast.Ident]types.Instance{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type error instead of stopping at the first: a
+	// broken package surfaces with full context rather than silently
+	// degrading the analysis (or drip-feeding one error per run).
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
 	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		const maxShown = 10
+		msgs := make([]string, 0, maxShown+1)
+		for i, e := range typeErrs {
+			if i == maxShown {
+				msgs = append(msgs, fmt.Sprintf("… and %d more", len(typeErrs)-maxShown))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}

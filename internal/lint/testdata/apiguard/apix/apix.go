@@ -1,0 +1,73 @@
+// Package apix is the apiguard golden fixture: a miniature facade
+// with its own guard boundary, exercising direct and transitive guard
+// reachability, the unguarded rule, both naked-error forms and
+// suppression.
+package apix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel: the sanctioned use of errors.New.
+var ErrBad = errors.New("apix: bad input")
+
+// guard is the fixture's recovery boundary.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrBad, r)
+		}
+	}()
+	return f()
+}
+
+// Direct passes through guard itself.
+func Direct(x int) error {
+	return guard(func() error {
+		if x < 0 {
+			return fmt.Errorf("%w: negative", ErrBad)
+		}
+		return nil
+	})
+}
+
+// Transitive reaches guard through Direct.
+func Transitive(x int) error {
+	return Direct(x + 1)
+}
+
+// Unguarded returns an error without any path through guard.
+func Unguarded(x int) error { // want "exported Unguarded returns an error without passing through guard"
+	if x < 0 {
+		return fmt.Errorf("%w: negative", ErrBad)
+	}
+	return nil
+}
+
+// Suppressed is unguarded but carries a reasoned ignore.
+//
+//lint:ignore apiguard/unguarded fixture demonstrates the suppression workflow
+func Suppressed(x int) error {
+	return nil
+}
+
+// NoError returns nothing fallible, so the guard contract does not
+// apply.
+func NoError(x int) int { return x + 1 }
+
+// helper is unexported, so the guard contract does not apply either.
+func helper() error { return nil }
+
+// Naked builds errors a caller cannot match with errors.Is.
+func Naked(x int) error {
+	return guard(func() error {
+		if x == 1 {
+			return errors.New("boom") // want "errors.New inside a function body"
+		}
+		if x == 2 {
+			return fmt.Errorf("bad value %d", x) // want "does not wrap a sentinel"
+		}
+		return nil
+	})
+}

@@ -1,0 +1,10 @@
+// Package brokenx is syntactically valid but does not type-check; the
+// loader test pins that flexlint reports the errors with package
+// context instead of silently degrading to syntax-only analysis.
+package brokenx
+
+// Busted assigns a number to a string and calls a missing function.
+func Busted() string {
+	var s string = 42
+	return s + missing()
+}

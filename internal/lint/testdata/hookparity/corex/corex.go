@@ -1,0 +1,18 @@
+// Package corex is the wiring side of the hookparity golden fixture:
+// it arms SiteArmed by name, SiteImplicit through the dedicated
+// injector method, and installs the store's ReadHook.
+package corex
+
+import (
+	"flexflow/internal/lint/testdata/hookparity/faultx"
+	"flexflow/internal/lint/testdata/hookparity/memx"
+)
+
+// Simulate wires the observation surface the way a simulator would.
+func Simulate(s *memx.Store, in *faultx.Injector) faultx.Site {
+	s.ReadHook = func(addr int, v int16) int16 { return v }
+	if in.MACZero(0) {
+		return faultx.SiteArmed
+	}
+	return faultx.SiteArmed
+}

@@ -1,0 +1,17 @@
+// Package energyx is the billing side of the hookparity golden
+// fixture: a tariff table with one charged and one dead entry.
+package energyx
+
+// Tariff is the fixture's per-event charge table.
+type Tariff struct {
+	MAC  float64
+	Dead float64 // want "tariff Tariff.Dead is never read by Bill"
+
+	//lint:ignore hookparity/dead-tariff calibration pending; charged in a later PR
+	Pending float64
+}
+
+// Bill charges the table against a MAC count.
+func Bill(t Tariff, macs int64) float64 {
+	return float64(macs) * t.MAC
+}

@@ -1,0 +1,25 @@
+// Package faultx is the fault-model side of the hookparity golden
+// fixture: a site enumeration and an injector with one dedicated
+// arming method.
+package faultx
+
+// Site identifies an injectable structure.
+type Site uint8
+
+// The fixture's sites: Armed is named by the wiring package, Implicit
+// is armed through Injector.MACZero, Unwired is armed by nobody, and
+// Reserved carries a reasoned ignore.
+const (
+	SiteArmed Site = iota
+	SiteImplicit
+	SiteUnwired // want "fault site SiteUnwired is never armed"
+	//lint:ignore hookparity/unwired-site reserved for the DMA model of a later PR
+	SiteReserved
+)
+
+// Injector is the fixture's fault injector.
+type Injector struct{}
+
+// MACZero arms SiteImplicit without naming it (the dedicated-method
+// wiring form).
+func (in *Injector) MACZero(cycle int64) bool { return false }

@@ -1,0 +1,25 @@
+// Package memx is the component side of the hookparity golden
+// fixture: a store with two hook points, one installed by the wiring
+// package and one dead.
+package memx
+
+// Store is a word store with instrumentation hooks.
+type Store struct {
+	// ReadHook intercepts reads; the wiring package installs it.
+	ReadHook func(addr int, v int16) int16
+
+	// DropHook would intercept evictions, but nobody installs it.
+	DropHook func(addr int) // want "hook field memx.DropHook is never installed"
+
+	// Capacity is not func-typed, so it is not a hook point.
+	Capacity int
+}
+
+// Read returns the stored word through the hook.
+func (s *Store) Read(addr int) int16 {
+	var v int16
+	if s.ReadHook != nil {
+		v = s.ReadHook(addr, v)
+	}
+	return v
+}

@@ -1,0 +1,14 @@
+// Package a exercises the layering rules: an allowed edge, a
+// forbidden edge, and a forbidden edge suppressed with a reasoned
+// ignore.
+package a
+
+import (
+	"flexflow/internal/lint/testdata/layering/b"
+	"flexflow/internal/lint/testdata/layering/c" // want "package internal/lint/testdata/layering/a may not import internal/lint/testdata/layering/c"
+	//lint:ignore layering/forbidden historical edge being unwound
+	"flexflow/internal/lint/testdata/layering/e"
+)
+
+// Sum ties the imports together.
+const Sum = b.Leaf + c.Orphan + e.Legacy

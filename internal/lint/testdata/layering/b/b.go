@@ -1,0 +1,6 @@
+// Package b is a leaf of the layering golden fixture: its table row
+// allows no module-local imports, and it has none.
+package b
+
+// Leaf is referenced by package a.
+const Leaf = 1

@@ -1,0 +1,6 @@
+// Package c has no row in the fixture's layering table, so importing
+// it is forbidden and the package itself is flagged as untracked.
+package c // want "package internal/lint/testdata/layering/c has no row in the layering table"
+
+// Orphan is referenced by package a.
+const Orphan = 2

@@ -1,0 +1,6 @@
+// Package e is tracked with an empty allow-list; package a's import of
+// it is forbidden but suppressed with a reasoned ignore.
+package e
+
+// Legacy is referenced by package a.
+const Legacy = 3

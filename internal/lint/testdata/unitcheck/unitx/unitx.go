@@ -1,0 +1,75 @@
+// Package unitx is the unitcheck golden fixture: a miniature result
+// record with a cycle axis, an event axis and a tariff, exercising the
+// mixed-unit rule, the conversion-helper exemption and suppression.
+package unitx
+
+// Result mirrors the shape of the real per-layer record.
+type Result struct {
+	Cycles int64
+	MACs   int64
+	Loads  int64
+	PEs    int
+}
+
+// Tariff mirrors the energy parameter table.
+type Tariff struct {
+	MAC float64
+}
+
+// IdleSlots is the declared conversion helper: its body may mix the
+// cycle and event axes (it is the boundary), and its result carries
+// the event unit.
+func IdleSlots(r Result) int64 {
+	return r.Cycles*int64(r.PEs) - r.MACs
+}
+
+// BadAdd mixes the cycle and event axes additively.
+func BadAdd(r Result) int64 {
+	return r.Cycles + r.MACs // want "mixes cycles with events"
+}
+
+// BadCompare compares across the axes.
+func BadCompare(r Result) bool {
+	return r.Cycles > r.MACs // want "mixes cycles with events"
+}
+
+// BadAccum mixes the axes through a compound assignment.
+func BadAccum(r Result) Result {
+	r.Loads += r.Cycles // want "mixes events with cycles"
+	return r
+}
+
+// BadEnergy adds a raw event count to a picojoule subtotal.
+func BadEnergy(r Result, t Tariff) float64 {
+	return float64(r.MACs)*t.MAC + float64(r.Loads) // want "mixes picojoules with events"
+}
+
+// GoodBilling is the sanctioned form: count × tariff = energy, summed
+// per axis, with the helper carrying cycles across to events.
+func GoodBilling(r Result, t Tariff) float64 {
+	busy := float64(r.MACs) * t.MAC
+	idle := float64(IdleSlots(r)) * t.MAC
+	return busy + idle
+}
+
+// GoodRatio divides freely: ratios are dimensionless.
+func GoodRatio(r Result) float64 {
+	return float64(r.MACs) / (float64(r.Cycles) * float64(r.PEs))
+}
+
+// GoodSameUnit adds within one axis.
+func GoodSameUnit(r Result) int64 {
+	return r.MACs + r.Loads
+}
+
+// GoodHelperUnit still type-checks the helper's result: events from
+// the helper add to events.
+func GoodHelperUnit(r Result) int64 {
+	return IdleSlots(r) + r.Loads
+}
+
+// Suppressed demonstrates the reasoned-ignore workflow.
+func Suppressed(r Result) int64 {
+	//lint:ignore unitcheck/mixed fixture demonstrates the suppression workflow
+	return r.Cycles - r.MACs
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Units of the simulator/energy boundary. UnitPlain marks known
+// dimensionless scale factors (literals, ratios, configuration fields
+// such as a PE count); the empty string is "unknown" — a variable the
+// expression-local analysis cannot see through — and never constrains
+// an expression.
+const (
+	UnitCycles = "cycles"
+	UnitEvents = "events"
+	UnitPJ     = "picojoules"
+	UnitPlain  = "plain"
+)
+
+// UnitCheck enforces named-unit discipline across the sim/energy
+// boundary: cycle counters, event counters and picojoule charges are
+// all plain int64/float64 to the compiler, so nothing stops code from
+// adding a cycle count to an event count — the exact bug class that
+// silently corrupts the paper's energy identity (energy = Σ events ×
+// pJ/event, leakage = cycles × mW). The analyzer assigns units to
+// expressions from a table of well-known fields and methods and flags
+// additive arithmetic and comparisons whose operands carry different
+// tracked units:
+//
+//   - unitcheck/mixed: a +, -, +=, -= or comparison whose two sides
+//     carry different tracked units with no conversion helper between
+//     them.
+//
+// Multiplication is never flagged: count × charge = energy is the
+// sanctioned billing form (the product takes the picojoule unit), and
+// scaling a tracked quantity by a plain factor keeps its unit.
+// Division always yields a plain ratio (utilization, GOPS). Units
+// propagate through float64/int64 conversions and parentheses but not
+// through variables — the check is expression-local by design, so it
+// pins the boundary without a dataflow engine. Declared conversion
+// helpers (Funcs entries, e.g. LayerResult.IdleSlots, which turns
+// cycle×PE slots into billable idle events) give their result the
+// mapped unit and their bodies are exempt.
+type UnitCheck struct {
+	// Fields maps "pkgpath.Type.Field" to a unit.
+	Fields map[string]string
+	// Funcs maps types.Func.FullName() strings — functions, methods,
+	// conversion helpers — to the unit of their result.
+	Funcs map[string]string
+	// Exempt lists FullNames of conversion helpers whose bodies may mix
+	// units (they are the boundary).
+	Exempt []string
+}
+
+// NewUnitCheck returns the analyzer configured for this repository:
+// the arch.LayerResult counter record, the sim clock, and the energy
+// model's tariff table and bill.
+func NewUnitCheck() *UnitCheck {
+	const (
+		archLR = "flexflow/internal/arch.LayerResult"
+		params = "flexflow/internal/energy.Params"
+		brk    = "flexflow/internal/energy.Breakdown"
+	)
+	fields := map[string]string{
+		archLR + ".Cycles": UnitCycles,
+		archLR + ".PEs":    UnitPlain,
+	}
+	for _, f := range []string{"MACs", "NeuronLoads", "NeuronStores", "KernelLoads",
+		"LocalReads", "LocalWrites", "InterPEMoves", "DRAMReads", "DRAMWrites"} {
+		fields[archLR+"."+f] = UnitEvents
+	}
+	for _, f := range []string{"MAC", "LocalRead", "LocalWrite", "BufRead", "BufWrite",
+		"BusBase", "BusPerEdge", "InterPE", "DRAM", "TreeBase", "TreeAmort",
+		"IdlePE", "LeakPerPE", "LeakBuf"} {
+		fields[params+"."+f] = UnitPJ
+	}
+	for _, f := range []string{"Compute", "NeuronIn", "NeuronOut", "KernelIn",
+		"Interconnect", "Leakage", "DRAM"} {
+		fields[brk+"."+f] = UnitPJ
+	}
+	return &UnitCheck{
+		Fields: fields,
+		Funcs: map[string]string{
+			"(flexflow/internal/arch.LayerResult).IdleSlots": UnitEvents,
+			"(flexflow/internal/arch.RunResult).Cycles":      UnitCycles,
+			"(flexflow/internal/arch.RunResult).MACs":        UnitEvents,
+			"(*flexflow/internal/sim.Clock).Cycle":           UnitCycles,
+			"(flexflow/internal/energy.Breakdown).ChipPJ":    UnitPJ,
+			"(flexflow/internal/energy.Breakdown).TotalPJ":   UnitPJ,
+		},
+		Exempt: []string{
+			"(flexflow/internal/arch.LayerResult).IdleSlots",
+		},
+	}
+}
+
+func (*UnitCheck) Name() string { return "unitcheck" }
+func (*UnitCheck) Doc() string {
+	return "cycle counters, event counters and picojoule values must not mix in additive arithmetic without a conversion helper"
+}
+
+func (a *UnitCheck) Run(prog *Program) ([]Finding, error) {
+	exempt := map[string]bool{}
+	for _, name := range a.Exempt {
+		exempt[name] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok && exempt[fn.FullName()] {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						switch x.Op {
+						case token.ADD, token.SUB, token.LSS, token.LEQ,
+							token.GTR, token.GEQ, token.EQL, token.NEQ:
+							a.check(prog, info, x.OpPos, x.Op, x.X, x.Y, &out)
+						}
+					case *ast.AssignStmt:
+						if (x.Tok == token.ADD_ASSIGN || x.Tok == token.SUB_ASSIGN) &&
+							len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+							a.check(prog, info, x.TokPos, x.Tok, x.Lhs[0], x.Rhs[0], &out)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func tracked(u string) bool {
+	return u == UnitCycles || u == UnitEvents || u == UnitPJ
+}
+
+func (a *UnitCheck) check(prog *Program, info *types.Info, pos token.Pos, op token.Token, l, r ast.Expr, out *[]Finding) {
+	lu, ru := a.unitOf(info, l), a.unitOf(info, r)
+	if !tracked(lu) || !tracked(ru) || lu == ru {
+		return
+	}
+	*out = append(*out, Finding{
+		ID:  "unitcheck/mixed",
+		Pos: prog.Fset.Position(pos),
+		Message: fmt.Sprintf("%q mixes %s with %s: convert through a declared helper instead of raw arithmetic",
+			op, lu, ru),
+	})
+}
+
+// unitOf derives the unit of an expression, expression-locally.
+func (a *UnitCheck) unitOf(info *types.Info, e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return a.Fields[qualifiedField(info, x)]
+	case *ast.CallExpr:
+		fn := unparen(x.Fun)
+		// A type conversion — float64(r.Cycles) — preserves the unit.
+		if tv, ok := info.Types[fn]; ok && tv.IsType() && len(x.Args) == 1 {
+			return a.unitOf(info, x.Args[0])
+		}
+		if f := calleeObj(info, fn); f != nil {
+			return a.Funcs[f.FullName()]
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return a.unitOf(info, x.X)
+		}
+	case *ast.BasicLit:
+		return UnitPlain
+	case *ast.BinaryExpr:
+		lu, ru := a.unitOf(info, x.X), a.unitOf(info, x.Y)
+		switch x.Op {
+		case token.ADD, token.SUB:
+			if tracked(lu) {
+				return lu
+			}
+			if tracked(ru) {
+				return ru
+			}
+			if lu == UnitPlain && ru == UnitPlain {
+				return UnitPlain
+			}
+		case token.MUL:
+			// count × tariff = energy; plain scaling keeps the unit;
+			// a factor of unknown unit poisons the product (except for
+			// picojoules, which absorb any factor: leakage legitimately
+			// bills mW × cycles at 1 GHz).
+			if lu == UnitPJ || ru == UnitPJ {
+				return UnitPJ
+			}
+			switch {
+			case tracked(lu) && ru == UnitPlain:
+				return lu
+			case tracked(ru) && lu == UnitPlain:
+				return ru
+			case lu == UnitPlain && ru == UnitPlain:
+				return UnitPlain
+			}
+		case token.QUO:
+			// Ratios are dimensionless: utilization, GOPS, averages.
+			return UnitPlain
+		}
+	}
+	return ""
+}
+
+// qualifiedField returns "pkgpath.Type.Field" for a field selection on
+// a named struct type, else "".
+func qualifiedField(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + s.Obj().Name()
+}
+
+// calleeObj resolves a call's callee to its function object, through a
+// plain identifier or a selection.
+func calleeObj(info *types.Info, fn ast.Expr) *types.Func {
+	switch f := fn.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[f].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
