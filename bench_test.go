@@ -259,6 +259,72 @@ func BenchmarkAblationsReport(b *testing.B) {
 	}
 }
 
+// BenchmarkRunModel times the layer-parallel analytic evaluation of
+// VGG-11 on the 16×16 FlexFlow engine at different scheduler widths —
+// the pipeline's layer fan-out. Results are bit-identical across
+// widths; only wall-clock changes.
+func BenchmarkRunModel(b *testing.B) {
+	nw := workloads.VGG11()
+	e, err := NewEngine(FlexFlow, 16, nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		workers := workers
+		b.Run(workersLabel(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := RunOpts(e, nw, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Cycles() == 0 {
+					b.Fatal("no cycles")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecuteBatch times a whole batch of images through the
+// cycle-level FlexFlow simulator at different scheduler widths — the
+// pipeline's image fan-out, which is where the worker pool pays off
+// (each image is an independent simulation). LeNet-5 keeps the
+// per-image simulation heavy enough that the one-off compiler plan
+// does not dominate.
+func BenchmarkExecuteBatch(b *testing.B) {
+	nw, err := Workload("LeNet-5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernels := RandomKernels(nw, 5)
+	inputs := make([]*Map3, 8)
+	for i := range inputs {
+		inputs[i] = RandomInput(nw, uint64(10+i))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		workers := workers
+		b.Run(workersLabel(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ExecuteBatchOpts(nw, inputs, kernels, 8, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(inputs) {
+					b.Fatal("short batch")
+				}
+			}
+			b.ReportMetric(float64(len(inputs)*b.N)/b.Elapsed().Seconds(), "images/s")
+		})
+	}
+}
+
+func workersLabel(w int) string {
+	if w == 0 {
+		return "workers=max"
+	}
+	return map[int]string{1: "workers=1", 4: "workers=4"}[w]
+}
+
 // BenchmarkModelPerWorkload times the analytic model of each workload
 // on the 16×16 FlexFlow engine (compiler included) — the cost a user
 // pays per what-if evaluation.

@@ -1,20 +1,25 @@
 // Command flexbench regenerates every table and figure of the paper's
 // evaluation section and prints them in order. With -out it also
 // writes each artifact to a file, which is how EXPERIMENTS.md's
-// recorded outputs are produced.
+// recorded outputs are produced. With -json it writes the raw RunAll
+// evaluation matrix as JSON (and, with -out/-csv unset, skips the text
+// artifacts) — the CI determinism gate diffs that file across -workers
+// settings.
 //
 // Usage:
 //
-//	flexbench [-out results/]
+//	flexbench [-out results/] [-csv dir/] [-json file.json] [-workers N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
+	"flexflow/internal/arch"
 	"flexflow/internal/experiments"
 	"flexflow/internal/metrics"
 )
@@ -31,7 +36,24 @@ func main() {
 	}()
 	out := flag.String("out", "", "directory to write one text file per artifact (optional)")
 	csvDir := flag.String("csv", "", "directory to write machine-readable CSVs of the figure data (optional)")
+	jsonPath := flag.String("json", "", "file to write the raw workload×architecture evaluation matrix as JSON (optional)")
+	workers := flag.Int("workers", 0, "scheduler width for independent evaluation units: 0 = all CPUs, 1 = serial (outputs are identical at any setting)")
 	flag.Parse()
+
+	if *workers < 0 {
+		log.Fatalf("-workers must be >= 0, got %d", *workers)
+	}
+	experiments.Workers = *workers
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		// -json alone asks for the machine-readable matrix only.
+		if *out == "" && *csvDir == "" {
+			return
+		}
+	}
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
@@ -81,6 +103,30 @@ func main() {
 	if *out != "" {
 		fmt.Printf("wrote %d artifacts to %s\n", len(artifacts), *out)
 	}
+}
+
+// writeJSON exports the raw RunAll matrix — every workload on every
+// architecture — with deterministic field order, so two runs at
+// different -workers settings must produce byte-identical files.
+func writeJSON(path string) error {
+	nws, runs := experiments.RunAll(16)
+	type entry struct {
+		Workload string           `json:"workload"`
+		Runs     []arch.RunResult `json:"runs"`
+	}
+	entries := make([]entry, len(nws))
+	for i, nw := range nws {
+		entries[i] = entry{Workload: nw.Name, Runs: runs[i]}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote evaluation matrix to %s\n", path)
+	return nil
 }
 
 // writeCSVs exports the typed figure data as CSV files.

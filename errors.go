@@ -14,6 +14,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/fault"
+	"flexflow/internal/pipeline"
 	"flexflow/internal/sim"
 )
 
@@ -51,6 +52,20 @@ var (
 // invalid wraps a formatted message with ErrInvalidConfig.
 func invalid(format string, a ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, a...))
+}
+
+// fromPipeline translates execution-pipeline errors into the public
+// taxonomy: a malformed job becomes ErrInvalidConfig; everything else
+// (cancellation, budget, faults, engine errors) already carries its
+// public sentinel and passes through.
+func fromPipeline(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, pipeline.ErrJob) {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return err
 }
 
 // guard is the recovery boundary: it runs f and converts any escaped

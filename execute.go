@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 
+	"flexflow/internal/arch"
 	"flexflow/internal/compiler"
 	"flexflow/internal/core"
 	"flexflow/internal/fault"
 	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
 )
@@ -83,7 +85,7 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 
 // Options bundles the robustness controls of an Execute run. The zero
 // value is the plain fast path: no cancellation, no cycle bound, no
-// faults, no tracing.
+// faults, no tracing, serial-equivalent scheduling.
 type Options struct {
 	// Context, when non-nil, cancels the run between schedule passes;
 	// the result is an ErrCancelled-wrapped error.
@@ -97,6 +99,11 @@ type Options struct {
 	Plan *FaultPlan
 	// Tracer, when non-nil, receives every MAC issue and output drain.
 	Tracer sim.Tracer
+	// Workers sets the scheduler pool width for the run's independent
+	// units (batch images in ExecuteBatchOpts, layers in RunOpts):
+	// 0 means GOMAXPROCS, 1 serial. Results are bit-identical at any
+	// setting.
+	Workers int
 }
 
 // ExecuteOpts is Execute with robustness controls: context
@@ -120,180 +127,47 @@ func executeOpts(nw *Network, input *Map3, kernels []*Kernel4, scale int, opts O
 	if scale <= 0 {
 		return ExecResult{}, invalid("scale must be positive, got %d", scale)
 	}
-	if nw == nil {
-		return ExecResult{}, invalid("nil network")
-	}
-	if err := nw.Validate(); err != nil {
-		return ExecResult{}, fmt.Errorf("%w: network does not chain: %v", ErrInvalidConfig, err)
-	}
-	if input == nil {
-		return ExecResult{}, invalid("nil input tensor")
-	}
-	if input.N != nw.InputN || input.H != nw.InputS || input.W != nw.InputS {
-		return ExecResult{}, invalid("input is %d@%dx%d, network %s expects %d@%dx%d",
-			input.N, input.H, input.W, nw.Name, nw.InputN, nw.InputS, nw.InputS)
-	}
-	if got, want := len(kernels), len(nw.ConvLayers()); got != want {
-		return ExecResult{}, invalid("%d kernel sets for %d CONV layers", got, want)
-	}
-	for i, k := range kernels {
-		if k == nil {
-			return ExecResult{}, invalid("kernel set %d is nil", i)
-		}
+	job := pipeline.NetworkJob{Network: nw, Input: input, Kernels: kernels, FCWeights: fcWeights}
+	// Validate before planning: a malformed job must come back as
+	// ErrInvalidConfig, never reach the compiler.
+	if err := job.Validate(); err != nil {
+		return ExecResult{}, fromPipeline(err)
 	}
 
 	engine := core.New(scale)
 	engine.Chooser = compiler.Plan(nw, scale).Chooser()
-	engine.Tracer = opts.Tracer
 
-	var inj *fault.Injector
+	out, err := pipeline.Exec(engine, core.NewPoolUnit(scale), job, pipelineOptions(opts))
+	if err != nil {
+		return ExecResult{}, fromPipeline(err)
+	}
+	return fromOutcome(out), nil
+}
+
+// pipelineOptions translates the public run controls into the pipeline
+// form, arming a fresh injector when a fault plan is installed.
+func pipelineOptions(opts Options) pipeline.Options {
+	po := pipeline.Options{
+		Context:   opts.Context,
+		MaxCycles: opts.MaxCycles,
+		Tracer:    opts.Tracer,
+		Workers:   opts.Workers,
+	}
 	if opts.Plan != nil {
-		inj = fault.NewInjector(opts.Plan)
-		engine.Injector = inj
-		input, kernels = applyDRAMFaults(inj, opts.Plan, input, kernels)
+		po.Injector = fault.NewInjector(opts.Plan)
 	}
-	if opts.Context != nil || opts.MaxCycles > 0 {
-		engine.Watchdog = sim.NewWatchdog(opts.Context, opts.MaxCycles)
-	}
-	pool := core.NewPoolUnit(scale)
-
-	res := ExecResult{}
-	cur := input
-	convIdx := 0
-	fcIdx := 0
-	for _, layer := range nw.Layers {
-		switch layer.Kind {
-		case nn.Conv:
-			out, lr, err := engine.Simulate(layer.Conv, cur, kernels[convIdx])
-			if err != nil {
-				return ExecResult{}, layerErr(inj, layer.Conv.Name, err)
-			}
-			if layer.Conv.ReLU {
-				out = tensor.ReLU(out)
-			}
-			res.Layers = append(res.Layers, lr)
-			cur = out
-			convIdx++
-		case nn.Pool:
-			out, err := pool.Apply(cur, layer.Pool.P, layer.Pool.Kind)
-			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
-			}
-			cur = out
-		case nn.FC:
-			// A classifier layer is a matrix–vector product, which the
-			// convolutional unit computes as a CONV layer with M = Out,
-			// N = In, S = 1, K = 1: the flattened activations become In
-			// single-neuron feature maps and the weight matrix an
-			// In-deep stack of 1×1 kernels.
-			if fcIdx >= len(fcWeights) {
-				// No weights supplied: stop at the classifier input,
-				// as the paper's engine evaluation does.
-				res.Output = cur
-				res.PoolCycles = pool.Cycles()
-				res.FaultsFired = inj.Fired()
-				res.FaultHits = inj.Hits()
-				return res, nil
-			}
-			conv, flat, kset, err := fcAsConv(layer.FC, cur, fcWeights[fcIdx])
-			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
-			}
-			out, lr, err := engine.Simulate(conv, flat, kset)
-			if err != nil {
-				return ExecResult{}, layerErr(inj, layer.FC.Name, err)
-			}
-			res.Layers = append(res.Layers, lr)
-			// Back to a 1×1 stack of Out maps for any following layer.
-			cur = out
-			fcIdx++
-		}
-	}
-	res.Output = cur
-	res.PoolCycles = pool.Cycles()
-	res.FaultsFired = inj.Fired()
-	res.FaultHits = inj.Hits()
-	return res, nil
+	return po
 }
 
-// layerErr attributes a mid-simulation failure: once an armed injector
-// has fired, the failure is additionally marked ErrFaulted so callers
-// can tell an injected-fault crash from an ordinary one (both wrapped
-// errors stay visible to errors.Is).
-func layerErr(inj *fault.Injector, name string, err error) error {
-	if inj.Fired() > 0 {
-		return fmt.Errorf("flexflow: layer %s: %w: %w", name, fault.ErrFaulted, err)
+// fromOutcome converts a pipeline outcome into the public result type.
+func fromOutcome(o pipeline.ExecOutcome) ExecResult {
+	return ExecResult{
+		Output:      o.Output,
+		Layers:      o.Layers,
+		PoolCycles:  o.PoolCycles,
+		FaultsFired: o.FaultsFired,
+		FaultHits:   o.FaultHits,
 	}
-	return fmt.Errorf("flexflow: layer %s: %w", name, err)
-}
-
-// applyDRAMFaults applies the plan's external-memory events to clones
-// of the operand tensors (the caller's tensors are never touched),
-// returning the possibly corrupted working set. Neuron events address
-// the flattened input image; kernel events the concatenation of all
-// layers' kernel sets.
-func applyDRAMFaults(inj *fault.Injector, p *FaultPlan, input *Map3, kernels []*Kernel4) (*Map3, []*Kernel4) {
-	if len(p.EventsAt(fault.SiteDRAMNeuron)) > 0 {
-		input = input.Clone()
-		flat := make([]Word, 0, input.Words())
-		for _, m := range input.Maps {
-			flat = append(flat, m.Data...)
-		}
-		inj.CorruptMemory(fault.SiteDRAMNeuron, flat)
-		x := 0
-		for _, m := range input.Maps {
-			copy(m.Data, flat[x:x+len(m.Data)])
-			x += len(m.Data)
-		}
-	}
-	if len(p.EventsAt(fault.SiteDRAMKernel)) > 0 {
-		cloned := make([]*Kernel4, len(kernels))
-		var total int
-		for i, k := range kernels {
-			cloned[i] = k.Clone()
-			total += k.Words()
-		}
-		flat := make([]Word, 0, total)
-		for _, k := range cloned {
-			flat = append(flat, k.Data...)
-		}
-		inj.CorruptMemory(fault.SiteDRAMKernel, flat)
-		x := 0
-		for _, k := range cloned {
-			copy(k.Data, flat[x:x+len(k.Data)])
-			x += len(k.Data)
-		}
-		kernels = cloned
-	}
-	return input, kernels
-}
-
-// fcAsConv rewrites a classifier layer over the current activations as
-// the equivalent 1×1 CONV problem.
-func fcAsConv(fc nn.FCLayer, cur *Map3, weights []Word) (nn.ConvLayer, *Map3, *Kernel4, error) {
-	total := cur.Words()
-	if fc.In != total {
-		return nn.ConvLayer{}, nil, nil, invalid("classifier expects %d inputs, activations hold %d", fc.In, total)
-	}
-	if len(weights) != fc.In*fc.Out {
-		return nn.ConvLayer{}, nil, nil, invalid("classifier needs %d weights, got %d", fc.In*fc.Out, len(weights))
-	}
-	flat := tensor.NewMap3(total, 1, 1)
-	x := 0
-	for n := 0; n < cur.N; n++ {
-		for _, v := range cur.Maps[n].Data {
-			flat.Set(x, 0, 0, v)
-			x++
-		}
-	}
-	kset := tensor.NewKernel4(fc.Out, fc.In, 1)
-	for m := 0; m < fc.Out; m++ {
-		for n := 0; n < fc.In; n++ {
-			kset.Set(m, n, 0, 0, weights[m*fc.In+n])
-		}
-	}
-	conv := nn.ConvLayer{Name: fc.Name, M: fc.Out, N: fc.In, S: 1, K: 1}
-	return conv, flat, kset, nil
 }
 
 // Reference computes the same network purely in software (golden
@@ -398,46 +272,64 @@ func executeAssembly(asm string, input *Map3, kernels []*Kernel4, scale int) (Ex
 	engine := core.New(scale)
 	prog.D = scale
 	engine.Chooser = prog.Chooser()
-	pool := core.NewPoolUnit(scale)
 
-	res := ExecResult{}
-	cur := input
-	convIdx := 0
-	for _, layer := range nw.Layers {
-		switch layer.Kind {
-		case nn.Conv:
-			out, lr, err := engine.Simulate(layer.Conv, cur, kernels[convIdx])
-			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Conv.Name, err)
-			}
-			res.Layers = append(res.Layers, lr)
-			cur = out
-			convIdx++
-		case nn.Pool:
-			out, err := pool.Apply(cur, layer.Pool.P, layer.Pool.Kind)
-			if err != nil {
-				return ExecResult{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
-			}
-			cur = out
-		}
+	job := pipeline.NetworkJob{Network: nw, Input: input, Kernels: kernels}
+	out, err := pipeline.Exec(engine, core.NewPoolUnit(scale), job, pipeline.Options{})
+	if err != nil {
+		return ExecResult{}, fromPipeline(err)
 	}
-	res.Output = cur
-	res.PoolCycles = pool.Cycles()
-	return res, nil
+	return fromOutcome(out), nil
 }
 
 // ExecuteBatch runs several input images through the network on the
-// same engine back to back, as the accelerator would process a batch:
-// the compiled plan and kernel working sets are reused, only the
+// same compiled plan back to back, as the accelerator would process a
+// batch: the plan and kernel working sets are reused, only the
 // activations stream. Results are returned per image, in order.
 func ExecuteBatch(nw *Network, inputs []*Map3, kernels []*Kernel4, scale int, fcWeights ...[]Word) ([]ExecResult, error) {
-	out := make([]ExecResult, 0, len(inputs))
-	for i, in := range inputs {
-		r, err := Execute(nw, in, kernels, scale, fcWeights...)
-		if err != nil {
-			return nil, fmt.Errorf("flexflow: batch image %d: %w", i, err)
+	return ExecuteBatchOpts(nw, inputs, kernels, scale, Options{}, fcWeights...)
+}
+
+// ExecuteBatchOpts is ExecuteBatch with execution controls. Images are
+// independent, so Options.Workers spreads them across the scheduler —
+// each on its own engine instance sharing the one compiled plan — and
+// the merged results are bit-identical to the serial run. A fault Plan
+// arms a fresh injector per image (each image sees the same plan, as a
+// batch replay campaign would).
+func ExecuteBatchOpts(nw *Network, inputs []*Map3, kernels []*Kernel4, scale int, opts Options, fcWeights ...[]Word) ([]ExecResult, error) {
+	var out []ExecResult
+	err := guard(func() error {
+		if scale <= 0 {
+			return invalid("scale must be positive, got %d", scale)
 		}
-		out = append(out, r)
+		jobs := make([]pipeline.NetworkJob, len(inputs))
+		for i, in := range inputs {
+			jobs[i] = pipeline.NetworkJob{Network: nw, Input: in, Kernels: kernels, FCWeights: fcWeights}
+			// Validate up front so a malformed image fails as
+			// ErrInvalidConfig before the compiler plans anything, and the
+			// failing index does not depend on scheduling.
+			if err := jobs[i].Validate(); err != nil {
+				return fmt.Errorf("flexflow: batch image %d: %w", i, fromPipeline(err))
+			}
+		}
+		// One compiled plan for the whole batch; the chooser is read-only
+		// at run time, so every image's engine can share it.
+		chooser := compiler.Plan(nw, scale).Chooser()
+		outcomes, err := pipeline.ExecBatch(opts.Workers, jobs, func(i int) (arch.Engine, pipeline.Pooler, pipeline.Options) {
+			engine := core.New(scale)
+			engine.Chooser = chooser
+			return engine, core.NewPoolUnit(scale), pipelineOptions(opts)
+		})
+		if err != nil {
+			return fromPipeline(err)
+		}
+		out = make([]ExecResult, len(outcomes))
+		for i, o := range outcomes {
+			out[i] = fromOutcome(o)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -29,6 +29,7 @@ import (
 	"flexflow/internal/fixed"
 	"flexflow/internal/mapping2d"
 	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
 	"flexflow/internal/rowstat"
 	"flexflow/internal/systolic"
 	"flexflow/internal/tensor"
@@ -166,19 +167,23 @@ func Workload(name string) (*Network, error) {
 // malformed or unrunnable network returns ErrInvalidConfig instead of
 // crashing; an escaped internal panic comes back as ErrInternal.
 func Run(e Engine, nw *Network) (RunResult, error) {
+	return RunOpts(e, nw, Options{})
+}
+
+// RunOpts is Run with the execution controls of an Options: context
+// cancellation, a modelled-cycle budget, and a worker count for
+// layer-parallel evaluation. Results are bit-identical at any Workers
+// setting.
+func RunOpts(e Engine, nw *Network, opts Options) (RunResult, error) {
 	var res RunResult
 	err := guard(func() error {
-		if e == nil {
-			return invalid("nil engine")
-		}
-		if nw == nil {
-			return invalid("nil network")
-		}
-		if err := arch.CheckNetwork(e, nw); err != nil {
-			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-		}
-		res = arch.RunModel(e, nw)
-		return nil
+		var err error
+		res, err = pipeline.RunModel(e, nw, pipeline.Options{
+			Context:   opts.Context,
+			MaxCycles: opts.MaxCycles,
+			Workers:   opts.Workers,
+		})
+		return fromPipeline(err)
 	})
 	if err != nil {
 		return RunResult{}, err

@@ -8,6 +8,7 @@ package arch
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"flexflow/internal/nn"
 	"flexflow/internal/tensor"
@@ -257,15 +258,6 @@ type Engine interface {
 	Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, LayerResult, error)
 }
 
-// RunModel evaluates every CONV layer of a network analytically.
-func RunModel(e Engine, nw *nn.Network) RunResult {
-	res := RunResult{Arch: e.Name(), Workload: nw.Name}
-	for _, l := range nw.ConvLayers() {
-		res.Layers = append(res.Layers, e.Model(l))
-	}
-	return res
-}
-
 // Style classifies a factor vector into the paper's eight processing
 // styles (§2.2): {Single,Multiple} Feature map × Neuron × Synapse,
 // e.g. "SFSNMS" for the Systolic style or "MFMNMS" for FlexFlow's
@@ -302,7 +294,10 @@ func (r LayerResult) WallClock(wordsPerCycle float64) (int64, error) {
 	if !(wordsPerCycle > 0) { // also rejects NaN
 		return 0, fmt.Errorf("%w: got %v words/cycle", ErrBandwidth, wordsPerCycle)
 	}
-	memCycles := int64(float64(r.DRAMReads+r.DRAMWrites) / wordsPerCycle)
+	// Ceiling, not truncation: a stream that needs a fraction of a cycle
+	// still occupies the whole cycle, and truncating let memory-bound
+	// layers report fewer cycles than the traffic actually takes.
+	memCycles := int64(math.Ceil(float64(r.DRAMReads+r.DRAMWrites) / wordsPerCycle))
 	if memCycles > r.Cycles {
 		return memCycles, nil
 	}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"flexflow/internal/nn"
-	"flexflow/internal/tensor"
 )
 
 var lenetC1 = nn.ConvLayer{Name: "C1", M: 6, N: 1, S: 28, K: 5}
@@ -219,34 +218,16 @@ func TestWallClockRejectsBadBandwidth(t *testing.T) {
 	}
 }
 
-func TestRunModelCollectsAllConvLayers(t *testing.T) {
-	e := fakeEngine{}
-	nw := &nn.Network{
-		InputN: 1, InputS: 8,
-		Layers: []nn.Layer{
-			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "A", M: 2, N: 1, S: 6, K: 3}},
-			{Kind: nn.Pool, Pool: nn.PoolLayer{Name: "P", N: 2, In: 6, P: 2}},
-			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "B", M: 2, N: 2, S: 2, K: 2}},
-		},
+func TestWallClockRoundsMemoryCyclesUp(t *testing.T) {
+	// 4000 words at 3.2 words/cycle is 1250 cycles exactly; at 3 it is
+	// 1333.33…, which must round up to 1334, not truncate to 1333.
+	r := LayerResult{Cycles: 100, DRAMReads: 4000}
+	if got, err := r.WallClock(3); err != nil || got != 1334 {
+		t.Errorf("WallClock(3) = %d, %v, want 1334", got, err)
 	}
-	r := RunModel(e, nw)
-	if r.Arch != "fake" || len(r.Layers) != 2 {
-		t.Fatalf("RunModel = %+v", r)
+	if got, err := r.WallClock(3.2); err != nil || got != 1250 {
+		t.Errorf("WallClock(3.2) = %d, %v, want 1250", got, err)
 	}
-	if r.Layers[0].Layer.Name != "A" || r.Layers[1].Layer.Name != "B" {
-		t.Error("layer order wrong")
-	}
-}
-
-type fakeEngine struct{}
-
-func (fakeEngine) Name() string { return "fake" }
-func (fakeEngine) PEs() int     { return 1 }
-func (fakeEngine) Model(l nn.ConvLayer) LayerResult {
-	return LayerResult{Arch: "fake", Layer: l, PEs: 1, Cycles: 1, MACs: 1}
-}
-func (fakeEngine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, LayerResult, error) {
-	return nil, LayerResult{}, nil
 }
 
 func TestRunResultDataVolumeAndWallClockAggregation(t *testing.T) {

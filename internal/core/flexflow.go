@@ -81,6 +81,17 @@ func New(d int) *Engine {
 	return e
 }
 
+// SetTracer installs (or clears) the dataflow tracer; it is the
+// capability setter the execution pipeline uses to thread run options
+// uniformly through every engine.
+func (e *Engine) SetTracer(t sim.Tracer) { e.Tracer = t }
+
+// SetWatchdog installs (or clears) the simulation watchdog.
+func (e *Engine) SetWatchdog(w *sim.Watchdog) { e.Watchdog = w }
+
+// SetInjector arms (or clears) the fault injector.
+func (e *Engine) SetInjector(inj *fault.Injector) { e.Injector = inj }
+
 // Name implements arch.Engine.
 func (e *Engine) Name() string { return "FlexFlow" }
 

@@ -40,50 +40,6 @@ func TestSimulateMatchesGoldenConv(t *testing.T) {
 	}
 }
 
-func TestModelMatchesSimulateCounters(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
-	for trial := 0; trial < 16; trial++ {
-		e := New(2 + rng.Intn(5))
-		if trial%3 == 1 {
-			e.RA, e.RS = false, false
-		}
-		if trial%3 == 2 {
-			e.IPDR = false
-		}
-		l := nn.ConvLayer{
-			Name: "rand",
-			M:    1 + rng.Intn(5),
-			N:    1 + rng.Intn(3),
-			S:    2 + rng.Intn(6),
-			K:    1 + rng.Intn(4),
-		}
-		in, k := makeOperands(l, uint64(trial))
-		_, simRes, err := e.Simulate(l, in, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mod := e.Model(l)
-		for _, cmp := range []struct {
-			name     string
-			sim, mod int64
-		}{
-			{"Cycles", simRes.Cycles, mod.Cycles},
-			{"MACs", simRes.MACs, mod.MACs},
-			{"NeuronLoads", simRes.NeuronLoads, mod.NeuronLoads},
-			{"NeuronStores", simRes.NeuronStores, mod.NeuronStores},
-			{"KernelLoads", simRes.KernelLoads, mod.KernelLoads},
-			{"LocalReads", simRes.LocalReads, mod.LocalReads},
-			{"LocalWrites", simRes.LocalWrites, mod.LocalWrites},
-			{"DRAMReads", simRes.DRAMReads, mod.DRAMReads},
-		} {
-			if cmp.sim != cmp.mod {
-				t.Errorf("trial %d %+v (RA/RS=%v IPDR=%v): %s sim=%d model=%d",
-					trial, l, e.RA, e.IPDR, cmp.name, cmp.sim, cmp.mod)
-			}
-		}
-	}
-}
-
 func TestUtilizationEqualsEq2TimesEq3(t *testing.T) {
 	// With RA+RS on, achieved utilization is exactly U_r·U_c.
 	e := New(16)

@@ -43,7 +43,7 @@ func Ablations() ([]AblationRow, string) {
 		"Workload", "Config", "Cycles", "Buf<->PE words", "Utilization")
 
 	add := func(nw *nn.Network, name string, engine *core.Engine) {
-		r := arch.RunModel(engine, nw)
+		r := runModel(engine, nw)
 		row := AblationRow{Workload: nw.Name, Config: name,
 			Cycles: r.Cycles(), Volume: r.DataVolume(), Util: r.Utilization()}
 		rows = append(rows, row)
@@ -164,7 +164,7 @@ func FiveWay() ([]WorkloadSeries, string) {
 		uRow := []string{nw.Name}
 		gRow := []string{nw.Name}
 		for j, e := range engines {
-			r := arch.RunModel(e, nw)
+			r := runModel(e, nw)
 			vals[j] = r.Utilization()
 			uRow = append(uRow, metrics.Pct(vals[j]))
 			gRow = append(gRow, fmt.Sprintf("%.0f", r.GOPS(ClockHz)))
@@ -202,8 +202,7 @@ func BalancedSweep(name string) ([]BalancedPoint, string) {
 	for _, lambda := range []float64{0, 10, 50, 200, 1000} {
 		e := core.New(16)
 		e.Chooser = compiler.PlanBalanced(nw, 16, lambda).Chooser()
-		r := arch.RunModel(e, nw)
-		b := p.RunEnergy(r, 16)
+		r, b := runBilled(e, nw, p, 16)
 		pt := BalancedPoint{
 			Lambda:  lambda,
 			Cycles:  r.Cycles(),
@@ -298,7 +297,7 @@ func BandwidthSensitivity() ([]BandwidthPoint, string) {
 	engines := EnginesFor(nw, 16)
 	runs := make([]arch.RunResult, len(engines))
 	for j, e := range engines {
-		runs[j] = arch.RunModel(e, nw)
+		runs[j] = runModel(e, nw)
 	}
 	var pts []BandwidthPoint
 	tb := metrics.NewTable("Extension — DRAM bandwidth sensitivity (AlexNet, wall-clock GOPS)",

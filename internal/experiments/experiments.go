@@ -7,13 +7,14 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"flexflow/internal/arch"
 	"flexflow/internal/compiler"
 	"flexflow/internal/core"
+	"flexflow/internal/energy"
 	"flexflow/internal/mapping2d"
 	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
 	"flexflow/internal/systolic"
 	"flexflow/internal/tiling"
 	"flexflow/internal/workloads"
@@ -21,6 +22,32 @@ import (
 
 // ClockHz is the evaluation clock: all baselines run at 1 GHz (§6.2.3).
 const ClockHz = 1e9
+
+// Workers is the scheduler pool width the generators use for
+// independent evaluation units (0 = GOMAXPROCS, 1 = serial). The
+// flexbench and flexreport -workers flags set it; every generator's
+// output is bit-identical at any setting.
+var Workers int
+
+// runModel evaluates a network through the execution pipeline. The
+// generators evaluate fixed, known-good workloads, so an error here is
+// a generator bug: panic, as the goldens' invariants elsewhere do.
+func runModel(e arch.Engine, nw *nn.Network) arch.RunResult {
+	r, err := pipeline.RunModel(e, nw, pipeline.Options{Workers: 1})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", e.Name(), nw.Name, err))
+	}
+	return r
+}
+
+// runBilled is runModel plus the energy-billing stage of the pipeline.
+func runBilled(e arch.Engine, nw *nn.Network, p energy.Params, edge int) (arch.RunResult, energy.Breakdown) {
+	r, b, err := pipeline.RunBilled(e, nw, p, edge, pipeline.Options{Workers: 1})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", e.Name(), nw.Name, err))
+	}
+	return r, b
+}
 
 // ArchNames lists the four architectures in the paper's order.
 var ArchNames = []string{"Systolic", "2D-Mapping", "Tiling", "FlexFlow"}
@@ -62,26 +89,41 @@ func EnginesFor(nw *nn.Network, scale int) []arch.Engine {
 }
 
 // RunAll evaluates every workload on every architecture at the given
-// scale, returning results indexed [workload][arch]. Workloads are
-// independent, so they run concurrently (the dominant cost is the
-// compiler's factor search for the big nets).
+// scale, returning results indexed [workload][arch]. The
+// (workload, arch) pairs are independent, so they fan across the
+// scheduler at the package Workers setting (the dominant cost is the
+// compiler's factor search for the big nets); results merge back in
+// index order, identical at any width.
 func RunAll(scale int) ([]*nn.Network, [][]arch.RunResult) {
 	nws := workloads.All()
 	out := make([][]arch.RunResult, len(nws))
-	var wg sync.WaitGroup
-	for i, nw := range nws {
-		wg.Add(1)
-		go func(i int, nw *nn.Network) {
-			defer wg.Done()
-			engines := EnginesFor(nw, scale)
-			out[i] = make([]arch.RunResult, len(engines))
-			for j, e := range engines {
-				out[i][j] = arch.RunModel(e, nw)
-			}
-		}(i, nw)
+	for i := range out {
+		out[i] = make([]arch.RunResult, len(ArchNames))
 	}
-	wg.Wait()
+	sched := pipeline.Scheduler{Workers: Workers}
+	err := sched.Map(len(nws)*len(ArchNames), func(idx int) error {
+		i, j := idx/len(ArchNames), idx%len(ArchNames)
+		out[i][j] = runModel(engineFor(nws[i], scale, j), nws[i])
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	return nws, out
+}
+
+// engineFor builds the j-th ArchNames engine for a workload.
+func engineFor(nw *nn.Network, scale, j int) arch.Engine {
+	switch j {
+	case 0:
+		return SystolicFor(nw, scale)
+	case 1:
+		return mapping2d.New(scale)
+	case 2:
+		return tiling.New(scale, scale)
+	default:
+		return FlexFlowFor(nw, scale)
+	}
 }
 
 // EdgeOf returns the physical array-edge proxy used for wire-length

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"flexflow/internal/arch"
 	"flexflow/internal/energy"
 	"flexflow/internal/metrics"
 	"flexflow/internal/workloads"
@@ -29,7 +28,7 @@ func Figure1() ([]WorkloadSeries, string) {
 	var labels []string
 	var ratios []float64
 	for _, e := range engines {
-		res := arch.RunModel(e, nw)
+		res := runModel(e, nw)
 		nominal := 2 * float64(e.PEs()) // 2 ops/MAC at 1 GHz
 		achieved := res.GOPS(ClockHz)
 		ratio := achieved / nominal
@@ -177,8 +176,7 @@ func Figure19() ([]Figure19Data, string) {
 		pwC := []string{fmt.Sprintf("%dx%d", s, s)}
 		arC := []string{fmt.Sprintf("%dx%d", s, s)}
 		for j, e := range EnginesFor(nw, s) {
-			r := arch.RunModel(e, nw)
-			b := p.RunEnergy(r, EdgeOf(s))
+			r, b := runBilled(e, nw, p, EdgeOf(s))
 			d.Utilization[j] = r.Utilization()
 			d.PowerMW[j] = energy.PowerMW(b, r.Cycles(), ClockHz)
 			d.AreaMM2[j] = energy.Area(e.Name(), e.PEs(), figure19LocalBytes[j], 64*1024)
@@ -215,8 +213,7 @@ func InterconnectPower() ([]InterconnectPowerData, string) {
 		"Scale", "Interconnect", "Total chip", "Share")
 	for _, s := range []int{16, 32, 64} {
 		e := FlexFlowFor(nw, s)
-		r := arch.RunModel(e, nw)
-		b := p.RunEnergy(r, EdgeOf(s))
+		_, b := runBilled(e, nw, p, EdgeOf(s))
 		share := b.Interconnect / b.ChipPJ()
 		data = append(data, InterconnectPowerData{Scale: s, Share: share})
 		tb.Add(fmt.Sprintf("%dx%d", s, s),

@@ -167,8 +167,7 @@ func Table6() ([]Table6Row, string) {
 		"Workload", "P_nein (mW)", "P_neout (mW)", "P_kerin (mW)", "P_com (mW)", "P_com share")
 	for _, nw := range workloads.All() {
 		e := FlexFlowFor(nw, 16)
-		r := arch.RunModel(e, nw)
-		b := p.RunEnergy(r, EdgeOf(16))
+		r, b := runBilled(e, nw, p, EdgeOf(16))
 		seconds := float64(r.Cycles()) / ClockHz
 		toMW := func(pj float64) float64 { return pj * 1e-12 / seconds * 1e3 }
 		row := Table6Row{
@@ -210,11 +209,11 @@ type Table7Row struct {
 func Table7() ([]Table7Row, string) {
 	nw := workloads.AlexNet()
 	e := FlexFlowFor(nw, 16)
-	r := arch.RunModel(e, nw)
+	r := runModel(e, nw)
 	accOp := float64(r.DRAMAccesses()) / float64(2*r.MACs())
 
 	rs := rowstat.NewEyeriss()
-	rsRun := arch.RunModel(rs, nw)
+	rsRun := runModel(rs, nw)
 	rsAccOp := float64(rsRun.DRAMAccesses()) / float64(2*rsRun.MACs())
 
 	rows := []Table7Row{

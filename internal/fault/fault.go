@@ -292,6 +292,16 @@ func NewInjector(p *Plan) *Injector {
 	return &Injector{plan: p, fired: make([]bool, n)}
 }
 
+// Plan returns the armed plan (nil for a nil or unarmed injector), so
+// layers above can consult the planned events — e.g. to apply
+// DRAM-site corruptions to operand tensors before a run.
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
 // Fired returns how many planned events have fired at least once.
 func (in *Injector) Fired() int {
 	if in == nil {

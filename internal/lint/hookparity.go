@@ -44,7 +44,7 @@ func NewHookParity() *HookParity {
 	return &HookParity{
 		FaultPkg:   "flexflow/internal/fault",
 		SiteType:   "Site",
-		WiringPkgs: []string{"flexflow/internal/core", "flexflow"},
+		WiringPkgs: []string{"flexflow/internal/core", "flexflow/internal/pipeline", "flexflow"},
 		ImplicitWiring: map[string][]string{
 			// The multiplier site is armed through the dedicated
 			// stuck-at-zero query on the MAC fast path.

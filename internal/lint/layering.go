@@ -35,10 +35,11 @@ type Layering struct {
 // order, bottom up: word-level leaves (fixed, bus, sim, metrics) →
 // data/model substrate (tensor, nn, mem, fault) → architecture algebra
 // (arch, workloads) → simulators (core, systolic, mapping2d, tiling,
-// rowstat) ∥ planners (compiler) ∥ billing (energy) → experiments →
-// the facade and the commands. The factor search lives in arch
-// precisely so compiler and the simulators can share it without an
-// edge between them.
+// rowstat) ∥ planners (compiler) ∥ billing (energy) → the execution
+// pipeline (pipeline, which drives engines only through the arch
+// interface — no edge to any simulator) → experiments → the facade and
+// the commands. The factor search lives in arch precisely so compiler
+// and the simulators can share it without an edge between them.
 func RepoLayering() map[string][]string {
 	return map[string][]string{
 		"internal/fixed":   {},
@@ -59,16 +60,18 @@ func RepoLayering() map[string][]string {
 		"internal/systolic":  {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
 		"internal/mapping2d": {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
 		"internal/tiling":    {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
-		"internal/rowstat":   {"internal/arch", "internal/fixed", "internal/nn", "internal/tensor"},
+		"internal/rowstat":   {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
 
 		"internal/compiler": {"internal/arch", "internal/nn", "internal/tensor"},
 		"internal/energy":   {"internal/arch"},
 
-		"internal/experiments": {"internal/arch", "internal/compiler", "internal/core", "internal/energy", "internal/mapping2d", "internal/metrics", "internal/nn", "internal/rowstat", "internal/systolic", "internal/tiling", "internal/workloads"},
+		"internal/pipeline": {"internal/arch", "internal/energy", "internal/fault", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
 
-		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping2d", "internal/nn", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
+		"internal/experiments": {"internal/arch", "internal/compiler", "internal/core", "internal/energy", "internal/mapping2d", "internal/metrics", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/systolic", "internal/tiling", "internal/workloads"},
 
-		"cmd/flexbench":  {"internal/experiments", "internal/metrics"},
+		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping2d", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
+
+		"cmd/flexbench":  {"internal/arch", "internal/experiments", "internal/metrics"},
 		"cmd/flexcc":     {".", "internal/compiler", "internal/core", "internal/metrics"},
 		"cmd/flexfault":  {"."},
 		"cmd/flexlint":   {"internal/lint"},

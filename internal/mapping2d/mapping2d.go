@@ -28,6 +28,11 @@ type Engine struct {
 
 	// Tracer, when non-nil, receives dataflow events from Simulate.
 	Tracer sim.Tracer
+
+	// Watchdog, when non-nil, bounds Simulate: it is polled at block
+	// boundaries, so a cancelled context or exhausted cycle budget
+	// stops the run with a typed error.
+	Watchdog *sim.Watchdog
 }
 
 // New returns a 2-D mapping engine with the paper's buffer capacity.
@@ -37,6 +42,14 @@ func New(d int) *Engine {
 	}
 	return &Engine{D: d, BufferWords: 16384}
 }
+
+// SetTracer installs (or clears) the dataflow tracer; it is the
+// capability setter the execution pipeline uses to thread run options
+// uniformly through every engine.
+func (e *Engine) SetTracer(t sim.Tracer) { e.Tracer = t }
+
+// SetWatchdog installs (or clears) the simulation watchdog.
+func (e *Engine) SetWatchdog(w *sim.Watchdog) { e.Watchdog = w }
 
 // Name implements arch.Engine.
 func (e *Engine) Name() string { return "2D-Mapping" }
@@ -177,6 +190,11 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 					}
 				}
 				for n := 0; n < l.N; n++ {
+					// Poll the watchdog at block boundaries so a budget or
+					// cancellation lands without touching the cycle loop.
+					if err := e.Watchdog.Check(clock.Cycle()); err != nil {
+						return nil, arch.LayerResult{}, err
+					}
 					e.runBlock(l, in, k, cur, acc, fifo, &res, &clock, m, n, r0, c0, rows, cols)
 				}
 				for r := 0; r < rows; r++ {
@@ -190,6 +208,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	}
 	res.Cycles = clock.Cycle()
 	e.modelDRAM(l, &res)
+	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }
 

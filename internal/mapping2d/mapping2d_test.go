@@ -1,7 +1,6 @@
 package mapping2d
 
 import (
-	"math/rand"
 	"testing"
 
 	"flexflow/internal/nn"
@@ -36,41 +35,6 @@ func TestSimulateMatchesGoldenConv(t *testing.T) {
 		}
 		if res.MACs != l.MACs() {
 			t.Errorf("%s: MACs = %d, want %d", l.Name, res.MACs, l.MACs())
-		}
-	}
-}
-
-func TestModelMatchesSimulateCounters(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	e := New(4)
-	for trial := 0; trial < 12; trial++ {
-		l := nn.ConvLayer{
-			Name: "rand",
-			M:    1 + rng.Intn(4),
-			N:    1 + rng.Intn(3),
-			S:    2 + rng.Intn(8),
-			K:    1 + rng.Intn(4),
-		}
-		in, k := makeOperands(l, uint64(trial))
-		_, simRes, err := e.Simulate(l, in, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mod := e.Model(l)
-		if simRes.Cycles != mod.Cycles {
-			t.Errorf("%+v: cycles sim=%d model=%d", l, simRes.Cycles, mod.Cycles)
-		}
-		if simRes.NeuronLoads != mod.NeuronLoads {
-			t.Errorf("%+v: NeuronLoads sim=%d model=%d", l, simRes.NeuronLoads, mod.NeuronLoads)
-		}
-		if simRes.KernelLoads != mod.KernelLoads {
-			t.Errorf("%+v: KernelLoads sim=%d model=%d", l, simRes.KernelLoads, mod.KernelLoads)
-		}
-		if simRes.InterPEMoves != mod.InterPEMoves {
-			t.Errorf("%+v: InterPEMoves sim=%d model=%d", l, simRes.InterPEMoves, mod.InterPEMoves)
-		}
-		if simRes.NeuronStores != mod.NeuronStores {
-			t.Errorf("%+v: NeuronStores sim=%d model=%d", l, simRes.NeuronStores, mod.NeuronStores)
 		}
 	}
 }

@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/fault"
+	"flexflow/internal/fixed"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// Pooler is the pooling-unit contract of the functional pipeline;
+// core.PoolUnit satisfies it. Keeping it an interface here is what
+// lets the pipeline drive any engine without importing one.
+type Pooler interface {
+	Apply(in *tensor.Map3, p int, kind tensor.PoolKind) (*tensor.Map3, error)
+	Cycles() int64
+}
+
+// NetworkJob is a whole-network functional execution unit: the
+// topology, one input image, one kernel set per CONV layer, and
+// optionally one row-major Out×In weight slice per FC layer. Without
+// FC weights, execution stops at the first classifier with the tensor
+// that feeds it.
+type NetworkJob struct {
+	Network   *nn.Network
+	Input     *tensor.Map3
+	Kernels   []*tensor.Kernel4
+	FCWeights [][]fixed.Word
+}
+
+// ExecOutcome is the result of one NetworkJob through the pipeline.
+type ExecOutcome struct {
+	// Output is the feature-map stack leaving the last executed layer.
+	Output *tensor.Map3
+	// Layers holds one measurement per executed CONV/FC layer, in order.
+	Layers []arch.LayerResult
+	// PoolCycles is the total time spent in the pooling unit.
+	PoolCycles int64
+	// FaultsFired and FaultHits report injector activity when a fault
+	// plan was armed: plan events that matched at least once, and
+	// individual corruptions applied.
+	FaultsFired int
+	FaultHits   int64
+}
+
+// Validate is the pipeline's job-validation stage (shapes before
+// cycles: every malformed input is rejected here as ErrJob, so the
+// engines only ever see runnable work). Exec runs it; the facade also
+// calls it up front so a malformed job fails before any planning work.
+func (job NetworkJob) Validate() error {
+	nw := job.Network
+	if nw == nil {
+		return badJob("nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return fmt.Errorf("%w: network does not chain: %v", ErrJob, err)
+	}
+	if job.Input == nil {
+		return badJob("nil input tensor")
+	}
+	if job.Input.N != nw.InputN || job.Input.H != nw.InputS || job.Input.W != nw.InputS {
+		return badJob("input is %d@%dx%d, network %s expects %d@%dx%d",
+			job.Input.N, job.Input.H, job.Input.W, nw.Name, nw.InputN, nw.InputS, nw.InputS)
+	}
+	if got, want := len(job.Kernels), len(nw.ConvLayers()); got != want {
+		return badJob("%d kernel sets for %d CONV layers", got, want)
+	}
+	for i, k := range job.Kernels {
+		if k == nil {
+			return badJob("kernel set %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// Exec runs a network end to end through one engine, functionally:
+// validation, control attachment (tracer, watchdog, injector — via the
+// capability interfaces, so every backend gets the same Options
+// semantics), DRAM-site fault application, then the layer loop with
+// per-layer counter collection. CONV layers go through the engine's
+// cycle-level simulator, POOL layers through the pooling unit, FC
+// layers as the equivalent 1×1 CONV problem on the same array.
+func Exec(e arch.Engine, pool Pooler, job NetworkJob, opts Options) (ExecOutcome, error) {
+	if e == nil {
+		return ExecOutcome{}, badJob("nil engine")
+	}
+	if pool == nil {
+		return ExecOutcome{}, badJob("nil pooling unit")
+	}
+	if err := job.Validate(); err != nil {
+		return ExecOutcome{}, err
+	}
+
+	wd := attach(e, opts)
+	inj := opts.Injector
+	input, kernels := applyDRAMFaults(inj, job.Input, job.Kernels)
+
+	nw := job.Network
+	res := ExecOutcome{}
+	cur := input
+	convIdx := 0
+	fcIdx := 0
+	for _, layer := range nw.Layers {
+		// The inter-layer boundary is a schedule boundary too: poll the
+		// watchdog here so even engines without their own polling (and
+		// the pooling unit) honour cancellation and the cycle budget.
+		if err := wd.Check(0); err != nil {
+			return ExecOutcome{}, err
+		}
+		switch layer.Kind {
+		case nn.Conv:
+			out, lr, err := RunLayer(e, LayerJob{
+				Index: convIdx, Layer: layer.Conv, Input: cur, Kernel: kernels[convIdx]})
+			if err != nil {
+				return ExecOutcome{}, layerErr(inj, layer.Conv.Name, err)
+			}
+			if layer.Conv.ReLU {
+				out = tensor.ReLU(out)
+			}
+			res.Layers = append(res.Layers, lr)
+			cur = out
+			convIdx++
+		case nn.Pool:
+			out, err := pool.Apply(cur, layer.Pool.P, layer.Pool.Kind)
+			if err != nil {
+				return ExecOutcome{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
+			}
+			cur = out
+		case nn.FC:
+			// A classifier layer is a matrix–vector product, which the
+			// convolutional unit computes as a CONV layer with M = Out,
+			// N = In, S = 1, K = 1: the flattened activations become In
+			// single-neuron feature maps and the weight matrix an
+			// In-deep stack of 1×1 kernels.
+			if fcIdx >= len(job.FCWeights) {
+				// No weights supplied: stop at the classifier input,
+				// as the paper's engine evaluation does.
+				return res.finish(cur, pool, inj), nil
+			}
+			conv, flat, kset, err := fcAsConv(layer.FC, cur, job.FCWeights[fcIdx])
+			if err != nil {
+				return ExecOutcome{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
+			}
+			out, lr, err := RunLayer(e, LayerJob{Index: convIdx, Layer: conv, Input: flat, Kernel: kset})
+			if err != nil {
+				return ExecOutcome{}, layerErr(inj, layer.FC.Name, err)
+			}
+			res.Layers = append(res.Layers, lr)
+			// Back to a 1×1 stack of Out maps for any following layer.
+			cur = out
+			fcIdx++
+		}
+	}
+	return res.finish(cur, pool, inj), nil
+}
+
+// finish fills the run-level fields of an outcome.
+func (r ExecOutcome) finish(cur *tensor.Map3, pool Pooler, inj *fault.Injector) ExecOutcome {
+	r.Output = cur
+	r.PoolCycles = pool.Cycles()
+	r.FaultsFired = inj.Fired()
+	r.FaultHits = inj.Hits()
+	return r
+}
+
+// ExecBatch runs independent NetworkJobs across the scheduler — batch
+// images on an accelerator. backend(i) supplies each job's engine,
+// pooling unit and options; it must return state not shared with other
+// indices (a fresh engine and injector per image), which is what makes
+// the parallel run bit-identical to the serial one. Results merge in
+// job order; the returned error is the lowest-index failure, wrapped
+// with its image index.
+func ExecBatch(workers int, jobs []NetworkJob, backend func(i int) (arch.Engine, Pooler, Options)) ([]ExecOutcome, error) {
+	out := make([]ExecOutcome, len(jobs))
+	sched := Scheduler{Workers: workers}
+	err := sched.Map(len(jobs), func(i int) error {
+		e, pool, opts := backend(i)
+		o, err := Exec(e, pool, jobs[i], opts)
+		if err != nil {
+			return fmt.Errorf("flexflow: batch image %d: %w", i, err)
+		}
+		out[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// layerErr attributes a mid-simulation failure: once an armed injector
+// has fired, the failure is additionally marked ErrFaulted so callers
+// can tell an injected-fault crash from an ordinary one (both wrapped
+// errors stay visible to errors.Is).
+func layerErr(inj *fault.Injector, name string, err error) error {
+	if inj.Fired() > 0 {
+		return fmt.Errorf("flexflow: layer %s: %w: %w", name, fault.ErrFaulted, err)
+	}
+	return fmt.Errorf("flexflow: layer %s: %w", name, err)
+}
+
+// applyDRAMFaults applies the injector's external-memory events to
+// clones of the operand tensors (the caller's tensors are never
+// touched), returning the possibly corrupted working set. Neuron
+// events address the flattened input image; kernel events the
+// concatenation of all layers' kernel sets.
+func applyDRAMFaults(inj *fault.Injector, input *tensor.Map3, kernels []*tensor.Kernel4) (*tensor.Map3, []*tensor.Kernel4) {
+	p := inj.Plan()
+	if p == nil {
+		return input, kernels
+	}
+	if len(p.EventsAt(fault.SiteDRAMNeuron)) > 0 {
+		input = input.Clone()
+		flat := make([]fixed.Word, 0, input.Words())
+		for _, m := range input.Maps {
+			flat = append(flat, m.Data...)
+		}
+		inj.CorruptMemory(fault.SiteDRAMNeuron, flat)
+		x := 0
+		for _, m := range input.Maps {
+			copy(m.Data, flat[x:x+len(m.Data)])
+			x += len(m.Data)
+		}
+	}
+	if len(p.EventsAt(fault.SiteDRAMKernel)) > 0 {
+		cloned := make([]*tensor.Kernel4, len(kernels))
+		var total int
+		for i, k := range kernels {
+			cloned[i] = k.Clone()
+			total += k.Words()
+		}
+		flat := make([]fixed.Word, 0, total)
+		for _, k := range cloned {
+			flat = append(flat, k.Data...)
+		}
+		inj.CorruptMemory(fault.SiteDRAMKernel, flat)
+		x := 0
+		for _, k := range cloned {
+			copy(k.Data, flat[x:x+len(k.Data)])
+			x += len(k.Data)
+		}
+		kernels = cloned
+	}
+	return input, kernels
+}
+
+// fcAsConv rewrites a classifier layer over the current activations as
+// the equivalent 1×1 CONV problem.
+func fcAsConv(fc nn.FCLayer, cur *tensor.Map3, weights []fixed.Word) (nn.ConvLayer, *tensor.Map3, *tensor.Kernel4, error) {
+	total := cur.Words()
+	if fc.In != total {
+		return nn.ConvLayer{}, nil, nil, badJob("classifier expects %d inputs, activations hold %d", fc.In, total)
+	}
+	if len(weights) != fc.In*fc.Out {
+		return nn.ConvLayer{}, nil, nil, badJob("classifier needs %d weights, got %d", fc.In*fc.Out, len(weights))
+	}
+	flat := tensor.NewMap3(total, 1, 1)
+	x := 0
+	for n := 0; n < cur.N; n++ {
+		for _, v := range cur.Maps[n].Data {
+			flat.Set(x, 0, 0, v)
+			x++
+		}
+	}
+	kset := tensor.NewKernel4(fc.Out, fc.In, 1)
+	for m := 0; m < fc.Out; m++ {
+		for n := 0; n < fc.In; n++ {
+			kset.Set(m, n, 0, 0, weights[m*fc.In+n])
+		}
+	}
+	conv := nn.ConvLayer{Name: fc.Name, M: fc.Out, N: fc.In, S: 1, K: 1}
+	return conv, flat, kset, nil
+}

@@ -1,0 +1,153 @@
+package pipeline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tensor"
+	"flexflow/internal/tiling"
+)
+
+func makeOperands(l nn.ConvLayer, seed uint64) (*tensor.Map3, *tensor.Kernel4) {
+	in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+	in.FillPattern(seed)
+	k := tensor.NewKernel4(l.M, l.N, l.K)
+	k.FillPattern(seed + 1)
+	return in, k
+}
+
+// counter reads one named counter off a LayerResult, so each engine's
+// parity case can declare exactly which counters its Model guarantees.
+func counter(lr arch.LayerResult, name string) int64 {
+	switch name {
+	case "Cycles":
+		return lr.Cycles
+	case "MACs":
+		return lr.MACs
+	case "NeuronLoads":
+		return lr.NeuronLoads
+	case "NeuronStores":
+		return lr.NeuronStores
+	case "KernelLoads":
+		return lr.KernelLoads
+	case "LocalReads":
+		return lr.LocalReads
+	case "LocalWrites":
+		return lr.LocalWrites
+	case "InterPEMoves":
+		return lr.InterPEMoves
+	case "DRAMReads":
+		return lr.DRAMReads
+	default:
+		panic("unknown counter " + name)
+	}
+}
+
+// TestModelMatchesSimulateCounters is the cross-engine parity gate:
+// for every backend, the analytic Model and the cycle-level Simulate
+// paths of the pipeline must agree exactly on the engine's guaranteed
+// counter set over randomized layer shapes. It replaces the five
+// per-engine copies of the same test; the seeds, trial counts and
+// shape ranges are theirs, so coverage is preserved.
+func TestModelMatchesSimulateCounters(t *testing.T) {
+	cases := []struct {
+		name     string
+		seed     int64
+		trials   int
+		engine   func(rng *rand.Rand, trial int) arch.Engine
+		layer    func(rng *rand.Rand) nn.ConvLayer
+		counters []string
+	}{
+		{
+			name: "FlexFlow", seed: 31, trials: 16,
+			engine: func(rng *rand.Rand, trial int) arch.Engine {
+				e := core.New(2 + rng.Intn(5))
+				if trial%3 == 1 {
+					e.RA, e.RS = false, false
+				}
+				if trial%3 == 2 {
+					e.IPDR = false
+				}
+				return e
+			},
+			layer: func(rng *rand.Rand) nn.ConvLayer {
+				return nn.ConvLayer{Name: "rand",
+					M: 1 + rng.Intn(5), N: 1 + rng.Intn(3), S: 2 + rng.Intn(6), K: 1 + rng.Intn(4)}
+			},
+			counters: []string{"Cycles", "MACs", "NeuronLoads", "NeuronStores",
+				"KernelLoads", "LocalReads", "LocalWrites", "DRAMReads"},
+		},
+		{
+			name: "Systolic", seed: 3, trials: 12,
+			engine: func(*rand.Rand, int) arch.Engine { return systolic.New(4, 3) },
+			layer: func(rng *rand.Rand) nn.ConvLayer {
+				return nn.ConvLayer{Name: "rand",
+					M: 1 + rng.Intn(5), N: 1 + rng.Intn(3), S: 2 + rng.Intn(5), K: 1 + rng.Intn(5)}
+			},
+			counters: []string{"Cycles", "MACs", "NeuronLoads", "NeuronStores",
+				"KernelLoads", "InterPEMoves"},
+		},
+		{
+			name: "2D-Mapping", seed: 5, trials: 12,
+			engine: func(*rand.Rand, int) arch.Engine { return mapping2d.New(4) },
+			layer: func(rng *rand.Rand) nn.ConvLayer {
+				return nn.ConvLayer{Name: "rand",
+					M: 1 + rng.Intn(4), N: 1 + rng.Intn(3), S: 2 + rng.Intn(8), K: 1 + rng.Intn(4)}
+			},
+			counters: []string{"Cycles", "NeuronLoads", "KernelLoads",
+				"InterPEMoves", "NeuronStores"},
+		},
+		{
+			name: "Tiling", seed: 9, trials: 12,
+			engine: func(*rand.Rand, int) arch.Engine { return tiling.New(4, 3) },
+			layer: func(rng *rand.Rand) nn.ConvLayer {
+				return nn.ConvLayer{Name: "rand",
+					M: 1 + rng.Intn(6), N: 1 + rng.Intn(5), S: 2 + rng.Intn(4), K: 1 + rng.Intn(3)}
+			},
+			counters: []string{"Cycles", "MACs", "NeuronLoads", "NeuronStores",
+				"KernelLoads", "LocalReads"},
+		},
+		{
+			name: "Row-Stationary", seed: 17, trials: 14,
+			engine: func(*rand.Rand, int) arch.Engine { return rowstat.New(6, 5) },
+			layer: func(rng *rand.Rand) nn.ConvLayer {
+				return nn.ConvLayer{Name: "rand",
+					M: 1 + rng.Intn(7), N: 1 + rng.Intn(3), S: 2 + rng.Intn(7),
+					K: 1 + rng.Intn(8)} // K can exceed Rows ⇒ folding
+			},
+			counters: []string{"Cycles", "MACs", "NeuronLoads", "NeuronStores",
+				"KernelLoads", "InterPEMoves"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			for trial := 0; trial < tc.trials; trial++ {
+				e := tc.engine(rng, trial)
+				l := tc.layer(rng)
+				in, k := makeOperands(l, uint64(trial))
+				_, simRes, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l, Input: in, Kernel: k})
+				if err != nil {
+					t.Fatalf("trial %d %+v: %v", trial, l, err)
+				}
+				_, mod, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l})
+				if err != nil {
+					t.Fatalf("trial %d %+v: %v", trial, l, err)
+				}
+				for _, name := range tc.counters {
+					if s, m := counter(simRes, name), counter(mod, name); s != m {
+						t.Errorf("trial %d %+v: %s sim=%d model=%d", trial, l, name, s, m)
+					}
+				}
+			}
+		})
+	}
+}

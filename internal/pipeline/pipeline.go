@@ -1,0 +1,198 @@
+// Package pipeline is the single layer-execution path every engine
+// plugs into. The per-layer orchestration the paper's evaluation needs
+// — validate, plan, Model or Simulate, counter collection, energy
+// billing, tracer/watchdog/fault wiring — used to be re-implemented in
+// each engine package and in the facade; here it is one pipeline, and
+// the four architectures (plus the row-stationary comparator) are
+// backends of it. On top sits Scheduler, a deterministic worker pool
+// that runs independent units concurrently with per-index result slots
+// and an ordered merge, so every counter is bit-identical at any
+// GOMAXPROCS or -workers setting.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/energy"
+	"flexflow/internal/fault"
+	"flexflow/internal/nn"
+	"flexflow/internal/sim"
+	"flexflow/internal/tensor"
+)
+
+// ErrJob marks a malformed job: nil tensors, a network that does not
+// chain, operand shapes that do not match. The facade maps it onto its
+// public ErrInvalidConfig.
+var ErrJob = errors.New("pipeline: malformed job")
+
+// badJob wraps a formatted message with ErrJob.
+func badJob(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", ErrJob, fmt.Sprintf(format, a...))
+}
+
+// Options threads the execution controls uniformly through every
+// engine — they used to be FlexFlow-only. The zero value is the plain
+// fast path: serial-equivalent parallel execution, no cancellation, no
+// cycle bound, no tracing, no faults.
+type Options struct {
+	// Context, when non-nil, cancels the run between schedule passes;
+	// the result is a sim.ErrCancelled-wrapped error.
+	Context context.Context
+	// MaxCycles, when positive, bounds the total engine cycles of the
+	// run (simulated or modelled); exceeding it returns a
+	// sim.ErrBudget-wrapped error.
+	MaxCycles int64
+	// Tracer, when non-nil, is attached to backends that support it
+	// (TracerHost) for the duration of the run.
+	Tracer sim.Tracer
+	// Injector, when non-nil, arms fault injection on backends that
+	// support it (InjectorHost); DRAM-site events corrupt cloned
+	// operand tensors before execution.
+	Injector *fault.Injector
+	// Workers is the Scheduler pool width for the run's independent
+	// units: 0 means GOMAXPROCS, 1 serial. Results are identical at
+	// any setting.
+	Workers int
+}
+
+// TracerHost is implemented by backends that can emit dataflow events.
+type TracerHost interface {
+	SetTracer(t sim.Tracer)
+}
+
+// WatchdogHost is implemented by backends whose Simulate polls a
+// watchdog at schedule boundaries.
+type WatchdogHost interface {
+	SetWatchdog(w *sim.Watchdog)
+}
+
+// InjectorHost is implemented by backends that can corrupt their
+// dataflow according to an armed fault plan.
+type InjectorHost interface {
+	SetInjector(inj *fault.Injector)
+}
+
+// attach wires the run controls into the backend, capability by
+// capability. The watchdog is built here so every engine gets the same
+// context/budget semantics; it is returned for the caller to poll
+// between layers (covering backends without WatchdogHost support, and
+// non-engine stages like pooling).
+func attach(e arch.Engine, opts Options) *sim.Watchdog {
+	if th, ok := e.(TracerHost); ok {
+		th.SetTracer(opts.Tracer)
+	}
+	if ih, ok := e.(InjectorHost); ok {
+		ih.SetInjector(opts.Injector)
+	}
+	var wd *sim.Watchdog
+	if opts.Context != nil || opts.MaxCycles > 0 {
+		wd = sim.NewWatchdog(opts.Context, opts.MaxCycles)
+	}
+	if wh, ok := e.(WatchdogHost); ok {
+		wh.SetWatchdog(wd)
+	}
+	return wd
+}
+
+// cancelled reports a context cancellation as the typed sentinel.
+func cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", sim.ErrCancelled, ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// LayerJob is one unit of work through the pipeline: a layer plus its
+// operand tensors. A nil Input selects the analytic path (Model); with
+// operands the layer goes through the cycle-level simulator.
+type LayerJob struct {
+	Index  int
+	Layer  nn.ConvLayer
+	Input  *tensor.Map3
+	Kernel *tensor.Kernel4
+}
+
+// RunLayer pushes one job through the pipeline stages on an already
+// attached engine: analytic jobs return counters only, simulated jobs
+// also the output feature maps.
+func RunLayer(e arch.Engine, job LayerJob) (*tensor.Map3, arch.LayerResult, error) {
+	if job.Input == nil {
+		return nil, e.Model(job.Layer), nil
+	}
+	return e.Simulate(job.Layer, job.Input, job.Kernel)
+}
+
+// RunModel analytically evaluates every CONV layer of a network on the
+// engine: the CheckNetwork validation stage, then one analytic
+// LayerJob per layer fanned across the scheduler (layers are
+// independent — Model is read-only on the engine), merged back in
+// layer order. The context is polled per layer and the cycle budget is
+// enforced on the merged result, walking layers in order so the
+// failing layer does not depend on the worker count.
+func RunModel(e arch.Engine, nw *nn.Network, opts Options) (arch.RunResult, error) {
+	if e == nil {
+		return arch.RunResult{}, badJob("nil engine")
+	}
+	if nw == nil {
+		return arch.RunResult{}, badJob("nil network")
+	}
+	if err := arch.CheckNetwork(e, nw); err != nil {
+		return arch.RunResult{}, fmt.Errorf("%w: %v", ErrJob, err)
+	}
+	layers := nw.ConvLayers()
+	res := arch.RunResult{Arch: e.Name(), Workload: nw.Name}
+	if len(layers) == 0 {
+		return res, nil
+	}
+	res.Layers = make([]arch.LayerResult, len(layers))
+	sched := Scheduler{Workers: opts.Workers}
+	err := sched.Map(len(layers), func(i int) error {
+		if err := cancelled(opts.Context); err != nil {
+			return err
+		}
+		_, lr, err := RunLayer(e, LayerJob{Index: i, Layer: layers[i]})
+		if err != nil {
+			return fmt.Errorf("layer %s: %w", layers[i].Name, err)
+		}
+		res.Layers[i] = lr
+		return nil
+	})
+	if err != nil {
+		return arch.RunResult{}, err
+	}
+	if opts.MaxCycles > 0 {
+		var spent int64
+		for _, lr := range res.Layers {
+			spent += lr.Cycles
+			if spent > opts.MaxCycles {
+				return arch.RunResult{}, fmt.Errorf("%w: %d modelled cycles exceed budget %d (layer %s)",
+					sim.ErrBudget, spent, opts.MaxCycles, lr.Layer.Name)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunBilled is RunModel with the energy-billing stage: each layer's
+// counters are charged against the tariff table as they merge, in
+// layer order, so the float accumulation is bit-identical to a serial
+// p.RunEnergy over the same result.
+func RunBilled(e arch.Engine, nw *nn.Network, p energy.Params, edge int, opts Options) (arch.RunResult, energy.Breakdown, error) {
+	res, err := RunModel(e, nw, opts)
+	if err != nil {
+		return arch.RunResult{}, energy.Breakdown{}, err
+	}
+	var b energy.Breakdown
+	for _, lr := range res.Layers {
+		b = b.Add(p.LayerEnergy(lr, edge))
+	}
+	return res, b, nil
+}

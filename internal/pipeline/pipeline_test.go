@@ -1,0 +1,253 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
+	"flexflow/internal/sim"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tensor"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+// fakeEngine is a minimal arch.Engine for pipeline plumbing tests.
+type fakeEngine struct{}
+
+func (fakeEngine) Name() string { return "fake" }
+func (fakeEngine) PEs() int     { return 1 }
+func (fakeEngine) Model(l nn.ConvLayer) arch.LayerResult {
+	return arch.LayerResult{Arch: "fake", Layer: l, PEs: 1, Cycles: 1, MACs: 1}
+}
+func (fakeEngine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	return nil, arch.LayerResult{}, nil
+}
+
+func TestSchedulerRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		hit := make([]int32, n)
+		err := pipeline.Scheduler{Workers: workers}.Map(n, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestSchedulerReturnsLowestIndexError(t *testing.T) {
+	// Indices 2 and 7 fail; at any worker count the caller must see
+	// index 2's error, matching what a serial run reports first.
+	for _, workers := range []int{1, 4, 0} {
+		err := pipeline.Scheduler{Workers: workers}.Map(10, func(i int) error {
+			if i == 2 || i == 7 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 2" {
+			t.Errorf("workers=%d: err = %v, want boom 2", workers, err)
+		}
+	}
+}
+
+func TestRunModelCollectsAllConvLayers(t *testing.T) {
+	nw := &nn.Network{
+		InputN: 1, InputS: 8,
+		Layers: []nn.Layer{
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "A", M: 2, N: 1, S: 6, K: 3}},
+			{Kind: nn.Pool, Pool: nn.PoolLayer{Name: "P", N: 2, In: 6, P: 2}},
+			{Kind: nn.Conv, Conv: nn.ConvLayer{Name: "B", M: 2, N: 2, S: 2, K: 2}},
+		},
+	}
+	r, err := pipeline.RunModel(fakeEngine{}, nw, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arch != "fake" || len(r.Layers) != 2 {
+		t.Fatalf("RunModel = %+v", r)
+	}
+	if r.Layers[0].Layer.Name != "A" || r.Layers[1].Layer.Name != "B" {
+		t.Error("layer order wrong")
+	}
+}
+
+func TestRunModelRejectsMalformedJobs(t *testing.T) {
+	if _, err := pipeline.RunModel(nil, workloads.Example(), pipeline.Options{}); !errors.Is(err, pipeline.ErrJob) {
+		t.Errorf("nil engine: %v", err)
+	}
+	if _, err := pipeline.RunModel(fakeEngine{}, nil, pipeline.Options{}); !errors.Is(err, pipeline.ErrJob) {
+		t.Errorf("nil network: %v", err)
+	}
+}
+
+func TestRunModelDeterministicAcrossWorkers(t *testing.T) {
+	nw := workloads.LeNet5()
+	e := core.New(8)
+	base, err := pipeline.RunModel(e, nw, pipeline.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		got, err := pipeline.RunModel(e, nw, pipeline.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: result differs from serial run", workers)
+		}
+	}
+}
+
+func TestRunModelBudgetFailsOnDeterministicLayer(t *testing.T) {
+	nw := workloads.LeNet5()
+	e := core.New(8)
+	full, err := pipeline.RunModel(e, nw, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget that the first layer fits but the whole run does not:
+	// the walk is in layer order, so the failing layer is always the
+	// first one to cross the line, regardless of worker count.
+	budget := full.Layers[0].Cycles
+	var want string
+	for _, workers := range []int{1, 4} {
+		_, err := pipeline.RunModel(e, nw, pipeline.Options{MaxCycles: budget, Workers: workers})
+		if !errors.Is(err, sim.ErrBudget) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudget", workers, err)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: budget error %q differs from serial %q", workers, err.Error(), want)
+		}
+	}
+}
+
+func TestRunModelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pipeline.RunModel(core.New(8), workloads.LeNet5(), pipeline.Options{Context: ctx})
+	if !errors.Is(err, sim.ErrCancelled) {
+		t.Errorf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// execEngines are the four cycle-level backends at small scale, for
+// end-to-end Exec tests on the Example workload.
+func execEngines() []arch.Engine {
+	return []arch.Engine{
+		systolic.New(4, 4),
+		mapping2d.New(4),
+		tiling.New(4, 4),
+		core.New(4),
+	}
+}
+
+func exampleJob(seed uint64) pipeline.NetworkJob {
+	nw := workloads.Example()
+	in := tensor.NewMap3(nw.InputN, nw.InputS, nw.InputS)
+	in.FillPattern(seed)
+	var kernels []*tensor.Kernel4
+	for i, l := range nw.ConvLayers() {
+		k := tensor.NewKernel4(l.M, l.N, l.K)
+		k.FillPattern(seed + uint64(i)*7919)
+		kernels = append(kernels, k)
+	}
+	return pipeline.NetworkJob{Network: nw, Input: in, Kernels: kernels}
+}
+
+func TestExecRunsEveryEngine(t *testing.T) {
+	for _, e := range execEngines() {
+		out, err := pipeline.Exec(e, core.NewPoolUnit(4), exampleJob(11), pipeline.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if out.Output == nil || len(out.Layers) != 2 {
+			t.Fatalf("%s: outcome %+v", e.Name(), out)
+		}
+		if out.Layers[0].Arch != e.Name() {
+			t.Errorf("%s: layer arch = %q", e.Name(), out.Layers[0].Arch)
+		}
+	}
+}
+
+func TestExecBudgetStopsEveryEngine(t *testing.T) {
+	// One cycle is never enough for Example C1, so the watchdog each
+	// backend polls must stop the run with the typed budget error.
+	for _, e := range execEngines() {
+		_, err := pipeline.Exec(e, core.NewPoolUnit(4), exampleJob(11), pipeline.Options{MaxCycles: 1})
+		if !errors.Is(err, sim.ErrBudget) {
+			t.Errorf("%s: err = %v, want ErrBudget", e.Name(), err)
+		}
+	}
+}
+
+func TestExecCancelledStopsEveryEngine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range execEngines() {
+		_, err := pipeline.Exec(e, core.NewPoolUnit(4), exampleJob(11), pipeline.Options{Context: ctx})
+		if !errors.Is(err, sim.ErrCancelled) {
+			t.Errorf("%s: err = %v, want ErrCancelled", e.Name(), err)
+		}
+	}
+}
+
+func TestExecBatchDeterministicAcrossWorkers(t *testing.T) {
+	jobs := make([]pipeline.NetworkJob, 6)
+	for i := range jobs {
+		jobs[i] = exampleJob(uint64(100 + i))
+	}
+	backend := func(i int) (arch.Engine, pipeline.Pooler, pipeline.Options) {
+		return core.New(4), core.NewPoolUnit(4), pipeline.Options{}
+	}
+	base, err := pipeline.ExecBatch(1, jobs, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		got, err := pipeline.ExecBatch(workers, jobs, backend)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: batch results differ from serial run", workers)
+		}
+	}
+}
+
+func TestExecBatchReportsLowestFailingImage(t *testing.T) {
+	jobs := make([]pipeline.NetworkJob, 4)
+	for i := range jobs {
+		jobs[i] = exampleJob(uint64(i))
+	}
+	jobs[1].Input = nil // malformed
+	jobs[3].Input = nil
+	for _, workers := range []int{1, 4} {
+		_, err := pipeline.ExecBatch(workers, jobs, func(i int) (arch.Engine, pipeline.Pooler, pipeline.Options) {
+			return core.New(4), core.NewPoolUnit(4), pipeline.Options{}
+		})
+		if err == nil || !strings.Contains(err.Error(), "batch image 1") {
+			t.Errorf("workers=%d: err = %v, want batch image 1", workers, err)
+		}
+	}
+}

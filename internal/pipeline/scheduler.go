@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler is the deterministic worker pool underneath every parallel
+// stage of the pipeline: layers within RunModel, images within
+// ExecBatch, (workload, engine) pairs within the cross-architecture
+// sweeps. Independence is the caller's contract — each index must
+// touch only its own slot — and determinism is the scheduler's:
+// results are written into per-index slots (counter sharding) and read
+// back in index order, so the merged output is bit-identical at any
+// worker count.
+type Scheduler struct {
+	// Workers is the pool width: 0 means GOMAXPROCS, 1 runs inline
+	// with no goroutines at all.
+	Workers int
+}
+
+// width resolves the effective pool size for n independent units.
+func (s Scheduler) width(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map runs fn(0..n-1), each exactly once. With one worker the calls
+// run inline in index order and stop at the first error. With more
+// workers the calls are pulled off a shared atomic counter; every
+// index still runs (an error does not cancel siblings, whose slots
+// stay independent) and the returned error is the lowest-index one —
+// the same error a serial run would surface — so the observable
+// outcome does not depend on the worker count.
+func (s Scheduler) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := s.width(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"flexflow/internal/arch"
 	"flexflow/internal/fixed"
 	"flexflow/internal/nn"
+	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
 )
 
@@ -31,6 +32,11 @@ type Engine struct {
 	// BufferWords bounds on-chip reuse in the DRAM model (Eyeriss's
 	// global buffer is 108 KB = 55296 words).
 	BufferWords int
+
+	// Watchdog, when non-nil, bounds Simulate: it is polled at m-group
+	// boundaries, so a cancelled context or exhausted cycle budget stops
+	// the run with a typed error.
+	Watchdog *sim.Watchdog
 }
 
 // New returns an RS engine with the Eyeriss-like global buffer.
@@ -43,6 +49,11 @@ func New(rows, cols int) *Engine {
 
 // NewEyeriss returns the 12×14, 108 KB configuration of Table 7.
 func NewEyeriss() *Engine { return New(12, 14) }
+
+// SetWatchdog installs (or clears) the simulation watchdog; it is the
+// capability setter the execution pipeline uses to thread run options
+// uniformly through every engine.
+func (e *Engine) SetWatchdog(w *sim.Watchdog) { e.Watchdog = w }
 
 // Name implements arch.Engine.
 func (e *Engine) Name() string { return "Row-Stationary" }
@@ -202,6 +213,11 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 			}
 			// m-groups share the input multicast across concurrent sets.
 			for m0 := 0; m0 < l.M; m0 += sets {
+				// Poll the watchdog at m-group boundaries; the running
+				// cycle estimate is the rounds completed so far.
+				if err := e.Watchdog.Check(rounds * cyclesPerPass); err != nil {
+					return nil, arch.LayerResult{}, err
+				}
 				for e0 := 0; e0 < l.S; e0 += setW {
 					ew := setW
 					if e0+ew > l.S {
@@ -238,6 +254,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	res.LocalWrites = l.MACs()
 	mGroups := int64((l.M + sets - 1) / sets)
 	e.modelDRAM(l, &res, mGroups)
+	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }
 

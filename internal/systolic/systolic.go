@@ -37,6 +37,11 @@ type Engine struct {
 
 	// Tracer, when non-nil, receives dataflow events from Simulate.
 	Tracer sim.Tracer
+
+	// Watchdog, when non-nil, bounds Simulate: it is polled at pass
+	// boundaries, so a cancelled context or exhausted cycle budget
+	// stops the run with a typed error.
+	Watchdog *sim.Watchdog
 }
 
 // New returns a systolic engine with the paper's defaults for buffer
@@ -47,6 +52,14 @@ func New(k0, arrays int) *Engine {
 	}
 	return &Engine{K0: k0, Arrays: arrays, BufferWords: 16384}
 }
+
+// SetTracer installs (or clears) the dataflow tracer; it is the
+// capability setter the execution pipeline uses to thread run options
+// uniformly through every engine.
+func (e *Engine) SetTracer(t sim.Tracer) { e.Tracer = t }
+
+// SetWatchdog installs (or clears) the simulation watchdog.
+func (e *Engine) SetWatchdog(w *sim.Watchdog) { e.Watchdog = w }
 
 // Name implements arch.Engine.
 func (e *Engine) Name() string { return "Systolic" }
@@ -190,6 +203,12 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		for n := 0; n < l.N; n++ {
 			for oi := 0; oi < sub; oi++ {
 				for oj := 0; oj < sub; oj++ {
+					// A pass boundary is a schedule boundary: poll the
+					// watchdog so cancellation and the cycle budget take
+					// effect within a layer, not only between layers.
+					if err := e.Watchdog.Check(clock.Cycle()); err != nil {
+						return nil, arch.LayerResult{}, err
+					}
 					// All arrays of the group consume one shared
 					// broadcast stream; simulate each array's pipeline.
 					groupCycles := int64(0)
@@ -223,6 +242,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	}
 	res.Cycles = clock.Cycle()
 	e.modelDRAM(l, &res, int64(mGroups))
+	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }
 

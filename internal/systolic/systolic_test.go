@@ -1,7 +1,6 @@
 package systolic
 
 import (
-	"math/rand"
 	"testing"
 
 	"flexflow/internal/nn"
@@ -56,44 +55,6 @@ func TestSimulateKernelLargerThanArray(t *testing.T) {
 	wantCycles := int64(1) * 1 * 4 * (8*8 + 1) // mGroups·N·passes·(Sin²+1)
 	if res.Cycles != wantCycles {
 		t.Errorf("Cycles = %d, want %d", res.Cycles, wantCycles)
-	}
-}
-
-func TestModelMatchesSimulateCounters(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	e := New(4, 3)
-	for trial := 0; trial < 12; trial++ {
-		l := nn.ConvLayer{
-			Name: "rand",
-			M:    1 + rng.Intn(5),
-			N:    1 + rng.Intn(3),
-			S:    2 + rng.Intn(5),
-			K:    1 + rng.Intn(5),
-		}
-		in, k := makeOperands(l, uint64(trial))
-		_, simRes, err := e.Simulate(l, in, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mod := e.Model(l)
-		if simRes.Cycles != mod.Cycles {
-			t.Errorf("%+v: cycles sim=%d model=%d", l, simRes.Cycles, mod.Cycles)
-		}
-		if simRes.MACs != mod.MACs {
-			t.Errorf("%+v: MACs sim=%d model=%d", l, simRes.MACs, mod.MACs)
-		}
-		if simRes.NeuronLoads != mod.NeuronLoads {
-			t.Errorf("%+v: NeuronLoads sim=%d model=%d", l, simRes.NeuronLoads, mod.NeuronLoads)
-		}
-		if simRes.NeuronStores != mod.NeuronStores {
-			t.Errorf("%+v: NeuronStores sim=%d model=%d", l, simRes.NeuronStores, mod.NeuronStores)
-		}
-		if simRes.KernelLoads != mod.KernelLoads {
-			t.Errorf("%+v: KernelLoads sim=%d model=%d", l, simRes.KernelLoads, mod.KernelLoads)
-		}
-		if simRes.InterPEMoves != mod.InterPEMoves {
-			t.Errorf("%+v: InterPEMoves sim=%d model=%d", l, simRes.InterPEMoves, mod.InterPEMoves)
-		}
 	}
 }
 

@@ -28,6 +28,11 @@ type Engine struct {
 
 	// Tracer, when non-nil, receives dataflow events from Simulate.
 	Tracer sim.Tracer
+
+	// Watchdog, when non-nil, bounds Simulate: it is polled at output-row
+	// boundaries, so a cancelled context or exhausted cycle budget stops
+	// the run with a typed error.
+	Watchdog *sim.Watchdog
 }
 
 // New returns a tiling engine with the paper's buffer capacity.
@@ -37,6 +42,14 @@ func New(tm, tn int) *Engine {
 	}
 	return &Engine{Tm: tm, Tn: tn, BufferWords: 16384}
 }
+
+// SetTracer installs (or clears) the dataflow tracer; it is the
+// capability setter the execution pipeline uses to thread run options
+// uniformly through every engine.
+func (e *Engine) SetTracer(t sim.Tracer) { e.Tracer = t }
+
+// SetWatchdog installs (or clears) the simulation watchdog.
+func (e *Engine) SetWatchdog(w *sim.Watchdog) { e.Watchdog = w }
 
 // Name implements arch.Engine.
 func (e *Engine) Name() string { return "Tiling" }
@@ -162,6 +175,12 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		for n0 := 0; n0 < l.N; n0 += e.Tn {
 			width := min(e.Tn, l.N-n0)
 			for r := 0; r < l.S; r++ {
+				// Poll the watchdog once per output row — coarse enough to
+				// stay off the MAC fast path, fine enough that a budget or
+				// cancellation lands promptly.
+				if err := e.Watchdog.Check(clock.Cycle()); err != nil {
+					return nil, arch.LayerResult{}, err
+				}
 				for c := 0; c < l.S; c++ {
 					// Each PE accumulates one output neuron over the
 					// K×K window for this n-block.
@@ -213,6 +232,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	}
 	res.Cycles = clock.Cycle()
 	e.modelDRAM(l, &res, int64(nBlocks))
+	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }
 
