@@ -1,0 +1,39 @@
+package flexflow
+
+// Allocation regression guards for the analytic fast path. The
+// flexlint hotalloc analyzer bounds the *sites* that may allocate in
+// functions reachable from the pipeline hot paths; these tests bound
+// the *runtime counts*, so a regression shows up whichever side it
+// enters from. The ceilings are deliberately above the measured
+// values (see the comments) — they are tripwires, not benchmarks.
+
+import (
+	"testing"
+
+	"flexflow/internal/workloads"
+)
+
+// TestRunModelAllocGuard pins the steady-state allocation count of a
+// serial analytic run. Measured: 3 allocs/run on VGG-11 (the layer
+// slice, the result slice, and the scheduler closure) after the
+// exact-size ConvLayers and single-extraction CheckLayers changes —
+// down from 10 before them.
+func TestRunModelAllocGuard(t *testing.T) {
+	const ceiling = 6
+	nw := workloads.VGG11()
+	e, err := NewEngine(FlexFlow, 16, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOpts(e, nw, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := RunOpts(e, nw, Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > ceiling {
+		t.Errorf("RunOpts(workers=1) allocates %.0f times per run, guard is %d", n, ceiling)
+	}
+}

@@ -272,6 +272,7 @@ func BenchmarkRunModel(b *testing.B) {
 	for _, workers := range []int{1, 4, 0} {
 		workers := workers
 		b.Run(workersLabel(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r, err := RunOpts(e, nw, Options{Workers: workers})
 				if err != nil {
@@ -304,6 +305,7 @@ func BenchmarkExecuteBatch(b *testing.B) {
 	for _, workers := range []int{1, 4, 0} {
 		workers := workers
 		b.Run(workersLabel(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := ExecuteBatchOpts(nw, inputs, kernels, 8, Options{Workers: workers})
 				if err != nil {

@@ -11,8 +11,10 @@
 //	flexlint -baseline b.json ./...  # fail only on findings not in b.json
 //	flexlint -disable unitcheck ./...
 //
-// The -json output is an object {"findings": [...]} whose entries carry
-// id, module-relative file, line, column and message — the same shape a
+// The -json output is an object {"version": N, "analyzers": [...],
+// "findings": [...]}: version and analyzers record the suite revision
+// and enabled set that produced the dump, and each finding carries id,
+// module-relative file, line, column and message — the same shape a
 // -baseline file uses, so a findings dump can seed a baseline directly.
 // Baseline entries match on (id, file) only; line numbers churn with
 // unrelated edits and are ignored. The shipped baseline is empty:
@@ -42,8 +44,10 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline `file`; findings listed there do not fail the run")
 	enable := flag.String("enable", "", "comma-separated `analyzers` to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated `analyzers` to skip")
+	purityManifest := flag.String("purity-manifest", "", "write the purity certificate to `file` (canonical JSON)")
+	allocReport := flag.String("alloc-report", "", "write the hot-path allocation budget to `file` (canonical JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [-json] [-baseline file] [-enable a,b] [-disable a,b] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
+		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [-json] [-baseline file] [-enable a,b] [-disable a,b] [-purity-manifest file] [-alloc-report file] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,12 +87,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
 		os.Exit(2)
 	}
+
+	// Artifact emission is independent of the findings gate: both
+	// files are regenerated from the same Program the analyzers saw,
+	// so the committed copies (pinned by tests) cannot drift from
+	// what the suite enforced.
+	if *purityManifest != "" {
+		m, err := lint.NewPurity().Manifest(prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*purityManifest, m.Encode(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *allocReport != "" {
+		if err := os.WriteFile(*allocReport, lint.RepoAllocBudget().Encode(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	fresh, known := baseline.Filter(findings, prog.ModRoot)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(lint.Baseline{Findings: lint.ToJSON(fresh, prog.ModRoot)}); err != nil {
+		dump := lint.Baseline{
+			Version:   lint.SuiteVersion,
+			Analyzers: lint.AnalyzerNames(analyzers),
+			Findings:  lint.ToJSON(fresh, prog.ModRoot),
+		}
+		if err := enc.Encode(dump); err != nil {
 			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
 			os.Exit(2)
 		}

@@ -113,6 +113,7 @@ func TestFlexlintSmoke(t *testing.T) {
 	for _, analyzer := range []string{
 		"fixedsat", "detsim", "counteraudit", "errdrop", "concsafe",
 		"layering", "unitcheck", "apiguard", "hookparity",
+		"purity", "hotalloc", "sharedcapture",
 	} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("flexlint -list missing analyzer %q:\n%s", analyzer, out)

@@ -338,8 +338,17 @@ func CheckNetwork(e Engine, nw *nn.Network) error {
 	if nw == nil {
 		return errors.New("arch: nil network")
 	}
+	return CheckLayers(e, nw.ConvLayers())
+}
+
+// CheckLayers is CheckNetwork over an already-extracted CONV layer
+// slice. Callers that have the slice in hand (the pipeline extracts it
+// once per run) use this form so validation does not re-extract it —
+// ConvLayers allocates, and the hot analytic path is budgeted
+// allocation-by-allocation (flexlint hotalloc).
+func CheckLayers(e Engine, layers []nn.ConvLayer) error {
 	c, _ := e.(LayerChecker)
-	for _, l := range nw.ConvLayers() {
+	for _, l := range layers {
 		if err := l.Validate(); err != nil {
 			return err
 		}

@@ -60,6 +60,15 @@ type Engine struct {
 	// exhausted cycle budget stops the run with a typed error instead
 	// of letting it run away.
 	Watchdog *sim.Watchdog
+
+	// micro holds MicroSimulate's reusable per-pass scratch buffers.
+	// Keeping them on the engine (grown once, reused across passes and
+	// calls) is what makes the micro path's inner loops allocation-free
+	// — the flexlint hotalloc budget pins it. The trade-off is that
+	// MicroSimulate is not safe for concurrent use on a shared Engine;
+	// the pipeline's backend contract (fresh engine per batch index)
+	// already guarantees one goroutine per engine.
+	micro microScratch
 }
 
 // New returns a FlexFlow engine with the paper's Table 5 configuration

@@ -11,6 +11,62 @@ import (
 	"flexflow/internal/tensor"
 )
 
+// rowJob names one active physical row of a pass: the row index and
+// the output coordinate it serves.
+type rowJob struct {
+	row     int
+	m, r, c int
+}
+
+// microScratch is MicroSimulate's per-pass working set: the active-row
+// job list and the two operand staging slices. The slices are reset
+// with [:0] and refilled every pass/lane, so their backing arrays are
+// allocated once (per engine, at high-water capacity) instead of once
+// per lane per pass — the per-iteration allocations the flexlint
+// hotalloc analyzer exists to keep out of this loop.
+type microScratch struct {
+	jobs    []rowJob
+	neurons []fixed.Word
+	kern    []fixed.Word
+
+	// rows is the physical PE array, rebuilt only when the engine
+	// geometry changes. Each call re-preloads every active store from
+	// address 0 and the address generators never read past the preload
+	// length, so stale contents are unreachable; counters and fault
+	// hooks are reset explicitly below.
+	rows []*Row
+}
+
+// physRows returns the reusable physical PE rows for the engine's
+// current geometry, with access counters zeroed and any fault hooks
+// from a previous run cleared.
+func (e *Engine) physRows() []*Row {
+	rebuild := len(e.micro.rows) != e.D
+	if !rebuild && e.D > 0 && len(e.micro.rows[0].PEs) > 0 {
+		pe := e.micro.rows[0].PEs[0]
+		rebuild = len(e.micro.rows[0].PEs) != e.D ||
+			pe.Neurons.Cap() != e.NeuronStoreWords ||
+			pe.Kernels.Cap() != e.KernelStoreWords
+	}
+	if rebuild {
+		rows := make([]*Row, e.D)
+		for i := range rows {
+			rows[i] = NewRow(e.D, e.NeuronStoreWords, e.KernelStoreWords)
+		}
+		e.micro.rows = rows
+		return rows
+	}
+	for _, row := range e.micro.rows {
+		for _, pe := range row.PEs {
+			pe.Neurons.ResetCounters()
+			pe.Kernels.ResetCounters()
+			pe.Neurons.ReadHook = nil
+			pe.Kernels.ReadHook = nil
+		}
+	}
+	return e.micro.rows
+}
+
 // MicroSimulate executes a layer through the explicit component
 // micro-architecture — mem.BankedBuffer banks under the IADP layout,
 // per-PE mem.LocalStore pairs driven by mem.AddrGen FSMs, Row adder
@@ -63,10 +119,7 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 		}
 	}
 
-	physRows := make([]*Row, e.D)
-	for i := range physRows {
-		physRows[i] = NewRow(e.D, e.NeuronStoreWords, e.KernelStoreWords)
-	}
+	physRows := e.physRows()
 
 	out := tensor.NewMap3(l.M, l.S, l.S)
 	psum := make([]fixed.Acc, l.M*l.S*l.S)
@@ -75,7 +128,8 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 	// Fault hooks: the micro path exercises the real component read
 	// ports, so faults are injected where the hardware would see them —
 	// the IADP bank read ports and the per-PE local-store read ports.
-	// The banks and rows are per-call locals, so no unhooking is needed.
+	// The banks are per-call locals; the reused rows had any previous
+	// run's hooks cleared by physRows above.
 	if inj := e.Injector; inj != nil {
 		cycle := func() int64 { return res.Cycles }
 		for g := 0; g < layout.Tn; g++ {
@@ -106,22 +160,19 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 		// cycle-by-cycle operands across (nb,ib,jb) block steps. Neuron
 		// words are fetched through the IADP banks; idle slots (invalid
 		// lanes) carry zeros so the adder tree folds them harmlessly.
-		type rowJob struct {
-			row     int
-			m, r, c int
-		}
-		var jobs []rowJob
+		jobs := e.micro.jobs[:0]
 		forEachValidOutput(l, t, p, func(m, r, c int) {
 			jobs = append(jobs, rowJob{RowOf(m, r, c, t), m, r, c})
 		})
+		e.micro.jobs = jobs
 		for _, job := range jobs {
 			row := physRows[job.row]
 			for lane := 0; lane < t.Cols(); lane++ {
 				tn := lane / (t.Ti * t.Tj)
 				rem := lane % (t.Ti * t.Tj)
 				ti, tj := rem/t.Tj, rem%t.Tj
-				neurons := make([]fixed.Word, 0, cpp)
-				kern := make([]fixed.Word, 0, cpp)
+				neurons := e.micro.neurons[:0]
+				kern := e.micro.kern[:0]
 				for nb := 0; nb < ceilDiv(p.vN, t.Tn); nb++ {
 					for ib := 0; ib < ceilDiv(l.K, t.Ti); ib++ {
 						for jb := 0; jb < ceilDiv(l.K, t.Tj); jb++ {
@@ -139,6 +190,10 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 						}
 					}
 				}
+				// Preload copies into the local stores, so the scratch
+				// backing arrays (kept at high-water capacity) are free
+				// for the next lane immediately.
+				e.micro.neurons, e.micro.kern = neurons, kern
 				pe := row.PEs[lane]
 				if err := pe.Preload(neurons, kern); err != nil {
 					simErr = err

@@ -51,7 +51,14 @@ func ToJSON(findings []Finding, modRoot string) []JSONFinding {
 // empty; entries are a temporary debt ledger, not a suppression
 // mechanism (that is //lint:ignore's job, with a reason, at the site).
 type Baseline struct {
-	Findings []JSONFinding `json:"findings"`
+	// Version and Analyzers make a findings dump self-describing: they
+	// record the suite revision and the enabled analyzer set that
+	// produced it, so a stale baseline is attributable. Both are
+	// optional on input — hand-maintained baselines may omit them, and
+	// a version mismatch only matters when findings actually differ.
+	Version   int           `json:"version,omitempty"`
+	Analyzers []string      `json:"analyzers,omitempty"`
+	Findings  []JSONFinding `json:"findings"`
 }
 
 // ParseBaseline reads and validates a baseline file.
@@ -142,6 +149,10 @@ func SelectAnalyzers(all []Analyzer, enable, disable string) ([]Analyzer, error)
 	}
 	return out, nil
 }
+
+// AnalyzerNames returns the sorted names of a suite — the value the
+// Baseline.Analyzers field records.
+func AnalyzerNames(all []Analyzer) []string { return analyzerNames(all) }
 
 func analyzerNames(all []Analyzer) []string {
 	out := make([]string, 0, len(all))

@@ -7,6 +7,7 @@ package lint
 // analyzers' behavioral specification.
 
 import (
+	"maps"
 	"regexp"
 	"slices"
 	"sort"
@@ -174,6 +175,147 @@ func TestConcSafeGolden(t *testing.T) {
 	runGolden(t, NewConcSafe(), "testdata/concsafe")
 }
 
+func TestPurityGolden(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/purity/purex"
+	a := &Purity{
+		Roots: []string{
+			"(*" + base + ".Engine).GoodModel",
+			base + ".BadGlobalWrite",
+			base + ".BadGlobalRead",
+			base + ".BadMapRange",
+			base + ".BadClock",
+			base + ".BadDynamic",
+			base + ".BadParamMutation",
+			base + ".BadEscapedMutation",
+			base + ".BadHelperMutation",
+			base + ".BadChan",
+			base + ".BadGo",
+		},
+		AssumePure: []string{base + ".Engine.Chooser"},
+	}
+	runGolden(t, a, "testdata/purity")
+}
+
+// TestPurityManifestShape pins the certificate the fixture produces:
+// the clean root certifies pure with its chooser assumption recorded,
+// and every Bad* root is reported impure with the rule that broke it.
+func TestPurityManifestShape(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/purity/purex"
+	a := &Purity{
+		Roots: []string{
+			"(*" + base + ".Engine).GoodModel",
+			base + ".BadHelperMutation",
+			base + ".BadClock",
+		},
+		AssumePure: []string{base + ".Engine.Chooser"},
+	}
+	prog, err := Load(".", "testdata/purity/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Manifest(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Roots) != 3 {
+		t.Fatalf("manifest has %d roots, want 3", len(m.Roots))
+	}
+	byRoot := map[string]PurityEntry{}
+	for _, e := range m.Roots {
+		byRoot[e.Root] = e
+	}
+	good := byRoot["(*"+base+".Engine).GoodModel"]
+	if !good.Pure {
+		t.Errorf("GoodModel not certified pure: impure=%v mutates=%v", good.Impure, good.Mutates)
+	}
+	if len(good.Assumed) != 1 || good.Assumed[0] != base+".Engine.Chooser" {
+		t.Errorf("GoodModel assumed = %v, want the chooser field", good.Assumed)
+	}
+	if good.Functions < 3 {
+		t.Errorf("GoodModel certificate covers %d functions, want at least the root and two helpers", good.Functions)
+	}
+	if mut := byRoot[base+".BadHelperMutation"]; mut.Pure || len(mut.Mutates) == 0 {
+		t.Errorf("BadHelperMutation should be impure via mutation, got %+v", mut)
+	}
+	if clock := byRoot[base+".BadClock"]; clock.Pure || !slices.Contains(clock.Impure, "purity/nondet-call") {
+		t.Errorf("BadClock should be impure via nondet-call, got %+v", clock)
+	}
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/hotalloc/hotx"
+	a := &HotAlloc{
+		Roots: []string{base + ".Hot", base + ".Clean", base + ".Busy"},
+		Budget: map[string]int{
+			base + ".Hot":    1,
+			base + ".Clean":  2,
+			base + ".Busy":   7,
+			base + ".helper": 1,
+		},
+	}
+	runGolden(t, a, "testdata/hotalloc")
+}
+
+// TestHotAllocReportShape pins the site-counting semantics exactly:
+// Report over the fixture must return one entry per allocating
+// function with the kind-by-kind count the fixture documents.
+func TestHotAllocReportShape(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/hotalloc/hotx"
+	a := &HotAlloc{Roots: []string{base + ".Hot", base + ".Clean", base + ".Busy"}}
+	prog, err := Load(".", "testdata/hotalloc/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Report(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		base + ".Hot":    2, // make + append
+		base + ".Busy":   7, // &composite, slice+map composites, closure, go, iface-boxing, string-concat
+		base + ".helper": 1, // iface-boxing
+	}
+	if !maps.Equal(rep.Budget, want) {
+		t.Errorf("Report budget = %v, want %v", rep.Budget, want)
+	}
+}
+
+func TestSharedCaptureGolden(t *testing.T) {
+	a := &SharedCapture{
+		MapFuncs: []string{"(flexflow/internal/lint/testdata/sharedcapture/schedx.Pool).Map"},
+	}
+	runGolden(t, a, "testdata/sharedcapture")
+}
+
+// TestHotAllocStaleEntry covers the one rule the golden fixture
+// cannot express with a want comment: a budget entry for a function
+// no hot root reaches is anchored at the module root, not a file.
+func TestHotAllocStaleEntry(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/hotalloc/hotx"
+	a := &HotAlloc{
+		Roots:  []string{base + ".Hot"},
+		Budget: map[string]int{base + ".Hot": 2, base + ".Gone": 1},
+	}
+	prog, err := Load(".", "testdata/hotalloc/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(prog, []Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the stale entry: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.ID != "hotalloc/stale-budget" || !strings.Contains(f.Message, "not reachable") {
+		t.Errorf("unexpected finding: id=%s message=%s", f.ID, f.Message)
+	}
+	if f.Pos.Filename != prog.ModRoot {
+		t.Errorf("stale-entry finding anchored at %s, want the module root", f.Pos.Filename)
+	}
+}
+
 // TestIgnoreGolden pins the suppression mechanism end to end: both
 // placements suppress, and a reason is mandatory.
 func TestIgnoreGolden(t *testing.T) {
@@ -216,8 +358,8 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single path segment", name)
 		}
 	}
-	if len(seen) != 9 {
-		t.Errorf("expected the 9-analyzer suite, got %d", len(seen))
+	if len(seen) != 12 {
+		t.Errorf("expected the 12-analyzer suite, got %d", len(seen))
 	}
 }
 

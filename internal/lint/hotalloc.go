@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAlloc keeps allocation out of the simulator hot paths. The
+// micro-architectural simulation and the pipeline fan-out run
+// millions of passes per experiment; an allocation that creeps into
+// one of their inner loops costs more than the arithmetic it feeds.
+// The analyzer walks the static module-local call graph from the
+// configured hot roots, counts the allocation sites in every
+// reachable function body, and gates the counts against a committed
+// per-function budget — the ledger of sites the repository has
+// deliberately accepted (per-call setup, error paths, geometry
+// rebuilds).
+//
+// Counted site kinds: make, new, append, &T{…} and slice/map
+// composite literals, function literals (closure headers), go
+// statements, non-constant string concatenation, and calls that box a
+// concrete value into an interface parameter (one site per call).
+// Value-struct composite literals are not counted — they live in
+// registers or the stack frame.
+//
+// Rules:
+//
+//   - hotalloc/over-budget: a reachable function has more allocation
+//     sites than RepoAllocBudget records (unlisted functions have
+//     budget zero). New allocation in a hot path must be argued into
+//     the ledger, not slipped in.
+//   - hotalloc/stale-budget: a reachable function has fewer sites
+//     than budgeted. The ledger pins counts exactly, layering-style:
+//     an improvement must shrink the committed budget so it cannot
+//     silently regress later.
+//
+// Approximation: the walk resolves static calls only. Interface and
+// function-value calls are walk boundaries — the concrete hot
+// implementations behind them (the engines) are covered by naming
+// their entry points as roots.
+type HotAlloc struct {
+	// Roots are the hot entry points, as go/types FullName strings.
+	Roots []string
+	// Budget maps function FullNames to their accepted allocation-site
+	// count. Functions not listed must have zero sites.
+	Budget map[string]int
+}
+
+// NewHotAlloc returns the analyzer configured with the repository's
+// committed budget.
+func NewHotAlloc() *HotAlloc {
+	b := RepoAllocBudget()
+	return &HotAlloc{Roots: b.Roots, Budget: b.Budget}
+}
+
+func (*HotAlloc) Name() string { return "hotalloc" }
+func (*HotAlloc) Doc() string {
+	return "functions reachable from the simulator hot paths must match the committed allocation-site budget exactly"
+}
+
+// AllocBudget is the committed ledger, also emitted as
+// results/hotalloc_budget.json by cmd/flexlint -alloc-report so CI
+// can archive the enforced budget next to the findings.
+type AllocBudget struct {
+	Schema int            `json:"schema"`
+	Module string         `json:"module"`
+	Roots  []string       `json:"roots"`
+	Budget map[string]int `json:"budget"`
+}
+
+// Encode renders the ledger in its canonical committed form
+// (two-space-indented JSON, sorted keys, trailing newline).
+func (b *AllocBudget) Encode() []byte {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil { // strings and ints cannot fail to marshal
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// allocSite is one counted allocation site.
+type allocSite struct {
+	kind string
+	pos  token.Pos
+}
+
+// hotFunc is one reachable function's scan result.
+type hotFunc struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	sites []allocSite
+}
+
+func (a *HotAlloc) Run(prog *Program) ([]Finding, error) {
+	if !a.applies(prog) {
+		return nil, nil
+	}
+	reach, err := a.reachable(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Finding
+	names := make([]string, 0, len(reach))
+	byName := map[string]*hotFunc{}
+	for _, hf := range reach {
+		n := hf.fn.FullName()
+		names = append(names, n)
+		byName[n] = hf
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		hf := byName[n]
+		budget := a.Budget[n]
+		actual := len(hf.sites)
+		if actual == budget {
+			continue
+		}
+		id, verdict := "hotalloc/over-budget", "exceeds"
+		if actual < budget {
+			id, verdict = "hotalloc/stale-budget", "is below"
+		}
+		out = append(out, Finding{
+			ID:  id,
+			Pos: prog.Fset.Position(hf.decl.Name.Pos()),
+			Message: fmt.Sprintf("hot function %s has %d allocation site(s), which %s the committed budget of %d: %s",
+				n, actual, verdict, budget, describeSites(prog.Fset, hf.sites)),
+		})
+	}
+
+	// Budget entries for functions that are no longer reachable are as
+	// stale as shrunk counts; anchor them to the module root since the
+	// function they point at may not exist at all.
+	for _, n := range sortedBudgetKeys(a.Budget) {
+		if byName[n] == nil {
+			out = append(out, Finding{
+				ID:  "hotalloc/stale-budget",
+				Pos: token.Position{Filename: prog.ModRoot},
+				Message: fmt.Sprintf("budget lists %s (%d site(s)), but it is not reachable from any hot root — delete the entry",
+					n, a.Budget[n]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Report computes the actual per-function site counts over the
+// reachable set — the data a refreshed budget commits.
+func (a *HotAlloc) Report(prog *Program) (*AllocBudget, error) {
+	reach, err := a.reachable(prog)
+	if err != nil {
+		return nil, err
+	}
+	b := &AllocBudget{Schema: 1, Module: prog.ModPath, Roots: append([]string(nil), a.Roots...), Budget: map[string]int{}}
+	sort.Strings(b.Roots)
+	for _, hf := range reach {
+		if len(hf.sites) > 0 {
+			b.Budget[hf.fn.FullName()] = len(hf.sites)
+		}
+	}
+	return b, nil
+}
+
+// applies reports whether any configured root lives in the analyzed
+// module; when none does (flexlint run on an unrelated tree), the
+// analyzer — including its stale-budget sweep — is a no-op.
+func (a *HotAlloc) applies(prog *Program) bool {
+	for _, name := range a.Roots {
+		if prog.IsModuleLocal(fullNamePkgPath(name)) {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable walks the static call graph from every root and scans
+// each visited function once.
+func (a *HotAlloc) reachable(prog *Program) ([]*hotFunc, error) {
+	declIdx := map[*Package]map[types.Object]*ast.FuncDecl{}
+	declOf := func(pkg *Package, fn *types.Func) *ast.FuncDecl {
+		idx := declIdx[pkg]
+		if idx == nil {
+			idx = funcDecls(pkg)
+			declIdx[pkg] = idx
+		}
+		return idx[fn]
+	}
+
+	visited := map[*types.Func]*hotFunc{}
+	var visit func(fn *types.Func) error
+	visit = func(fn *types.Func) error {
+		if _, ok := visited[fn]; ok {
+			return nil
+		}
+		if fn.Pkg() == nil || !prog.IsModuleLocal(fn.Pkg().Path()) {
+			return nil
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			return nil // interface method: walk boundary
+		}
+		pkg, err := prog.Package(fn.Pkg().Path())
+		if err != nil {
+			return err
+		}
+		decl := declOf(pkg, fn)
+		if decl == nil || decl.Body == nil {
+			return nil
+		}
+		hf := &hotFunc{fn: fn, decl: decl, pkg: pkg}
+		visited[fn] = hf
+		callees := scanAllocs(pkg, decl, hf)
+		for _, c := range callees {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, name := range a.Roots {
+		// Roots configured for another module (the repo defaults, when
+		// flexlint analyzes an unrelated tree) are skipped, matching
+		// the other repo-configured analyzers.
+		if !prog.IsModuleLocal(fullNamePkgPath(name)) {
+			continue
+		}
+		fn, err := resolveFullName(prog, name)
+		if err != nil {
+			return nil, fmt.Errorf("hotalloc: root %s: %w", name, err)
+		}
+		if err := visit(fn); err != nil {
+			return nil, fmt.Errorf("hotalloc: %w", err)
+		}
+	}
+
+	out := make([]*hotFunc, 0, len(visited))
+	for _, hf := range visited {
+		out = append(out, hf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].fn.FullName() < out[j].fn.FullName() })
+	return out, nil
+}
+
+// scanAllocs scans one function body, recording allocation sites on
+// hf (function-literal bodies count toward the enclosing function)
+// and returning the statically resolved callees.
+func scanAllocs(pkg *Package, decl *ast.FuncDecl, hf *hotFunc) []*types.Func {
+	info := pkg.Info
+	var callees []*types.Func
+	site := func(kind string, pos token.Pos) {
+		hf.sites = append(hf.sites, allocSite{kind: kind, pos: pos})
+	}
+
+	// Composite literals under a & are counted once, as the &T{…}
+	// heap allocation, not again as the literal.
+	addrLits := map[*ast.CompositeLit]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := unparen(u.X).(*ast.CompositeLit); ok {
+				addrLits[cl] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			site("go", x.Pos())
+		case *ast.FuncLit:
+			site("closure", x.Pos())
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := unparen(x.X).(*ast.CompositeLit); ok && addrLits[cl] {
+					site("&composite", x.Pos())
+				}
+			}
+		case *ast.CompositeLit:
+			if addrLits[x] {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					site("composite", x.Pos())
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := info.Types[x]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						site("string-concat", x.Pos())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if c := scanAllocCall(info, x, site); c != nil {
+				callees = append(callees, c)
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+// scanAllocCall classifies one call: builtin allocators and
+// interface-boxing argument passing are sites; a statically resolved
+// function is returned for the walk.
+func scanAllocCall(info *types.Info, call *ast.CallExpr, site func(string, token.Pos)) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	fun := unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				site(b.Name(), call.Pos())
+			}
+			return nil
+		}
+	}
+	fn := calleeObj(info, fun)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && boxesIntoInterface(info, call, sig) {
+		site("iface-boxing", call.Pos())
+	}
+	return fn
+}
+
+// boxesIntoInterface reports whether any argument of call is a
+// concrete (non-interface, non-nil) value passed to an interface
+// parameter of sig — the allocation go calls "interface boxing".
+func boxesIntoInterface(info *types.Info, call *ast.CallExpr, sig *types.Signature) bool {
+	params := sig.Params()
+	np := params.Len()
+	if np == 0 {
+		return false
+	}
+	for i, arg := range call.Args {
+		p := i
+		if p >= np {
+			p = np - 1
+		}
+		pt := params.At(p).Type()
+		if sig.Variadic() && p == np-1 {
+			if s, ok := pt.(*types.Slice); ok && !call.Ellipsis.IsValid() {
+				pt = s.Elem()
+			}
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// describeSites renders the sites compactly for the finding message.
+func describeSites(fset *token.FileSet, sites []allocSite) string {
+	if len(sites) == 0 {
+		return "no sites remain"
+	}
+	parts := make([]string, 0, len(sites))
+	for _, s := range sites {
+		pos := fset.Position(s.pos)
+		parts = append(parts, fmt.Sprintf("%s at %s:%d", s.kind, lastPathSegment(pos.Filename), pos.Line))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func lastPathSegment(p string) string {
+	if i := strings.LastIndexAny(p, "/\\"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+func sortedBudgetKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RepoAllocBudget is the committed allocation ledger for this
+// repository: the hot roots and, for every function reachable from
+// them, the allocation-site count the tree has accepted. The counts
+// are pinned exactly — TestRepoAllocBudgetMatchesReality regenerates
+// this table from source and diffs it — so both a new allocation and
+// a forgotten shrink fail the suite.
+//
+// What the entries are: MicroSimulate's remaining sites are per-call
+// setup (banks, output tensor, psum) plus cold error returns — its
+// per-pass working set lives on the engine (core.microScratch).
+// Scheduler.Map's three are the fan-out itself (error slots, worker
+// closure, go). Every 1–2-site store/bank accessor is a panic or
+// error path whose fmt call boxes its operands; the hot success
+// paths are allocation-free.
+func RepoAllocBudget() *AllocBudget {
+	return &AllocBudget{
+		Schema: 1,
+		Module: "flexflow",
+		Roots: []string{
+			"(*flexflow/internal/core.Engine).MicroSimulate",
+			"(flexflow/internal/pipeline.Scheduler).Map",
+			"flexflow/internal/pipeline.RunLayer",
+		},
+		Budget: map[string]int{
+			"(*flexflow/internal/core.Engine).MicroSimulate":    13,
+			"(*flexflow/internal/core.Engine).physRows":         1,
+			"(*flexflow/internal/core.PE).Preload":              2,
+			"(*flexflow/internal/core.Row).Step":                1,
+			"(*flexflow/internal/fault.Injector).StoreReadHook": 1,
+			"(*flexflow/internal/mem.Bank).Read":                1,
+			"(*flexflow/internal/mem.Bank).Write":               1,
+			"(*flexflow/internal/mem.BankedBuffer).Bank":        1,
+			"(*flexflow/internal/mem.LocalStore).Read":          1,
+			"(*flexflow/internal/mem.LocalStore).Write":         1,
+			"(flexflow/internal/arch.T).Validate":               8,
+			"(flexflow/internal/mem.NeuronLayout).Place":        1,
+			"(flexflow/internal/nn.ConvLayer).Validate":         2,
+			"(flexflow/internal/pipeline.Scheduler).Map":        3,
+			"flexflow/internal/core.NewPE":                      1,
+			"flexflow/internal/core.NewRow":                     2,
+			"flexflow/internal/mem.NewBank":                     2,
+			"flexflow/internal/mem.NewBankedBuffer":             3,
+			"flexflow/internal/mem.NewLocalStore":               2,
+			"flexflow/internal/tensor.NewMap2":                  3,
+			"flexflow/internal/tensor.NewMap3":                  2,
+		},
+	}
+}

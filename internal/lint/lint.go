@@ -66,6 +66,12 @@ type Analyzer interface {
 	Run(prog *Program) ([]Finding, error)
 }
 
+// SuiteVersion identifies the analyzer suite revision. It is embedded
+// in -json output and in the emitted artifacts so a findings dump or
+// baseline records which suite produced it. Bump it whenever an
+// analyzer is added, removed, or changes the meaning of its rules.
+const SuiteVersion = 3
+
 // DefaultAnalyzers returns the full suite with the repository's
 // canonical configuration.
 func DefaultAnalyzers() []Analyzer {
@@ -79,6 +85,9 @@ func DefaultAnalyzers() []Analyzer {
 		NewUnitCheck(),
 		NewAPIGuard(),
 		NewHookParity(),
+		NewPurity(),
+		NewHotAlloc(),
+		NewSharedCapture(),
 	}
 }
 

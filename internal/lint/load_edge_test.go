@@ -1,0 +1,89 @@
+package lint
+
+// Package-graph edge cases for the loader, exercised against the
+// nested fixture module under testdata/loader: walk exclusions
+// (testdata, vendor, hidden and underscore directories), test-only
+// packages, non-recursive roots with lazy sibling resolution, and
+// import cycles.
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestLoadNestedModule pins the walk's selection set over a module
+// that carries every directory kind the loader must skip: only the
+// three real packages load, and the import edge between siblings
+// resolves through the module's own loader.
+func TestLoadNestedModule(t *testing.T) {
+	prog, err := Load("testdata/loader/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModPath != "loaderx" {
+		t.Errorf("ModPath = %q, want loaderx", prog.ModPath)
+	}
+	want := []string{"loaderx", "loaderx/a", "loaderx/b"}
+	if got := pkgPaths(prog); !slices.Equal(got, want) {
+		t.Fatalf("Pkgs = %v, want %v", got, want)
+	}
+	// The import edge a -> b type-checked: a.Answer folded to b's value.
+	var a *Package
+	for _, p := range prog.Pkgs {
+		if p.Path == "loaderx/a" {
+			a = p
+		}
+	}
+	if a.Types.Scope().Lookup("Answer") == nil {
+		t.Error("package a did not type-check its import of loaderx/b")
+	}
+}
+
+// TestLoadNonRecursiveRoot checks that a root without the /...
+// suffix selects exactly one package, with its module-local imports
+// resolved lazily rather than added to the analysis set.
+func TestLoadNonRecursiveRoot(t *testing.T) {
+	prog, err := Load("testdata/loader/mod", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pkgPaths(prog); !slices.Equal(got, []string{"loaderx/a"}) {
+		t.Fatalf("Pkgs = %v, want just loaderx/a", got)
+	}
+	// b was loaded to satisfy a's import and stays reachable lazily.
+	b, err := prog.Package("loaderx/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Types.Scope().Lookup("Answer") == nil {
+		t.Error("lazily resolved package b lacks Answer")
+	}
+}
+
+// TestLoadTestOnlyPackage pins both sides of the test-only contract:
+// the recursive walk passes the package over silently (covered by
+// TestLoadNestedModule's selection set), and naming it as an explicit
+// root fails loudly instead of yielding an empty package.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	_, err := Load("testdata/loader/mod", "testonly")
+	if err == nil {
+		t.Fatal("loading a test-only package succeeded; want a no-buildable-files error")
+	}
+	if !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Errorf("unexpected error for test-only package: %v", err)
+	}
+}
+
+// TestLoadImportCycle pins the loader's cycle detection: a module
+// whose packages import each other fails with an error naming the
+// cycle instead of recursing forever.
+func TestLoadImportCycle(t *testing.T) {
+	_, err := Load("testdata/loader/cycmod", "p")
+	if err == nil {
+		t.Fatal("loading a cyclic module succeeded")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+}

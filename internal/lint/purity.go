@@ -1,0 +1,984 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Purity certifies that a configured set of root functions — the
+// engines' analytic Model methods and the arch cost helpers — are
+// deterministic functions of their explicit inputs (receiver and
+// arguments). The certificate is what makes memoization and an
+// analytic fast path sound: a certified root may be called
+// concurrently, reordered, cached or replayed without changing any
+// observable result.
+//
+// The analysis walks the static module-local call graph from each
+// root and rejects, anywhere in the tree:
+//
+//   - purity/global-write: an assignment, ++/--, or escaping
+//     address-of targeting a package-level variable.
+//   - purity/global-read: a read of a package-level variable.
+//     Error-typed sentinels (errors.New at package scope, the
+//     errors.Is convention) are exempt: the repository treats them as
+//     immutable.
+//   - purity/map-range: ranging over a map — iteration order would
+//     leak runtime nondeterminism into the result.
+//   - purity/nondet-call: a call into a package outside the
+//     deterministic stdlib allowlist (time, math/rand, os, io, sync …).
+//   - purity/dynamic-call: a call whose target the static walker
+//     cannot resolve (interface method, function-typed field or
+//     stored function value) and that is not vouched for in
+//     AssumePure.
+//   - purity/param-mutation: the root mutates state reachable from
+//     its receiver or parameters. Helpers may freely write through
+//     pointers handed to them (the out-parameter pattern): mutation
+//     summaries propagate call-by-call, and only writes that reach a
+//     root's own inputs make the root impure.
+//   - purity/chan-op: channel sends/receives, select, or go
+//     statements — concurrency effects are never pure.
+//
+// Two higher-order escapes are allowed by construction rather than
+// assumption: calling a function-typed parameter (every concrete
+// value passed at an analyzed call site is itself analyzed where it
+// is written, as function literals are scanned inline in their
+// enclosing function), and calling a local variable that is directly
+// bound to a function literal.
+//
+// panic is allowed: the certificate covers the value returned on the
+// non-panicking path, and the repository's facade converts escaped
+// panics to errors at its guard boundary.
+type Purity struct {
+	// Roots are the certified functions, as go/types FullName strings:
+	// "(*flexflow/internal/core.Engine).Model" or
+	// "flexflow/internal/arch.ChooseFactors".
+	Roots []string
+	// AssumePure lists dynamic call targets taken as pure without
+	// analysis, each discharged by certifying every concrete value the
+	// repository installs (typically by listing the producing function
+	// as a root). Entries name interface methods
+	// ("(flexflow/internal/arch.Engine).Model") or function-typed
+	// struct fields ("flexflow/internal/core.Engine.Chooser").
+	AssumePure []string
+}
+
+// NewPurity returns the analyzer configured for this repository: the
+// five engines' Model methods, the arch occupancy/cost helpers the
+// models are built from, and the compiler's chooser factory. The one
+// assumption — the FlexFlow engine's Chooser field — is discharged by
+// certifying (*compiler.Program).Chooser, the only producer the
+// repository wires in (the default is arch.ChooseFactors, also a
+// root).
+func NewPurity() *Purity {
+	return &Purity{
+		Roots: []string{
+			"(*flexflow/internal/core.Engine).Model",
+			"(*flexflow/internal/mapping2d.Engine).Model",
+			"(*flexflow/internal/rowstat.Engine).Model",
+			"(*flexflow/internal/systolic.Engine).Model",
+			"(*flexflow/internal/tiling.Engine).Model",
+			"(*flexflow/internal/compiler.Program).Chooser",
+			"flexflow/internal/arch.ChooseFactors",
+			"flexflow/internal/arch.ChooseFactorsCoupled",
+			"flexflow/internal/arch.RowUtilization",
+			"flexflow/internal/arch.ColUtilization",
+			"flexflow/internal/arch.TotalUtilization",
+			"flexflow/internal/arch.GroupPasses",
+			"flexflow/internal/arch.CyclesPerPass",
+			"(flexflow/internal/arch.LayerResult).IdleSlots",
+			"(flexflow/internal/arch.LayerResult).Utilization",
+			"(flexflow/internal/arch.LayerResult).GOPS",
+			"(flexflow/internal/arch.LayerResult).DataVolume",
+			"(flexflow/internal/arch.LayerResult).WallClock",
+			"(flexflow/internal/arch.RunResult).Cycles",
+			"(flexflow/internal/arch.RunResult).MACs",
+			"(flexflow/internal/arch.RunResult).Utilization",
+			"(flexflow/internal/arch.RunResult).GOPS",
+			"(flexflow/internal/arch.RunResult).DataVolume",
+			"(flexflow/internal/arch.RunResult).DRAMAccesses",
+			"(flexflow/internal/arch.RunResult).WallClock",
+		},
+		AssumePure: []string{
+			"flexflow/internal/core.Engine.Chooser",
+		},
+	}
+}
+
+func (*Purity) Name() string { return "purity" }
+func (*Purity) Doc() string {
+	return "analytic model roots must be deterministic functions of their inputs: no global state, no map-order or clock dependence, no mutation reachable from receiver or parameters"
+}
+
+// purePkgs is the deterministic stdlib allowlist: calls into these
+// packages are pure for certification purposes (argument-mutating
+// entries are covered separately by extMutates).
+var purePkgs = map[string]bool{
+	"math":         true,
+	"math/bits":    true,
+	"math/cmplx":   true,
+	"strings":      true,
+	"strconv":      true,
+	"sort":         true,
+	"errors":       true,
+	"slices":       true,
+	"maps":         true,
+	"cmp":          true,
+	"unicode":      true,
+	"unicode/utf8": true,
+	"bytes":        true,
+}
+
+// pureFuncs allows individual functions of otherwise-unvetted
+// packages (fmt's formatters allocate but read no external state).
+var pureFuncs = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+}
+
+// extMutates records allowlisted external functions that mutate an
+// argument in place, by zero-based argument index, so the mutation
+// summaries stay sound across them.
+var extMutates = map[string]int{
+	"sort.Slice":            0,
+	"sort.SliceStable":      0,
+	"sort.Sort":             0,
+	"sort.Stable":           0,
+	"sort.Strings":          0,
+	"sort.Ints":             0,
+	"sort.Float64s":         0,
+	"slices.Sort":           0,
+	"slices.SortFunc":       0,
+	"slices.SortStableFunc": 0,
+	"slices.Reverse":        0,
+}
+
+// purityIssue is one impurity site inside a function body.
+type purityIssue struct {
+	id  string
+	pos token.Pos
+	msg string
+}
+
+// condMut is a deferred mutation edge: if callee mutates its input
+// slot calleeIdx, the enclosing function mutates its own input slot
+// callerIdx. Slot 0 is the receiver; parameters are 1-based.
+type condMut struct {
+	callerIdx int
+	callee    *types.Func
+	calleeIdx int
+}
+
+// fnSummary is the per-function analysis result the walker memoizes.
+type fnSummary struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	pkg     *Package
+	issues  []purityIssue
+	callees []*types.Func // module-local callees with bodies
+	direct  map[int]bool  // input slots mutated by this body
+	cond    []condMut
+	assumed []string // AssumePure entries this body relies on
+
+	funcLitVars map[types.Object]bool // locals bound directly to func literals
+}
+
+// purityState is one analysis run over a Program.
+type purityState struct {
+	prog      *Program
+	assume    map[string]bool
+	summaries map[*types.Func]*fnSummary
+	declIndex map[*Package]map[types.Object]*ast.FuncDecl
+}
+
+func newPurityState(a *Purity, prog *Program) *purityState {
+	assume := map[string]bool{}
+	for _, s := range a.AssumePure {
+		assume[s] = true
+	}
+	return &purityState{
+		prog:      prog,
+		assume:    assume,
+		summaries: map[*types.Func]*fnSummary{},
+		declIndex: map[*Package]map[types.Object]*ast.FuncDecl{},
+	}
+}
+
+// rootReport is the per-root analysis outcome feeding both findings
+// and the manifest.
+type rootReport struct {
+	root      *types.Func
+	reachable []*fnSummary
+	assumed   []string
+	issues    []purityIssue
+	mutated   []string // names of root inputs the tree mutates
+}
+
+func (a *Purity) Run(prog *Program) ([]Finding, error) {
+	reports, err := a.analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		id  string
+		pos token.Pos
+	}
+	seen := map[key]bool{}
+	var out []Finding
+	for _, r := range reports {
+		for _, is := range r.issues {
+			k := key{is.id, is.pos}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, Finding{
+				ID:      is.id,
+				Pos:     prog.Fset.Position(is.pos),
+				Message: fmt.Sprintf("%s (reached from certified root %s)", is.msg, r.root.FullName()),
+			})
+		}
+		if len(r.mutated) > 0 {
+			out = append(out, Finding{
+				ID:  "purity/param-mutation",
+				Pos: prog.Fset.Position(r.root.Pos()),
+				Message: fmt.Sprintf("certified root %s mutates state reachable from its inputs (%s): callers could observe the call",
+					r.root.FullName(), strings.Join(r.mutated, ", ")),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PurityManifest is the machine-readable certificate cmd/flexlint
+// emits (results/purity_manifest.json): one entry per configured
+// root, stating whether the whole call tree certified pure, how many
+// functions the certificate covers, and which AssumePure entries it
+// leans on. Consumers (a future memoization layer, ModeAnalytic) gate
+// on Pure; the committed copy is pinned byte-for-byte by a test so
+// drift in the certified surface shows up in review.
+type PurityManifest struct {
+	Schema   int           `json:"schema"`
+	Module   string        `json:"module"`
+	Analyzer string        `json:"analyzer"`
+	Roots    []PurityEntry `json:"roots"`
+}
+
+// PurityEntry is one root's certificate.
+type PurityEntry struct {
+	Root      string   `json:"root"`
+	Pure      bool     `json:"pure"`
+	Functions int      `json:"functions"`         // call-tree size covered by the certificate
+	Assumed   []string `json:"assumed,omitempty"` // AssumePure entries relied on
+	Impure    []string `json:"impure,omitempty"`  // rule IDs hit in the tree
+	Mutates   []string `json:"mutates,omitempty"` // root inputs the tree writes through
+}
+
+// Encode renders the manifest in its canonical committed form:
+// two-space-indented JSON with a trailing newline. The pin test and
+// cmd/flexlint -purity-manifest both go through here, so the
+// committed artifact is byte-reproducible.
+func (m *PurityManifest) Encode() []byte {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil { // a struct of strings and ints cannot fail to marshal
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Manifest runs the analysis and builds the certificate. Findings
+// suppressed with //lint:ignore still count against purity here: the
+// manifest certifies the code as analyzed, not as triaged.
+func (a *Purity) Manifest(prog *Program) (*PurityManifest, error) {
+	reports, err := a.analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := &PurityManifest{Schema: 1, Module: prog.ModPath, Analyzer: a.Name()}
+	for _, r := range reports {
+		e := PurityEntry{
+			Root:      r.root.FullName(),
+			Functions: len(r.reachable),
+			Assumed:   r.assumed,
+			Mutates:   r.mutated,
+		}
+		rules := map[string]bool{}
+		for _, is := range r.issues {
+			rules[is.id] = true
+		}
+		e.Impure = sortedKeys(rules)
+		e.Pure = len(e.Impure) == 0 && len(e.Mutates) == 0
+		m.Roots = append(m.Roots, e)
+	}
+	sort.Slice(m.Roots, func(i, j int) bool { return m.Roots[i].Root < m.Roots[j].Root })
+	return m, nil
+}
+
+// analyze resolves every root and walks its call tree.
+func (a *Purity) analyze(prog *Program) ([]*rootReport, error) {
+	st := newPurityState(a, prog)
+	roots := append([]string(nil), a.Roots...)
+	sort.Strings(roots)
+	var reports []*rootReport
+	for _, name := range roots {
+		// Roots configured for another module (the repo defaults, when
+		// flexlint analyzes an unrelated tree) are skipped, matching
+		// the other repo-configured analyzers.
+		if !prog.IsModuleLocal(fullNamePkgPath(name)) {
+			continue
+		}
+		fn, err := resolveFullName(prog, name)
+		if err != nil {
+			return nil, fmt.Errorf("purity: root %s: %w", name, err)
+		}
+		rep, err := st.walkRoot(fn)
+		if err != nil {
+			return nil, fmt.Errorf("purity: root %s: %w", name, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// walkRoot collects the reachable summaries, solves the mutation
+// fixpoint over them, and checks the root's own input slots.
+func (st *purityState) walkRoot(root *types.Func) (*rootReport, error) {
+	var reach []*fnSummary
+	inReach := map[*types.Func]bool{}
+	var visit func(fn *types.Func) error
+	visit = func(fn *types.Func) error {
+		if inReach[fn] {
+			return nil
+		}
+		sum, err := st.summary(fn)
+		if err != nil {
+			return err
+		}
+		if sum == nil {
+			return nil
+		}
+		inReach[fn] = true
+		reach = append(reach, sum)
+		for _, c := range sum.callees {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(root); err != nil {
+		return nil, err
+	}
+
+	// Mutation fixpoint over the reachable set: start from the direct
+	// writes, then push conditional edges until nothing changes.
+	mutated := map[*types.Func]map[int]bool{}
+	for _, s := range reach {
+		m := map[int]bool{}
+		for i := range s.direct {
+			m[i] = true
+		}
+		mutated[s.fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range reach {
+			for _, c := range s.cond {
+				if mutated[c.callee][c.calleeIdx] && !mutated[s.fn][c.callerIdx] {
+					mutated[s.fn][c.callerIdx] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	rep := &rootReport{root: root, reachable: reach}
+	assumed := map[string]bool{}
+	for _, s := range reach {
+		rep.issues = append(rep.issues, s.issues...)
+		for _, as := range s.assumed {
+			assumed[as] = true
+		}
+	}
+	rep.assumed = sortedKeys(assumed)
+
+	rootSum := st.summaries[root]
+	if rootSum != nil {
+		var names []string
+		for idx := range mutated[root] {
+			names = append(names, slotName(rootSum, idx))
+		}
+		sort.Strings(names)
+		rep.mutated = names
+	}
+	return rep, nil
+}
+
+// slotName names input slot idx of sum for diagnostics.
+func slotName(sum *fnSummary, idx int) string {
+	sig := sum.fn.Type().(*types.Signature)
+	if idx == 0 {
+		if r := sig.Recv(); r != nil && r.Name() != "" {
+			return "receiver " + r.Name()
+		}
+		return "receiver"
+	}
+	p := idx - 1
+	if p < sig.Params().Len() {
+		if n := sig.Params().At(p).Name(); n != "" {
+			return "parameter " + n
+		}
+	}
+	return fmt.Sprintf("parameter #%d", p)
+}
+
+// summary scans fn's body once, memoized. A nil summary (no error)
+// means fn has no analyzable body in the module (never reached here
+// for module-local functions, which always carry source).
+func (st *purityState) summary(fn *types.Func) (*fnSummary, error) {
+	if s, ok := st.summaries[fn]; ok {
+		return s, nil
+	}
+	// Break cycles: mark in-progress as present-but-empty; the real
+	// summary replaces it below and recursion sees a stable pointer.
+	pkgPath := fn.Pkg().Path()
+	pkg, err := st.prog.Package(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	decl := st.declOf(pkg, fn)
+	if decl == nil || decl.Body == nil {
+		return nil, fmt.Errorf("no body found for %s", fn.FullName())
+	}
+	sum := &fnSummary{fn: fn, decl: decl, pkg: pkg, direct: map[int]bool{}}
+	st.summaries[fn] = sum
+	st.scan(sum)
+	return sum, nil
+}
+
+// declOf finds the FuncDecl defining fn inside pkg, indexing the
+// package's files on first use.
+func (st *purityState) declOf(pkg *Package, fn *types.Func) *ast.FuncDecl {
+	idx := st.declIndex[pkg]
+	if idx == nil {
+		idx = funcDecls(pkg)
+		st.declIndex[pkg] = idx
+	}
+	return idx[fn]
+}
+
+// funcDecls indexes a package's function declarations by their
+// defining object (shared by the call-graph walkers: purity,
+// hotalloc).
+func funcDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	idx := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// inputSlots maps fn's receiver and parameter objects to their slot
+// indices (receiver 0, parameters 1-based).
+func inputSlots(pkg *Package, decl *ast.FuncDecl) map[types.Object]int {
+	slots := map[types.Object]int{}
+	bind := func(names []*ast.Ident, idx func(i int) int) {
+		for i, n := range names {
+			if obj := pkg.Info.Defs[n]; obj != nil {
+				slots[obj] = idx(i)
+			}
+		}
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			bind(f.Names, func(int) int { return 0 })
+		}
+	}
+	slot := 1
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			n := len(f.Names)
+			base := slot
+			bind(f.Names, func(i int) int { return base + i })
+			if n == 0 {
+				n = 1
+			}
+			slot += n
+		}
+	}
+	return slots
+}
+
+// scan walks one function body (function literals included, analyzed
+// in the enclosing context) and fills the summary.
+func (st *purityState) scan(sum *fnSummary) {
+	info := sum.pkg.Info
+	slots := inputSlots(sum.pkg, sum.decl)
+
+	// slotOf resolves the base object of a reference path (through
+	// derefs, fields, indexes, slices and address-of) to an input
+	// slot, or -1.
+	slotOf := func(e ast.Expr) int {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				// A qualified package reference bottoms out in a
+				// PkgName, handled by the Ident case below.
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return -1
+				}
+				e = x.X
+			case *ast.TypeAssertExpr:
+				e = x.X
+			case *ast.Ident:
+				if obj := info.Uses[x]; obj != nil {
+					if idx, ok := slots[obj]; ok {
+						return idx
+					}
+				}
+				return -1
+			default:
+				return -1
+			}
+		}
+	}
+
+	packageLevelVar := func(obj types.Object) *types.Var {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return nil
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return nil
+		}
+		return v
+	}
+
+	issue := func(id string, pos token.Pos, format string, args ...any) {
+		sum.issues = append(sum.issues, purityIssue{id: id, pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Pre-passes over the body: address-of expressions that are direct
+	// call arguments (their escape is judged by the callee's mutation
+	// summary, not syntactically), and local variables bound directly
+	// to function literals (calls to them are covered by the inline
+	// scan of the literal).
+	callArgAddrs := map[*ast.UnaryExpr]bool{}
+	funcLitVars := map[types.Object]bool{}
+	ast.Inspect(sum.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if u, ok := unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					callArgAddrs[u] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if _, ok := unparen(x.Rhs[i]).(*ast.FuncLit); !ok {
+						continue
+					}
+					if obj := info.Defs[id]; obj != nil {
+						funcLitVars[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						funcLitVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	sum.funcLitVars = funcLitVars
+
+	// handledWrites are identifiers consumed as write targets; the
+	// read pass skips them.
+	handledWrites := map[*ast.Ident]bool{}
+
+	baseIdent := func(e ast.Expr) *ast.Ident {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.TypeAssertExpr:
+				e = x.X
+			case *ast.Ident:
+				return x
+			default:
+				return nil
+			}
+		}
+	}
+
+	writeTarget := func(lhs ast.Expr) {
+		lhs = unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			// Bare identifier: rebinding a local or parameter copy is
+			// harmless; a package-level variable is not.
+			if v := packageLevelVar(firstObj(info, id)); v != nil {
+				handledWrites[id] = true
+				issue("purity/global-write", id.Pos(), "assignment to package-level variable %s", v.Name())
+			}
+			return
+		}
+		id := baseIdent(lhs)
+		if id == nil {
+			return
+		}
+		handledWrites[id] = true
+		if v := packageLevelVar(firstObj(info, id)); v != nil {
+			issue("purity/global-write", lhs.Pos(), "write through package-level variable %s", v.Name())
+			return
+		}
+		if idx := slotOf(lhs); idx >= 0 {
+			sum.direct[idx] = true
+		}
+	}
+
+	ast.Inspect(sum.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				writeTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			writeTarget(x.X)
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					issue("purity/map-range", x.Pos(), "range over a map: iteration order is runtime-nondeterministic")
+				}
+			}
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					writeTarget(x.Key)
+				}
+				if x.Value != nil {
+					writeTarget(x.Value)
+				}
+			}
+		case *ast.SendStmt:
+			issue("purity/chan-op", x.Pos(), "channel send")
+		case *ast.SelectStmt:
+			issue("purity/chan-op", x.Pos(), "select statement")
+		case *ast.GoStmt:
+			issue("purity/chan-op", x.Pos(), "go statement spawns a goroutine")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				issue("purity/chan-op", x.Pos(), "channel receive")
+			}
+			if x.Op == token.AND && !callArgAddrs[x] {
+				// An address that is not a direct call argument
+				// escapes the walker's tracking: if it is rooted in an
+				// input, assume the worst.
+				if idx := slotOf(x.X); idx >= 0 {
+					sum.direct[idx] = true
+				}
+				if id := baseIdent(x.X); id != nil {
+					if v := packageLevelVar(firstObj(info, id)); v != nil {
+						issue("purity/global-write", x.Pos(), "address of package-level variable %s escapes", v.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			st.scanCall(sum, slots, slotOf, x, issue)
+		case *ast.Ident:
+			if handledWrites[x] {
+				return true
+			}
+			v := packageLevelVar(info.Uses[x])
+			if v == nil {
+				return true
+			}
+			if isErrorType(v.Type()) {
+				return true // immutable sentinel convention
+			}
+			issue("purity/global-read", x.Pos(), "read of package-level variable %s", v.Name())
+		}
+		return true
+	})
+
+}
+
+// scanCall classifies one call expression.
+func (st *purityState) scanCall(sum *fnSummary, slots map[types.Object]int, slotOf func(ast.Expr) int, call *ast.CallExpr, issue func(string, token.Pos, string, ...any)) {
+	info := sum.pkg.Info
+	fun := unparen(call.Fun)
+
+	// Conversions are values, not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	// markExtMutation applies an external in-place mutator's effect.
+	markExtMutation := func(argIdx int) {
+		if argIdx < len(call.Args) {
+			if idx := slotOf(call.Args[argIdx]); idx >= 0 {
+				sum.direct[idx] = true
+			}
+		}
+	}
+
+	// propagate records conditional mutation edges for a resolved
+	// module-local callee: receiver slot 0, argument slots 1-based,
+	// clamped for variadics.
+	propagate := func(callee *types.Func) {
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		if sel, ok := fun.(*ast.SelectorExpr); ok && sig.Recv() != nil {
+			if idx := slotOf(sel.X); idx >= 0 {
+				sum.cond = append(sum.cond, condMut{callerIdx: idx, callee: callee, calleeIdx: 0})
+			}
+		}
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			idx := slotOf(arg)
+			if idx < 0 {
+				continue
+			}
+			p := i
+			if p >= np {
+				p = np - 1 // variadic tail
+			}
+			if p < 0 {
+				continue
+			}
+			sum.cond = append(sum.cond, condMut{callerIdx: idx, callee: callee, calleeIdx: p + 1})
+		}
+	}
+
+	dynamic := func(full, what string) {
+		if full != "" && st.assume[full] {
+			sum.assumed = append(sum.assumed, full)
+			return
+		}
+		if full == "" {
+			full = "<unknown>"
+		}
+		issue("purity/dynamic-call", call.Pos(), "%s %s cannot be resolved statically and is not in AssumePure", what, full)
+	}
+
+	classify := func(fn *types.Func) {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			dynamic(fn.FullName(), "interface method call")
+			return
+		}
+		if fn.Pkg() == nil {
+			dynamic(fn.FullName(), "call")
+			return
+		}
+		path := fn.Pkg().Path()
+		if st.prog.IsModuleLocal(path) {
+			sum.callees = append(sum.callees, fn)
+			propagate(fn)
+			return
+		}
+		full := fn.FullName()
+		if mutIdx, ok := extMutates[full]; ok {
+			markExtMutation(mutIdx)
+			return
+		}
+		if purePkgs[path] || pureFuncs[full] {
+			return
+		}
+		issue("purity/nondet-call", call.Pos(), "call into %s: outside the deterministic stdlib allowlist", full)
+	}
+
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		return // body scanned inline by the enclosing Inspect
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "copy", "clear", "delete":
+				markExtMutation(0)
+			case "print", "println":
+				issue("purity/nondet-call", call.Pos(), "builtin %s writes to stderr", obj.Name())
+			case "append":
+				// append may write into the backing array of its
+				// first argument when capacity allows.
+				markExtMutation(0)
+			}
+			return
+		case *types.Func:
+			classify(obj)
+			return
+		case *types.Var:
+			if _, isSlot := slots[obj]; isSlot {
+				return // higher-order pass-through: vetted at the call sites that built the value
+			}
+			if sum.funcLitVars[obj] {
+				return // bound to a function literal scanned inline
+			}
+			dynamic("", "call of function value "+obj.Name())
+			return
+		case *types.TypeName, nil:
+			return // conversion or predeclared
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.FieldVal:
+				dynamic(fieldFullName(sel), "call through function-typed field")
+				return
+			case types.MethodVal, types.MethodExpr:
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					classify(fn)
+					return
+				}
+			}
+			return
+		}
+		// Package-qualified reference.
+		switch obj := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			classify(obj)
+		case *types.Var:
+			dynamic("", "call of package-level function variable "+obj.Name())
+		}
+		return
+	case *ast.IndexExpr: // generic instantiation F[T](…)
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				classify(fn)
+				return
+			}
+		}
+		dynamic("", "generic call")
+		return
+	}
+	dynamic("", "call")
+}
+
+// fieldFullName renders a field selection as pkgpath.Type.Field for
+// AssumePure matching.
+func fieldFullName(sel *types.Selection) string {
+	recv := sel.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+}
+
+// firstObj returns the use or def object of an identifier.
+func firstObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// fullNamePkgPath extracts the package path of a go/types FullName
+// ("pkg/path.Func", "(pkg/path.Type).Method" or
+// "(*pkg/path.Type).Method"), so analyzers can skip roots configured
+// for a different module before attempting resolution.
+func fullNamePkgPath(full string) string {
+	s := full
+	if strings.HasPrefix(s, "(") {
+		if end := strings.Index(s, ")"); end > 0 {
+			s = strings.TrimPrefix(s[1:end], "*")
+		}
+	}
+	if dot := strings.LastIndex(s, "."); dot > 0 {
+		return s[:dot]
+	}
+	return s
+}
+
+// resolveFullName resolves a go/types FullName string to its function
+// object: "pkg/path.Func", "(pkg/path.Type).Method" or
+// "(*pkg/path.Type).Method".
+func resolveFullName(prog *Program, full string) (*types.Func, error) {
+	if strings.HasPrefix(full, "(") {
+		end := strings.Index(full, ")")
+		if end < 0 || end+2 > len(full) || full[end+1] != '.' {
+			return nil, fmt.Errorf("malformed method name %q", full)
+		}
+		recv := strings.TrimPrefix(full[1:end], "*")
+		method := full[end+2:]
+		dot := strings.LastIndex(recv, ".")
+		if dot < 0 {
+			return nil, fmt.Errorf("malformed receiver %q", recv)
+		}
+		pkgPath, typeName := recv[:dot], recv[dot+1:]
+		pkg, err := prog.Package(pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		obj := pkg.Types.Scope().Lookup(typeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			return nil, fmt.Errorf("%s is not a type in %s", typeName, pkgPath)
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			return nil, fmt.Errorf("%s is not a named type", typeName)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() == method {
+				if m.FullName() != full {
+					return nil, fmt.Errorf("receiver mismatch: declared as %s", m.FullName())
+				}
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("type %s has no method %s", typeName, method)
+	}
+	dot := strings.LastIndex(full, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("malformed function name %q", full)
+	}
+	pkgPath, fnName := full[:dot], full[dot+1:]
+	pkg, err := prog.Package(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := pkg.Types.Scope().Lookup(fnName).(*types.Func)
+	if !ok {
+		return nil, fmt.Errorf("%s has no function %s", pkgPath, fnName)
+	}
+	return fn, nil
+}

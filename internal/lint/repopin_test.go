@@ -1,0 +1,103 @@
+package lint
+
+// Repo-level pins for the committed analysis artifacts. The files
+// under results/ are soundness certificates: CI archives them, so a
+// drifted copy would advertise guarantees the tree no longer has.
+// These tests regenerate each artifact from source and byte-compare
+// it against the committed copy.
+
+import (
+	"maps"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestRepoPurityManifest certifies every engine's Model (and the
+// analytic cost helpers) as pure and pins the committed manifest.
+// Regenerate with:
+//
+//	go run ./cmd/flexlint -purity-manifest results/purity_manifest.json ./...
+func TestRepoPurityManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewPurity().Manifest(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelRoots := 0
+	for _, e := range m.Roots {
+		if !e.Pure {
+			t.Errorf("root %s is not certified pure: impure=%v mutates=%v", e.Root, e.Impure, e.Mutates)
+		}
+		if strings.HasSuffix(e.Root, ".Engine).Model") {
+			modelRoots++
+		}
+	}
+	if modelRoots != 5 {
+		t.Errorf("manifest certifies %d engine Model methods, want all 5", modelRoots)
+	}
+
+	path := filepath.Join(prog.ModRoot, "results", "purity_manifest.json")
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(committed) != string(m.Encode()) {
+		t.Errorf("results/purity_manifest.json is stale; regenerate with `go run ./cmd/flexlint -purity-manifest results/purity_manifest.json ./...`")
+	}
+}
+
+// TestRepoAllocBudgetMatchesReality pins the committed allocation
+// ledger exactly against the source tree, layering-style: a new
+// allocation site must be argued into RepoAllocBudget, and a removed
+// one must shrink it. The committed results/hotalloc_budget.json must
+// match too. Regenerate with:
+//
+//	go run ./cmd/flexlint -alloc-report results/hotalloc_budget.json ./...
+func TestRepoAllocBudgetMatchesReality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewHotAlloc()
+	actual, err := a.Report(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := RepoAllocBudget()
+	if !slices.Equal(actual.Roots, committed.Roots) {
+		t.Errorf("roots diverge: actual %v, committed %v", actual.Roots, committed.Roots)
+	}
+	if !maps.Equal(actual.Budget, committed.Budget) {
+		for name, n := range actual.Budget {
+			if committed.Budget[name] != n {
+				t.Errorf("RepoAllocBudget[%q] = %d, but the tree has %d site(s)", name, committed.Budget[name], n)
+			}
+		}
+		for name, n := range committed.Budget {
+			if _, ok := actual.Budget[name]; !ok {
+				t.Errorf("RepoAllocBudget lists %q (%d site(s)), which no longer allocates or is unreachable", name, n)
+			}
+		}
+	}
+
+	path := filepath.Join(prog.ModRoot, "results", "hotalloc_budget.json")
+	file, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(file) != string(committed.Encode()) {
+		t.Errorf("results/hotalloc_budget.json is stale; regenerate with `go run ./cmd/flexlint -alloc-report results/hotalloc_budget.json ./...`")
+	}
+}

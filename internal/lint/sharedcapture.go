@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCapture proves the independence contract the deterministic
+// scheduler relies on. Scheduler.Map runs its function argument
+// concurrently at worker counts above one, with no locks: the results
+// stay bit-identical only because each invocation touches its own
+// per-index slot and nothing else. That contract lives in a doc
+// comment on Map; this analyzer makes it checkable. Every call to a
+// configured fan-out function must pass a function literal, and
+// inside the literal the only writes that may leave the invocation's
+// own frame are index-writes into a captured slice whose every index
+// expression is derived from the closure's index parameter — the
+// result-slot pattern (`res.Layers[i] = lr`, or `i, j := idx/n, idx%n`
+// feeding `out[i][j]`).
+//
+// Rules:
+//
+//   - sharedcapture/non-literal: the function argument is not a
+//     literal, so its captures cannot be checked at the call site.
+//   - sharedcapture/captured-write: the closure writes a captured
+//     variable (directly, through a field or pointer, or into a
+//     captured slice at an index not derived from the index
+//     parameter).
+//   - sharedcapture/map-write: the closure writes into a captured
+//     map. Distinct keys do not help — concurrent map writes fault at
+//     runtime regardless of disjointness.
+//
+// A variable counts as derived when it is the index parameter or a
+// closure-local assigned from an expression that mentions a derived
+// variable (`i, j := idx/len(names), idx%len(names)`). Reads of
+// captured state are not flagged — concurrent reads are safe, and the
+// scheduler's jobs are expected to share read-only inputs. Mutation
+// hidden behind calls is out of this analyzer's scope by design: the
+// closure bodies on the hot paths call into the engine Model methods,
+// whose freedom from shared mutation the purity analyzer certifies.
+type SharedCapture struct {
+	// MapFuncs are the fan-out entry points whose function argument
+	// runs concurrently, as go/types FullName strings.
+	MapFuncs []string
+}
+
+// NewSharedCapture returns the analyzer configured for this
+// repository's scheduler.
+func NewSharedCapture() *SharedCapture {
+	return &SharedCapture{MapFuncs: []string{"(flexflow/internal/pipeline.Scheduler).Map"}}
+}
+
+func (*SharedCapture) Name() string { return "sharedcapture" }
+func (*SharedCapture) Doc() string {
+	return "closures handed to the parallel scheduler may only write per-index slots of captured slices"
+}
+
+func (a *SharedCapture) Run(prog *Program) ([]Finding, error) {
+	targets := map[*types.Func]bool{}
+	for _, name := range a.MapFuncs {
+		// Entry points configured for another module (the repo
+		// defaults, when flexlint analyzes an unrelated tree) are
+		// skipped, matching the other repo-configured analyzers.
+		if !prog.IsModuleLocal(fullNamePkgPath(name)) {
+			continue
+		}
+		fn, err := resolveFullName(prog, name)
+		if err != nil {
+			return nil, fmt.Errorf("sharedcapture: map func %s: %w", name, err)
+		}
+		targets[fn] = true
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeObj(pkg.Info, unparen(call.Fun))
+				if fn == nil || !targets[fn] {
+					return true
+				}
+				out = append(out, a.checkCall(prog, pkg, call, fn)...)
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// checkCall validates one fan-out call site.
+func (a *SharedCapture) checkCall(prog *Program, pkg *Package, call *ast.CallExpr, fn *types.Func) []Finding {
+	var arg ast.Expr
+	for _, e := range call.Args {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+			if _, ok := tv.Type.Underlying().(*types.Signature); ok {
+				arg = e
+				break
+			}
+		}
+	}
+	if arg == nil {
+		return nil
+	}
+	lit, ok := unparen(arg).(*ast.FuncLit)
+	if !ok {
+		return []Finding{{
+			ID:  "sharedcapture/non-literal",
+			Pos: prog.Fset.Position(arg.Pos()),
+			Message: fmt.Sprintf("argument to %s must be a function literal so its captures can be checked at the call site",
+				fn.FullName()),
+		}}
+	}
+	return a.checkLit(prog, pkg, lit, fn)
+}
+
+// checkLit walks one closure body, flagging every write that escapes
+// the invocation's own frame outside the result-slot pattern.
+func (a *SharedCapture) checkLit(prog *Program, pkg *Package, lit *ast.FuncLit, fn *types.Func) []Finding {
+	info := pkg.Info
+	inside := func(obj types.Object) bool {
+		return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
+	}
+
+	// derived tracks variables whose value is a function of the index
+	// parameter. Seed: the literal's first parameter. Propagate through
+	// closure-local assignments in source order (ast.Inspect visits
+	// statements lexically).
+	derived := map[types.Object]bool{}
+	if params := lit.Type.Params; params != nil && len(params.List) > 0 {
+		for _, name := range params.List[0].Names {
+			if obj := info.Defs[name]; obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	var out []Finding
+	flag := func(id string, pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			ID:      id,
+			Pos:     prog.Fset.Position(pos),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// checkWrite classifies one written lvalue.
+	checkWrite := func(lhs ast.Expr) {
+		lhs = unparen(lhs)
+
+		// Peel index layers, remembering each index expression and
+		// whether any indexed container is a map.
+		var indices []ast.Expr
+		sawMap := false
+		base := lhs
+		for {
+			ix, ok := unparen(base).(*ast.IndexExpr)
+			if !ok {
+				break
+			}
+			indices = append(indices, ix.Index)
+			if tv, ok := info.Types[ix.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					sawMap = true
+				}
+			}
+			base = ix.X
+		}
+
+		root := rootObject(info, base)
+		if root == nil || inside(root) {
+			return // invocation-local: each fn(i) call has its own frame
+		}
+		name := root.Name()
+		if len(indices) == 0 {
+			switch unparen(base).(type) {
+			case *ast.StarExpr:
+				flag("sharedcapture/captured-write", lhs.Pos(),
+					"closure passed to %s writes through captured pointer %s", fn.FullName(), name)
+			case *ast.SelectorExpr:
+				flag("sharedcapture/captured-write", lhs.Pos(),
+					"closure passed to %s writes a field of captured %s", fn.FullName(), name)
+			default:
+				flag("sharedcapture/captured-write", lhs.Pos(),
+					"closure passed to %s writes captured variable %s", fn.FullName(), name)
+			}
+			return
+		}
+		if sawMap {
+			flag("sharedcapture/map-write", lhs.Pos(),
+				"closure passed to %s writes into captured map %s; concurrent map writes fault even at distinct keys", fn.FullName(), name)
+			return
+		}
+		for _, ix := range indices {
+			if !mentionsDerived(ix) {
+				flag("sharedcapture/captured-write", lhs.Pos(),
+					"closure passed to %s writes captured %s at an index not derived from the closure's index parameter", fn.FullName(), name)
+				return
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				// New locals are invocation-private; record whether each
+				// is derived from the index parameter.
+				allDerived := true
+				for _, rhs := range x.Rhs {
+					if !mentionsDerived(rhs) {
+						allDerived = false
+					}
+				}
+				for _, l := range x.Lhs {
+					if id, ok := unparen(l).(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil && allDerived {
+							derived[obj] = true
+						}
+					}
+				}
+				return true
+			}
+			for i, l := range x.Lhs {
+				checkWrite(l)
+				// A plain reassignment re-derives (or un-derives) a local.
+				if id, ok := unparen(l).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && inside(obj) {
+						rhs := x.Rhs[0]
+						if len(x.Rhs) == len(x.Lhs) {
+							rhs = x.Rhs[i]
+						}
+						derived[obj] = mentionsDerived(rhs)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkWrite(x.X)
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					checkWrite(x.Key)
+				}
+				if x.Value != nil {
+					checkWrite(x.Value)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the leftmost identifier of an lvalue chain
+// (selectors, stars, indexes) to its object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package hotx exercises the hotalloc analyzer: Busy holds every
+// counted site kind at its exact budget, Hot exceeds its budget by
+// one site, and Clean's budget overstates a body that no longer
+// allocates.
+package hotx
+
+// Pair is heap-allocated when taken by address.
+type Pair struct{ A int }
+
+// box forces interface boxing of its concrete argument.
+func box(v interface{}) { _ = v }
+
+// Hot is a root whose budget (1) the body exceeds.
+func Hot(n int) []int { // want "hotalloc/over-budget"
+	out := make([]int, 0, n)
+	out = append(out, n)
+	return out
+}
+
+// Clean is a root whose budget (2) overstates reality — the
+// allocations were removed but the ledger was not shrunk.
+func Clean(n int) int { // want "hotalloc/stale-budget"
+	return helper(n)
+}
+
+// helper is reachable from Clean; its single boxing site is budgeted.
+func helper(n int) int {
+	box(n)
+	return n
+}
+
+// Busy carries one of every counted site kind — seven sites, budget
+// seven, no finding.
+func Busy(name string, n int) string {
+	p := &Pair{A: n}
+	xs := []int{n}
+	m := map[string]int{}
+	_ = m
+	fn := func() { xs[0] = p.A }
+	go fn()
+	box(n)
+	return name + "!"
+}

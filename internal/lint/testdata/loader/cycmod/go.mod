@@ -1,0 +1,3 @@
+module cycx
+
+go 1.21

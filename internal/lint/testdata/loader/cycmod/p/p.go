@@ -1,0 +1,7 @@
+// Package p participates in a deliberate import cycle with q.
+package p
+
+import "cycx/q"
+
+// V closes the cycle.
+const V = q.V

@@ -1,0 +1,7 @@
+// Package q participates in a deliberate import cycle with p.
+package q
+
+import "cycx/p"
+
+// V closes the cycle.
+const V = p.V

@@ -1,0 +1,5 @@
+// Hidden directories must never be selected.
+package cache
+
+// Marker would leak into the analysis if .cache were walked.
+const Marker = "hidden"

@@ -1,0 +1,5 @@
+// Underscore-prefixed directories must never be selected.
+package tools
+
+// Marker would leak into the analysis if _tools were walked.
+const Marker = "underscore"

@@ -1,0 +1,8 @@
+// Package a imports a sibling so the test can prove module-local
+// resolution works inside a nested fixture module.
+package a
+
+import "loaderx/b"
+
+// Answer re-exports b's value through an import edge.
+const Answer = b.Answer

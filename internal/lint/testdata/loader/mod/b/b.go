@@ -1,0 +1,5 @@
+// Package b is the imported sibling.
+package b
+
+// Answer is read by package a.
+const Answer = 42

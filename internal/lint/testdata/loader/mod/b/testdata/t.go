@@ -1,0 +1,6 @@
+// This file lives under a nested testdata directory and must never be
+// selected by the loader's walk.
+package tdonly
+
+// Marker would leak into the analysis if testdata were walked.
+const Marker = "testdata"

@@ -1,0 +1,3 @@
+module loaderx
+
+go 1.21

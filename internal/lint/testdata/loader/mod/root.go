@@ -1,0 +1,5 @@
+// Package loadermod is the root package of the loader fixture module.
+package loadermod
+
+// Marker identifies the module-root package in tests.
+const Marker = "root"

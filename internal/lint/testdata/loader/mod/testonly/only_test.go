@@ -1,0 +1,5 @@
+// A package with only test files has no buildable Go files: the walk
+// must pass it over, and naming it explicitly must fail loudly.
+package testonly
+
+const marker = "test-only"

@@ -1,0 +1,5 @@
+// Vendored code must never be selected by the loader's walk.
+package v
+
+// Marker would leak into the analysis if vendor were walked.
+const Marker = "vendor"

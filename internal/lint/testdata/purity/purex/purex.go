@@ -1,0 +1,115 @@
+// Package purex exercises the purity analyzer: GoodModel certifies
+// cleanly through every sanctioned pattern (out-param helper,
+// higher-order pass-through, sentinel read, assumed field call), and
+// each Bad* root violates exactly one rule.
+package purex
+
+import (
+	"errors"
+	"time"
+)
+
+var counter int
+
+// ErrSat is an error-typed sentinel: reads of it are exempt from
+// purity/global-read by the errors.Is convention.
+var ErrSat = errors.New("purex: saturated")
+
+// Engine mimics the core engine: a geometry field plus a
+// function-typed chooser the walker cannot resolve statically.
+type Engine struct {
+	D       int
+	Chooser func(int) int
+}
+
+// Result mimics a counter struct built through out-params.
+type Result struct{ Cycles int }
+
+// GoodModel is pure: it reads its receiver, lets a helper write
+// through a pointer to a root-local, calls its assumed-pure chooser
+// field, and hands a closure to a higher-order walker.
+func (e *Engine) GoodModel(n int) Result {
+	var r Result
+	account(&r, n*e.D)
+	if n < 0 {
+		_ = ErrSat
+	}
+	c := e.Chooser(n)
+	forEach(n, func(i int) { r.Cycles += i + c })
+	return r
+}
+
+// account writes through its out-param — allowed for helpers, the
+// pointee is a root-local.
+func account(r *Result, c int) { r.Cycles += c }
+
+// forEach calls its function-typed parameter — the higher-order
+// pass-through the analyzer allows by construction.
+func forEach(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// BadGlobalWrite mutates package-level state.
+func BadGlobalWrite(n int) {
+	counter = n // want "purity/global-write"
+}
+
+// BadGlobalRead depends on package-level state.
+func BadGlobalRead() int {
+	return counter // want "purity/global-read"
+}
+
+// BadMapRange folds over a map in iteration order.
+func BadMapRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "purity/map-range"
+		s += v
+	}
+	return s
+}
+
+// BadClock reads the wall clock.
+func BadClock() time.Time {
+	return time.Now() // want "purity/nondet-call"
+}
+
+// Namer is an interface the static walker cannot see through.
+type Namer interface{ Name() string }
+
+// BadDynamic calls an interface method with no AssumePure entry.
+func BadDynamic(n Namer) string {
+	return n.Name() // want "purity/dynamic-call"
+}
+
+// BadParamMutation writes directly through its own parameter.
+func BadParamMutation(r *Result) { // want "purity/param-mutation"
+	r.Cycles = 0
+}
+
+// BadEscapedMutation lets a pointer into its parameter escape local
+// tracking before writing through it.
+func BadEscapedMutation(r *Result) { // want "purity/param-mutation"
+	p := &r.Cycles
+	*p = 1
+}
+
+// BadHelperMutation mutates its parameter only transitively, through
+// a helper's out-param write — the propagation the summaries exist
+// to catch.
+func BadHelperMutation(r *Result) { // want "purity/param-mutation"
+	zero(r)
+}
+
+func zero(r *Result) { r.Cycles = 0 }
+
+// BadChan performs a channel operation.
+func BadChan(ch chan int) {
+	ch <- 1 // want "purity/chan-op"
+}
+
+// BadGo spawns a goroutine.
+func BadGo(fn func()) {
+	go fn() // want "purity/chan-op"
+}

@@ -1,0 +1,95 @@
+// Package capx exercises the sharedcapture analyzer: the Good
+// functions follow the per-index result-slot pattern, each Bad
+// function escapes the invocation frame a different way.
+package capx
+
+import "flexflow/internal/lint/testdata/sharedcapture/schedx"
+
+// Result mimics a merged result struct with per-index slots.
+type Result struct{ Layers []int }
+
+// GoodSlot writes each invocation's slot of a captured slice field.
+func GoodSlot(n int) Result {
+	res := Result{Layers: make([]int, n)}
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		v := i * 2
+		res.Layers[i] = v
+		return nil
+	})
+	return res
+}
+
+// GoodDerived decomposes the flat index into grid coordinates — both
+// locals derive from the index parameter, so the nested write is a
+// slot write.
+func GoodDerived(rows, cols int) [][]int {
+	grid := make([][]int, rows)
+	for i := range grid {
+		grid[i] = make([]int, cols)
+	}
+	p := schedx.Pool{}
+	_ = p.Map(rows*cols, func(idx int) error {
+		a, b := idx/cols, idx%cols
+		grid[a][b] = idx
+		return nil
+	})
+	return grid
+}
+
+// BadNonLiteral hands the scheduler an opaque function value.
+func BadNonLiteral(n int, fn func(int) error) error {
+	p := schedx.Pool{}
+	return p.Map(n, fn) // want "sharedcapture/non-literal"
+}
+
+// BadSum accumulates into a captured scalar.
+func BadSum(n int) int {
+	sum := 0
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		sum += i // want "sharedcapture/captured-write"
+		return nil
+	})
+	return sum
+}
+
+// BadMapWrite writes a captured map; distinct keys do not make
+// concurrent map writes safe.
+func BadMapWrite(n int) map[int]int {
+	m := map[int]int{}
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		m[i] = i // want "sharedcapture/map-write"
+		return nil
+	})
+	return m
+}
+
+// BadFixedSlot writes a captured slice at an index that does not vary
+// with the invocation.
+func BadFixedSlot(n int, out []int) {
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		out[0] = i // want "not derived from the closure's index parameter"
+		return nil
+	})
+}
+
+// BadField overwrites a field of a captured pointer.
+func BadField(n int, r *Result) {
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		r.Layers = nil // want "writes a field of captured r"
+		return nil
+	})
+}
+
+// BadPointer writes through a captured pointer.
+func BadPointer(n int, x *int) {
+	p := schedx.Pool{}
+	_ = p.Map(n, func(i int) error {
+		*x = i // want "through captured pointer"
+		return nil
+	})
+}

@@ -1,0 +1,16 @@
+// Package schedx mimics the pipeline scheduler's fan-out entry point
+// for the sharedcapture fixtures.
+package schedx
+
+// Pool mimics pipeline.Scheduler.
+type Pool struct{ Workers int }
+
+// Map mimics Scheduler.Map: fn runs concurrently above one worker.
+func (p Pool) Map(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -187,7 +187,16 @@ type Network struct {
 // paper's evaluation (like most accelerator papers of its era) focuses
 // on CONV layers, which take >90% of computation.
 func (nw *Network) ConvLayers() []ConvLayer {
-	var out []ConvLayer
+	// Exact-size allocation: this runs once per model evaluation on the
+	// analytic fast path, so append growth (log₂ n re-allocations) is
+	// measurable churn the hotalloc budget charges for.
+	n := 0
+	for _, l := range nw.Layers {
+		if l.Kind == Conv {
+			n++
+		}
+	}
+	out := make([]ConvLayer, 0, n)
 	for _, l := range nw.Layers {
 		if l.Kind == Conv {
 			out = append(out, l.Conv)

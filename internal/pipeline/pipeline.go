@@ -144,10 +144,10 @@ func RunModel(e arch.Engine, nw *nn.Network, opts Options) (arch.RunResult, erro
 	if nw == nil {
 		return arch.RunResult{}, badJob("nil network")
 	}
-	if err := arch.CheckNetwork(e, nw); err != nil {
+	layers := nw.ConvLayers()
+	if err := arch.CheckLayers(e, layers); err != nil {
 		return arch.RunResult{}, fmt.Errorf("%w: %v", ErrJob, err)
 	}
-	layers := nw.ConvLayers()
 	res := arch.RunResult{Arch: e.Name(), Workload: nw.Name}
 	if len(layers) == 0 {
 		return res, nil

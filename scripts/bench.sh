@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
 # bench.sh — run the pipeline scheduler benchmarks and record the
-# 1-vs-4-worker throughput in BENCH_pipeline.json.
+# 1-vs-4-worker throughput, plus bytes/op and allocs/op from
+# b.ReportAllocs(), in BENCH_pipeline.json. The allocation columns
+# are the runtime counterpart of the static flexlint hotalloc budget:
+# the analyzer pins the sites, these numbers show what they cost.
 #
 # The two benchmarks exercise the pipeline's two fan-outs:
 #   BenchmarkRunModel     — layers of VGG-11 across workers (analytic model)
@@ -27,13 +30,20 @@ echo "$RAW"
 
 echo "$RAW" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
 /^Benchmark(RunModel|ExecuteBatch)\// {
-    # BenchmarkExecuteBatch/workers=4-8   12  57687487 ns/op  138.7 images/s
+    # BenchmarkExecuteBatch/workers=4-8  12  57687487 ns/op  138.7 images/s  1520 B/op  31 allocs/op
     split($1, parts, "/")
     bench = substr(parts[1], 10)            # strip "Benchmark"
     sub(/-[0-9]+$/, "", parts[2])           # strip GOMAXPROCS suffix
     sub(/^workers=/, "", parts[2])
-    ns[bench "," parts[2]] = $3
-    order[++n] = bench "," parts[2]
+    key = bench "," parts[2]
+    ns[key] = $3
+    # The benchmarks run with b.ReportAllocs(), so every line carries
+    # B/op and allocs/op columns; locate them by unit, not position.
+    for (f = 2; f <= NF; f++) {
+        if ($f == "B/op")      bytes[key]  = $(f - 1)
+        if ($f == "allocs/op") allocs[key] = $(f - 1)
+    }
+    order[++n] = key
 }
 END {
     printf "{\n"
@@ -42,8 +52,8 @@ END {
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         split(order[i], kv, ",")
-        printf "    {\"name\": \"%s\", \"workers\": \"%s\", \"ns_per_op\": %s}%s\n", \
-            kv[1], kv[2], ns[order[i]], (i < n ? "," : "")
+        printf "    {\"name\": \"%s\", \"workers\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            kv[1], kv[2], ns[order[i]], bytes[order[i]] + 0, allocs[order[i]] + 0, (i < n ? "," : "")
     }
     printf "  ],\n"
     sm = ns["RunModel,1"]     ; sp = ns["RunModel,4"]
