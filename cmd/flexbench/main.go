@@ -12,7 +12,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,15 +24,21 @@ import (
 	"flexflow/internal/arch"
 	"flexflow/internal/experiments"
 	"flexflow/internal/metrics"
+	"flexflow/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flexbench: ")
 	// No input may escape as a panic stack: anything that slips past
-	// validation dies here as a one-line diagnostic with exit 1.
+	// validation dies here as a one-line diagnostic with exit 1. A
+	// watchdog abort (the -timeout context firing inside a generator)
+	// surfaces as a wrapped error panic and gets its own diagnostic.
 	defer func() {
 		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && (errors.Is(err, sim.ErrCancelled) || errors.Is(err, sim.ErrBudget)) {
+				log.Fatalf("run aborted by the watchdog (-timeout): %v", err)
+			}
 			log.Fatalf("internal error: %v", r)
 		}
 	}()
@@ -38,12 +46,18 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write machine-readable CSVs of the figure data (optional)")
 	jsonPath := flag.String("json", "", "file to write the raw workload×architecture evaluation matrix as JSON (optional)")
 	workers := flag.Int("workers", 0, "scheduler width for independent evaluation units: 0 = all CPUs, 1 = serial (outputs are identical at any setting)")
+	timeout := flag.Duration("timeout", 0, "abort the whole regeneration after this duration via the watchdog context, e.g. 5m (0 = no limit)")
 	flag.Parse()
 
 	if *workers < 0 {
 		log.Fatalf("-workers must be >= 0, got %d", *workers)
 	}
 	experiments.Workers = *workers
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		experiments.Context = ctx
+	}
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath); err != nil {

@@ -1,0 +1,204 @@
+package main
+
+// The load generator half of flexserve: a fixed chaos-scenario set
+// fired at a running server. Every response must carry one of the
+// service's typed statuses; connection failures or unexpected statuses
+// fail the run. scripts/load.sh drives this against a chaos-enabled
+// server and commits the resulting latency report.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// scenario is one load shape: n requests at concurrency c, each built
+// by spec(i).
+type scenario struct {
+	Name string
+	n    int
+	c    int
+	spec func(i int) map[string]any
+	// expect lists the statuses this scenario may legally produce.
+	expect []int
+}
+
+// scenarios is the standard chaos set: steady clean traffic, an
+// overload burst (admission control must shed with 429), transient
+// faults (retries must absorb them), and impossible deadlines (typed
+// 504s, never hangs).
+func scenarios() []scenario {
+	return []scenario{
+		{
+			Name: "steady_model", n: 40, c: 4,
+			spec: func(i int) map[string]any {
+				return map[string]any{"workload": "LeNet-5", "mode": "model"}
+			},
+			expect: []int{200},
+		},
+		{
+			Name: "steady_execute", n: 40, c: 8,
+			spec: func(i int) map[string]any {
+				return map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": i}
+			},
+			expect: []int{200, 503},
+		},
+		{
+			Name: "overload_burst", n: 300, c: 64,
+			spec: func(i int) map[string]any {
+				return map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": i}
+			},
+			expect: []int{200, 429, 503},
+		},
+		{
+			Name: "client_faults", n: 30, c: 4,
+			spec: func(i int) map[string]any {
+				return map[string]any{"workload": "Example", "mode": "execute", "scale": 8,
+					"seed": i, "fault_seed": 1000 + i, "fault_n": 3}
+			},
+			expect: []int{200, 503},
+		},
+		{
+			Name: "tight_deadline", n: 20, c: 4,
+			spec: func(i int) map[string]any {
+				return map[string]any{"workload": "VGG-11", "mode": "model", "deadline_ms": 1}
+			},
+			expect: []int{200, 504, 503},
+		},
+	}
+}
+
+// scenarioReport is the per-scenario entry of the latency report.
+type scenarioReport struct {
+	Scenario string         `json:"scenario"`
+	Sent     int            `json:"sent"`
+	Statuses map[string]int `json:"statuses"`
+	P50MS    float64        `json:"p50_ms"`
+	P99MS    float64        `json:"p99_ms"`
+	MaxMS    float64        `json:"max_ms"`
+}
+
+// runLoadgen fires every scenario, validates the status envelope, and
+// writes the report.
+func runLoadgen(target, outPath string) error {
+	if err := waitReady(target); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	var reports []scenarioReport
+	var total2xx int
+	for _, sc := range scenarios() {
+		rep, ok2xx, err := runScenario(client, target, sc)
+		if err != nil {
+			return err
+		}
+		total2xx += ok2xx
+		reports = append(reports, rep)
+		fmt.Printf("loadgen %-16s sent=%3d statuses=%v p50=%.1fms p99=%.1fms\n",
+			sc.Name, rep.Sent, rep.Statuses, rep.P50MS, rep.P99MS)
+	}
+	if total2xx == 0 {
+		return fmt.Errorf("loadgen: zero successful responses across all scenarios")
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// waitReady polls /readyz until the server answers.
+func waitReady(target string) error {
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(target + "/readyz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: server at %s never became ready", target)
+}
+
+// runScenario fires one scenario and folds its outcomes.
+func runScenario(client *http.Client, target string, sc scenario) (scenarioReport, int, error) {
+	type outcome struct {
+		status  int
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, sc.n)
+	sem := make(chan struct{}, sc.c)
+	var wg sync.WaitGroup
+	wg.Add(sc.n)
+	for i := 0; i < sc.n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, _ := json.Marshal(sc.spec(i))
+			start := time.Now()
+			resp, err := client.Post(target+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			outcomes[i] = outcome{status: resp.StatusCode, latency: time.Since(start)}
+		}(i)
+	}
+	wg.Wait()
+
+	rep := scenarioReport{Scenario: sc.Name, Sent: sc.n, Statuses: map[string]int{}}
+	allowed := map[int]bool{}
+	for _, st := range sc.expect {
+		allowed[st] = true
+	}
+	var okLat []time.Duration
+	ok2xx := 0
+	for i, o := range outcomes {
+		if o.err != nil {
+			// A transport error means the server dropped or crashed — the
+			// one thing the chaos harness must never observe.
+			return rep, 0, fmt.Errorf("loadgen %s: request %d transport error: %v", sc.Name, i, o.err)
+		}
+		rep.Statuses[fmt.Sprintf("%d", o.status)]++
+		if !allowed[o.status] {
+			return rep, 0, fmt.Errorf("loadgen %s: request %d got unexpected status %d (allowed %v)",
+				sc.Name, i, o.status, sc.expect)
+		}
+		if o.status == http.StatusOK {
+			ok2xx++
+			okLat = append(okLat, o.latency)
+		}
+	}
+	rep.P50MS, rep.P99MS, rep.MaxMS = percentiles(okLat)
+	return rep, ok2xx, nil
+}
+
+// percentiles returns p50/p99/max in milliseconds.
+func percentiles(lat []time.Duration) (p50, p99, max float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) float64 {
+		return float64(lat[int(q*float64(len(lat)-1))]) / 1e6
+	}
+	return pick(0.50), pick(0.99), float64(lat[len(lat)-1]) / 1e6
+}

@@ -1,0 +1,121 @@
+// Command flexserve runs the FlexFlow inference service: an HTTP
+// server over the simulator facade with admission control, per-request
+// deadlines, dynamic micro-batching, deterministic retries, a circuit
+// breaker with graceful degradation, and clean SIGTERM draining.
+//
+//	flexserve -addr :8080                      # serve
+//	flexserve -addr :8080 -fault-every 5       # serve with chaos faults
+//	flexserve -loadgen -target http://:8080 \
+//	          -out results/serve_latency.json  # drive a load scenario set
+//
+// Endpoints: POST /v1/run (RunSpec JSON), GET /healthz, /readyz,
+// /statz. See DESIGN.md §9 for the state machines and the
+// error-to-status table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexflow/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Int("scale", 16, "default PE-array edge for requests that do not name one")
+	queue := flag.Int("queue", 64, "admission queue capacity (full queue rejects with 429)")
+	workers := flag.Int("workers", 2, "batch-executing worker goroutines")
+	engineWorkers := flag.Int("engine-workers", 0, "scheduler width inside each engine run (0 = all CPUs)")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
+	deadline := flag.Duration("deadline", 10*time.Second, "default per-request deadline (0 = none)")
+	maxCycles := flag.Int64("max-cycles", 0, "default modelled-cycle budget per request (0 = unbounded)")
+	retries := flag.Int("retries", 3, "retry budget for transient-fault failures")
+	retryBase := flag.Duration("retry-base", 5*time.Millisecond, "exponential backoff base")
+	retryCap := flag.Duration("retry-cap", 250*time.Millisecond, "backoff ceiling")
+	seed := flag.Uint64("seed", 1, "server seed: resident kernels and retry jitter")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip the circuit breaker")
+	breakerCooldown := flag.Int("breaker-cooldown", 16, "degraded decisions while open before a half-open probe")
+	faultEvery := flag.Int("fault-every", 0, "chaos: fault-inject every Nth admitted execute request (0 = off)")
+	faultN := flag.Int("fault-n", 4, "chaos: fault events per injected plan")
+	faultSeed := flag.Uint64("fault-seed", 7, "chaos: plan seed")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+
+	loadgen := flag.Bool("loadgen", false, "run as a load generator against -target instead of serving")
+	target := flag.String("target", "http://127.0.0.1:8080", "loadgen: base URL of a running flexserve")
+	out := flag.String("out", "", "loadgen: write the scenario latency report to this JSON file")
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*target, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv, err := serve.New(serve.Config{
+		Scale:            *scale,
+		Queue:            *queue,
+		Workers:          *workers,
+		EngineWorkers:    *engineWorkers,
+		MaxBatch:         *maxBatch,
+		DefaultDeadline:  *deadline,
+		MaxCycles:        *maxCycles,
+		MaxRetries:       *retries,
+		RetryBase:        *retryBase,
+		RetryCap:         *retryCap,
+		Seed:             *seed,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		FaultEvery:       *faultEvery,
+		FaultN:           *faultN,
+		FaultSeed:        *faultSeed,
+		// The serving core is clockless by construction (detsim); real
+		// time enters only here.
+		Now:   time.Now,
+		Sleep: time.Sleep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	log.Printf("listening on %s (queue %d, workers %d, max-batch %d, retries %d, fault-every %d)",
+		*addr, *queue, *workers, *maxBatch, *retries, *faultEvery)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("caught %v, draining (bound %v)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the serving core;
+	// both honor the same bound.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("drain failed: %v", err)
+	}
+	snap := srv.Snapshot()
+	log.Printf("drained clean: %d admitted, %d ok, %d retries, breaker %s",
+		snap.Admitted, snap.OK, snap.Retries, snap.Breaker.State)
+	fmt.Println("flexserve: clean shutdown")
+}

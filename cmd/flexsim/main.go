@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,7 +47,18 @@ func main() {
 	power := flag.Bool("power", false, "print the per-layer 65nm power breakdown (Table 6 style)")
 	describe := flag.Bool("describe", false, "print the FlexFlow engine's schedule description per layer")
 	bandwidth := flag.Float64("bandwidth", 0, "DRAM bandwidth in GB/s for wall-clock accounting (0 = compute-only cycles)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration via the watchdog context, e.g. 30s (0 = no limit)")
 	flag.Parse()
+
+	// The -timeout context reaches every engine through the pipeline's
+	// watchdog: the run stops at the next schedule boundary and comes
+	// back as a typed ErrCancelled instead of hanging.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	nw, err := resolveNetwork(*workload, *spec, *layer)
 	if err != nil {
@@ -53,7 +66,10 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := runTraced(nw, *scale, *trace, *traceMax); err != nil {
+		if err := runTraced(ctx, nw, *scale, *trace, *traceMax); err != nil {
+			if errors.Is(err, flexflow.ErrCancelled) {
+				log.Fatalf("timed out after %v: %v", *timeout, err)
+			}
 			log.Fatal(err)
 		}
 		return
@@ -80,8 +96,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := flexflow.Run(engine, nw)
+		run, err := flexflow.RunOpts(engine, nw, flexflow.Options{Context: ctx})
 		if err != nil {
+			if errors.Is(err, flexflow.ErrCancelled) {
+				log.Fatalf("timed out after %v: %v", *timeout, err)
+			}
 			log.Fatal(err)
 		}
 
@@ -194,8 +213,8 @@ func parseLayer(s string) (nn.ConvLayer, error) {
 }
 
 // runTraced executes the network functionally on the FlexFlow engine
-// with a dataflow trace attached.
-func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) (err error) {
+// with a dataflow trace attached; ctx bounds the run via the watchdog.
+func runTraced(ctx context.Context, nw *flexflow.Network, scale int, path string, maxEvents int) (err error) {
 	if err := nw.Validate(); err != nil {
 		return fmt.Errorf("tracing needs a chaining network: %w", err)
 	}
@@ -214,7 +233,7 @@ func runTraced(nw *flexflow.Network, scale int, path string, maxEvents int) (err
 
 	input := flexflow.RandomInput(nw, 1)
 	kernels := flexflow.RandomKernels(nw, 2)
-	exec, err := flexflow.ExecuteTraced(nw, input, kernels, scale, tw)
+	exec, err := flexflow.ExecuteOpts(nw, input, kernels, scale, flexflow.Options{Tracer: tw, Context: ctx})
 	if err != nil {
 		return err
 	}

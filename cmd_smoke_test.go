@@ -5,12 +5,17 @@ package flexflow_test
 // plausible stdout. Skipped when the go tool is unavailable.
 
 import (
+	"bytes"
 	"encoding/json"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func buildTools(t *testing.T) string {
@@ -463,4 +468,73 @@ func TestFlexfaultSmoke(t *testing.T) {
 func lastLine(s string) string {
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
 	return lines[len(lines)-1]
+}
+
+// TestFlexserveSmoke boots the real flexserve binary, answers one
+// request through it, and SIGTERMs it: the process must drain and
+// print the clean-shutdown marker.
+func TestFlexserveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	cmd := exec.Command(filepath.Join(dir, "flexserve"),
+		"-addr", addr, "-scale", "8", "-workers", "1", "-engine-workers", "1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 100 && !ready; i++ {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			_ = resp.Body.Close()
+			ready = resp.StatusCode == http.StatusOK
+		}
+		if !ready {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !ready {
+		t.Fatalf("flexserve never became ready:\n%s", buf.String())
+	}
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"workload":"LeNet-5","mode":"model"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		Cycles int64 `json:"cycles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || reply.Cycles <= 0 {
+		t.Fatalf("run: status %d cycles %d", resp.StatusCode, reply.Cycles)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("flexserve exited dirty: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "flexserve: clean shutdown") {
+		t.Errorf("no clean-shutdown marker:\n%s", buf.String())
+	}
 }

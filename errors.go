@@ -49,6 +49,16 @@ var (
 	ErrBandwidth = arch.ErrBandwidth
 )
 
+// BatchError is the typed failure of one unit of a batch run
+// (ExecuteBatch/ExecuteBatchOpts): Index records which image failed —
+// always the lowest failing index, matching the serial run — and the
+// wrapped cause stays visible to errors.Is. Retrieve it with
+// errors.As:
+//
+//	var be *flexflow.BatchError
+//	if errors.As(err, &be) { log.Printf("image %d: %v", be.Index, be.Err) }
+type BatchError = pipeline.BatchError
+
 // invalid wraps a formatted message with ErrInvalidConfig.
 func invalid(format string, a ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, a...))
@@ -63,7 +73,10 @@ func fromPipeline(err error) error {
 		return nil
 	}
 	if errors.Is(err, pipeline.ErrJob) {
-		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		// Double-wrap so the public sentinel matches while the original
+		// chain (including any BatchError index) stays visible to
+		// errors.As; the rendered message is unchanged.
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	return err
 }

@@ -308,7 +308,7 @@ func ExecuteBatchOpts(nw *Network, inputs []*Map3, kernels []*Kernel4, scale int
 			// ErrInvalidConfig before the compiler plans anything, and the
 			// failing index does not depend on scheduling.
 			if err := jobs[i].Validate(); err != nil {
-				return fmt.Errorf("flexflow: batch image %d: %w", i, fromPipeline(err))
+				return &BatchError{Index: i, Err: fromPipeline(err)}
 			}
 		}
 		// One compiled plan for the whole batch; the chooser is read-only

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/arch"
@@ -29,22 +30,31 @@ const ClockHz = 1e9
 // output is bit-identical at any setting.
 var Workers int
 
+// Context, when non-nil, threads cancellation into every generator's
+// pipeline run — the watchdog path the flexbench -timeout flag
+// reaches. The generators evaluate fixed, known-good workloads, so a
+// run error is either this context firing (sim.ErrCancelled, wrapped
+// in the panic value for the CLI boundary to classify) or a generator
+// bug; both panic, as the goldens' invariants elsewhere do.
+var Context context.Context
+
 // runModel evaluates a network through the execution pipeline. The
-// generators evaluate fixed, known-good workloads, so an error here is
-// a generator bug: panic, as the goldens' invariants elsewhere do.
+// panic value is a wrapped error so a recover boundary can classify a
+// watchdog abort (errors.Is sim.ErrCancelled/ErrBudget) apart from a
+// genuine generator bug.
 func runModel(e arch.Engine, nw *nn.Network) arch.RunResult {
-	r, err := pipeline.RunModel(e, nw, pipeline.Options{Workers: 1})
+	r, err := pipeline.RunModel(e, nw, pipeline.Options{Workers: 1, Context: Context})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s on %s: %v", e.Name(), nw.Name, err))
+		panic(fmt.Errorf("experiments: %s on %s: %w", e.Name(), nw.Name, err))
 	}
 	return r
 }
 
 // runBilled is runModel plus the energy-billing stage of the pipeline.
 func runBilled(e arch.Engine, nw *nn.Network, p energy.Params, edge int) (arch.RunResult, energy.Breakdown) {
-	r, b, err := pipeline.RunBilled(e, nw, p, edge, pipeline.Options{Workers: 1})
+	r, b, err := pipeline.RunBilled(e, nw, p, edge, pipeline.Options{Workers: 1, Context: Context})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s on %s: %v", e.Name(), nw.Name, err))
+		panic(fmt.Errorf("experiments: %s on %s: %w", e.Name(), nw.Name, err))
 	}
 	return r, b
 }
@@ -107,7 +117,7 @@ func RunAll(scale int) ([]*nn.Network, [][]arch.RunResult) {
 		return nil
 	})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		panic(fmt.Errorf("experiments: %w", err))
 	}
 	return nws, out
 }

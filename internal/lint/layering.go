@@ -69,13 +69,16 @@ func RepoLayering() map[string][]string {
 
 		"internal/experiments": {"internal/arch", "internal/compiler", "internal/core", "internal/energy", "internal/mapping2d", "internal/metrics", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/systolic", "internal/tiling", "internal/workloads"},
 
+		"internal/serve": {"."},
+
 		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping2d", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
 
-		"cmd/flexbench":  {"internal/arch", "internal/experiments", "internal/metrics"},
+		"cmd/flexbench":  {"internal/arch", "internal/experiments", "internal/metrics", "internal/sim"},
 		"cmd/flexcc":     {".", "internal/compiler", "internal/core", "internal/metrics"},
 		"cmd/flexfault":  {"."},
 		"cmd/flexlint":   {"internal/lint"},
 		"cmd/flexreport": {".", "internal/experiments"},
+		"cmd/flexserve":  {"internal/serve"},
 		"cmd/flexsim":    {".", "internal/core", "internal/metrics", "internal/nn", "internal/sim"},
 
 		"examples/compiler":    {".", "internal/compiler", "internal/metrics"},

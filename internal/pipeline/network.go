@@ -165,13 +165,34 @@ func (r ExecOutcome) finish(cur *tensor.Map3, pool Pooler, inj *fault.Injector) 
 	return r
 }
 
+// BatchError is the typed failure of one unit of a batch run: it
+// records which image (by batch index) failed alongside the underlying
+// error, so callers can attribute a cancellation or fault to a
+// specific unit with errors.As instead of parsing the message. Unwrap
+// keeps the underlying sentinel (sim.ErrCancelled, sim.ErrBudget,
+// fault.ErrFaulted, ErrJob) visible to errors.Is.
+type BatchError struct {
+	// Index is the batch index of the failed unit. Batch errors always
+	// surface the lowest failing index, matching the serial run.
+	Index int
+	// Err is the unit's underlying error.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("flexflow: batch image %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // ExecBatch runs independent NetworkJobs across the scheduler — batch
 // images on an accelerator. backend(i) supplies each job's engine,
 // pooling unit and options; it must return state not shared with other
 // indices (a fresh engine and injector per image), which is what makes
 // the parallel run bit-identical to the serial one. Results merge in
-// job order; the returned error is the lowest-index failure, wrapped
-// with its image index.
+// job order; the returned error is the lowest-index failure as a
+// *BatchError carrying that image index.
 func ExecBatch(workers int, jobs []NetworkJob, backend func(i int) (arch.Engine, Pooler, Options)) ([]ExecOutcome, error) {
 	out := make([]ExecOutcome, len(jobs))
 	sched := Scheduler{Workers: workers}
@@ -179,7 +200,7 @@ func ExecBatch(workers int, jobs []NetworkJob, backend func(i int) (arch.Engine,
 		e, pool, opts := backend(i)
 		o, err := Exec(e, pool, jobs[i], opts)
 		if err != nil {
-			return fmt.Errorf("flexflow: batch image %d: %w", i, err)
+			return &BatchError{Index: i, Err: err}
 		}
 		out[i] = o
 		return nil

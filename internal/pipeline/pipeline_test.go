@@ -235,6 +235,39 @@ func TestExecBatchDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestExecBatchCancelledCarriesImageIndex is the regression test for
+// mid-batch cancellation attribution: the failure must surface as a
+// typed *BatchError carrying the lowest failing image index (the
+// message alone used to be the only place the index lived), with the
+// cancellation sentinel still visible to errors.Is — at any worker
+// count.
+func TestExecBatchCancelledCarriesImageIndex(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := make([]pipeline.NetworkJob, 5)
+	for i := range jobs {
+		jobs[i] = exampleJob(uint64(200 + i))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		_, err := pipeline.ExecBatch(workers, jobs, func(i int) (arch.Engine, pipeline.Pooler, pipeline.Options) {
+			return core.New(4), core.NewPoolUnit(4), pipeline.Options{Context: ctx}
+		})
+		if !errors.Is(err, sim.ErrCancelled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCancelled", workers, err)
+		}
+		var be *pipeline.BatchError
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: err = %v, want *BatchError", workers, err)
+		}
+		if be.Index != 0 {
+			t.Errorf("workers=%d: BatchError.Index = %d, want 0 (lowest failing image)", workers, be.Index)
+		}
+		if !errors.Is(be.Err, sim.ErrCancelled) {
+			t.Errorf("workers=%d: BatchError.Err = %v, want ErrCancelled", workers, be.Err)
+		}
+	}
+}
+
 func TestExecBatchReportsLowestFailingImage(t *testing.T) {
 	jobs := make([]pipeline.NetworkJob, 4)
 	for i := range jobs {

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"time"
+
+	"flexflow"
+)
+
+// backoffDelay computes the wait before retry `attempt` (1-based):
+// exponential base·2^(attempt-1) plus deterministic jitter drawn from
+// MixSeed(serverSeed, requestSeed, attempt), capped at cap. Keying the
+// jitter on the request's own seed — not on arrival order or a shared
+// RNG — makes the whole retry timeline a pure function of (server
+// seed, request, attempt): byte-identical at any worker count, which
+// the determinism suite pins.
+func backoffDelay(base, cap time.Duration, serverSeed, requestSeed uint64, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 30 {
+		shift = 30 // past ~base·2³⁰ the cap governs anyway
+	}
+	d := base << uint(shift)
+	jitter := time.Duration(flexflow.MixSeed(serverSeed, requestSeed, uint64(attempt)) % uint64(base))
+	d += jitter
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	return d
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// unixNano rebuilds a wall-clock instant from its nanosecond count.
+func unixNano(ns int64) time.Time { return time.Unix(0, ns) }
+
+// dispatch is the micro-batching stage: it greedily drains the
+// admission queue, coalescing same-key requests (same mode, workload,
+// arch, scale, budget) into batches of up to MaxBatch, and hands each
+// batch to the worker pool. Batching is opportunistic, not timed —
+// there is no batching window and no clock: when the queue goes empty
+// everything pending flushes immediately, so an idle server adds zero
+// latency and a busy one amortizes the compiler plan across the
+// backlog. Keys flush in first-arrival order (a slice, not a map
+// range, keeps the order deterministic).
+func (s *Server) dispatch() {
+	defer s.workWG.Done()
+	defer close(s.batches)
+	pending := map[string][]*request{}
+	var order []string
+
+	flushKey := func(key string) {
+		batch := pending[key]
+		if len(batch) == 0 {
+			return
+		}
+		delete(pending, key)
+		s.stats.batchFormed(len(batch))
+		s.batches <- batch
+	}
+	flushAll := func() {
+		for _, key := range order {
+			flushKey(key)
+		}
+		order = order[:0]
+	}
+	add := func(r *request) {
+		if _, ok := pending[r.key]; !ok {
+			order = append(order, r.key)
+		}
+		pending[r.key] = append(pending[r.key], r)
+		if len(pending[r.key]) >= s.cfg.MaxBatch {
+			flushKey(r.key)
+		}
+	}
+
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			flushAll()
+			return
+		}
+		add(r)
+		// Greedy drain: batch whatever is already queued, then flush.
+	drain:
+		for {
+			select {
+			case r2, ok2 := <-s.queue:
+				if !ok2 {
+					flushAll()
+					return
+				}
+				add(r2)
+			default:
+				break drain
+			}
+		}
+		flushAll()
+	}
+}
+
+// worker executes batches until the dispatcher closes the feed.
+func (s *Server) worker() {
+	defer s.workWG.Done()
+	for batch := range s.batches {
+		s.runBatch(batch)
+	}
+}
+
+// runBatch answers one micro-batch: requests whose context already
+// expired are answered as cancelled without touching an engine; the
+// rest pass the circuit breaker (executing normally, or degrading when
+// it is open) and are executed.
+func (s *Server) runBatch(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			r.respond(cancelledResponse(r))
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.stats.execStarted(len(live))
+	defer s.stats.execFinished(len(live))
+
+	if !s.breaker.allow() {
+		for _, r := range live {
+			s.degrade(r)
+		}
+		return
+	}
+	s.execute(live)
+}
+
+// batchContext derives the watchdog context for a multi-request batch:
+// the latest member deadline if every member has one, otherwise
+// unbounded. (A single-member batch uses the member's own context
+// directly, which also observes client disconnects.) Members whose own
+// deadline fires earlier are answered individually by their handler;
+// the batch keeps running for whoever remains.
+func batchContext(batch []*request) (context.Context, context.CancelFunc) {
+	if len(batch) == 1 {
+		return batch[0].ctx, func() {}
+	}
+	var latest int64
+	bounded := true
+	for _, r := range batch {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			bounded = false
+			break
+		}
+		if ns := d.UnixNano(); ns > latest {
+			latest = ns
+		}
+	}
+	if !bounded {
+		return context.WithCancel(context.Background())
+	}
+	// A fresh deadline context (not a member's own) so one member's
+	// disconnect cannot cancel its batch siblings.
+	return context.WithDeadline(context.Background(), unixNano(latest))
+}

@@ -1,0 +1,116 @@
+package serve
+
+import "sync"
+
+// breaker states.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is a request-count-based circuit breaker (deterministic: no
+// clocks). Closed, it counts consecutive backend failures; at
+// threshold it opens. Open, it refuses execution for cooldown
+// decisions (each refused batch degrades instead), then goes half-open
+// and lets exactly one probe batch through: a probe success closes the
+// breaker, a probe failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  int
+
+	state    string
+	fails    int // consecutive failures while closed
+	shed     int // decisions refused while open
+	probing  bool
+	trips    int64
+	probes   int64
+	recovers int64
+}
+
+func newBreaker(threshold, cooldown int) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: breakerClosed}
+}
+
+// allow decides whether the next batch may execute. While open it
+// counts the refusal toward the cooldown; when the cooldown is spent
+// the breaker goes half-open and admits one probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false // one probe at a time; others stay degraded
+		}
+		b.probing = true
+		b.probes++
+		return true
+	default: // open
+		b.shed++
+		if b.shed >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.shed = 0
+		}
+		return false
+	}
+}
+
+// record feeds one request outcome back. It reports whether this
+// outcome tripped the breaker open.
+func (b *breaker) record(ok bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		if b.state == breakerHalfOpen {
+			b.recovers++
+		}
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		return false
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = breakerOpen
+		b.shed = 0
+		b.probing = false
+		b.trips++
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.fails = 0
+			b.shed = 0
+			b.trips++
+			return true
+		}
+	}
+	return false
+}
+
+// BreakerSnapshot is the breaker's observable state for /statz.
+type BreakerSnapshot struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Trips            int64  `json:"trips"`
+	Probes           int64  `json:"probes"`
+	Recoveries       int64  `json:"recoveries"`
+}
+
+func (b *breaker) snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:            b.state,
+		ConsecutiveFails: b.fails,
+		Trips:            b.trips,
+		Probes:           b.probes,
+		Recoveries:       b.recovers,
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+// The chaos harness: a concurrent burst with server-side fault
+// injection armed, a tiny queue, tight deadlines on part of the
+// traffic, and a graceful shutdown race at the end. The service
+// contract under all of that: zero panics (a panic kills the test
+// process), every response a typed status, every admitted request
+// answered.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChaosBurstStaysTyped(t *testing.T) {
+	s, err := New(Config{
+		Scale: 8, Workers: 2, Queue: 8, MaxBatch: 4,
+		MaxRetries: 2, RetryBase: time.Millisecond, RetryCap: 10 * time.Millisecond,
+		FaultEvery: 3, FaultN: 4, FaultSeed: 99,
+		BreakerThreshold: 4, BreakerCooldown: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 120
+	statuses := make([]int, n)
+	kinds := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			spec := map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": i}
+			switch i % 10 {
+			case 7: // a slice of impossible deadlines
+				spec = map[string]any{"workload": "VGG-11", "mode": "model", "deadline_ms": 1}
+			case 8: // a slice of client mistakes
+				spec = map[string]any{"workload": "NoSuchNet"}
+			case 9: // a slice of tiny cycle budgets
+				spec["max_cycles"] = 2
+			}
+			data, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			var body struct {
+				Kind string `json:"kind"`
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			_ = json.Unmarshal(raw, &body)
+			statuses[i] = resp.StatusCode
+			kinds[i] = body.Kind
+		}(i)
+	}
+	wg.Wait()
+
+	allowed := map[int]bool{200: true, 400: true, 429: true, 503: true, 504: true}
+	allowedKinds := map[string]bool{"": true, "invalid": true, "overload": true, "budget": true,
+		"cancelled": true, "faulted": true, "breaker_open": true, "draining": true}
+	var ok2xx int
+	for i, st := range statuses {
+		if st == -1 {
+			t.Errorf("request %d: transport error", i)
+			continue
+		}
+		if !allowed[st] {
+			t.Errorf("request %d: untyped status %d (kind %q)", i, st, kinds[i])
+		}
+		if !allowedKinds[kinds[i]] {
+			t.Errorf("request %d: unknown error kind %q", i, kinds[i])
+		}
+		if st == 200 {
+			ok2xx++
+		}
+	}
+	if ok2xx == 0 {
+		t.Error("chaos burst produced zero successes")
+	}
+
+	// Drain under the same chaos: nothing admitted may be dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after chaos: %v", err)
+	}
+	snap := s.Snapshot()
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Errorf("post-chaos residue: in_flight %d queue %d", snap.InFlight, snap.QueueDepth)
+	}
+	if snap.Admitted == 0 || snap.Batches == 0 {
+		t.Errorf("chaos never exercised the pipeline: %+v", snap)
+	}
+	t.Logf("chaos: admitted=%d ok=%d overload=%d faulted_503=%d timeout=%d retries=%d trips=%d mean_batch=%.2f",
+		snap.Admitted, snap.OK, snap.Overload, snap.Unavailable, snap.Timeout,
+		snap.Retries, snap.BreakerTrips, snap.MeanBatch)
+}

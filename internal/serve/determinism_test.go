@@ -1,0 +1,127 @@
+package serve
+
+// Satellite determinism contract: the retry/backoff machinery is a
+// pure function of (server seed, request, attempt). Replaying the same
+// fault schedule against servers with different worker counts must
+// produce a byte-identical retry timeline and identical counters —
+// scheduling may reorder execution, never outcomes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// replayFaultSchedule fires the same request set (half fault-marked,
+// half clean) at a fresh server with the given worker count and
+// returns the sorted retry timeline plus the counters that must not
+// depend on scheduling.
+func replayFaultSchedule(t *testing.T, workers int, faultSeeds []uint64) (timeline string, retries, ok, faulted int) {
+	t.Helper()
+	var mu sync.Mutex
+	var events []string
+	s, err := New(Config{
+		Scale: 8, Workers: workers, Queue: 64, MaxRetries: 3,
+		RetryBase: 2 * time.Millisecond, RetryCap: 100 * time.Millisecond,
+		Seed: 11,
+		// No Sleep: retries are immediate; the timeline is virtual.
+		OnRetry: func(spec RunSpec, attempt int, delay time.Duration) {
+			mu.Lock()
+			events = append(events, fmt.Sprintf("fault_seed=%d attempt=%d delay=%v", spec.FaultSeed, attempt, delay))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		_ = s.Shutdown(t.Context())
+	}()
+
+	n := 2 * len(faultSeeds)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			spec := map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": 1}
+			if i < len(faultSeeds) {
+				spec["fault_seed"] = faultSeeds[i]
+				spec["fault_n"] = 4
+			} else {
+				spec["seed"] = 1000 + i // clean traffic interleaved
+			}
+			data, _ := json.Marshal(spec)
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			results[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	for i, st := range results {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			faulted++
+		default:
+			t.Errorf("workers=%d request %d: unexpected status %d", workers, i, st)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	retries = len(events)
+	// Arrival order varies with scheduling; the per-request content
+	// must not. Sorting normalizes the former and pins the latter.
+	sort.Strings(events)
+	return strings.Join(events, "\n"), retries, ok, faulted
+}
+
+func TestRetryTimelineIdenticalAtAnyWorkerCount(t *testing.T) {
+	faultSeeds := firingFaultSeeds(t, 8, 4, 4)
+	baseline, baseRetries, baseOK, baseFaulted := replayFaultSchedule(t, 1, faultSeeds)
+	if baseRetries == 0 {
+		t.Fatal("fault schedule produced no retries; the test is vacuous")
+	}
+	if baseOK == 0 {
+		t.Fatal("no request succeeded")
+	}
+	for _, workers := range []int{2, 8} {
+		timeline, retries, ok, faulted := replayFaultSchedule(t, workers, faultSeeds)
+		if timeline != baseline {
+			t.Errorf("workers=%d: retry timeline diverged\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, baseline, workers, timeline)
+		}
+		if retries != baseRetries || ok != baseOK || faulted != baseFaulted {
+			t.Errorf("workers=%d: counters (retries=%d ok=%d faulted=%d) != baseline (%d %d %d)",
+				workers, retries, ok, faulted, baseRetries, baseOK, baseFaulted)
+		}
+	}
+
+	// The timeline is also exactly reconstructible from the backoff
+	// function alone — nothing hidden feeds it.
+	for _, seed := range faultSeeds {
+		want := fmt.Sprintf("fault_seed=%d attempt=1 delay=%v", seed,
+			backoffDelay(2*time.Millisecond, 100*time.Millisecond, 11, 1, 1))
+		if !strings.Contains(baseline, want) {
+			t.Errorf("timeline missing reconstructed entry %q", want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"flexflow"
+)
+
+// maxCachedResults bounds the degraded-mode result cache; once full,
+// new keys are not inserted (the steady-state working set — the small
+// fixed workload×arch×scale grid plus recent execute seeds — fits
+// comfortably).
+const maxCachedResults = 512
+
+// execute answers a breaker-approved batch. Model-mode requests run
+// the pure analytic path per request; execute-mode requests split into
+// the clean majority — one shared ExecuteBatchOpts call on one
+// compiled plan — and the fault-marked minority, which run one at a
+// time through the retry loop so a fault cannot poison batch siblings.
+func (s *Server) execute(batch []*request) {
+	nw, err := flexflow.Workload(batch[0].spec.Workload)
+	if err != nil {
+		// A bad workload name is the client's fault, not backend health:
+		// answer 400 without recording a breaker failure.
+		for _, r := range batch {
+			r.respond(response{err: err})
+		}
+		return
+	}
+	if batch[0].spec.Mode == ModeModel {
+		for _, r := range batch {
+			s.runModel(nw, r)
+		}
+		return
+	}
+	var clean, faulted []*request
+	for _, r := range batch {
+		if r.plan != nil {
+			faulted = append(faulted, r)
+		} else {
+			clean = append(clean, r)
+		}
+	}
+	s.runCleanBatch(nw, clean)
+	for _, r := range faulted {
+		s.runOne(nw, r, r.plan)
+	}
+}
+
+// runModel answers one analytic request from the model cache or by
+// evaluating the performance model.
+func (s *Server) runModel(nw *flexflow.Network, r *request) {
+	if reply, ok := s.cacheGet(r.spec.cacheKey()); ok {
+		r.respond(response{body: reply})
+		return
+	}
+	reply, err := s.modelReply(nw, r)
+	if err != nil {
+		s.recordOutcome(err)
+		r.respond(response{err: err})
+		return
+	}
+	s.recordOutcome(nil)
+	s.cachePut(r.spec.cacheKey(), reply)
+	r.respond(response{body: reply})
+}
+
+// modelReply evaluates the analytic model under the request's watchdog.
+func (s *Server) modelReply(nw *flexflow.Network, r *request) (runReply, error) {
+	engine, err := flexflow.NewEngine(flexflow.Arch(r.spec.Arch), r.spec.Scale, nw)
+	if err != nil {
+		return runReply{}, err
+	}
+	run, err := flexflow.RunOpts(engine, nw, flexflow.Options{
+		Context:   r.ctx,
+		MaxCycles: r.spec.MaxCycles,
+		Workers:   s.cfg.EngineWorkers,
+	})
+	if err != nil {
+		return runReply{}, err
+	}
+	return runReply{
+		Workload:    r.spec.Workload,
+		Arch:        r.spec.Arch,
+		Mode:        ModeModel,
+		Scale:       r.spec.Scale,
+		Cycles:      run.Cycles(),
+		MACs:        run.MACs(),
+		Utilization: run.Utilization(),
+		Layers:      len(run.Layers),
+	}, nil
+}
+
+// runCleanBatch executes fault-free requests as one micro-batch: one
+// compiled plan, images fanned across the engine scheduler. On a
+// partial failure the typed BatchError attributes it to one image;
+// that request is answered with the inner error and the siblings are
+// re-run individually rather than collectively failed.
+func (s *Server) runCleanBatch(nw *flexflow.Network, batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	if len(batch) == 1 {
+		s.runOne(nw, batch[0], nil)
+		return
+	}
+	ctx, cancel := batchContext(batch)
+	defer cancel()
+
+	spec := batch[0].spec
+	inputs := make([]*flexflow.Map3, len(batch))
+	for i, r := range batch {
+		inputs[i] = flexflow.RandomInput(nw, r.spec.Seed)
+	}
+	results, err := flexflow.ExecuteBatchOpts(nw, inputs, s.kernelsFor(nw, spec.Workload), spec.Scale, flexflow.Options{
+		Context:   ctx,
+		MaxCycles: spec.MaxCycles,
+		Workers:   s.cfg.EngineWorkers,
+	})
+	if err != nil {
+		var be *flexflow.BatchError
+		if errors.As(err, &be) && be.Index >= 0 && be.Index < len(batch) {
+			s.finishExec(batch[be.Index], nil, be.Err, len(batch), 0)
+			for i, r := range batch {
+				if i != be.Index {
+					s.runOne(nw, r, nil)
+				}
+			}
+			return
+		}
+		for _, r := range batch {
+			s.finishExec(r, nil, err, len(batch), 0)
+		}
+		return
+	}
+	for i, r := range batch {
+		s.finishExec(r, &results[i], nil, len(batch), 0)
+	}
+}
+
+// runOne executes a single request through the retry loop. A fired
+// fault event is treated like an ECC detection: the result is
+// quarantined (never served) and surfaces as the transient ErrFaulted,
+// which retries — without the plan, modelling a transient upset — with
+// deterministic exponential backoff until MaxRetries is spent.
+func (s *Server) runOne(nw *flexflow.Network, r *request, plan *flexflow.FaultPlan) {
+	kernels := s.kernelsFor(nw, r.spec.Workload)
+	attempt := 0
+	for {
+		if r.ctx.Err() != nil {
+			r.respond(cancelledResponse(r))
+			return
+		}
+		res, err := flexflow.ExecuteOpts(nw, flexflow.RandomInput(nw, r.spec.Seed), kernels, r.spec.Scale, flexflow.Options{
+			Context:   r.ctx,
+			MaxCycles: r.spec.MaxCycles,
+			Workers:   s.cfg.EngineWorkers,
+			Plan:      plan,
+		})
+		if err == nil && res.FaultsFired > 0 {
+			// The injected fault fired somewhere in the dataflow; even if
+			// the numeric output happens to be masked, the result is
+			// untrustworthy. Quarantine it.
+			err = fmt.Errorf("%w: %d fault event(s) fired (%d corruptions), result quarantined",
+				flexflow.ErrFaulted, res.FaultsFired, res.FaultHits)
+		}
+		if err == nil {
+			s.finishExec(r, &res, nil, 1, attempt)
+			return
+		}
+		if !errors.Is(err, flexflow.ErrFaulted) || attempt >= s.cfg.MaxRetries {
+			s.finishExec(r, nil, err, 1, attempt)
+			return
+		}
+		attempt++
+		delay := backoffDelay(s.cfg.RetryBase, s.cfg.RetryCap, s.cfg.Seed, r.spec.Seed, attempt)
+		s.stats.retried(delay)
+		if s.cfg.OnRetry != nil {
+			s.cfg.OnRetry(r.spec, attempt, delay)
+		}
+		if s.cfg.Sleep != nil && delay > 0 {
+			s.cfg.Sleep(delay)
+		}
+		plan = nil // a transient fault does not recur on the retry
+	}
+}
+
+// finishExec answers one execute-mode request and records its outcome
+// with the circuit breaker and the result cache.
+func (s *Server) finishExec(r *request, res *flexflow.ExecResult, err error, batchSize, retries int) {
+	if err != nil {
+		s.recordOutcome(err)
+		r.respond(response{err: err, retries: retries})
+		return
+	}
+	s.recordOutcome(nil)
+	run := flexflow.RunResult{Layers: res.Layers}
+	reply := runReply{
+		Workload:    r.spec.Workload,
+		Arch:        string(flexflow.FlexFlow),
+		Mode:        ModeExecute,
+		Scale:       r.spec.Scale,
+		Cycles:      res.Cycles(),
+		MACs:        run.MACs(),
+		Utilization: run.Utilization(),
+		Layers:      len(res.Layers),
+		PoolCycles:  res.PoolCycles,
+		Batch:       batchSize,
+		Retries:     retries,
+	}
+	s.cachePut(r.spec.cacheKey(), reply)
+	r.respond(response{body: reply, retries: retries})
+}
+
+// recordOutcome feeds the circuit breaker. Only backend-health
+// failures count: an exhausted retry budget (ErrFaulted) or an escaped
+// internal error. Client mistakes (ErrInvalidConfig), expired
+// deadlines (ErrCancelled) and watchdog budgets (ErrBudget) say
+// nothing about the backend and leave the breaker alone.
+func (s *Server) recordOutcome(err error) {
+	switch {
+	case err == nil:
+		s.breaker.record(true)
+	case errors.Is(err, flexflow.ErrFaulted), errors.Is(err, flexflow.ErrInternal):
+		if s.breaker.record(false) {
+			s.stats.breakerTripped()
+		}
+	}
+}
+
+// degrade answers a request while the breaker is open, in preference
+// order: a cached identical result, the pure analytic model (which
+// runs the fault-free performance path, not the suspect functional
+// backend), and finally a typed ErrBreakerOpen load-shed.
+func (s *Server) degrade(r *request) {
+	if reply, ok := s.cacheGet(r.spec.cacheKey()); ok {
+		reply.Degraded = "cache"
+		s.stats.degraded("cache")
+		r.respond(response{body: reply})
+		return
+	}
+	nw, err := flexflow.Workload(r.spec.Workload)
+	if err == nil {
+		var reply runReply
+		if reply, err = s.modelReply(nw, r); err == nil {
+			reply.Mode = r.spec.Mode
+			reply.Degraded = "analytic"
+			s.stats.degraded("analytic")
+			r.respond(response{body: reply})
+			return
+		}
+	}
+	s.stats.degraded("shed")
+	r.respond(response{err: fmt.Errorf("%w (fallback also failed: %v)", ErrBreakerOpen, err)})
+}
+
+// kernelsFor returns the server's resident kernel operands for a
+// workload, drawn once from the server seed — the accelerator keeps
+// weights resident; requests only stream activations.
+func (s *Server) kernelsFor(nw *flexflow.Network, workload string) []*flexflow.Kernel4 {
+	s.kernelMu.Lock()
+	defer s.kernelMu.Unlock()
+	if ks, ok := s.kernels[workload]; ok {
+		return ks
+	}
+	ks := flexflow.RandomKernels(nw, s.cfg.Seed)
+	s.kernels[workload] = ks
+	return ks
+}
+
+// cacheGet looks up a degraded-mode result.
+func (s *Server) cacheGet(key string) (runReply, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	reply, ok := s.cache[key]
+	return reply, ok
+}
+
+// cachePut stores a served result for degraded-mode reuse.
+func (s *Server) cachePut(key string, reply runReply) {
+	reply.LatencyMS = 0 // cached replies report their own service time
+	reply.Batch = 0
+	reply.Retries = 0
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if _, ok := s.cache[key]; !ok && len(s.cache) >= maxCachedResults {
+		return
+	}
+	s.cache[key] = reply
+}

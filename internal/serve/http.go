@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"flexflow"
+)
+
+// maxBodyBytes bounds a request body; a RunSpec is a few hundred bytes.
+const maxBodyBytes = 1 << 16
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/run  — one inference request (RunSpec JSON body)
+//	GET  /healthz — liveness (200 while the process runs)
+//	GET  /readyz  — readiness (503 once draining)
+//	GET  /statz   — JSON stats: queue depth, in-flight, retries, breaker
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// StatusOf maps the typed error taxonomy onto HTTP statuses — the
+// table DESIGN.md §9 documents:
+//
+//	ErrInvalidConfig → 400   (client mistake)
+//	ErrOverload      → 429   (queue full; Retry-After)
+//	ErrBudget        → 429   (cycle budget exhausted)
+//	ErrCancelled     → 504   (deadline/disconnect through the watchdog)
+//	ErrDraining      → 503   (shutting down)
+//	ErrBreakerOpen   → 503   (load shed; Retry-After)
+//	ErrFaulted       → 503   (retries exhausted on transient faults)
+//	anything else    → 500   (escaped internal error)
+func StatusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, flexflow.ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, flexflow.ErrCancelled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, flexflow.ErrBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, flexflow.ErrFaulted):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errKind names the sentinel for machine-readable error bodies.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrOverload):
+		return "overload"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, flexflow.ErrInvalidConfig):
+		return "invalid"
+	case errors.Is(err, flexflow.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, flexflow.ErrBudget):
+		return "budget"
+	case errors.Is(err, flexflow.ErrFaulted):
+		return "faulted"
+	default:
+		return "internal"
+	}
+}
+
+// errReply is the JSON error body.
+type errReply struct {
+	Error   string `json:"error"`
+	Kind    string `json:"kind"`
+	Retries int    `json:"retries,omitempty"`
+}
+
+// handleRun is the request path: decode → admission → wait for the
+// executor or the deadline, whichever answers first.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := s.now()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var spec RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.writeError(w, start, fmtInvalid("bad request body: %v", err), 0)
+		return
+	}
+	if err := spec.normalize(s.cfg); err != nil {
+		s.writeError(w, start, err, 0)
+		return
+	}
+
+	ctx := r.Context()
+	if d := spec.deadline(s.cfg); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req := &request{
+		spec:  spec,
+		key:   spec.batchKey(),
+		ctx:   ctx,
+		plan:  spec.clientPlan(),
+		start: start,
+		done:  make(chan response, 1),
+	}
+	if err := s.admit(req); err != nil {
+		s.writeError(w, start, err, 0)
+		return
+	}
+	// From here the drain guarantee holds: exactly one response is
+	// written before reqWG releases this request.
+	defer s.reqWG.Done()
+	select {
+	case resp := <-req.done:
+		if resp.err != nil {
+			s.writeError(w, start, resp.err, resp.retries)
+			return
+		}
+		reply := resp.body
+		if !start.IsZero() {
+			reply.LatencyMS = float64(s.now().Sub(start)) / 1e6
+		}
+		s.writeJSON(w, start, http.StatusOK, reply)
+	case <-ctx.Done():
+		// The deadline (or the client) gave up before the executor got
+		// there; the executor will skip or discard its answer.
+		s.writeError(w, start, cancelledResponse(req).err, 0)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n")) // nothing to do for a gone client
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]bool{"ready": !draining})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(s.Snapshot())
+}
+
+// writeError renders a typed error with its mapped status and counts
+// it; 429/503 rejections carry a Retry-After hint.
+func (s *Server) writeError(w http.ResponseWriter, start time.Time, err error, retries int) {
+	status := StatusOf(err)
+	if status == http.StatusTooManyRequests || errors.Is(err, ErrBreakerOpen) {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSONStatus(w, start, status, errReply{Error: err.Error(), Kind: errKind(err), Retries: retries})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, start time.Time, status int, v any) {
+	s.writeJSONStatus(w, start, status, v)
+}
+
+func (s *Server) writeJSONStatus(w http.ResponseWriter, start time.Time, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // a gone client is not a server error
+	latency := time.Duration(0)
+	measured := !start.IsZero()
+	if measured {
+		latency = s.now().Sub(start)
+	}
+	s.stats.finished(status, latency, measured)
+}
+
+// fmtInvalid wraps a formatted message in ErrInvalidConfig.
+func fmtInvalid(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", flexflow.ErrInvalidConfig, fmt.Sprintf(format, args...))
+}

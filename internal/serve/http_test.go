@@ -1,0 +1,398 @@
+package serve
+
+// End-to-end HTTP tests: the happy path, the typed rejection statuses,
+// deadlines through the watchdog, the breaker's degrade/recover arc,
+// and graceful shutdown with zero dropped in-flight requests.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"flexflow"
+)
+
+// newTestServer starts a serve.Server plus an httptest front end and
+// registers cleanup. No clock is wired unless the config carries one:
+// the serving logic itself must never need it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// post fires one request and decodes the JSON body.
+func post(t *testing.T, url string, spec map[string]any) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("status %d with undecodable body: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeModelAndExecuteEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Scale: 8, Workers: 2})
+
+	status, body := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "model", "scale": 16})
+	if status != http.StatusOK {
+		t.Fatalf("model run: status %d body %v", status, body)
+	}
+	if body["cycles"].(float64) <= 0 || body["layers"].(float64) <= 0 {
+		t.Errorf("model reply missing measurements: %v", body)
+	}
+
+	status, body = post(t, ts.URL, map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": 7})
+	if status != http.StatusOK {
+		t.Fatalf("execute run: status %d body %v", status, body)
+	}
+	if body["mode"] != "execute" || body["cycles"].(float64) <= 0 {
+		t.Errorf("execute reply malformed: %v", body)
+	}
+
+	// Same spec again: the engine is deterministic, so the cycle count
+	// must be identical.
+	status2, body2 := post(t, ts.URL, map[string]any{"workload": "Example", "mode": "execute", "scale": 8, "seed": 7})
+	if status2 != http.StatusOK || body2["cycles"] != body["cycles"] {
+		t.Errorf("repeat run diverged: %v vs %v", body2["cycles"], body["cycles"])
+	}
+}
+
+func TestServeTypedRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{Scale: 8})
+
+	cases := []struct {
+		name   string
+		spec   map[string]any
+		status int
+		kind   string
+	}{
+		{"unknown workload", map[string]any{"workload": "GPT-5"}, http.StatusBadRequest, "invalid"},
+		{"missing workload", map[string]any{"mode": "model"}, http.StatusBadRequest, "invalid"},
+		{"bad mode", map[string]any{"workload": "Example", "mode": "turbo"}, http.StatusBadRequest, "invalid"},
+		{"negative scale", map[string]any{"workload": "Example", "scale": -1}, http.StatusBadRequest, "invalid"},
+		{"cycle budget", map[string]any{"workload": "VGG-11", "mode": "model", "max_cycles": 3}, http.StatusTooManyRequests, "budget"},
+	}
+	for _, c := range cases {
+		status, body := post(t, ts.URL, c.spec)
+		if status != c.status || body["kind"] != c.kind {
+			t.Errorf("%s: status %d kind %v, want %d %q (body %v)", c.name, status, body["kind"], c.status, c.kind, body)
+		}
+	}
+
+	// A malformed body is a 400, not a hang or a 500.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeDeadlineBecomes504(t *testing.T) {
+	// Park the single worker in an injected retry Sleep (blocking on a
+	// channel, not burning CPU — this container may have one core, so
+	// CPU-bound occupancy would also starve the HTTP path). While the
+	// worker is parked, a 1 ms-deadline request must surface as a typed
+	// 504 from the handler's watchdog, never a hang.
+	gate := make(chan struct{})
+	parked := make(chan struct{})
+	var once sync.Once
+	_, ts := newTestServer(t, Config{
+		Scale: 8, Workers: 1, EngineWorkers: 1,
+		MaxRetries: 1, RetryBase: time.Millisecond, RetryCap: time.Millisecond,
+		Sleep: func(time.Duration) {
+			once.Do(func() { close(parked) })
+			<-gate
+		},
+	})
+	seed := firingFaultSeeds(t, 8, 4, 1)[0]
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st, _ := post(t, ts.URL, map[string]any{
+			"workload": "Example", "mode": "execute", "scale": 8,
+			"fault_seed": seed, "fault_n": 4,
+		})
+		if st != http.StatusOK {
+			t.Errorf("parked request: status %d after retry, want 200", st)
+		}
+	}()
+	<-parked
+	status, body := post(t, ts.URL, map[string]any{
+		"workload": "AlexNet", "mode": "model", "deadline_ms": 1,
+	})
+	close(gate)
+	wg.Wait()
+	if status != http.StatusGatewayTimeout || body["kind"] != "cancelled" {
+		t.Errorf("deadline: status %d kind %v, want 504 cancelled", status, body["kind"])
+	}
+}
+
+func TestServeHealthAndStats(t *testing.T) {
+	s, ts := newTestServer(t, Config{Scale: 8})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	post(t, ts.URL, map[string]any{"workload": "Example", "mode": "execute", "scale": 8})
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Admitted < 1 || snap.OK < 1 || snap.QueueCap == 0 || snap.Breaker.State == "" {
+		t.Errorf("stats snapshot incomplete: %+v", snap)
+	}
+	_ = s
+}
+
+// firingFaultSeeds returns n fault_seed values whose chaos plans
+// provably fire on the Example workload at the given scale — verified
+// directly against the facade, so the serving tests built on them
+// cannot rot if the plan generator changes.
+func firingFaultSeeds(t *testing.T, scale, faultN, n int) []uint64 {
+	t.Helper()
+	nw, err := flexflow.Workload("Example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := flexflow.RandomKernels(nw, 0) // Config.Seed default
+	var out []uint64
+	for seed := uint64(1); seed < 4000 && len(out) < n; seed++ {
+		plan := chaosPlan(seed, faultN, scale)
+		res, err := flexflow.ExecuteOpts(nw, flexflow.RandomInput(nw, seed), kernels, scale, flexflow.Options{Plan: plan})
+		if err == nil && res.FaultsFired > 0 {
+			out = append(out, seed)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d firing fault seeds", len(out), n)
+	}
+	return out
+}
+
+func TestServeRetriesAbsorbTransientFaults(t *testing.T) {
+	var mu sync.Mutex
+	var timeline []string
+	_, ts := newTestServer(t, Config{
+		Scale: 8, Workers: 2, MaxRetries: 3,
+		RetryBase: time.Millisecond, RetryCap: 50 * time.Millisecond,
+		OnRetry: func(spec RunSpec, attempt int, delay time.Duration) {
+			mu.Lock()
+			timeline = append(timeline, fmt.Sprintf("%d/%d/%v", spec.FaultSeed, attempt, delay))
+			mu.Unlock()
+		},
+	})
+	seed := firingFaultSeeds(t, 8, 4, 1)[0]
+	status, body := post(t, ts.URL, map[string]any{
+		"workload": "Example", "mode": "execute", "scale": 8,
+		"seed": 1, "fault_seed": seed, "fault_n": 4,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("faulted request not absorbed: status %d body %v", status, body)
+	}
+	if body["retries"].(float64) < 1 {
+		t.Errorf("reply reports no retries: %v", body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(timeline) == 0 {
+		t.Error("OnRetry never observed the retry")
+	}
+}
+
+func TestServeRetriesExhaustedBecomes503(t *testing.T) {
+	// MaxRetries 0: the first fault is final and must surface as a
+	// typed 503 "faulted", not a 500 and not a corrupted 200.
+	_, ts := newTestServer(t, Config{Scale: 8, MaxRetries: 0})
+	seed := firingFaultSeeds(t, 8, 4, 1)[0]
+	status, body := post(t, ts.URL, map[string]any{
+		"workload": "Example", "mode": "execute", "scale": 8,
+		"seed": 1, "fault_seed": seed, "fault_n": 4,
+	})
+	if status != http.StatusServiceUnavailable || body["kind"] != "faulted" {
+		t.Errorf("exhausted retries: status %d kind %v, want 503 faulted", status, body["kind"])
+	}
+}
+
+func TestServeBreakerTripsDegradesAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Scale: 8, Workers: 1, MaxRetries: 0,
+		BreakerThreshold: 3, BreakerCooldown: 2,
+	})
+	seeds := firingFaultSeeds(t, 8, 4, 3)
+
+	// Three consecutive fault failures trip the breaker.
+	for i, seed := range seeds {
+		status, body := post(t, ts.URL, map[string]any{
+			"workload": "Example", "mode": "execute", "scale": 8,
+			"seed": 100 + i, "fault_seed": seed, "fault_n": 4,
+		})
+		if status != http.StatusServiceUnavailable || body["kind"] != "faulted" {
+			t.Fatalf("fault %d: status %d kind %v", i, status, body["kind"])
+		}
+	}
+	if snap := s.Snapshot(); snap.Breaker.State != breakerOpen || snap.Breaker.Trips != 1 {
+		t.Fatalf("breaker after 3 failures: %+v", snap.Breaker)
+	}
+
+	// Open breaker: clean requests are served degraded by the analytic
+	// model instead of being dropped.
+	for i := 0; i < 2; i++ {
+		status, body := post(t, ts.URL, map[string]any{
+			"workload": "Example", "mode": "execute", "scale": 8, "seed": 200 + i,
+		})
+		if status != http.StatusOK || body["degraded"] != "analytic" {
+			t.Fatalf("degraded %d: status %d degraded %v", i, status, body["degraded"])
+		}
+	}
+
+	// Cooldown spent: the next request is the half-open probe; it runs
+	// clean, succeeds, and closes the breaker.
+	status, body := post(t, ts.URL, map[string]any{
+		"workload": "Example", "mode": "execute", "scale": 8, "seed": 300,
+	})
+	if status != http.StatusOK || body["degraded"] != nil {
+		t.Fatalf("probe: status %d degraded %v, want full 200", status, body["degraded"])
+	}
+	snap := s.Snapshot()
+	if snap.Breaker.State != breakerClosed || snap.Breaker.Recoveries != 1 {
+		t.Errorf("breaker after probe: %+v", snap.Breaker)
+	}
+	if snap.DegradedAnalytic != 2 {
+		t.Errorf("degraded_analytic = %d, want 2", snap.DegradedAnalytic)
+	}
+
+	// And a cached result is preferred over recomputing when degrading:
+	// trip it again, then re-ask for a seed served earlier.
+	for i, seed := range seeds {
+		post(t, ts.URL, map[string]any{
+			"workload": "Example", "mode": "execute", "scale": 8,
+			"seed": 100 + i, "fault_seed": seed, "fault_n": 4,
+		})
+	}
+	status, body = post(t, ts.URL, map[string]any{
+		"workload": "Example", "mode": "execute", "scale": 8, "seed": 300,
+	})
+	if status != http.StatusOK || body["degraded"] != "cache" {
+		t.Errorf("cache degrade: status %d degraded %v, want cache", status, body["degraded"])
+	}
+}
+
+func TestServeGracefulShutdownDropsNothing(t *testing.T) {
+	s, err := New(Config{Scale: 8, Workers: 2, Queue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 24
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			data, _ := json.Marshal(map[string]any{
+				"workload": "Example", "mode": "execute", "scale": 8, "seed": i,
+			})
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Let a slice of the burst get admitted, then pull the plug.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	var ok2xx, drained int
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok2xx++
+		case http.StatusServiceUnavailable:
+			drained++
+		case -1:
+			t.Errorf("request %d: transport error (dropped connection)", i)
+		default:
+			t.Errorf("request %d: unexpected status %d", i, st)
+		}
+	}
+	// The drain guarantee, sharply: every admitted request finished
+	// with a 200; every rejected one got the typed draining 503.
+	snap := s.Snapshot()
+	if int64(ok2xx) != snap.Admitted {
+		t.Errorf("admitted %d but only %d completed ok", snap.Admitted, ok2xx)
+	}
+	if int64(drained) != snap.RejectedDraining {
+		t.Errorf("draining rejections %d vs 503s seen %d", snap.RejectedDraining, drained)
+	}
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Errorf("post-drain residue: in_flight %d queue %d", snap.InFlight, snap.QueueDepth)
+	}
+
+	// Shutdown is idempotent and admission stays fenced.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+	status, body := post(t, ts.URL, map[string]any{"workload": "Example"})
+	if status != http.StatusServiceUnavailable || body["kind"] != "draining" {
+		t.Errorf("post-shutdown request: status %d kind %v, want 503 draining", status, body["kind"])
+	}
+}

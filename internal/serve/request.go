@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"flexflow"
+)
+
+// Request modes: the analytic performance model (pure, fault-free,
+// cheap) or a functional cycle-level execution of a seeded input.
+const (
+	ModeModel   = "model"
+	ModeExecute = "execute"
+)
+
+// RunSpec is the wire form of one inference request (POST /v1/run).
+type RunSpec struct {
+	// Workload names a Table 1 network ("LeNet-5", "AlexNet", …) or
+	// "Example". Required.
+	Workload string `json:"workload"`
+	// Arch picks the architecture for model mode (default "FlexFlow").
+	// Execute mode always runs the FlexFlow functional engine.
+	Arch string `json:"arch,omitempty"`
+	// Scale is the PE-array edge (default Config.Scale).
+	Scale int `json:"scale,omitempty"`
+	// Mode is "model" (default) or "execute".
+	Mode string `json:"mode,omitempty"`
+	// Seed draws the pseudo-random input image for execute mode.
+	Seed uint64 `json:"seed,omitempty"`
+	// DeadlineMS bounds this request end to end; 0 inherits
+	// Config.DefaultDeadline, negative means explicitly unbounded.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxCycles bounds the modelled engine cycles (watchdog budget);
+	// 0 inherits Config.MaxCycles.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// FaultSeed, when non-zero with FaultN > 0, arms a client-chosen
+	// fault-injection plan on an execute request (chaos testing).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// FaultN is the number of fault events in the client plan.
+	FaultN int `json:"fault_n,omitempty"`
+}
+
+// normalize fills defaults and validates the spec's envelope (the
+// workload name itself is resolved at execution time).
+func (sp *RunSpec) normalize(cfg Config) error {
+	if sp.Workload == "" {
+		return fmt.Errorf("%w: missing workload", flexflow.ErrInvalidConfig)
+	}
+	if sp.Mode == "" {
+		sp.Mode = ModeModel
+	}
+	if sp.Mode != ModeModel && sp.Mode != ModeExecute {
+		return fmt.Errorf("%w: unknown mode %q (want %q or %q)",
+			flexflow.ErrInvalidConfig, sp.Mode, ModeModel, ModeExecute)
+	}
+	if sp.Arch == "" {
+		sp.Arch = string(flexflow.FlexFlow)
+	}
+	if sp.Scale == 0 {
+		sp.Scale = cfg.Scale
+	}
+	if sp.Scale < 1 {
+		return fmt.Errorf("%w: scale must be positive, got %d", flexflow.ErrInvalidConfig, sp.Scale)
+	}
+	if sp.MaxCycles == 0 {
+		sp.MaxCycles = cfg.MaxCycles
+	}
+	if sp.MaxCycles < 0 || sp.FaultN < 0 {
+		return fmt.Errorf("%w: negative max_cycles/fault_n", flexflow.ErrInvalidConfig)
+	}
+	return nil
+}
+
+// deadline resolves the effective end-to-end bound (0 = none).
+func (sp RunSpec) deadline(cfg Config) time.Duration {
+	switch {
+	case sp.DeadlineMS > 0:
+		return time.Duration(sp.DeadlineMS) * time.Millisecond
+	case sp.DeadlineMS < 0:
+		return 0
+	default:
+		return cfg.DefaultDeadline
+	}
+}
+
+// batchKey groups requests that can share one compiled plan and one
+// ExecuteBatchOpts call: same mode, workload, architecture, scale and
+// watchdog budget.
+func (sp RunSpec) batchKey() string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", sp.Mode, sp.Workload, sp.Arch, sp.Scale, sp.MaxCycles)
+}
+
+// cacheKey identifies a deterministic result for the degraded-mode
+// cache; execute results additionally depend on the input seed.
+func (sp RunSpec) cacheKey() string {
+	if sp.Mode == ModeExecute {
+		return fmt.Sprintf("%s|%d", sp.batchKey(), sp.Seed)
+	}
+	return sp.batchKey()
+}
+
+// clientPlan builds the fault plan a request asked for, if any.
+func (sp RunSpec) clientPlan() *flexflow.FaultPlan {
+	if sp.Mode != ModeExecute || sp.FaultN <= 0 {
+		return nil
+	}
+	return chaosPlan(sp.FaultSeed, sp.FaultN, sp.Scale)
+}
+
+// request is one admitted unit of work flowing through queue →
+// dispatcher → worker. The worker answers on done (buffered, so an
+// abandoned request never blocks a worker); the handler answers the
+// HTTP side from done or from its own expired context, whichever is
+// first.
+type request struct {
+	seq   uint64
+	spec  RunSpec
+	key   string
+	ctx   context.Context
+	plan  *flexflow.FaultPlan
+	start time.Time // admission clock reading; zero without a clock
+	done  chan response
+}
+
+// response is the executor's answer: a reply body or a typed error.
+type response struct {
+	body    runReply
+	err     error
+	retries int
+}
+
+// respond delivers the executor's answer without ever blocking: done
+// is buffered one-deep and written exactly once per request.
+func (r *request) respond(resp response) {
+	select {
+	case r.done <- resp:
+	default:
+	}
+}
+
+// cancelledResponse wraps a dead request context in the facade's typed
+// cancellation sentinel.
+func cancelledResponse(r *request) response {
+	return response{err: fmt.Errorf("%w: %v", flexflow.ErrCancelled, context.Cause(r.ctx))}
+}
+
+// runReply is the wire form of a successful (or degraded) result.
+type runReply struct {
+	Workload    string  `json:"workload"`
+	Arch        string  `json:"arch"`
+	Mode        string  `json:"mode"`
+	Scale       int     `json:"scale"`
+	Cycles      int64   `json:"cycles"`
+	MACs        int64   `json:"macs"`
+	Utilization float64 `json:"utilization"`
+	Layers      int     `json:"layers"`
+	PoolCycles  int64   `json:"pool_cycles,omitempty"`
+	// Batch is how many images were co-executed in this micro-batch.
+	Batch int `json:"batch,omitempty"`
+	// Retries counts attempts beyond the first (transient faults).
+	Retries int `json:"retries,omitempty"`
+	// FaultsFired is nonzero only on degraded diagnostics; quarantined
+	// results are never served.
+	FaultsFired int `json:"faults_fired,omitempty"`
+	// Degraded marks a breaker-open fallback: "cache" (an earlier
+	// identical result) or "analytic" (the pure performance model).
+	Degraded string `json:"degraded,omitempty"`
+	// LatencyMS is the end-to-end service time when a clock is wired.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}

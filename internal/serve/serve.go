@@ -1,0 +1,315 @@
+// Package serve is flexserve: a fault-tolerant concurrent inference
+// service over the flexflow facade. It is the repository's
+// "millions of users" story made concrete — a long-running server
+// whose failure behavior is engineered and tested, not hoped for:
+//
+//   - admission control: a bounded request queue; when it is full the
+//     request is rejected immediately with a typed ErrOverload
+//     (HTTP 429 + Retry-After) instead of growing without bound;
+//   - per-request deadlines: threaded as a context into the engines'
+//     existing watchdog path, so an expired deadline stops the
+//     simulation at the next schedule boundary and surfaces as a typed
+//     ErrCancelled (HTTP 504);
+//   - dynamic micro-batching: simultaneously queued requests for the
+//     same (mode, workload, arch, scale) coalesce into one
+//     ExecuteBatchOpts call, paying the compiler plan once and fanning
+//     images across the engine scheduler (Options.Workers);
+//   - a retry layer: requests that fail with the transient ErrFaulted
+//     (an injected hardware fault detected by the quarantine stage)
+//     are retried with deterministic, seed-driven exponential backoff
+//     plus jitter — same seed, same fault schedule, same timeline at
+//     any worker count;
+//   - a circuit breaker: consecutive backend failures trip it open;
+//     while open the server degrades gracefully — cached results, then
+//     the pure analytic model, then a typed ErrBreakerOpen shed — and
+//     a half-open probe closes it again once the backend recovers;
+//   - graceful shutdown: Shutdown stops admission, drains the queue
+//     and every in-flight request to a real response, then stops the
+//     worker pool; zero admitted requests are dropped.
+//
+// The package is bound by the repository's determinism contract
+// (flexlint detsim): it never reads the wall clock or a global RNG
+// itself. Time enters only through the injected Config.Now/Sleep
+// (cmd/flexserve wires the real clock; tests wire a virtual one), and
+// all jitter derives from splitmix64 seed mixing.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexflow"
+)
+
+// Typed admission/degradation failures of the serving layer, matching
+// the facade's sentinel style. The HTTP layer maps them (with the
+// facade's ErrBudget/ErrCancelled/ErrFaulted) onto status codes; see
+// StatusOf.
+var (
+	// ErrOverload is returned when the bounded admission queue is full:
+	// the caller should back off and retry (HTTP 429 + Retry-After).
+	ErrOverload = errors.New("serve: admission queue full")
+	// ErrDraining is returned when the server is shutting down and no
+	// longer admits work (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+	// ErrBreakerOpen is returned when the circuit breaker is open and
+	// the request could not be served degraded (HTTP 503 + Retry-After).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open, load shed")
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// usable default (see New); the zero Config serves analytic requests
+// serially with a 64-deep queue and no retries.
+type Config struct {
+	// Scale is the default PE-array edge for requests that do not name
+	// one (default 16, the paper's configuration).
+	Scale int
+	// Queue is the admission queue capacity; a full queue rejects with
+	// ErrOverload (default 64).
+	Queue int
+	// Workers is the number of batch-executing worker goroutines
+	// (default 1). Each worker runs one micro-batch at a time.
+	Workers int
+	// EngineWorkers is the Options.Workers width passed to each engine
+	// run — the per-engine scheduler pool that fans batch images (and
+	// model layers) out; 0 means GOMAXPROCS, 1 serial.
+	EngineWorkers int
+	// MaxBatch caps how many same-key requests coalesce into one
+	// micro-batch (default 8).
+	MaxBatch int
+	// DefaultDeadline bounds requests that do not carry their own
+	// deadline_ms; 0 means no default deadline.
+	DefaultDeadline time.Duration
+	// MaxCycles is the default modelled-cycle budget per request
+	// (watchdog ErrBudget → HTTP 429); 0 means unbounded.
+	MaxCycles int64
+	// MaxRetries is how many times a request that failed with the
+	// transient ErrFaulted is retried (default 0: no retries).
+	MaxRetries int
+	// RetryBase is the exponential-backoff base: retry k waits
+	// base·2^(k-1) plus deterministic jitter in [0, base), capped at
+	// RetryCap. 0 disables waiting (retries are immediate).
+	RetryBase time.Duration
+	// RetryCap bounds a single backoff wait; 0 means uncapped.
+	RetryCap time.Duration
+	// Seed drives everything pseudo-random in the server: the resident
+	// kernel operands and the retry jitter streams (via MixSeed).
+	Seed uint64
+	// BreakerThreshold is the number of consecutive backend failures
+	// (ErrFaulted/ErrInternal outcomes after retries) that trip the
+	// circuit breaker open (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how many requests are shed/degraded while the
+	// breaker is open before it goes half-open and admits one probe
+	// (default 16).
+	BreakerCooldown int
+	// FaultEvery, when positive, arms a deterministic fault-injection
+	// plan on every FaultEvery-th admitted execute request (the chaos
+	// knob of cmd/flexserve); FaultN and FaultSeed shape the plans.
+	FaultEvery int
+	// FaultN is the number of fault events per chaos plan (default 4).
+	FaultN int
+	// FaultSeed seeds the chaos plans; each marked request gets an
+	// independent plan via MixSeed(FaultSeed, seq).
+	FaultSeed uint64
+	// Now is the injected clock for latency accounting. nil disables
+	// latency measurement (the serving logic itself never needs a
+	// clock — detsim). cmd/flexserve passes time.Now.
+	Now func() time.Time
+	// Sleep is the injected sleeper for retry backoff. nil means
+	// retries do not wait (virtual time; tests record the timeline via
+	// OnRetry instead). cmd/flexserve passes time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes every scheduled retry: the
+	// request's spec, the attempt number (1-based) and the
+	// deterministic backoff delay. Tests use it to pin the retry
+	// timeline.
+	OnRetry func(spec RunSpec, attempt int, delay time.Duration)
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 16
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 16
+	}
+	if c.FaultN == 0 {
+		c.FaultN = 4
+	}
+	return c
+}
+
+// Server is the serving engine: admission queue, micro-batching
+// dispatcher, worker pool, retry layer, circuit breaker, result cache
+// and stats. Create one with New, expose it with Handler, stop it with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	queue   chan *request
+	batches chan []*request
+
+	// reqWG tracks admitted requests until their handler has written a
+	// response; Shutdown's drain guarantee is this waitgroup.
+	reqWG sync.WaitGroup
+	// workWG tracks the dispatcher and the workers.
+	workWG sync.WaitGroup
+
+	mu       sync.Mutex // guards draining and seq
+	draining bool
+	seq      uint64
+
+	stats   *Stats
+	breaker *breaker
+
+	cacheMu sync.Mutex
+	cache   map[string]runReply
+
+	engineMu sync.Mutex
+	engines  map[string]flexflow.Engine
+
+	kernelMu sync.Mutex
+	kernels  map[string][]*flexflow.Kernel4
+}
+
+// New builds and starts a server: the dispatcher and Workers batch
+// executors begin running immediately. It never returns an error for a
+// zero Config (defaults apply); negative knobs are invalid.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scale < 0 || cfg.Queue < 0 || cfg.Workers < 0 || cfg.MaxBatch < 1 ||
+		cfg.MaxRetries < 0 || cfg.BreakerThreshold < 1 || cfg.BreakerCooldown < 1 ||
+		cfg.FaultEvery < 0 || cfg.MaxCycles < 0 {
+		return nil, fmt.Errorf("%w: negative serving parameter", flexflow.ErrInvalidConfig)
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *request, cfg.Queue),
+		batches: make(chan []*request),
+		stats:   newStats(cfg.Queue),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cache:   map[string]runReply{},
+		engines: map[string]flexflow.Engine{},
+		kernels: map[string][]*flexflow.Kernel4{},
+	}
+	s.workWG.Add(1 + cfg.Workers)
+	go s.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Stats returns the server's live counters.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Snapshot returns a point-in-time copy of the stats, including the
+// current queue depth and breaker state.
+func (s *Server) Snapshot() StatsSnapshot {
+	return s.stats.snapshot(len(s.queue), s.breaker.snapshot())
+}
+
+// now reads the injected clock; the zero time means "no clock".
+func (s *Server) now() time.Time {
+	if s.cfg.Now == nil {
+		return time.Time{}
+	}
+	return s.cfg.Now()
+}
+
+// admit runs the admission-control stage: refused while draining,
+// rejected with ErrOverload when the bounded queue is full, otherwise
+// sequenced, chaos-marked and enqueued. Admission and sequencing are
+// one critical section so Shutdown can fence new work exactly.
+func (s *Server) admit(req *request) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.stats.rejectedDraining()
+		return ErrDraining
+	}
+	req.seq = s.seq
+	s.seq++
+	s.armChaos(req)
+	select {
+	case s.queue <- req:
+		s.reqWG.Add(1)
+		s.mu.Unlock()
+		s.stats.admitOne()
+		return nil
+	default:
+		s.mu.Unlock()
+		s.stats.rejectedQueueFull()
+		return ErrOverload
+	}
+}
+
+// armChaos installs the server-side fault-injection plan on every
+// FaultEvery-th admitted execute request (client-requested plans via
+// fault_seed take precedence; model-mode requests run the pure
+// analytic path and are never fault-marked).
+func (s *Server) armChaos(req *request) {
+	if req.plan != nil || req.spec.Mode != ModeExecute {
+		return
+	}
+	if s.cfg.FaultEvery > 0 && req.seq%uint64(s.cfg.FaultEvery) == 0 {
+		req.plan = chaosPlan(flexflow.MixSeed(s.cfg.FaultSeed, req.seq), s.cfg.FaultN, req.spec.Scale)
+	}
+}
+
+// chaosPlan draws a deterministic fault plan sized to the engine.
+func chaosPlan(seed uint64, n, scale int) *flexflow.FaultPlan {
+	return flexflow.RandomFaultPlan(seed, n, flexflow.FaultBounds{
+		Cycles: 256, Rows: scale, Cols: scale,
+		NeuronWords: 1 << 10, KernelWords: 1 << 10,
+	})
+}
+
+// Shutdown drains the server gracefully: admission stops (new requests
+// get ErrDraining), the queue is closed so the dispatcher and workers
+// run the backlog dry, and every already-admitted request is waited on
+// until its handler has written a real response — zero in-flight
+// drops. The context bounds the wait; on expiry the workers keep
+// draining in the background but Shutdown reports the incomplete
+// drain. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		// No admit call can be between its draining check and its queue
+		// send now (both happen under mu), so closing the queue is safe
+		// and lets the dispatcher flush its tail.
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()  // every admitted request answered
+		s.workWG.Wait() // dispatcher and workers exited
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: drain incomplete: %v", ErrDraining, ctx.Err())
+	}
+}

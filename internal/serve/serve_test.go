@@ -1,0 +1,265 @@
+package serve
+
+// Unit tests for the serving primitives: admission control, the
+// micro-batching dispatcher, the circuit breaker's state machine, the
+// deterministic backoff, and the error-to-status table.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"flexflow"
+)
+
+// testRequest builds a minimal admitted-shape request.
+func testRequest(spec RunSpec) *request {
+	if spec.Mode == "" {
+		spec.Mode = ModeModel
+	}
+	if spec.Workload == "" {
+		spec.Workload = "Example"
+	}
+	return &request{
+		spec: spec,
+		key:  spec.batchKey(),
+		ctx:  context.Background(),
+		done: make(chan response, 1),
+	}
+}
+
+// bareServer builds a Server whose dispatcher/workers are NOT running,
+// so queue behavior can be tested deterministically.
+func bareServer(queueCap int, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *request, queueCap),
+		batches: make(chan []*request, 64),
+		stats:   newStats(queueCap),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cache:   map[string]runReply{},
+		engines: map[string]flexflow.Engine{},
+		kernels: map[string][]*flexflow.Kernel4{},
+	}
+	s.workWG.Add(1) // tests run dispatch() synchronously; it Dones once
+	return s
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s := bareServer(2, Config{})
+	if err := s.admit(testRequest(RunSpec{})); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := s.admit(testRequest(RunSpec{})); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	// Queue full: typed overload, not a block and not a drop.
+	if err := s.admit(testRequest(RunSpec{})); !errors.Is(err, ErrOverload) {
+		t.Fatalf("full queue: err = %v, want ErrOverload", err)
+	}
+	if StatusOf(ErrOverload) != http.StatusTooManyRequests {
+		t.Error("ErrOverload must map to 429")
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if err := s.admit(testRequest(RunSpec{})); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining: err = %v, want ErrDraining", err)
+	}
+	snap := s.stats.snapshot(len(s.queue), s.breaker.snapshot())
+	if snap.Admitted != 2 || snap.RejectedQueueFull != 1 || snap.RejectedDraining != 1 {
+		t.Errorf("counters = %+v, want 2 admitted / 1 full / 1 draining", snap)
+	}
+}
+
+func TestDispatcherCoalescesSameKey(t *testing.T) {
+	s := bareServer(16, Config{MaxBatch: 4})
+	for i := 0; i < 4; i++ {
+		s.queue <- testRequest(RunSpec{Workload: "Example", Seed: uint64(i)})
+	}
+	close(s.queue)
+	s.dispatch() // synchronous: drains, flushes, closes batches
+
+	var got [][]*request
+	for b := range s.batches {
+		got = append(got, b)
+	}
+	if len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("batches = %v groups, want one batch of 4", lens(got))
+	}
+}
+
+func TestDispatcherKeepsKeysApartInArrivalOrder(t *testing.T) {
+	s := bareServer(16, Config{MaxBatch: 8})
+	s.queue <- testRequest(RunSpec{Workload: "Example"})
+	s.queue <- testRequest(RunSpec{Workload: "LeNet-5"})
+	s.queue <- testRequest(RunSpec{Workload: "Example", Seed: 1})
+	s.queue <- testRequest(RunSpec{Workload: "LeNet-5", Seed: 1})
+	close(s.queue)
+	s.dispatch()
+
+	var got [][]*request
+	for b := range s.batches {
+		got = append(got, b)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 2 {
+		t.Fatalf("batches = %v, want two batches of 2", lens(got))
+	}
+	if got[0][0].spec.Workload != "Example" || got[1][0].spec.Workload != "LeNet-5" {
+		t.Errorf("flush order = %s, %s; want arrival order Example, LeNet-5",
+			got[0][0].spec.Workload, got[1][0].spec.Workload)
+	}
+}
+
+func TestDispatcherFlushesAtMaxBatch(t *testing.T) {
+	s := bareServer(16, Config{MaxBatch: 2})
+	for i := 0; i < 5; i++ {
+		s.queue <- testRequest(RunSpec{Workload: "Example", Seed: uint64(i)})
+	}
+	close(s.queue)
+	s.dispatch()
+
+	var sizes []int
+	for b := range s.batches {
+		sizes = append(sizes, len(b))
+	}
+	if len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("batch sizes = %v, want [2 2 1]", sizes)
+	}
+}
+
+func lens(batches [][]*request) []int {
+	var out []int
+	for _, b := range batches {
+		out = append(out, len(b))
+	}
+	return out
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 2)
+	if !b.allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	// Two failures: still closed.
+	b.record(false)
+	b.record(false)
+	if got := b.snapshot(); got.State != breakerClosed || got.ConsecutiveFails != 2 {
+		t.Fatalf("after 2 fails: %+v", got)
+	}
+	// A success resets the streak.
+	b.record(true)
+	b.record(false)
+	b.record(false)
+	if tripped := b.record(false); !tripped {
+		t.Fatal("third consecutive failure must trip")
+	}
+	if got := b.snapshot(); got.State != breakerOpen || got.Trips != 1 {
+		t.Fatalf("after trip: %+v", got)
+	}
+	// Open: cooldown refusals, then half-open admits one probe.
+	if b.allow() || b.allow() {
+		t.Fatal("open breaker must refuse during cooldown")
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker must admit the probe")
+	}
+	if b.allow() {
+		t.Fatal("only one probe at a time")
+	}
+	// Probe failure: straight back to open.
+	b.record(false)
+	if got := b.snapshot(); got.State != breakerOpen || got.Trips != 2 {
+		t.Fatalf("after failed probe: %+v", got)
+	}
+	// Next cooldown, probe succeeds: closed again.
+	b.allow()
+	b.allow()
+	if !b.allow() {
+		t.Fatal("second probe must be admitted")
+	}
+	b.record(true)
+	if got := b.snapshot(); got.State != breakerClosed || got.Recoveries != 1 {
+		t.Fatalf("after recovery: %+v", got)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	base, cap := 2*time.Millisecond, 20*time.Millisecond
+	d1 := backoffDelay(base, cap, 1, 42, 1)
+	d2 := backoffDelay(base, cap, 1, 42, 1)
+	if d1 != d2 {
+		t.Fatalf("same inputs gave %v and %v", d1, d2)
+	}
+	if d1 < base || d1 >= 2*base {
+		t.Errorf("attempt 1 delay %v outside [base, 2·base)", d1)
+	}
+	if d := backoffDelay(base, cap, 1, 42, 10); d != cap {
+		t.Errorf("attempt 10 delay %v, want cap %v", d, cap)
+	}
+	if d := backoffDelay(0, cap, 1, 42, 1); d != 0 {
+		t.Errorf("zero base must not wait, got %v", d)
+	}
+	if a, b := backoffDelay(base, cap, 1, 1, 1), backoffDelay(base, cap, 1, 2, 1); a == b {
+		t.Errorf("different request seeds gave identical jitter %v", a)
+	}
+}
+
+func TestStatusOfTaxonomy(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{nil, http.StatusOK, ""},
+		{ErrOverload, http.StatusTooManyRequests, "overload"},
+		{ErrDraining, http.StatusServiceUnavailable, "draining"},
+		{ErrBreakerOpen, http.StatusServiceUnavailable, "breaker_open"},
+		{flexflow.ErrInvalidConfig, http.StatusBadRequest, "invalid"},
+		{flexflow.ErrCancelled, http.StatusGatewayTimeout, "cancelled"},
+		{flexflow.ErrBudget, http.StatusTooManyRequests, "budget"},
+		{flexflow.ErrFaulted, http.StatusServiceUnavailable, "faulted"},
+		{errors.New("boom"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		if got := StatusOf(c.err); got != c.status {
+			t.Errorf("StatusOf(%v) = %d, want %d", c.err, got, c.status)
+		}
+		if c.err != nil {
+			if got := errKind(c.err); got != c.kind {
+				t.Errorf("errKind(%v) = %q, want %q", c.err, got, c.kind)
+			}
+		}
+	}
+}
+
+func TestSpecNormalizeAndKeys(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	sp := RunSpec{Workload: "Example"}
+	if err := sp.normalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Mode != ModeModel || sp.Arch != "FlexFlow" || sp.Scale != 16 {
+		t.Errorf("defaults not applied: %+v", sp)
+	}
+	bad := RunSpec{}
+	if err := bad.normalize(cfg); !errors.Is(err, flexflow.ErrInvalidConfig) {
+		t.Errorf("missing workload: err = %v", err)
+	}
+	bad = RunSpec{Workload: "x", Mode: "turbo"}
+	if err := bad.normalize(cfg); !errors.Is(err, flexflow.ErrInvalidConfig) {
+		t.Errorf("bad mode: err = %v", err)
+	}
+
+	a := RunSpec{Workload: "Example", Mode: ModeExecute, Scale: 8, Seed: 1}
+	b := RunSpec{Workload: "Example", Mode: ModeExecute, Scale: 8, Seed: 2}
+	if a.batchKey() != b.batchKey() {
+		t.Error("different seeds must share a batch key")
+	}
+	if a.cacheKey() == b.cacheKey() {
+		t.Error("different seeds must not share a cache key")
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds the latency reservoir: the most recent samples
+// win (a ring), which is what a live p50/p99 wants.
+const latencySamples = 4096
+
+// Stats is the server's live counter set. All methods are safe for
+// concurrent use; snapshot() renders a consistent copy for /statz.
+type Stats struct {
+	mu       sync.Mutex
+	queueCap int
+
+	admitted      int64
+	rejectedFull  int64
+	rejectedDrain int64
+
+	ok          int64
+	badRequest  int64
+	overload    int64
+	unavailable int64
+	timeout     int64
+	internal    int64
+
+	inFlight      int64
+	batches       int64
+	batchedImages int64
+	maxBatch      int
+
+	retries   int64
+	backoffNS int64
+
+	degradedCache    int64
+	degradedAnalytic int64
+	shed             int64
+	breakerTrips     int64
+
+	lat      []time.Duration
+	latIdx   int
+	latCount int64
+}
+
+func newStats(queueCap int) *Stats {
+	return &Stats{queueCap: queueCap}
+}
+
+func (s *Stats) admitOne()          { s.mu.Lock(); s.admitted++; s.mu.Unlock() }
+func (s *Stats) rejectedQueueFull() { s.mu.Lock(); s.rejectedFull++; s.mu.Unlock() }
+func (s *Stats) rejectedDraining()  { s.mu.Lock(); s.rejectedDrain++; s.mu.Unlock() }
+
+func (s *Stats) batchFormed(size int) {
+	s.mu.Lock()
+	s.batches++
+	s.batchedImages += int64(size)
+	if size > s.maxBatch {
+		s.maxBatch = size
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stats) execStarted(n int)  { s.mu.Lock(); s.inFlight += int64(n); s.mu.Unlock() }
+func (s *Stats) execFinished(n int) { s.mu.Lock(); s.inFlight -= int64(n); s.mu.Unlock() }
+
+func (s *Stats) retried(delay time.Duration) {
+	s.mu.Lock()
+	s.retries++
+	s.backoffNS += int64(delay)
+	s.mu.Unlock()
+}
+
+func (s *Stats) degraded(kind string) {
+	s.mu.Lock()
+	switch kind {
+	case "cache":
+		s.degradedCache++
+	case "analytic":
+		s.degradedAnalytic++
+	default:
+		s.shed++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stats) breakerTripped() { s.mu.Lock(); s.breakerTrips++; s.mu.Unlock() }
+
+// finished records the HTTP outcome of one request and, when a clock
+// is wired, its end-to-end latency.
+func (s *Stats) finished(status int, latency time.Duration, measured bool) {
+	s.mu.Lock()
+	switch {
+	case status >= 200 && status < 300:
+		s.ok++
+	case status == 400:
+		s.badRequest++
+	case status == 429:
+		s.overload++
+	case status == 503:
+		s.unavailable++
+	case status == 504:
+		s.timeout++
+	default:
+		s.internal++
+	}
+	if measured {
+		if len(s.lat) < latencySamples {
+			s.lat = append(s.lat, latency)
+		} else {
+			s.lat[s.latIdx] = latency
+			s.latIdx = (s.latIdx + 1) % latencySamples
+		}
+		s.latCount++
+	}
+	s.mu.Unlock()
+}
+
+// LatencySnapshot summarizes the reservoir in milliseconds.
+type LatencySnapshot struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// StatsSnapshot is the wire form of /statz.
+type StatsSnapshot struct {
+	Admitted          int64 `json:"admitted"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+
+	OK          int64 `json:"ok_2xx"`
+	BadRequest  int64 `json:"bad_request_400"`
+	Overload    int64 `json:"overload_429"`
+	Unavailable int64 `json:"unavailable_503"`
+	Timeout     int64 `json:"timeout_504"`
+	Internal    int64 `json:"internal_500"`
+
+	QueueDepth int   `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+	InFlight   int64 `json:"in_flight"`
+
+	Batches       int64   `json:"batches"`
+	BatchedImages int64   `json:"batched_images"`
+	MaxBatch      int     `json:"max_batch_seen"`
+	MeanBatch     float64 `json:"mean_batch"`
+
+	Retries        int64   `json:"retries"`
+	RetryBackoffMS float64 `json:"retry_backoff_ms_total"`
+
+	DegradedCache    int64 `json:"degraded_cache"`
+	DegradedAnalytic int64 `json:"degraded_analytic"`
+	Shed             int64 `json:"shed"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+
+	Breaker BreakerSnapshot `json:"breaker"`
+	Latency LatencySnapshot `json:"latency_ms"`
+}
+
+func (s *Stats) snapshot(queueDepth int, br BreakerSnapshot) StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		Admitted:          s.admitted,
+		RejectedQueueFull: s.rejectedFull,
+		RejectedDraining:  s.rejectedDrain,
+		OK:                s.ok,
+		BadRequest:        s.badRequest,
+		Overload:          s.overload,
+		Unavailable:       s.unavailable,
+		Timeout:           s.timeout,
+		Internal:          s.internal,
+		QueueDepth:        queueDepth,
+		QueueCap:          s.queueCap,
+		InFlight:          s.inFlight,
+		Batches:           s.batches,
+		BatchedImages:     s.batchedImages,
+		MaxBatch:          s.maxBatch,
+		Retries:           s.retries,
+		RetryBackoffMS:    float64(s.backoffNS) / 1e6,
+		DegradedCache:     s.degradedCache,
+		DegradedAnalytic:  s.degradedAnalytic,
+		Shed:              s.shed,
+		BreakerTrips:      s.breakerTrips,
+		Breaker:           br,
+	}
+	if s.batches > 0 {
+		snap.MeanBatch = float64(s.batchedImages) / float64(s.batches)
+	}
+	snap.Latency = latencySummary(s.lat, s.latCount)
+	return snap
+}
+
+// latencySummary computes percentiles over a copy of the reservoir.
+func latencySummary(lat []time.Duration, count int64) LatencySnapshot {
+	if len(lat) == 0 {
+		return LatencySnapshot{}
+	}
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / 1e6
+	}
+	return LatencySnapshot{
+		Count: count,
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P99:   pick(0.99),
+		Max:   float64(sorted[len(sorted)-1]) / 1e6,
+	}
+}

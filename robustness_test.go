@@ -120,6 +120,42 @@ func TestExecuteOptsWatchdog(t *testing.T) {
 	}
 }
 
+// TestExecuteBatchOptsCancelledCarriesIndex pins the public face of
+// the batch attribution contract: a context cancelled mid-batch comes
+// back as ErrCancelled wrapped in a typed *BatchError whose Index is
+// the lowest failing image, independent of the worker count.
+func TestExecuteBatchOptsCancelledCarriesIndex(t *testing.T) {
+	nw, _ := Workload("Example")
+	ks := RandomKernels(nw, 2)
+	inputs := make([]*Map3, 4)
+	for i := range inputs {
+		inputs[i] = RandomInput(nw, uint64(10+i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := ExecuteBatchOpts(nw, inputs, ks, 4, Options{Context: ctx, Workers: workers})
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCancelled", workers, err)
+		}
+		var be *BatchError
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: err = %v, want *BatchError", workers, err)
+		}
+		if be.Index != 0 {
+			t.Errorf("workers=%d: BatchError.Index = %d, want 0", workers, be.Index)
+		}
+	}
+
+	// A malformed image reports its index the same typed way.
+	inputs[2] = nil
+	_, err := ExecuteBatchOpts(nw, inputs, ks, 4, Options{})
+	var be *BatchError
+	if !errors.Is(err, ErrInvalidConfig) || !errors.As(err, &be) || be.Index != 2 {
+		t.Errorf("nil image: err = %v (As=%v), want typed ErrInvalidConfig with Index 2", err, be)
+	}
+}
+
 func TestExecuteOptsFaultPlan(t *testing.T) {
 	nw, _ := Workload("Example")
 	in := RandomInput(nw, 1)

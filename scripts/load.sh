@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# load.sh — the flexserve chaos/load harness. Starts the service with
+# server-side fault injection armed (every 3rd execute request gets a
+# deterministic fault plan), runs the built-in load generator against
+# it (steady traffic, an overload burst past the queue, client-marked
+# faults, impossible deadlines), writes the per-scenario latency
+# percentiles to results/serve_latency.json, then SIGTERMs the server
+# and verifies the drain: the process must exit 0 and print
+# "flexserve: clean shutdown", meaning every in-flight request was
+# answered before the listener died.
+#
+# Usage: scripts/load.sh [addr]   (default 127.0.0.1:8097)
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:8097}"
+OUT="results/serve_latency.json"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+go build -o /tmp/flexserve ./cmd/flexserve
+
+/tmp/flexserve -addr "$ADDR" -scale 8 -workers 2 -queue 32 -max-batch 4 \
+    -retries 2 -fault-every 3 -fault-n 4 -fault-seed 99 \
+    -breaker-threshold 4 -breaker-cooldown 8 >"$LOG" 2>&1 &
+SRV=$!
+
+/tmp/flexserve -loadgen -target "http://$ADDR" -out "$OUT"
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "load.sh: server exited non-zero"; cat "$LOG"; exit 1; }
+grep -q "flexserve: clean shutdown" "$LOG" || {
+    echo "load.sh: no clean-shutdown marker in server log"; cat "$LOG"; exit 1; }
+
+echo "load.sh: wrote $OUT; drain clean"
