@@ -1,10 +1,16 @@
 package serve
 
 import (
+	"math"
 	"time"
 
 	"flexflow"
 )
+
+// maxBackoff pins the overflow clamp for delay arithmetic: a computed
+// delay never exceeds it (≈292 years) and sums against it cannot wrap
+// negative.
+const maxBackoff = time.Duration(math.MaxInt64)
 
 // backoffDelay computes the wait before retry `attempt` (1-based):
 // exponential base·2^(attempt-1) plus deterministic jitter drawn from
@@ -19,11 +25,30 @@ func backoffDelay(base, cap time.Duration, serverSeed, requestSeed uint64, attem
 	}
 	shift := attempt - 1
 	if shift > 30 {
-		shift = 30 // past ~base·2³⁰ the cap governs anyway
+		shift = 30 // past ~base·2³⁰ the cap (or the overflow clamp) governs anyway
 	}
-	d := base << uint(shift)
+	// Double up from base instead of shifting in one go: a base above
+	// ~8.5s shifted by 30 wraps int64 into a negative "delay" that
+	// slips past the cap check and makes Sleep return immediately.
+	// Stop as soon as the cap is reached (further doubling cannot
+	// change the clamped result) or the next doubling would overflow.
+	d := base
+	for i := 0; i < shift; i++ {
+		if cap > 0 && d >= cap {
+			break
+		}
+		if d > maxBackoff/2 {
+			d = maxBackoff
+			break
+		}
+		d <<= 1
+	}
 	jitter := time.Duration(flexflow.MixSeed(serverSeed, requestSeed, uint64(attempt)) % uint64(base))
-	d += jitter
+	if d > maxBackoff-jitter {
+		d = maxBackoff
+	} else {
+		d += jitter
+	}
 	if cap > 0 && d > cap {
 		d = cap
 	}

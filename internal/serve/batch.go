@@ -100,11 +100,19 @@ func (s *Server) runBatch(batch []*request) {
 	s.stats.execStarted(len(live))
 	defer s.stats.execFinished(len(live))
 
-	if !s.breaker.allow() {
+	ok, probe := s.breaker.allow()
+	if !ok {
 		for _, r := range live {
 			s.degrade(r)
 		}
 		return
+	}
+	if probe {
+		// Release the probe slot however this batch ends — including
+		// paths that never reach record() (cache hits, invalid
+		// workloads, expired deadlines) — so one unresolved probe can
+		// never wedge the breaker half-open forever.
+		defer s.breaker.probeDone()
 	}
 	s.execute(live)
 }

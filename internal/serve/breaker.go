@@ -35,28 +35,44 @@ func newBreaker(threshold, cooldown int) *breaker {
 
 // allow decides whether the next batch may execute. While open it
 // counts the refusal toward the cooldown; when the cooldown is spent
-// the breaker goes half-open and admits one probe.
-func (b *breaker) allow() bool {
+// the breaker goes half-open and admits one probe. probe reports that
+// the admitted batch IS that probe: its runner owns the probe slot and
+// must release it via probeDone once the batch has fully resolved,
+// whether or not any outcome reached record().
+func (b *breaker) allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerHalfOpen:
 		if b.probing {
-			return false // one probe at a time; others stay degraded
+			return false, false // one probe at a time; others stay degraded
 		}
 		b.probing = true
 		b.probes++
-		return true
+		return true, true
 	default: // open
 		b.shed++
 		if b.shed >= b.cooldown {
 			b.state = breakerHalfOpen
 			b.shed = 0
 		}
-		return false
+		return false, false
 	}
+}
+
+// probeDone releases the half-open probe slot after the probe batch
+// has resolved. record() already clears the slot when it delivers a
+// backend verdict, making this a no-op; probeDone matters for probe
+// batches that end without one — a cache hit, an invalid workload, an
+// expired deadline, a cancelled context or a spent cycle budget. The
+// breaker then stays half-open so the next batch becomes the probe,
+// instead of wedging with probing set forever.
+func (b *breaker) probeDone() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 // record feeds one request outcome back. It reports whether this

@@ -250,6 +250,12 @@ func (s *Server) degrade(r *request) {
 			r.respond(response{body: reply})
 			return
 		}
+	} else if errors.Is(err, flexflow.ErrInvalidConfig) {
+		// An unknown workload is the client's mistake whatever state the
+		// breaker is in: answer 400 exactly as the closed-breaker path
+		// does, instead of folding it into a 503 shed.
+		r.respond(response{err: err})
+		return
 	}
 	s.stats.degraded("shed")
 	r.respond(response{err: fmt.Errorf("%w (fallback also failed: %v)", ErrBreakerOpen, err)})

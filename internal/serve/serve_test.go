@@ -141,7 +141,8 @@ func lens(batches [][]*request) []int {
 
 func TestBreakerStateMachine(t *testing.T) {
 	b := newBreaker(3, 2)
-	if !b.allow() {
+	allowOK := func() bool { ok, _ := b.allow(); return ok }
+	if !allowOK() {
 		t.Fatal("closed breaker must allow")
 	}
 	// Two failures: still closed.
@@ -161,13 +162,13 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatalf("after trip: %+v", got)
 	}
 	// Open: cooldown refusals, then half-open admits one probe.
-	if b.allow() || b.allow() {
+	if allowOK() || allowOK() {
 		t.Fatal("open breaker must refuse during cooldown")
 	}
-	if !b.allow() {
-		t.Fatal("half-open breaker must admit the probe")
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("half-open breaker must admit the probe (ok=%v probe=%v)", ok, probe)
 	}
-	if b.allow() {
+	if allowOK() {
 		t.Fatal("only one probe at a time")
 	}
 	// Probe failure: straight back to open.
@@ -176,14 +177,123 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatalf("after failed probe: %+v", got)
 	}
 	// Next cooldown, probe succeeds: closed again.
-	b.allow()
-	b.allow()
-	if !b.allow() {
+	allowOK()
+	allowOK()
+	if !allowOK() {
 		t.Fatal("second probe must be admitted")
 	}
 	b.record(true)
 	if got := b.snapshot(); got.State != breakerClosed || got.Recoveries != 1 {
 		t.Fatalf("after recovery: %+v", got)
+	}
+}
+
+// A probe batch can end without any record() verdict (cache hit,
+// invalid workload, expired deadline). probeDone must return the
+// breaker to a probe-able half-open instead of wedging it.
+func TestBreakerProbeReleasedWithoutVerdict(t *testing.T) {
+	b := newBreaker(1, 1)
+	b.record(false) // trip
+	b.allow()       // spends the cooldown → half-open
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("probe not admitted (ok=%v probe=%v)", ok, probe)
+	}
+	// The probe resolves neutrally; before probeDone every future
+	// batch would be refused forever.
+	b.probeDone()
+	if got := b.snapshot().State; got != breakerHalfOpen {
+		t.Fatalf("state after neutral probe = %s, want half-open", got)
+	}
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("next batch must become the probe (ok=%v probe=%v)", ok, probe)
+	}
+	b.record(true)
+	if got := b.snapshot(); got.State != breakerClosed || got.Recoveries != 1 {
+		t.Fatalf("after healthy probe: %+v", got)
+	}
+	// probeDone after record() already resolved the probe is a no-op.
+	b.probeDone()
+	if got := b.snapshot().State; got != breakerClosed {
+		t.Fatalf("probeDone disturbed a closed breaker: %s", got)
+	}
+}
+
+// End-to-end wedge regression: trip the breaker, spend the cooldown,
+// then make the probe batch a pure model-cache hit — a path that
+// answers without ever feeding the breaker. A following healthy
+// request must still be admitted as the next probe and close the
+// breaker; before the fix it would degrade all traffic forever.
+func TestProbeCacheHitDoesNotWedgeBreaker(t *testing.T) {
+	s := bareServer(4, Config{Scale: 8, BreakerThreshold: 1, BreakerCooldown: 1})
+	mkReq := func(spec RunSpec) *request {
+		if err := spec.normalize(s.cfg); err != nil {
+			t.Fatal(err)
+		}
+		return testRequest(spec)
+	}
+
+	s.breaker.record(false) // one failure trips (threshold 1)
+	if st := s.breaker.snapshot().State; st != breakerOpen {
+		t.Fatalf("state after trip = %s, want open", st)
+	}
+
+	// Cooldown spender: degraded via the analytic fallback.
+	shed := mkReq(RunSpec{Workload: "Example"})
+	s.runBatch([]*request{shed})
+	if resp := <-shed.done; resp.err != nil || resp.body.Degraded != "analytic" {
+		t.Fatalf("cooldown request: err=%v degraded=%q, want analytic fallback", resp.err, resp.body.Degraded)
+	}
+	if st := s.breaker.snapshot().State; st != breakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", st)
+	}
+
+	// The probe batch hits the model cache and answers without a
+	// breaker verdict.
+	probe := mkReq(RunSpec{Workload: "Example"})
+	s.cachePut(probe.spec.cacheKey(), runReply{Workload: "Example"})
+	s.runBatch([]*request{probe})
+	if resp := <-probe.done; resp.err != nil {
+		t.Fatalf("cache-hit probe: %v", resp.err)
+	}
+	if st := s.breaker.snapshot().State; st != breakerHalfOpen {
+		t.Fatalf("state after cache-hit probe = %s, want half-open (probe released)", st)
+	}
+
+	// A healthy request becomes the next probe and recovers. Model-mode
+	// cache keys ignore the seed, so a different scale keeps this one
+	// out of the cache.
+	healthy := mkReq(RunSpec{Workload: "Example", Scale: 16})
+	s.runBatch([]*request{healthy})
+	resp := <-healthy.done
+	if resp.err != nil {
+		t.Fatalf("post-probe request: %v", resp.err)
+	}
+	if resp.body.Degraded != "" {
+		t.Fatalf("post-probe request degraded (%q): breaker wedged", resp.body.Degraded)
+	}
+	if got := s.breaker.snapshot(); got.State != breakerClosed || got.Recoveries != 1 {
+		t.Fatalf("after healthy probe: %+v, want closed with 1 recovery", got)
+	}
+}
+
+// An unknown workload is a client mistake (400) whichever state the
+// breaker is in; the open-breaker degrade path must not relabel it as
+// a 503 breaker_open shed.
+func TestDegradeInvalidWorkloadStays400(t *testing.T) {
+	s := bareServer(4, Config{BreakerThreshold: 1, BreakerCooldown: 8})
+	s.breaker.record(false) // breaker open
+	spec := RunSpec{Workload: "NoSuchNet"}
+	if err := spec.normalize(s.cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := testRequest(spec)
+	s.runBatch([]*request{r})
+	resp := <-r.done
+	if !errors.Is(resp.err, flexflow.ErrInvalidConfig) || errors.Is(resp.err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker unknown workload: err = %v, want plain ErrInvalidConfig", resp.err)
+	}
+	if got := StatusOf(resp.err); got != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", got)
 	}
 }
 
@@ -205,6 +315,27 @@ func TestBackoffDeterministicAndCapped(t *testing.T) {
 	}
 	if a, b := backoffDelay(base, cap, 1, 1, 1), backoffDelay(base, cap, 1, 2, 1); a == b {
 		t.Errorf("different request seeds gave identical jitter %v", a)
+	}
+}
+
+// A large base at a deep attempt used to shift past int64 into a
+// negative delay that slipped under the cap check and made Sleep
+// return immediately. The delay must stay positive and capped for any
+// (base, attempt).
+func TestBackoffNeverNegativeOnOverflow(t *testing.T) {
+	for _, base := range []time.Duration{10 * time.Second, time.Hour, 1000 * time.Hour} {
+		for attempt := 1; attempt <= 64; attempt++ {
+			if d := backoffDelay(base, 0, 1, 42, attempt); d < base {
+				t.Fatalf("uncapped base=%v attempt=%d: delay %v below base", base, attempt, d)
+			}
+			if d := backoffDelay(base, time.Minute, 1, 42, attempt); d <= 0 || d > time.Minute {
+				t.Fatalf("capped base=%v attempt=%d: delay %v outside (0, cap]", base, attempt, d)
+			}
+		}
+	}
+	// The old code went negative exactly here: 10s << 30 > MaxInt64.
+	if d := backoffDelay(10*time.Second, 20*time.Second, 1, 42, 31); d != 20*time.Second {
+		t.Fatalf("overflow attempt: delay %v, want pinned to cap", d)
 	}
 }
 
