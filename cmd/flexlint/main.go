@@ -10,6 +10,7 @@
 //	flexlint -json ./...             # machine-readable findings
 //	flexlint -baseline b.json ./...  # fail only on findings not in b.json
 //	flexlint -disable unitcheck ./...
+//	flexlint -only ./internal/serve  # one package, its findings only
 //
 // The -json output is an object {"version": N, "analyzers": [...],
 // "findings": [...]}: version and analyzers record the suite revision
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"flexflow/internal/lint"
 )
@@ -46,8 +48,10 @@ func main() {
 	disable := flag.String("disable", "", "comma-separated `analyzers` to skip")
 	purityManifest := flag.String("purity-manifest", "", "write the purity certificate to `file` (canonical JSON)")
 	allocReport := flag.String("alloc-report", "", "write the hot-path allocation budget to `file` (canonical JSON)")
+	concManifest := flag.String("conc-manifest", "", "write the concurrency certificate to `file` (canonical JSON)")
+	only := flag.String("only", "", "analyze a single package `dir` and report only its findings (fast local runs)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [-json] [-baseline file] [-enable a,b] [-disable a,b] [-purity-manifest file] [-alloc-report file] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
+		fmt.Fprintf(os.Stderr, "usage: flexlint [-list] [-json] [-baseline file] [-enable a,b] [-disable a,b] [-only dir] [-purity-manifest file] [-alloc-report file] [-conc-manifest file] [packages]\n\npackages are directory patterns such as ./... or ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,6 +78,9 @@ func main() {
 	}
 
 	roots := flag.Args()
+	if *only != "" {
+		roots = []string{*only}
+	}
 	if len(roots) == 0 {
 		roots = []string{"./..."}
 	}
@@ -108,6 +115,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	if *concManifest != "" {
+		m, err := lint.BuildConcManifest(prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*concManifest, m.Encode(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *only != "" {
+		// A cross-package analyzer can anchor a finding outside the
+		// selected package (the module root, a lazily loaded
+		// dependency); a single-package run reports only what the
+		// package's own files raise.
+		dir, err := filepath.Abs(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexlint: %v\n", err)
+			os.Exit(2)
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if filepath.Dir(f.Pos.Filename) == dir {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
 	}
 	fresh, known := baseline.Filter(findings, prog.ModRoot)
 

@@ -119,6 +119,7 @@ func TestFlexlintSmoke(t *testing.T) {
 		"fixedsat", "detsim", "counteraudit", "errdrop", "concsafe",
 		"layering", "unitcheck", "apiguard", "hookparity",
 		"purity", "hotalloc", "sharedcapture",
+		"lockguard", "ctxflow", "goleak", "chanaudit",
 	} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("flexlint -list missing analyzer %q:\n%s", analyzer, out)

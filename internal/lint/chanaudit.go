@@ -1,0 +1,394 @@
+package lint
+
+// chanaudit certifies channel ownership and protocol:
+//
+//   - chanaudit/direction: a function parameter declared as a
+//     bidirectional channel but used in only one direction (and never
+//     escaping as a value) must declare that direction (<-chan /
+//     chan<-) — the compiler then enforces the protocol.
+//   - chanaudit/multi-close: close() of the same channel from more
+//     than one function has no single owner; a second closer is a
+//     panic waiting for a race. The first closing function (in source
+//     order) is taken as the owner, every other closing site is
+//     flagged.
+//   - chanaudit/send-no-cancel: a send to a channel-typed struct
+//     field (the bounded queues of the serving layer) must have a
+//     cancellation path — a select with a default or
+//     ctx.Done()/shutdown arm — unless the sender is the channel's
+//     closing owner (the owner drives the protocol and knows the
+//     receiver outlives it) or lives in package main.
+//
+// The channel inventory (field, element type, declared direction,
+// closer) feeds the conc manifest certificate.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanAudit is the channel-discipline analyzer. It has no
+// configuration: the ownership contract is universal.
+type ChanAudit struct{}
+
+// NewChanAudit returns the analyzer.
+func NewChanAudit() *ChanAudit { return &ChanAudit{} }
+
+func (*ChanAudit) Name() string { return "chanaudit" }
+func (*ChanAudit) Doc() string {
+	return "channel params declare direction where expressible; one close owner per channel; field sends have a cancellation path"
+}
+
+// chanFieldInfo is one channel-typed struct field.
+type chanFieldInfo struct {
+	name string // "pkg/path.Type.field"
+	elem string
+	dir  string
+}
+
+// closeSite is one close(x) call.
+type closeSite struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// chanFacts is the per-program harvest the rules and the manifest
+// share.
+type chanFacts struct {
+	fields map[types.Object]*chanFieldInfo
+	order  []types.Object              // deterministic field order
+	closes map[types.Object][]closeSite // per closed entity (field or local)
+}
+
+// Run applies the three rules.
+func (a *ChanAudit) Run(prog *Program) ([]Finding, error) {
+	facts, err := collectChanFacts(prog)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+
+	// multi-close: every site outside the owning (first) function.
+	for _, obj := range facts.order {
+		findings = append(findings, multiCloseFindings(prog, obj, facts.closes[obj])...)
+	}
+	for obj, sites := range facts.closes {
+		if _, isField := facts.fields[obj]; !isField {
+			findings = append(findings, multiCloseFindings(prog, obj, sites)...)
+		}
+	}
+
+	// send-no-cancel and direction, per package.
+	for _, pkg := range prog.Pkgs {
+		isMain := pkg.Types.Name() == "main"
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if !isMain {
+					findings = append(findings, sendNoCancelFindings(prog, pkg, fn, fd.Body, facts)...)
+				}
+				findings = append(findings, directionFindings(prog, pkg, fd)...)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// Channels returns the channel-field inventory for the concurrency
+// manifest.
+func (a *ChanAudit) Channels(prog *Program) ([]ChannelEntry, error) {
+	facts, err := collectChanFacts(prog)
+	if err != nil {
+		return nil, err
+	}
+	var out []ChannelEntry
+	for _, obj := range facts.order {
+		info := facts.fields[obj]
+		closer := "none"
+		if sites := facts.closes[obj]; len(sites) > 0 {
+			closer = closeOwner(sites).FullName()
+		}
+		out = append(out, ChannelEntry{Channel: info.name, Elem: info.elem, Dir: info.dir, Closer: closer})
+	}
+	return out, nil
+}
+
+func chanDirString(dir types.ChanDir) string {
+	switch dir {
+	case types.RecvOnly:
+		return "recv-only"
+	case types.SendOnly:
+		return "send-only"
+	}
+	return "bidirectional"
+}
+
+// collectChanFacts indexes channel-typed struct fields and every
+// close() site of the analyzed packages.
+func collectChanFacts(prog *Program) (*chanFacts, error) {
+	facts := &chanFacts{
+		fields: map[types.Object]*chanFieldInfo{},
+		closes: map[types.Object][]closeSite{},
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					ch := chanType(pkg.Info.TypeOf(f.Type))
+					if ch == nil {
+						continue
+					}
+					for _, name := range f.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						facts.fields[obj] = &chanFieldInfo{
+							name: pkg.Path + "." + ts.Name.Name + "." + name.Name,
+							elem: types.TypeString(ch.Elem(), nil),
+							dir:  chanDirString(ch.Dir()),
+						}
+						facts.order = append(facts.order, obj)
+					}
+				}
+				return true
+			})
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					id, ok := unparen(call.Fun).(*ast.Ident)
+					if !ok || id.Name != "close" {
+						return true
+					}
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+						return true
+					}
+					if obj := chanEntity(pkg.Info, call.Args[0]); obj != nil {
+						facts.closes[obj] = append(facts.closes[obj], closeSite{fn: fn, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return facts, nil
+}
+
+// chanEntity resolves the object a channel expression names: a struct
+// field (via selector) or a plain variable.
+func chanEntity(info *types.Info, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return firstObj(info, x)
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil {
+			return obj
+		}
+		if sel := info.Selections[x]; sel != nil {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// closeOwner is the close site that owns the channel: the first one
+// in source order.
+func closeOwner(sites []closeSite) *types.Func {
+	owner := sites[0]
+	for _, s := range sites[1:] {
+		if s.pos < owner.pos {
+			owner = s
+		}
+	}
+	return owner.fn
+}
+
+func multiCloseFindings(prog *Program, obj types.Object, sites []closeSite) []Finding {
+	if len(sites) < 2 {
+		return nil
+	}
+	owner := closeOwner(sites)
+	distinct := false
+	for _, s := range sites {
+		if s.fn != owner {
+			distinct = true
+		}
+	}
+	if !distinct {
+		return nil // several close paths inside one owner are its own protocol
+	}
+	var findings []Finding
+	for _, s := range sites {
+		if s.fn == owner {
+			continue
+		}
+		findings = append(findings, Finding{
+			ID:  "chanaudit/multi-close",
+			Pos: prog.Fset.Position(s.pos),
+			Message: fmt.Sprintf("close of %s in %s, but %s already owns the close; a channel has exactly one closing owner",
+				obj.Name(), s.fn.FullName(), owner.FullName()),
+		})
+	}
+	return findings
+}
+
+// sendNoCancelFindings flags sends to channel-typed struct fields
+// that have no cancellation path and are not the owner's.
+func sendNoCancelFindings(prog *Program, pkg *Package, fn *types.Func, body *ast.BlockStmt, facts *chanFacts) []Finding {
+	compliant := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		if selectHasDefault(sel) || selectHasCancelArm(sel) {
+			markCommNodes(sel, compliant)
+		}
+		return true
+	})
+	var findings []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || compliant[send] {
+			return true
+		}
+		obj := chanEntity(pkg.Info, send.Chan)
+		if obj == nil {
+			return true
+		}
+		info, isField := facts.fields[obj]
+		if !isField {
+			return true
+		}
+		if sites := facts.closes[obj]; len(sites) > 0 && closeOwner(sites) == fn {
+			return true // the closing owner drives the protocol
+		}
+		findings = append(findings, Finding{
+			ID:  "chanaudit/send-no-cancel",
+			Pos: prog.Fset.Position(send.Pos()),
+			Message: fmt.Sprintf("send to %s in %s has no cancellation path (not in a select with a default or shutdown arm, and %s is not the channel's closing owner)",
+				info.name, fn.FullName(), fn.Name()),
+		})
+		return true
+	})
+	return findings
+}
+
+// directionFindings flags bidirectional channel parameters used in
+// only one direction.
+func directionFindings(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var findings []Finding
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		ch := chanType(pkg.Info.TypeOf(field.Type))
+		if ch == nil || ch.Dir() != types.SendRecv {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			sends, recvs, escapes := classifyChanUses(pkg.Info, fd.Body, obj)
+			if escapes || sends == recvs {
+				continue // both directions, or no direction claim possible
+			}
+			want := "<-chan"
+			used := "received from"
+			if sends {
+				want = "chan<-"
+				used = "sent to"
+			}
+			findings = append(findings, Finding{
+				ID:  "chanaudit/direction",
+				Pos: prog.Fset.Position(name.Pos()),
+				Message: fmt.Sprintf("parameter %s of %s is only %s; declare it %s %s so the compiler enforces the direction",
+					name.Name, fd.Name.Name, used, want, types.TypeString(ch.Elem(), types.RelativeTo(pkg.Types))),
+			})
+		}
+	}
+	return findings
+}
+
+// classifyChanUses inspects every use of a channel parameter:
+// direction-specific operations count toward a direction; any other
+// use (an argument, an assignment, a return) escapes the value and
+// forfeits the direction claim.
+func classifyChanUses(info *types.Info, body *ast.BlockStmt, obj types.Object) (sends, recvs, escapes bool) {
+	isObj := func(e ast.Expr) *ast.Ident {
+		if id, ok := unparen(e).(*ast.Ident); ok && firstObj(info, id) == obj {
+			return id
+		}
+		return nil
+	}
+	counted := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if id := isObj(x.Chan); id != nil {
+				sends = true
+				counted[id] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if id := isObj(x.X); id != nil {
+					recvs = true
+					counted[id] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if id := isObj(x.X); id != nil {
+				recvs = true
+				counted[id] = true
+			}
+		case *ast.CallExpr:
+			if fid, ok := unparen(x.Fun).(*ast.Ident); ok && fid.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+					if id := isObj(x.Args[0]); id != nil {
+						sends = true // closing is the send side's act
+						counted[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !counted[id] && firstObj(info, id) == obj {
+			escapes = true
+		}
+		return true
+	})
+	return sends, recvs, escapes
+}

@@ -1,0 +1,301 @@
+package lint
+
+// Shared machinery for the concurrency-certification analyzers
+// (lockguard, ctxflow, goleak, chanaudit) plus the canonical
+// conc_manifest.json certificate they jointly emit: the lock →
+// guarded-field map, the goroutine inventory with join evidence, and
+// the channel inventory with its inferred closer. The committed copy
+// under results/ is byte-pinned by a repo test and regenerated+diffed
+// in CI, like the purity and allocation certificates.
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// renderPath renders a plain identifier/selector chain ("s.mu",
+// "b.breaker.mu") or "" when the expression is anything richer (an
+// index, a call result, …) that the syntactic lock-set and join
+// analyses cannot track.
+func renderPath(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// lastComponent returns the final segment of a rendered path
+// ("s.workWG" → "workWG"), the name-level identity the join-evidence
+// matching keys on.
+func lastComponent(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// namedSyncType reports whether t (possibly behind a pointer) is the
+// named sync type, e.g. namedSyncType(t, "Mutex").
+func namedSyncType(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool     { return namedSyncType(t, "Mutex", "RWMutex") }
+func isWaitGroupType(t types.Type) bool { return namedSyncType(t, "WaitGroup") }
+
+// chanType returns the channel type of an expression's type, or nil.
+func chanType(t types.Type) *types.Chan {
+	if t == nil {
+		return nil
+	}
+	ch, _ := t.Underlying().(*types.Chan)
+	return ch
+}
+
+// reachedFunc is one module-local function reached from a configured
+// root by the static call graph.
+type reachedFunc struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// reachableFrom walks the static call graph (resolved calls only;
+// interface dispatch and function values are not expanded) from the
+// named roots and returns every module-local function declaration
+// reached. Roots configured for another module are skipped, so the
+// repository defaults stay inert over fixture trees.
+func reachableFrom(prog *Program, roots []string) ([]reachedFunc, error) {
+	var queue []*types.Func
+	for _, full := range roots {
+		if !prog.IsModuleLocal(fullNamePkgPath(full)) {
+			continue
+		}
+		fn, err := resolveFullName(prog, full)
+		if err != nil {
+			return nil, err
+		}
+		queue = append(queue, fn)
+	}
+	seen := map[*types.Func]bool{}
+	declIdx := map[*Package]map[types.Object]*ast.FuncDecl{}
+	var out []reachedFunc
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		if fn.Pkg() == nil || !prog.IsModuleLocal(fn.Pkg().Path()) {
+			continue
+		}
+		pkg, err := prog.Package(fn.Pkg().Path())
+		if err != nil {
+			return nil, err
+		}
+		idx := declIdx[pkg]
+		if idx == nil {
+			idx = funcDecls(pkg)
+			declIdx[pkg] = idx
+		}
+		decl := idx[fn]
+		if decl == nil || decl.Body == nil {
+			continue // interface method or bodyless declaration
+		}
+		out = append(out, reachedFunc{fn: fn, decl: decl, pkg: pkg})
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pkg.Info, call); callee != nil && !seen[callee] {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// cancelNameRE matches channel names that conventionally carry a
+// shutdown/cancellation signal; a receive from one counts as a select
+// cancel arm.
+var cancelNameRE = regexp.MustCompile(`(?i)(done|stop|quit|shut|cancel|close|ctx)`)
+
+// selectHasDefault reports whether a select is non-blocking.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selectHasCancelArm reports whether any case receives from a
+// ctx.Done()-style call or a conventionally named shutdown channel.
+func selectHasCancelArm(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if call, ok := unparen(recv).(*ast.CallExpr); ok {
+			if s, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+				return true
+			}
+			continue
+		}
+		if cancelNameRE.MatchString(lastComponent(renderPath(recv))) {
+			return true
+		}
+	}
+	return false
+}
+
+// markCommNodes records every node inside a select's communication
+// clauses, so the bare-op scans know those sends/receives are already
+// governed by the select's own verdict.
+func markCommNodes(sel *ast.SelectStmt, handled map[ast.Node]bool) {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if n != nil {
+				handled[n] = true
+			}
+			return true
+		})
+	}
+}
+
+// ConcManifest is the concurrency-contract certificate
+// (results/conc_manifest.json): every annotated lock with its guarded
+// fields, every go statement with its join evidence, and every
+// channel-typed struct field with its single inferred closer.
+type ConcManifest struct {
+	Schema     int              `json:"schema"`
+	Module     string           `json:"module"`
+	Locks      []LockEntry      `json:"locks"`
+	Goroutines []GoroutineEntry `json:"goroutines"`
+	Channels   []ChannelEntry   `json:"channels"`
+}
+
+// LockEntry is one annotated mutex field and its guarded siblings.
+type LockEntry struct {
+	Lock   string   `json:"lock"` // "pkg/path.Type.field"
+	Guards []string `json:"guards"`
+}
+
+// GoroutineEntry is one go statement: the declared function it occurs
+// in, what it spawns, and the join evidence goleak accepted.
+type GoroutineEntry struct {
+	Func   string `json:"func"`
+	Spawns string `json:"spawns"`
+	Join   string `json:"join"`
+}
+
+// ChannelEntry is one channel-typed struct field with its element
+// type, declared direction, and single closing function ("none" for
+// channels that are never closed, such as buffered reply slots).
+type ChannelEntry struct {
+	Channel string `json:"channel"` // "pkg/path.Type.field"
+	Elem    string `json:"elem"`
+	Dir     string `json:"dir"`
+	Closer  string `json:"closer"`
+}
+
+// Encode renders the manifest in its canonical committed form:
+// two-space-indented JSON with a trailing newline, byte-reproducible
+// between the pin test and cmd/flexlint -conc-manifest.
+func (m *ConcManifest) Encode() []byte {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil { // a struct of strings and slices cannot fail to marshal
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// BuildConcManifest assembles the concurrency certificate from the
+// three inventory passes. Like the purity manifest, it records the
+// code as analyzed, not as triaged: findings suppressed with
+// //lint:ignore still shape the manifest.
+func BuildConcManifest(prog *Program) (*ConcManifest, error) {
+	m := &ConcManifest{Schema: 1, Module: prog.ModPath}
+	locks, err := NewLockGuard().Locks(prog)
+	if err != nil {
+		return nil, err
+	}
+	m.Locks = locks
+	goroutines, err := NewGoLeak().Inventory(prog)
+	if err != nil {
+		return nil, err
+	}
+	m.Goroutines = goroutines
+	channels, err := NewChanAudit().Channels(prog)
+	if err != nil {
+		return nil, err
+	}
+	m.Channels = channels
+	sort.Slice(m.Locks, func(i, j int) bool { return m.Locks[i].Lock < m.Locks[j].Lock })
+	sort.Slice(m.Goroutines, func(i, j int) bool {
+		a, b := m.Goroutines[i], m.Goroutines[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Spawns != b.Spawns {
+			return a.Spawns < b.Spawns
+		}
+		return a.Join < b.Join
+	})
+	sort.Slice(m.Channels, func(i, j int) bool { return m.Channels[i].Channel < m.Channels[j].Channel })
+	return m, nil
+}

@@ -1,0 +1,143 @@
+package lint
+
+// ctxflow certifies that the request path cannot park forever on a
+// channel and that cancellation is threaded, not forged:
+//
+//   - ctxflow/background: context.Background() / context.TODO() are
+//     forbidden outside package main (and tests, which the loader
+//     never analyzes). A library that mints its own root context
+//     detaches itself from the caller's deadline and disconnect
+//     signals; derive from the request context instead
+//     (context.WithoutCancel preserves values while detaching
+//     cancellation when that is the intent).
+//   - ctxflow/bare-op: a blocking channel send or receive written
+//     outside any select, in code reachable from a configured
+//     request-path root, has no cancellation path. Ranging over a
+//     channel is exempt: it terminates at close, and chanaudit
+//     certifies the closer.
+//   - ctxflow/no-cancel-arm: a select reachable from a request-path
+//     root must either have a default arm (non-blocking) or an arm
+//     that receives from a ctx.Done()-style call or a conventionally
+//     named shutdown channel (done/stop/quit/shut/cancel/close/ctx).
+//
+// Reachability is the static call graph from Roots (interface
+// dispatch is not expanded), so backend code the request path drives
+// is certified along with the handlers themselves.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow is the cancellation-flow analyzer.
+type CtxFlow struct {
+	// Roots are the request-path entry points (go/types FullNames)
+	// whose reachable call trees must keep every blocking channel op
+	// cancellable.
+	Roots []string
+}
+
+// NewCtxFlow returns the repository configuration: the HTTP handler,
+// the batch worker, and the drain path.
+func NewCtxFlow() *CtxFlow {
+	return &CtxFlow{Roots: []string{
+		"(*flexflow/internal/serve.Server).handleRun",
+		"(*flexflow/internal/serve.Server).worker",
+		"(*flexflow/internal/serve.Server).Shutdown",
+	}}
+}
+
+func (*CtxFlow) Name() string { return "ctxflow" }
+func (*CtxFlow) Doc() string {
+	return "request-path channel ops sit in selects with a ctx.Done()/shutdown arm; context.Background/TODO only in package main"
+}
+
+// Run applies the background rule package-wide and the blocking-op
+// rules over the call trees of the configured roots.
+func (a *CtxFlow) Run(prog *Program) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types.Name() == "main" {
+			continue // a binary's main owns the root context
+		}
+		inspectFiles(pkg, func(_ *ast.File, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pkg.Info, call); fn != nil {
+				full := fn.FullName()
+				if full == "context.Background" || full == "context.TODO" {
+					findings = append(findings, Finding{
+						ID:      "ctxflow/background",
+						Pos:     prog.Fset.Position(call.Pos()),
+						Message: fmt.Sprintf("%s mints a root context in a library package; derive from the caller's context (context.WithoutCancel to detach cancellation)", full),
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	reached, err := reachableFrom(prog, a.Roots)
+	if err != nil {
+		return nil, err
+	}
+	for _, rf := range reached {
+		findings = append(findings, a.checkBlocking(prog, rf)...)
+	}
+	return findings, nil
+}
+
+// checkBlocking enforces the bare-op and no-cancel-arm rules over one
+// reached function body (function literals included: they are part of
+// the same request path).
+func (a *CtxFlow) checkBlocking(prog *Program, rf reachedFunc) []Finding {
+	var findings []Finding
+	handled := map[ast.Node]bool{}
+	ast.Inspect(rf.decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		markCommNodes(sel, handled)
+		if !selectHasDefault(sel) && !selectHasCancelArm(sel) {
+			findings = append(findings, Finding{
+				ID:      "ctxflow/no-cancel-arm",
+				Pos:     prog.Fset.Position(sel.Pos()),
+				Message: fmt.Sprintf("select in %s (request path) has neither a default arm nor a ctx.Done()/shutdown arm; it can park forever", rf.fn.FullName()),
+			})
+		}
+		return true
+	})
+	ast.Inspect(rf.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if !handled[x] {
+				findings = append(findings, Finding{
+					ID:      "ctxflow/bare-op",
+					Pos:     prog.Fset.Position(x.Pos()),
+					Message: fmt.Sprintf("blocking send on %s in %s (request path) outside a cancellable select", renderOp(x.Chan), rf.fn.FullName()),
+				})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !handled[x] {
+				findings = append(findings, Finding{
+					ID:      "ctxflow/bare-op",
+					Pos:     prog.Fset.Position(x.Pos()),
+					Message: fmt.Sprintf("blocking receive from %s in %s (request path) outside a cancellable select", renderOp(x.X), rf.fn.FullName()),
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+func renderOp(e ast.Expr) string {
+	if path := renderPath(e); path != "" {
+		return path
+	}
+	return "a channel"
+}

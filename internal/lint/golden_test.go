@@ -316,8 +316,96 @@ func TestHotAllocStaleEntry(t *testing.T) {
 	}
 }
 
+func TestLockGuardGolden(t *testing.T) {
+	const base = "flexflow/internal/lint/testdata/lockguard/lockx"
+	a := &LockGuard{BlockingCalls: []string{base + ".execBackend"}}
+	runGolden(t, a, "testdata/lockguard")
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	const base = "(*flexflow/internal/lint/testdata/ctxflow/ctxx.Server)."
+	a := &CtxFlow{Roots: []string{
+		base + "Handle",
+		base + "HandleBare",
+		base + "HandleNoCancel",
+		base + "HandleTry",
+		base + "HandleShutdownArm",
+		base + "HandleNested",
+		base + "Consume",
+	}}
+	runGolden(t, a, "testdata/ctxflow")
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	runGolden(t, NewGoLeak(), "testdata/goleak")
+}
+
+func TestChanAuditGolden(t *testing.T) {
+	runGolden(t, NewChanAudit(), "testdata/chanaudit")
+}
+
+// TestConcManifestShape pins the certificate's semantics over the
+// fixtures: the lock → guarded-field map reflects the annotations,
+// goroutine entries carry the accepted join evidence, and channel
+// fields name their single closing owner.
+func TestConcManifestShape(t *testing.T) {
+	prog, err := Load(".", "testdata/lockguard/...", "testdata/goleak/...", "testdata/chanaudit/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildConcManifest(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks := map[string][]string{}
+	for _, e := range m.Locks {
+		locks[e.Lock] = e.Guards
+	}
+	const lockBase = "flexflow/internal/lint/testdata/lockguard/lockx."
+	if got := locks[lockBase+"Store.mu"]; !slices.Equal(got, []string{"items", "n"}) {
+		t.Errorf("Store.mu guards = %v, want [items n]", got)
+	}
+	if got, ok := locks[lockBase+"Free.mu"]; !ok || len(got) != 0 {
+		t.Errorf("Free.mu (guards: none) = %v, %v; want an empty entry", got, ok)
+	}
+	joins := map[string]string{}
+	for _, g := range m.Goroutines {
+		joins[g.Func+" -> "+g.Spawns] = g.Join
+	}
+	const leakBase = "flexflow/internal/lint/testdata/goleak/leakx."
+	if got := joins[leakBase+"Joined -> func literal"]; got != "waitgroup wg" {
+		t.Errorf("Joined literal join = %q, want waitgroup wg", got)
+	}
+	if got := joins["(*"+leakBase+"Pool).Start -> (*"+leakBase+"Pool).run"]; got != "waitgroup wg" {
+		t.Errorf("Pool.Start join = %q, want waitgroup wg", got)
+	}
+	if got := joins[leakBase+"DoneChannel -> func literal"]; got != "channel errc" {
+		t.Errorf("DoneChannel join = %q, want channel errc", got)
+	}
+	if got := joins[leakBase+"Forget -> <dynamic>"]; got != "none" {
+		t.Errorf("Forget join = %q, want none", got)
+	}
+	chans := map[string]ChannelEntry{}
+	for _, c := range m.Channels {
+		chans[c.Channel] = c
+	}
+	const chanBase = "flexflow/internal/lint/testdata/chanaudit/chanx."
+	if got := chans[chanBase+"Hub.feed"]; got.Closer != "(*"+chanBase+"Hub).Run" || got.Elem != "int" {
+		t.Errorf("Hub.feed entry = %+v, want closer (*Hub).Run, elem int", got)
+	}
+	// Encode is canonical: re-encoding an identical build is stable.
+	m2, err := BuildConcManifest(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Encode()) != string(m2.Encode()) {
+		t.Error("ConcManifest.Encode is not byte-stable across builds")
+	}
+}
+
 // TestIgnoreGolden pins the suppression mechanism end to end: both
-// placements suppress, and a reason is mandatory.
+// placements suppress, a reason is mandatory, and analyzer-id globs
+// ("errdrop/*") match.
 func TestIgnoreGolden(t *testing.T) {
 	runGolden(t, NewErrDrop(), "testdata/ignore")
 }
@@ -358,8 +446,8 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single path segment", name)
 		}
 	}
-	if len(seen) != 12 {
-		t.Errorf("expected the 12-analyzer suite, got %d", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("expected the 16-analyzer suite, got %d", len(seen))
 	}
 }
 

@@ -1,0 +1,250 @@
+package lint
+
+// goleak certifies goroutine lifetimes: every `go` statement must
+// carry join evidence, so no goroutine outlives the structure that
+// spawned it (the static twin of the runtime
+// TestNoGoroutineLeakAfterClose check in internal/serve).
+//
+// Accepted evidence, resolved syntactically against the spawned body
+// (a function literal, or the declaration of a statically resolved
+// module-local callee):
+//
+//   - waitgroup: some wg.Add(...) call textually precedes the go
+//     statement in the spawning function, and the spawned body calls
+//     Done() on a waitgroup of the same name (concsafe separately
+//     enforces Add-before-spawn placement).
+//   - channel: the spawned body sends on or closes a channel that the
+//     spawning function receives from (directly, in a select arm, or
+//     by ranging) outside the spawned body itself.
+//
+// A `go` statement with neither is goleak/unjoined: fire-and-forget
+// concurrency, invisible to every drain path.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak is the goroutine-lifetime analyzer. It has no configuration:
+// the join-evidence contract is universal.
+type GoLeak struct{}
+
+// NewGoLeak returns the analyzer.
+func NewGoLeak() *GoLeak { return &GoLeak{} }
+
+func (*GoLeak) Name() string { return "goleak" }
+func (*GoLeak) Doc() string {
+	return "every go statement has join evidence (waitgroup Add/Done or a joined channel); no fire-and-forget goroutines"
+}
+
+// goSite is one go statement and the evidence resolved for it.
+type goSite struct {
+	enclosing *types.Func // declared function containing the statement
+	spawns    string      // callee FullName, or "func literal"
+	join      string      // "waitgroup X", "channel X", or "none"
+	pos       token.Pos
+}
+
+// Run reports every go statement without join evidence.
+func (a *GoLeak) Run(prog *Program) ([]Finding, error) {
+	sites, err := a.sites(prog)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, site := range sites {
+		if site.join != "none" {
+			continue
+		}
+		findings = append(findings, Finding{
+			ID:  "goleak/unjoined",
+			Pos: prog.Fset.Position(site.pos),
+			Message: fmt.Sprintf("go statement in %s spawns %s with no join evidence (no waitgroup Add/Done pair, no joined channel): fire-and-forget goroutine",
+				site.enclosing.FullName(), site.spawns),
+		})
+	}
+	return findings, nil
+}
+
+// Inventory returns the goroutine table for the concurrency manifest.
+func (a *GoLeak) Inventory(prog *Program) ([]GoroutineEntry, error) {
+	sites, err := a.sites(prog)
+	if err != nil {
+		return nil, err
+	}
+	var out []GoroutineEntry
+	for _, site := range sites {
+		out = append(out, GoroutineEntry{
+			Func:   site.enclosing.FullName(),
+			Spawns: site.spawns,
+			Join:   site.join,
+		})
+	}
+	return out, nil
+}
+
+// sites collects every go statement of every analyzed package with
+// its resolved evidence.
+func (a *GoLeak) sites(prog *Program) ([]goSite, error) {
+	var sites []goSite
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				var err error
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok || err != nil {
+						return err == nil
+					}
+					site := goSite{enclosing: fn, pos: gs.Pos()}
+					var spawnedBody *ast.BlockStmt
+					var spawnedInfo *types.Info
+					if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+						site.spawns = "func literal"
+						spawnedBody = lit.Body
+						spawnedInfo = pkg.Info
+					} else if callee := calleeFunc(pkg.Info, gs.Call); callee != nil {
+						site.spawns = callee.FullName()
+						spawnedBody, spawnedInfo, err = spawnedDecl(prog, callee)
+						if err != nil {
+							return false
+						}
+					} else {
+						site.spawns = "<dynamic>"
+					}
+					site.join = joinEvidence(pkg, fd.Body, gs, spawnedBody, spawnedInfo)
+					sites = append(sites, site)
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return sites, nil
+}
+
+// spawnedDecl resolves a statically called module-local function's
+// body for evidence scanning.
+func spawnedDecl(prog *Program, fn *types.Func) (*ast.BlockStmt, *types.Info, error) {
+	if fn.Pkg() == nil || !prog.IsModuleLocal(fn.Pkg().Path()) {
+		return nil, nil, nil
+	}
+	pkg, err := prog.Package(fn.Pkg().Path())
+	if err != nil {
+		return nil, nil, err
+	}
+	decl := funcDecls(pkg)[types.Object(fn)]
+	if decl == nil || decl.Body == nil {
+		return nil, nil, nil
+	}
+	return decl.Body, pkg.Info, nil
+}
+
+// joinEvidence resolves the strongest join evidence for one go
+// statement: a waitgroup pair first, then a joined channel.
+func joinEvidence(pkg *Package, enclosing *ast.BlockStmt, gs *ast.GoStmt, spawned *ast.BlockStmt, spawnedInfo *types.Info) string {
+	if spawned == nil {
+		return "none"
+	}
+	// Waitgroup evidence: Add before the spawn, Done in the body.
+	adds := map[string]bool{}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return true
+		}
+		if name := waitGroupCall(pkg.Info, call, "Add"); name != "" {
+			adds[name] = true
+		}
+		return true
+	})
+	var joined string
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		if joined != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := waitGroupCall(spawnedInfo, call, "Done"); name != "" && adds[name] {
+				joined = "waitgroup " + name
+			}
+		}
+		return true
+	})
+	if joined != "" {
+		return joined
+	}
+
+	// Channel evidence: the body sends/closes what the spawner joins.
+	sent := map[string]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if name := lastComponent(renderPath(x.Chan)); name != "" {
+				sent[name] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if name := lastComponent(renderPath(x.Args[0])); name != "" {
+					sent[name] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if joined != "" {
+			return false
+		}
+		// The spawned body's own receives are not a join for itself.
+		if n != nil && n.Pos() >= gs.Pos() && n.End() <= gs.End() {
+			return n == gs || n == gs.Call // descend only past the go statement shell
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if name := lastComponent(renderPath(x.X)); name != "" && sent[name] {
+					joined = "channel " + name
+				}
+			}
+		case *ast.RangeStmt:
+			if chanType(pkg.Info.TypeOf(x.X)) != nil {
+				if name := lastComponent(renderPath(x.X)); name != "" && sent[name] {
+					joined = "channel " + name
+				}
+			}
+		}
+		return true
+	})
+	if joined != "" {
+		return joined
+	}
+	return "none"
+}
+
+// waitGroupCall returns the rendered-base last component of a
+// wg.Add/Done call ("s.workWG.Add(1)" → "workWG"), or "".
+func waitGroupCall(info *types.Info, call *ast.CallExpr, method string) string {
+	if info == nil {
+		return ""
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return ""
+	}
+	if !isWaitGroupType(info.TypeOf(sel.X)) {
+		return ""
+	}
+	return lastComponent(renderPath(sel.X))
+}

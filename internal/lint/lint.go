@@ -14,15 +14,16 @@
 //
 //	//lint:ignore detsim/map-range order is re-sorted by the caller
 //
-// The ignore must name the finding's full ID (or just the analyzer
-// name to suppress every rule of that analyzer) and must give a
-// reason.
+// The ignore must name the finding's full ID, an ID glob such as
+// "lockguard/*" (path.Match syntax), or just the analyzer name to
+// suppress every rule of that analyzer — and must give a reason.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -70,7 +71,7 @@ type Analyzer interface {
 // in -json output and in the emitted artifacts so a findings dump or
 // baseline records which suite produced it. Bump it whenever an
 // analyzer is added, removed, or changes the meaning of its rules.
-const SuiteVersion = 3
+const SuiteVersion = 4
 
 // DefaultAnalyzers returns the full suite with the repository's
 // canonical configuration.
@@ -88,6 +89,10 @@ func DefaultAnalyzers() []Analyzer {
 		NewPurity(),
 		NewHotAlloc(),
 		NewSharedCapture(),
+		NewLockGuard(),
+		NewCtxFlow(),
+		NewGoLeak(),
+		NewChanAudit(),
 	}
 }
 
@@ -164,9 +169,14 @@ func collectIgnores(prog *Program) ignoreIndex {
 }
 
 func (idx ignoreIndex) covers(f Finding) bool {
-	for _, id := range idx[f.Pos.Filename][f.Pos.Line] {
-		if id == f.ID || id == analyzerOf(f.ID) {
+	for _, pat := range idx[f.Pos.Filename][f.Pos.Line] {
+		if pat == f.ID || pat == analyzerOf(f.ID) {
 			return true
+		}
+		if strings.ContainsAny(pat, "*?[") {
+			if ok, err := path.Match(pat, f.ID); err == nil && ok {
+				return true
+			}
 		}
 	}
 	return false

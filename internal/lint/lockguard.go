@@ -1,0 +1,499 @@
+package lint
+
+// lockguard certifies the repository's mutex discipline:
+//
+//   - lockguard/annotation: every sync.Mutex / sync.RWMutex struct
+//     field must carry a `// guards: field, ...` annotation (or
+//     `// guards: none`) declaring exactly which sibling fields it
+//     protects — the lock → data map is a contract, not tribal
+//     knowledge, and the conc manifest certificate publishes it.
+//   - lockguard/unknown-field: an annotation naming a field that does
+//     not exist in the struct is a stale contract.
+//   - lockguard/unguarded-access: a guarded field may only be read or
+//     written while its lock is held, established by an
+//     intraprocedural lock-set walk over Lock/RLock/Unlock/RUnlock
+//     calls (defer Unlock keeps the lock held to function end; a
+//     function literal starts with an empty lock set, since it may
+//     run on another goroutine).
+//   - lockguard/hold-blocking: no lock may be held across a blocking
+//     operation — a channel send/receive/range, a select without a
+//     default arm, or a call into a configured blocking entry point
+//     (pipeline.Exec, ExecuteBatch, WaitGroup.Wait, …). This is the
+//     breaker-wedge bug class: a lock held across a blocked channel
+//     op deadlocks every other path that needs the lock.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard is the mutex-contract analyzer.
+type LockGuard struct {
+	// BlockingCalls lists go/types FullNames of functions that can
+	// block indefinitely; holding any tracked lock across a call to
+	// one is a finding. Entries that never resolve simply never match.
+	BlockingCalls []string
+}
+
+// NewLockGuard returns the repository configuration: the sync and
+// time blockers plus every facade/pipeline execution entry point (all
+// of which run whole simulations and park on the scheduler).
+func NewLockGuard() *LockGuard {
+	return &LockGuard{BlockingCalls: []string{
+		"(*sync.WaitGroup).Wait",
+		"time.Sleep",
+		"flexflow.Run",
+		"flexflow.RunOpts",
+		"flexflow.Execute",
+		"flexflow.ExecuteOpts",
+		"flexflow.ExecuteBatch",
+		"flexflow.ExecuteBatchOpts",
+		"flexflow/internal/pipeline.Exec",
+		"flexflow/internal/pipeline.ExecBatch",
+		"flexflow/internal/pipeline.RunModel",
+		"flexflow/internal/pipeline.RunBilled",
+		"flexflow/internal/pipeline.RunLayer",
+		"(flexflow/internal/pipeline.Scheduler).Map",
+	}}
+}
+
+func (*LockGuard) Name() string { return "lockguard" }
+func (*LockGuard) Doc() string {
+	return "mutex fields declare `// guards:` contracts; guarded fields are accessed under the lock, never held across blocking ops"
+}
+
+// guardRef records which mutex field guards a data field.
+type guardRef struct {
+	structFull string // "pkg/path.Type"
+	lockField  string // sibling mutex field name
+}
+
+// lockTable is the per-program annotation harvest.
+type lockTable struct {
+	entries  []LockEntry
+	findings []Finding
+	guardOf  map[types.Object]guardRef
+}
+
+// Run harvests the annotations, then walks every function body with
+// the lock-set analysis.
+func (a *LockGuard) Run(prog *Program) ([]Finding, error) {
+	table := collectLocks(prog)
+	findings := table.findings
+	blocking := map[string]bool{}
+	for _, full := range a.BlockingCalls {
+		blocking[full] = true
+	}
+	for _, pkg := range prog.Pkgs {
+		sc := &lockScope{prog: prog, pkg: pkg, guardOf: table.guardOf, blocking: blocking}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					sc.walkBody(fd.Body)
+				}
+			}
+		}
+		findings = append(findings, sc.out...)
+	}
+	return findings, nil
+}
+
+// Locks returns the annotated lock → guarded-field map for the
+// concurrency manifest. Guard lists are sorted; unannotated mutexes
+// appear with an empty list (and a finding from Run).
+func (a *LockGuard) Locks(prog *Program) ([]LockEntry, error) {
+	return collectLocks(prog).entries, nil
+}
+
+// guardsAnnotation parses a field's comments for `guards: a, b` (or
+// `guards: none`). A guards: line ending with a comma continues onto
+// the next line of the same comment group, so a long field list can
+// wrap. found reports whether any guards: directive was present.
+func guardsAnnotation(groups ...*ast.CommentGroup) (names []string, found bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		continuing := false
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "guards:")
+			if !ok {
+				if !continuing {
+					continue
+				}
+				rest = text
+			} else {
+				found = true
+			}
+			continuing = strings.HasSuffix(strings.TrimSpace(rest), ",")
+			for _, part := range strings.Split(rest, ",") {
+				name := strings.TrimSpace(part)
+				if name == "" || name == "none" {
+					continue
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	return names, found
+}
+
+// collectLocks scans every analyzed struct type for mutex fields and
+// their annotations.
+func collectLocks(prog *Program) *lockTable {
+	table := &lockTable{guardOf: map[types.Object]guardRef{}}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				structFull := pkg.Path + "." + ts.Name.Name
+				// Index the sibling fields so annotations can be
+				// validated and guarded objects resolved.
+				siblings := map[string]types.Object{}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						siblings[name.Name] = pkg.Info.Defs[name]
+					}
+				}
+				for _, f := range st.Fields.List {
+					if !isMutexType(pkg.Info.TypeOf(f.Type)) {
+						continue
+					}
+					names := f.Names
+					if len(names) == 0 {
+						continue // embedded mutex: lockable type, not a contract field
+					}
+					guards, found := guardsAnnotation(f.Doc, f.Comment)
+					for _, lockName := range names {
+						entry := LockEntry{Lock: structFull + "." + lockName.Name, Guards: []string{}}
+						if !found {
+							table.findings = append(table.findings, Finding{
+								ID:  "lockguard/annotation",
+								Pos: prog.Fset.Position(lockName.Pos()),
+								Message: fmt.Sprintf("sync mutex field %s.%s has no `// guards: field, ...` annotation (use `guards: none` for a free-standing lock)",
+									structFull, lockName.Name),
+							})
+						}
+						for _, g := range guards {
+							obj, ok := siblings[g]
+							if !ok || obj == nil {
+								table.findings = append(table.findings, Finding{
+									ID:  "lockguard/unknown-field",
+									Pos: prog.Fset.Position(lockName.Pos()),
+									Message: fmt.Sprintf("guards: annotation on %s.%s names %q, which is not a field of the struct",
+										structFull, lockName.Name, g),
+								})
+								continue
+							}
+							entry.Guards = append(entry.Guards, g)
+							table.guardOf[obj] = guardRef{structFull: structFull, lockField: lockName.Name}
+						}
+						sort.Strings(entry.Guards)
+						table.entries = append(table.entries, entry)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return table
+}
+
+// lockScope is the per-package lock-set walker state.
+type lockScope struct {
+	prog     *Program
+	pkg      *Package
+	guardOf  map[types.Object]guardRef
+	blocking map[string]bool
+	out      []Finding
+}
+
+func (s *lockScope) report(id string, pos token.Pos, format string, args ...any) {
+	s.out = append(s.out, Finding{ID: id, Pos: s.prog.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k := range held {
+		cp[k] = true
+	}
+	return cp
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// walkBody analyzes one function (or function-literal) body with an
+// empty lock set.
+func (s *lockScope) walkBody(body *ast.BlockStmt) {
+	s.walkStmts(body.List, map[string]bool{})
+}
+
+func (s *lockScope) walkStmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		s.walkStmt(st, held)
+	}
+}
+
+// lockCallKey recognizes a Lock/RLock/Unlock/RUnlock call on a
+// rendered mutex path ("s.mu") and returns the path and method name.
+func (s *lockScope) lockCallKey(call *ast.CallExpr) (key, method string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if !isMutexType(s.pkg.Info.TypeOf(sel.X)) {
+		return "", ""
+	}
+	path := renderPath(sel.X)
+	if path == "" {
+		return "", ""
+	}
+	return path, sel.Sel.Name
+}
+
+// walkStmt threads the lock set through one statement. Branch bodies
+// get a copy of the set (the branch may unlock without affecting the
+// fall-through path); the entry set flows on afterwards, which is
+// conservative in the safe direction for the access rule.
+func (s *lockScope) walkStmt(st ast.Stmt, held map[string]bool) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		s.walkStmts(x.List, held)
+	case *ast.ExprStmt:
+		if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+			if key, method := s.lockCallKey(call); key != "" {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		s.checkExpr(x.X, held, true)
+	case *ast.DeferStmt:
+		if key, method := s.lockCallKey(x.Call); key != "" && strings.HasSuffix(method, "Unlock") {
+			return // deferred unlock: the lock stays held to function end
+		}
+		// The deferred call runs at return under an unknown lock set;
+		// only its argument evaluation happens here.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			s.walkBody(lit.Body)
+		}
+		for _, arg := range x.Call.Args {
+			s.checkExpr(arg, held, true)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs without the caller's locks.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			s.walkBody(lit.Body)
+		}
+		for _, arg := range x.Call.Args {
+			s.checkExpr(arg, held, true)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.report("lockguard/hold-blocking", x.Pos(), "channel send while holding %s", heldNames(held))
+		}
+		s.checkExpr(x.Chan, held, false)
+		s.checkExpr(x.Value, held, true)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.checkExpr(e, held, true)
+		}
+		for _, e := range x.Lhs {
+			s.checkExpr(e, held, true)
+		}
+	case *ast.IncDecStmt:
+		s.checkExpr(x.X, held, true)
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.checkExpr(e, held, true)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			s.walkStmt(x.Init, held)
+		}
+		s.checkExpr(x.Cond, held, true)
+		s.walkStmt(x.Body, copyHeld(held))
+		if x.Else != nil {
+			s.walkStmt(x.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			s.walkStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			s.checkExpr(x.Cond, held, true)
+		}
+		body := copyHeld(held)
+		s.walkStmt(x.Body, body)
+		if x.Post != nil {
+			s.walkStmt(x.Post, body)
+		}
+	case *ast.RangeStmt:
+		if chanType(s.pkg.Info.TypeOf(x.X)) != nil && len(held) > 0 {
+			s.report("lockguard/hold-blocking", x.Pos(), "range over a channel while holding %s", heldNames(held))
+		}
+		s.checkExpr(x.X, held, false)
+		s.walkStmt(x.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			s.walkStmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			s.checkExpr(x.Tag, held, true)
+		}
+		for _, clause := range x.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				s.checkExpr(e, held, true)
+			}
+			s.walkStmts(cc.Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			s.walkStmt(x.Init, held)
+		}
+		s.walkStmt(x.Assign, held)
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(x) {
+			s.report("lockguard/hold-blocking", x.Pos(), "select without a default arm while holding %s", heldNames(held))
+		}
+		for _, clause := range x.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := copyHeld(held)
+			if cc.Comm != nil {
+				s.walkComm(cc.Comm, branch)
+			}
+			s.walkStmts(cc.Body, branch)
+		}
+	case *ast.LabeledStmt:
+		s.walkStmt(x.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.checkExpr(e, held, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkComm analyzes a select communication statement: its guarded
+// accesses count, but its send/receive is governed by the enclosing
+// select's verdict, not flagged as a standalone blocking op.
+func (s *lockScope) walkComm(comm ast.Stmt, held map[string]bool) {
+	switch x := comm.(type) {
+	case *ast.SendStmt:
+		s.checkExpr(x.Chan, held, false)
+		s.checkExpr(x.Value, held, false)
+	case *ast.ExprStmt:
+		s.checkExpr(x.X, held, false)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			s.checkExpr(e, held, false)
+		}
+		for _, e := range x.Lhs {
+			s.checkExpr(e, held, false)
+		}
+	}
+}
+
+// checkExpr scans an expression for guarded-field accesses and, when
+// flagChanOps is set, blocking operations performed under a lock.
+func (s *lockScope) checkExpr(e ast.Expr, held map[string]bool, flagChanOps bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// May run on another goroutine: empty lock set. A
+			// synchronous closure that needs the enclosing lock should
+			// hoist the value or take the lock itself.
+			s.walkBody(x.Body)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && flagChanOps && len(held) > 0 {
+				s.report("lockguard/hold-blocking", x.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if len(held) > 0 {
+				if fn := calleeFunc(s.pkg.Info, x); fn != nil && s.blocking[fn.FullName()] {
+					s.report("lockguard/hold-blocking", x.Pos(), "call to blocking %s while holding %s", fn.FullName(), heldNames(held))
+				}
+			}
+		case *ast.SelectorExpr:
+			s.access(x, held)
+		}
+		return true
+	})
+}
+
+// access reports a guarded-field selector evaluated without its lock.
+func (s *lockScope) access(sel *ast.SelectorExpr, held map[string]bool) {
+	obj := s.pkg.Info.Uses[sel.Sel]
+	if obj == nil {
+		if selection := s.pkg.Info.Selections[sel]; selection != nil {
+			obj = selection.Obj()
+		}
+	}
+	ref, ok := s.guardOf[obj]
+	if !ok {
+		return
+	}
+	base := renderPath(sel.X)
+	if base != "" && held[base+"."+ref.lockField] {
+		return
+	}
+	s.report("lockguard/unguarded-access", sel.Sel.Pos(),
+		"field %s.%s is guarded by %s but accessed without %s.%s held",
+		ref.structFull, sel.Sel.Name, ref.lockField, baseOrValue(base), ref.lockField)
+}
+
+func baseOrValue(base string) string {
+	if base == "" {
+		return "<expr>"
+	}
+	return base
+}

@@ -55,6 +55,54 @@ func TestRepoPurityManifest(t *testing.T) {
 	}
 }
 
+// TestRepoConcManifest certifies the repository's concurrency
+// contracts and pins the committed certificate: every mutex field is
+// annotated with a guarded-field map, every go statement has join
+// evidence, and every channel field has at most one closing owner.
+// Regenerate with:
+//
+//	go run ./cmd/flexlint -conc-manifest results/conc_manifest.json ./...
+func TestRepoConcManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildConcManifest(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Locks) < 6 {
+		t.Errorf("manifest records %d annotated locks, want the serving layer's 6", len(m.Locks))
+	}
+	for _, g := range m.Goroutines {
+		if g.Join == "none" {
+			t.Errorf("go statement in %s (spawns %s) has no join evidence", g.Func, g.Spawns)
+		}
+	}
+	closers := map[string]string{}
+	for _, c := range m.Channels {
+		closers[c.Channel] = c.Closer
+	}
+	if got := closers["flexflow/internal/serve.Server.queue"]; got != "(*flexflow/internal/serve.Server).Shutdown" {
+		t.Errorf("Server.queue closer = %q, want Shutdown", got)
+	}
+	if got := closers["flexflow/internal/serve.Server.batches"]; got != "(*flexflow/internal/serve.Server).dispatch" {
+		t.Errorf("Server.batches closer = %q, want dispatch", got)
+	}
+
+	path := filepath.Join(prog.ModRoot, "results", "conc_manifest.json")
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(committed) != string(m.Encode()) {
+		t.Errorf("results/conc_manifest.json is stale; regenerate with `go run ./cmd/flexlint -conc-manifest results/conc_manifest.json ./...`")
+	}
+}
+
 // TestRepoAllocBudgetMatchesReality pins the committed allocation
 // ledger exactly against the source tree, layering-style: a new
 // allocation site must be argued into RepoAllocBudget, and a removed

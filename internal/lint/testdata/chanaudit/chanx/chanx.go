@@ -1,0 +1,75 @@
+// Package chanx is the chanaudit fixture: parameter direction
+// discipline, single-owner close, and cancellable sends to
+// channel-typed fields.
+package chanx
+
+// Hub owns two channel fields.
+type Hub struct {
+	feed chan int
+	out  chan int
+}
+
+// Run is feed's closing owner: its plain send drives its own
+// protocol and is exempt.
+func (h *Hub) Run(vs []int) {
+	defer close(h.feed)
+	for _, v := range vs {
+		h.feed <- v
+	}
+}
+
+// Offer sends to out under a shutdown arm — compliant.
+func (h *Hub) Offer(v int, done <-chan struct{}) bool {
+	select {
+	case h.out <- v:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// Push sends to out with no cancellation path and is not its owner.
+func (h *Hub) Push(v int) {
+	h.out <- v // want "chanaudit/send-no-cancel"
+}
+
+// CloseOut is out's closing owner (first close site in source order).
+func (h *Hub) CloseOut() { close(h.out) }
+
+// CloseOutAgain is a second closer — a panic waiting for a race.
+func (h *Hub) CloseOutAgain() {
+	close(h.out) // want "chanaudit/multi-close"
+}
+
+// Sink only receives; the parameter must say so.
+func Sink(in chan int) int { // want "chanaudit/direction"
+	total := 0
+	for v := range in {
+		total += v
+	}
+	return total
+}
+
+// Feed only sends (closing counts as the send side's act).
+func Feed(out chan int, vs []int) { // want "chanaudit/direction"
+	defer close(out)
+	for _, v := range vs {
+		out <- v
+	}
+}
+
+// Pump already declares both directions — nothing to claim.
+func Pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// Handoff lets the channel escape as a value: no direction claim.
+func Handoff(ch chan int) chan int { return ch }
+
+// Mixed uses both directions: bidirectional is the honest type.
+func Mixed(ch chan int) int {
+	ch <- 1
+	return <-ch
+}

@@ -1,0 +1,86 @@
+// Package ctxx is the ctxflow fixture: forged root contexts, and
+// blocking channel ops on the request path without a cancellation
+// arm.
+package ctxx
+
+import "context"
+
+// Detach mints a root context in a library package.
+func Detach() context.Context {
+	return context.Background() // want "ctxflow/background"
+}
+
+// Todo is the other spelling of the same mistake.
+func Todo() context.Context {
+	return context.TODO() // want "ctxflow/background"
+}
+
+// Server's Handle* methods are the fixture's configured request-path
+// roots.
+type Server struct {
+	jobs chan int
+	done chan struct{}
+}
+
+// Handle is compliant: the blocking send sits in a select with a
+// ctx.Done() arm.
+func (s *Server) Handle(ctx context.Context, v int) error {
+	select {
+	case s.jobs <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// HandleBare sends with no select at all.
+func (s *Server) HandleBare(v int) {
+	s.jobs <- v // want "ctxflow/bare-op"
+}
+
+// HandleNoCancel selects, but every arm is work — nothing can cancel.
+func (s *Server) HandleNoCancel(v int) {
+	select { // want "ctxflow/no-cancel-arm"
+	case s.jobs <- v:
+	case s.jobs <- v + 1:
+	}
+}
+
+// HandleTry is compliant: the default arm makes it non-blocking.
+func (s *Server) HandleTry(v int) bool {
+	select {
+	case s.jobs <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// HandleShutdownArm is compliant: a conventionally named shutdown
+// channel is a cancellation arm.
+func (s *Server) HandleShutdownArm(v int) {
+	select {
+	case s.jobs <- v:
+	case <-s.done:
+	}
+}
+
+// HandleNested reaches a bare receive through a helper: the contract
+// follows the call graph, not just the root's own body.
+func (s *Server) HandleNested() int {
+	return s.pull()
+}
+
+func (s *Server) pull() int {
+	return <-s.jobs // want "ctxflow/bare-op"
+}
+
+// Consume is compliant: ranging over a channel ends at close, whose
+// single owner chanaudit certifies separately.
+func (s *Server) Consume() int {
+	total := 0
+	for v := range s.jobs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,77 @@
+// Package leakx is the goleak fixture: every go statement needs join
+// evidence — a waitgroup Add/Done pair or a channel the spawner
+// receives from.
+package leakx
+
+import "sync"
+
+// Forget spawns a dynamic function value with no evidence at all.
+func Forget(work func()) {
+	go work() // want "goleak/unjoined"
+}
+
+// ForgetLit spawns a literal nobody ever joins.
+func ForgetLit(n *int) {
+	go func() { *n++ }() // want "goleak/unjoined"
+}
+
+// Joined is the canonical waitgroup shape: Add before the spawn, Done
+// in the body, Wait after.
+func Joined(items []int) int {
+	var wg sync.WaitGroup
+	total := make([]int, len(items))
+	wg.Add(len(items))
+	for i, it := range items {
+		go func(i, it int) {
+			defer wg.Done()
+			total[i] = it * it
+		}(i, it)
+	}
+	wg.Wait()
+	n := 0
+	for _, t := range total {
+		n += t
+	}
+	return n
+}
+
+// Pool spawns a named method; the evidence resolves through the
+// callee's declaration.
+type Pool struct {
+	wg   sync.WaitGroup
+	feed chan int
+}
+
+// Start registers the workers before spawning them; run's Done is the
+// other half of the pair.
+func (p *Pool) Start(workers int) {
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+	for range p.feed {
+	}
+}
+
+// DoneChannel joins through a channel: the body's send is received by
+// the spawner.
+func DoneChannel(f func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- f() }()
+	return <-errc
+}
+
+// AddInside registers from inside the spawned body — a race, not
+// evidence: the spawner can reach Wait before Add runs.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() { // want "goleak/unjoined"
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

@@ -9,6 +9,8 @@ func Ignored(path string) {
 	//lint:ignore errdrop/ignored cleanup of a scratch file is best-effort
 	os.Remove(path)
 	os.Remove(path) //lint:ignore errdrop bare analyzer name suppresses all its rules
+	//lint:ignore errdrop/* an analyzer-id glob suppresses every matching rule
+	os.Remove(path)
 	//lint:ignore errdrop
 	os.Remove(path) // want "os\.Remove includes an error" — an ignore without a reason is not honored
 	os.Remove(path) // want "os\.Remove includes an error"

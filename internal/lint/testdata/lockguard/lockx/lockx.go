@@ -1,0 +1,141 @@
+// Package lockx is the lockguard fixture: annotation discipline,
+// lock-set access checking, and the hold-across-blocking-op rule (the
+// breaker-wedge bug class).
+package lockx
+
+import "sync"
+
+// Store carries the canonical annotation on its mutex field.
+type Store struct {
+	mu    sync.Mutex // guards: n, items
+	n     int
+	items []int
+	out   chan int
+}
+
+// Add accesses both guarded fields under the lock.
+func (s *Store) Add(v int) {
+	s.mu.Lock()
+	s.n++
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+}
+
+// Len holds the lock through a defer to function end.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Racy reads a guarded field with no lock at all.
+func (s *Store) Racy() int {
+	return s.n // want "lockguard/unguarded-access"
+}
+
+// AfterUnlock keeps reading once the lock is gone.
+func (s *Store) AfterUnlock() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n + s.n // want "lockguard/unguarded-access"
+}
+
+// Spawn leaks a guarded access onto another goroutine: the literal
+// body starts with an empty lock set.
+func (s *Store) Spawn(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n++ // want "lockguard/unguarded-access"
+		done <- struct{}{}
+	}()
+}
+
+// Publish blocks on a channel send while holding the lock — the wedge.
+func (s *Store) Publish() {
+	s.mu.Lock()
+	s.out <- s.n // want "lockguard/hold-blocking"
+	s.mu.Unlock()
+}
+
+// Drain blocks on a receive while holding the lock.
+func (s *Store) Drain(in chan int) {
+	s.mu.Lock()
+	v := <-in // want "lockguard/hold-blocking"
+	s.n += v
+	s.mu.Unlock()
+}
+
+// Park blocks on a select with no default arm while holding the lock.
+func (s *Store) Park(stop chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "lockguard/hold-blocking"
+	case s.out <- s.n:
+	case <-stop:
+	}
+}
+
+// TryPublish is the compliant shape: the select's default arm makes
+// the send non-blocking, so holding the lock across it is fine.
+func (s *Store) TryPublish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.out <- s.n:
+	default:
+	}
+}
+
+// Wedge calls a configured blocking entry point under the lock.
+func (s *Store) Wedge(run func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return execBackend(run) // want "lockguard/hold-blocking"
+}
+
+// Safe drops the lock before the blocking call.
+func (s *Store) Safe(run func() error) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_ = n
+	return execBackend(run)
+}
+
+// execBackend stands in for pipeline.Exec in the fixture config.
+func execBackend(run func() error) error { return run() }
+
+// RW exercises the read-lock side of an RWMutex annotation, declared
+// in a doc comment above the field.
+type RW struct {
+	// guards: m
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get reads the guarded map under the read lock.
+func (r *RW) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Naked has no guards: annotation at all.
+type Naked struct {
+	mu sync.Mutex // want "lockguard/annotation"
+	n  int
+}
+
+// Free uses `guards: none` for a lock protecting no sibling field.
+type Free struct {
+	mu sync.Mutex // guards: none
+}
+
+// Typo annotates a field that does not exist.
+type Typo struct {
+	// guards: count
+	mu sync.Mutex // want "lockguard/unknown-field"
+	n  int
+}

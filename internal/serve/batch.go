@@ -139,10 +139,13 @@ func batchContext(batch []*request) (context.Context, context.CancelFunc) {
 			latest = ns
 		}
 	}
-	if !bounded {
-		return context.WithCancel(context.Background())
-	}
-	// A fresh deadline context (not a member's own) so one member's
+	// Derive from a member context with cancellation detached
+	// (ctxflow/background: never mint a root context in a library):
+	// the batch keeps the request-scoped values but one member's
 	// disconnect cannot cancel its batch siblings.
-	return context.WithDeadline(context.Background(), unixNano(latest))
+	base := context.WithoutCancel(batch[0].ctx)
+	if !bounded {
+		return context.WithCancel(base)
+	}
+	return context.WithDeadline(base, unixNano(latest))
 }

@@ -16,9 +16,9 @@ const (
 // and lets exactly one probe batch through: a probe success closes the
 // breaker, a probe failure re-opens it for another cooldown.
 type breaker struct {
-	mu        sync.Mutex
-	threshold int
-	cooldown  int
+	mu        sync.Mutex // guards: state, fails, shed, probing, trips, probes, recovers
+	threshold int        // immutable after newBreaker
+	cooldown  int        // immutable after newBreaker
 
 	state    string
 	fails    int // consecutive failures while closed

@@ -171,20 +171,20 @@ type Server struct {
 	// workWG tracks the dispatcher and the workers.
 	workWG sync.WaitGroup
 
-	mu       sync.Mutex // guards draining and seq
+	mu       sync.Mutex // guards: draining, seq
 	draining bool
 	seq      uint64
 
 	stats   *Stats
 	breaker *breaker
 
-	cacheMu sync.Mutex
+	cacheMu sync.Mutex // guards: cache
 	cache   map[string]runReply
 
-	engineMu sync.Mutex
+	engineMu sync.Mutex // guards: engines
 	engines  map[string]flexflow.Engine
 
-	kernelMu sync.Mutex
+	kernelMu sync.Mutex // guards: kernels
 	kernels  map[string][]*flexflow.Kernel4
 }
 

@@ -13,8 +13,12 @@ const latencySamples = 4096
 // Stats is the server's live counter set. All methods are safe for
 // concurrent use; snapshot() renders a consistent copy for /statz.
 type Stats struct {
+	// guards: admitted, rejectedFull, rejectedDrain, ok, badRequest,
+	// overload, unavailable, timeout, internal, inFlight, batches,
+	// batchedImages, maxBatch, retries, backoffNS, degradedCache,
+	// degradedAnalytic, shed, breakerTrips, lat, latIdx, latCount
 	mu       sync.Mutex
-	queueCap int
+	queueCap int // immutable after newStats
 
 	admitted      int64
 	rejectedFull  int64
