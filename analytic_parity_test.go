@@ -1,0 +1,200 @@
+package flexflow
+
+// The ModeAnalytic parity contract (DESIGN.md §10): wherever the
+// analytic fast path claims a counter, the cycle-accurate simulators
+// are the oracle. These tests pin that contract on the full Table 1
+// workload set across all five engines — through the shape-keyed
+// cache, so the memoized path (not just the direct Model call) is what
+// gets certified — and end to end on the chaining workloads, where the
+// analytic Exec walk must reproduce the simulated run's counters and
+// pool cycles bit for bit.
+
+import (
+	"reflect"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tensor"
+	"flexflow/internal/tiling"
+)
+
+// parityEngines declares, per engine, which counters its Model
+// guarantees against Simulate (the same lists as the pipeline's
+// randomized parity test).
+var parityEngines = []struct {
+	name     string
+	build    func() arch.Engine
+	counters []string
+}{
+	{"FlexFlow", func() arch.Engine { return core.New(4) },
+		[]string{"Cycles", "MACs", "NeuronLoads", "NeuronStores", "KernelLoads",
+			"LocalReads", "LocalWrites", "DRAMReads"}},
+	{"Systolic", func() arch.Engine { return systolic.New(4, 3) },
+		[]string{"Cycles", "MACs", "NeuronLoads", "NeuronStores", "KernelLoads", "InterPEMoves"}},
+	{"2D-Mapping", func() arch.Engine { return mapping2d.New(4) },
+		[]string{"Cycles", "NeuronLoads", "KernelLoads", "InterPEMoves", "NeuronStores"}},
+	{"Tiling", func() arch.Engine { return tiling.New(4, 3) },
+		[]string{"Cycles", "MACs", "NeuronLoads", "NeuronStores", "KernelLoads", "LocalReads"}},
+	{"Row-Stationary", func() arch.Engine { return rowstat.New(6, 5) },
+		[]string{"Cycles", "MACs", "NeuronLoads", "NeuronStores", "KernelLoads", "InterPEMoves"}},
+}
+
+// layerCounter reads one named counter off a LayerResult.
+func layerCounter(t *testing.T, lr LayerResult, name string) int64 {
+	t.Helper()
+	switch name {
+	case "Cycles":
+		return lr.Cycles
+	case "MACs":
+		return lr.MACs
+	case "NeuronLoads":
+		return lr.NeuronLoads
+	case "NeuronStores":
+		return lr.NeuronStores
+	case "KernelLoads":
+		return lr.KernelLoads
+	case "LocalReads":
+		return lr.LocalReads
+	case "LocalWrites":
+		return lr.LocalWrites
+	case "InterPEMoves":
+		return lr.InterPEMoves
+	case "DRAMReads":
+		return lr.DRAMReads
+	}
+	t.Fatalf("unknown counter %s", name)
+	return 0
+}
+
+// shrinkForSim caps a Table 1 layer to a cycle-simulable size while
+// preserving its kernel geometry and stride — the shape features the
+// analytic models branch on. The mapping is deterministic, so the
+// parity set is stable across runs.
+func shrinkForSim(l nn.ConvLayer) nn.ConvLayer {
+	s := l
+	if s.M > 6 {
+		s.M = 6
+	}
+	if s.N > 4 {
+		s.N = 4
+	}
+	if s.S > 8 {
+		s.S = 8
+	}
+	return s
+}
+
+// TestAnalyticParityTable1 is the cross-engine parity gate of the
+// tentpole: for every CONV layer of every Table 1 workload (plus the
+// paper's worked Example), on every engine that accepts the layer, the
+// memoized analytic result — a cache hit, not just a direct Model call
+// — must agree exactly with the cycle-accurate simulator on the
+// engine's guaranteed counter set. Layers are deterministically shrunk
+// so the simulators stay fast; kernel geometry and stride survive the
+// shrink.
+func TestAnalyticParityTable1(t *testing.T) {
+	nws := Workloads()
+	if ex, err := Workload("Example"); err == nil {
+		nws = append(nws, ex)
+	}
+	if len(nws) < 6 {
+		t.Fatalf("Table 1 set too small: %d workloads", len(nws))
+	}
+	for _, tc := range parityEngines {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.build()
+			cache := NewLayerCache(256)
+			checked := 0
+			for _, nw := range nws {
+				for _, full := range nw.ConvLayers() {
+					l := shrinkForSim(full)
+					if err := arch.CheckLayers(e, []nn.ConvLayer{l}); err != nil {
+						continue // engine rejects the shape (e.g. stride on a rigid baseline)
+					}
+					in := tensor.NewMap3(l.N, l.InSize(), l.InSize())
+					in.FillPattern(7)
+					k := tensor.NewKernel4(l.M, l.N, l.K)
+					k.FillPattern(8)
+					_, sim, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l, Input: in, Kernel: k})
+					if err != nil {
+						t.Fatalf("%s %s: simulate: %v", nw.Name, l.Name, err)
+					}
+					// Prime the cache, then assert on the hit.
+					if _, _, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l, Cache: cache}); err != nil {
+						t.Fatalf("%s %s: model: %v", nw.Name, l.Name, err)
+					}
+					_, hit, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l, Cache: cache})
+					if err != nil {
+						t.Fatalf("%s %s: cached model: %v", nw.Name, l.Name, err)
+					}
+					for _, name := range tc.counters {
+						if s, m := layerCounter(t, sim, name), layerCounter(t, hit, name); s != m {
+							t.Errorf("%s %s: %s sim=%d analytic=%d", nw.Name, l.Name, name, s, m)
+						}
+					}
+					checked++
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no layer was checked")
+			}
+			if s := cache.Stats(); s.Hits == 0 {
+				t.Fatalf("parity never exercised the cache-hit path: %+v", s)
+			}
+		})
+	}
+}
+
+// TestAnalyticExecMatchesSimulatedExec pins the end-to-end contract on
+// the chaining workloads: the whole-network analytic walk must agree
+// with the functional cycle-level run on every per-layer counter set
+// and on the pooling unit's cycles, while computing no output.
+func TestAnalyticExecMatchesSimulatedExec(t *testing.T) {
+	for _, name := range []string{"Example", "LeNet-5"} {
+		nw, err := Workload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels := RandomKernels(nw, 3)
+		input := RandomInput(nw, 4)
+		simRes, err := ExecuteOpts(nw, input, kernels, 8, Options{})
+		if err != nil {
+			t.Fatalf("%s simulate: %v", name, err)
+		}
+		cache := NewLayerCache(64)
+		for round := 0; round < 2; round++ { // round 1 answers from the cache
+			anaRes, err := ExecuteOpts(nw, nil, nil, 8, Options{Mode: ModeAnalytic, Cache: cache})
+			if err != nil {
+				t.Fatalf("%s analytic round %d: %v", name, round, err)
+			}
+			if anaRes.Output != nil {
+				t.Fatalf("%s: analytic run produced feature maps", name)
+			}
+			if len(anaRes.Layers) != len(simRes.Layers) {
+				t.Fatalf("%s: %d analytic layers vs %d simulated", name, len(anaRes.Layers), len(simRes.Layers))
+			}
+			for i := range simRes.Layers {
+				if !reflect.DeepEqual(simRes.Layers[i], anaRes.Layers[i]) {
+					t.Errorf("%s layer %d round %d:\nsim %+v\nana %+v",
+						name, i, round, simRes.Layers[i], anaRes.Layers[i])
+				}
+			}
+			if simRes.PoolCycles != anaRes.PoolCycles {
+				t.Errorf("%s round %d: pool cycles sim=%d ana=%d", name, round, simRes.PoolCycles, anaRes.PoolCycles)
+			}
+			if simRes.Cycles() != anaRes.Cycles() {
+				t.Errorf("%s round %d: total cycles sim=%d ana=%d", name, round, simRes.Cycles(), anaRes.Cycles())
+			}
+		}
+		if s := cache.Stats(); s.Hits == 0 || s.Misses == 0 {
+			t.Fatalf("%s: cache rounds did not exercise miss+hit: %+v", name, s)
+		}
+	}
+}

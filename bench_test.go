@@ -284,6 +284,60 @@ func BenchmarkRunModel(b *testing.B) {
 			}
 		})
 	}
+	// The memoized path: a shared shape-keyed cache is primed by one
+	// cold run, then every iteration answers each CONV layer from the
+	// store. scripts/bench_gate.sh holds this row to a ≥10x same-process
+	// speedup over the cold workers=1 row.
+	b.Run("cache=warm", func(b *testing.B) {
+		cache := NewLayerCache(64)
+		if _, err := RunOpts(e, nw, Options{Workers: 1, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := RunOpts(e, nw, Options{Workers: 1, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Cycles() == 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	})
+}
+
+// BenchmarkExecuteAnalytic times the whole-network analytic walk
+// (ModeAnalytic: closed-form models, no feature maps) on LeNet-5,
+// cold and through a warm layer cache — the serving fast path behind
+// POST /v1/run {"mode":"analytic"}.
+func BenchmarkExecuteAnalytic(b *testing.B) {
+	nw, err := Workload("LeNet-5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cache *LayerCache) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := ExecuteOpts(nw, nil, nil, 8, Options{Mode: ModeAnalytic, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cycles() == 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	}
+	b.Run("cache=off", func(b *testing.B) { run(b, nil) })
+	b.Run("cache=warm", func(b *testing.B) {
+		cache := NewLayerCache(64)
+		if _, err := ExecuteOpts(nw, nil, nil, 8, Options{Mode: ModeAnalytic, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, cache)
+	})
 }
 
 // BenchmarkExecuteBatch times a whole batch of images through the

@@ -48,6 +48,7 @@ func main() {
 	faultEvery := flag.Int("fault-every", 0, "chaos: fault-inject every Nth admitted execute request (0 = off)")
 	faultN := flag.Int("fault-n", 4, "chaos: fault events per injected plan")
 	faultSeed := flag.Uint64("fault-seed", 7, "chaos: plan seed")
+	layerCache := flag.Int("layer-cache", 256, "analytic layer-result cache capacity (0 or negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -target instead of serving")
@@ -60,6 +61,12 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	// Config treats 0 as "use the default"; the flag's 0 means "off".
+	lcCap := *layerCache
+	if lcCap <= 0 {
+		lcCap = -1
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -79,6 +86,7 @@ func main() {
 		FaultEvery:       *faultEvery,
 		FaultN:           *faultN,
 		FaultSeed:        *faultSeed,
+		LayerCacheCap:    lcCap,
 		// The serving core is clockless by construction (detsim); real
 		// time enters only here.
 		Now:   time.Now,

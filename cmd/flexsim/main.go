@@ -48,7 +48,16 @@ func main() {
 	describe := flag.Bool("describe", false, "print the FlexFlow engine's schedule description per layer")
 	bandwidth := flag.Float64("bandwidth", 0, "DRAM bandwidth in GB/s for wall-clock accounting (0 = compute-only cycles)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration via the watchdog context, e.g. 30s (0 = no limit)")
+	mode := flag.String("mode", "model", "evaluation mode: model (per-CONV-layer table) or analytic (whole-network closed-form walk incl. POOL/FC accounting, FlexFlow engine)")
+	cacheCap := flag.Int("cache", 0, "analytic layer-result cache capacity, shared across the run (0 disables memoization)")
 	flag.Parse()
+
+	if *mode != "model" && *mode != "analytic" {
+		log.Fatalf("unknown -mode %q (want model or analytic)", *mode)
+	}
+	// One cache for the whole invocation: repeated shapes (VGG blocks,
+	// -all sweeps) hit it; nil when disabled.
+	cache := flexflow.NewLayerCache(*cacheCap)
 
 	// The -timeout context reaches every engine through the pipeline's
 	// watchdog: the run stops at the next schedule boundary and comes
@@ -87,6 +96,16 @@ func main() {
 		return
 	}
 
+	if *mode == "analytic" {
+		if err := runAnalytic(ctx, nw, *scale, cache); err != nil {
+			if errors.Is(err, flexflow.ErrCancelled) {
+				log.Fatalf("timed out after %v: %v", *timeout, err)
+			}
+			log.Fatal(err)
+		}
+		return
+	}
+
 	arches := []flexflow.Arch{flexflow.Arch(*archName)}
 	if *all {
 		arches = flexflow.Arches()
@@ -96,7 +115,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := flexflow.RunOpts(engine, nw, flexflow.Options{Context: ctx})
+		run, err := flexflow.RunOpts(engine, nw, flexflow.Options{Context: ctx, Cache: cache})
 		if err != nil {
 			if errors.Is(err, flexflow.ErrCancelled) {
 				log.Fatalf("timed out after %v: %v", *timeout, err)
@@ -155,6 +174,42 @@ func main() {
 			fmt.Println(pt)
 		}
 	}
+}
+
+// runAnalytic evaluates the whole network — CONV, POOL and FC stages —
+// from the closed-form models on the FlexFlow engine: the execute
+// path's counters (including pool cycles) without computing a single
+// feature map.
+func runAnalytic(ctx context.Context, nw *flexflow.Network, scale int, cache *flexflow.LayerCache) error {
+	res, err := flexflow.ExecuteOpts(nw, nil, nil, scale, flexflow.Options{
+		Context: ctx,
+		Mode:    flexflow.ModeAnalytic,
+		Cache:   cache,
+	})
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("%s analytic on FlexFlow (%dx%d scale)", nw.Name, scale, scale),
+		"Layer", "Factors", "Cycles", "Util", "GOPS", "Buf->PE words", "DRAM words")
+	for _, l := range res.Layers {
+		tb.Add(l.Layer.Name,
+			l.Factors.String(),
+			fmt.Sprintf("%d", l.Cycles),
+			metrics.Pct(l.Utilization()),
+			fmt.Sprintf("%.1f", l.GOPS(flexflow.ClockHz)),
+			fmt.Sprintf("%d", l.DataVolume()),
+			fmt.Sprintf("%d", l.DRAMReads+l.DRAMWrites))
+	}
+	fmt.Fprintln(os.Stdout, tb)
+	fmt.Printf("total: %d cycles (%d pooling), %d layers\n",
+		res.Cycles(), res.PoolCycles, len(res.Layers))
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("cache: %d/%d entries, %d hits, %d misses, %d evictions\n",
+			cs.Entries, cs.Capacity, cs.Hits, cs.Misses, cs.Evictions)
+	}
+	return nil
 }
 
 // resolveNetwork picks the network from -layer, -spec or -workload, in

@@ -83,6 +83,47 @@ func ExecuteTraced(nw *Network, input *Map3, kernels []*Kernel4, scale int, trac
 	return ExecuteOpts(nw, input, kernels, scale, Options{Tracer: tracer}, fcWeights...)
 }
 
+// Mode selects how an Execute run answers: by cycle-level simulation
+// of the PE-array dataflow (the default), or analytically from the
+// closed-form cycle/energy models.
+type Mode string
+
+const (
+	// ModeSimulate is the default: every CONV/FC layer runs through the
+	// engine's cycle-level simulator and produces real feature maps.
+	ModeSimulate Mode = "simulate"
+	// ModeAnalytic answers from the closed-form models: per-layer
+	// counters and pool cycles are bit-identical to the simulated run
+	// (the cross-engine parity test pins this), but no feature maps are
+	// computed (ExecResult.Output is nil), operand tensors are optional,
+	// and fault plans never fire. Orders of magnitude faster.
+	ModeAnalytic Mode = "analytic"
+)
+
+// checkMode validates a Mode ("" means ModeSimulate).
+func checkMode(m Mode) error {
+	switch m {
+	case "", ModeSimulate, ModeAnalytic:
+		return nil
+	}
+	return invalid("unknown mode %q", string(m))
+}
+
+// LayerCache is the bounded, shape-keyed memo of analytic layer
+// results. One cache may be shared across runs, engines and goroutines
+// (it is safe for concurrent use); eviction is deterministic — the
+// lexicographically smallest keys survive — so cache contents are a
+// pure function of the layers offered, at any worker count. Create one
+// with NewLayerCache and pass it through Options.Cache.
+type LayerCache = pipeline.Cache
+
+// LayerCacheStats is a point-in-time snapshot of a LayerCache.
+type LayerCacheStats = pipeline.CacheStats
+
+// NewLayerCache returns a cache bounded to capacity analytic layer
+// entries; capacity < 1 returns nil, which disables memoization.
+func NewLayerCache(capacity int) *LayerCache { return pipeline.NewCache(capacity) }
+
 // Options bundles the robustness controls of an Execute run. The zero
 // value is the plain fast path: no cancellation, no cycle bound, no
 // faults, no tracing, serial-equivalent scheduling.
@@ -104,6 +145,12 @@ type Options struct {
 	// 0 means GOMAXPROCS, 1 serial. Results are bit-identical at any
 	// setting.
 	Workers int
+	// Mode selects cycle-level simulation (default) or the analytic
+	// fast path; see ModeAnalytic for the contract.
+	Mode Mode
+	// Cache, when non-nil, memoizes analytic layer results (RunOpts
+	// layers and ModeAnalytic runs; simulation never consults it).
+	Cache *LayerCache
 }
 
 // ExecuteOpts is Execute with robustness controls: context
@@ -127,10 +174,14 @@ func executeOpts(nw *Network, input *Map3, kernels []*Kernel4, scale int, opts O
 	if scale <= 0 {
 		return ExecResult{}, invalid("scale must be positive, got %d", scale)
 	}
+	if err := checkMode(opts.Mode); err != nil {
+		return ExecResult{}, err
+	}
 	job := pipeline.NetworkJob{Network: nw, Input: input, Kernels: kernels, FCWeights: fcWeights}
 	// Validate before planning: a malformed job must come back as
-	// ErrInvalidConfig, never reach the compiler.
-	if err := job.Validate(); err != nil {
+	// ErrInvalidConfig, never reach the compiler. The analytic mode
+	// relaxes the operand requirements (tensors are optional there).
+	if err := validateJob(job, opts.Mode); err != nil {
 		return ExecResult{}, fromPipeline(err)
 	}
 
@@ -144,6 +195,14 @@ func executeOpts(nw *Network, input *Map3, kernels []*Kernel4, scale int, opts O
 	return fromOutcome(out), nil
 }
 
+// validateJob runs the mode-appropriate validation stage.
+func validateJob(job pipeline.NetworkJob, mode Mode) error {
+	if mode == ModeAnalytic {
+		return job.ValidateAnalytic()
+	}
+	return job.Validate()
+}
+
 // pipelineOptions translates the public run controls into the pipeline
 // form, arming a fresh injector when a fault plan is installed.
 func pipelineOptions(opts Options) pipeline.Options {
@@ -152,6 +211,8 @@ func pipelineOptions(opts Options) pipeline.Options {
 		MaxCycles: opts.MaxCycles,
 		Tracer:    opts.Tracer,
 		Workers:   opts.Workers,
+		Analytic:  opts.Mode == ModeAnalytic,
+		Cache:     opts.Cache,
 	}
 	if opts.Plan != nil {
 		po.Injector = fault.NewInjector(opts.Plan)
@@ -301,13 +362,16 @@ func ExecuteBatchOpts(nw *Network, inputs []*Map3, kernels []*Kernel4, scale int
 		if scale <= 0 {
 			return invalid("scale must be positive, got %d", scale)
 		}
+		if err := checkMode(opts.Mode); err != nil {
+			return err
+		}
 		jobs := make([]pipeline.NetworkJob, len(inputs))
 		for i, in := range inputs {
 			jobs[i] = pipeline.NetworkJob{Network: nw, Input: in, Kernels: kernels, FCWeights: fcWeights}
 			// Validate up front so a malformed image fails as
 			// ErrInvalidConfig before the compiler plans anything, and the
 			// failing index does not depend on scheduling.
-			if err := jobs[i].Validate(); err != nil {
+			if err := validateJob(jobs[i], opts.Mode); err != nil {
 				return &BatchError{Index: i, Err: fromPipeline(err)}
 			}
 		}

@@ -182,6 +182,7 @@ func RunOpts(e Engine, nw *Network, opts Options) (RunResult, error) {
 			Context:   opts.Context,
 			MaxCycles: opts.MaxCycles,
 			Workers:   opts.Workers,
+			Cache:     opts.Cache,
 		})
 		return fromPipeline(err)
 	})

@@ -1,0 +1,57 @@
+package arch
+
+import (
+	"strconv"
+
+	"flexflow/internal/nn"
+)
+
+// Canonical cache-key encoding shared by every engine's LayerCacheKey.
+// Each field is rendered in decimal and terminated with '|', so two
+// adjacent integers can never alias across the boundary (M=1,N=12 and
+// M=11,N=2 encode as "1|12|" and "11|2|"). Engines build the key into
+// a locally owned byte slice; the helpers only ever append.
+
+// AppendKeyString appends a string field and its terminator.
+func AppendKeyString(b []byte, s string) []byte {
+	b = append(b, s...)
+	return append(b, '|')
+}
+
+// AppendKeyInt appends a decimal integer field and its terminator.
+func AppendKeyInt(b []byte, v int64) []byte {
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '|')
+}
+
+// AppendKeyBool appends a boolean field as 0/1 and its terminator.
+func AppendKeyBool(b []byte, v bool) []byte {
+	if v {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	return append(b, '|')
+}
+
+// AppendKeyFactors appends an unrolling-factor tuple field by field.
+func AppendKeyFactors(b []byte, t T) []byte {
+	b = AppendKeyInt(b, int64(t.Tm))
+	b = AppendKeyInt(b, int64(t.Tn))
+	b = AppendKeyInt(b, int64(t.Tr))
+	b = AppendKeyInt(b, int64(t.Tc))
+	b = AppendKeyInt(b, int64(t.Ti))
+	return AppendKeyInt(b, int64(t.Tj))
+}
+
+// AppendLayerKey appends the analytically relevant shape of a CONV
+// layer: M, N, S, K and the effective stride. Name is excluded on
+// purpose — same-shape layers share one cache entry — and ReLU is
+// excluded because it changes neither cycles nor dataflow (nn docs).
+func AppendLayerKey(b []byte, l nn.ConvLayer) []byte {
+	b = AppendKeyInt(b, int64(l.M))
+	b = AppendKeyInt(b, int64(l.N))
+	b = AppendKeyInt(b, int64(l.S))
+	b = AppendKeyInt(b, int64(l.K))
+	return AppendKeyInt(b, int64(l.Str()))
+}

@@ -107,6 +107,35 @@ func (e *Engine) Name() string { return "FlexFlow" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.D * e.D }
 
+// LayerCacheKey implements the pipeline's CacheKeyer: the canonical
+// memo key covers everything Model reads — the engine kind, the full
+// architectural configuration (array edge, store and buffer
+// capacities, dataflow-optimization ablation bits), the chosen
+// unrolling factors (which capture exactly what Model consumes from
+// the installed Chooser, compiled or default), the observer arming
+// state, and the layer shape. Name and ReLU are excluded (see
+// arch.AppendLayerKey); the watchdog is excluded because it never
+// changes Model's output, only whether a run is allowed to finish.
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	if e.Chooser == nil {
+		return "", false
+	}
+	b := make([]byte, 0, 96)
+	b = arch.AppendKeyString(b, e.Name())
+	b = arch.AppendKeyInt(b, int64(e.D))
+	b = arch.AppendKeyInt(b, int64(e.NeuronStoreWords))
+	b = arch.AppendKeyInt(b, int64(e.KernelStoreWords))
+	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b = arch.AppendKeyBool(b, e.RA)
+	b = arch.AppendKeyBool(b, e.RS)
+	b = arch.AppendKeyBool(b, e.IPDR)
+	b = arch.AppendKeyBool(b, e.Tracer != nil)
+	b = arch.AppendKeyBool(b, e.Injector != nil)
+	b = arch.AppendKeyFactors(b, e.Chooser(l))
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}
+
 // schedule is the concrete execution schedule of one layer: the
 // unrolling factors plus the input-map chunking that keeps the per-PE
 // working set inside the local stores. Each PE consumes one operand

@@ -35,6 +35,41 @@ type microScratch struct {
 	// length, so stale contents are unreachable; counters and fault
 	// hooks are reset explicitly below.
 	rows []*Row
+
+	// banks is the IADP staging buffer, rebuilt only when the layout
+	// partition or capacity changes. Stale words are unreachable on
+	// reuse: the staging loop writes every input coordinate each call,
+	// and reads only ever address input coordinates.
+	banks *mem.BankedBuffer
+
+	// psum is the partial-sum accumulator, zeroed on reuse.
+	psum []fixed.Acc
+}
+
+// iadpBanks returns the reusable IADP banked buffer for the given
+// partition geometry, with access counters zeroed and any fault hooks
+// from a previous run cleared.
+func (e *Engine) iadpBanks(groups, subs, lanes, totalWords int) *mem.BankedBuffer {
+	b := e.micro.banks
+	if b == nil || b.Groups != groups || b.Subs != subs ||
+		b.BanksPerSub != lanes || b.TotalWords() != totalWords {
+		b = mem.NewBankedBuffer(groups, subs, lanes, totalWords)
+		e.micro.banks = b
+		return b
+	}
+	b.ResetCounters()
+	return b
+}
+
+// psumScratch returns the reusable partial-sum buffer, zeroed, growing
+// the backing array only at a new high-water size.
+func (e *Engine) psumScratch(n int) []fixed.Acc {
+	if cap(e.micro.psum) < n {
+		e.micro.psum = make([]fixed.Acc, n)
+	}
+	p := e.micro.psum[:n]
+	clear(p)
+	return p
 }
 
 // physRows returns the reusable physical PE rows for the engine's
@@ -108,7 +143,7 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 	colsPerLane := (layout.W + layout.Tj - 1) / layout.Tj
 	mapsPerGroup := (l.N + layout.Tn - 1) / layout.Tn
 	bankWords := mapsPerGroup * rowsPerSub * colsPerLane
-	banks := mem.NewBankedBuffer(layout.Tn, layout.Ti, layout.Tj,
+	banks := e.iadpBanks(layout.Tn, layout.Ti, layout.Tj,
 		layout.Tn*layout.Ti*layout.Tj*bankWords)
 	for n := 0; n < in.N; n++ {
 		for r := 0; r < in.H; r++ {
@@ -122,14 +157,14 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 	physRows := e.physRows()
 
 	out := tensor.NewMap3(l.M, l.S, l.S)
-	psum := make([]fixed.Acc, l.M*l.S*l.S)
+	psum := e.psumScratch(l.M * l.S * l.S)
 	res := arch.LayerResult{Arch: e.Name() + "-micro", Layer: l, Factors: t, PEs: e.PEs()}
 
 	// Fault hooks: the micro path exercises the real component read
 	// ports, so faults are injected where the hardware would see them —
 	// the IADP bank read ports and the per-PE local-store read ports.
-	// The banks are per-call locals; the reused rows had any previous
-	// run's hooks cleared by physRows above.
+	// Both the reused banks (iadpBanks) and the reused rows (physRows)
+	// had any previous run's hooks cleared above.
 	if inj := e.Injector; inj != nil {
 		cycle := func() int64 { return res.Cycles }
 		for g := 0; g < layout.Tn; g++ {

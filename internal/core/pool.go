@@ -29,6 +29,26 @@ func NewPoolUnit(width int) *PoolUnit {
 func (u *PoolUnit) Cycles() int64 { return u.cycles }
 func (u *PoolUnit) Ops() int64    { return u.ops }
 
+// AccountPool charges the unit for pooling an N@H×W stack with
+// non-overlapping P×P windows without computing any values — the
+// analytic pipeline's pooling stage. The validation and the
+// cycle/operation accounting mirror Apply exactly (the counters are a
+// pure function of the shape), which is what lets the analytic run
+// claim bit-identical PoolCycles against the functional one.
+func (u *PoolUnit) AccountPool(n, h, w, p int) error {
+	if p <= 0 {
+		return fmt.Errorf("flexflow: pooling window %d must be positive", p)
+	}
+	if h/p <= 0 || w/p <= 0 {
+		return fmt.Errorf("flexflow: pooling window %d exceeds map %dx%d", p, h, w)
+	}
+	windows := int64(n) * int64(h/p) * int64(w/p)
+	elemsPerWindow := int64(p * p)
+	u.cycles += ((windows + int64(u.Width) - 1) / int64(u.Width)) * elemsPerWindow
+	u.ops += windows * elemsPerWindow
+	return nil
+}
+
 // Apply subsamples the stack with non-overlapping P×P windows. Each
 // window costs P²-1 comparator/adder operations (plus one scale for
 // average pooling); the Width ALUs process windows in parallel, one

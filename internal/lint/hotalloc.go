@@ -410,43 +410,62 @@ func sortedBudgetKeys(m map[string]int) []string {
 // a forgotten shrink fail the suite.
 //
 // What the entries are: MicroSimulate's remaining sites are per-call
-// setup (banks, output tensor, psum) plus cold error returns — its
-// per-pass working set lives on the engine (core.microScratch).
-// Scheduler.Map's three are the fan-out itself (error slots, worker
-// closure, go). Every 1–2-site store/bank accessor is a panic or
-// error path whose fmt call boxes its operands; the hot success
+// setup (the output tensor) plus cold error returns — its per-pass
+// working set, IADP banks, and psum buffer live on the engine
+// (core.microScratch; psumScratch's one site and NewBankedBuffer are
+// the high-water rebuilds). Scheduler.Map's three are the fan-out
+// itself (error slots, worker closure, go). Each LayerCacheKey's one
+// site is the key buffer it returns (the AppendKey helpers' sites are
+// the append growth of that same buffer); Cache.insert's one is the
+// sorted-insert shift. Every 1–2-site store/bank accessor is a panic
+// or error path whose fmt call boxes its operands; the hot success
 // paths are allocation-free.
 func RepoAllocBudget() *AllocBudget {
 	return &AllocBudget{
 		Schema: 1,
 		Module: "flexflow",
 		Roots: []string{
+			"(*flexflow/internal/core.Engine).LayerCacheKey",
 			"(*flexflow/internal/core.Engine).MicroSimulate",
+			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey",
+			"(*flexflow/internal/rowstat.Engine).LayerCacheKey",
+			"(*flexflow/internal/systolic.Engine).LayerCacheKey",
+			"(*flexflow/internal/tiling.Engine).LayerCacheKey",
 			"(flexflow/internal/pipeline.Scheduler).Map",
 			"flexflow/internal/pipeline.RunLayer",
 		},
 		Budget: map[string]int{
-			"(*flexflow/internal/core.Engine).MicroSimulate":    13,
-			"(*flexflow/internal/core.Engine).physRows":         1,
-			"(*flexflow/internal/core.PE).Preload":              2,
-			"(*flexflow/internal/core.Row).Step":                1,
-			"(*flexflow/internal/fault.Injector).StoreReadHook": 1,
-			"(*flexflow/internal/mem.Bank).Read":                1,
-			"(*flexflow/internal/mem.Bank).Write":               1,
-			"(*flexflow/internal/mem.BankedBuffer).Bank":        1,
-			"(*flexflow/internal/mem.LocalStore).Read":          1,
-			"(*flexflow/internal/mem.LocalStore).Write":         1,
-			"(flexflow/internal/arch.T).Validate":               8,
-			"(flexflow/internal/mem.NeuronLayout).Place":        1,
-			"(flexflow/internal/nn.ConvLayer).Validate":         2,
-			"(flexflow/internal/pipeline.Scheduler).Map":        3,
-			"flexflow/internal/core.NewPE":                      1,
-			"flexflow/internal/core.NewRow":                     2,
-			"flexflow/internal/mem.NewBank":                     2,
-			"flexflow/internal/mem.NewBankedBuffer":             3,
-			"flexflow/internal/mem.NewLocalStore":               2,
-			"flexflow/internal/tensor.NewMap2":                  3,
-			"flexflow/internal/tensor.NewMap3":                  2,
+			"(*flexflow/internal/core.Engine).LayerCacheKey":      1,
+			"(*flexflow/internal/core.Engine).MicroSimulate":      12,
+			"(*flexflow/internal/core.Engine).physRows":           1,
+			"(*flexflow/internal/core.Engine).psumScratch":        1,
+			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey": 1,
+			"(*flexflow/internal/pipeline.Cache).insert":          1,
+			"(*flexflow/internal/rowstat.Engine).LayerCacheKey":   1,
+			"(*flexflow/internal/systolic.Engine).LayerCacheKey":  1,
+			"(*flexflow/internal/tiling.Engine).LayerCacheKey":    1,
+			"flexflow/internal/arch.AppendKeyBool":                3,
+			"flexflow/internal/arch.AppendKeyInt":                 1,
+			"flexflow/internal/arch.AppendKeyString":              2,
+			"(*flexflow/internal/core.PE).Preload":                2,
+			"(*flexflow/internal/core.Row).Step":                  1,
+			"(*flexflow/internal/fault.Injector).StoreReadHook":   1,
+			"(*flexflow/internal/mem.Bank).Read":                  1,
+			"(*flexflow/internal/mem.Bank).Write":                 1,
+			"(*flexflow/internal/mem.BankedBuffer).Bank":          1,
+			"(*flexflow/internal/mem.LocalStore).Read":            1,
+			"(*flexflow/internal/mem.LocalStore).Write":           1,
+			"(flexflow/internal/arch.T).Validate":                 8,
+			"(flexflow/internal/mem.NeuronLayout).Place":          1,
+			"(flexflow/internal/nn.ConvLayer).Validate":           2,
+			"(flexflow/internal/pipeline.Scheduler).Map":          3,
+			"flexflow/internal/core.NewPE":                        1,
+			"flexflow/internal/core.NewRow":                       2,
+			"flexflow/internal/mem.NewBank":                       2,
+			"flexflow/internal/mem.NewBankedBuffer":               3,
+			"flexflow/internal/mem.NewLocalStore":                 2,
+			"flexflow/internal/tensor.NewMap2":                    3,
+			"flexflow/internal/tensor.NewMap3":                    2,
 		},
 	}
 }

@@ -68,8 +68,10 @@ type Purity struct {
 }
 
 // NewPurity returns the analyzer configured for this repository: the
-// five engines' Model methods, the arch occupancy/cost helpers the
-// models are built from, and the compiler's chooser factory. The one
+// five engines' Model methods, their LayerCacheKey canonical-key
+// builders (the memoization layer may only key on deterministic
+// state), the arch occupancy/cost helpers the models are built from,
+// and the compiler's chooser factory. The one
 // assumption — the FlexFlow engine's Chooser field — is discharged by
 // certifying (*compiler.Program).Chooser, the only producer the
 // repository wires in (the default is arch.ChooseFactors, also a
@@ -82,6 +84,11 @@ func NewPurity() *Purity {
 			"(*flexflow/internal/rowstat.Engine).Model",
 			"(*flexflow/internal/systolic.Engine).Model",
 			"(*flexflow/internal/tiling.Engine).Model",
+			"(*flexflow/internal/core.Engine).LayerCacheKey",
+			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey",
+			"(*flexflow/internal/rowstat.Engine).LayerCacheKey",
+			"(*flexflow/internal/systolic.Engine).LayerCacheKey",
+			"(*flexflow/internal/tiling.Engine).LayerCacheKey",
 			"(*flexflow/internal/compiler.Program).Chooser",
 			"flexflow/internal/arch.ChooseFactors",
 			"flexflow/internal/arch.ChooseFactorsCoupled",

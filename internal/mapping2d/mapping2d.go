@@ -57,6 +57,19 @@ func (e *Engine) Name() string { return "2D-Mapping" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.D * e.D }
 
+// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
+// array edge, buffer capacity, tracer arming and the layer shape —
+// everything Model reads (see arch.AppendLayerKey for the exclusions).
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	b := make([]byte, 0, 64)
+	b = arch.AppendKeyString(b, e.Name())
+	b = arch.AppendKeyInt(b, int64(e.D))
+	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b = arch.AppendKeyBool(b, e.Tracer != nil)
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}
+
 // blockGrid returns how many D×D blocks tile an S×S output map.
 func (e *Engine) blockGrid(s int) int { return (s + e.D - 1) / e.D }
 

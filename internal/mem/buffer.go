@@ -55,6 +55,15 @@ func (b *Bank) Write(addr int, v fixed.Word) {
 func (b *Bank) Reads() int64  { return b.reads }
 func (b *Bank) Writes() int64 { return b.writes }
 
+// ResetCounters zeroes the access counters and clears any installed
+// read hook, so a reused bank starts a run with clean accounting and a
+// fault-free read port. Contents are left in place — a reuser must
+// overwrite every word it will later read.
+func (b *Bank) ResetCounters() {
+	b.reads, b.writes = 0, 0
+	b.ReadHook = nil
+}
+
 // BankedBuffer is an on-chip buffer divided into groups, sub-groups and
 // banks following In-Advanced Data Placement (IADP, Fig. 12/13): the
 // kernel buffer is partitioned T_m groups × T_r sub-groups × T_c banks;
@@ -108,6 +117,14 @@ func (b *BankedBuffer) Reads() int64 {
 		n += bk.reads
 	}
 	return n
+}
+
+// ResetCounters resets every bank (counters zeroed, read hooks
+// cleared); see Bank.ResetCounters for the contents caveat.
+func (b *BankedBuffer) ResetCounters() {
+	for _, bk := range b.banks {
+		bk.ResetCounters()
+	}
 }
 
 // Writes returns the summed write count of all banks.

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// CacheKeyer is implemented by engines whose analytic evaluation can be
+// memoized: LayerCacheKey returns a canonical key covering everything
+// the engine's Model reads — the engine kind, its architectural
+// configuration, the armed observers (tracer/injector, which change
+// nothing analytically but are kept distinct so an armed run never
+// aliases an unarmed one), and the layer's shape. The layer Name is
+// deliberately excluded: two same-shape layers (conv3/conv4 in a VGG
+// block, or one layer across the images of a batch) share an entry.
+// ok=false declines memoization for this layer (the result is then
+// computed, not cached).
+type CacheKeyer interface {
+	LayerCacheKey(l nn.ConvLayer) (key string, ok bool)
+}
+
+// Cache is a bounded, shape-keyed memo of analytic LayerResults shared
+// across runs, engines and goroutines. Eviction is deterministic by
+// construction rather than by recency: the cache keeps the
+// lexicographically smallest Capacity keys it has ever been offered,
+// so the surviving set is a pure function of the offered key set —
+// independent of insertion order interleaving and therefore identical
+// at any Scheduler worker count (the repo's bit-identical-parallelism
+// contract extends to cache state). The hit/miss/eviction counters are
+// monotonic diagnostics only: concurrent first misses on one key may
+// both compute (the second insert is a no-op), so counter values are
+// not part of the determinism contract — cache *contents* and returned
+// results are.
+type Cache struct {
+	mu        sync.Mutex // guards: entries, keys, hits, misses, evictions
+	cap       int
+	entries   map[string]arch.LayerResult
+	keys      []string // ascending; mirrors entries
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity < 1
+// returns nil (a nil *Cache disables memoization everywhere it is
+// accepted).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		return nil
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]arch.LayerResult, capacity),
+		keys:    make([]string, 0, capacity),
+	}
+}
+
+// lookup returns the memoized result for key, counting the probe.
+func (c *Cache) lookup(key string) (arch.LayerResult, bool) {
+	c.mu.Lock()
+	lr, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return lr, ok
+}
+
+// insert offers a computed result. If the cache is full and key sorts
+// after every resident key the offer is rejected; otherwise the
+// largest resident key is evicted to make room. Inserting a resident
+// key is a no-op, so racing first-misses converge on one entry.
+func (c *Cache) insert(key string, lr arch.LayerResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	i := sort.SearchStrings(c.keys, key)
+	if len(c.keys) >= c.cap {
+		if i == len(c.keys) {
+			c.evictions++
+			return
+		}
+		last := len(c.keys) - 1
+		delete(c.entries, c.keys[last])
+		c.keys = c.keys[:last]
+		c.evictions++
+	}
+	c.keys = append(c.keys, "")
+	copy(c.keys[i+1:], c.keys[i:])
+	c.keys[i] = key
+	c.entries[key] = lr
+}
+
+// CacheStats is a point-in-time snapshot of cache activity.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int
+}
+
+// Stats snapshots the counters; safe on a nil cache (all zero).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	s := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.keys),
+		Capacity:  c.cap,
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Keys returns the resident keys in ascending order — the
+// deterministic survivor set the eviction tests pin.
+func (c *Cache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]string, len(c.keys))
+	copy(out, c.keys)
+	c.mu.Unlock()
+	return out
+}

@@ -1,0 +1,183 @@
+package pipeline_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/core"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/pipeline"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/sim"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+)
+
+// modelVia runs one analytic layer through RunLayer with the cache.
+func modelVia(t *testing.T, e arch.Engine, l nn.ConvLayer, c *pipeline.Cache) arch.LayerResult {
+	t.Helper()
+	_, lr, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l, Cache: c})
+	if err != nil {
+		t.Fatalf("RunLayer %+v: %v", l, err)
+	}
+	return lr
+}
+
+// TestCacheKeyDistinguishesCollidingShapes pins the canonical key's
+// field separators: (M=1, N=12) and (M=11, N=2) concatenate to the
+// same digit string under a sloppy separator-less key, but must be two
+// distinct cache entries with their own results.
+func TestCacheKeyDistinguishesCollidingShapes(t *testing.T) {
+	e := core.New(4)
+	a := nn.ConvLayer{Name: "a", M: 1, N: 12, S: 4, K: 3}
+	b := nn.ConvLayer{Name: "b", M: 11, N: 2, S: 4, K: 3}
+	c := pipeline.NewCache(8)
+
+	ra := modelVia(t, e, a, c)
+	rb := modelVia(t, e, b, c)
+	if s := c.Stats(); s.Entries != 2 || s.Misses != 2 {
+		t.Fatalf("colliding shapes shared an entry: %+v", s)
+	}
+	// Warm probes must return each layer's own counters.
+	if got := modelVia(t, e, a, c); got.Cycles != ra.Cycles || got.MACs != ra.MACs {
+		t.Fatalf("warm a = %+v, cold a = %+v", got, ra)
+	}
+	if got := modelVia(t, e, b, c); got.MACs != rb.MACs {
+		t.Fatalf("warm b = %+v, cold b = %+v", got, rb)
+	}
+	if s := c.Stats(); s.Hits != 2 {
+		t.Fatalf("expected 2 hits, got %+v", s)
+	}
+}
+
+// TestCacheKeySeparatesArmingStates pins the arming bits of the key:
+// the same layer on the same engine with a tracer armed must occupy a
+// distinct entry (an armed run may never alias an unarmed one), and
+// un-arming must map back to the original entry.
+func TestCacheKeySeparatesArmingStates(t *testing.T) {
+	e := core.New(4)
+	l := nn.ConvLayer{Name: "c", M: 3, N: 2, S: 6, K: 3}
+	c := pipeline.NewCache(8)
+
+	modelVia(t, e, l, c)
+	e.SetTracer(&sim.Recorder{})
+	modelVia(t, e, l, c)
+	if s := c.Stats(); s.Entries != 2 || s.Misses != 2 {
+		t.Fatalf("armed run aliased the unarmed entry: %+v", s)
+	}
+	e.SetTracer(nil)
+	modelVia(t, e, l, c)
+	if s := c.Stats(); s.Hits != 1 || s.Entries != 2 {
+		t.Fatalf("un-armed run missed its original entry: %+v", s)
+	}
+}
+
+// TestCacheHitBitIdentical asserts the full memoization contract on
+// every engine: a cache hit returns a LayerResult bit-identical to the
+// cold Model call, including the per-occurrence layer Name (the only
+// field outside the key, restored on hit).
+func TestCacheHitBitIdentical(t *testing.T) {
+	l := nn.ConvLayer{Name: "first", M: 4, N: 3, S: 6, K: 3}
+	twin := l
+	twin.Name = "second"
+	engines := []arch.Engine{
+		core.New(4), systolic.New(4, 3), mapping2d.New(4),
+		tiling.New(4, 3), rowstat.New(6, 5),
+	}
+	for _, e := range engines {
+		c := pipeline.NewCache(8)
+		cold := modelVia(t, e, l, c)
+		warm := modelVia(t, e, l, c)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Errorf("%s: hit diverges from cold Model:\ncold %+v\nwarm %+v", e.Name(), cold, warm)
+		}
+		renamed := modelVia(t, e, twin, c)
+		if renamed.Layer.Name != "second" {
+			t.Errorf("%s: hit kept the cached Name %q", e.Name(), renamed.Layer.Name)
+		}
+		renamed.Layer.Name = l.Name
+		if !reflect.DeepEqual(cold, renamed) {
+			t.Errorf("%s: same-shape twin diverges beyond Name:\ncold %+v\ntwin %+v", e.Name(), cold, renamed)
+		}
+		if s := c.Stats(); s.Entries != 1 || s.Hits != 2 {
+			t.Errorf("%s: same-shape layers did not share one entry: %+v", e.Name(), s)
+		}
+	}
+}
+
+// evictionLayers builds distinct layer shapes, more than the cache cap.
+func evictionLayers(n int) []nn.ConvLayer {
+	out := make([]nn.ConvLayer, n)
+	for i := range out {
+		out[i] = nn.ConvLayer{Name: "l", M: 1 + i%7, N: 1 + i/7, S: 4 + i%5, K: 3}
+	}
+	return out
+}
+
+// TestCacheEvictionDeterministic pins the eviction contract: the
+// survivor set is the lexicographically smallest Capacity keys of the
+// offered set — a pure function of what was offered, independent of
+// insertion order — so any Scheduler worker count leaves bit-identical
+// cache contents.
+func TestCacheEvictionDeterministic(t *testing.T) {
+	e := core.New(4)
+	layers := evictionLayers(40)
+
+	// The full offered key set, from an uncapped cache.
+	full := pipeline.NewCache(len(layers))
+	for _, l := range layers {
+		modelVia(t, e, l, full)
+	}
+	allKeys := full.Keys()
+	if len(allKeys) != len(layers) {
+		t.Fatalf("expected %d distinct keys, got %d", len(layers), len(allKeys))
+	}
+	if !sort.StringsAreSorted(allKeys) {
+		t.Fatal("Keys() is not sorted")
+	}
+	const cap = 16
+	want := allKeys[:cap]
+
+	for _, workers := range []int{1, 2, 8} {
+		c := pipeline.NewCache(cap)
+		sched := pipeline.Scheduler{Workers: workers}
+		err := sched.Map(len(layers), func(i int) error {
+			_, _, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: layers[i], Cache: c})
+			return err
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := c.Keys(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: survivors diverge\ngot  %q\nwant %q", workers, got, want)
+		}
+		if s := c.Stats(); s.Entries != cap {
+			t.Errorf("workers=%d: %d entries, want %d", workers, s.Entries, cap)
+		}
+	}
+}
+
+// TestCacheDisabledAndDeclined covers the off switches: capacity < 1
+// returns a nil cache (zero stats, nil keys), and a nil cache on the
+// job leaves RunLayer on the plain Model path.
+func TestCacheDisabledAndDeclined(t *testing.T) {
+	if c := pipeline.NewCache(0); c != nil {
+		t.Fatal("NewCache(0) should disable the cache")
+	}
+	var c *pipeline.Cache
+	if s := c.Stats(); s != (pipeline.CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	if k := c.Keys(); k != nil {
+		t.Fatalf("nil cache keys = %v", k)
+	}
+	e := core.New(4)
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	_, lr, err := pipeline.RunLayer(e, pipeline.LayerJob{Layer: l})
+	if err != nil || lr.Cycles == 0 {
+		t.Fatalf("uncached path broken: %+v, %v", lr, err)
+	}
+}

@@ -18,6 +18,15 @@ type Pooler interface {
 	Cycles() int64
 }
 
+// AnalyticPooler is the analytic counterpart of Pooler: AccountPool
+// charges the pooling unit for an N@H×W stack without computing any
+// values, with accounting identical to Apply on the same shape.
+// core.PoolUnit satisfies it.
+type AnalyticPooler interface {
+	Pooler
+	AccountPool(n, h, w, p int) error
+}
+
 // NetworkJob is a whole-network functional execution unit: the
 // topology, one input image, one kernel set per CONV layer, and
 // optionally one row-major Out×In weight slice per FC layer. Without
@@ -89,6 +98,9 @@ func Exec(e arch.Engine, pool Pooler, job NetworkJob, opts Options) (ExecOutcome
 	if pool == nil {
 		return ExecOutcome{}, badJob("nil pooling unit")
 	}
+	if opts.Analytic {
+		return execAnalytic(e, pool, job, opts)
+	}
 	if err := job.Validate(); err != nil {
 		return ExecOutcome{}, err
 	}
@@ -154,6 +166,101 @@ func Exec(e arch.Engine, pool Pooler, job NetworkJob, opts Options) (ExecOutcome
 		}
 	}
 	return res.finish(cur, pool, inj), nil
+}
+
+// ValidateAnalytic is the validation stage of the analytic path: the
+// topology must exist and chain, but operand tensors are optional —
+// the closed-form models never read them. Operands that *are* supplied
+// must still be consistent, so one NetworkJob can be flipped between
+// the two modes without changing its meaning.
+func (job NetworkJob) ValidateAnalytic() error {
+	nw := job.Network
+	if nw == nil {
+		return badJob("nil network")
+	}
+	if err := nw.Validate(); err != nil {
+		return fmt.Errorf("%w: network does not chain: %v", ErrJob, err)
+	}
+	if in := job.Input; in != nil &&
+		(in.N != nw.InputN || in.H != nw.InputS || in.W != nw.InputS) {
+		return badJob("input is %d@%dx%d, network %s expects %d@%dx%d",
+			in.N, in.H, in.W, nw.Name, nw.InputN, nw.InputS, nw.InputS)
+	}
+	if got, want := len(job.Kernels), len(nw.ConvLayers()); got != 0 && got != want {
+		return badJob("%d kernel sets for %d CONV layers", got, want)
+	}
+	return nil
+}
+
+// execAnalytic is Exec's closed-form twin: it walks the network's
+// shapes instead of its values, answering every CONV/FC layer from the
+// engine's analytic Model (memoized through opts.Cache when set) and
+// charging the pooling unit by shape. The per-layer counters and
+// PoolCycles are bit-identical to the simulated run — that is the
+// parity contract the cross-engine test pins — but no feature maps are
+// computed (Output is nil) and an armed injector never fires (there is
+// no dataflow to corrupt; arming still keys the cache distinctly). The
+// cycle budget covers the modelled engine cycles, accumulated in layer
+// order exactly like RunModel's post-merge enforcement.
+func execAnalytic(e arch.Engine, pool Pooler, job NetworkJob, opts Options) (ExecOutcome, error) {
+	ap, ok := pool.(AnalyticPooler)
+	if !ok {
+		return ExecOutcome{}, badJob("pooling unit %T cannot account analytically", pool)
+	}
+	if err := job.ValidateAnalytic(); err != nil {
+		return ExecOutcome{}, err
+	}
+
+	wd := attach(e, opts)
+	nw := job.Network
+	res := ExecOutcome{}
+	// Validate guarantees square chaining, so the live shape is n maps
+	// of s×s — exactly the walk Network.Validate performs.
+	n, s := nw.InputN, nw.InputS
+	var spent int64
+	convIdx := 0
+	fcIdx := 0
+	for _, layer := range nw.Layers {
+		if err := wd.Check(spent); err != nil {
+			return ExecOutcome{}, err
+		}
+		switch layer.Kind {
+		case nn.Conv:
+			_, lr, err := RunLayer(e, LayerJob{Index: convIdx, Layer: layer.Conv, Cache: opts.Cache})
+			if err != nil {
+				return ExecOutcome{}, fmt.Errorf("flexflow: layer %s: %w", layer.Conv.Name, err)
+			}
+			res.Layers = append(res.Layers, lr)
+			spent += lr.Cycles
+			n, s = layer.Conv.M, layer.Conv.S
+			convIdx++
+		case nn.Pool:
+			if err := ap.AccountPool(n, s, s, layer.Pool.P); err != nil {
+				return ExecOutcome{}, fmt.Errorf("flexflow: layer %s: %w", layer.Pool.Name, err)
+			}
+			s = layer.Pool.OutSize()
+		case nn.FC:
+			if fcIdx >= len(job.FCWeights) {
+				// No weights supplied: stop at the classifier input,
+				// matching the functional path's semantics.
+				return res.finish(nil, pool, opts.Injector), nil
+			}
+			conv := nn.ConvLayer{Name: layer.FC.Name, M: layer.FC.Out, N: layer.FC.In, S: 1, K: 1}
+			_, lr, err := RunLayer(e, LayerJob{Index: convIdx, Layer: conv, Cache: opts.Cache})
+			if err != nil {
+				return ExecOutcome{}, fmt.Errorf("flexflow: layer %s: %w", layer.FC.Name, err)
+			}
+			res.Layers = append(res.Layers, lr)
+			spent += lr.Cycles
+			n, s = layer.FC.Out, 1
+			convIdx++
+			fcIdx++
+		}
+	}
+	if err := wd.Check(spent); err != nil {
+		return ExecOutcome{}, err
+	}
+	return res.finish(nil, pool, opts.Injector), nil
 }
 
 // finish fills the run-level fields of an outcome.

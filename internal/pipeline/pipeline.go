@@ -56,6 +56,15 @@ type Options struct {
 	// units: 0 means GOMAXPROCS, 1 serial. Results are identical at
 	// any setting.
 	Workers int
+	// Analytic switches Exec from the cycle-level simulators to the
+	// closed-form models: the run walks the network's shapes and
+	// answers with the same per-layer counters and pool cycles, but
+	// computes no feature maps (Output is nil) and fires no faults.
+	Analytic bool
+	// Cache, when non-nil, memoizes analytic LayerResults across runs
+	// keyed by the engine's canonical shape key (CacheKeyer). Only
+	// analytic evaluations consult it; simulated layers never do.
+	Cache *Cache
 }
 
 // TracerHost is implemented by backends that can emit dataflow events.
@@ -118,13 +127,31 @@ type LayerJob struct {
 	Layer  nn.ConvLayer
 	Input  *tensor.Map3
 	Kernel *tensor.Kernel4
+	// Cache, when non-nil, memoizes the analytic path for engines that
+	// implement CacheKeyer. Simulated jobs (Input != nil) ignore it.
+	Cache *Cache
 }
 
 // RunLayer pushes one job through the pipeline stages on an already
 // attached engine: analytic jobs return counters only, simulated jobs
-// also the output feature maps.
+// also the output feature maps. Analytic jobs with a cache consult it
+// first; a hit restores the per-occurrence layer identity (Name is the
+// only field outside the key) onto the shared entry.
 func RunLayer(e arch.Engine, job LayerJob) (*tensor.Map3, arch.LayerResult, error) {
 	if job.Input == nil {
+		if job.Cache != nil {
+			if ck, ok := e.(CacheKeyer); ok {
+				if key, ok := ck.LayerCacheKey(job.Layer); ok {
+					if lr, hit := job.Cache.lookup(key); hit {
+						lr.Layer = job.Layer
+						return nil, lr, nil
+					}
+					lr := e.Model(job.Layer)
+					job.Cache.insert(key, lr)
+					return nil, lr, nil
+				}
+			}
+		}
 		return nil, e.Model(job.Layer), nil
 	}
 	return e.Simulate(job.Layer, job.Input, job.Kernel)
@@ -158,7 +185,7 @@ func RunModel(e arch.Engine, nw *nn.Network, opts Options) (arch.RunResult, erro
 		if err := cancelled(opts.Context); err != nil {
 			return err
 		}
-		_, lr, err := RunLayer(e, LayerJob{Index: i, Layer: layers[i]})
+		_, lr, err := RunLayer(e, LayerJob{Index: i, Layer: layers[i], Cache: opts.Cache})
 		if err != nil {
 			return fmt.Errorf("layer %s: %w", layers[i].Name, err)
 		}

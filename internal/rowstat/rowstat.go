@@ -61,6 +61,20 @@ func (e *Engine) Name() string { return "Row-Stationary" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Rows * e.Cols }
 
+// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
+// array geometry, buffer capacity and the layer shape — everything
+// Model reads (see arch.AppendLayerKey for the exclusions; this
+// comparator has no tracer or injector to arm).
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	b := make([]byte, 0, 64)
+	b = arch.AppendKeyString(b, e.Name())
+	b = arch.AppendKeyInt(b, int64(e.Rows))
+	b = arch.AppendKeyInt(b, int64(e.Cols))
+	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}
+
 // geometry derives the RS mapping of a layer: set height (kernel rows,
 // folded when K exceeds the physical height), set width E (output rows
 // per pass), and the number of concurrent sets.

@@ -1,0 +1,105 @@
+package serve
+
+// Analytic-mode serving: the whole-network closed-form walk behind
+// POST /v1/run {"mode":"analytic"}, its parity with execute-mode
+// counters, the shared layer cache's hit accounting across repeated
+// requests, and its surfacing in /statz.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestServeAnalyticEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Scale: 8, Workers: 2})
+
+	status, body := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "analytic", "scale": 8})
+	if status != http.StatusOK {
+		t.Fatalf("analytic run: status %d body %v", status, body)
+	}
+	if body["mode"] != ModeAnalytic || body["cycles"].(float64) <= 0 {
+		t.Fatalf("analytic reply malformed: %v", body)
+	}
+	if body["pool_cycles"].(float64) <= 0 {
+		t.Errorf("analytic reply lost the pooling accounting: %v", body)
+	}
+
+	// The analytic counters must match the functional execute run on
+	// the same workload and scale (the parity contract, served).
+	status, exec := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "execute", "scale": 8, "seed": 3})
+	if status != http.StatusOK {
+		t.Fatalf("execute run: status %d body %v", status, exec)
+	}
+	if body["cycles"] != exec["cycles"] || body["macs"] != exec["macs"] || body["pool_cycles"] != exec["pool_cycles"] {
+		t.Errorf("analytic/execute counters diverge:\nanalytic %v\nexecute  %v", body, exec)
+	}
+
+	// A repeated analytic request is answered from the reply cache, and
+	// the layer cache has recorded the first walk's shapes.
+	if _, again := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "analytic", "scale": 8}); again["cycles"] != body["cycles"] {
+		t.Errorf("repeated analytic request diverged: %v vs %v", again, body)
+	}
+	snap := s.Snapshot()
+	if !snap.LayerCache.Enabled || snap.LayerCache.Entries == 0 || snap.LayerCache.Misses == 0 {
+		t.Errorf("layer cache saw no analytic traffic: %+v", snap.LayerCache)
+	}
+}
+
+// TestServeLayerCacheHitsAcrossRequests pins cross-request memoization:
+// model-mode requests for the same workload on distinct arches populate
+// distinct entries, and a re-request hits instead of re-evaluating.
+// (The reply cache is keyed per spec, so the layer-level hit is
+// observed via a different arch sharing layer shapes — here the same
+// arch re-requested after the reply cache is bypassed by scale.)
+func TestServeLayerCacheHitsAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Scale: 8, Workers: 1})
+
+	if status, body := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "model", "scale": 8}); status != http.StatusOK {
+		t.Fatalf("model run: status %d body %v", status, body)
+	}
+	after1 := s.Snapshot().LayerCache
+	if after1.Misses == 0 || after1.Entries == 0 {
+		t.Fatalf("first model run did not populate the layer cache: %+v", after1)
+	}
+	// Same workload+arch+scale in analytic mode: the CONV layer shapes
+	// (and their engine config) are identical, so the walk must hit.
+	if status, body := post(t, ts.URL, map[string]any{"workload": "LeNet-5", "mode": "analytic", "scale": 8}); status != http.StatusOK {
+		t.Fatalf("analytic run: status %d body %v", status, body)
+	}
+	after2 := s.Snapshot().LayerCache
+	if after2.Hits <= after1.Hits {
+		t.Errorf("analytic walk did not reuse model-mode entries: %+v then %+v", after1, after2)
+	}
+}
+
+// TestServeLayerCacheDisabled pins the off switch: a negative capacity
+// serves correctly with the cache reported disabled in /statz.
+func TestServeLayerCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Scale: 8, Workers: 1, LayerCacheCap: -1})
+	if status, body := post(t, ts.URL, map[string]any{"workload": "Example", "mode": "analytic"}); status != http.StatusOK {
+		t.Fatalf("analytic run without cache: status %d body %v", status, body)
+	}
+	snap := s.Snapshot()
+	if snap.LayerCache.Enabled || snap.LayerCache.Entries != 0 {
+		t.Errorf("disabled cache still reports activity: %+v", snap.LayerCache)
+	}
+
+	// /statz carries the layer_cache block either way.
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := statz["layer_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statz has no layer_cache block: %v", statz)
+	}
+	if lc["enabled"] != false {
+		t.Errorf("layer_cache should be disabled: %v", lc)
+	}
+}

@@ -34,6 +34,12 @@ func (s *Server) execute(batch []*request) {
 		}
 		return
 	}
+	if batch[0].spec.Mode == ModeAnalytic {
+		for _, r := range batch {
+			s.runAnalytic(nw, r)
+		}
+		return
+	}
 	var clean, faulted []*request
 	for _, r := range batch {
 		if r.plan != nil {
@@ -76,6 +82,7 @@ func (s *Server) modelReply(nw *flexflow.Network, r *request) (runReply, error) 
 		Context:   r.ctx,
 		MaxCycles: r.spec.MaxCycles,
 		Workers:   s.cfg.EngineWorkers,
+		Cache:     s.layerCache,
 	})
 	if err != nil {
 		return runReply{}, err
@@ -89,6 +96,55 @@ func (s *Server) modelReply(nw *flexflow.Network, r *request) (runReply, error) 
 		MACs:        run.MACs(),
 		Utilization: run.Utilization(),
 		Layers:      len(run.Layers),
+	}, nil
+}
+
+// runAnalytic answers one whole-network analytic request: the execute
+// shape — CONV, POOL and FC stages — evaluated from the closed-form
+// models through the shared layer cache, never touching the functional
+// backend. Like runModel it is cached for degraded-mode reuse (the
+// result is seed-independent, so the cache key carries no seed).
+func (s *Server) runAnalytic(nw *flexflow.Network, r *request) {
+	if reply, ok := s.cacheGet(r.spec.cacheKey()); ok {
+		r.respond(response{body: reply})
+		return
+	}
+	reply, err := s.analyticReply(nw, r)
+	if err != nil {
+		s.recordOutcome(err)
+		r.respond(response{err: err})
+		return
+	}
+	s.recordOutcome(nil)
+	s.cachePut(r.spec.cacheKey(), reply)
+	r.respond(response{body: reply})
+}
+
+// analyticReply runs the analytic network walk under the request's
+// watchdog. Analytic requests mirror execute-mode semantics on the
+// FlexFlow engine (operand tensors are optional and omitted here).
+func (s *Server) analyticReply(nw *flexflow.Network, r *request) (runReply, error) {
+	res, err := flexflow.ExecuteOpts(nw, nil, nil, r.spec.Scale, flexflow.Options{
+		Context:   r.ctx,
+		MaxCycles: r.spec.MaxCycles,
+		Workers:   s.cfg.EngineWorkers,
+		Mode:      flexflow.ModeAnalytic,
+		Cache:     s.layerCache,
+	})
+	if err != nil {
+		return runReply{}, err
+	}
+	run := flexflow.RunResult{Layers: res.Layers}
+	return runReply{
+		Workload:    r.spec.Workload,
+		Arch:        string(flexflow.FlexFlow),
+		Mode:        ModeAnalytic,
+		Scale:       r.spec.Scale,
+		Cycles:      res.Cycles(),
+		MACs:        run.MACs(),
+		Utilization: run.Utilization(),
+		Layers:      len(res.Layers),
+		PoolCycles:  res.PoolCycles,
 	}, nil
 }
 

@@ -8,11 +8,15 @@ import (
 	"flexflow"
 )
 
-// Request modes: the analytic performance model (pure, fault-free,
-// cheap) or a functional cycle-level execution of a seeded input.
+// Request modes: the analytic performance model of the CONV layers
+// (pure, fault-free, cheap), a functional cycle-level execution of a
+// seeded input, or the whole-network analytic walk (the execute shape
+// — CONV, POOL and FC stages — answered from the closed-form models,
+// memoized through the server's layer cache).
 const (
-	ModeModel   = "model"
-	ModeExecute = "execute"
+	ModeModel    = "model"
+	ModeExecute  = "execute"
+	ModeAnalytic = "analytic"
 )
 
 // RunSpec is the wire form of one inference request (POST /v1/run).
@@ -25,7 +29,7 @@ type RunSpec struct {
 	Arch string `json:"arch,omitempty"`
 	// Scale is the PE-array edge (default Config.Scale).
 	Scale int `json:"scale,omitempty"`
-	// Mode is "model" (default) or "execute".
+	// Mode is "model" (default), "execute" or "analytic".
 	Mode string `json:"mode,omitempty"`
 	// Seed draws the pseudo-random input image for execute mode.
 	Seed uint64 `json:"seed,omitempty"`
@@ -51,9 +55,9 @@ func (sp *RunSpec) normalize(cfg Config) error {
 	if sp.Mode == "" {
 		sp.Mode = ModeModel
 	}
-	if sp.Mode != ModeModel && sp.Mode != ModeExecute {
-		return fmt.Errorf("%w: unknown mode %q (want %q or %q)",
-			flexflow.ErrInvalidConfig, sp.Mode, ModeModel, ModeExecute)
+	if sp.Mode != ModeModel && sp.Mode != ModeExecute && sp.Mode != ModeAnalytic {
+		return fmt.Errorf("%w: unknown mode %q (want %q, %q or %q)",
+			flexflow.ErrInvalidConfig, sp.Mode, ModeModel, ModeExecute, ModeAnalytic)
 	}
 	if sp.Arch == "" {
 		sp.Arch = string(flexflow.FlexFlow)

@@ -115,6 +115,10 @@ type Config struct {
 	// FaultSeed seeds the chaos plans; each marked request gets an
 	// independent plan via MixSeed(FaultSeed, seq).
 	FaultSeed uint64
+	// LayerCacheCap bounds the shared analytic layer-result cache that
+	// memoizes model- and analytic-mode evaluation across requests
+	// (default 256 entries; negative disables the cache entirely).
+	LayerCacheCap int
 	// Now is the injected clock for latency accounting. nil disables
 	// latency measurement (the serving logic itself never needs a
 	// clock — detsim). cmd/flexserve passes time.Now.
@@ -153,6 +157,9 @@ func (c Config) withDefaults() Config {
 	if c.FaultN == 0 {
 		c.FaultN = 4
 	}
+	if c.LayerCacheCap == 0 {
+		c.LayerCacheCap = 256
+	}
 	return c
 }
 
@@ -186,6 +193,11 @@ type Server struct {
 
 	kernelMu sync.Mutex // guards: kernels
 	kernels  map[string][]*flexflow.Kernel4
+
+	// layerCache memoizes analytic layer results across requests (model
+	// and analytic modes). It synchronizes internally and its eviction
+	// is deterministic; nil when Config.LayerCacheCap is negative.
+	layerCache *flexflow.LayerCache
 }
 
 // New builds and starts a server: the dispatcher and Workers batch
@@ -207,6 +219,9 @@ func New(cfg Config) (*Server, error) {
 		cache:   map[string]runReply{},
 		engines: map[string]flexflow.Engine{},
 		kernels: map[string][]*flexflow.Kernel4{},
+		// NewLayerCache returns nil for capacities < 1, which disables
+		// memoization (negative LayerCacheCap is the off switch).
+		layerCache: flexflow.NewLayerCache(cfg.LayerCacheCap),
 	}
 	s.workWG.Add(1 + cfg.Workers)
 	go s.dispatch()
@@ -220,9 +235,17 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Stats() *Stats { return s.stats }
 
 // Snapshot returns a point-in-time copy of the stats, including the
-// current queue depth and breaker state.
+// current queue depth, breaker state and layer-cache activity.
 func (s *Server) Snapshot() StatsSnapshot {
-	return s.stats.snapshot(len(s.queue), s.breaker.snapshot())
+	lc := LayerCacheSnapshot{Enabled: s.layerCache != nil}
+	if cs := s.layerCache.Stats(); lc.Enabled {
+		lc.Hits = cs.Hits
+		lc.Misses = cs.Misses
+		lc.Evictions = cs.Evictions
+		lc.Entries = cs.Entries
+		lc.Capacity = cs.Capacity
+	}
+	return s.stats.snapshot(len(s.queue), s.breaker.snapshot(), lc)
 }
 
 // now reads the injected clock; the zero time means "no clock".

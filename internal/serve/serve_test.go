@@ -69,7 +69,7 @@ func TestAdmissionControl(t *testing.T) {
 	if err := s.admit(testRequest(RunSpec{})); !errors.Is(err, ErrDraining) {
 		t.Fatalf("draining: err = %v, want ErrDraining", err)
 	}
-	snap := s.stats.snapshot(len(s.queue), s.breaker.snapshot())
+	snap := s.stats.snapshot(len(s.queue), s.breaker.snapshot(), LayerCacheSnapshot{})
 	if snap.Admitted != 2 || snap.RejectedQueueFull != 1 || snap.RejectedDraining != 1 {
 		t.Errorf("counters = %+v, want 2 admitted / 1 full / 1 draining", snap)
 	}

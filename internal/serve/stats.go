@@ -131,6 +131,17 @@ type LatencySnapshot struct {
 	Max   float64 `json:"max"`
 }
 
+// LayerCacheSnapshot is the wire form of the analytic layer cache's
+// activity in /statz.
+type LayerCacheSnapshot struct {
+	Enabled   bool  `json:"enabled"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
 // StatsSnapshot is the wire form of /statz.
 type StatsSnapshot struct {
 	Admitted          int64 `json:"admitted"`
@@ -161,11 +172,12 @@ type StatsSnapshot struct {
 	Shed             int64 `json:"shed"`
 	BreakerTrips     int64 `json:"breaker_trips"`
 
-	Breaker BreakerSnapshot `json:"breaker"`
-	Latency LatencySnapshot `json:"latency_ms"`
+	Breaker    BreakerSnapshot    `json:"breaker"`
+	LayerCache LayerCacheSnapshot `json:"layer_cache"`
+	Latency    LatencySnapshot    `json:"latency_ms"`
 }
 
-func (s *Stats) snapshot(queueDepth int, br BreakerSnapshot) StatsSnapshot {
+func (s *Stats) snapshot(queueDepth int, br BreakerSnapshot, lc LayerCacheSnapshot) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := StatsSnapshot{
@@ -191,6 +203,7 @@ func (s *Stats) snapshot(queueDepth int, br BreakerSnapshot) StatsSnapshot {
 		Shed:              s.shed,
 		BreakerTrips:      s.breakerTrips,
 		Breaker:           br,
+		LayerCache:        lc,
 	}
 	if s.batches > 0 {
 		snap.MeanBatch = float64(s.batchedImages) / float64(s.batches)

@@ -67,6 +67,20 @@ func (e *Engine) Name() string { return "Systolic" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Arrays * e.K0 * e.K0 }
 
+// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
+// array geometry, buffer capacity, tracer arming and the layer shape —
+// everything Model reads (see arch.AppendLayerKey for the exclusions).
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	b := make([]byte, 0, 64)
+	b = arch.AppendKeyString(b, e.Name())
+	b = arch.AppendKeyInt(b, int64(e.K0))
+	b = arch.AppendKeyInt(b, int64(e.Arrays))
+	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b = arch.AppendKeyBool(b, e.Tracer != nil)
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}
+
 // passes returns how many sub-kernel passes cover a K×K kernel on the
 // K0×K0 array (⌈K/K0⌉ in each dimension).
 func (e *Engine) passes(k int) int {

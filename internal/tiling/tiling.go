@@ -57,6 +57,20 @@ func (e *Engine) Name() string { return "Tiling" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Tm * e.Tn }
 
+// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
+// tiling factors, buffer capacity, tracer arming and the layer shape —
+// everything Model reads (see arch.AppendLayerKey for the exclusions).
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	b := make([]byte, 0, 64)
+	b = arch.AppendKeyString(b, e.Name())
+	b = arch.AppendKeyInt(b, int64(e.Tm))
+	b = arch.AppendKeyInt(b, int64(e.Tn))
+	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b = arch.AppendKeyBool(b, e.Tracer != nil)
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}
+
 // CheckLayer implements arch.LayerChecker: the tiling baseline keeps
 // the paper's unit-stride contract (§3).
 func (e *Engine) CheckLayer(l nn.ConvLayer) error {

@@ -1,40 +1,60 @@
 #!/usr/bin/env sh
 # bench.sh — run the pipeline scheduler benchmarks and record the
-# 1-vs-4-worker throughput, plus bytes/op and allocs/op from
+# per-configuration throughput, plus bytes/op and allocs/op from
 # b.ReportAllocs(), in BENCH_pipeline.json. The allocation columns
 # are the runtime counterpart of the static flexlint hotalloc budget:
 # the analyzer pins the sites, these numbers show what they cost.
 #
-# The two benchmarks exercise the pipeline's two fan-outs:
-#   BenchmarkRunModel     — layers of VGG-11 across workers (analytic model)
-#   BenchmarkExecuteBatch — images of a LeNet-5 batch across workers
-#                           (cycle-level simulation; the hot path)
+# The benchmarks exercise the pipeline's fan-outs and fast paths:
+#   BenchmarkRunModel        — layers of VGG-11 across workers (analytic
+#                              model), plus the cache=warm memoized row
+#   BenchmarkExecuteBatch    — images of a LeNet-5 batch across workers
+#                              (cycle-level simulation; the hot path)
+#   BenchmarkExecuteAnalytic — the whole-network ModeAnalytic walk,
+#                              cold and through a warm layer cache
 #
 # On a multi-core runner BenchmarkExecuteBatch/workers=4 must show
 # >= 2x the throughput of workers=1; on a single-CPU machine the
 # speedup is physically pinned to ~1x, so the JSON records the CPU
 # count alongside the ratio and the gate is only meaningful when
 # cpus >= 4. Results (counters, outputs) are bit-identical at every
-# worker count — only wall-clock moves.
+# worker count — only wall-clock moves. The cache-warm speedup, by
+# contrast, is machine-independent and gated hard by
+# scripts/bench_gate.sh.
+#
+# Every invocation also appends one dated JSON line to
+# results/bench_history.jsonl (UTC date, CPU count, suite version,
+# cache rows on/off, headline numbers), so perf drift stays visible
+# across commits without diffing full reports.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
+# Env:   FLEX_BENCH_CACHE=off           skip the cache/analytic rows
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
 OUT="BENCH_pipeline.json"
+HISTORY="results/bench_history.jsonl"
+SUITE="pipeline-v2"
+CACHE="${FLEX_BENCH_CACHE:-on}"
 
-RAW="$(go test -run '^$' -bench 'BenchmarkRunModel|BenchmarkExecuteBatch' \
+BENCHES='BenchmarkRunModel|BenchmarkExecuteBatch|BenchmarkExecuteAnalytic'
+if [ "$CACHE" = "off" ]; then
+    BENCHES='BenchmarkRunModel/workers|BenchmarkExecuteBatch'
+fi
+
+RAW="$(go test -run '^$' -bench "$BENCHES" \
     -benchtime "$BENCHTIME" -count=1 . 2>&1)"
 echo "$RAW"
 
-echo "$RAW" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
-/^Benchmark(RunModel|ExecuteBatch)\// {
+CPUS="$(nproc 2>/dev/null || echo 1)"
+
+echo "$RAW" | awk -v cpus="$CPUS" -v suite="$SUITE" '
+/^Benchmark(RunModel|ExecuteBatch|ExecuteAnalytic)\// {
     # BenchmarkExecuteBatch/workers=4-8  12  57687487 ns/op  138.7 images/s  1520 B/op  31 allocs/op
     split($1, parts, "/")
     bench = substr(parts[1], 10)            # strip "Benchmark"
     sub(/-[0-9]+$/, "", parts[2])           # strip GOMAXPROCS suffix
-    sub(/^workers=/, "", parts[2])
     key = bench "," parts[2]
     ns[key] = $3
     # The benchmarks run with b.ReportAllocs(), so every line carries
@@ -47,21 +67,24 @@ echo "$RAW" | awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
 }
 END {
     printf "{\n"
-    printf "  \"bench\": \"pipeline scheduler, 1 vs N workers\",\n"
+    printf "  \"bench\": \"pipeline scheduler and analytic fast path\",\n"
+    printf "  \"suite\": \"%s\",\n", suite
     printf "  \"cpus\": %d,\n", cpus
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         split(order[i], kv, ",")
-        printf "    {\"name\": \"%s\", \"workers\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+        printf "    {\"name\": \"%s\", \"config\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
             kv[1], kv[2], ns[order[i]], bytes[order[i]] + 0, allocs[order[i]] + 0, (i < n ? "," : "")
     }
     printf "  ],\n"
-    sm = ns["RunModel,1"]     ; sp = ns["RunModel,4"]
-    bm = ns["ExecuteBatch,1"] ; bp = ns["ExecuteBatch,4"]
+    sm = ns["RunModel,workers=1"]     ; sp = ns["RunModel,workers=4"]
+    bm = ns["ExecuteBatch,workers=1"] ; bp = ns["ExecuteBatch,workers=4"]
+    wm = ns["RunModel,cache=warm"]
     printf "  \"speedup_at_4_workers\": {\n"
     printf "    \"RunModel\": %.2f,\n",     (sp > 0 ? sm / sp : 0)
     printf "    \"ExecuteBatch\": %.2f\n",  (bp > 0 ? bm / bp : 0)
     printf "  },\n"
+    printf "  \"cache_warm_speedup\": %.1f,\n", (wm > 0 ? sm / wm : 0)
     ok = (bp > 0 && bm / bp >= 2.0)
     printf "  \"gate_2x_at_4_workers\": %s,\n", (ok ? "true" : "false")
     printf "  \"gate_note\": \"%s\"\n", (cpus >= 4 ? "multi-core runner: gate is binding" : \
@@ -70,3 +93,31 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT"
+
+# One dated line per invocation: enough to plot drift across commits
+# without keeping every full report.
+mkdir -p "$(dirname "$HISTORY")"
+echo "$RAW" | awk -v cpus="$CPUS" -v suite="$SUITE" -v cache="$CACHE" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$BENCHTIME" '
+/^Benchmark(RunModel|ExecuteAnalytic)\// {
+    split($1, parts, "/")
+    bench = substr(parts[1], 10)
+    sub(/-[0-9]+$/, "", parts[2])
+    ns[bench "," parts[2]] = $3
+}
+END {
+    printf "{\"date\": \"%s\", \"suite\": \"%s\", \"cpus\": %d, \"cache\": \"%s\", \"benchtime\": \"%s\"", \
+        date, suite, cpus, cache, benchtime
+    if ("RunModel,workers=1" in ns)
+        printf ", \"runmodel_ns\": %s", ns["RunModel,workers=1"]
+    if ("RunModel,cache=warm" in ns) {
+        printf ", \"runmodel_warm_ns\": %s", ns["RunModel,cache=warm"]
+        if (ns["RunModel,cache=warm"] > 0)
+            printf ", \"cache_warm_speedup\": %.1f", ns["RunModel,workers=1"] / ns["RunModel,cache=warm"]
+    }
+    if ("ExecuteAnalytic,cache=off" in ns)
+        printf ", \"analytic_ns\": %s", ns["ExecuteAnalytic,cache=off"]
+    printf "}\n"
+}' >> "$HISTORY"
+
+echo "appended $HISTORY"

@@ -1,0 +1,151 @@
+#!/usr/bin/env sh
+# bench_gate.sh — CI perf-regression gate over the analytic fast path.
+#
+# Runs BenchmarkRunModel and BenchmarkExecuteAnalytic once and compares
+# each row against the committed BENCH_baseline.json:
+#
+#   bytes/op, allocs/op — tight band (default +25% / +30%, plus a small
+#       absolute slack for runtime jitter). These are near-deterministic
+#       on the gated rows, so a regression here is a real new
+#       allocation, the runtime twin of the static flexlint hotalloc
+#       budget.
+#   ns/op — wide band (default +200%, i.e. 3x), override with
+#       FLEX_GATE_NS_TOL_PCT. Shared CI runners make wall-clock noisy;
+#       the band only catches order-of-magnitude regressions such as
+#       losing the memoized path entirely.
+#   cache-warm ratio — RunModel/workers=1 over RunModel/cache=warm from
+#       the SAME process must stay >= FLEX_GATE_WARM_RATIO (default
+#       10). This is machine-speed independent: both numbers move with
+#       the runner, their ratio only collapses if the cache stops
+#       serving hits.
+#
+# Only machine-independent rows are gated (workers=1 and the cache
+# rows); the worker-parallel rows' allocation counts vary with
+# scheduler timing and CPU count, so they are benchmarked for the
+# record (scripts/bench.sh) but not gated here.
+#
+# Usage:
+#   scripts/bench_gate.sh            # gate against BENCH_baseline.json
+#   scripts/bench_gate.sh write      # rewrite BENCH_baseline.json from
+#                                    # a fresh run (review before commit)
+#
+# Env: FLEX_GATE_BENCHTIME (default 20x), FLEX_GATE_NS_TOL_PCT (200),
+#      FLEX_GATE_ALLOC_TOL_PCT (25), FLEX_GATE_BYTES_TOL_PCT (30),
+#      FLEX_GATE_WARM_RATIO (10).
+# The raw benchmark output is left in bench_gate_output.txt for CI to
+# upload as an artifact.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-check}"
+BASELINE="BENCH_baseline.json"
+RAWFILE="bench_gate_output.txt"
+BENCHTIME="${FLEX_GATE_BENCHTIME:-20x}"
+
+go test -run '^$' -bench 'BenchmarkRunModel|BenchmarkExecuteAnalytic' \
+    -benchtime "$BENCHTIME" -count=1 . 2>&1 | tee "$RAWFILE"
+
+# parse_rows: benchmark output -> "name ns bytes allocs" lines for the
+# gated (machine-independent) rows only.
+parse_rows() {
+    awk '
+    /^Benchmark(RunModel|ExecuteAnalytic)\// {
+        split($1, parts, "/")
+        name = substr(parts[1], 10)          # strip "Benchmark"
+        sub(/-[0-9]+$/, "", parts[2])        # strip GOMAXPROCS suffix
+        row = name "/" parts[2]
+        if (row != "RunModel/workers=1" && parts[2] !~ /^cache=/) next
+        ns = $3; bytes = ""; allocs = ""
+        for (f = 2; f <= NF; f++) {
+            if ($f == "B/op")      bytes  = $(f - 1)
+            if ($f == "allocs/op") allocs = $(f - 1)
+        }
+        if (bytes != "" && allocs != "") print row, ns, bytes, allocs
+    }' "$RAWFILE"
+}
+
+if [ "$MODE" = "write" ]; then
+    parse_rows | awk '
+    { rows[++n] = $0 }
+    END {
+        printf "{\n"
+        printf "  \"suite\": \"pipeline-v2\",\n"
+        printf "  \"note\": \"machine-independent rows gated by scripts/bench_gate.sh; regenerate with scripts/bench_gate.sh write\",\n"
+        printf "  \"rows\": [\n"
+        for (i = 1; i <= n; i++) {
+            split(rows[i], f, " ")
+            printf "    {\"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+                f[1], f[2], f[3], f[4], (i < n ? "," : "")
+        }
+        printf "  ]\n"
+        printf "}\n"
+    }' > "$BASELINE"
+    echo "wrote $BASELINE"
+    exit 0
+fi
+
+[ -f "$BASELINE" ] || { echo "bench_gate: $BASELINE missing (run scripts/bench_gate.sh write)"; exit 1; }
+
+parse_rows | awk -v baseline="$BASELINE" \
+    -v ns_tol="${FLEX_GATE_NS_TOL_PCT:-200}" \
+    -v alloc_tol="${FLEX_GATE_ALLOC_TOL_PCT:-25}" \
+    -v bytes_tol="${FLEX_GATE_BYTES_TOL_PCT:-30}" \
+    -v warm_ratio="${FLEX_GATE_WARM_RATIO:-10}" '
+BEGIN {
+    # The baseline is committed one-row-per-line (see the write mode),
+    # so a field scraper is enough — no JSON parser dependency.
+    while ((getline line < baseline) > 0) {
+        if (line !~ /"bench":/) continue
+        split("", kv)
+        rest = line
+        while (match(rest, /"[a-z_]+": *("[^"]*"|[0-9.]+)/)) {
+            pair = substr(rest, RSTART, RLENGTH)
+            rest = substr(rest, RSTART + RLENGTH)
+            sep = index(pair, ":")
+            key = substr(pair, 1, sep - 1); gsub(/"/, "", key)
+            val = substr(pair, sep + 1);    gsub(/[ "]/, "", val)
+            kv[key] = val
+        }
+        b = kv["bench"]
+        base_ns[b] = kv["ns_per_op"] + 0
+        base_bytes[b] = kv["bytes_per_op"] + 0
+        base_allocs[b] = kv["allocs_per_op"] + 0
+        nbase++
+    }
+    close(baseline)
+    if (nbase == 0) { print "bench_gate: no rows parsed from " baseline; exit 1 }
+    bad = 0
+}
+{
+    row = $1; ns[row] = $2 + 0; bytes = $3 + 0; allocs = $4 + 0
+    if (!(row in base_ns)) {
+        printf "bench_gate: NEW ROW %s (ns=%d B/op=%d allocs/op=%d) not in %s — rerun scripts/bench_gate.sh write\n", \
+            row, ns[row], bytes, allocs, baseline
+        bad = 1
+        next
+    }
+    seen[row] = 1
+    lim = base_ns[row] * (1 + ns_tol / 100)
+    if (ns[row] > lim)
+        { printf "bench_gate: %s ns/op %d exceeds %.0f (baseline %d +%s%%)\n", row, ns[row], lim, base_ns[row], ns_tol; bad = 1 }
+    lim = base_bytes[row] * (1 + bytes_tol / 100) + 256
+    if (bytes > lim)
+        { printf "bench_gate: %s bytes/op %d exceeds %.0f (baseline %d +%s%% +256)\n", row, bytes, lim, base_bytes[row], bytes_tol; bad = 1 }
+    lim = base_allocs[row] * (1 + alloc_tol / 100) + 2
+    if (allocs > lim)
+        { printf "bench_gate: %s allocs/op %d exceeds %.0f (baseline %d +%s%% +2)\n", row, allocs, lim, base_allocs[row], alloc_tol; bad = 1 }
+}
+END {
+    for (b in base_ns) if (!seen[b])
+        { printf "bench_gate: baseline row %s missing from the run\n", b; bad = 1 }
+    cold = ns["RunModel/workers=1"]; warm = ns["RunModel/cache=warm"]
+    if (cold > 0 && warm > 0) {
+        r = cold / warm
+        if (r < warm_ratio)
+            { printf "bench_gate: cache-warm speedup %.1fx is below the required %sx (cold %d ns/op, warm %d ns/op)\n", r, warm_ratio, cold, warm; bad = 1 }
+        else
+            printf "bench_gate: cache-warm speedup %.0fx (>= %sx required)\n", r, warm_ratio
+    }
+    if (bad) { print "bench_gate: FAIL"; exit 1 }
+    print "bench_gate: PASS (" nbase " rows within tolerance)"
+}'
