@@ -284,6 +284,45 @@ func BenchmarkRunModel(b *testing.B) {
 			}
 		})
 	}
+	// Preset-spec vs hard-coded engine: the same VGG-11 analytic walk
+	// through the directly constructed FlexFlow engine and through the
+	// declarative preset lowered by the mapping interpreter. The parity
+	// tests prove the counters are bit-identical; these two rows show
+	// what the extra lowering layer costs at runtime (it should be
+	// noise — the interpreter dispatches to the same accounting rules).
+	hard, err := NewEngine(FlexFlow, 16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preset, err := PresetSpec(FlexFlow, 16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lowered, err := LowerSpec(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range []struct {
+		name string
+		eng  Engine
+	}{
+		{"engine=hardcoded", hard},
+		{"engine=preset-spec", lowered},
+	} {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := RunOpts(row.eng, nw, Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Cycles() == 0 {
+					b.Fatal("no cycles")
+				}
+			}
+		})
+	}
 	// The memoized path: a shared shape-keyed cache is primed by one
 	// cold run, then every iteration answers each CONV layer from the
 	// store. scripts/bench_gate.sh holds this row to a ≥10x same-process

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"sort"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/mapping"
+	"flexflow/internal/nn"
+)
+
+// point is one evaluated mapping: a factor vector and its analytic
+// cost under the flexflow lowering rule.
+type point struct {
+	T      arch.T
+	Cycles int64
+	Volume int64 // buffer↔PE words (LayerResult.DataVolume)
+}
+
+// less is the tuner's total order: fewer cycles, then less data
+// movement, then the lexicographically smallest factor tuple. The
+// final tiebreak makes the search's result independent of evaluation
+// order — and therefore of the worker count.
+func less(a, b point) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.Volume != b.Volume {
+		return a.Volume < b.Volume
+	}
+	return lexLess(a.T, b.T)
+}
+
+func lexLess(a, b arch.T) bool {
+	av := [6]int{a.Tm, a.Tn, a.Tr, a.Tc, a.Ti, a.Tj}
+	bv := [6]int{b.Tm, b.Tn, b.Tr, b.Tc, b.Ti, b.Tj}
+	for i := range av {
+		if av[i] != bv[i] {
+			return av[i] < bv[i]
+		}
+	}
+	return false
+}
+
+// seeds returns the deterministic starting points of the beam: the
+// compiler's coupled plan point, the per-layer §5 choice, and greedy
+// pure-parallelism corners (NP, SP, FP of §3.4) built within
+// Constraint (1). Invalid corners are dropped by the caller's
+// validation.
+func seeds(l nn.ConvLayer, d int, compiled arch.T) []arch.T {
+	fill := func(a, b int) (int, int) {
+		// First factor as large as its bound allows, second within the
+		// remaining Constraint (1) budget.
+		x := min(d, a)
+		y := min(b, d/x)
+		if y < 1 {
+			y = 1
+		}
+		return x, y
+	}
+	one := arch.T{Tm: 1, Tn: 1, Tr: 1, Tc: 1, Ti: 1, Tj: 1}
+	np := one // neuron parallelism: unroll R×C
+	np.Tr, np.Tc = fill(l.S, l.S)
+	sp := one // synapse parallelism: unroll I×J
+	sp.Ti, sp.Tj = fill(l.K, l.K)
+	fp := one // feature-map parallelism: unroll M and N
+	fp.Tm = min(d, l.M)
+	fp.Tn = min(d, l.N)
+	return []arch.T{compiled, arch.ChooseFactors(l, d, l.S), np, sp, fp, one}
+}
+
+// neighbors emits the deterministic moves from a factor vector: each
+// dimension stepped ±1 and doubled/halved. The caller validates.
+func neighbors(t arch.T) []arch.T {
+	dims := []*int{&t.Tm, &t.Tn, &t.Tr, &t.Tc, &t.Ti, &t.Tj}
+	var out []arch.T
+	for i := range dims {
+		orig := *dims[i]
+		for _, v := range []int{orig + 1, orig - 1, orig * 2, orig / 2} {
+			if v < 1 || v == orig {
+				continue
+			}
+			*dims[i] = v
+			out = append(out, t)
+		}
+		*dims[i] = orig
+	}
+	return out
+}
+
+// tuneLayer runs the beam search for one layer: width beam, at most
+// rounds expansions, stopping when a round adds no new candidate. All
+// inputs and the exploration order are deterministic, so the result
+// depends only on (layer, d, beam, rounds, compiled).
+func tuneLayer(fx mapping.Flex, l nn.ConvLayer, d, beam, rounds int, compiled arch.T) point {
+	eval := func(t arch.T) point {
+		res := fx.Account(l, t, 0)
+		return point{T: t, Cycles: res.Cycles, Volume: res.DataVolume()}
+	}
+	valid := func(t arch.T) bool { return t.Validate(l, d, l.S) == nil }
+
+	visited := map[arch.T]bool{}
+	var frontier []point
+	for _, s := range seeds(l, d, compiled) {
+		if !valid(s) || visited[s] {
+			continue
+		}
+		visited[s] = true
+		frontier = append(frontier, eval(s))
+	}
+	sort.Slice(frontier, func(i, j int) bool { return less(frontier[i], frontier[j]) })
+	if len(frontier) > beam {
+		frontier = frontier[:beam]
+	}
+
+	for round := 0; round < rounds; round++ {
+		var fresh []point
+		for _, p := range frontier {
+			for _, n := range neighbors(p.T) {
+				if !valid(n) || visited[n] {
+					continue
+				}
+				visited[n] = true
+				fresh = append(fresh, eval(n))
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		frontier = append(frontier, fresh...)
+		sort.Slice(frontier, func(i, j int) bool { return less(frontier[i], frontier[j]) })
+		if len(frontier) > beam {
+			frontier = frontier[:beam]
+		}
+	}
+	return frontier[0]
+}

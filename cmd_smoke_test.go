@@ -319,6 +319,7 @@ func TestExampleSmoke(t *testing.T) {
 	examples := map[string]string{
 		"quickstart":  "Correct",
 		"lenet":       "bit-exact",
+		"mapping":     "bit-for-bit",
 		"scalability": "utilization vs engine scale",
 		"compiler":    "assembly program",
 		"custom":      "bit-exact",
@@ -405,6 +406,9 @@ func TestCommandRejectsMalformedInput(t *testing.T) {
 		{"flexfault", []string{"-workload", "Example", "-scale", "0"}},
 		{"flexfault", []string{"-workload", "Example", "-n", "-2"}},
 		{"flexfault", []string{"-workload", "Example", "-scale", "4", "-n", "1", "-expect", "nonsense"}},
+		{"flextune", []string{"-workload", "NoSuchNet"}},
+		{"flextune", []string{"-workload", "LeNet-5", "-scale", "0"}},
+		{"flextune", []string{"-workload", "LeNet-5", "-beam", "-1"}},
 		{"flexreport", []string{"-o", filepath.Join(dir, "no", "such", "dir", "r.md")}},
 		{"flexbench", []string{"-out", filepath.Join(notDir, "sub")}},
 	}
@@ -464,6 +468,74 @@ func TestFlexfaultSmoke(t *testing.T) {
 	}
 	// And a wrong expectation must fail.
 	runToolExpectError(t, dir, "flexfault", append(args, "-expect", "masked=99999")...)
+}
+
+// TestFlextuneSmoke pins the autotuner's contract: the artifact for a
+// workload is byte-identical at any -workers setting (the beam search
+// is deterministic and its total order worker-independent), it matches
+// the committed results/tuned/ artifact, and the tuned mapping never
+// loses to the compiler baseline it was seeded with.
+func TestFlextuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildTools(t)
+
+	w1 := filepath.Join(dir, "tuned-w1")
+	w4 := filepath.Join(dir, "tuned-w4")
+	runTool(t, dir, "flextune", "-workload", "LeNet-5", "-workers", "1", "-out", w1)
+	runTool(t, dir, "flextune", "-workload", "LeNet-5", "-workers", "4", "-out", w4)
+
+	got1, err := os.ReadFile(filepath.Join(w1, "lenet-5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got4, err := os.ReadFile(filepath.Join(w4, "lenet-5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, got4) {
+		t.Errorf("flextune artifact differs between -workers 1 and -workers 4:\n%s\nvs\n%s", got1, got4)
+	}
+	committed, err := os.ReadFile(filepath.Join("results", "tuned", "lenet-5.json"))
+	if err != nil {
+		t.Fatalf("committed tuned artifact missing (regenerate with `go run ./cmd/flextune -all -out results/tuned`): %v", err)
+	}
+	if !bytes.Equal(got1, committed) {
+		t.Errorf("committed results/tuned/lenet-5.json is stale; regenerate with `go run ./cmd/flextune -all -out results/tuned`")
+	}
+
+	var art struct {
+		Layers []struct {
+			Baseline struct {
+				Cycles int64 `json:"cycles"`
+			} `json:"baseline"`
+			Tuned struct {
+				Cycles int64 `json:"cycles"`
+			} `json:"tuned"`
+			Spec string `json:"spec"`
+		} `json:"layers"`
+		BaselineCycles int64 `json:"baseline_cycles"`
+		TunedCycles    int64 `json:"tuned_cycles"`
+	}
+	if err := json.Unmarshal(got1, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Layers) == 0 || art.TunedCycles <= 0 {
+		t.Fatalf("artifact has no tuned layers:\n%s", got1)
+	}
+	if art.TunedCycles > art.BaselineCycles {
+		t.Errorf("tuned total %d cycles is worse than the compiler baseline %d — the baseline is a beam seed, so this cannot happen",
+			art.TunedCycles, art.BaselineCycles)
+	}
+	for i, l := range art.Layers {
+		if l.Tuned.Cycles > l.Baseline.Cycles {
+			t.Errorf("layer %d: tuned %d cycles > baseline %d", i, l.Tuned.Cycles, l.Baseline.Cycles)
+		}
+		if !strings.Contains(l.Spec, "dataflow flexflow") {
+			t.Errorf("layer %d: emitted spec is not flexflow DSL text:\n%s", i, l.Spec)
+		}
+	}
 }
 
 func lastLine(s string) string {

@@ -28,6 +28,31 @@ func ExampleCompile() {
 	// Output: <Tm=3 Tn=1 Tr=1 Tc=5 Ti=3 Tj=5>
 }
 
+// ExampleParseMappingSpec parses a mapping from the compact text DSL,
+// lowers it through the analytic interpreter, and evaluates one layer.
+// (examples/mapping runs the same spec functionally, value by value.)
+func ExampleParseMappingSpec() {
+	spec, _ := flexflow.ParseMappingSpec([]byte(`
+name Hand-Tuned
+dataflow flexflow
+array 4x4
+repl 1
+store neuron=128 kernel=128
+buffer 16384
+opt ra rs ipdr
+spatial N factor=1
+spatial M factor=2
+spatial R factor=1
+spatial C factor=2
+spatial I factor=1
+spatial J factor=4
+`))
+	engine, _ := flexflow.LowerSpec(spec)
+	res := engine.Model(flexflow.ConvLayer{Name: "C1", M: 2, N: 1, S: 10, K: 4})
+	fmt.Printf("%s: %d cycles at %.0f%% utilization\n", spec.Name, res.Cycles, 100*res.Utilization())
+	// Output: Hand-Tuned: 200 cycles at 100% utilization
+}
+
 // ExampleExecute runs the small Section 4 network functionally and
 // checks it against the software reference.
 func ExampleExecute() {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"testing"
 
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/tensor"
 )
@@ -102,6 +103,66 @@ func FuzzNetworkJSON(f *testing.F) {
 		_ = nw.Validate()
 		for _, l := range nw.ConvLayers() {
 			_ = l.Validate()
+		}
+	})
+}
+
+// FuzzMappingSpec drives the mapping-DSL parser (both wire forms) with
+// arbitrary bytes. Contract: parse and validation never panic; an
+// accepted spec lowers onto the interpreter without error, its analytic
+// model runs panic-free on a small layer, and both serializations
+// round-trip exactly (Parse(s.Text()) == s == Parse(s.JSON())).
+func FuzzMappingSpec(f *testing.F) {
+	presets := []mapping.Spec{
+		mapping.PresetFlexFlow(16),
+		mapping.PresetSystolic(6, 7),
+		mapping.PresetMapping2D(16),
+		mapping.PresetTiling(16, 16),
+		mapping.PresetRowStationary(16, 16),
+		mapping.PresetEyeriss(),
+	}
+	for _, p := range presets {
+		f.Add([]byte(p.Text()))
+		f.Add(p.JSON())
+	}
+	f.Add([]byte("name X\ndataflow flexflow\narray 4x4\nspatial N factor=2\n"))
+	f.Add([]byte("dataflow systolic\narray 6x6\nrepl 0\n"))
+	f.Add([]byte("name A\ndataflow flexflow\narray 16x16\nopt ra ra\n"))
+	f.Add([]byte(`{"name":"j","dataflow":"tiling","geometry":{"rows":4,"cols":4}}`))
+	f.Add([]byte(`{"dataflow":"nosuch"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseMappingSpec(data)
+		if err != nil {
+			if errors.Is(err, ErrInternal) {
+				t.Fatalf("mapping parser panicked: %v", err)
+			}
+			return
+		}
+		// Accepted means validated: the spec must lower...
+		eng, err := LowerSpec(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not lower: %v\n%s", err, s.Text())
+		}
+		// ...its model must run panic-free on a layer the spec admits...
+		l := nn.ConvLayer{Name: "C1", M: 2, N: 1, S: 4, K: 3, Stride: 1}
+		ck, ok := eng.(interface{ CheckLayer(nn.ConvLayer) error })
+		if !ok {
+			t.Fatal("lowered engine does not expose CheckLayer")
+		}
+		if ck.CheckLayer(l) == nil {
+			if res := eng.Model(l); res.Cycles <= 0 {
+				t.Fatalf("lowered model produced %d cycles for a valid layer", res.Cycles)
+			}
+		}
+		// ...and both wire forms must round-trip bit-exactly.
+		if rt, err := mapping.Parse([]byte(s.Text())); err != nil || rt != s {
+			t.Fatalf("text round-trip broken (err=%v):\n%s\ngot back %+v", err, s.Text(), rt)
+		}
+		if rt, err := mapping.Parse(s.JSON()); err != nil || rt != s {
+			t.Fatalf("JSON round-trip broken (err=%v):\n%s\ngot back %+v", err, s.JSON(), rt)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexflow/internal/arch"
+	"flexflow/internal/mapping"
 	"flexflow/internal/mem"
 	"flexflow/internal/nn"
 	"flexflow/internal/tensor"
@@ -32,16 +33,16 @@ func (e *Engine) CheckDistribution(l nn.ConvLayer, t arch.T) (lines int, ok bool
 	input, _, _ := BufferPlan(l, t)
 	s := e.scheduleFor(l, t)
 	ok = true
-	forEachPass(l, s, func(p passInfo) {
+	mapping.ForEachPass(l, s, func(p mapping.Pass) {
 		if !ok {
 			return
 		}
 		// One representative line per (n-block, i-block, j-block) step
 		// of the pass: the aligned origin the distribution layer reads.
-		for nb := 0; nb < ceilDiv(p.vN, t.Tn); nb++ {
+		for nb := 0; nb < ceilDiv(p.VN, t.Tn); nb++ {
 			for ib := 0; ib < ceilDiv(l.K, t.Ti); ib++ {
 				for jb := 0; jb < ceilDiv(l.K, t.Tj); jb++ {
-					n0 := p.n0 + nb*t.Tn
+					n0 := p.N0 + nb*t.Tn
 					r0 := ib * t.Ti
 					c0 := jb * t.Tj
 					if r0 >= input.H || c0 >= input.W {
@@ -92,13 +93,13 @@ func (e *Engine) VerifyBankedPlacement(l nn.ConvLayer, t arch.T, in *tensor.Map3
 	// Replay the schedule's fetches through the banks.
 	s := e.scheduleFor(l, t)
 	var verr error
-	forEachPass(l, s, func(p passInfo) {
+	mapping.ForEachPass(l, s, func(p mapping.Pass) {
 		if verr != nil {
 			return
 		}
 		forEachValidOutput(l, t, p, func(m, r, c int) {
 			_ = m
-			for n := p.n0; n < p.n0+p.vN && verr == nil; n++ {
+			for n := p.N0; n < p.N0+p.VN && verr == nil; n++ {
 				for i := 0; i < l.K; i++ {
 					for j := 0; j < l.K; j++ {
 						a := layout.Place(n, r+i, c+j)

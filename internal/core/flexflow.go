@@ -4,6 +4,7 @@ import (
 	"flexflow/internal/arch"
 	"flexflow/internal/bus"
 	"flexflow/internal/fault"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 )
@@ -107,10 +108,36 @@ func (e *Engine) Name() string { return "FlexFlow" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.D * e.D }
 
+// flex returns the mapping-layer lowering rule configured exactly as
+// this engine; every analytic path (Model, Simulate's accounting, the
+// schedule inspectors) goes through it, so the engine and its preset
+// mapping spec cannot drift.
+func (e *Engine) flex() mapping.Flex {
+	return mapping.Flex{
+		D:                e.D,
+		NeuronStoreWords: e.NeuronStoreWords,
+		KernelStoreWords: e.KernelStoreWords,
+		BufferWords:      e.BufferWords,
+		RA:               e.RA, RS: e.RS, IPDR: e.IPDR,
+	}
+}
+
+// spec returns the engine's configuration as its mapping spec: the
+// flexflow preset with this engine's geometry, stores and ablation
+// bits.
+func (e *Engine) spec() mapping.Spec {
+	s := mapping.PresetFlexFlow(e.D)
+	s.Geom.NeuronStoreWords = e.NeuronStoreWords
+	s.Geom.KernelStoreWords = e.KernelStoreWords
+	s.Geom.BufferWords = e.BufferWords
+	s.RA, s.RS, s.IPDR = e.RA, e.RS, e.IPDR
+	return s
+}
+
 // LayerCacheKey implements the pipeline's CacheKeyer: the canonical
-// memo key covers everything Model reads — the engine kind, the full
-// architectural configuration (array edge, store and buffer
-// capacities, dataflow-optimization ablation bits), the chosen
+// memo key covers everything Model reads — the engine's mapping-spec
+// digest (kind, array edge, store and buffer capacities, dataflow
+// directives and ablation bits, via mapping.AppendSpecKey), the chosen
 // unrolling factors (which capture exactly what Model consumes from
 // the installed Chooser, compiled or default), the observer arming
 // state, and the layer shape. Name and ReLU are excluded (see
@@ -120,15 +147,9 @@ func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
 	if e.Chooser == nil {
 		return "", false
 	}
-	b := make([]byte, 0, 96)
-	b = arch.AppendKeyString(b, e.Name())
-	b = arch.AppendKeyInt(b, int64(e.D))
-	b = arch.AppendKeyInt(b, int64(e.NeuronStoreWords))
-	b = arch.AppendKeyInt(b, int64(e.KernelStoreWords))
-	b = arch.AppendKeyInt(b, int64(e.BufferWords))
-	b = arch.AppendKeyBool(b, e.RA)
-	b = arch.AppendKeyBool(b, e.RS)
-	b = arch.AppendKeyBool(b, e.IPDR)
+	b := make([]byte, 0, 224)
+	s := e.spec()
+	b = mapping.AppendSpecKey(b, &s)
 	b = arch.AppendKeyBool(b, e.Tracer != nil)
 	b = arch.AppendKeyBool(b, e.Injector != nil)
 	b = arch.AppendKeyFactors(b, e.Chooser(l))
@@ -136,222 +157,18 @@ func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
 	return string(b), true
 }
 
-// schedule is the concrete execution schedule of one layer: the
-// unrolling factors plus the input-map chunking that keeps the per-PE
-// working set inside the local stores. Each PE consumes one operand
-// pair per cycle, so over one pass it touches exactly
-// ⌈vN/T_n⌉·⌈K/T_i⌉·⌈K/T_j⌉ words of each kind. Layers whose full-N
-// working set overflows the 128-word stores are split into chunks of
-// input maps; partial sums are written back to the neuron buffer
-// between chunks and re-read for accumulation (the paper's Fig. 13f
-// mechanism).
-type schedule struct {
-	t      arch.T
-	kij    int64 // ⌈K/T_i⌉·⌈K/T_j⌉
-	nChunk int   // input maps per chunk (multiple of T_n), ≤ N
-	chunks int
-}
-
 // scheduleFor derives the layer's schedule from the chosen factors and
-// the local-store capacity.
-func (e *Engine) scheduleFor(l nn.ConvLayer, t arch.T) schedule {
-	kij := int64(ceilDiv(l.K, t.Ti)) * int64(ceilDiv(l.K, t.Tj))
-	cap64 := int64(min(e.NeuronStoreWords, e.KernelStoreWords))
-	blocks := int64(1)
-	if kij > 0 && cap64/kij > 0 {
-		blocks = cap64 / kij // n-blocks whose operands fit one PE store
-	}
-	nChunk := int(blocks) * t.Tn
-	if nChunk >= l.N {
-		nChunk = l.N
-	}
-	if nChunk < t.Tn {
-		nChunk = t.Tn // corner: even one n-block overflows; accept it
-	}
-	return schedule{
-		t:      t,
-		kij:    kij,
-		nChunk: nChunk,
-		chunks: ceilDiv(l.N, nChunk),
-	}
+// the local-store capacity (see mapping.Flex.Schedule).
+func (e *Engine) scheduleFor(l nn.ConvLayer, t arch.T) mapping.FlexSchedule {
+	return e.flex().Schedule(l, t)
 }
 
-// cppChunk returns the compute cycles of one pass over a chunk of vN
-// input maps.
-func (s schedule) cppChunk(vN int) int64 {
-	return int64(ceilDiv(vN, s.t.Tn)) * s.kij
-}
-
-// passInfo describes one group pass over an output block for one input
-// chunk.
-type passInfo struct {
-	n0, vN        int // input-map chunk
-	m0, r0, c0    int // block origin in (map, row, col) space
-	vTm, vTr, vTc int // valid extent of the block
-	newMBlock     bool
-	firstChunk    bool
-}
-
-// forEachPass iterates the pass schedule: input chunks outermost (the
-// partial-sum loop), then m-blocks (so kernel local stores persist
-// across all position passes of an m-block), then output row/column
-// blocks.
-func forEachPass(l nn.ConvLayer, s schedule, fn func(p passInfo)) {
-	t := s.t
-	for n0 := 0; n0 < l.N; n0 += s.nChunk {
-		vN := min(s.nChunk, l.N-n0)
-		for m0 := 0; m0 < l.M; m0 += t.Tm {
-			first := true
-			for r0 := 0; r0 < l.S; r0 += t.Tr {
-				for c0 := 0; c0 < l.S; c0 += t.Tc {
-					fn(passInfo{
-						n0: n0, vN: vN,
-						m0: m0, r0: r0, c0: c0,
-						vTm:        min(t.Tm, l.M-m0),
-						vTr:        min(t.Tr, l.S-r0),
-						vTc:        min(t.Tc, l.S-c0),
-						newMBlock:  first,
-						firstChunk: n0 == 0,
-					})
-					first = false
-				}
-			}
-		}
-	}
-}
-
-// kernelPassReads returns the kernel-buffer reads and kernel
-// local-store writes caused by pass p. Kernels are loaded on entry to
-// each (chunk, m-block) and stay resident across its position passes;
-// when even one chunk overflows the store (the nChunk == Tn corner),
-// the non-resident fraction is re-streamed every pass. IPDR replicates
-// one buffer read to all T_r·T_c rows of a group; without it each
-// row-group issues its own read.
-func (e *Engine) kernelPassReads(l nn.ConvLayer, s schedule, p passInfo) (reads, localWrites int64) {
-	chunkWords := int64(p.vN) * int64(l.K) * int64(l.K)
-	validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
-	cpp := s.cppChunk(p.vN)
-	cap64 := int64(e.KernelStoreWords)
-	switch {
-	case p.newMBlock:
-		reads = int64(p.vTm) * chunkWords
-		localWrites = validRows * chunkWords
-	case cpp > cap64:
-		reads = int64(p.vTm) * chunkWords * (cpp - cap64) / cpp
-		localWrites = validRows * chunkWords * (cpp - cap64) / cpp
-	}
-	if !e.IPDR {
-		reads *= int64(p.vTr) * int64(p.vTc)
-	}
-	return reads, localWrites
-}
-
-// neuronReuseOK reports whether the inter-pass window reuse of RA+RS is
-// available: the chunk working set must fit the neuron local store so
-// the previous pass's overlap columns are still staged.
-func (e *Engine) neuronReuseOK(s schedule, vN int) bool {
-	return e.RA && e.RS && s.cppChunk(vN) <= int64(e.NeuronStoreWords)
-}
-
-// accountPass adds the cycle and traffic cost of one pass to res. It is
-// the analytic mirror of Simulate's measured accounting; the property
-// tests hold the two equal.
-func (e *Engine) accountPass(l nn.ConvLayer, s schedule, p passInfo, res *arch.LayerResult) {
-	cpp := s.cppChunk(p.vN)
-	chunkOps := int64(p.vN) * int64(l.K) * int64(l.K)
-	validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
-
-	// Neuron traffic: with RA+RS the union input window of the block is
-	// fetched once (overlaps between rows exploited by reordering and
-	// preloading), and consecutive c-blocks of a row band reuse the
-	// staged overlap columns, so only the stride·vTc new columns
-	// arrive. Without the optimizations every row fetches its own K×K
-	// windows. The union spans account for the layer stride: windows of
-	// consecutive outputs overlap only while stride < K.
-	str := l.Str()
-	rowSpan := int64(unionSpan(p.vTr, str, l.K))
-	var neuronWords int64
-	switch {
-	case !(e.RA && e.RS):
-		neuronWords = validRows * chunkOps
-	case e.neuronReuseOK(s, p.vN) && p.c0 > 0:
-		newCols := int64(p.vTc * str)
-		if full := int64(unionSpan(p.vTc, str, l.K)); newCols > full {
-			newCols = full
-		}
-		neuronWords = int64(p.vN) * rowSpan * newCols
-	default:
-		neuronWords = int64(p.vN) * rowSpan * int64(unionSpan(p.vTc, str, l.K))
-	}
-	res.NeuronLoads += neuronWords
-
-	kr, kw := e.kernelPassReads(l, s, p)
-	res.KernelLoads += kr
-	res.LocalWrites += kw
-
-	// Cycle cost: the compute schedule, plus vertical-bus stall cycles
-	// when the un-optimized neuron traffic exceeds the D words/cycle
-	// the D-banked buffer can feed during the pass.
-	cycles := cpp
-	if !(e.RA && e.RS) {
-		loadCycles := (neuronWords + int64(e.D) - 1) / int64(e.D)
-		if loadCycles > cycles {
-			cycles = loadCycles
-		}
-	}
-	res.Cycles += cycles
-
-	// Each valid output's chunk partial leaves the engine once per
-	// chunk; chunks after the first re-read the prior partial for
-	// accumulation (Fig. 13f).
-	res.NeuronStores += validRows
-	if !p.firstChunk {
-		res.NeuronLoads += validRows
-	}
-
-	// MAC-level counters: every valid output issues vN·K² MACs this
-	// pass, each reading both local stores once; RS preloads each
-	// operand slot once.
-	macs := validRows * chunkOps
-	res.MACs += macs
-	res.LocalReads += 2 * macs
-	res.LocalWrites += macs
-}
-
-// Model implements arch.Engine.
+// Model implements arch.Engine by lowering the layer through the
+// flexflow mapping rule under the installed Chooser's factors.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
-	t := e.Chooser(l)
-	s := e.scheduleFor(l, t)
-	res := arch.LayerResult{
-		Arch: e.Name(), Layer: l, Factors: t, PEs: e.PEs(),
-	}
-	forEachPass(l, s, func(p passInfo) {
-		e.accountPass(l, s, p, &res)
-	})
-	e.modelDRAM(l, t, &res)
+	res := e.flex().Account(l, e.Chooser(l), 0)
+	res.Arch = e.Name()
 	return res
-}
-
-func (e *Engine) modelDRAM(l nn.ConvLayer, t arch.T, res *arch.LayerResult) {
-	mBlocks := int64((l.M + t.Tm - 1) / t.Tm)
-	reload := int64(1)
-	if l.InputWords() > int64(e.BufferWords) {
-		// The input stack exceeds one neuron buffer: it is re-streamed
-		// once per m-block.
-		reload = mBlocks
-	}
-	res.DRAMReads = l.InputWords()*reload + l.KernelWords()
-	res.DRAMWrites = l.OutputWords()
-}
-
-// unionSpan returns the length of the union of v stride-spaced windows
-// of length k: contiguous (v-1)·stride + k while stride < k, disjoint
-// v·k windows otherwise.
-func unionSpan(v, stride, k int) int {
-	if stride < k {
-		return (v-1)*stride + k
-	}
-	return v * k
 }
 
 func min(a, b int) int {

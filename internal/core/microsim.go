@@ -6,6 +6,7 @@ import (
 	"flexflow/internal/arch"
 	"flexflow/internal/fault"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/mem"
 	"flexflow/internal/nn"
 	"flexflow/internal/tensor"
@@ -132,7 +133,7 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 		return nil, arch.LayerResult{}, err
 	}
 	s := e.scheduleFor(l, t)
-	if cpp := s.cppChunk(s.nChunk); cpp > int64(e.NeuronStoreWords) || cpp > int64(e.KernelStoreWords) {
+	if cpp := s.CPPChunk(s.NChunk); cpp > int64(e.NeuronStoreWords) || cpp > int64(e.KernelStoreWords) {
 		return nil, arch.LayerResult{}, fmt.Errorf("core: pass working set %d words exceeds the local stores", cpp)
 	}
 
@@ -184,11 +185,11 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 	}
 
 	var simErr error
-	forEachPass(l, s, func(p passInfo) {
+	mapping.ForEachPass(l, s, func(p mapping.Pass) {
 		if simErr != nil {
 			return
 		}
-		cpp := int(s.cppChunk(p.vN))
+		cpp := int(s.CPPChunk(p.VN))
 
 		// Preload every active PE's operand sequences in block order:
 		// for lane (tn,ti,tj) of the row serving output (m,r,c), the
@@ -208,13 +209,13 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 				ti, tj := rem/t.Tj, rem%t.Tj
 				neurons := e.micro.neurons[:0]
 				kern := e.micro.kern[:0]
-				for nb := 0; nb < ceilDiv(p.vN, t.Tn); nb++ {
+				for nb := 0; nb < ceilDiv(p.VN, t.Tn); nb++ {
 					for ib := 0; ib < ceilDiv(l.K, t.Ti); ib++ {
 						for jb := 0; jb < ceilDiv(l.K, t.Tj); jb++ {
-							n := p.n0 + nb*t.Tn + tn
+							n := p.N0 + nb*t.Tn + tn
 							i := ib*t.Ti + ti
 							j := jb*t.Tj + tj
-							if n >= p.n0+p.vN || i >= l.K || j >= l.K {
+							if n >= p.N0+p.VN || i >= l.K || j >= l.K {
 								neurons = append(neurons, 0)
 								kern = append(kern, 0)
 								continue
@@ -250,7 +251,7 @@ func (e *Engine) MicroSimulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel
 			}
 			res.Cycles++
 		}
-		res.MACs += int64(len(jobs)) * int64(p.vN) * int64(l.K) * int64(l.K)
+		res.MACs += int64(len(jobs)) * int64(p.VN) * int64(l.K) * int64(l.K)
 
 		// Drain through the row tails into the psum buffer.
 		for _, job := range jobs {

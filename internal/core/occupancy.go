@@ -90,7 +90,7 @@ func (e *Engine) Describe(l nn.ConvLayer) string {
 	t := e.Chooser(l)
 	s := e.scheduleFor(l, t)
 	input, kernels, output := BufferPlan(l, t)
-	cpp := s.cppChunk(s.nChunk)
+	cpp := s.CPPChunk(s.NChunk)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "layer %s on %dx%d FlexFlow\n", l, e.D, e.D)
@@ -98,8 +98,8 @@ func (e *Engine) Describe(l nn.ConvLayer) string {
 	fmt.Fprintf(&b, "  rows       %d/%d outputs in flight, cols %d/%d operand lanes\n",
 		t.Rows(), e.D, t.Cols(), e.D)
 	fmt.Fprintf(&b, "  schedule   %d group passes x %d cycles", arch.GroupPasses(l, t), cpp)
-	if s.chunks > 1 {
-		fmt.Fprintf(&b, ", x%d input chunks of %d maps (partial sums spill)", s.chunks, s.nChunk)
+	if s.Chunks > 1 {
+		fmt.Fprintf(&b, ", x%d input chunks of %d maps (partial sums spill)", s.Chunks, s.NChunk)
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "  local      %d operand words/PE per pass (stores hold %d+%d)\n",

@@ -6,6 +6,7 @@ import (
 	"flexflow/internal/arch"
 	"flexflow/internal/fault"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -35,6 +36,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		return nil, arch.LayerResult{}, fmt.Errorf("flexflow: chosen factors invalid: %w", err)
 	}
 	s := e.scheduleFor(l, t)
+	fm := e.flex()
 
 	out := tensor.NewMap3(l.M, l.S, l.S)
 	psum := make([]fixed.Acc, l.M*l.S*l.S)
@@ -68,7 +70,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	}
 
 	str := l.Str()
-	forEachPass(l, s, func(p passInfo) {
+	mapping.ForEachPass(l, s, func(p mapping.Pass) {
 		if simErr != nil {
 			return
 		}
@@ -76,11 +78,11 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 			simErr = err
 			return
 		}
-		validRows := int64(p.vTm) * int64(p.vTr) * int64(p.vTc)
-		chunkOps := int64(p.vN) * int64(l.K) * int64(l.K)
+		validRows := int64(p.VTm) * int64(p.VTr) * int64(p.VTc)
+		chunkOps := int64(p.VN) * int64(l.K) * int64(l.K)
 
 		// Kernel (re)load into the local stores.
-		kr, kw := e.kernelPassReads(l, s, p)
+		kr, kw := fm.KernelPassReads(l, s, p)
 		res.KernelLoads += kr
 		res.LocalWrites += kw
 
@@ -90,14 +92,14 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		// reused when the per-PE working set fits the local store (seen
 		// persists across a band and resets at c0 == 0); without the
 		// optimizations every consuming row fetches its own copy.
-		if p.c0 == 0 || !e.neuronReuseOK(s, p.vN) {
+		if p.C0 == 0 || !fm.NeuronReuseOK(s, p.VN) {
 			clear(seen)
 		}
 		before := int64(len(seen))
 		var perRowWords int64
 		forEachValidOutput(l, t, p, func(m, r, c int) {
 			perRowWords += chunkOps
-			for n := p.n0; n < p.n0+p.vN; n++ {
+			for n := p.N0; n < p.N0+p.VN; n++ {
 				for i := 0; i < l.K; i++ {
 					for j := 0; j < l.K; j++ {
 						seen[(n*in.H+(r*str+i))*in.W+(c*str+j)] = struct{}{}
@@ -119,7 +121,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		if e.HorizontalBus != nil && kr > 0 {
 			fanout := 1
 			if e.IPDR {
-				fanout = p.vTr * p.vTc
+				fanout = p.VTr * p.VTc
 			}
 			e.HorizontalBus.BroadcastN(kr, fanout)
 		}
@@ -128,7 +130,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		for i := range acc {
 			acc[i] = 0
 		}
-		nBlocks := ceilDiv(p.vN, t.Tn)
+		nBlocks := ceilDiv(p.VN, t.Tn)
 		iBlocks := ceilDiv(l.K, t.Ti)
 		jBlocks := ceilDiv(l.K, t.Tj)
 		for nb := 0; nb < nBlocks; nb++ {
@@ -142,8 +144,8 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 						row := RowOf(m, r, c, t)
 						var tree fixed.Acc
 						for tn := 0; tn < t.Tn; tn++ {
-							n := p.n0 + nb*t.Tn + tn
-							if n >= p.n0+p.vN {
+							n := p.N0 + nb*t.Tn + tn
+							if n >= p.N0+p.VN {
 								continue
 							}
 							for ti := 0; ti < t.Ti; ti++ {
@@ -193,8 +195,8 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		// Stall cycles for the un-optimized machine (bus-limited loads).
 		if !(e.RA && e.RS) {
 			loadCycles := (neuronWords + int64(e.D) - 1) / int64(e.D)
-			if loadCycles > s.cppChunk(p.vN) {
-				clock.Advance(loadCycles - s.cppChunk(p.vN))
+			if loadCycles > s.CPPChunk(p.VN) {
+				clock.Advance(loadCycles - s.CPPChunk(p.VN))
 			}
 		}
 
@@ -206,7 +208,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 			idx := (m*l.S+r)*l.S + c
 			psum[idx] = fixed.AddAcc(psum[idx], acc[row])
 			res.NeuronStores++
-			if !p.firstChunk {
+			if !p.FirstChunk {
 				res.NeuronLoads++
 			}
 			if e.Tracer != nil {
@@ -228,26 +230,26 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		}
 	}
 	res.Cycles = clock.Cycle()
-	e.modelDRAM(l, t, &res)
+	fm.DRAM(l, t, &res)
 	wd.Commit(res.Cycles)
 	return out, res, nil
 }
 
 // forEachValidOutput visits the valid (m, r, c) outputs of one pass in
 // row order.
-func forEachValidOutput(l nn.ConvLayer, t arch.T, p passInfo, fn func(m, r, c int)) {
+func forEachValidOutput(l nn.ConvLayer, t arch.T, p mapping.Pass, fn func(m, r, c int)) {
 	for tm := 0; tm < t.Tm; tm++ {
-		m := p.m0 + tm
+		m := p.M0 + tm
 		if m >= l.M {
 			continue
 		}
 		for tr := 0; tr < t.Tr; tr++ {
-			r := p.r0 + tr
+			r := p.R0 + tr
 			if r >= l.S {
 				continue
 			}
 			for tc := 0; tc < t.Tc; tc++ {
-				c := p.c0 + tc
+				c := p.C0 + tc
 				if c >= l.S {
 					continue
 				}

@@ -45,6 +45,7 @@ func NewCounterAudit() *CounterAudit {
 			"flexflow/internal/systolic",
 			"flexflow/internal/mapping2d",
 			"flexflow/internal/tiling",
+			"flexflow/internal/mapping",
 		},
 	}
 }

@@ -427,6 +427,7 @@ func RepoAllocBudget() *AllocBudget {
 		Roots: []string{
 			"(*flexflow/internal/core.Engine).LayerCacheKey",
 			"(*flexflow/internal/core.Engine).MicroSimulate",
+			"(*flexflow/internal/mapping.Engine).LayerCacheKey",
 			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey",
 			"(*flexflow/internal/rowstat.Engine).LayerCacheKey",
 			"(*flexflow/internal/systolic.Engine).LayerCacheKey",
@@ -439,6 +440,9 @@ func RepoAllocBudget() *AllocBudget {
 			"(*flexflow/internal/core.Engine).MicroSimulate":      12,
 			"(*flexflow/internal/core.Engine).physRows":           1,
 			"(*flexflow/internal/core.Engine).psumScratch":        1,
+			// make + the prefix append (capacity 224 covers the digest,
+			// so the append never reallocates at runtime).
+			"(*flexflow/internal/mapping.Engine).LayerCacheKey":   2,
 			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey": 1,
 			"(*flexflow/internal/pipeline.Cache).insert":          1,
 			"(*flexflow/internal/rowstat.Engine).LayerCacheKey":   1,

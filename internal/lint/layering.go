@@ -34,7 +34,9 @@ type Layering struct {
 // RepoLayering is the repository's committed dependency DAG. Layer
 // order, bottom up: word-level leaves (fixed, bus, sim, metrics) →
 // data/model substrate (tensor, nn, mem, fault) → architecture algebra
-// (arch, workloads) → simulators (core, systolic, mapping2d, tiling,
+// (arch, workloads) → the mapping DSL and its lowering rules (mapping,
+// which every simulator's analytic model is expressed in) → simulators
+// (core, systolic, mapping2d, tiling,
 // rowstat) ∥ planners (compiler) ∥ billing (energy) → the execution
 // pipeline (pipeline, which drives engines only through the arch
 // interface — no edge to any simulator) → experiments → the facade and
@@ -56,11 +58,13 @@ func RepoLayering() map[string][]string {
 
 		"internal/arch": {"internal/nn", "internal/tensor"},
 
-		"internal/core":      {"internal/arch", "internal/bus", "internal/fault", "internal/fixed", "internal/mem", "internal/nn", "internal/sim", "internal/tensor"},
-		"internal/systolic":  {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
-		"internal/mapping2d": {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
-		"internal/tiling":    {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
-		"internal/rowstat":   {"internal/arch", "internal/fixed", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/mapping": {"internal/arch", "internal/nn", "internal/tensor"},
+
+		"internal/core":      {"internal/arch", "internal/bus", "internal/fault", "internal/fixed", "internal/mapping", "internal/mem", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/systolic":  {"internal/arch", "internal/fixed", "internal/mapping", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/mapping2d": {"internal/arch", "internal/fixed", "internal/mapping", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/tiling":    {"internal/arch", "internal/fixed", "internal/mapping", "internal/nn", "internal/sim", "internal/tensor"},
+		"internal/rowstat":   {"internal/arch", "internal/fixed", "internal/mapping", "internal/nn", "internal/sim", "internal/tensor"},
 
 		"internal/compiler": {"internal/arch", "internal/nn", "internal/tensor"},
 		"internal/energy":   {"internal/arch"},
@@ -71,11 +75,14 @@ func RepoLayering() map[string][]string {
 
 		"internal/serve": {"."},
 
-		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping2d", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
+		".": {"internal/arch", "internal/bus", "internal/compiler", "internal/core", "internal/energy", "internal/fault", "internal/fixed", "internal/mapping", "internal/mapping2d", "internal/nn", "internal/pipeline", "internal/rowstat", "internal/sim", "internal/systolic", "internal/tensor", "internal/tiling", "internal/workloads"},
 
-		"cmd/flexbench":  {"internal/arch", "internal/experiments", "internal/metrics", "internal/sim"},
+		"scripts": {"internal/arch", "internal/compiler", "internal/core", "internal/energy", "internal/mapping2d", "internal/nn", "internal/rowstat", "internal/systolic", "internal/tiling", "internal/workloads"},
+
+	"cmd/flexbench":  {"internal/arch", "internal/experiments", "internal/metrics", "internal/sim"},
 		"cmd/flexcc":     {".", "internal/compiler", "internal/core", "internal/metrics"},
 		"cmd/flexfault":  {"."},
+		"cmd/flextune":   {"internal/arch", "internal/compiler", "internal/mapping", "internal/nn", "internal/pipeline", "internal/workloads"},
 		"cmd/flexlint":   {"internal/lint"},
 		"cmd/flexreport": {".", "internal/experiments"},
 		"cmd/flexserve":  {"internal/serve"},
@@ -84,6 +91,7 @@ func RepoLayering() map[string][]string {
 		"examples/compiler":    {".", "internal/compiler", "internal/metrics"},
 		"examples/custom":      {".", "internal/metrics", "internal/nn"},
 		"examples/lenet":       {".", "internal/metrics"},
+		"examples/mapping":     {".", "internal/metrics", "internal/tensor"},
 		"examples/precision":   {".", "internal/metrics", "internal/nn", "internal/tensor"},
 		"examples/quickstart":  {".", "internal/metrics", "internal/tensor"},
 		"examples/scalability": {".", "internal/metrics"},

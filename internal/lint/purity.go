@@ -84,7 +84,9 @@ func NewPurity() *Purity {
 			"(*flexflow/internal/rowstat.Engine).Model",
 			"(*flexflow/internal/systolic.Engine).Model",
 			"(*flexflow/internal/tiling.Engine).Model",
+			"(*flexflow/internal/mapping.Engine).Model",
 			"(*flexflow/internal/core.Engine).LayerCacheKey",
+			"(*flexflow/internal/mapping.Engine).LayerCacheKey",
 			"(*flexflow/internal/mapping2d.Engine).LayerCacheKey",
 			"(*flexflow/internal/rowstat.Engine).LayerCacheKey",
 			"(*flexflow/internal/systolic.Engine).LayerCacheKey",

@@ -1,0 +1,141 @@
+package mapping
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+	"flexflow/internal/tensor"
+)
+
+// Engine is a mapping spec lowered onto the analytic interpreter: an
+// arch.Engine whose Model dispatches to the spec's dataflow rule. It
+// is the purely analytic face of the DSL — functional (value-moving)
+// simulation stays in the engine packages, which the facade's
+// NewSpecEngine constructs from the same spec; Simulate here returns
+// an error directing callers there. Engine is immutable after Lower
+// and safe for concurrent use.
+type Engine struct {
+	spec Spec
+	// keyPrefix is the precomputed cache-key fragment covering the
+	// engine name and the full spec (AppendSpecKey), so the per-layer
+	// LayerCacheKey only appends the layer shape.
+	keyPrefix string
+}
+
+// Lower validates a spec and binds it to the interpreter.
+func Lower(s Spec) (*Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 160)
+	b = AppendSpecKey(b, &s)
+	return &Engine{spec: s, keyPrefix: string(b)}, nil
+}
+
+// Spec returns the lowered spec (a value copy).
+func (e *Engine) Spec() Spec { return e.spec }
+
+// Name implements arch.Engine: the spec's name.
+func (e *Engine) Name() string { return e.spec.Name }
+
+// PEs implements arch.Engine: multipliers implied by the geometry.
+func (e *Engine) PEs() int {
+	g := e.spec.Geom
+	return g.Repl * g.Rows * g.Cols
+}
+
+// Factors resolves the unrolling-factor vector the spec uses on layer
+// l: the fixed vector when the spec pins one, otherwise the rule's
+// own choice (the §5 compiler for flexflow, the geometry-derived
+// factors for the rigid dataflows).
+func (e *Engine) Factors(l nn.ConvLayer) arch.T {
+	g := e.spec.Geom
+	switch e.spec.Dataflow {
+	case DataflowFlexFlow:
+		if t := e.spec.FixedFactors(); t.Tm > 0 {
+			return t
+		}
+		return arch.ChooseFactors(l, g.Rows, l.S)
+	case DataflowSystolic:
+		return arch.T{Tm: min(g.Repl, l.M), Tn: 1, Tr: 1, Tc: 1,
+			Ti: min(g.Rows, l.K), Tj: min(g.Cols, l.K)}
+	case DataflowMapping2D:
+		return arch.T{Tm: 1, Tn: 1, Tr: min(g.Rows, l.S), Tc: min(g.Cols, l.S), Ti: 1, Tj: 1}
+	case DataflowTiling:
+		return arch.T{Tm: min(g.Rows, l.M), Tn: min(g.Cols, l.N), Tr: 1, Tc: 1, Ti: 1, Tj: 1}
+	default: // DataflowRowStat
+		setH, setW, sets, _ := RowStationary{Rows: g.Rows, Cols: g.Cols, BufferWords: g.BufferWords}.Geometry(l)
+		return arch.T{Tm: sets, Tn: 1, Tr: setW, Tc: 1, Ti: setH, Tj: 1}
+	}
+}
+
+// CheckLayer implements arch.LayerChecker: shape sanity, the rigid
+// dataflows' unit-stride contract, and — for a fixed flexflow factor
+// vector — Constraint (1) against this layer.
+func (e *Engine) CheckLayer(l nn.ConvLayer) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	switch e.spec.Dataflow {
+	case DataflowFlexFlow:
+		if t := e.spec.FixedFactors(); t.Tm > 0 {
+			if err := t.Validate(l, e.spec.Geom.Rows, l.S); err != nil {
+				return fmt.Errorf("mapping: spec %s does not fit layer %s: %w", e.spec.Name, l.Name, err)
+			}
+		}
+	default:
+		if l.Str() != 1 {
+			return fmt.Errorf("mapping: %s dataflow assumes unit stride (paper §3); layer %s has stride %d", e.spec.Dataflow, l.Name, l.Str())
+		}
+	}
+	return nil
+}
+
+// Model implements arch.Engine: lower the layer through the spec's
+// dataflow rule. Bit-for-bit equal to the corresponding engine
+// package's Model for the preset specs (the parity table test).
+func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
+	g := e.spec.Geom
+	var res arch.LayerResult
+	switch e.spec.Dataflow {
+	case DataflowFlexFlow:
+		f := Flex{
+			D:                g.Rows,
+			NeuronStoreWords: g.NeuronStoreWords,
+			KernelStoreWords: g.KernelStoreWords,
+			BufferWords:      g.BufferWords,
+			RA:               e.spec.RA, RS: e.spec.RS, IPDR: e.spec.IPDR,
+		}
+		res = f.Account(l, e.Factors(l), e.spec.NTile())
+	case DataflowSystolic:
+		res = Systolic{K0: g.Rows, Arrays: g.Repl, BufferWords: g.BufferWords}.Account(l)
+	case DataflowMapping2D:
+		res = Grid{D: g.Rows, BufferWords: g.BufferWords}.Account(l)
+	case DataflowTiling:
+		res = Tree{Tm: g.Rows, Tn: g.Cols, BufferWords: g.BufferWords}.Account(l)
+	default: // DataflowRowStat
+		res = RowStationary{Rows: g.Rows, Cols: g.Cols, BufferWords: g.BufferWords}.Account(l)
+	}
+	res.Arch = e.spec.Name
+	return res
+}
+
+// Simulate implements arch.Engine. The interpreter is analytic-only:
+// functional simulation needs an engine package's explicit datapath,
+// which the facade's NewSpecEngine lowers the same spec onto.
+func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*tensor.Map3, arch.LayerResult, error) {
+	return nil, arch.LayerResult{}, fmt.Errorf("mapping: spec %q is lowered analytically; use NewSpecEngine for functional simulation", e.spec.Name)
+}
+
+// LayerCacheKey implements the pipeline's CacheKeyer: the precomputed
+// spec digest (engine name plus every geometry, toggle and directive
+// field — two distinct specs can never alias) followed by the layer
+// shape. The resolved factors are a pure function of (spec, layer), so
+// they need no separate field.
+func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
+	b := make([]byte, 0, 224)
+	b = append(b, e.keyPrefix...)
+	b = arch.AppendLayerKey(b, l)
+	return string(b), true
+}

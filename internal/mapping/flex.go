@@ -1,0 +1,253 @@
+package mapping
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// Flex is the lowering rule of the flexflow dataflow: the D×D PE
+// matrix with per-PE local stores and the RA/RS/IPDR optimizations of
+// §4.3–4.5. It carries exactly the analytic state the core engine's
+// Model reads; the core package builds one from its fields and
+// delegates, so rule and engine cannot drift.
+type Flex struct {
+	D                int
+	NeuronStoreWords int
+	KernelStoreWords int
+	BufferWords      int
+	RA, RS, IPDR     bool
+}
+
+// FlexSchedule is the concrete execution schedule of one layer: the
+// unrolling factors plus the input-map chunking that keeps the per-PE
+// working set inside the local stores. Each PE consumes one operand
+// pair per cycle, so over one pass it touches exactly
+// ⌈vN/T_n⌉·⌈K/T_i⌉·⌈K/T_j⌉ words of each kind. Layers whose full-N
+// working set overflows the 128-word stores are split into chunks of
+// input maps; partial sums are written back to the neuron buffer
+// between chunks and re-read for accumulation (the paper's Fig. 13f
+// mechanism).
+type FlexSchedule struct {
+	T      arch.T
+	KIJ    int64 // ⌈K/T_i⌉·⌈K/T_j⌉
+	NChunk int   // input maps per chunk (multiple of T_n), ≤ N
+	Chunks int
+}
+
+// Schedule derives the layer's schedule from the chosen factors and
+// the local-store capacity.
+func (f Flex) Schedule(l nn.ConvLayer, t arch.T) FlexSchedule {
+	return f.ScheduleTile(l, t, 0)
+}
+
+// ScheduleTile is Schedule with an explicit N chunk size (the spec's
+// tile=N directive); nChunk 0 means auto — the largest chunk whose
+// operands fit the local stores. An explicit chunk is clamped to
+// [T_n, N] exactly as the auto path clamps its capacity-derived one.
+func (f Flex) ScheduleTile(l nn.ConvLayer, t arch.T, nChunk int) FlexSchedule {
+	kij := int64(ceilDiv(l.K, t.Ti)) * int64(ceilDiv(l.K, t.Tj))
+	if nChunk == 0 {
+		cap64 := int64(min(f.NeuronStoreWords, f.KernelStoreWords))
+		blocks := int64(1)
+		if kij > 0 && cap64/kij > 0 {
+			blocks = cap64 / kij // n-blocks whose operands fit one PE store
+		}
+		nChunk = int(blocks) * t.Tn
+	}
+	if nChunk >= l.N {
+		nChunk = l.N
+	}
+	if nChunk < t.Tn {
+		nChunk = t.Tn // corner: even one n-block overflows; accept it
+	}
+	return FlexSchedule{
+		T:      t,
+		KIJ:    kij,
+		NChunk: nChunk,
+		Chunks: ceilDiv(l.N, nChunk),
+	}
+}
+
+// CPPChunk returns the compute cycles of one pass over a chunk of vN
+// input maps.
+func (s FlexSchedule) CPPChunk(vN int) int64 {
+	return int64(ceilDiv(vN, s.T.Tn)) * s.KIJ
+}
+
+// Pass describes one group pass over an output block for one input
+// chunk.
+type Pass struct {
+	N0, VN        int // input-map chunk
+	M0, R0, C0    int // block origin in (map, row, col) space
+	VTm, VTr, VTc int // valid extent of the block
+	NewMBlock     bool
+	FirstChunk    bool
+}
+
+// ForEachPass iterates the pass schedule: input chunks outermost (the
+// partial-sum loop), then m-blocks (so kernel local stores persist
+// across all position passes of an m-block), then output row/column
+// blocks.
+func ForEachPass(l nn.ConvLayer, s FlexSchedule, fn func(p Pass)) {
+	t := s.T
+	for n0 := 0; n0 < l.N; n0 += s.NChunk {
+		vN := min(s.NChunk, l.N-n0)
+		for m0 := 0; m0 < l.M; m0 += t.Tm {
+			first := true
+			for r0 := 0; r0 < l.S; r0 += t.Tr {
+				for c0 := 0; c0 < l.S; c0 += t.Tc {
+					fn(Pass{
+						N0: n0, VN: vN,
+						M0: m0, R0: r0, C0: c0,
+						VTm:        min(t.Tm, l.M-m0),
+						VTr:        min(t.Tr, l.S-r0),
+						VTc:        min(t.Tc, l.S-c0),
+						NewMBlock:  first,
+						FirstChunk: n0 == 0,
+					})
+					first = false
+				}
+			}
+		}
+	}
+}
+
+// KernelPassReads returns the kernel-buffer reads and kernel
+// local-store writes caused by pass p. Kernels are loaded on entry to
+// each (chunk, m-block) and stay resident across its position passes;
+// when even one chunk overflows the store (the NChunk == Tn corner),
+// the non-resident fraction is re-streamed every pass. IPDR replicates
+// one buffer read to all T_r·T_c rows of a group; without it each
+// row-group issues its own read.
+func (f Flex) KernelPassReads(l nn.ConvLayer, s FlexSchedule, p Pass) (reads, localWrites int64) {
+	chunkWords := int64(p.VN) * int64(l.K) * int64(l.K)
+	validRows := int64(p.VTm) * int64(p.VTr) * int64(p.VTc)
+	cpp := s.CPPChunk(p.VN)
+	cap64 := int64(f.KernelStoreWords)
+	switch {
+	case p.NewMBlock:
+		reads = int64(p.VTm) * chunkWords
+		localWrites = validRows * chunkWords
+	case cpp > cap64:
+		reads = int64(p.VTm) * chunkWords * (cpp - cap64) / cpp
+		localWrites = validRows * chunkWords * (cpp - cap64) / cpp
+	}
+	if !f.IPDR {
+		reads *= int64(p.VTr) * int64(p.VTc)
+	}
+	return reads, localWrites
+}
+
+// NeuronReuseOK reports whether the inter-pass window reuse of RA+RS is
+// available: the chunk working set must fit the neuron local store so
+// the previous pass's overlap columns are still staged.
+func (f Flex) NeuronReuseOK(s FlexSchedule, vN int) bool {
+	return f.RA && f.RS && s.CPPChunk(vN) <= int64(f.NeuronStoreWords)
+}
+
+// AccountPass adds the cycle and traffic cost of one pass to res. It is
+// the analytic mirror of the core engine's Simulate accounting; the
+// property tests hold the two equal.
+func (f Flex) AccountPass(l nn.ConvLayer, s FlexSchedule, p Pass, res *arch.LayerResult) {
+	cpp := s.CPPChunk(p.VN)
+	chunkOps := int64(p.VN) * int64(l.K) * int64(l.K)
+	validRows := int64(p.VTm) * int64(p.VTr) * int64(p.VTc)
+
+	// Neuron traffic: with RA+RS the union input window of the block is
+	// fetched once (overlaps between rows exploited by reordering and
+	// preloading), and consecutive c-blocks of a row band reuse the
+	// staged overlap columns, so only the stride·vTc new columns
+	// arrive. Without the optimizations every row fetches its own K×K
+	// windows. The union spans account for the layer stride: windows of
+	// consecutive outputs overlap only while stride < K.
+	str := l.Str()
+	rowSpan := int64(UnionSpan(p.VTr, str, l.K))
+	var neuronWords int64
+	switch {
+	case !(f.RA && f.RS):
+		neuronWords = validRows * chunkOps
+	case f.NeuronReuseOK(s, p.VN) && p.C0 > 0:
+		newCols := int64(p.VTc * str)
+		if full := int64(UnionSpan(p.VTc, str, l.K)); newCols > full {
+			newCols = full
+		}
+		neuronWords = int64(p.VN) * rowSpan * newCols
+	default:
+		neuronWords = int64(p.VN) * rowSpan * int64(UnionSpan(p.VTc, str, l.K))
+	}
+	res.NeuronLoads += neuronWords
+
+	kr, kw := f.KernelPassReads(l, s, p)
+	res.KernelLoads += kr
+	res.LocalWrites += kw
+
+	// Cycle cost: the compute schedule, plus vertical-bus stall cycles
+	// when the un-optimized neuron traffic exceeds the D words/cycle
+	// the D-banked buffer can feed during the pass.
+	cycles := cpp
+	if !(f.RA && f.RS) {
+		loadCycles := (neuronWords + int64(f.D) - 1) / int64(f.D)
+		if loadCycles > cycles {
+			cycles = loadCycles
+		}
+	}
+	res.Cycles += cycles
+
+	// Each valid output's chunk partial leaves the engine once per
+	// chunk; chunks after the first re-read the prior partial for
+	// accumulation (Fig. 13f).
+	res.NeuronStores += validRows
+	if !p.FirstChunk {
+		res.NeuronLoads += validRows
+	}
+
+	// MAC-level counters: every valid output issues vN·K² MACs this
+	// pass, each reading both local stores once; RS preloads each
+	// operand slot once.
+	macs := validRows * chunkOps
+	res.MACs += macs
+	res.LocalReads += 2 * macs
+	res.LocalWrites += macs
+}
+
+// DRAM fills the external-memory counters: compulsory traffic plus an
+// input re-stream per m-block when the stack exceeds one neuron
+// buffer.
+func (f Flex) DRAM(l nn.ConvLayer, t arch.T, res *arch.LayerResult) {
+	mBlocks := int64((l.M + t.Tm - 1) / t.Tm)
+	reload := int64(1)
+	if l.InputWords() > int64(f.BufferWords) {
+		// The input stack exceeds one neuron buffer: it is re-streamed
+		// once per m-block.
+		reload = mBlocks
+	}
+	res.DRAMReads = l.InputWords()*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}
+
+// Account lowers one layer under factors t and an explicit N tile
+// (0 = auto): the full analytic pass walk plus the DRAM model. The
+// result's Arch is left empty — the caller (an engine package or
+// Engine) stamps its own name.
+func (f Flex) Account(l nn.ConvLayer, t arch.T, nTile int) arch.LayerResult {
+	s := f.ScheduleTile(l, t, nTile)
+	res := arch.LayerResult{Layer: l, Factors: t, PEs: f.D * f.D}
+	ForEachPass(l, s, func(p Pass) {
+		f.AccountPass(l, s, p, &res)
+	})
+	f.DRAM(l, t, &res)
+	return res
+}
+
+// UnionSpan returns the length of the union of v stride-spaced windows
+// of length k: contiguous (v-1)·stride + k while stride < k, disjoint
+// v·k windows otherwise.
+func UnionSpan(v, stride, k int) int {
+	if stride < k {
+		return (v-1)*stride + k
+	}
+	return v * k
+}
+
+// ceilDiv returns ⌈a/b⌉.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// Grid is the lowering rule of the mapping2d dataflow (SFMNSS, §3.2):
+// a D×D block of output neurons of one map held stationary while one
+// synapse per cycle is broadcast and inputs shift between neighbours.
+type Grid struct {
+	D           int
+	BufferWords int
+}
+
+// BlockGrid returns how many D×D blocks tile an S×S output map.
+func (g Grid) BlockGrid(s int) int { return (s + g.D - 1) / g.D }
+
+// Account lowers one unit-stride layer: the analytic cycle/traffic
+// model of the 2-D mapping engine, walking the block tiling to count
+// loads exactly as its Simulate does. Arch is left empty for the
+// caller.
+func (g Grid) Account(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("mapping2d: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	res := arch.LayerResult{
+		Layer: l,
+		Factors: arch.T{Tm: 1, Tn: 1, Tr: min(g.D, l.S), Tc: min(g.D, l.S),
+			Ti: 1, Tj: 1},
+		PEs:  g.D * g.D,
+		MACs: l.MACs(),
+	}
+	grid := g.BlockGrid(l.S)
+	perBlock := int64(l.N) * int64(l.K) * int64(l.K)
+	res.Cycles = int64(l.M) * int64(grid) * int64(grid) * perBlock
+
+	// Walk the block tiling to count loads exactly as Simulate does.
+	for r0 := 0; r0 < l.S; r0 += g.D {
+		for c0 := 0; c0 < l.S; c0 += g.D {
+			rows := min(g.D, l.S-r0)
+			cols := min(g.D, l.S-c0)
+			var loads, shifts int64
+			// Initial block load.
+			loads += int64(rows * cols)
+			for i := 0; i < l.K; i++ {
+				for j := 0; j < l.K; j++ {
+					if i == 0 && j == 0 {
+						continue
+					}
+					if j == 0 {
+						// Row jump: top rows-1 PE rows pop from FIFOs,
+						// the bottom row loads fresh.
+						shifts += int64((rows - 1) * cols)
+						loads += int64(cols)
+					} else {
+						// Column shift: left cols-1 columns shift, the
+						// rightmost column loads fresh.
+						shifts += int64(rows * (cols - 1))
+						loads += int64(rows)
+					}
+				}
+			}
+			res.NeuronLoads += int64(l.M) * int64(l.N) * loads
+			res.InterPEMoves += int64(l.M) * int64(l.N) * shifts
+		}
+	}
+	// One synapse broadcast per cycle (one word on the bus per step).
+	res.KernelLoads = res.Cycles
+	// Outputs accumulate locally across n and (i,j); stored once.
+	res.NeuronStores = l.OutputWords()
+	// Each MAC reads the neuron register and the partial-sum register,
+	// and writes the partial sum back.
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	g.DRAM(l, &res)
+	return res
+}
+
+// DRAM fills the external-memory counters: compulsory traffic plus a
+// per-output-map input re-stream when the stack exceeds the buffer.
+func (g Grid) DRAM(l nn.ConvLayer, res *arch.LayerResult) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(g.BufferWords) {
+		// Input stack exceeds the neuron buffer: re-stream per output map.
+		reload = int64(l.M)
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}

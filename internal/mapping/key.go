@@ -1,0 +1,33 @@
+package mapping
+
+import "flexflow/internal/arch"
+
+// AppendSpecKey appends every analytically relevant field of a spec to
+// a cache key, using the repo's '|'-terminated canonical encoding
+// (arch/key.go). The name is included — two specs differing only in
+// name stamp different Arch strings on their results, so they must not
+// share a memo entry — followed by the dataflow, the full geometry,
+// the optimization toggles, and all six directives. The engine
+// packages embed their own configuration through this same function
+// (via their preset-spec view), which is what extends the repo's
+// cache-key contract to "distinct specs never collide".
+func AppendSpecKey(b []byte, s *Spec) []byte {
+	b = arch.AppendKeyString(b, s.Name)
+	b = arch.AppendKeyString(b, s.Dataflow)
+	b = arch.AppendKeyInt(b, int64(s.Geom.Rows))
+	b = arch.AppendKeyInt(b, int64(s.Geom.Cols))
+	b = arch.AppendKeyInt(b, int64(s.Geom.Repl))
+	b = arch.AppendKeyInt(b, int64(s.Geom.NeuronStoreWords))
+	b = arch.AppendKeyInt(b, int64(s.Geom.KernelStoreWords))
+	b = arch.AppendKeyInt(b, int64(s.Geom.BufferWords))
+	b = arch.AppendKeyBool(b, s.RA)
+	b = arch.AppendKeyBool(b, s.RS)
+	b = arch.AppendKeyBool(b, s.IPDR)
+	for _, d := range s.Dirs {
+		b = arch.AppendKeyInt(b, int64(d.Dim))
+		b = arch.AppendKeyInt(b, int64(d.Kind))
+		b = arch.AppendKeyInt(b, int64(d.Factor))
+		b = arch.AppendKeyInt(b, int64(d.Tile))
+	}
+	return b
+}

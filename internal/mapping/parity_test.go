@@ -1,0 +1,246 @@
+package mapping_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/energy"
+	"flexflow/internal/mapping"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+// The golden file was generated ONCE against the pre-refactor engines
+// (scripts/gen_parity_golden.go) — before Model lowering moved into
+// this package — and is the frozen migration oracle: the refactored
+// engines AND the preset specs lowered through the interpreter must
+// reproduce every counter and every energy figure bit-for-bit.
+
+type goldenLayer struct {
+	Result   arch.LayerResult `json:"result"`
+	EnergyPJ float64          `json:"energy_pj"`
+}
+
+type goldenEntry struct {
+	Engine   string        `json:"engine"`
+	Workload string        `json:"workload"`
+	Config   string        `json:"config"`
+	Layers   []goldenLayer `json:"layers"`
+}
+
+type goldenFile struct {
+	Scale   int           `json:"scale"`
+	Note    string        `json:"note"`
+	Entries []goldenEntry `json:"entries"`
+}
+
+func loadGolden(t *testing.T) goldenFile {
+	t.Helper()
+	buf, err := os.ReadFile("testdata/parity_table1.json")
+	if err != nil {
+		t.Fatalf("migration oracle missing: %v", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(buf, &g); err != nil {
+		t.Fatalf("migration oracle corrupt: %v", err)
+	}
+	if len(g.Entries) == 0 {
+		t.Fatal("migration oracle is empty")
+	}
+	return g
+}
+
+// liveEngine reconstructs the engine a golden entry was recorded with,
+// exactly as scripts/gen_parity_golden.go (and flexflow.NewEngine)
+// built it.
+func liveEngine(t *testing.T, label string, nw *nn.Network, scale int) arch.Engine {
+	t.Helper()
+	switch label {
+	case "systolic":
+		k0 := 6
+		if nw.Name == "AlexNet" {
+			k0 = 11
+		}
+		arrays := scale * scale / (k0 * k0)
+		if arrays < 1 {
+			arrays = 1
+		}
+		return systolic.New(k0, arrays)
+	case "mapping2d":
+		return mapping2d.New(scale)
+	case "tiling":
+		return tiling.New(scale, scale)
+	case "rowstat":
+		return rowstat.New(scale, scale)
+	case "rowstat-eyeriss":
+		return rowstat.NewEyeriss()
+	case "flexflow-default":
+		return core.New(scale)
+	case "flexflow-compiled":
+		e := core.New(scale)
+		e.Chooser = compiler.Plan(nw, scale).Chooser()
+		return e
+	default:
+		t.Fatalf("unknown golden engine label %q", label)
+		return nil
+	}
+}
+
+// presetSpec returns the mapping spec equivalent to a golden entry's
+// engine, or ok=false for variants that have no single whole-network
+// spec (flexflow-compiled pins per-layer factors; see the per-layer
+// fixed-vector check in TestPresetSpecParity).
+func presetSpec(t *testing.T, label string, nw *nn.Network, scale int) (mapping.Spec, bool) {
+	t.Helper()
+	switch label {
+	case "systolic":
+		k0 := 6
+		if nw.Name == "AlexNet" {
+			k0 = 11
+		}
+		arrays := scale * scale / (k0 * k0)
+		if arrays < 1 {
+			arrays = 1
+		}
+		return mapping.PresetSystolic(k0, arrays), true
+	case "mapping2d":
+		return mapping.PresetMapping2D(scale), true
+	case "tiling":
+		return mapping.PresetTiling(scale, scale), true
+	case "rowstat":
+		return mapping.PresetRowStationary(scale, scale), true
+	case "rowstat-eyeriss":
+		return mapping.PresetEyeriss(), true
+	case "flexflow-default":
+		return mapping.PresetFlexFlow(scale), true
+	case "flexflow-compiled":
+		return mapping.Spec{}, false
+	default:
+		t.Fatalf("unknown golden engine label %q", label)
+		return mapping.Spec{}, false
+	}
+}
+
+// TestEngineParity pins the refactored engines bit-for-bit against the
+// pre-refactor oracle: every counter of every layer of every Table 1
+// workload, plus the 65 nm energy recomputation.
+func TestEngineParity(t *testing.T) {
+	g := loadGolden(t)
+	params := energy.Default65nm()
+	for _, entry := range g.Entries {
+		nw := workloads.ByName(entry.Workload)
+		if nw == nil {
+			t.Fatalf("golden workload %q unknown", entry.Workload)
+		}
+		e := liveEngine(t, entry.Engine, nw, g.Scale)
+		layers := nw.ConvLayers()
+		if len(layers) != len(entry.Layers) {
+			t.Fatalf("%s/%s: %d conv layers, golden has %d", entry.Engine, entry.Workload, len(layers), len(entry.Layers))
+		}
+		for i, l := range layers {
+			got := e.Model(l)
+			want := entry.Layers[i].Result
+			if got != want {
+				t.Errorf("%s/%s layer %s: Model diverged from pre-refactor oracle\n got: %+v\nwant: %+v",
+					entry.Engine, entry.Workload, l.Name, got, want)
+			}
+			if pj := params.LayerEnergy(got, g.Scale).TotalPJ(); pj != entry.Layers[i].EnergyPJ {
+				t.Errorf("%s/%s layer %s: energy %v pJ, golden %v pJ",
+					entry.Engine, entry.Workload, l.Name, pj, entry.Layers[i].EnergyPJ)
+			}
+		}
+	}
+}
+
+// TestPresetSpecParity pins the preset specs, lowered through the
+// interpreter, bit-for-bit against the same oracle — the acceptance
+// criterion that all five dataflows are expressible as declarative
+// specs with nothing lost in translation. The flexflow-compiled
+// variant is covered by pinning each layer's compiler-chosen factor
+// vector into the spec (the form flextune emits) and lowering that.
+func TestPresetSpecParity(t *testing.T) {
+	g := loadGolden(t)
+	params := energy.Default65nm()
+	for _, entry := range g.Entries {
+		nw := workloads.ByName(entry.Workload)
+		if nw == nil {
+			t.Fatalf("golden workload %q unknown", entry.Workload)
+		}
+		layers := nw.ConvLayers()
+		if len(layers) != len(entry.Layers) {
+			t.Fatalf("%s/%s: %d conv layers, golden has %d", entry.Engine, entry.Workload, len(layers), len(entry.Layers))
+		}
+
+		var model func(l nn.ConvLayer, i int) arch.LayerResult
+		if spec, ok := presetSpec(t, entry.Engine, nw, g.Scale); ok {
+			eng, err := mapping.Lower(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: preset spec does not validate: %v", entry.Engine, entry.Workload, err)
+			}
+			model = func(l nn.ConvLayer, i int) arch.LayerResult { return eng.Model(l) }
+		} else {
+			// flexflow-compiled: one spec per layer with the compiler's
+			// factors pinned.
+			chooser := compiler.Plan(nw, g.Scale).Chooser()
+			base := mapping.PresetFlexFlow(g.Scale)
+			model = func(l nn.ConvLayer, i int) arch.LayerResult {
+				spec := base.WithFactors(chooser(l))
+				eng, err := mapping.Lower(spec)
+				if err != nil {
+					t.Fatalf("%s/%s layer %s: pinned spec does not validate: %v", entry.Engine, entry.Workload, l.Name, err)
+				}
+				return eng.Model(l)
+			}
+		}
+
+		for i, l := range layers {
+			got := model(l, i)
+			want := entry.Layers[i].Result
+			if got != want {
+				t.Errorf("%s/%s layer %s: lowered spec diverged from pre-refactor oracle\n got: %+v\nwant: %+v",
+					entry.Engine, entry.Workload, l.Name, got, want)
+			}
+			if pj := params.LayerEnergy(got, g.Scale).TotalPJ(); pj != entry.Layers[i].EnergyPJ {
+				t.Errorf("%s/%s layer %s: energy %v pJ, golden %v pJ",
+					entry.Engine, entry.Workload, l.Name, pj, entry.Layers[i].EnergyPJ)
+			}
+		}
+	}
+}
+
+// TestGoldenCoverage documents the oracle's breadth: seven variants
+// per workload over the six Table 1 networks plus the running example.
+func TestGoldenCoverage(t *testing.T) {
+	g := loadGolden(t)
+	variants := map[string]bool{}
+	nets := map[string]bool{}
+	for _, e := range g.Entries {
+		variants[e.Engine] = true
+		nets[e.Workload] = true
+	}
+	if len(variants) != 7 {
+		t.Errorf("oracle covers %d engine variants, want 7: %v", len(variants), variants)
+	}
+	if len(nets) != 7 {
+		t.Errorf("oracle covers %d workloads, want 7 (Table 1 + Example): %v", len(nets), nets)
+	}
+	if g.Scale != 16 {
+		t.Errorf("oracle scale %d, want the paper's 16", g.Scale)
+	}
+	var layers int
+	for _, e := range g.Entries {
+		layers += len(e.Layers)
+	}
+	if layers == 0 {
+		t.Fatal("oracle has no layers")
+	}
+	t.Logf("oracle: %d entries, %d layer results", len(g.Entries), layers)
+}

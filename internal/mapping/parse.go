@@ -1,0 +1,390 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The compact text form is line-oriented; '#' starts a comment and
+// blank lines are ignored. Header lines (any order, each at most once)
+// configure the geometry; one directive line per loop dimension (in
+// the dataflow's nest order) maps the loops:
+//
+//	name FlexFlow
+//	dataflow flexflow
+//	array 16x16
+//	repl 1
+//	store neuron=128 kernel=128
+//	buffer 16384
+//	opt ra rs ipdr
+//	spatial N factor=auto tile=auto
+//	spatial M factor=auto
+//	...
+//
+// Text renders exactly this shape (headers in canonical order, all
+// fields explicit except zero tiles), so ParseText(s.Text()) == s for
+// every valid spec — the round-trip the fuzz harness pins.
+
+// ParseText parses and validates the compact text form.
+func ParseText(src string) (Spec, error) {
+	var s Spec
+	s.Geom.Repl = 1
+	seen := [8]bool{} // name, dataflow, array, repl, store, buffer, opt + spare
+	nDirs := 0
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (Spec, error) {
+			return Spec{}, fmt.Errorf("mapping: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		once := func(slot int, kw string) error {
+			if seen[slot] {
+				return fmt.Errorf("mapping: line %d: duplicate %q", ln+1, kw)
+			}
+			seen[slot] = true
+			return nil
+		}
+		switch f[0] {
+		case "name":
+			if err := once(0, "name"); err != nil {
+				return Spec{}, err
+			}
+			if len(f) != 2 {
+				return fail("name takes one token")
+			}
+			s.Name = f[1]
+		case "dataflow":
+			if err := once(1, "dataflow"); err != nil {
+				return Spec{}, err
+			}
+			if len(f) != 2 {
+				return fail("dataflow takes one token")
+			}
+			s.Dataflow = f[1]
+		case "array":
+			if err := once(2, "array"); err != nil {
+				return Spec{}, err
+			}
+			if len(f) != 2 {
+				return fail("array takes RxC")
+			}
+			r, c, ok := parseEdgePair(f[1])
+			if !ok {
+				return fail("array %q is not RxC", f[1])
+			}
+			s.Geom.Rows, s.Geom.Cols = r, c
+		case "repl":
+			if err := once(3, "repl"); err != nil {
+				return Spec{}, err
+			}
+			if len(f) != 2 {
+				return fail("repl takes one integer")
+			}
+			v, err := parseBounded(f[1])
+			if err != nil {
+				return fail("repl: %v", err)
+			}
+			s.Geom.Repl = v
+		case "store":
+			if err := once(4, "store"); err != nil {
+				return Spec{}, err
+			}
+			for _, kv := range f[1:] {
+				switch {
+				case strings.HasPrefix(kv, "neuron="):
+					v, err := parseBounded(kv[len("neuron="):])
+					if err != nil {
+						return fail("store neuron: %v", err)
+					}
+					s.Geom.NeuronStoreWords = v
+				case strings.HasPrefix(kv, "kernel="):
+					v, err := parseBounded(kv[len("kernel="):])
+					if err != nil {
+						return fail("store kernel: %v", err)
+					}
+					s.Geom.KernelStoreWords = v
+				default:
+					return fail("store field %q (want neuron=/kernel=)", kv)
+				}
+			}
+		case "buffer":
+			if err := once(5, "buffer"); err != nil {
+				return Spec{}, err
+			}
+			if len(f) != 2 {
+				return fail("buffer takes one integer")
+			}
+			v, err := parseBounded(f[1])
+			if err != nil {
+				return fail("buffer: %v", err)
+			}
+			s.Geom.BufferWords = v
+		case "opt":
+			if err := once(6, "opt"); err != nil {
+				return Spec{}, err
+			}
+			for _, tok := range f[1:] {
+				switch tok {
+				case "ra":
+					s.RA = true
+				case "rs":
+					s.RS = true
+				case "ipdr":
+					s.IPDR = true
+				case "none":
+					// explicit no-optimizations marker
+				default:
+					return fail("unknown optimization %q (want ra/rs/ipdr/none)", tok)
+				}
+			}
+		case "spatial", "temporal":
+			if nDirs >= int(numDims) {
+				return fail("more than %d loop directives", numDims)
+			}
+			d, err := parseDirective(f)
+			if err != nil {
+				return fail("%v", err)
+			}
+			s.Dirs[nDirs] = d
+			nDirs++
+		default:
+			return fail("unknown keyword %q", f[0])
+		}
+	}
+	if nDirs != int(numDims) {
+		return Spec{}, fmt.Errorf("mapping: spec has %d loop directives, need one per dimension (%d)", nDirs, numDims)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// parseDirective parses "spatial N factor=4 tile=8" style fields.
+func parseDirective(f []string) (Directive, error) {
+	var d Directive
+	if f[0] == "spatial" {
+		d.Kind = Spatial
+	}
+	if len(f) < 2 {
+		return d, fmt.Errorf("%s needs a dimension", f[0])
+	}
+	dim, ok := ParseDim(f[1])
+	if !ok {
+		return d, fmt.Errorf("unknown dimension %q (want M/N/R/C/I/J)", f[1])
+	}
+	d.Dim = dim
+	for _, kv := range f[2:] {
+		switch {
+		case strings.HasPrefix(kv, "factor="):
+			v, err := parseAuto(kv[len("factor="):])
+			if err != nil {
+				return d, fmt.Errorf("%s factor: %v", dim, err)
+			}
+			d.Factor = v
+		case strings.HasPrefix(kv, "tile="):
+			v, err := parseAuto(kv[len("tile="):])
+			if err != nil {
+				return d, fmt.Errorf("%s tile: %v", dim, err)
+			}
+			d.Tile = v
+		default:
+			return d, fmt.Errorf("unknown directive field %q (want factor=/tile=)", kv)
+		}
+	}
+	return d, nil
+}
+
+// parseEdgePair parses "16x16".
+func parseEdgePair(s string) (r, c int, ok bool) {
+	i := strings.IndexByte(s, 'x')
+	if i < 0 {
+		return 0, 0, false
+	}
+	r, err1 := parseBounded(s[:i])
+	c, err2 := parseBounded(s[i+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return r, c, true
+}
+
+// parseAuto parses an integer or the keyword "auto" (= 0).
+func parseAuto(s string) (int, error) {
+	if s == "auto" {
+		return 0, nil
+	}
+	return parseBounded(s)
+}
+
+// parseBounded parses a non-negative integer with an overflow-safe
+// bound; fine-grained range checks live in Validate.
+func parseBounded(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if v < 0 || v > maxBuffer {
+		return 0, fmt.Errorf("%d out of [0,%d]", v, maxBuffer)
+	}
+	return v, nil
+}
+
+// Text renders the canonical compact form. ParseText(s.Text())
+// reproduces s exactly for any spec that passes Validate.
+func (s *Spec) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name %s\n", s.Name)
+	fmt.Fprintf(&b, "dataflow %s\n", s.Dataflow)
+	fmt.Fprintf(&b, "array %dx%d\n", s.Geom.Rows, s.Geom.Cols)
+	fmt.Fprintf(&b, "repl %d\n", s.Geom.Repl)
+	fmt.Fprintf(&b, "store neuron=%d kernel=%d\n", s.Geom.NeuronStoreWords, s.Geom.KernelStoreWords)
+	fmt.Fprintf(&b, "buffer %d\n", s.Geom.BufferWords)
+	b.WriteString("opt")
+	if !s.RA && !s.RS && !s.IPDR {
+		b.WriteString(" none")
+	} else {
+		if s.RA {
+			b.WriteString(" ra")
+		}
+		if s.RS {
+			b.WriteString(" rs")
+		}
+		if s.IPDR {
+			b.WriteString(" ipdr")
+		}
+	}
+	b.WriteByte('\n')
+	for _, d := range s.Dirs {
+		b.WriteString(d.Kind.String())
+		b.WriteByte(' ')
+		b.WriteString(d.Dim.String())
+		if d.Kind == Spatial {
+			if d.Factor == 0 {
+				b.WriteString(" factor=auto")
+			} else {
+				fmt.Fprintf(&b, " factor=%d", d.Factor)
+			}
+		}
+		if d.Tile != 0 {
+			fmt.Fprintf(&b, " tile=%d", d.Tile)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// specJSON is the JSON wire form of a Spec; field order is the
+// canonical marshal order.
+type specJSON struct {
+	Name        string     `json:"name"`
+	Dataflow    string     `json:"dataflow"`
+	Rows        int        `json:"rows"`
+	Cols        int        `json:"cols"`
+	Repl        int        `json:"repl"`
+	NeuronStore int        `json:"neuron_store"`
+	KernelStore int        `json:"kernel_store"`
+	Buffer      int        `json:"buffer"`
+	RA          bool       `json:"ra"`
+	RS          bool       `json:"rs"`
+	IPDR        bool       `json:"ipdr"`
+	Loops       []loopJSON `json:"loops"`
+}
+
+type loopJSON struct {
+	Dim    string `json:"dim"`
+	Kind   string `json:"kind"`
+	Factor int    `json:"factor,omitempty"` // 0 = auto
+	Tile   int    `json:"tile,omitempty"`   // 0 = auto
+}
+
+// ParseJSON parses and validates the JSON form.
+func ParseJSON(src []byte) (Spec, error) {
+	var j specJSON
+	if err := json.Unmarshal(src, &j); err != nil {
+		return Spec{}, fmt.Errorf("mapping: %v", err)
+	}
+	var s Spec
+	s.Name = j.Name
+	s.Dataflow = j.Dataflow
+	s.Geom = Geometry{
+		Rows: j.Rows, Cols: j.Cols, Repl: j.Repl,
+		NeuronStoreWords: j.NeuronStore, KernelStoreWords: j.KernelStore,
+		BufferWords: j.Buffer,
+	}
+	s.RA, s.RS, s.IPDR = j.RA, j.RS, j.IPDR
+	if len(j.Loops) != int(numDims) {
+		return Spec{}, fmt.Errorf("mapping: spec has %d loops, need one per dimension (%d)", len(j.Loops), numDims)
+	}
+	for i, lj := range j.Loops {
+		dim, ok := ParseDim(lj.Dim)
+		if !ok {
+			return Spec{}, fmt.Errorf("mapping: loops[%d]: unknown dimension %q", i, lj.Dim)
+		}
+		var kind Kind
+		switch lj.Kind {
+		case "spatial":
+			kind = Spatial
+		case "temporal":
+			kind = Temporal
+		default:
+			return Spec{}, fmt.Errorf("mapping: loops[%d]: unknown kind %q", i, lj.Kind)
+		}
+		if lj.Factor < 0 || lj.Factor > maxBuffer || lj.Tile < 0 || lj.Tile > maxBuffer {
+			return Spec{}, fmt.Errorf("mapping: loops[%d]: factor/tile out of range", i)
+		}
+		s.Dirs[i] = Directive{Dim: dim, Kind: kind, Factor: lj.Factor, Tile: lj.Tile}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// JSON renders the canonical JSON form (indented, trailing newline).
+// ParseJSON(s.JSON()) reproduces s exactly for any valid spec.
+func (s *Spec) JSON() []byte {
+	j := specJSON{
+		Name: s.Name, Dataflow: s.Dataflow,
+		Rows: s.Geom.Rows, Cols: s.Geom.Cols, Repl: s.Geom.Repl,
+		NeuronStore: s.Geom.NeuronStoreWords, KernelStore: s.Geom.KernelStoreWords,
+		Buffer: s.Geom.BufferWords,
+		RA:     s.RA, RS: s.RS, IPDR: s.IPDR,
+	}
+	for _, d := range s.Dirs {
+		j.Loops = append(j.Loops, loopJSON{
+			Dim: d.Dim.String(), Kind: d.Kind.String(), Factor: d.Factor, Tile: d.Tile,
+		})
+	}
+	out, err := json.MarshalIndent(&j, "", " ")
+	if err != nil {
+		// A validated Spec always marshals; this is unreachable.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// Parse auto-detects the form: JSON when the first non-space byte is
+// '{', compact text otherwise.
+func Parse(src []byte) (Spec, error) {
+	for _, c := range src {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return ParseJSON(src)
+		}
+		break
+	}
+	return ParseText(string(src))
+}

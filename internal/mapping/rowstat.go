@@ -1,0 +1,120 @@
+package mapping
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// RowStationary is the lowering rule of the rowstat dataflow: the
+// Eyeriss-style row-stationary mapping (§7, Table 7 comparator) on a
+// Rows×Cols array — PE sets of K rows × E columns, kernel rows
+// stationary, inputs multicast across concurrent sets.
+type RowStationary struct {
+	Rows, Cols  int
+	BufferWords int
+}
+
+// Geometry derives the RS mapping of a layer: set height (kernel rows,
+// folded when K exceeds the physical height), set width E (output rows
+// per pass), and the number of concurrent sets.
+func (rs RowStationary) Geometry(l nn.ConvLayer) (setH, setW, sets, folds int) {
+	setH = l.K
+	folds = 1
+	if setH > rs.Rows {
+		folds = (l.K + rs.Rows - 1) / rs.Rows
+		setH = rs.Rows
+	}
+	setW = l.S
+	if setW > rs.Cols {
+		setW = rs.Cols
+	}
+	sets = rs.Rows / setH
+	if sets < 1 {
+		sets = 1
+	}
+	return setH, setW, sets, folds
+}
+
+// Account lowers one unit-stride layer: the analytic cycle/traffic
+// model of the row-stationary engine. Arch is left empty for the
+// caller.
+func (rs RowStationary) Account(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("rowstat: unit-stride model only")
+	}
+	setH, setW, sets, folds := rs.Geometry(l)
+	in := int64(l.InSize())
+
+	// One set-pass: setW output rows of one (m, n) pair for one kernel
+	// fold; every PE runs a 1-D conv of S outputs × K taps, plus the
+	// psum drain down the set.
+	cyclesPerPass := int64(l.S)*int64(l.K) + int64(setH)
+	rowGroups := int64((l.S + setW - 1) / setW)
+	// Rounds are grouped by (n, fold, m-group, row-group): a partial
+	// m-group still occupies a full round.
+	mGroupsForRounds := int64((l.M + sets - 1) / sets)
+	engineRounds := int64(l.N) * int64(folds) * mGroupsForRounds * rowGroups
+
+	res := arch.LayerResult{
+		Layer: l,
+		Factors: arch.T{Tm: sets, Tn: 1, Tr: setW, Tc: 1,
+			Ti: setH, Tj: 1},
+		PEs:    rs.Rows * rs.Cols,
+		Cycles: engineRounds * cyclesPerPass,
+		MACs:   l.MACs(),
+	}
+
+	// Kernel rows stay stationary across an (m, n)'s row groups: each
+	// fold's rows are loaded once per (m, n), so the folds together load
+	// each synapse exactly once.
+	res.KernelLoads = int64(l.M) * int64(l.N) * int64(l.K) * int64(l.K)
+	// Input rows multicast to the concurrent sets (different m, same n):
+	// one buffer read serves a whole m-group. Sum the exact row-group
+	// extents (the last group is narrower).
+	mGroups := int64((l.M + sets - 1) / sets)
+	var rowGroupWords int64
+	for e0 := 0; e0 < l.S; e0 += setW {
+		ew := setW
+		if e0+ew > l.S {
+			ew = l.S - e0
+		}
+		rowGroupWords += int64(ew+setH-1) * in
+	}
+	res.NeuronLoads = mGroups * int64(l.N) * int64(folds) * rowGroupWords
+	_ = rowGroups
+	// Partial sums spill to the buffer per n (and per fold) and are
+	// re-read for accumulation.
+	s2 := int64(l.S) * int64(l.S)
+	nPasses := int64(l.N) * int64(folds)
+	res.NeuronStores = int64(l.M) * nPasses * s2
+	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
+	// Psums hop up the set once per tap row beyond the first (per fold,
+	// a set of ka rows makes ka-1 hops per output element).
+	var hopsPerElem int64
+	for fold := 0; fold < folds; fold++ {
+		ka := setH
+		if fold*setH+ka > l.K {
+			ka = l.K - fold*setH
+		}
+		hopsPerElem += int64(ka - 1)
+	}
+	res.InterPEMoves = int64(l.M) * int64(l.N) * s2 * hopsPerElem
+	// The stationary register file is read per MAC (kernel + psum).
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	rs.DRAM(l, &res, mGroups)
+	return res
+}
+
+// DRAM fills the external-memory counters: compulsory traffic plus an
+// input re-stream per m-group when the stack exceeds the buffer.
+func (rs RowStationary) DRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(rs.BufferWords) {
+		reload = mGroups
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}

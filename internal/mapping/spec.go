@@ -1,0 +1,374 @@
+// Package mapping is the declarative dataflow layer of the repo: a
+// mapping Spec names, per loop dimension of the CONV nest, whether the
+// dimension is unrolled spatially across the PE array or walked
+// temporally, with optional fixed unroll factors and tile sizes, plus
+// the engine geometry the spec is lowered onto (array shape,
+// replication, local stores, on-chip buffer) and the FlexFlow dataflow
+// optimization toggles (RA/RS/IPDR, §4.3–4.5 of the paper).
+//
+// The five hard-coded engines of the repo are preset specs: the
+// lowering rules in this package (flex.go, systolic.go, grid.go,
+// tree.go, rowstat.go) carry the analytic accounting the engine
+// packages delegate to, so a Spec lowered through Engine produces
+// bit-for-bit the same LayerResult as the corresponding engine
+// package — the parity table test pins this against pre-refactor
+// goldens on the full Table 1 set. In the style of MAESTRO's
+// SpatialMap/TemporalMap descriptions, the loop-order of the
+// directives is meaningful: each dataflow rule pins the nest order it
+// implements, and the validator rejects reorderings the interpreter
+// cannot honor (they would silently account a different machine).
+//
+// Specs parse from a compact line-oriented text (see ParseText) and
+// from JSON (see ParseJSON), serialize canonically (Text/JSON), and
+// embed into engine cache keys via AppendSpecKey so two distinct
+// specs on the same layer shape can never alias one memo entry.
+package mapping
+
+import (
+	"fmt"
+
+	"flexflow/internal/arch"
+)
+
+// Dim names one dimension of the 6-deep CONV loop nest.
+type Dim uint8
+
+// The six loop dimensions of the paper's Fig. 2 nest.
+const (
+	DimM Dim = iota // output feature maps
+	DimN            // input feature maps
+	DimR            // output rows
+	DimC            // output columns
+	DimI            // kernel rows
+	DimJ            // kernel columns
+	numDims
+)
+
+// String returns the single-letter name used by the DSL.
+func (d Dim) String() string {
+	if int(d) < len(dimNames) {
+		return dimNames[d]
+	}
+	return "?"
+}
+
+var dimNames = [numDims]string{"M", "N", "R", "C", "I", "J"}
+
+// ParseDim maps a single-letter dimension name back to its Dim.
+func ParseDim(s string) (Dim, bool) {
+	for d, name := range dimNames {
+		if s == name {
+			return Dim(d), true
+		}
+	}
+	return 0, false
+}
+
+// Kind says whether a loop dimension is unrolled across PEs in one
+// cycle (Spatial) or iterated over time (Temporal).
+type Kind uint8
+
+const (
+	Temporal Kind = iota
+	Spatial
+)
+
+// String returns the DSL keyword.
+func (k Kind) String() string {
+	if k == Spatial {
+		return "spatial"
+	}
+	return "temporal"
+}
+
+// Directive is the mapping of one loop dimension.
+type Directive struct {
+	Dim  Dim
+	Kind Kind
+	// Factor is the spatial unroll factor; 0 means auto (resolved by
+	// the dataflow rule — the paper's compiler for flexflow, the
+	// geometry for the rigid dataflows). Temporal dimensions carry no
+	// factor.
+	Factor int
+	// Tile is the temporal chunk size in elements of Dim; 0 means
+	// auto. Only the flexflow rule consumes a tile (on N: input maps
+	// per partial-sum chunk, the Fig. 13f mechanism); elsewhere tiling
+	// is implied by the geometry.
+	Tile int
+}
+
+// Geometry is the physical engine a spec is lowered onto.
+type Geometry struct {
+	Rows, Cols int // PE array shape
+	// Repl replicates the whole array (the systolic baseline's
+	// identical K0×K0 arrays); 1 everywhere else.
+	Repl int
+	// NeuronStoreWords and KernelStoreWords size the per-PE local
+	// stores in 16-bit words (flexflow dataflow only; 0 elsewhere).
+	NeuronStoreWords int
+	KernelStoreWords int
+	// BufferWords bounds on-chip reuse in the DRAM traffic model.
+	BufferWords int
+}
+
+// The five dataflow rules the interpreter implements. Each names the
+// loop-nest/accounting of one engine package.
+const (
+	DataflowFlexFlow  = "flexflow"
+	DataflowSystolic  = "systolic"
+	DataflowMapping2D = "mapping2d"
+	DataflowTiling    = "tiling"
+	DataflowRowStat   = "rowstat"
+)
+
+// Dataflows lists the supported rule names in canonical order.
+func Dataflows() []string {
+	return []string{DataflowFlexFlow, DataflowSystolic, DataflowMapping2D, DataflowTiling, DataflowRowStat}
+}
+
+// Spec is a complete declarative mapping: a named dataflow rule, the
+// geometry it runs on, the optimization toggles, and one directive per
+// loop dimension in nest order (outermost first). Spec is a value
+// type: comparable with ==, safe to copy, and canonical once
+// Validate passes.
+type Spec struct {
+	Name     string // engine name; appears in LayerResult.Arch and cache keys
+	Dataflow string
+	Geom     Geometry
+	// RA, RS, IPDR are the FlexFlow dataflow optimizations; they must
+	// be false for the rigid dataflows (which cannot express them).
+	RA, RS, IPDR bool
+	// Dirs is the loop nest, outermost first; each dimension appears
+	// exactly once, in the order the dataflow rule pins.
+	Dirs [numDims]Directive
+}
+
+// Bounds that keep parsed specs sane (and arithmetic overflow-free)
+// under fuzzing; real configurations sit far below all of them.
+const (
+	maxName   = 64
+	maxEdge   = 4096    // Rows, Cols, Repl
+	maxStore  = 1 << 20 // per-PE store words
+	maxBuffer = 1 << 30 // on-chip buffer words
+	maxFactor = 1 << 20 // directive factor / tile
+)
+
+// nestOrder returns the pinned loop order and kinds of a dataflow rule.
+// The bool reports whether the rule exists.
+func nestOrder(dataflow string) (order [numDims]Dim, kinds [numDims]Kind, ok bool) {
+	switch dataflow {
+	case DataflowFlexFlow:
+		// N chunks outermost (partial-sum loop), then the m/r/c block
+		// walk; all six dimensions are spatially unrolled by T.
+		return [numDims]Dim{DimN, DimM, DimR, DimC, DimI, DimJ},
+			[numDims]Kind{Spatial, Spatial, Spatial, Spatial, Spatial, Spatial}, true
+	case DataflowSystolic:
+		// m-groups across replicated arrays, input maps temporally,
+		// K0×K0 sub-kernels spatial, raster r/c temporal.
+		return [numDims]Dim{DimM, DimN, DimI, DimJ, DimR, DimC},
+			[numDims]Kind{Spatial, Temporal, Spatial, Spatial, Temporal, Temporal}, true
+	case DataflowMapping2D:
+		// Output maps temporal, a D×D block of output neurons spatial,
+		// input maps and kernel walk temporal.
+		return [numDims]Dim{DimM, DimR, DimC, DimN, DimI, DimJ},
+			[numDims]Kind{Temporal, Spatial, Spatial, Temporal, Temporal, Temporal}, true
+	case DataflowTiling:
+		// Tm output maps × Tn input maps spatial; everything else
+		// temporal (no local operand storage).
+		return [numDims]Dim{DimM, DimN, DimR, DimC, DimI, DimJ},
+			[numDims]Kind{Spatial, Spatial, Temporal, Temporal, Temporal, Temporal}, true
+	case DataflowRowStat:
+		// Input maps and kernel folds temporal; kernel rows, m-sets and
+		// output-row groups spatial on the array.
+		return [numDims]Dim{DimN, DimI, DimM, DimR, DimC, DimJ},
+			[numDims]Kind{Temporal, Spatial, Spatial, Spatial, Temporal, Temporal}, true
+	}
+	return order, kinds, false
+}
+
+// dir returns the directive of dimension d (valid after Validate,
+// which guarantees each dimension appears once).
+func (s *Spec) dir(d Dim) Directive {
+	for _, dd := range s.Dirs {
+		if dd.Dim == d {
+			return dd
+		}
+	}
+	return Directive{Dim: d}
+}
+
+// validName reports whether the spec name is key- and DSL-safe: one
+// token of printable ASCII without the '|' key terminator or '#'
+// comment introducer.
+func validName(name string) bool {
+	if name == "" || len(name) > maxName {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c <= ' ' || c > '~' || c == '|' || c == '#' {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the spec against its dataflow rule: geometry bounds,
+// directive order/kinds, and the factor discipline (rigid dataflows
+// derive every factor from geometry; flexflow takes either all-auto —
+// the compiler chooses — or a fully fixed factor vector obeying
+// Constraint (1) of §5). A validated spec lowers without panicking on
+// any layer its CheckLayer accepts.
+func (s *Spec) Validate() error {
+	if !validName(s.Name) {
+		return fmt.Errorf("mapping: invalid spec name %q (one printable token, no '|' or '#', at most %d bytes)", s.Name, maxName)
+	}
+	order, kinds, ok := nestOrder(s.Dataflow)
+	if !ok {
+		return fmt.Errorf("mapping: unknown dataflow %q", s.Dataflow)
+	}
+	g := s.Geom
+	if g.Rows < 1 || g.Rows > maxEdge || g.Cols < 1 || g.Cols > maxEdge {
+		return fmt.Errorf("mapping: array %dx%d out of [1,%d]", g.Rows, g.Cols, maxEdge)
+	}
+	if g.Repl < 1 || g.Repl > maxEdge {
+		return fmt.Errorf("mapping: repl %d out of [1,%d]", g.Repl, maxEdge)
+	}
+	if g.BufferWords < 1 || g.BufferWords > maxBuffer {
+		return fmt.Errorf("mapping: buffer %d out of [1,%d]", g.BufferWords, maxBuffer)
+	}
+	if g.NeuronStoreWords < 0 || g.NeuronStoreWords > maxStore ||
+		g.KernelStoreWords < 0 || g.KernelStoreWords > maxStore {
+		return fmt.Errorf("mapping: store sizes %d/%d out of [0,%d]", g.NeuronStoreWords, g.KernelStoreWords, maxStore)
+	}
+
+	// Directive discipline: pinned order, pinned kinds, bounded values.
+	for i, d := range s.Dirs {
+		if d.Dim != order[i] {
+			return fmt.Errorf("mapping: %s nest order is %s; directive %d is %s", s.Dataflow, orderString(order), i, d.Dim)
+		}
+		if d.Kind != kinds[i] {
+			return fmt.Errorf("mapping: %s maps %s %sly, spec says %s", s.Dataflow, d.Dim, kinds[i], d.Kind)
+		}
+		if d.Factor < 0 || d.Factor > maxFactor {
+			return fmt.Errorf("mapping: %s factor %d out of [0,%d]", d.Dim, d.Factor, maxFactor)
+		}
+		if d.Tile < 0 || d.Tile > maxFactor {
+			return fmt.Errorf("mapping: %s tile %d out of [0,%d]", d.Dim, d.Tile, maxFactor)
+		}
+		if d.Kind == Temporal && d.Factor != 0 {
+			return fmt.Errorf("mapping: temporal %s cannot carry an unroll factor", d.Dim)
+		}
+	}
+
+	switch s.Dataflow {
+	case DataflowFlexFlow:
+		if g.Rows != g.Cols {
+			return fmt.Errorf("mapping: flexflow needs a square array, got %dx%d", g.Rows, g.Cols)
+		}
+		if g.Repl != 1 {
+			return fmt.Errorf("mapping: flexflow does not replicate arrays (repl=%d)", g.Repl)
+		}
+		if g.NeuronStoreWords < 1 || g.KernelStoreWords < 1 {
+			return fmt.Errorf("mapping: flexflow needs per-PE stores (neuron=%d kernel=%d)", g.NeuronStoreWords, g.KernelStoreWords)
+		}
+		fixed := 0
+		for _, d := range s.Dirs {
+			if d.Factor > 0 {
+				fixed++
+			}
+			if d.Tile != 0 && d.Dim != DimN {
+				return fmt.Errorf("mapping: flexflow tiles only N (the partial-sum chunk), not %s", d.Dim)
+			}
+		}
+		if fixed != 0 && fixed != int(numDims) {
+			return fmt.Errorf("mapping: flexflow factors must be all-auto or a full fixed vector (%d of %d fixed)", fixed, numDims)
+		}
+		if fixed == int(numDims) {
+			t := s.FixedFactors()
+			if t.Rows() > g.Rows {
+				return fmt.Errorf("mapping: Tm·Tr·Tc=%d exceeds %d PE rows (Constraint 1)", t.Rows(), g.Rows)
+			}
+			if t.Cols() > g.Cols {
+				return fmt.Errorf("mapping: Tn·Ti·Tj=%d exceeds %d PE columns (Constraint 1)", t.Cols(), g.Cols)
+			}
+		}
+	default:
+		// The rigid dataflows derive every factor from geometry and
+		// cannot express the FlexFlow optimizations.
+		if s.RA || s.RS || s.IPDR {
+			return fmt.Errorf("mapping: RA/RS/IPDR are flexflow-only optimizations")
+		}
+		if g.NeuronStoreWords != 0 || g.KernelStoreWords != 0 {
+			return fmt.Errorf("mapping: per-PE store sizes are flexflow-only (got neuron=%d kernel=%d)", g.NeuronStoreWords, g.KernelStoreWords)
+		}
+		for _, d := range s.Dirs {
+			if d.Factor != 0 {
+				return fmt.Errorf("mapping: %s derives %s's unroll from geometry; factor must be auto", s.Dataflow, d.Dim)
+			}
+			if d.Tile != 0 {
+				return fmt.Errorf("mapping: %s derives tiling from geometry; %s tile must be auto", s.Dataflow, d.Dim)
+			}
+		}
+		if s.Dataflow != DataflowTiling && s.Dataflow != DataflowRowStat && g.Rows != g.Cols {
+			return fmt.Errorf("mapping: %s needs a square array, got %dx%d", s.Dataflow, g.Rows, g.Cols)
+		}
+		if s.Dataflow != DataflowSystolic && g.Repl != 1 {
+			return fmt.Errorf("mapping: only the systolic dataflow replicates arrays (repl=%d)", g.Repl)
+		}
+	}
+	return nil
+}
+
+// FixedFactors returns the spec's fixed unrolling vector (flexflow
+// dataflow with a full factor vector); the zero T when factors are
+// auto.
+func (s *Spec) FixedFactors() arch.T {
+	var t arch.T
+	t.Tm = s.dir(DimM).Factor
+	t.Tn = s.dir(DimN).Factor
+	t.Tr = s.dir(DimR).Factor
+	t.Tc = s.dir(DimC).Factor
+	t.Ti = s.dir(DimI).Factor
+	t.Tj = s.dir(DimJ).Factor
+	return t
+}
+
+// NTile returns the explicit N chunk size (flexflow partial-sum tile);
+// 0 means auto.
+func (s *Spec) NTile() int { return s.dir(DimN).Tile }
+
+// WithFactors returns a copy of the spec with every directive's unroll
+// factor pinned to the vector t — the per-layer form the compiler and
+// the flextune autotuner emit. Pass the zero T to return to all-auto.
+func (s Spec) WithFactors(t arch.T) Spec {
+	for i := range s.Dirs {
+		switch s.Dirs[i].Dim {
+		case DimM:
+			s.Dirs[i].Factor = t.Tm
+		case DimN:
+			s.Dirs[i].Factor = t.Tn
+		case DimR:
+			s.Dirs[i].Factor = t.Tr
+		case DimC:
+			s.Dirs[i].Factor = t.Tc
+		case DimI:
+			s.Dirs[i].Factor = t.Ti
+		case DimJ:
+			s.Dirs[i].Factor = t.Tj
+		}
+	}
+	return s
+}
+
+// orderString renders a nest order like "N M R C I J".
+func orderString(order [numDims]Dim) string {
+	var b []byte
+	for i, d := range order {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, d.String()...)
+	}
+	return string(b)
+}

@@ -1,0 +1,99 @@
+package mapping
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// Systolic is the lowering rule of the systolic dataflow (SFSNMS,
+// §3.1): Arrays identical K0×K0 delay-line arrays working on different
+// output maps, inputs broadcast in raster order, synapses stationary.
+type Systolic struct {
+	K0, Arrays  int
+	BufferWords int
+}
+
+// Passes returns how many sub-kernel passes cover a K×K kernel on the
+// K0×K0 array (⌈K/K0⌉ in each dimension).
+func (y Systolic) Passes(k int) int {
+	n := (k + y.K0 - 1) / y.K0
+	return n * n
+}
+
+// CyclesPerPass returns the cycles of one full raster pass of the
+// input feature map through one array: one broadcast per input neuron
+// plus one drain cycle for the last partial sum to exit the line.
+func systolicCyclesPerPass(l nn.ConvLayer) int64 {
+	in := int64(l.InSize())
+	return in*in + 1
+}
+
+// Account lowers one unit-stride layer: the analytic cycle/traffic
+// model of the systolic engine. Arch is left empty for the caller.
+func (y Systolic) Account(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("systolic: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	in := int64(l.InSize())
+	subPasses := int64(y.Passes(l.K))
+	mGroups := int64((l.M + y.Arrays - 1) / y.Arrays)
+	// Arrays in one m-group run in lock-step on the same broadcast, so
+	// engine cycles follow the per-array schedule.
+	cycles := mGroups * int64(l.N) * subPasses * systolicCyclesPerPass(l)
+
+	res := arch.LayerResult{
+		Layer: l,
+		Factors: arch.T{Tm: min(y.Arrays, l.M), Tn: 1, Tr: 1, Tc: 1,
+			Ti: min(y.K0, l.K), Tj: min(y.K0, l.K)},
+		PEs:    y.Arrays * y.K0 * y.K0,
+		Cycles: cycles,
+		MACs:   l.MACs(),
+	}
+
+	s2 := int64(l.S) * int64(l.S)
+	// Input neurons: broadcast in raster order, shared by all arrays of
+	// an m-group (the inter-array sharing the paper credits Systolic
+	// with). One buffer read feeds the whole group.
+	res.NeuronLoads = mGroups * int64(l.N) * subPasses * (in * in)
+	// Synapses: loaded once per (m,n,sub-kernel) pass and then resident.
+	res.KernelLoads = l.KernelWords()
+	// Partial sums: every pass pumps S² partials out of each array;
+	// all but the first pass's stores trigger a re-read of the previous
+	// partial for accumulation.
+	nPasses := int64(l.N) * subPasses
+	res.NeuronStores = int64(l.M) * nPasses * s2
+	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
+	// Partial sums shift once per line position after birth:
+	// lineLen-1 moves per slot, with the line length of each sub-pass.
+	sub := (l.K + y.K0 - 1) / y.K0
+	var movesPerMN int64
+	for oi := 0; oi < sub; oi++ {
+		for oj := 0; oj < sub; oj++ {
+			ka := min(y.K0, l.K-oi*y.K0)
+			kb := min(y.K0, l.K-oj*y.K0)
+			lineLen := int64(ka-1)*in + int64(kb)
+			movesPerMN += s2 * (lineLen - 1)
+		}
+	}
+	res.InterPEMoves = int64(l.M) * int64(l.N) * movesPerMN
+	// Each MAC reads the synapse register and the partial-sum register.
+	res.LocalReads = 2 * l.MACs()
+	res.LocalWrites = l.MACs()
+
+	y.DRAM(l, &res, mGroups)
+	return res
+}
+
+// DRAM fills the external-memory counters: compulsory traffic plus
+// re-fetches when the input stack exceeds the neuron buffer.
+func (y Systolic) DRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
+	inWords := l.InputWords()
+	reload := int64(1)
+	if inWords > int64(y.BufferWords) {
+		// The input stack does not fit: it is re-streamed once per
+		// m-group.
+		reload = mGroups
+	}
+	res.DRAMReads = inWords*reload + l.KernelWords()
+	res.DRAMWrites = l.OutputWords()
+}

@@ -1,0 +1,95 @@
+package mapping
+
+import (
+	"flexflow/internal/arch"
+	"flexflow/internal/nn"
+)
+
+// Tree is the lowering rule of the tiling dataflow (MFSNSS, §3.3):
+// Tm PEs of Tn multipliers each feeding an adder tree, no local
+// operand storage — neurons and synapses are re-fetched every cycle.
+type Tree struct {
+	Tm, Tn      int
+	BufferWords int
+}
+
+// Account lowers one unit-stride layer: the analytic cycle/traffic
+// model of the tiling engine. Arch is left empty for the caller.
+func (tr Tree) Account(l nn.ConvLayer) arch.LayerResult {
+	if l.Str() != 1 {
+		panic("tiling: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
+	}
+	mBlocks := int64(ceilDiv(l.M, tr.Tm))
+	nBlocks := int64(ceilDiv(l.N, tr.Tn))
+	s2k2 := int64(l.S) * int64(l.S) * int64(l.K) * int64(l.K)
+	cycles := mBlocks * nBlocks * s2k2
+
+	res := arch.LayerResult{
+		Layer: l,
+		Factors: arch.T{Tm: min(tr.Tm, l.M), Tn: min(tr.Tn, l.N), Tr: 1, Tc: 1,
+			Ti: 1, Tj: 1},
+		PEs:    tr.Tm * tr.Tn,
+		Cycles: cycles,
+		MACs:   l.MACs(),
+	}
+
+	// Every cycle fetches the active lanes' neurons and synapses anew —
+	// there is no local operand storage, so the traffic scales with the
+	// MAC count itself (the "poorest data sharing" of §3.3). Inactive
+	// lanes are fetch-gated, which is what keeps Tiling's power at the
+	// bottom of Fig. 18c even as its traffic tops Fig. 17.
+	s2 := int64(l.S) * int64(l.S)
+	k2 := int64(l.K) * int64(l.K)
+	for m0 := 0; m0 < l.M; m0 += tr.Tm {
+		lanes := int64(min(tr.Tm, l.M-m0))
+		for n0 := 0; n0 < l.N; n0 += tr.Tn {
+			width := int64(min(tr.Tn, l.N-n0))
+			res.NeuronLoads += width * s2 * k2
+			res.KernelLoads += lanes * width * s2 * k2
+		}
+	}
+	// Partial sums live in the PE across (i,j) but are spilled per
+	// n-block: each output is stored once per n-block and re-read for
+	// every n-block after the first. Only real outputs spill; for
+	// partial m-blocks fewer PEs carry outputs, so count exactly over
+	// blocks.
+	res.NeuronStores = 0
+	for m0 := 0; m0 < l.M; m0 += tr.Tm {
+		lanes := int64(min(tr.Tm, l.M-m0))
+		res.NeuronStores += nBlocks * lanes * int64(l.S) * int64(l.S)
+	}
+	res.NeuronLoads += res.NeuronStores - l.OutputWords() // re-reads of partials
+	// The adder-tree output register is the only local state: one
+	// read-modify-write per active PE per cycle.
+	res.LocalReads = 0
+	for m0 := 0; m0 < l.M; m0 += tr.Tm {
+		lanes := int64(min(tr.Tm, l.M-m0))
+		res.LocalReads += lanes * nBlocks * s2k2
+	}
+	res.LocalWrites = res.LocalReads
+
+	tr.DRAM(l, &res, nBlocks)
+	return res
+}
+
+// DRAM fills the external-memory counters: kernel re-streams when the
+// kernel stack exceeds the buffer, plus partial-sum spills when the
+// outputs do not fit on chip.
+func (tr Tree) DRAM(l nn.ConvLayer, res *arch.LayerResult, nBlocks int64) {
+	kernWords := l.KernelWords()
+	reload := int64(1)
+	if kernWords > int64(tr.BufferWords) {
+		// Kernels exceed the kernel buffer: re-stream per output pass.
+		reload = int64(ceilDiv(l.M, tr.Tm))
+	}
+	if reload > 4 {
+		reload = 4
+	}
+	res.DRAMReads = l.InputWords() + kernWords*reload
+	res.DRAMWrites = l.OutputWords()
+	// Partial sums that do not fit on chip spill to DRAM.
+	if nBlocks > 1 && l.OutputWords() > int64(tr.BufferWords) {
+		res.DRAMWrites += (nBlocks - 1) * l.OutputWords()
+		res.DRAMReads += (nBlocks - 1) * l.OutputWords()
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -57,21 +58,34 @@ func (e *Engine) Name() string { return "2D-Mapping" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.D * e.D }
 
-// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
-// array edge, buffer capacity, tracer arming and the layer shape —
-// everything Model reads (see arch.AppendLayerKey for the exclusions).
+// rule returns the mapping-layer lowering rule configured exactly as
+// this engine; Model and Simulate's DRAM accounting both go through it,
+// so the engine and its preset spec cannot drift.
+func (e *Engine) rule() mapping.Grid {
+	return mapping.Grid{D: e.D, BufferWords: e.BufferWords}
+}
+
+// spec returns the engine's configuration as its mapping spec: the
+// mapping2d preset at this engine's geometry.
+func (e *Engine) spec() mapping.Spec {
+	s := mapping.PresetMapping2D(e.D)
+	s.Geom.BufferWords = e.BufferWords
+	return s
+}
+
+// LayerCacheKey implements the pipeline's CacheKeyer: the engine's
+// mapping-spec digest (kind, array edge, buffer capacity and dataflow
+// directives, via mapping.AppendSpecKey), tracer arming and the layer
+// shape — everything Model reads (see arch.AppendLayerKey for the
+// exclusions).
 func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
-	b := make([]byte, 0, 64)
-	b = arch.AppendKeyString(b, e.Name())
-	b = arch.AppendKeyInt(b, int64(e.D))
-	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b := make([]byte, 0, 224)
+	s := e.spec()
+	b = mapping.AppendSpecKey(b, &s)
 	b = arch.AppendKeyBool(b, e.Tracer != nil)
 	b = arch.AppendLayerKey(b, l)
 	return string(b), true
 }
-
-// blockGrid returns how many D×D blocks tile an S×S output map.
-func (e *Engine) blockGrid(s int) int { return (s + e.D - 1) / e.D }
 
 // CheckLayer implements arch.LayerChecker: the 2-D mapping baseline
 // keeps the paper's unit-stride contract (§3).
@@ -85,75 +99,12 @@ func (e *Engine) CheckLayer(l nn.ConvLayer) error {
 	return nil
 }
 
-// Model implements arch.Engine.
+// Model implements arch.Engine by lowering the layer through the 2-D
+// mapping rule.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
-	if l.Str() != 1 {
-		panic("mapping2d: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
-	}
-	res := arch.LayerResult{
-		Arch:  e.Name(),
-		Layer: l,
-		Factors: arch.T{Tm: 1, Tn: 1, Tr: min(e.D, l.S), Tc: min(e.D, l.S),
-			Ti: 1, Tj: 1},
-		PEs:  e.PEs(),
-		MACs: l.MACs(),
-	}
-	g := e.blockGrid(l.S)
-	perBlock := int64(l.N) * int64(l.K) * int64(l.K)
-	res.Cycles = int64(l.M) * int64(g) * int64(g) * perBlock
-
-	// Walk the block tiling to count loads exactly as Simulate does.
-	for r0 := 0; r0 < l.S; r0 += e.D {
-		for c0 := 0; c0 < l.S; c0 += e.D {
-			rows := min(e.D, l.S-r0)
-			cols := min(e.D, l.S-c0)
-			var loads, shifts int64
-			// Initial block load.
-			loads += int64(rows * cols)
-			for i := 0; i < l.K; i++ {
-				for j := 0; j < l.K; j++ {
-					if i == 0 && j == 0 {
-						continue
-					}
-					if j == 0 {
-						// Row jump: top rows-1 PE rows pop from FIFOs,
-						// the bottom row loads fresh.
-						shifts += int64((rows - 1) * cols)
-						loads += int64(cols)
-					} else {
-						// Column shift: left cols-1 columns shift, the
-						// rightmost column loads fresh.
-						shifts += int64(rows * (cols - 1))
-						loads += int64(rows)
-					}
-				}
-			}
-			res.NeuronLoads += int64(l.M) * int64(l.N) * loads
-			res.InterPEMoves += int64(l.M) * int64(l.N) * shifts
-		}
-	}
-	// One synapse broadcast per cycle (one word on the bus per step).
-	res.KernelLoads = res.Cycles
-	// Outputs accumulate locally across n and (i,j); stored once.
-	res.NeuronStores = l.OutputWords()
-	// Each MAC reads the neuron register and the partial-sum register,
-	// and writes the partial sum back.
-	res.LocalReads = 2 * l.MACs()
-	res.LocalWrites = l.MACs()
-
-	e.modelDRAM(l, &res)
+	res := e.rule().Account(l)
+	res.Arch = e.Name()
 	return res
-}
-
-func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult) {
-	inWords := l.InputWords()
-	reload := int64(1)
-	if inWords > int64(e.BufferWords) {
-		// Input stack exceeds the neuron buffer: re-stream per output map.
-		reload = int64(l.M)
-	}
-	res.DRAMReads = inWords*reload + l.KernelWords()
-	res.DRAMWrites = l.OutputWords()
 }
 
 // Simulate implements arch.Engine. The PE grid is explicit: registers
@@ -220,7 +171,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		}
 	}
 	res.Cycles = clock.Cycle()
-	e.modelDRAM(l, &res)
+	e.rule().DRAM(l, &res)
 	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }

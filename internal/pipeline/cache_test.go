@@ -7,6 +7,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/core"
+	"flexflow/internal/mapping"
 	"flexflow/internal/mapping2d"
 	"flexflow/internal/nn"
 	"flexflow/internal/pipeline"
@@ -105,6 +106,49 @@ func TestCacheHitBitIdentical(t *testing.T) {
 		if s := c.Stats(); s.Entries != 1 || s.Hits != 2 {
 			t.Errorf("%s: same-shape layers did not share one entry: %+v", e.Name(), s)
 		}
+	}
+}
+
+// TestCacheKeySeparatesMappingSpecs pins the mapping-spec digest in the
+// key: two distinct specs evaluating the same layer shape must never
+// share a cache entry, whether they differ in a dataflow toggle, a
+// fixed factor vector, or only in name. A shared entry would let one
+// mapping's counters answer for another's.
+func TestCacheKeySeparatesMappingSpecs(t *testing.T) {
+	base := mapping.PresetFlexFlow(4)
+	toggled := base
+	toggled.RA = false
+	pinned := base.WithFactors(arch.T{Tm: 2, Tn: 1, Tr: 1, Tc: 2, Ti: 1, Tj: 3})
+	renamed := base
+	renamed.Name = "FlexFlow-b"
+	specs := []mapping.Spec{base, toggled, pinned, renamed, mapping.PresetTiling(4, 4)}
+
+	l := nn.ConvLayer{Name: "x", M: 2, N: 1, S: 4, K: 3}
+	c := pipeline.NewCache(16)
+	results := make([]arch.LayerResult, len(specs))
+	for i, s := range specs {
+		eng, err := mapping.Lower(s)
+		if err != nil {
+			t.Fatalf("spec %d (%s) does not lower: %v", i, s.Name, err)
+		}
+		results[i] = modelVia(t, eng, l, c)
+	}
+	if s := c.Stats(); s.Entries != len(specs) || s.Misses != int64(len(specs)) || s.Hits != 0 {
+		t.Fatalf("distinct specs shared cache entries: %+v, want %d separate misses", s, len(specs))
+	}
+	// Warm probes must come back bit-identical per spec — proof the hit
+	// landed on that spec's own entry.
+	for i, s := range specs {
+		eng, err := mapping.Lower(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := modelVia(t, eng, l, c); got != results[i] {
+			t.Errorf("spec %d (%s): warm result diverges\ncold %+v\nwarm %+v", i, s.Name, results[i], got)
+		}
+	}
+	if s := c.Stats(); s.Hits != int64(len(specs)) {
+		t.Fatalf("warm probes missed: %+v", s)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -61,39 +62,38 @@ func (e *Engine) Name() string { return "Row-Stationary" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Rows * e.Cols }
 
-// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
-// array geometry, buffer capacity and the layer shape — everything
-// Model reads (see arch.AppendLayerKey for the exclusions; this
-// comparator has no tracer or injector to arm).
+// rule returns the mapping-layer lowering rule configured exactly as
+// this engine; Model and Simulate's DRAM accounting both go through it,
+// so the engine and its preset spec cannot drift.
+func (e *Engine) rule() mapping.RowStationary {
+	return mapping.RowStationary{Rows: e.Rows, Cols: e.Cols, BufferWords: e.BufferWords}
+}
+
+// spec returns the engine's configuration as its mapping spec: the
+// rowstat preset at this engine's geometry.
+func (e *Engine) spec() mapping.Spec {
+	s := mapping.PresetRowStationary(e.Rows, e.Cols)
+	s.Geom.BufferWords = e.BufferWords
+	return s
+}
+
+// LayerCacheKey implements the pipeline's CacheKeyer: the engine's
+// mapping-spec digest (kind, array geometry, buffer capacity and
+// dataflow directives, via mapping.AppendSpecKey) and the layer shape —
+// everything Model reads (see arch.AppendLayerKey for the exclusions;
+// this comparator has no tracer or injector to arm).
 func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
-	b := make([]byte, 0, 64)
-	b = arch.AppendKeyString(b, e.Name())
-	b = arch.AppendKeyInt(b, int64(e.Rows))
-	b = arch.AppendKeyInt(b, int64(e.Cols))
-	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b := make([]byte, 0, 224)
+	s := e.spec()
+	b = mapping.AppendSpecKey(b, &s)
 	b = arch.AppendLayerKey(b, l)
 	return string(b), true
 }
 
-// geometry derives the RS mapping of a layer: set height (kernel rows,
-// folded when K exceeds the physical height), set width E (output rows
-// per pass), and the number of concurrent sets.
+// geometry derives the RS mapping of a layer (see
+// mapping.RowStationary.Geometry).
 func (e *Engine) geometry(l nn.ConvLayer) (setH, setW, sets, folds int) {
-	setH = l.K
-	folds = 1
-	if setH > e.Rows {
-		folds = (l.K + e.Rows - 1) / e.Rows
-		setH = e.Rows
-	}
-	setW = l.S
-	if setW > e.Cols {
-		setW = e.Cols
-	}
-	sets = e.Rows / setH
-	if sets < 1 {
-		sets = 1
-	}
-	return setH, setW, sets, folds
+	return e.rule().Geometry(l)
 }
 
 // CheckLayer implements arch.LayerChecker: the RS comparator is a
@@ -108,85 +108,12 @@ func (e *Engine) CheckLayer(l nn.ConvLayer) error {
 	return nil
 }
 
-// Model implements arch.Engine.
+// Model implements arch.Engine by lowering the layer through the
+// row-stationary mapping rule.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
-	if l.Str() != 1 {
-		panic("rowstat: unit-stride model only")
-	}
-	setH, setW, sets, folds := e.geometry(l)
-	in := int64(l.InSize())
-
-	// One set-pass: setW output rows of one (m, n) pair for one kernel
-	// fold; every PE runs a 1-D conv of S outputs × K taps, plus the
-	// psum drain down the set.
-	cyclesPerPass := int64(l.S)*int64(l.K) + int64(setH)
-	rowGroups := int64((l.S + setW - 1) / setW)
-	// Rounds are grouped by (n, fold, m-group, row-group): a partial
-	// m-group still occupies a full round.
-	mGroupsForRounds := int64((l.M + sets - 1) / sets)
-	engineRounds := int64(l.N) * int64(folds) * mGroupsForRounds * rowGroups
-
-	res := arch.LayerResult{
-		Arch:  e.Name(),
-		Layer: l,
-		Factors: arch.T{Tm: sets, Tn: 1, Tr: setW, Tc: 1,
-			Ti: setH, Tj: 1},
-		PEs:    e.PEs(),
-		Cycles: engineRounds * cyclesPerPass,
-		MACs:   l.MACs(),
-	}
-
-	// Kernel rows stay stationary across an (m, n)'s row groups: each
-	// fold's rows are loaded once per (m, n), so the folds together load
-	// each synapse exactly once.
-	res.KernelLoads = int64(l.M) * int64(l.N) * int64(l.K) * int64(l.K)
-	// Input rows multicast to the concurrent sets (different m, same n):
-	// one buffer read serves a whole m-group. Sum the exact row-group
-	// extents (the last group is narrower).
-	mGroups := int64((l.M + sets - 1) / sets)
-	var rowGroupWords int64
-	for e0 := 0; e0 < l.S; e0 += setW {
-		ew := setW
-		if e0+ew > l.S {
-			ew = l.S - e0
-		}
-		rowGroupWords += int64(ew+setH-1) * in
-	}
-	res.NeuronLoads = mGroups * int64(l.N) * int64(folds) * rowGroupWords
-	_ = rowGroups
-	// Partial sums spill to the buffer per n (and per fold) and are
-	// re-read for accumulation.
-	s2 := int64(l.S) * int64(l.S)
-	nPasses := int64(l.N) * int64(folds)
-	res.NeuronStores = int64(l.M) * nPasses * s2
-	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
-	// Psums hop up the set once per tap row beyond the first (per fold,
-	// a set of ka rows makes ka-1 hops per output element).
-	var hopsPerElem int64
-	for fold := 0; fold < folds; fold++ {
-		ka := setH
-		if fold*setH+ka > l.K {
-			ka = l.K - fold*setH
-		}
-		hopsPerElem += int64(ka - 1)
-	}
-	res.InterPEMoves = int64(l.M) * int64(l.N) * s2 * hopsPerElem
-	// The stationary register file is read per MAC (kernel + psum).
-	res.LocalReads = 2 * l.MACs()
-	res.LocalWrites = l.MACs()
-
-	e.modelDRAM(l, &res, mGroups)
+	res := e.rule().Account(l)
+	res.Arch = e.Name()
 	return res
-}
-
-func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
-	inWords := l.InputWords()
-	reload := int64(1)
-	if inWords > int64(e.BufferWords) {
-		reload = mGroups
-	}
-	res.DRAMReads = inWords*reload + l.KernelWords()
-	res.DRAMWrites = l.OutputWords()
 }
 
 // Simulate implements arch.Engine: each PE runs its stationary-row 1-D
@@ -267,7 +194,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 	res.LocalReads = 2 * l.MACs()
 	res.LocalWrites = l.MACs()
 	mGroups := int64((l.M + sets - 1) / sets)
-	e.modelDRAM(l, &res, mGroups)
+	e.rule().DRAM(l, &res, mGroups)
 	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -67,33 +68,33 @@ func (e *Engine) Name() string { return "Systolic" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Arrays * e.K0 * e.K0 }
 
-// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
-// array geometry, buffer capacity, tracer arming and the layer shape —
-// everything Model reads (see arch.AppendLayerKey for the exclusions).
+// rule returns the mapping-layer lowering rule configured exactly as
+// this engine; Model and Simulate's DRAM accounting both go through it,
+// so the engine and its preset spec cannot drift.
+func (e *Engine) rule() mapping.Systolic {
+	return mapping.Systolic{K0: e.K0, Arrays: e.Arrays, BufferWords: e.BufferWords}
+}
+
+// spec returns the engine's configuration as its mapping spec: the
+// systolic preset at this engine's geometry.
+func (e *Engine) spec() mapping.Spec {
+	s := mapping.PresetSystolic(e.K0, e.Arrays)
+	s.Geom.BufferWords = e.BufferWords
+	return s
+}
+
+// LayerCacheKey implements the pipeline's CacheKeyer: the engine's
+// mapping-spec digest (kind, geometry, buffer capacity and dataflow
+// directives, via mapping.AppendSpecKey), tracer arming and the layer
+// shape — everything Model reads (see arch.AppendLayerKey for the
+// exclusions).
 func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
-	b := make([]byte, 0, 64)
-	b = arch.AppendKeyString(b, e.Name())
-	b = arch.AppendKeyInt(b, int64(e.K0))
-	b = arch.AppendKeyInt(b, int64(e.Arrays))
-	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b := make([]byte, 0, 224)
+	s := e.spec()
+	b = mapping.AppendSpecKey(b, &s)
 	b = arch.AppendKeyBool(b, e.Tracer != nil)
 	b = arch.AppendLayerKey(b, l)
 	return string(b), true
-}
-
-// passes returns how many sub-kernel passes cover a K×K kernel on the
-// K0×K0 array (⌈K/K0⌉ in each dimension).
-func (e *Engine) passes(k int) int {
-	n := (k + e.K0 - 1) / e.K0
-	return n * n
-}
-
-// cyclesPerPass returns the cycles of one full raster pass of the
-// input feature map through one array: one broadcast per input neuron
-// plus one drain cycle for the last partial sum to exit the line.
-func cyclesPerPass(l nn.ConvLayer) int64 {
-	in := int64(l.InSize())
-	return in*in + 1
 }
 
 // CheckLayer implements arch.LayerChecker: the systolic baseline keeps
@@ -109,74 +110,12 @@ func (e *Engine) CheckLayer(l nn.ConvLayer) error {
 	return nil
 }
 
-// Model implements arch.Engine: the analytic cycle/traffic model.
+// Model implements arch.Engine by lowering the layer through the
+// systolic mapping rule.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
-	if l.Str() != 1 {
-		panic("systolic: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
-	}
-	in := int64(l.InSize())
-	subPasses := int64(e.passes(l.K))
-	mGroups := int64((l.M + e.Arrays - 1) / e.Arrays)
-	// Arrays in one m-group run in lock-step on the same broadcast, so
-	// engine cycles follow the per-array schedule.
-	cycles := mGroups * int64(l.N) * subPasses * cyclesPerPass(l)
-
-	res := arch.LayerResult{
-		Arch:  e.Name(),
-		Layer: l,
-		Factors: arch.T{Tm: min(e.Arrays, l.M), Tn: 1, Tr: 1, Tc: 1,
-			Ti: min(e.K0, l.K), Tj: min(e.K0, l.K)},
-		PEs:    e.PEs(),
-		Cycles: cycles,
-		MACs:   l.MACs(),
-	}
-
-	s2 := int64(l.S) * int64(l.S)
-	// Input neurons: broadcast in raster order, shared by all arrays of
-	// an m-group (the inter-array sharing the paper credits Systolic
-	// with). One buffer read feeds the whole group.
-	res.NeuronLoads = mGroups * int64(l.N) * subPasses * (in * in)
-	// Synapses: loaded once per (m,n,sub-kernel) pass and then resident.
-	res.KernelLoads = l.KernelWords()
-	// Partial sums: every pass pumps S² partials out of each array;
-	// all but the first pass's stores trigger a re-read of the previous
-	// partial for accumulation.
-	nPasses := int64(l.N) * subPasses
-	res.NeuronStores = int64(l.M) * nPasses * s2
-	res.NeuronLoads += int64(l.M) * (nPasses - 1) * s2
-	// Partial sums shift once per line position after birth:
-	// lineLen-1 moves per slot, with the line length of each sub-pass.
-	sub := (l.K + e.K0 - 1) / e.K0
-	var movesPerMN int64
-	for oi := 0; oi < sub; oi++ {
-		for oj := 0; oj < sub; oj++ {
-			ka := min(e.K0, l.K-oi*e.K0)
-			kb := min(e.K0, l.K-oj*e.K0)
-			lineLen := int64(ka-1)*in + int64(kb)
-			movesPerMN += s2 * (lineLen - 1)
-		}
-	}
-	res.InterPEMoves = int64(l.M) * int64(l.N) * movesPerMN
-	// Each MAC reads the synapse register and the partial-sum register.
-	res.LocalReads = 2 * l.MACs()
-	res.LocalWrites = l.MACs()
-
-	e.modelDRAM(l, &res, mGroups)
+	res := e.rule().Account(l)
+	res.Arch = e.Name()
 	return res
-}
-
-// modelDRAM fills the external-memory counters: compulsory traffic plus
-// re-fetches when the input stack exceeds the neuron buffer.
-func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, mGroups int64) {
-	inWords := l.InputWords()
-	reload := int64(1)
-	if inWords > int64(e.BufferWords) {
-		// The input stack does not fit: it is re-streamed once per
-		// m-group.
-		reload = mGroups
-	}
-	res.DRAMReads = inWords*reload + l.KernelWords()
-	res.DRAMWrites = l.OutputWords()
 }
 
 // slot is one partial sum travelling along the systolic delay line.
@@ -255,7 +194,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		}
 	}
 	res.Cycles = clock.Cycle()
-	e.modelDRAM(l, &res, int64(mGroups))
+	e.rule().DRAM(l, &res, int64(mGroups))
 	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"flexflow/internal/arch"
 	"flexflow/internal/fixed"
+	"flexflow/internal/mapping"
 	"flexflow/internal/nn"
 	"flexflow/internal/sim"
 	"flexflow/internal/tensor"
@@ -57,15 +58,30 @@ func (e *Engine) Name() string { return "Tiling" }
 // PEs implements arch.Engine.
 func (e *Engine) PEs() int { return e.Tm * e.Tn }
 
-// LayerCacheKey implements the pipeline's CacheKeyer: engine kind,
-// tiling factors, buffer capacity, tracer arming and the layer shape —
-// everything Model reads (see arch.AppendLayerKey for the exclusions).
+// rule returns the mapping-layer lowering rule configured exactly as
+// this engine; Model and Simulate's DRAM accounting both go through it,
+// so the engine and its preset spec cannot drift.
+func (e *Engine) rule() mapping.Tree {
+	return mapping.Tree{Tm: e.Tm, Tn: e.Tn, BufferWords: e.BufferWords}
+}
+
+// spec returns the engine's configuration as its mapping spec: the
+// tiling preset at this engine's geometry.
+func (e *Engine) spec() mapping.Spec {
+	s := mapping.PresetTiling(e.Tm, e.Tn)
+	s.Geom.BufferWords = e.BufferWords
+	return s
+}
+
+// LayerCacheKey implements the pipeline's CacheKeyer: the engine's
+// mapping-spec digest (kind, tiling factors, buffer capacity and
+// dataflow directives, via mapping.AppendSpecKey), tracer arming and
+// the layer shape — everything Model reads (see arch.AppendLayerKey
+// for the exclusions).
 func (e *Engine) LayerCacheKey(l nn.ConvLayer) (string, bool) {
-	b := make([]byte, 0, 64)
-	b = arch.AppendKeyString(b, e.Name())
-	b = arch.AppendKeyInt(b, int64(e.Tm))
-	b = arch.AppendKeyInt(b, int64(e.Tn))
-	b = arch.AppendKeyInt(b, int64(e.BufferWords))
+	b := make([]byte, 0, 224)
+	s := e.spec()
+	b = mapping.AppendSpecKey(b, &s)
 	b = arch.AppendKeyBool(b, e.Tracer != nil)
 	b = arch.AppendLayerKey(b, l)
 	return string(b), true
@@ -83,80 +99,12 @@ func (e *Engine) CheckLayer(l nn.ConvLayer) error {
 	return nil
 }
 
-// Model implements arch.Engine.
+// Model implements arch.Engine by lowering the layer through the
+// tiling mapping rule.
 func (e *Engine) Model(l nn.ConvLayer) arch.LayerResult {
-	if l.Str() != 1 {
-		panic("tiling: the rigid baselines assume unit stride (paper §3); strided layers run on FlexFlow only")
-	}
-	mBlocks := int64(ceilDiv(l.M, e.Tm))
-	nBlocks := int64(ceilDiv(l.N, e.Tn))
-	s2k2 := int64(l.S) * int64(l.S) * int64(l.K) * int64(l.K)
-	cycles := mBlocks * nBlocks * s2k2
-
-	res := arch.LayerResult{
-		Arch:  e.Name(),
-		Layer: l,
-		Factors: arch.T{Tm: min(e.Tm, l.M), Tn: min(e.Tn, l.N), Tr: 1, Tc: 1,
-			Ti: 1, Tj: 1},
-		PEs:    e.PEs(),
-		Cycles: cycles,
-		MACs:   l.MACs(),
-	}
-
-	// Every cycle fetches the active lanes' neurons and synapses anew —
-	// there is no local operand storage, so the traffic scales with the
-	// MAC count itself (the "poorest data sharing" of §3.3). Inactive
-	// lanes are fetch-gated, which is what keeps Tiling's power at the
-	// bottom of Fig. 18c even as its traffic tops Fig. 17.
-	s2 := int64(l.S) * int64(l.S)
-	k2 := int64(l.K) * int64(l.K)
-	for m0 := 0; m0 < l.M; m0 += e.Tm {
-		lanes := int64(min(e.Tm, l.M-m0))
-		for n0 := 0; n0 < l.N; n0 += e.Tn {
-			width := int64(min(e.Tn, l.N-n0))
-			res.NeuronLoads += width * s2 * k2
-			res.KernelLoads += lanes * width * s2 * k2
-		}
-	}
-	// Partial sums live in the PE across (i,j) but are spilled per
-	// n-block: each output is stored once per n-block and re-read for
-	// every n-block after the first.
-	res.NeuronStores = mBlocks * nBlocks * int64(min(e.Tm, l.M)) * int64(l.S) * int64(l.S)
-	// Only real outputs spill; for partial m-blocks fewer PEs carry
-	// outputs. Recompute exactly over blocks.
-	res.NeuronStores = 0
-	for m0 := 0; m0 < l.M; m0 += e.Tm {
-		lanes := int64(min(e.Tm, l.M-m0))
-		res.NeuronStores += nBlocks * lanes * int64(l.S) * int64(l.S)
-	}
-	res.NeuronLoads += res.NeuronStores - l.OutputWords() // re-reads of partials
-	// The adder-tree output register is the only local state: one
-	// read-modify-write per active PE per cycle.
-	res.LocalReads = 0
-	for m0 := 0; m0 < l.M; m0 += e.Tm {
-		lanes := int64(min(e.Tm, l.M-m0))
-		res.LocalReads += lanes * nBlocks * s2k2
-	}
-	res.LocalWrites = res.LocalReads
-
-	e.modelDRAM(l, &res, nBlocks)
+	res := e.rule().Account(l)
+	res.Arch = e.Name()
 	return res
-}
-
-func (e *Engine) modelDRAM(l nn.ConvLayer, res *arch.LayerResult, nBlocks int64) {
-	kernWords := l.KernelWords()
-	reload := int64(1)
-	if kernWords > int64(e.BufferWords) {
-		// Kernels exceed the kernel buffer: re-stream per output pass.
-		reload = int64(ceilDiv(l.M, e.Tm))
-	}
-	res.DRAMReads = l.InputWords() + kernWords*min64(reload, 4)
-	res.DRAMWrites = l.OutputWords()
-	// Partial sums that do not fit on chip spill to DRAM.
-	if nBlocks > 1 && l.OutputWords() > int64(e.BufferWords) {
-		res.DRAMWrites += (nBlocks - 1) * l.OutputWords()
-		res.DRAMReads += (nBlocks - 1) * l.OutputWords()
-	}
 }
 
 // Simulate implements arch.Engine: the explicit Tm×Tn datapath with an
@@ -245,7 +193,7 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 		}
 	}
 	res.Cycles = clock.Cycle()
-	e.modelDRAM(l, &res, int64(nBlocks))
+	e.rule().DRAM(l, &res, int64(nBlocks))
 	e.Watchdog.Commit(res.Cycles)
 	return out, res, nil
 }
@@ -253,13 +201,6 @@ func (e *Engine) Simulate(l nn.ConvLayer, in *tensor.Map3, k *tensor.Kernel4) (*
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
 	if a < b {
 		return a
 	}

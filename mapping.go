@@ -1,0 +1,154 @@
+package flexflow
+
+import (
+	"fmt"
+
+	"flexflow/internal/core"
+	"flexflow/internal/mapping"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+)
+
+// MappingSpec is a declarative dataflow mapping: per-loop-dimension
+// directives (spatial vs temporal, unroll factors, tile sizes) over an
+// engine geometry. Specs parse from JSON or the compact text form (see
+// ParseMappingSpec), validate against the geometry, and lower either
+// onto the analytic interpreter (LowerSpec) or onto a functional
+// engine package (NewSpecEngine).
+type MappingSpec = mapping.Spec
+
+// ParseMappingSpec parses a spec from either wire form — JSON when the
+// input starts with '{', the compact text DSL otherwise — and
+// validates it. The accepted grammar is documented in DESIGN.md §11.
+func ParseMappingSpec(src []byte) (MappingSpec, error) {
+	var s MappingSpec
+	err := guard(func() error {
+		var err error
+		s, err = mapping.Parse(src)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return MappingSpec{}, err
+	}
+	return s, nil
+}
+
+// PresetSpec returns the named architecture's mapping spec at the
+// given scale — the same geometry NewEngine builds, expressed
+// declaratively. When nw is non-nil the Systolic preset picks its
+// kernel-matched array size, as NewEngine does. Lowering the preset
+// through LowerSpec reproduces the corresponding engine's analytic
+// model bit-for-bit (the FlexFlow preset with auto factors uses the
+// per-layer default chooser; NewEngine's network-coupled compiler
+// chooser is a property of the engine, not the dataflow).
+func PresetSpec(a Arch, scale int, nw *Network) (MappingSpec, error) {
+	var s MappingSpec
+	err := guard(func() error {
+		if scale <= 0 {
+			return invalid("scale must be positive, got %d", scale)
+		}
+		switch a {
+		case Systolic:
+			k0 := 6
+			if nw != nil && nw.Name == "AlexNet" {
+				k0 = 11
+			}
+			arrays := scale * scale / (k0 * k0)
+			if arrays < 1 {
+				arrays = 1
+			}
+			s = mapping.PresetSystolic(k0, arrays)
+		case Mapping2D:
+			s = mapping.PresetMapping2D(scale)
+		case Tiling:
+			s = mapping.PresetTiling(scale, scale)
+		case RowStationary:
+			s = mapping.PresetRowStationary(scale, scale)
+		case FlexFlow:
+			s = mapping.PresetFlexFlow(scale)
+		default:
+			return invalid("unknown architecture %q", a)
+		}
+		return nil
+	})
+	if err != nil {
+		return MappingSpec{}, err
+	}
+	return s, nil
+}
+
+// LowerSpec lowers a mapping spec onto the analytic interpreter: an
+// Engine whose Model evaluates the spec's dataflow rule. The result is
+// analytic-only (Simulate returns an error); use NewSpecEngine for a
+// functional value-moving engine with the same analytic model.
+func LowerSpec(s MappingSpec) (Engine, error) {
+	var eng Engine
+	err := guard(func() error {
+		e, err := mapping.Lower(s)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		eng = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// NewSpecEngine lowers a mapping spec onto the engine package that
+// implements its dataflow, yielding a fully functional engine
+// (cycle-level Simulate included) whose analytic Model agrees with
+// LowerSpec bit-for-bit. A flexflow spec with a fixed factor vector
+// installs that vector as the engine's chooser.
+func NewSpecEngine(s MappingSpec) (Engine, error) {
+	var eng Engine
+	err := guard(func() error {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		g := s.Geom
+		switch s.Dataflow {
+		case mapping.DataflowFlexFlow:
+			if s.NTile() != 0 {
+				return invalid("spec %q fixes an N tile; the functional engine schedules chunks itself — use LowerSpec for the analytic model", s.Name)
+			}
+			e := core.New(g.Rows)
+			e.NeuronStoreWords = g.NeuronStoreWords
+			e.KernelStoreWords = g.KernelStoreWords
+			e.BufferWords = g.BufferWords
+			e.RA, e.RS, e.IPDR = s.RA, s.RS, s.IPDR
+			if t := s.FixedFactors(); t.Tm > 0 {
+				e.Chooser = func(l ConvLayer) T { return t }
+			}
+			eng = e
+		case mapping.DataflowSystolic:
+			e := systolic.New(g.Rows, g.Repl)
+			e.BufferWords = g.BufferWords
+			eng = e
+		case mapping.DataflowMapping2D:
+			e := mapping2d.New(g.Rows)
+			e.BufferWords = g.BufferWords
+			eng = e
+		case mapping.DataflowTiling:
+			e := tiling.New(g.Rows, g.Cols)
+			e.BufferWords = g.BufferWords
+			eng = e
+		default: // mapping.DataflowRowStat
+			e := rowstat.New(g.Rows, g.Cols)
+			e.BufferWords = g.BufferWords
+			eng = e
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng, nil
+}

@@ -1,0 +1,74 @@
+package flexflow_test
+
+// Pins for the committed preset mapping specs: the five dataflows as
+// DSL text under results/specs/, the declarative record of what each
+// engine is. TestPresetSpecParity (internal/mapping) proves these
+// specs lower bit-for-bit to the pre-refactor engines; this test
+// proves the committed text IS those specs.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flexflow"
+)
+
+var writeSpecs = flag.Bool("write-specs", false, "rewrite results/specs/*.spec from the code's presets")
+
+// presetSpecFiles maps each architecture to its committed spec file,
+// all at the paper's 16×16 scale (Systolic at its default 6×6 K0).
+func presetSpecFiles() map[flexflow.Arch]string {
+	return map[flexflow.Arch]string{
+		flexflow.FlexFlow:      "flexflow.spec",
+		flexflow.Systolic:      "systolic.spec",
+		flexflow.Mapping2D:     "mapping2d.spec",
+		flexflow.Tiling:        "tiling.spec",
+		flexflow.RowStationary: "rowstat.spec",
+	}
+}
+
+// TestCommittedPresetSpecs regenerates each preset's canonical text
+// and byte-compares it against results/specs/. A drifted file means
+// the committed dataflow description no longer matches the code;
+// regenerate with `go test -run TestCommittedPresetSpecs -write-specs`.
+func TestCommittedPresetSpecs(t *testing.T) {
+	for a, file := range presetSpecFiles() {
+		spec, err := flexflow.PresetSpec(a, 16, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		want := spec.Text()
+
+		// The committed text must parse back to the identical spec
+		// (the DSL round-trip, on the committed artifact itself).
+		rt, err := flexflow.ParseMappingSpec([]byte(want))
+		if err != nil || rt != spec {
+			t.Errorf("%s: canonical text does not round-trip: %v", a, err)
+		}
+
+		path := filepath.Join("results", "specs", file)
+		if *writeSpecs {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		committed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: committed preset spec missing (regenerate with -write-specs): %v", a, err)
+		}
+		if string(committed) != want {
+			t.Errorf("%s: %s is stale; regenerate with `go test -run TestCommittedPresetSpecs -write-specs .`\ncommitted:\n%s\nwant:\n%s",
+				a, path, committed, want)
+		}
+	}
+	if *writeSpecs {
+		fmt.Println("wrote results/specs/*.spec")
+	}
+}

@@ -8,6 +8,14 @@
 # The benchmarks exercise the pipeline's fan-outs and fast paths:
 #   BenchmarkRunModel        — layers of VGG-11 across workers (analytic
 #                              model), plus the cache=warm memoized row
+#                              and the engine=hardcoded vs
+#                              engine=preset-spec pair: the same walk
+#                              through the directly built FlexFlow
+#                              engine and through the declarative
+#                              mapping spec lowered by the interpreter
+#                              (bit-identical counters; the JSON
+#                              records the runtime ratio as
+#                              preset_spec_overhead)
 #   BenchmarkExecuteBatch    — images of a LeNet-5 batch across workers
 #                              (cycle-level simulation; the hot path)
 #   BenchmarkExecuteAnalytic — the whole-network ModeAnalytic walk,
@@ -85,6 +93,9 @@ END {
     printf "    \"ExecuteBatch\": %.2f\n",  (bp > 0 ? bm / bp : 0)
     printf "  },\n"
     printf "  \"cache_warm_speedup\": %.1f,\n", (wm > 0 ? sm / wm : 0)
+    eh = ns["RunModel,engine=hardcoded"] ; ep = ns["RunModel,engine=preset-spec"]
+    if (eh > 0 && ep > 0)
+        printf "  \"preset_spec_overhead\": %.3f,\n", ep / eh
     ok = (bp > 0 && bm / bp >= 2.0)
     printf "  \"gate_2x_at_4_workers\": %s,\n", (ok ? "true" : "false")
     printf "  \"gate_note\": \"%s\"\n", (cpus >= 4 ? "multi-core runner: gate is binding" : \

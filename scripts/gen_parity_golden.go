@@ -1,0 +1,111 @@
+//go:build ignore
+
+// gen_parity_golden.go dumps the analytic Model results of every
+// engine over the Table 1 workloads (plus the Section 4 "Example")
+// to internal/mapping/testdata/parity_table1.json. It was run ONCE
+// against the pre-refactor engines (before Model lowering moved into
+// internal/mapping) to freeze the migration oracle; the parity table
+// test compares the refactored engines and the preset mapping specs
+// against this file bit-for-bit. Re-running it against refactored
+// code would regenerate the goldens from the code under test and
+// defeat the oracle — keep the committed file.
+//
+// Usage: go run scripts/gen_parity_golden.go
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"flexflow/internal/arch"
+	"flexflow/internal/compiler"
+	"flexflow/internal/core"
+	"flexflow/internal/energy"
+	"flexflow/internal/mapping2d"
+	"flexflow/internal/nn"
+	"flexflow/internal/rowstat"
+	"flexflow/internal/systolic"
+	"flexflow/internal/tiling"
+	"flexflow/internal/workloads"
+)
+
+type goldenLayer struct {
+	Result   arch.LayerResult `json:"result"`
+	EnergyPJ float64          `json:"energy_pj"` // 65 nm TotalPJ at edge=16
+}
+
+type goldenEntry struct {
+	Engine   string        `json:"engine"`   // variant label, not Name()
+	Workload string        `json:"workload"` // Table 1 name or "Example"
+	Config   string        `json:"config"`   // geometry echo for the reader
+	Layers   []goldenLayer `json:"layers"`
+}
+
+type goldenFile struct {
+	Scale   int           `json:"scale"`
+	Note    string        `json:"note"`
+	Entries []goldenEntry `json:"entries"`
+}
+
+func main() {
+	const scale = 16
+	params := energy.Default65nm()
+	nets := workloads.All()
+	if ex := workloads.ByName("Example"); ex != nil {
+		nets = append(nets, ex)
+	}
+
+	var out goldenFile
+	out.Scale = scale
+	out.Note = "pre-refactor Model outputs; frozen migration oracle for internal/mapping"
+
+	record := func(label, config string, nw *nn.Network, e arch.Engine) {
+		entry := goldenEntry{Engine: label, Workload: nw.Name, Config: config}
+		for _, l := range nw.ConvLayers() {
+			res := e.Model(l)
+			entry.Layers = append(entry.Layers, goldenLayer{
+				Result:   res,
+				EnergyPJ: params.LayerEnergy(res, scale).TotalPJ(),
+			})
+		}
+		out.Entries = append(out.Entries, entry)
+	}
+
+	for _, nw := range nets {
+		// Systolic: kernel-matched array exactly as flexflow.NewEngine.
+		k0 := 6
+		if nw.Name == "AlexNet" {
+			k0 = 11
+		}
+		arrays := scale * scale / (k0 * k0)
+		if arrays < 1 {
+			arrays = 1
+		}
+		record("systolic", fmt.Sprintf("k0=%d arrays=%d", k0, arrays), nw, systolic.New(k0, arrays))
+
+		record("mapping2d", fmt.Sprintf("d=%d", scale), nw, mapping2d.New(scale))
+		record("tiling", fmt.Sprintf("tm=%d tn=%d", scale, scale), nw, tiling.New(scale, scale))
+		record("rowstat", fmt.Sprintf("rows=%d cols=%d", scale, scale), nw, rowstat.New(scale, scale))
+		record("rowstat-eyeriss", "rows=12 cols=14", nw, rowstat.NewEyeriss())
+
+		record("flexflow-default", fmt.Sprintf("d=%d", scale), nw, core.New(scale))
+
+		compiled := core.New(scale)
+		compiled.Chooser = compiler.Plan(nw, scale).Chooser()
+		record("flexflow-compiled", fmt.Sprintf("d=%d coupled-plan", scale), nw, compiled)
+	}
+
+	buf, err := json.MarshalIndent(&out, "", " ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.MkdirAll("internal/mapping/testdata", 0o755); err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("internal/mapping/testdata/parity_table1.json", buf, 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %d entries (%d bytes)\n", len(out.Entries), len(buf))
+}
